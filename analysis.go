@@ -1,0 +1,89 @@
+package polyvalues
+
+import (
+	"repro/internal/model"
+	"repro/internal/protocol"
+	"repro/internal/sim"
+)
+
+// ---------------------------------------------------------------------
+// §4.1 analytic model (Table 1)
+// ---------------------------------------------------------------------
+
+// ModelParams are the six database parameters of §4.1 (U, F, I, R, Y, D).
+type ModelParams = model.Params
+
+// Table1Row pairs a parameter set with the paper's printed prediction.
+type Table1Row = model.Table1Row
+
+// Table1 returns the paper's Table 1 parameter sets and predictions.
+func Table1() []Table1Row { return model.Table1() }
+
+// FormatTable1 renders the paper-vs-model comparison.
+func FormatTable1() string { return model.FormatTable1() }
+
+// ---------------------------------------------------------------------
+// §4.2 discrete-event simulation (Table 2)
+// ---------------------------------------------------------------------
+
+// SimParams configures one §4.2 simulation run.
+type SimParams = sim.Params
+
+// SimResult reports one run's measurements.
+type SimResult = sim.Result
+
+// SimRun executes one simulation.
+func SimRun(p SimParams) (SimResult, error) { return sim.Run(p) }
+
+// Table2Row is one row of the paper's Table 2.
+type Table2Row = sim.Table2Row
+
+// Table2 returns the paper's six simulated parameter sets.
+func Table2() []Table2Row { return sim.Table2() }
+
+// Table2Result pairs a row with this implementation's measurement.
+type Table2Result = sim.Table2Result
+
+// RunTable2 executes every Table 2 row.
+func RunTable2(seed int64, warmup, measure float64) ([]Table2Result, error) {
+	return sim.RunTable2(seed, warmup, measure)
+}
+
+// FormatTable2 renders measured-vs-paper columns.
+func FormatTable2(results []Table2Result) string { return sim.FormatTable2(results) }
+
+// Table2Stats aggregates a Table 2 row over several seeds.
+type Table2Stats = sim.Table2Stats
+
+// RunTable2Multi executes every Table 2 row several times and reports
+// mean ± standard error.
+func RunTable2Multi(runs int, baseSeed int64, warmup, measure float64) ([]Table2Stats, error) {
+	return sim.RunTable2Multi(runs, baseSeed, warmup, measure)
+}
+
+// FormatTable2Multi renders the multi-seed comparison.
+func FormatTable2Multi(stats []Table2Stats) string { return sim.FormatTable2Multi(stats) }
+
+// ---------------------------------------------------------------------
+// Figure 1 (the update-protocol state machine)
+// ---------------------------------------------------------------------
+
+// ProtocolState is a participant's Figure 1 state (idle/compute/wait).
+type ProtocolState = protocol.PState
+
+// ProtocolEvent is an input to the participant machine.
+type ProtocolEvent = protocol.PEvent
+
+// ProtocolAction is what the runtime must do after a transition.
+type ProtocolAction = protocol.PAction
+
+// Figure1Transitions enumerates the update protocol's full transition
+// relation (Figure 1 of the paper).
+func Figure1Transitions() []struct {
+	From   protocol.PState
+	Event  protocol.PEvent
+	To     protocol.PState
+	Action protocol.PAction
+} {
+	return protocol.Transitions()
+}

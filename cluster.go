@@ -1,0 +1,112 @@
+package polyvalues
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/harness"
+	"repro/internal/network"
+	"repro/internal/protocol"
+	"repro/internal/workload"
+)
+
+// ---------------------------------------------------------------------
+// Distributed cluster runtime
+// ---------------------------------------------------------------------
+
+// SiteID names a database site.
+type SiteID = protocol.SiteID
+
+// Cluster is a deterministic goroutine-per-site distributed database
+// running the paper's update protocol over a simulated network.
+type Cluster = cluster.Cluster
+
+// ClusterConfig parameterizes a cluster.
+type ClusterConfig = cluster.Config
+
+// NetConfig parameterizes the simulated network (latency, jitter, seed).
+type NetConfig = network.Config
+
+// Policy selects wait-phase timeout behaviour.
+type Policy = cluster.Policy
+
+// Wait-phase timeout policies.
+const (
+	// PolicyPolyvalue installs polyvalues and keeps the items available
+	// (the paper's mechanism).
+	PolicyPolyvalue = cluster.PolicyPolyvalue
+	// PolicyBlocking holds the items locked until the outcome is known
+	// (classic 2PC baseline).
+	PolicyBlocking = cluster.PolicyBlocking
+	// PolicyArbitrary makes an arbitrary local decision (the paper's
+	// §2.3 relaxed-consistency baseline; can violate atomicity).
+	PolicyArbitrary = cluster.PolicyArbitrary
+)
+
+// NewCluster builds and starts a cluster.
+func NewCluster(cfg ClusterConfig) (*Cluster, error) { return cluster.New(cfg) }
+
+// SiteInfo is an observability snapshot of one site.
+type SiteInfo = cluster.SiteInfo
+
+// ErrStillUncertain reports a QueryCertain whose answer was still a
+// polyvalue at its deadline (§3.4 withhold mode).
+var ErrStillUncertain = cluster.ErrStillUncertain
+
+// Handle tracks a submitted transaction.
+type Handle = cluster.Handle
+
+// QueryHandle tracks a read-only query.
+type QueryHandle = cluster.QueryHandle
+
+// Status is a transaction's client-visible state.
+type Status = cluster.Status
+
+// Client-visible transaction statuses.
+const (
+	StatusPending   = cluster.StatusPending
+	StatusCommitted = cluster.StatusCommitted
+	StatusAborted   = cluster.StatusAborted
+)
+
+// ClusterStats aggregates cluster-wide counters.
+type ClusterStats = cluster.Stats
+
+// ---------------------------------------------------------------------
+// Workload generators (§5 application domains)
+// ---------------------------------------------------------------------
+
+// Workload generates transaction mixes for the §5 application domains.
+type Workload = workload.Generator
+
+// WorkloadConfig parameterizes a workload generator.
+type WorkloadConfig = workload.Config
+
+// WorkloadKind selects the application domain.
+type WorkloadKind = workload.Kind
+
+// Workload kinds.
+const (
+	WorkloadBank         = workload.Bank
+	WorkloadReservations = workload.Reservations
+	WorkloadInventory    = workload.Inventory
+)
+
+// NewWorkload builds a workload generator.
+func NewWorkload(cfg WorkloadConfig) (*Workload, error) { return workload.New(cfg) }
+
+// ---------------------------------------------------------------------
+// Experiment harness (cluster-level evaluation)
+// ---------------------------------------------------------------------
+
+// Experiment configures a cluster-level evaluation run: a workload under
+// a coordinator-crash schedule, measuring availability and polyvalue
+// population against the live protocol implementation.
+type Experiment = harness.Experiment
+
+// ExperimentReport is the outcome of one experiment.
+type ExperimentReport = harness.Report
+
+// ExperimentSample is one point of an experiment's population series.
+type ExperimentSample = harness.Sample
+
+// RunExperiment executes a cluster-level experiment.
+func RunExperiment(e Experiment) (ExperimentReport, error) { return harness.Run(e) }

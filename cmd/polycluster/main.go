@@ -1,0 +1,202 @@
+// Command polycluster runs a live multi-site cluster through a failure
+// scenario and prints the protocol's behaviour: a workload executes, a
+// coordinator crashes at the critical moment, polyvalues appear, further
+// work proceeds, the failure is repaired, and certainty is restored.
+//
+// Usage:
+//
+//	polycluster -sites 4 -txns 200 -workload bank -policy polyvalue -seed 1
+//	polycluster -policy blocking      # watch the baseline stall instead
+//	polycluster -trace                # dump the protocol event trace
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	polyvalues "repro"
+	"repro/internal/harness"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// runComparison executes the -compare mode: one failure schedule, three
+// policies, one table.
+func runComparison(sites, items, txns int, kindName string, seed int64) {
+	var kind workload.Kind
+	switch kindName {
+	case "bank":
+		kind = workload.Bank
+	case "reservations":
+		kind = workload.Reservations
+	case "inventory":
+		kind = workload.Inventory
+	default:
+		fmt.Fprintf(os.Stderr, "polycluster: unknown workload %q\n", kindName)
+		os.Exit(2)
+	}
+	cmp, err := harness.Compare(harness.Experiment{
+		Sites: sites, Items: items, Txns: txns,
+		Workload:   kind,
+		CrashEvery: txns / 5, RepairAfter: time.Second,
+		Gap: 100 * time.Millisecond, Seed: seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "polycluster:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("policy comparison: %d sites, %s workload, %d txns, coordinator crash every %d txns\n\n",
+		sites, kind, txns, txns/5)
+	fmt.Print(cmp.Format())
+	if !cmp.Sound() {
+		fmt.Println("\nWARNING: comparison did not reproduce the expected ordering")
+	}
+}
+
+func main() {
+	nSites := flag.Int("sites", 4, "number of sites")
+	nTxns := flag.Int("txns", 200, "transactions to run")
+	items := flag.Int("items", 64, "items in the database")
+	kindName := flag.String("workload", "bank", "workload: bank, reservations or inventory")
+	policyName := flag.String("policy", "polyvalue", "wait-timeout policy: polyvalue or blocking")
+	seed := flag.Int64("seed", 1, "workload and network seed")
+	crashAt := flag.Int("crash-at", 0, "transaction index at which the coordinator crashes mid-commit (0 = halfway)")
+	showTrace := flag.Bool("trace", false, "print the protocol event trace")
+	compare := flag.Bool("compare", false, "run the same workload+failure schedule under all three policies and print the comparison table")
+	flag.Parse()
+
+	if *compare {
+		runComparison(*nSites, *items, *nTxns, *kindName, *seed)
+		return
+	}
+
+	var kind polyvalues.WorkloadKind
+	switch *kindName {
+	case "bank":
+		kind = polyvalues.WorkloadBank
+	case "reservations":
+		kind = polyvalues.WorkloadReservations
+	case "inventory":
+		kind = polyvalues.WorkloadInventory
+	default:
+		fmt.Fprintf(os.Stderr, "polycluster: unknown workload %q\n", *kindName)
+		os.Exit(2)
+	}
+	var policy polyvalues.Policy
+	switch *policyName {
+	case "polyvalue":
+		policy = polyvalues.PolicyPolyvalue
+	case "blocking":
+		policy = polyvalues.PolicyBlocking
+	default:
+		fmt.Fprintf(os.Stderr, "polycluster: unknown policy %q\n", *policyName)
+		os.Exit(2)
+	}
+	if *nSites < 2 || *nTxns < 4 || *items < 2 {
+		fmt.Fprintln(os.Stderr, "polycluster: need -sites >= 2, -txns >= 4, -items >= 2")
+		os.Exit(2)
+	}
+	if *crashAt <= 0 {
+		*crashAt = *nTxns / 2
+	}
+
+	sites := make([]polyvalues.SiteID, *nSites)
+	for i := range sites {
+		sites[i] = polyvalues.SiteID(fmt.Sprintf("site%d", i))
+	}
+	ring := trace.NewRing(10000)
+	c, err := polyvalues.NewCluster(polyvalues.ClusterConfig{
+		Sites:  sites,
+		Net:    polyvalues.NetConfig{Latency: 10 * time.Millisecond, Jitter: 5 * time.Millisecond, Seed: *seed},
+		Policy: policy,
+		Tracer: ring,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "polycluster:", err)
+		os.Exit(1)
+	}
+	defer c.Close()
+	ring.Clock = c.Now
+
+	gen, err := polyvalues.NewWorkload(polyvalues.WorkloadConfig{Kind: kind, Items: *items, Seed: *seed})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "polycluster:", err)
+		os.Exit(1)
+	}
+	for item, p := range gen.InitialState() {
+		if err := c.Load(item, p); err != nil {
+			fmt.Fprintln(os.Stderr, "polycluster:", err)
+			os.Exit(1)
+		}
+	}
+
+	fmt.Printf("cluster: %d sites, %s workload over %d items, policy %s\n",
+		*nSites, kind, *items, policy)
+	crashed := false
+	victim := sites[0]
+	committed, aborted, pending := 0, 0, 0
+	var handles []*polyvalues.Handle
+	for i := 0; i < *nTxns; i++ {
+		coord := sites[i%len(sites)]
+		if i == *crashAt {
+			// Arm the failpoint: this coordinator will crash after
+			// collecting all readies, before broadcasting the decision.
+			victim = coord
+			c.ArmCrashBeforeDecision(victim)
+			crashed = true
+			fmt.Printf("txn %3d: arming coordinator crash at %s\n", i, victim)
+		}
+		h, err := c.Submit(coord, gen.Next())
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "polycluster:", err)
+			os.Exit(1)
+		}
+		handles = append(handles, h)
+		c.RunFor(100 * time.Millisecond)
+	}
+	c.RunFor(3 * time.Second)
+
+	polysMid := c.PolyItems()
+	fmt.Printf("\nafter workload (site %s still down): %d items hold polyvalues: %v\n",
+		victim, len(polysMid), polysMid)
+	for _, h := range handles {
+		switch h.Status() {
+		case polyvalues.StatusCommitted:
+			committed++
+		case polyvalues.StatusAborted:
+			aborted++
+		default:
+			pending++
+		}
+	}
+	fmt.Printf("transactions: %d committed, %d aborted, %d in doubt at the client\n",
+		committed, aborted, pending)
+	st := c.Stats()
+	fmt.Printf("protocol: %d wait-phase timeouts, %d polyvalue installs, %d refusals\n",
+		st.InDoubt, st.PolyInstalls, st.Refused)
+
+	if crashed {
+		fmt.Printf("\nrepairing: restarting %s\n", victim)
+		c.Restart(victim)
+		c.RunFor(10 * time.Second)
+		fmt.Printf("after repair: %d items hold polyvalues (reductions: %d)\n",
+			len(c.PolyItems()), c.Stats().PolyReductions)
+	}
+	lat := c.LatencyHistogram()
+	fmt.Printf("\ncommitted-txn latency (simulated): %s\n", lat.Summary())
+	net := c.NetStats()
+	fmt.Printf("network: %d sent, %d delivered, %d dropped (down), %d dropped (partition)\n",
+		net.Sent, net.Delivered, net.DroppedDown, net.DroppedPartition)
+
+	if *showTrace {
+		fmt.Println("\nprotocol trace:")
+		for _, line := range ring.Entries() {
+			fmt.Println(" ", line)
+		}
+		if n := ring.Dropped(); n > 0 {
+			fmt.Printf("  (%d earlier events dropped)\n", n)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+// Command polyrepl is an interactive console over a polyvalue cluster:
+// load data, submit transactions, crash sites at critical moments, watch
+// polyvalues appear and resolve.  Type "help" for the command list.
+//
+// Usage:
+//
+//	polyrepl -sites 3 -policy polyvalue
+//
+// Example session:
+//
+//	load x 100
+//	armcrash site0
+//	submit site0 x = x - 40
+//	run 2s
+//	polys
+//	expected x 0.9
+//	restart site0
+//	run 10s
+//	read x
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/repl"
+)
+
+func main() {
+	sites := flag.Int("sites", 3, "number of sites")
+	policyName := flag.String("policy", "polyvalue", "wait-timeout policy: polyvalue, blocking or arbitrary")
+	seed := flag.Int64("seed", 1, "network seed")
+	flag.Parse()
+
+	var policy cluster.Policy
+	switch *policyName {
+	case "polyvalue":
+		policy = cluster.PolicyPolyvalue
+	case "blocking":
+		policy = cluster.PolicyBlocking
+	case "arbitrary":
+		policy = cluster.PolicyArbitrary
+	default:
+		fmt.Fprintf(os.Stderr, "polyrepl: unknown policy %q\n", *policyName)
+		os.Exit(2)
+	}
+	r, err := repl.New(*sites, policy, *seed, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "polyrepl:", err)
+		os.Exit(1)
+	}
+	defer r.Close()
+	fmt.Printf("polyvalue cluster: %d sites, %s policy (type help)\n", *sites, policy)
+	if err := r.Run(os.Stdin); err != nil {
+		fmt.Fprintln(os.Stderr, "polyrepl:", err)
+		os.Exit(1)
+	}
+}

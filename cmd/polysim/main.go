@@ -1,0 +1,134 @@
+// Command polysim runs the §4.2 discrete-event simulation of a database
+// using the polyvalue mechanism, for arbitrary parameters.
+//
+// Usage:
+//
+//	polysim -u 10 -f 0.01 -i 10000 -r 0.01 -y 0 -d 1 -seed 42
+//	polysim -u 10 -f 0.01 -i 10000 -r 0.01 -sweep f -from 0.001 -to 0.02 -steps 5
+//
+// The sweep mode varies one parameter geometrically between -from and
+// -to, printing a series suitable for plotting (parameter, predicted P,
+// measured P).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	polyvalues "repro"
+)
+
+func main() {
+	u := flag.Float64("u", 10, "U: updates per second")
+	f := flag.Float64("f", 0.01, "F: probability an update fails")
+	i := flag.Float64("i", 10000, "I: number of items")
+	r := flag.Float64("r", 0.01, "R: proportion of failures recovered per second")
+	y := flag.Float64("y", 0, "Y: probability the new value ignores the previous value")
+	d := flag.Float64("d", 1, "D: mean number of items an update depends on")
+	seed := flag.Int64("seed", 1, "RNG seed")
+	warmup := flag.Float64("warmup", 0, "simulated warm-up seconds (0 = auto)")
+	measure := flag.Float64("measure", 0, "simulated measurement seconds (0 = auto)")
+	sweep := flag.String("sweep", "", "parameter to sweep: u, f, i, r, y or d")
+	from := flag.Float64("from", 0, "sweep start value")
+	to := flag.Float64("to", 0, "sweep end value")
+	steps := flag.Int("steps", 5, "sweep steps")
+	burst := flag.Int("burst", 0, "inject this many polyvalues at t=0 and print the decay series against the model transient")
+	flag.Parse()
+
+	base := polyvalues.ModelParams{U: *u, F: *f, I: *i, R: *r, Y: *y, D: *d}
+
+	if *burst > 0 {
+		runBurst(base, *burst, *seed, *measure)
+		return
+	}
+	if *sweep == "" {
+		runOne(base, *seed, *warmup, *measure)
+		return
+	}
+	if *from <= 0 || *to <= *from || *steps < 2 {
+		fmt.Fprintln(os.Stderr, "polysim: sweep needs -from > 0, -to > -from, -steps >= 2")
+		os.Exit(2)
+	}
+	fmt.Printf("%-12s %-12s %-12s %-12s\n", *sweep, "predicted", "measured", "polytxns")
+	ratio := math.Pow(*to / *from, 1/float64(*steps-1))
+	v := *from
+	for s := 0; s < *steps; s++ {
+		p := base
+		switch *sweep {
+		case "u":
+			p.U = v
+		case "f":
+			p.F = v
+		case "i":
+			p.I = v
+		case "r":
+			p.R = v
+		case "y":
+			p.Y = v
+		case "d":
+			p.D = v
+		default:
+			fmt.Fprintf(os.Stderr, "polysim: unknown sweep parameter %q\n", *sweep)
+			os.Exit(2)
+		}
+		res, err := polyvalues.SimRun(polyvalues.SimParams{
+			Model: p, Seed: *seed + int64(s), Warmup: *warmup, Measure: *measure,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "polysim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-12.5g %-12.3f %-12.3f %-12d\n", v, p.SteadyState(), res.MeanPolyvalues, res.PolyTransactions)
+		v *= ratio
+	}
+}
+
+// runBurst prints the decay of an injected polyvalue burst next to the
+// §4.1 transient prediction (the paper's stability observation).
+func runBurst(p polyvalues.ModelParams, burst int, seed int64, measure float64) {
+	if err := p.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "polysim:", err)
+		os.Exit(2)
+	}
+	if measure <= 0 {
+		measure = 400
+	}
+	res, err := polyvalues.SimRun(polyvalues.SimParams{
+		Model: p, Seed: seed, Warmup: 0.001, Measure: measure,
+		InitialPolyvalues: burst, SampleEvery: measure / 16,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "polysim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("burst of %d polyvalues, decay rate λ = %.4g/s, steady state %.2f\n\n",
+		burst, p.Rate(), p.SteadyState())
+	fmt.Printf("%-10s %-12s %-12s\n", "t (s)", "simulated", "transient")
+	for _, s := range res.Series {
+		fmt.Printf("%-10.0f %-12d %-12.1f\n", s.T, s.P, p.Transient(float64(burst), s.T))
+	}
+}
+
+func runOne(p polyvalues.ModelParams, seed int64, warmup, measure float64) {
+	if err := p.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "polysim:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("parameters: %s\n", p)
+	fmt.Printf("model: steady state P = %.3f, decay rate λ = %.6g/s, stable = %v\n",
+		p.SteadyState(), p.Rate(), p.Stable())
+	if p.Stable() {
+		s := p.Sensitivities()
+		fmt.Printf("sensitivities: ∂P/∂U=%.3g ∂P/∂F=%.3g ∂P/∂I=%.3g ∂P/∂R=%.3g ∂P/∂Y=%.3g ∂P/∂D=%.3g\n",
+			s.DU, s.DF, s.DI, s.DR, s.DY, s.DD)
+	}
+	res, err := polyvalues.SimRun(polyvalues.SimParams{Model: p, Seed: seed, Warmup: warmup, Measure: measure})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "polysim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("simulated: %s over %.0fs\n", res, res.SimulatedSeconds)
+	fmt.Printf("mean polyvalues: %.3f (model %.3f)\n", res.MeanPolyvalues, p.SteadyState())
+}

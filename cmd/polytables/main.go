@@ -1,0 +1,67 @@
+// Command polytables regenerates the paper's evaluation artifacts:
+// Table 1 (analytic predictions), Table 2 (simulation vs prediction),
+// and Figure 1 (the update-protocol state diagram).
+//
+// Usage:
+//
+//	polytables                  # print everything
+//	polytables -table 1         # Table 1 only
+//	polytables -table 2 -seed 7 -warmup 3000 -measure 60000
+//	polytables -figure 1        # Figure 1 transition table
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	polyvalues "repro"
+)
+
+func main() {
+	table := flag.Int("table", 0, "print only this table (1 or 2); 0 = all")
+	figure := flag.Int("figure", 0, "print only this figure (1); 0 = all")
+	seed := flag.Int64("seed", 1, "simulation seed for Table 2")
+	warmup := flag.Float64("warmup", 3000, "simulated warm-up seconds for Table 2")
+	measure := flag.Float64("measure", 60000, "simulated measurement seconds for Table 2")
+	runs := flag.Int("runs", 1, "runs per Table 2 row (≥ 2 prints mean ± standard error)")
+	flag.Parse()
+
+	all := *table == 0 && *figure == 0
+	if all || *table == 1 {
+		fmt.Println("Table 1 — Typical Predictions of the Number of Polyvalues in a Database")
+		fmt.Println("(model P = U·F·I / (I·R + U·Y − U·D); paper values as printed)")
+		fmt.Println()
+		fmt.Print(polyvalues.FormatTable1())
+		fmt.Println()
+	}
+	if all || *table == 2 {
+		fmt.Println("Table 2 — Results of Simulating the Polyvalue Mechanism")
+		fmt.Printf("(seed %d, warmup %gs, measure %gs of simulated time, %d run(s)/row)\n\n",
+			*seed, *warmup, *measure, *runs)
+		if *runs >= 2 {
+			stats, err := polyvalues.RunTable2Multi(*runs, *seed, *warmup, *measure)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "polytables:", err)
+				os.Exit(1)
+			}
+			fmt.Print(polyvalues.FormatTable2Multi(stats))
+		} else {
+			results, err := polyvalues.RunTable2(*seed, *warmup, *measure)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "polytables:", err)
+				os.Exit(1)
+			}
+			fmt.Print(polyvalues.FormatTable2(results))
+		}
+		fmt.Println()
+	}
+	if all || *figure == 1 {
+		fmt.Println("Figure 1 — The Update Protocol States")
+		fmt.Println()
+		fmt.Printf("%-10s %-16s %-10s %s\n", "state", "event", "next", "action")
+		for _, tr := range polyvalues.Figure1Transitions() {
+			fmt.Printf("%-10s %-16s %-10s %s\n", tr.From, tr.Event, tr.To, tr.Action)
+		}
+	}
+}

@@ -1,0 +1,34 @@
+// Package polyvalues implements the polyvalue mechanism of Warren A.
+// Montgomery, "Polyvalues: A Tool for Implementing Atomic Updates to
+// Distributed Data" (SOSP 1979): atomic updates to distributed data that
+// keep processing when failures strike the two-phase commit window.
+//
+// When a participant site of a two-phase commit hears neither complete
+// nor abort promptly, a classic system blocks the updated items until the
+// failure is repaired.  With polyvalues the site instead installs, for
+// each updated item, the set of possible values tagged with the condition
+// under which each is correct — {⟨new, T⟩, ⟨old, ¬T⟩} — and keeps going.
+// Later transactions can read such items: they fork into alternative
+// executions, one per possible input combination, and write (possibly
+// poly-) values whose conditions are complete and disjoint by
+// construction.  When the failure is repaired and T's outcome becomes
+// known, dependent polyvalues everywhere are reduced back to simple
+// values by a distributed notification protocol.
+//
+// The package is a facade re-exporting the library's layers:
+//
+//   - Polyvalue algebra: Poly, Pair, Cond, Simple, Uncertain, Compose —
+//     the paper's §3 data structures and simplification rules.
+//   - Transactions: T, Program — deterministic transaction bodies written
+//     in a small guarded-assignment language; Executor runs them against
+//     polyvalued state (§3.2 polytransactions).
+//   - Cluster: a goroutine-per-site distributed database over a simulated
+//     network with failure injection, implementing the full §3.1 update
+//     protocol, §3.3 outcome propagation, and a blocking-2PC baseline.
+//   - Analysis: ModelParams (the §4.1 closed-form model, Table 1) and
+//     SimParams/SimRun (the §4.2 discrete-event simulation, Table 2).
+//
+// See the examples/ directory for runnable §5 application scenarios
+// (funds transfer, reservations, inventory control) and bench_test.go for
+// the harness that regenerates every table and figure in the paper.
+package polyvalues

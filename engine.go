@@ -1,0 +1,70 @@
+package polyvalues
+
+import (
+	"repro/internal/expr"
+	"repro/internal/polytxn"
+	"repro/internal/txn"
+)
+
+// ---------------------------------------------------------------------
+// Transactions and polytransaction execution
+// ---------------------------------------------------------------------
+
+// Txn is an identified deterministic transaction: a program of guarded
+// assignments over named items ("src = src - 50 if src >= 50; ...").
+type Txn = txn.T
+
+// Outcome is a transaction's fate: Pending, Committed, or Aborted.
+type Outcome = txn.Outcome
+
+// Transaction outcomes.
+const (
+	OutcomePending   = txn.Pending
+	OutcomeCommitted = txn.Committed
+	OutcomeAborted   = txn.Aborted
+)
+
+// NewTxn parses a transaction body.
+func NewTxn(id TID, src string) (Txn, error) { return txn.New(id, src) }
+
+// MustTxn is NewTxn that panics on parse errors.
+func MustTxn(id TID, src string) Txn { return txn.MustNew(id, src) }
+
+// NewIDGen returns a generator of process-unique transaction IDs with the
+// given prefix.
+func NewIDGen(prefix string) *txn.IDGen { return txn.NewIDGen(prefix) }
+
+// HistoryEntry pairs a transaction with its outcome for SerialApply.
+type HistoryEntry = txn.HistoryEntry
+
+// SerialApply executes the committed transactions of a history in order —
+// the atomicity oracle polyvalue executions must match once all outcomes
+// are known.
+func SerialApply(initial map[string]Value, history []HistoryEntry) (map[string]Value, error) {
+	return txn.SerialApply(initial, history)
+}
+
+// Executor runs transactions and queries against polyvalued state,
+// implementing §3.2 alternative-transaction partitioning.
+type Executor = polytxn.Executor
+
+// ExecResult is the outcome of a (poly)transaction's compute phase.
+type ExecResult = polytxn.Result
+
+// Program is a parsed transaction body.
+type Program = expr.Program
+
+// ParseProgram compiles transaction source text.
+func ParseProgram(src string) (Program, error) { return expr.Parse(src) }
+
+// Expr is a parsed read-only expression.
+type Expr = expr.Node
+
+// ParseExpr compiles a read-only query expression.
+func ParseExpr(src string) (Expr, error) { return expr.ParseExpr(src) }
+
+// Env supplies item values to Program.Eval.
+type Env = expr.Env
+
+// MapEnv is a map-backed Env with Nil fallback.
+type MapEnv = expr.MapEnv

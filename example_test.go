@@ -1,0 +1,141 @@
+package polyvalues_test
+
+import (
+	"fmt"
+	"time"
+
+	polyvalues "repro"
+)
+
+// The §3.1 in-doubt polyvalue: two possible values, conditioned on the
+// interrupted transaction's outcome.
+func ExampleUncertain() {
+	balance := polyvalues.Uncertain("T7",
+		polyvalues.Simple(polyvalues.Int(60)),
+		polyvalues.Simple(polyvalues.Int(100)))
+	fmt.Println(balance)
+	min, max, _ := balance.MinMax()
+	fmt.Printf("between %g and %g\n", min, max)
+	// Output:
+	// {<60, T7>, <100, !T7>}
+	// between 60 and 100
+}
+
+// Resolving an outcome (§3.3) collapses the polyvalue.
+func ExamplePoly_Resolve() {
+	balance := polyvalues.Uncertain("T7",
+		polyvalues.Simple(polyvalues.Int(60)),
+		polyvalues.Simple(polyvalues.Int(100)))
+	fmt.Println(balance.Resolve("T7", true))
+	fmt.Println(balance.Resolve("T7", false))
+	// Output:
+	// 60
+	// 100
+}
+
+// A polytransaction (§3.2) forks per possible input; outputs that agree
+// across alternatives come out certain.
+func ExampleExecutor() {
+	balance := polyvalues.Uncertain("T7",
+		polyvalues.Simple(polyvalues.Int(60)),
+		polyvalues.Simple(polyvalues.Int(100)))
+	ex := &polyvalues.Executor{}
+	res, err := ex.Execute(
+		polyvalues.MustTxn("T8", "ok = balance >= 50"),
+		func(string) polyvalues.Poly { return balance })
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Writes["ok"], res.Certain)
+	// Output:
+	// true true
+}
+
+// Probability-weighted uncertain outputs (§3.4 extension): in-doubt
+// transactions usually commit, so weight the branches.
+func ExamplePoly_Expected() {
+	balance := polyvalues.Uncertain("T7",
+		polyvalues.Simple(polyvalues.Int(60)),
+		polyvalues.Simple(polyvalues.Int(100)))
+	e, _ := balance.Expected(0.9)
+	fmt.Printf("%.1f\n", e)
+	// Output:
+	// 64.0
+}
+
+// A full cluster run: crash the coordinator at the critical moment,
+// watch the polyvalue appear, repair, and watch it resolve.
+func ExampleCluster() {
+	c, err := polyvalues.NewCluster(polyvalues.ClusterConfig{
+		Sites: []polyvalues.SiteID{"a", "b"},
+		Placement: func(item string) polyvalues.SiteID {
+			return "b" // all items on b; a coordinates
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer c.Close()
+	c.Load("x", polyvalues.Simple(polyvalues.Int(100)))
+
+	c.ArmCrashBeforeDecision("a")
+	c.Submit("a", "x = x - 40")
+	c.RunFor(2 * time.Second)
+	fmt.Println("in doubt:", c.Read("x"))
+
+	c.Restart("a") // no decision logged → presumed abort
+	c.RunFor(10 * time.Second)
+	fmt.Println("repaired:", c.Read("x"))
+	// Output:
+	// in doubt: {<60, t.T1>, <100, !t.T1>}
+	// repaired: 100
+}
+
+// The condition algebra: predicates over transaction outcomes in
+// canonical sum-of-products form.
+func ExampleParseCond() {
+	c, _ := polyvalues.ParseCond("T1&T2 | T1&!T2")
+	fmt.Println(c.Minimize())
+	fmt.Println(polyvalues.Committed("T1").Or(polyvalues.Aborted("T1")))
+	// Output:
+	// T1
+	// true
+}
+
+// §3.4's second option: withhold the answer until the uncertainty
+// resolves.
+func ExampleCluster_QueryCertain() {
+	c, err := polyvalues.NewCluster(polyvalues.ClusterConfig{
+		Sites:     []polyvalues.SiteID{"a", "b"},
+		Placement: func(string) polyvalues.SiteID { return "b" },
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer c.Close()
+	c.Load("x", polyvalues.Simple(polyvalues.Int(1)))
+	c.ArmCrashBeforeDecision("a")
+	c.Submit("a", "x = 2")
+	c.RunFor(2 * time.Second)
+
+	qh, _ := c.QueryCertain("b", "x", 60*time.Second)
+	c.RunFor(5 * time.Second)
+	_, _, done := qh.Result()
+	fmt.Println("answered while uncertain:", done)
+
+	c.Restart("a")
+	c.RunFor(30 * time.Second)
+	p, err, _ := qh.Result()
+	fmt.Println("after repair:", p, err)
+	// Output:
+	// answered while uncertain: false
+	// after repair: 1 <nil>
+}
+
+// The §4.1 analytic model, at the paper's typical operating point.
+func ExampleModelParams() {
+	p := polyvalues.ModelParams{U: 10, F: 0.0001, I: 1e6, R: 0.001, Y: 0, D: 1}
+	fmt.Printf("steady state: %.2f polyvalues\n", p.SteadyState())
+	// Output:
+	// steady state: 1.01 polyvalues
+}

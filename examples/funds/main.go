@@ -1,0 +1,103 @@
+// Funds transfer / credit authorization (§5): "the important effect
+// (distribution of funds or goods) depends only on the fact that the
+// relevant accounts contain enough funds, not on exactly how much."
+//
+// A bank runs on three sites.  A transfer is interrupted by a
+// coordinator crash at the critical 2PC moment, leaving two account
+// balances uncertain.  Credit authorizations against those accounts keep
+// being answered — promptly and correctly — because the answer is the
+// same under every possible balance.  When the failed site recovers, the
+// balances snap back to certainty.
+//
+//	go run ./examples/funds
+package main
+
+import (
+	"fmt"
+	"time"
+
+	polyvalues "repro"
+)
+
+func main() {
+	cluster, err := polyvalues.NewCluster(polyvalues.ClusterConfig{
+		Sites: []polyvalues.SiteID{"branch-east", "branch-west", "clearing"},
+		Net:   polyvalues.NetConfig{Latency: 10 * time.Millisecond},
+		Placement: func(item string) polyvalues.SiteID {
+			switch item[0] {
+			case 'e':
+				return "branch-east"
+			case 'w':
+				return "branch-west"
+			default:
+				return "clearing"
+			}
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer cluster.Close()
+
+	must(cluster.Load("east_alice", polyvalues.Simple(polyvalues.Int(800))))
+	must(cluster.Load("west_bob", polyvalues.Simple(polyvalues.Int(150))))
+
+	// A normal transfer commits cleanly.
+	h, err := cluster.Submit("clearing",
+		"east_alice = east_alice - 100 if east_alice >= 100;"+
+			"west_bob = west_bob + 100 if east_alice >= 100")
+	must(err)
+	cluster.RunFor(time.Second)
+	fmt.Println("transfer 1:", h.Status())
+	fmt.Println("  alice:", cluster.Read("east_alice"), " bob:", cluster.Read("west_bob"))
+
+	// The clearing house crashes at the critical moment of the next
+	// transfer: both branches are in the wait phase and no decision will
+	// ever arrive.  They time out and install polyvalues.
+	cluster.ArmCrashBeforeDecision("clearing")
+	h2, err := cluster.Submit("clearing",
+		"east_alice = east_alice - 50 if east_alice >= 50;"+
+			"west_bob = west_bob + 50 if east_alice >= 50")
+	must(err)
+	cluster.RunFor(2 * time.Second)
+	fmt.Println("\ntransfer 2:", h2.Status(), "(clearing house crashed mid-commit)")
+	fmt.Println("  alice:", cluster.Read("east_alice"))
+	fmt.Println("  bob:  ", cluster.Read("west_bob"))
+
+	// Credit authorization against the uncertain balance: alice has at
+	// least 650 under every outcome, so a 500 authorization is approved
+	// with a CERTAIN answer while the failure is still outstanding.
+	auth, err := cluster.Submit("branch-east", "east_auth = east_alice >= 500")
+	must(err)
+	cluster.RunFor(2 * time.Second)
+	fmt.Println("\nauthorize 500 against alice:", auth.Status())
+	fmt.Println("  approved:", cluster.Read("east_auth"), "(a simple value — uncertainty did not propagate)")
+
+	// An exact-balance query is honest about the uncertainty (§3.4): the
+	// teller sees both possibilities rather than waiting for repair.
+	q, err := cluster.Query("branch-west", "west_bob")
+	must(err)
+	cluster.RunFor(time.Second)
+	if p, qerr, done := q.Result(); done && qerr == nil {
+		min, max, _ := p.MinMax()
+		fmt.Printf("\nbob's balance right now: %s (somewhere in [%g, %g])\n", p, min, max)
+	}
+
+	// Repair: the clearing house restarts with no record of the
+	// decision, so the in-doubt transfer is presumed aborted and every
+	// polyvalue reduces.
+	cluster.Restart("clearing")
+	cluster.RunFor(10 * time.Second)
+	fmt.Println("\nafter repair:")
+	fmt.Println("  alice:", cluster.Read("east_alice"), " bob:", cluster.Read("west_bob"))
+	fmt.Println("  polyvalued items remaining:", len(cluster.PolyItems()))
+	st := cluster.Stats()
+	fmt.Printf("  protocol: %d committed, %d in doubt, %d polyvalue installs, %d reductions\n",
+		st.Committed, st.InDoubt, st.PolyInstalls, st.PolyReductions)
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,104 @@
+// Inventory / process control (§5): "real time operation is important;
+// however, the exact values of the items in the database are frequently
+// not needed for the important real time effects."
+//
+// A warehouse tracks stock across sites.  A replenishment transaction is
+// interrupted, leaving a stock level uncertain.  Order picking continues
+// against the PESSIMISTIC bound (ship only what is present under every
+// outcome), and a low-stock alarm fires on the pessimistic bound too —
+// the real-time control decisions never wait for the repair.
+//
+//	go run ./examples/inventory
+package main
+
+import (
+	"fmt"
+	"time"
+
+	polyvalues "repro"
+)
+
+func main() {
+	cluster, err := polyvalues.NewCluster(polyvalues.ClusterConfig{
+		Sites: []polyvalues.SiteID{"warehouse", "dock", "office"},
+		Net:   polyvalues.NetConfig{Latency: 10 * time.Millisecond},
+		Placement: func(item string) polyvalues.SiteID {
+			switch item[0] {
+			case 's':
+				return "warehouse"
+			case 'd':
+				return "dock"
+			default:
+				return "office"
+			}
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer cluster.Close()
+	must(cluster.Load("sku_widget", polyvalues.Simple(polyvalues.Int(12))))
+	must(cluster.Load("dock_shipped", polyvalues.Simple(polyvalues.Int(0))))
+
+	// Replenishment (+40) is interrupted at the critical moment: did the
+	// truck's delivery get recorded or not?
+	cluster.ArmCrashBeforeDecision("office")
+	h, err := cluster.Submit("office", "sku_widget = sku_widget + 40")
+	must(err)
+	cluster.RunFor(2 * time.Second)
+	fmt.Println("replenishment:", h.Status(), "(office crashed mid-commit)")
+	stock := cluster.Read("sku_widget")
+	min, max, _ := stock.MinMax()
+	fmt.Printf("stock: %s — between %g and %g units\n", stock, min, max)
+
+	// Order picking continues: ship 10 only if stock >= 10 under EVERY
+	// outcome.  The guard reads the polyvalue; because 12 >= 10 and
+	// 52 >= 10, all alternatives agree and the pick commits.
+	pick, err := cluster.Submit("dock",
+		"sku_widget = sku_widget - 10 if sku_widget >= 10;"+
+			"dock_shipped = dock_shipped + 10 if sku_widget >= 10")
+	must(err)
+	cluster.RunFor(2 * time.Second)
+	fmt.Println("\npick 10 units:", pick.Status())
+	fmt.Println("stock:", cluster.Read("sku_widget"))
+	fmt.Println("shipped:", cluster.Read("dock_shipped"), "(certain — both branches shipped 10)")
+
+	// A second large pick of 30 is where the branches disagree: only the
+	// replenished branch has stock.  The transaction still commits — its
+	// effect is conditional, captured faithfully in the polyvalues.
+	pick2, err := cluster.Submit("dock",
+		"sku_widget = sku_widget - 30 if sku_widget >= 30;"+
+			"dock_shipped = dock_shipped + 30 if sku_widget >= 30")
+	must(err)
+	cluster.RunFor(2 * time.Second)
+	fmt.Println("\npick 30 units:", pick2.Status())
+	fmt.Println("stock:", cluster.Read("sku_widget"))
+	fmt.Println("shipped:", cluster.Read("dock_shipped"))
+
+	// Real-time low-stock alarm on the pessimistic bound (§3.4): the
+	// controller acts on min(stock) without waiting.
+	q, err := cluster.Query("warehouse", "sku_widget")
+	must(err)
+	cluster.RunFor(time.Second)
+	if p, qerr, done := q.Result(); done && qerr == nil {
+		lo, hi, _ := p.MinMax()
+		fmt.Printf("\ncontrol loop reads stock in [%g, %g]; low-stock alarm (<5): %v\n",
+			lo, hi, lo < 5)
+	}
+
+	// Repair: the office restarts; the replenishment is presumed aborted
+	// and every quantity becomes exact again — including the shipped
+	// counter, which retroactively resolves to the branch that was real.
+	cluster.Restart("office")
+	cluster.RunFor(10 * time.Second)
+	fmt.Println("\nafter repair:")
+	fmt.Println("stock:  ", cluster.Read("sku_widget"))
+	fmt.Println("shipped:", cluster.Read("dock_shipped"))
+	fmt.Println("polyvalued items remaining:", len(cluster.PolyItems()))
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

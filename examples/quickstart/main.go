@@ -1,0 +1,61 @@
+// Quickstart: the polyvalue mechanism in five minutes.
+//
+// Demonstrates the §3 core without a cluster: constructing the in-doubt
+// polyvalue a site installs when two-phase commit is interrupted, running
+// a polytransaction over it, and reducing everything once the outcome is
+// known.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+
+	polyvalues "repro"
+)
+
+func main() {
+	// A two-phase commit was interrupted: transaction T7 was debiting an
+	// account from 100 to 60 when the coordinator vanished.  The site
+	// cannot know whether T7 committed, so it installs a polyvalue —
+	// {<60, T7>, <100, !T7>} — and keeps going (§3.1).
+	balance := polyvalues.Uncertain("T7",
+		polyvalues.Simple(polyvalues.Int(60)),
+		polyvalues.Simple(polyvalues.Int(100)))
+	fmt.Println("in-doubt balance:", balance)
+
+	// The item stays usable.  A later transaction reading it becomes a
+	// polytransaction (§3.2): it runs once per possible input value and
+	// writes a polyvalue recording every alternative outcome.
+	debit := polyvalues.MustTxn("T8", "balance = balance - 25 if balance >= 25")
+	ex := &polyvalues.Executor{}
+	res, err := ex.Execute(debit, func(item string) polyvalues.Poly { return balance })
+	if err != nil {
+		panic(err)
+	}
+	balance = res.Writes["balance"]
+	fmt.Printf("after a further debit (%d alternatives): %s\n", res.Alternatives, balance)
+
+	// Crucially, outputs that do not depend on WHICH value is real come
+	// out certain.  A credit check passes either way, so the answer is a
+	// simple value — no uncertainty propagates (§5, credit authorization).
+	check := polyvalues.MustTxn("T9", "ok = balance >= 30")
+	res2, err := ex.Execute(check, func(item string) polyvalues.Poly { return balance })
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("credit check >= 30 :", res2.Writes["ok"], "— certain:", res2.Certain)
+
+	// Range queries work on uncertainty directly: a reservation system
+	// books a seat as long as the LARGEST possible count fits (§5).
+	min, max, _ := balance.MinMax()
+	fmt.Printf("balance is somewhere in [%g, %g]\n", min, max)
+
+	// The failure is repaired and T7's outcome arrives (§3.3): replace
+	// T7 with true/false in every condition and simplify.  All
+	// uncertainty vanishes.
+	committed := balance.Resolve("T7", true)
+	aborted := balance.Resolve("T7", false)
+	fmt.Println("if T7 committed:", committed)
+	fmt.Println("if T7 aborted:  ", aborted)
+}

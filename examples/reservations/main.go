@@ -1,0 +1,104 @@
+// Reservations (§5): "if the number of reservations granted is a
+// polyvalue, then a new reservation can be granted so long as the largest
+// value in that polyvalue is less than the number of available rooms or
+// seats.  All alternative transactions of such a polytransaction will
+// decide to grant the reservation."
+//
+// A flight's booking counter becomes uncertain after a failure.  Seat
+// grants continue: the guard "booked < capacity" holds in every
+// alternative while there is room under the WORST case, so the grant
+// itself is unconditional even though the count is not.  Near capacity,
+// the uncertain counter correctly stops risky grants.
+//
+//	go run ./examples/reservations
+package main
+
+import (
+	"fmt"
+	"time"
+
+	polyvalues "repro"
+)
+
+const capacity = 150
+
+func main() {
+	cluster, err := polyvalues.NewCluster(polyvalues.ClusterConfig{
+		Sites: []polyvalues.SiteID{"gate", "desk", "ops"},
+		Net:   polyvalues.NetConfig{Latency: 10 * time.Millisecond},
+		Placement: func(item string) polyvalues.SiteID {
+			switch item[0] {
+			case 'f':
+				return "gate"
+			case 'l':
+				return "desk"
+			default:
+				return "ops"
+			}
+		},
+	})
+	if err != nil {
+		panic(err)
+	}
+	defer cluster.Close()
+	must(cluster.Load("flight101", polyvalues.Simple(polyvalues.Int(140))))
+	must(cluster.Load("log", polyvalues.Simple(polyvalues.Int(0))))
+
+	// A group booking of 4 is in flight when the ops site (coordinating)
+	// crashes at the critical moment: the gate can no longer know whether
+	// 140 or 144 seats are booked.
+	cluster.ArmCrashBeforeDecision("ops")
+	h, err := cluster.Submit("ops",
+		"flight101 = flight101 + 4 if flight101 + 4 <= 150;"+
+			"log = log + 1 if flight101 + 4 <= 150")
+	must(err)
+	cluster.RunFor(2 * time.Second)
+	fmt.Println("group booking:", h.Status(), "(ops crashed mid-commit)")
+	fmt.Println("booked counter:", cluster.Read("flight101"))
+
+	// Ticket agents keep selling.  Each grant is a polytransaction whose
+	// alternatives ALL decide yes while max(booked)+1 <= capacity.
+	granted, refused := 0, 0
+	for i := 0; i < 8; i++ {
+		g, err := cluster.Submit("gate",
+			fmt.Sprintf("flight101 = flight101 + 1 if flight101 + 1 <= %d", capacity))
+		must(err)
+		cluster.RunFor(time.Second)
+		booked := cluster.Read("flight101")
+		min, max, _ := booked.MinMax()
+		if g.Status() == polyvalues.StatusCommitted {
+			granted++
+			fmt.Printf("  sale %d: granted — booked now in [%g, %g]\n", i+1, min, max)
+		} else {
+			refused++
+			fmt.Printf("  sale %d: NOT granted (%s)\n", i+1, g.Reason())
+		}
+	}
+	fmt.Printf("sales while in doubt: %d granted, %d refused\n", granted, refused)
+
+	// The agent's availability screen shows the honest range (§3.4).
+	q, err := cluster.Query("desk", fmt.Sprintf("%d - flight101", capacity))
+	must(err)
+	cluster.RunFor(time.Second)
+	if p, qerr, done := q.Result(); done && qerr == nil {
+		min, max, _ := p.MinMax()
+		fmt.Printf("seats remaining: between %g and %g\n", min, max)
+	}
+
+	// Repair: ops restarts, the group booking is presumed aborted, and
+	// the counter collapses to a single number.
+	cluster.Restart("ops")
+	cluster.RunFor(10 * time.Second)
+	fmt.Println("\nafter repair, booked counter:", cluster.Read("flight101"))
+	if v, certain := cluster.Read("flight101").IsCertain(); certain {
+		n, _ := polyvalues.AsInt(v)
+		fmt.Printf("final: %d booked, %d seats free, overbooked: %v\n",
+			n, capacity-n, n > capacity)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/value"
+)
+
+// These tests pin the §5 application semantics end to end: the paper's
+// argument is that reservations, funds transfer and inventory control
+// stay *safe* while operating on uncertain data, because their guards
+// quantify over every alternative.
+
+// TestReservationsNeverOverbookUnderUncertainty: grants keep flowing
+// against a polyvalued counter, and no outcome assignment can exceed
+// capacity — the guard holds branch-by-branch.
+func TestReservationsNeverOverbookUnderUncertainty(t *testing.T) {
+	const capacity = 10
+	c := newTestCluster(t, PolicyPolyvalue)
+	loadInt(t, c, "bseats", 7)
+	// An in-doubt +2 group booking makes the counter {7, 9}.
+	c.ArmCrashBeforeDecision("A")
+	_, _ = c.Submit("A", fmt.Sprintf("bseats = bseats + 2 if bseats + 2 <= %d", capacity))
+	c.RunFor(2 * time.Second)
+	if _, certain := c.Read("bseats").IsCertain(); certain {
+		t.Fatal("setup: counter not uncertain")
+	}
+	// Sell until refused.
+	granted := 0
+	for i := 0; i < 8; i++ {
+		h, _ := c.Submit("B", fmt.Sprintf("bseats = bseats + 1 if bseats + 1 <= %d", capacity))
+		c.RunFor(time.Second)
+		if h.Status() == StatusCommitted {
+			granted++
+		}
+	}
+	// Safety: under EVERY outcome the counter is within capacity.
+	seats := c.Read("bseats")
+	_, max, ok := seats.MinMax()
+	if !ok || max > capacity {
+		t.Errorf("overbooked: %v (max %g > %d)", seats, max, capacity)
+	}
+	// Liveness: sales did proceed during the failure.
+	if granted == 0 {
+		t.Error("no seats sold while in doubt")
+	}
+	// After repair, the final count is a single value ≤ capacity.
+	c.Restart("A")
+	c.RunFor(30 * time.Second)
+	final := readInt(t, c, "bseats")
+	if final > capacity {
+		t.Errorf("final count %d exceeds capacity", final)
+	}
+	t.Logf("granted %d while in doubt; final %d/%d", granted, final, capacity)
+}
+
+// TestInventoryNeverShipsMissingStock: picks guard on the pessimistic
+// branch, so no outcome assignment ships goods that might not exist.
+func TestInventoryNeverShipsMissingStock(t *testing.T) {
+	c := newTestCluster(t, PolicyPolyvalue)
+	loadInt(t, c, "bstock", 5)
+	loadInt(t, c, "cshipped", 0)
+	// In-doubt +20 replenishment: stock is {5, 25}.
+	c.ArmCrashBeforeDecision("A")
+	_, _ = c.Submit("A", "bstock = bstock + 20")
+	c.RunFor(2 * time.Second)
+	// A pick of 10 must NOT ship unconditionally (only one branch has
+	// stock) — its effect stays conditional.
+	h, _ := c.Submit("C",
+		"bstock = bstock - 10 if bstock >= 10; cshipped = cshipped + 10 if bstock >= 10")
+	c.RunFor(2 * time.Second)
+	if h.Status() != StatusCommitted {
+		t.Fatalf("pick: %v (%s)", h.Status(), h.Reason())
+	}
+	shipped := c.Read("cshipped")
+	if _, certain := shipped.IsCertain(); certain {
+		t.Fatalf("conditional ship came out certain: %v", shipped)
+	}
+	// Resolve to the aborted branch: replenishment never happened, so
+	// nothing was shipped and stock is intact.
+	c.Restart("A")
+	c.RunFor(30 * time.Second)
+	if got := readInt(t, c, "cshipped"); got != 0 {
+		t.Errorf("shipped %d units that never existed", got)
+	}
+	if got := readInt(t, c, "bstock"); got != 5 {
+		t.Errorf("bstock = %d, want 5", got)
+	}
+}
+
+// TestCreditAuthorizationPromptAndSafe: authorizations answer promptly
+// and correctly during the failure, in both the clearly-sufficient and
+// clearly-insufficient regimes; only the boundary case is uncertain.
+func TestCreditAuthorizationPromptAndSafe(t *testing.T) {
+	c := newTestCluster(t, PolicyPolyvalue)
+	loadInt(t, c, "bbal", 500)
+	c.ArmCrashBeforeDecision("A")
+	_, _ = c.Submit("A", "bbal = bbal - 100")
+	c.RunFor(2 * time.Second) // bbal is {400, 500}
+
+	cases := []struct {
+		amount  int
+		certain bool
+		approve bool
+	}{
+		{300, true, true},   // ≤ 400: yes either way
+		{600, true, false},  // > 500: no either way
+		{450, false, false}, // between: honestly uncertain
+	}
+	for i, tc := range cases {
+		item := fmt.Sprintf("cauth%d", i)
+		h, _ := c.Submit("C", fmt.Sprintf("%s = bbal >= %d", item, tc.amount))
+		c.RunFor(2 * time.Second)
+		if h.Status() != StatusCommitted {
+			t.Fatalf("auth %d: %v (%s)", tc.amount, h.Status(), h.Reason())
+		}
+		got := c.Read(item)
+		v, certain := got.IsCertain()
+		if certain != tc.certain {
+			t.Errorf("auth %d: certainty = %v, want %v (%v)", tc.amount, certain, tc.certain, got)
+			continue
+		}
+		if certain && !v.Equal(value.Bool(tc.approve)) {
+			t.Errorf("auth %d: %v, want %v", tc.amount, v, tc.approve)
+		}
+	}
+}
+
+// TestFundsConservationThroughPolytransactionChains: a chain of
+// transfers over a polyvalued account conserves total money in every
+// branch, not just in expectation.
+func TestFundsConservationThroughPolytransactionChains(t *testing.T) {
+	c := newTestCluster(t, PolicyPolyvalue)
+	loadInt(t, c, "ba", 100)
+	loadInt(t, c, "cb", 100)
+	c.ArmCrashBeforeDecision("A")
+	_, _ = c.Submit("A", "ba = ba - 30; cb = cb + 30")
+	c.RunFor(2 * time.Second)
+	// Two more transfers over the uncertain accounts.
+	for i := 0; i < 2; i++ {
+		h, _ := c.Submit("B", "ba = ba - 10 if ba >= 10; cb = cb + 10 if ba >= 10")
+		c.RunFor(2 * time.Second)
+		if h.Status() != StatusCommitted {
+			t.Fatalf("transfer %d: %v (%s)", i, h.Status(), h.Reason())
+		}
+	}
+	// Sum is 200 under every outcome: query the sum — it must be a
+	// certain 200 even though both accounts are polyvalues.
+	q, _ := c.Query("C", "ba + cb")
+	c.RunFor(2 * time.Second)
+	p, err, done := q.Result()
+	if !done || err != nil {
+		t.Fatalf("sum query: %v %v", err, done)
+	}
+	if v, certain := p.IsCertain(); !certain || !v.Equal(value.Int(200)) {
+		t.Errorf("sum = %v, want certain 200", p)
+	}
+}

@@ -1,0 +1,364 @@
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"path/filepath"
+
+	"repro/internal/expr"
+	"repro/internal/metrics"
+	"repro/internal/network"
+	"repro/internal/polyvalue"
+	"repro/internal/protocol"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/vclock"
+)
+
+// Stats aggregates cluster-wide outcome counters.
+type Stats struct {
+	Committed int64
+	Aborted   int64
+	// InDoubt counts wait-phase timeouts: transactions converted to
+	// polyvalues (polyvalue policy) or blocked (blocking policy).
+	InDoubt int64
+	// PolyInstalls counts polyvalues written to stores (per item).
+	PolyInstalls int64
+	// PolyReductions counts polyvalue reductions driven by learned
+	// outcomes (per item).
+	PolyReductions int64
+	// Refused counts participant refusals (lock conflicts, compute
+	// errors).
+	Refused int64
+}
+
+// Cluster wires sites, network and scheduler together.
+type Cluster struct {
+	cfg   Config
+	sched *vclock.Scheduler
+	net   *network.Network
+	sites map[protocol.SiteID]*Site
+	order []protocol.SiteID
+	logs  []*storage.FileLog
+	ids   *txn.IDGen
+	qids  *txn.IDGen
+
+	committed      metrics.Counter
+	aborted        metrics.Counter
+	inDoubt        metrics.Counter
+	polyInstalls   metrics.Counter
+	polyReductions metrics.Counter
+	refused        metrics.Counter
+	latency        metrics.Histogram
+}
+
+// New builds a cluster; sites start up immediately.
+func New(cfg Config) (*Cluster, error) {
+	if len(cfg.Sites) == 0 {
+		return nil, fmt.Errorf("cluster: no sites configured")
+	}
+	seen := map[protocol.SiteID]bool{}
+	for _, s := range cfg.Sites {
+		if seen[s] {
+			return nil, fmt.Errorf("cluster: duplicate site %q", s)
+		}
+		seen[s] = true
+	}
+	cfg.fillDefaults()
+	c := &Cluster{
+		cfg:   cfg,
+		sched: vclock.NewScheduler(),
+		sites: map[protocol.SiteID]*Site{},
+		order: append([]protocol.SiteID{}, cfg.Sites...),
+		ids:   txn.NewIDGen("t"),
+		qids:  txn.NewIDGen("q"),
+	}
+	c.net = network.New(c.sched, cfg.Net)
+	for _, id := range cfg.Sites {
+		store := storage.NewStore()
+		if cfg.DataDir != "" {
+			var log *storage.FileLog
+			var err error
+			store, log, err = storage.OpenFileStore(filepath.Join(cfg.DataDir, string(id)+".wal"))
+			if err != nil {
+				return nil, fmt.Errorf("cluster: site %s: %w", id, err)
+			}
+			c.logs = append(c.logs, log)
+		}
+		s := newSite(c, id, store)
+		c.sites[id] = s
+		c.net.Register(id, s.onMessage)
+	}
+	// Process-restart semantics for persistent clusters: any site that
+	// recovered in-doubt state converts it exactly as a site restart
+	// would, as the first scheduled event.
+	if cfg.DataDir != "" {
+		for _, id := range cfg.Sites {
+			site := c.sites[id]
+			c.sched.At(0, func() {
+				site.do(func() { site.recoverDurableState() })
+			})
+		}
+	}
+	return c, nil
+}
+
+// Close stops every site goroutine and flushes/closes any file-backed
+// WALs.  The cluster must be idle (no event currently dispatching).
+func (c *Cluster) Close() {
+	for _, s := range c.sites {
+		s.close()
+	}
+	for _, log := range c.logs {
+		if err := log.Close(); err != nil {
+			c.trace("close %s: %v", log.Path(), err)
+		}
+	}
+	c.logs = nil
+}
+
+// Placement returns the owning site for an item.
+func (c *Cluster) Placement(item string) protocol.SiteID {
+	if c.cfg.Placement != nil {
+		return c.cfg.Placement(item)
+	}
+	h := fnv.New32a()
+	h.Write([]byte(item))
+	return c.order[int(h.Sum32())%len(c.order)]
+}
+
+// Now returns the simulated time.
+func (c *Cluster) Now() vclock.Time { return c.sched.Now() }
+
+// RunUntil advances simulated time, executing all events up to t.
+func (c *Cluster) RunUntil(t vclock.Time) { c.sched.RunUntil(t) }
+
+// RunFor advances simulated time by d.
+func (c *Cluster) RunFor(d vclock.Time) { c.sched.RunUntil(c.sched.Now() + d) }
+
+// Step executes the next scheduled event; false when idle.
+func (c *Cluster) Step() bool { return c.sched.Step() }
+
+// Submit starts a transaction with the given site as coordinator.  The
+// returned handle resolves as events run (RunUntil / RunFor / Step).
+func (c *Cluster) Submit(coord protocol.SiteID, src string) (*Handle, error) {
+	site, ok := c.sites[coord]
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown site %q", coord)
+	}
+	t, err := txn.New(c.ids.Next(), src)
+	if err != nil {
+		return nil, err
+	}
+	h := &Handle{TID: t.ID, submitted: c.sched.Now()}
+	c.sched.At(c.sched.Now(), func() {
+		site.do(func() { site.beginTxn(t, h) })
+	})
+	return h, nil
+}
+
+// Query starts a read-only query (an expression over items) with the
+// given site as coordinator.  The result may be a polyvalue; per §3.4
+// the caller chooses whether to present the uncertainty or wait.
+func (c *Cluster) Query(coord protocol.SiteID, exprSrc string) (*QueryHandle, error) {
+	site, ok := c.sites[coord]
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown site %q", coord)
+	}
+	node, err := expr.ParseExpr(exprSrc)
+	if err != nil {
+		return nil, err
+	}
+	qh := &QueryHandle{}
+	qid := c.qids.Next()
+	c.sched.At(c.sched.Now(), func() {
+		site.do(func() { site.beginQuery(qid, node, qh, 0) })
+	})
+	return qh, nil
+}
+
+// QueryCertain is §3.4's second option: "withhold those outputs until
+// the uncertainty is resolved."  The query re-polls while its answer is
+// a polyvalue; if it has not become certain within wait (simulated
+// time), the handle completes with ErrStillUncertain alongside the
+// uncertain answer, letting the caller decide what to do with it.
+func (c *Cluster) QueryCertain(coord protocol.SiteID, exprSrc string, wait vclock.Time) (*QueryHandle, error) {
+	site, ok := c.sites[coord]
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown site %q", coord)
+	}
+	if wait <= 0 {
+		return nil, fmt.Errorf("cluster: QueryCertain needs a positive wait, got %v", wait)
+	}
+	node, err := expr.ParseExpr(exprSrc)
+	if err != nil {
+		return nil, err
+	}
+	qh := &QueryHandle{}
+	qid := c.qids.Next()
+	deadline := c.sched.Now() + wait
+	c.sched.At(c.sched.Now(), func() {
+		site.do(func() { site.beginQuery(qid, node, qh, deadline) })
+	})
+	return qh, nil
+}
+
+// Load installs an initial value directly at the owning site, outside any
+// transaction (bootstrap only; uses the store, not the protocol).
+func (c *Cluster) Load(item string, p polyvalue.Poly) error {
+	site := c.sites[c.Placement(item)]
+	var err error
+	site.do(func() { err = site.store.Put(item, p) })
+	return err
+}
+
+// Read returns the current value of an item straight from its owning
+// site's store (inspection; not a protocol read).
+func (c *Cluster) Read(item string) polyvalue.Poly {
+	site := c.sites[c.Placement(item)]
+	var p polyvalue.Poly
+	site.do(func() { p = site.store.Get(item) })
+	return p
+}
+
+// Crash takes a site down: volatile state (locks, in-flight transaction
+// contexts, timers) is lost; the WAL-backed store survives.
+func (c *Cluster) Crash(id protocol.SiteID) {
+	site := c.sites[id]
+	site.do(func() { site.crash() })
+}
+
+// Restart brings a crashed site back: it recovers from its store, and —
+// under the polyvalue policy — converts any prepared-but-unresolved
+// transactions to polyvalues so processing can continue immediately.
+func (c *Cluster) Restart(id protocol.SiteID) {
+	site := c.sites[id]
+	site.do(func() { site.restart() })
+}
+
+// IsDown reports whether the site is crashed.
+func (c *Cluster) IsDown(id protocol.SiteID) bool { return c.net.IsDown(id) }
+
+// Partition severs the link between two sites.
+func (c *Cluster) Partition(a, b protocol.SiteID) { c.net.Partition(a, b) }
+
+// Heal restores the link between two sites.
+func (c *Cluster) Heal(a, b protocol.SiteID) { c.net.Heal(a, b) }
+
+// HealAll restores all links.  Crashed sites stay crashed until Restart;
+// only link cuts are healed here.
+func (c *Cluster) HealAll() {
+	for i, a := range c.order {
+		for _, b := range c.order[i+1:] {
+			c.net.Heal(a, b)
+		}
+	}
+}
+
+// ArmCrashBeforeDecision makes the site crash the instant it would next
+// decide COMMIT as a coordinator — after collecting every ready message,
+// before logging or sending complete.  This is the paper's "critical
+// moment": every participant is in the wait phase with no decision
+// coming.  One-shot.
+func (c *Cluster) ArmCrashBeforeDecision(id protocol.SiteID) {
+	site := c.sites[id]
+	site.do(func() { site.crashBeforeDecision = true })
+}
+
+// Sites returns the site IDs in configuration order.
+func (c *Cluster) Sites() []protocol.SiteID {
+	return append([]protocol.SiteID{}, c.order...)
+}
+
+// Store exposes a site's store for inspection and invariant checks.
+func (c *Cluster) Store(id protocol.SiteID) *storage.Store { return c.sites[id].store }
+
+// PolyItems returns every item currently holding a polyvalue, across all
+// sites, sorted per site order.
+func (c *Cluster) PolyItems() []string {
+	var out []string
+	for _, id := range c.order {
+		site := c.sites[id]
+		var items []string
+		site.do(func() { items = site.store.PolyItems() })
+		out = append(out, items...)
+	}
+	return out
+}
+
+// SiteInfo is an observability snapshot of one site.
+type SiteInfo struct {
+	ID protocol.SiteID
+	// Down reports the crash state.
+	Down bool
+	// Items and PolyItems count stored and currently-uncertain items.
+	Items, PolyItems int
+	// Prepared counts in-doubt transactions not yet settled locally.
+	Prepared int
+	// Awaits counts outcome-request loops pending against coordinators.
+	Awaits int
+	// WALBytes is the current log size.
+	WALBytes int
+	// Locks counts items currently locked by in-flight transactions.
+	Locks int
+}
+
+// SiteInfo snapshots one site's observable state.
+func (c *Cluster) SiteInfo(id protocol.SiteID) (SiteInfo, error) {
+	site, ok := c.sites[id]
+	if !ok {
+		return SiteInfo{}, fmt.Errorf("cluster: unknown site %q", id)
+	}
+	var info SiteInfo
+	site.do(func() {
+		info = SiteInfo{
+			ID:        id,
+			Down:      site.down,
+			Items:     len(site.store.Items()),
+			PolyItems: len(site.store.PolyItems()),
+			Prepared:  len(site.store.PreparedTxns()),
+			Awaits:    len(site.store.Awaits()),
+			WALBytes:  site.store.WALSize(),
+			Locks:     len(site.locks),
+		}
+	})
+	return info, nil
+}
+
+// Snapshot copies every item across all sites into one map (inspection
+// and debugging; not a consistent cut while transactions are in flight).
+func (c *Cluster) Snapshot() map[string]polyvalue.Poly {
+	out := map[string]polyvalue.Poly{}
+	for _, id := range c.order {
+		site := c.sites[id]
+		site.do(func() {
+			for _, item := range site.store.Items() {
+				out[item] = site.store.Get(item)
+			}
+		})
+	}
+	return out
+}
+
+// Stats snapshots the cluster counters.
+func (c *Cluster) Stats() Stats {
+	return Stats{
+		Committed:      c.committed.Value(),
+		Aborted:        c.aborted.Value(),
+		InDoubt:        c.inDoubt.Value(),
+		PolyInstalls:   c.polyInstalls.Value(),
+		PolyReductions: c.polyReductions.Value(),
+		Refused:        c.refused.Value(),
+	}
+}
+
+// LatencyHistogram exposes the committed-transaction latency
+// distribution (simulated seconds).
+func (c *Cluster) LatencyHistogram() *metrics.Histogram { return &c.latency }
+
+// NetStats exposes network counters.
+func (c *Cluster) NetStats() network.Stats { return c.net.Stats() }
+
+func (c *Cluster) trace(format string, args ...any) {
+	c.cfg.Tracer.Event(format, args...)
+}

@@ -1,0 +1,136 @@
+// Package cluster is the distributed-database runtime: one goroutine per
+// site, a simulated network, and the paper's update protocol end to end —
+// read collection, two-phase commit, wait-phase timeout with polyvalue
+// installation (§3.1), polytransaction execution (§3.2), and distributed
+// outcome propagation (§3.3).
+//
+// Determinism: although each site runs as its own goroutine, every
+// message delivery and timer fires from the cluster's single
+// discrete-event scheduler, and the dispatching event blocks until the
+// target site finishes processing.  At most one goroutine is ever active,
+// so a run is a pure function of (configuration, seed, submitted work) —
+// which is what lets the failure-injection tests assert exact outcomes.
+package cluster
+
+import (
+	"time"
+
+	"repro/internal/network"
+	"repro/internal/protocol"
+	"repro/internal/trace"
+)
+
+// Policy selects the participant's behaviour when the wait phase times
+// out.
+type Policy uint8
+
+const (
+	// PolicyPolyvalue is the paper's mechanism: install polyvalues for
+	// the transaction's updates and return to idle, keeping the items
+	// available (§3.1).
+	PolicyPolyvalue Policy = iota
+	// PolicyBlocking is the classic 2PC baseline: hold the items locked
+	// until the outcome is learned.  Used by the A1 ablation benchmark.
+	PolicyBlocking
+	// PolicyArbitrary is the paper's §2.3 "relaxed consistency" baseline:
+	// the in-doubt site makes an arbitrary local decision to complete or
+	// abort.  Processing continues (like polyvalues) but atomicity can be
+	// violated — some sites may apply a transaction others discarded.
+	// Used by the A3 ablation benchmark.
+	PolicyArbitrary
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyBlocking:
+		return "blocking"
+	case PolicyArbitrary:
+		return "arbitrary"
+	default:
+		return "polyvalue"
+	}
+}
+
+// Config parameterizes a cluster.
+type Config struct {
+	// Sites lists the site identifiers; at least one.
+	Sites []protocol.SiteID
+	// Net configures latency/jitter/seed of the simulated network.
+	Net network.Config
+	// WaitTimeout is how long a participant waits for complete/abort
+	// before installing polyvalues (or blocking, per Policy).
+	// Default 250ms (simulated).
+	WaitTimeout time.Duration
+	// ReadyTimeout is how long the coordinator collects ready messages
+	// before aborting.  Default 250ms (simulated).
+	ReadyTimeout time.Duration
+	// LockTimeout is how long a read-locked participant waits for the
+	// prepare message before unilaterally releasing (the coordinator must
+	// have failed before prepare; it can never commit without our ready).
+	// Default: WaitTimeout.
+	LockTimeout time.Duration
+	// RetryInterval paces outcome-request retries from in-doubt sites.
+	// Default 500ms (simulated).
+	RetryInterval time.Duration
+	// OutcomeTTL is how long an outcome record is retained after every
+	// participant has acknowledged it (coordinator side) or after local
+	// dependencies are cleared (participant side), before being
+	// garbage-collected per §3.3.  0 means the default 5s (simulated);
+	// negative disables GC entirely.
+	OutcomeTTL time.Duration
+	// CheckpointBytes triggers a WAL compaction whenever a site's log
+	// exceeds this size.  0 means the default 256 KiB; negative disables
+	// auto-checkpointing.
+	CheckpointBytes int
+	// Policy selects wait-phase timeout behaviour.  Default
+	// PolicyPolyvalue.
+	Policy Policy
+	// Tracer receives protocol events; nil means no tracing.
+	Tracer trace.Tracer
+	// Placement maps an item to its owning site; nil means FNV-hash over
+	// Sites.  Must be deterministic.
+	Placement func(item string) protocol.SiteID
+	// DisableReadOnlyOpt turns off the read-only participant
+	// optimization: by default a participant holding only read items
+	// votes ready-read-only, releases immediately, and is excluded from
+	// the decision round.
+	DisableReadOnlyOpt bool
+	// DisableOnePhaseOpt turns off the §2.1 "lock avoidance"
+	// optimization: by default a transaction whose items all live on the
+	// coordinating site commits locally in one step — no prepare/ready
+	// round, no in-doubt window, no messages at all.
+	DisableOnePhaseOpt bool
+	// MaxAlternatives caps polytransaction fan-out (0 = package default).
+	MaxAlternatives int
+	// DataDir, when set, backs every site's store with a file WAL
+	// (<DataDir>/<site>.wal).  A cluster re-created over the same
+	// directory recovers each site's durable state — including in-doubt
+	// transactions, which convert to polyvalues exactly as a site restart
+	// would.  Close flushes and closes the logs.
+	DataDir string
+}
+
+func (c *Config) fillDefaults() {
+	if c.WaitTimeout <= 0 {
+		c.WaitTimeout = 250 * time.Millisecond
+	}
+	if c.ReadyTimeout <= 0 {
+		c.ReadyTimeout = 250 * time.Millisecond
+	}
+	if c.LockTimeout <= 0 {
+		c.LockTimeout = c.WaitTimeout
+	}
+	if c.RetryInterval <= 0 {
+		c.RetryInterval = 500 * time.Millisecond
+	}
+	if c.OutcomeTTL == 0 {
+		c.OutcomeTTL = 5 * time.Second
+	}
+	if c.CheckpointBytes == 0 {
+		c.CheckpointBytes = 256 << 10
+	}
+	if c.Tracer == nil {
+		c.Tracer = trace.Nop{}
+	}
+}

@@ -1,0 +1,119 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/network"
+	"repro/internal/polyvalue"
+	"repro/internal/protocol"
+	"repro/internal/value"
+)
+
+func newPersistentCluster(t *testing.T, dir string) *Cluster {
+	t.Helper()
+	c, err := New(Config{
+		Sites:   []protocol.SiteID{"A", "B", "C"},
+		Net:     network.Config{Latency: 10 * time.Millisecond},
+		DataDir: dir,
+		Placement: func(item string) protocol.SiteID {
+			switch item[0] {
+			case 'a':
+				return "A"
+			case 'b':
+				return "B"
+			default:
+				return "C"
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestDataDirSurvivesProcessRestart: committed data persists across a
+// full cluster teardown and re-creation over the same directory.
+func TestDataDirSurvivesProcessRestart(t *testing.T) {
+	dir := t.TempDir()
+	c1 := newPersistentCluster(t, dir)
+	if err := c1.Load("bx", polyvalue.Simple(value.Int(100))); err != nil {
+		t.Fatal(err)
+	}
+	h, _ := c1.Submit("A", "bx = bx - 30")
+	c1.RunFor(time.Second)
+	if h.Status() != StatusCommitted {
+		t.Fatalf("status = %v", h.Status())
+	}
+	c1.Close()
+
+	c2 := newPersistentCluster(t, dir)
+	defer c2.Close()
+	c2.RunFor(time.Second)
+	if v, ok := c2.Read("bx").IsCertain(); !ok || !v.Equal(value.Int(70)) {
+		t.Errorf("bx after process restart = %v", c2.Read("bx"))
+	}
+}
+
+// TestDataDirInDoubtAcrossProcessRestart: the whole cluster process dies
+// while participants are in the wait phase; the next process converts
+// the recovered prepared entries to polyvalues and eventually resolves
+// them by presumed abort.
+func TestDataDirInDoubtAcrossProcessRestart(t *testing.T) {
+	dir := t.TempDir()
+	c1 := newPersistentCluster(t, dir)
+	if err := c1.Load("bx", polyvalue.Simple(value.Int(100))); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.Load("cy", polyvalue.Simple(value.Int(0))); err != nil {
+		t.Fatal(err)
+	}
+	c1.ArmCrashBeforeDecision("A")
+	_, _ = c1.Submit("A", "bx = bx - 40; cy = cy + 40")
+	// Run just past the readies (~40ms) but NOT past the wait timeout:
+	// the participants are in doubt with prepared WAL entries.
+	c1.RunFor(60 * time.Millisecond)
+	if n := len(c1.Store("B").PreparedTxns()); n != 1 {
+		t.Fatalf("B prepared entries = %d; timing drifted", n)
+	}
+	c1.Close() // the whole "process" dies
+
+	c2 := newPersistentCluster(t, dir)
+	defer c2.Close()
+	// Recovery at t=0 converts the in-doubt updates to polyvalues; the
+	// outcome request to A answers (presumed abort) after one round trip
+	// (~20ms), so observe the polyvalues just before that.
+	c2.RunFor(15 * time.Millisecond)
+	if polys := c2.PolyItems(); len(polys) != 2 {
+		t.Fatalf("recovered polys = %v", polys)
+	}
+	// The items are available immediately.
+	h, _ := c2.Submit("B", "bx = bx - 1")
+	c2.RunFor(2 * time.Second)
+	if h.Status() != StatusCommitted {
+		t.Fatalf("follow-up: %v (%s)", h.Status(), h.Reason())
+	}
+	// The outcome requests to A resolve by presumed abort (A's fresh
+	// store has no record of the old transaction).
+	c2.RunFor(30 * time.Second)
+	if polys := c2.PolyItems(); len(polys) != 0 {
+		t.Fatalf("unresolved polys after recovery: %v", polys)
+	}
+	if v, ok := c2.Read("bx").IsCertain(); !ok || !v.Equal(value.Int(99)) {
+		t.Errorf("bx = %v, want 99", c2.Read("bx"))
+	}
+	if v, ok := c2.Read("cy").IsCertain(); !ok || !v.Equal(value.Int(0)) {
+		t.Errorf("cy = %v, want 0", c2.Read("cy"))
+	}
+}
+
+func TestDataDirBadPath(t *testing.T) {
+	_, err := New(Config{
+		Sites:   []protocol.SiteID{"A"},
+		DataDir: "/nonexistent/deeply/nested/dir",
+	})
+	if err == nil {
+		t.Error("bad DataDir accepted")
+	}
+}

@@ -1,0 +1,23 @@
+package cluster
+
+import (
+	"errors"
+
+	"repro/internal/value"
+)
+
+// errSiteDown reports a query or submission landing on a crashed site.
+var errSiteDown = errors.New("cluster: site is down")
+
+// errReadTimeout reports a query that could not gather its inputs before
+// the read deadline (some owning site unreachable).
+var errReadTimeout = errors.New("cluster: read timeout")
+
+// ErrStillUncertain reports a certain-mode query whose answer was still a
+// polyvalue when its deadline expired (§3.4: the caller chose to wait for
+// the uncertainty to resolve, and it did not resolve in time).  The
+// handle still carries the uncertain answer.
+var ErrStillUncertain = errors.New("cluster: answer still uncertain at deadline")
+
+// nilValue is the default content of never-written items.
+func nilValue() value.V { return value.Nil{} }

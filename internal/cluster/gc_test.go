@@ -1,0 +1,129 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/network"
+	"repro/internal/polyvalue"
+	"repro/internal/protocol"
+	"repro/internal/value"
+)
+
+// TestOutcomeRecordsGarbageCollected: after a clean commit every site
+// acknowledges the outcome, and once the TTL passes no site remembers it
+// (§3.3: outcome bookkeeping "should be quickly deleted when no longer
+// needed").
+func TestOutcomeRecordsGarbageCollected(t *testing.T) {
+	c := newTestCluster(t, PolicyPolyvalue)
+	loadInt(t, c, "ax", 1)
+	loadInt(t, c, "by", 1)
+	h, _ := c.Submit("A", "ax = ax + by")
+	c.RunFor(time.Second)
+	if h.Status() != StatusCommitted {
+		t.Fatal("setup failed")
+	}
+	// Immediately after commit the coordinator still remembers.
+	if _, known := c.Store("A").Outcome(h.TID); !known {
+		t.Fatal("outcome not recorded at coordinator")
+	}
+	// After the TTL (default 5s simulated) everyone has forgotten.
+	c.RunFor(30 * time.Second)
+	for _, id := range c.Sites() {
+		if _, known := c.Store(id).Outcome(h.TID); known {
+			t.Errorf("site %s still remembers %s", id, h.TID)
+		}
+	}
+}
+
+// TestOutcomeRetainedUntilInDoubtParticipantSettles: the coordinator
+// must NOT forget a commit while some participant still needs it.
+func TestOutcomeRetainedUntilInDoubtParticipantSettles(t *testing.T) {
+	c := newTestCluster(t, PolicyPolyvalue)
+	loadInt(t, c, "bsrc", 100)
+	loadInt(t, c, "cdst", 0)
+	// Lose the complete messages to both participants.
+	c.sched.After(45*time.Millisecond, func() {
+		c.Partition("A", "B")
+		c.Partition("A", "C")
+	})
+	h, _ := c.Submit("A", "bsrc = bsrc - 40; cdst = cdst + 40")
+	// Run far past the TTL with the partition still up.
+	c.RunFor(60 * time.Second)
+	if h.Status() != StatusCommitted {
+		t.Fatal("setup failed")
+	}
+	if _, known := c.Store("A").Outcome(h.TID); !known {
+		t.Fatal("coordinator forgot a commit that in-doubt participants still need")
+	}
+	// Heal: participants fetch the outcome, settle, ack; then GC runs.
+	c.HealAll()
+	c.RunFor(60 * time.Second)
+	if got := readInt(t, c, "bsrc"); got != 60 {
+		t.Errorf("bsrc = %d", got)
+	}
+	if _, known := c.Store("A").Outcome(h.TID); known {
+		t.Error("outcome survived GC after all participants settled")
+	}
+}
+
+// TestOutcomeGCDisabled: negative TTL keeps records forever.
+func TestOutcomeGCDisabled(t *testing.T) {
+	c, err := New(Config{
+		Sites:      []protocol.SiteID{"A", "B"},
+		Net:        network.Config{Latency: 10 * time.Millisecond},
+		OutcomeTTL: -1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	if err := c.Load("x", polyvalue.Simple(value.Int(1))); err != nil {
+		t.Fatal(err)
+	}
+	h, _ := c.Submit("A", "x = x + 1")
+	c.RunFor(60 * time.Second)
+	if h.Status() != StatusCommitted {
+		t.Fatal("setup failed")
+	}
+	coord := c.Placement("x")
+	_ = coord
+	if _, known := c.Store("A").Outcome(h.TID); !known {
+		t.Error("outcome forgotten with GC disabled")
+	}
+}
+
+// TestWALAutoCheckpoint: a busy site's log stays bounded.
+func TestWALAutoCheckpoint(t *testing.T) {
+	c, err := New(Config{
+		Sites:           []protocol.SiteID{"A", "B"},
+		Net:             network.Config{Latency: time.Millisecond},
+		CheckpointBytes: 4 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	if err := c.Load("x", polyvalue.Simple(value.Int(0))); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		h, _ := c.Submit("A", "x = x + 1")
+		c.RunFor(time.Second)
+		if h.Status() != StatusCommitted {
+			t.Fatalf("txn %d: %v", i, h.Status())
+		}
+	}
+	owner := c.Placement("x")
+	size := c.Store(owner).WALSize()
+	if size > 64<<10 {
+		t.Errorf("WAL grew to %d bytes despite 4KiB checkpoint threshold", size)
+	}
+	// And the data survives a crash/restart cycle post-checkpoint.
+	c.Crash(owner)
+	c.Restart(owner)
+	c.RunFor(time.Second)
+	if v, ok := c.Read("x").IsCertain(); !ok || !v.Equal(value.Int(300)) {
+		t.Errorf("x after checkpointed recovery = %v", c.Read("x"))
+	}
+}

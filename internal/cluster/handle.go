@@ -1,0 +1,114 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/polyvalue"
+	"repro/internal/txn"
+	"repro/internal/vclock"
+)
+
+// Status is the client-visible state of a submitted transaction.
+type Status uint8
+
+const (
+	// StatusPending: no decision has reached the client yet.  If the
+	// coordinator failed, the transaction may already be in doubt at
+	// participants (inspect the stores / poly counts).
+	StatusPending Status = iota
+	// StatusCommitted: the coordinator decided commit.
+	StatusCommitted
+	// StatusAborted: the coordinator decided abort (refusal, lock
+	// conflict, computation error, or ready-collection timeout).
+	StatusAborted
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusPending:
+		return "pending"
+	case StatusCommitted:
+		return "committed"
+	case StatusAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("status(%d)", uint8(s))
+	}
+}
+
+// Handle tracks one submitted transaction from the client's side.
+type Handle struct {
+	TID txn.ID
+
+	mu        sync.Mutex
+	status    Status
+	reason    string
+	submitted vclock.Time
+	decided   vclock.Time
+}
+
+// Status returns the current client-visible status.
+func (h *Handle) Status() Status {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.status
+}
+
+// Reason explains an abort ("" otherwise).
+func (h *Handle) Reason() string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.reason
+}
+
+// Latency returns the simulated time from submission to decision, or
+// (0, false) while pending.
+func (h *Handle) Latency() (vclock.Time, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.status == StatusPending {
+		return 0, false
+	}
+	return h.decided - h.submitted, true
+}
+
+func (h *Handle) decide(st Status, reason string, at vclock.Time) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.status != StatusPending {
+		return
+	}
+	h.status = st
+	h.reason = reason
+	h.decided = at
+}
+
+// QueryHandle tracks one read-only query.
+type QueryHandle struct {
+	mu     sync.Mutex
+	done   bool
+	result polyvalue.Poly
+	err    error
+}
+
+// Result returns the query's answer once available.  The answer may be a
+// polyvalue (§3.4: the system can present uncertain outputs); callers
+// needing certainty check IsCertain and decide to wait or re-ask.
+func (q *QueryHandle) Result() (polyvalue.Poly, error, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.result, q.err, q.done
+}
+
+func (q *QueryHandle) complete(p polyvalue.Poly, err error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.done {
+		return
+	}
+	q.done = true
+	q.result = p
+	q.err = err
+}

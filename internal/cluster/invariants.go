@@ -1,0 +1,81 @@
+package cluster
+
+import (
+	"fmt"
+)
+
+// CheckInvariants validates the cluster's global well-formedness and
+// returns a description of every violation (empty = healthy).  The full
+// set of checks assumes a quiescent cluster — all submitted transactions
+// settled, all failures healed, outcome propagation drained; mid-run
+// some conditions (locks held, prepared entries, await loops) are
+// legitimately transient, so those checks are only meaningful at
+// quiescence.  Failure-injection tests call this after their settle
+// phase to prove the paper's §3.3 cleanup claims.
+//
+// Checks, per site:
+//
+//  1. every stored polyvalue satisfies the complete-and-disjoint
+//     invariant (§3);
+//  2. every dependency a stored polyvalue has is covered by a §3.3
+//     dependency-table entry listing that item at that site (otherwise
+//     outcome news could never reduce it);
+//  3. no await entry exists for a transaction whose outcome the site
+//     already knows (it should have been resolved and cleared);
+//  4. no locks are held (quiescence);
+//  5. under the polyvalue policy, no prepared entries remain
+//     (quiescence: every in-doubt window was converted or settled).
+func (c *Cluster) CheckInvariants() []string {
+	var violations []string
+	for _, id := range c.order {
+		site := c.sites[id]
+		site.do(func() {
+			st := site.store
+			// 1 & 2: polyvalue well-formedness and dependency coverage.
+			for _, item := range st.Items() {
+				p := st.Get(item)
+				if _, certain := p.IsCertain(); certain {
+					continue
+				}
+				if !p.WellFormed() {
+					violations = append(violations,
+						fmt.Sprintf("site %s: item %q holds ill-formed polyvalue %s", id, item, p))
+				}
+				for _, dep := range p.DependsOn() {
+					items, _ := st.Deps(dep)
+					covered := false
+					for _, it := range items {
+						if it == item {
+							covered = true
+							break
+						}
+					}
+					if !covered {
+						violations = append(violations,
+							fmt.Sprintf("site %s: item %q depends on %s but the dependency table does not cover it", id, item, dep))
+					}
+				}
+			}
+			// 3: awaits imply unknown outcomes.
+			for tid := range st.Awaits() {
+				if _, known := st.Outcome(tid); known {
+					violations = append(violations,
+						fmt.Sprintf("site %s: await entry for %s whose outcome is already known", id, tid))
+				}
+			}
+			// 4: no locks at quiescence.
+			if n := len(site.locks); n != 0 {
+				violations = append(violations,
+					fmt.Sprintf("site %s: %d locks held at quiescence", id, n))
+			}
+			// 5: no prepared entries at quiescence (polyvalue policy).
+			if c.cfg.Policy == PolicyPolyvalue {
+				if n := len(st.PreparedTxns()); n != 0 {
+					violations = append(violations,
+						fmt.Sprintf("site %s: %d prepared entries at quiescence", id, n))
+				}
+			}
+		})
+	}
+	return violations
+}

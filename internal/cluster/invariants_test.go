@@ -1,0 +1,74 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/polyvalue"
+	"repro/internal/value"
+)
+
+func TestCheckInvariantsHealthy(t *testing.T) {
+	c := newTestCluster(t, PolicyPolyvalue)
+	loadInt(t, c, "bx", 1)
+	h, _ := c.Submit("A", "bx = 2")
+	c.RunFor(time.Second)
+	if h.Status() != StatusCommitted {
+		t.Fatal("setup failed")
+	}
+	if v := c.CheckInvariants(); len(v) != 0 {
+		t.Errorf("healthy cluster reports violations: %v", v)
+	}
+}
+
+func TestCheckInvariantsHealthyWithResolvedFailure(t *testing.T) {
+	c := newTestCluster(t, PolicyPolyvalue)
+	loadInt(t, c, "bx", 1)
+	c.ArmCrashBeforeDecision("A")
+	_, _ = c.Submit("A", "bx = 2")
+	c.RunFor(2 * time.Second)
+	c.Restart("A")
+	c.RunFor(30 * time.Second)
+	if v := c.CheckInvariants(); len(v) != 0 {
+		t.Errorf("settled cluster reports violations: %v", v)
+	}
+}
+
+// TestCheckInvariantsDetectsUncoveredDependency: a polyvalue smuggled in
+// without a dependency-table entry is flagged — the checker would catch
+// a §3.3 bookkeeping regression.
+func TestCheckInvariantsDetectsUncoveredDependency(t *testing.T) {
+	c := newTestCluster(t, PolicyPolyvalue)
+	// Load installs directly, bypassing the protocol's AddDepItem.
+	p := polyvalue.Uncertain("TX", polyvalue.Simple(value.Int(1)), polyvalue.Simple(value.Int(2)))
+	if err := c.Load("bx", p); err != nil {
+		t.Fatal(err)
+	}
+	v := c.CheckInvariants()
+	if len(v) == 0 {
+		t.Fatal("uncovered dependency not detected")
+	}
+}
+
+// TestCheckInvariantsDetectsStaleAwait: an await entry for a known
+// outcome is flagged.
+func TestCheckInvariantsDetectsStaleAwait(t *testing.T) {
+	c := newTestCluster(t, PolicyPolyvalue)
+	st := c.Store("B")
+	if err := st.SetAwait("TX", "A"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.SetOutcome("TX", true); err != nil {
+		t.Fatal(err)
+	}
+	v := c.CheckInvariants()
+	found := false
+	for _, s := range v {
+		if len(s) > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("stale await not detected")
+	}
+}

@@ -1,0 +1,60 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/value"
+)
+
+func TestSiteInfo(t *testing.T) {
+	c := newTestCluster(t, PolicyPolyvalue)
+	loadInt(t, c, "bx", 1)
+	loadInt(t, c, "by", 2)
+	info, err := c.SiteInfo("B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.ID != "B" || info.Down || info.Items != 2 || info.PolyItems != 0 {
+		t.Errorf("info = %+v", info)
+	}
+	if info.WALBytes == 0 {
+		t.Error("WALBytes = 0 after loads")
+	}
+	if _, err := c.SiteInfo("nope"); err == nil {
+		t.Error("unknown site accepted")
+	}
+	// In-doubt state shows up.
+	c.ArmCrashBeforeDecision("A")
+	_, _ = c.Submit("A", "bx = 9")
+	c.RunFor(2 * time.Second)
+	info, _ = c.SiteInfo("B")
+	if info.PolyItems != 1 || info.Awaits != 1 {
+		t.Errorf("in-doubt info = %+v", info)
+	}
+	infoA, _ := c.SiteInfo("A")
+	if !infoA.Down {
+		t.Error("crashed site not reported down")
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	c := newTestCluster(t, PolicyPolyvalue)
+	loadInt(t, c, "ax", 1)
+	loadInt(t, c, "by", 2)
+	loadInt(t, c, "cz", 3)
+	snap := c.Snapshot()
+	if len(snap) != 3 {
+		t.Fatalf("snapshot = %v", snap)
+	}
+	for item, want := range map[string]int64{"ax": 1, "by": 2, "cz": 3} {
+		v, ok := snap[item].IsCertain()
+		if !ok {
+			t.Fatalf("%s uncertain", item)
+		}
+		n, ok := value.AsInt(v)
+		if !ok || n != want {
+			t.Errorf("%s = %d (ok=%v)", item, n, ok)
+		}
+	}
+}

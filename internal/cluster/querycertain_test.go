@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/value"
+)
+
+// intVal shortens assertions on integer results.
+func intVal(n int64) value.V { return value.Int(n) }
+
+// TestQueryCertainWaitsForResolution: §3.4's withhold option — the query
+// blocks while the answer is a polyvalue and completes with a certain
+// value once the failure is repaired and the uncertainty resolves.
+func TestQueryCertainWaitsForResolution(t *testing.T) {
+	c := newTestCluster(t, PolicyPolyvalue)
+	loadInt(t, c, "bx", 100)
+	c.ArmCrashBeforeDecision("A")
+	_, _ = c.Submit("A", "bx = bx - 40")
+	c.RunFor(2 * time.Second)
+
+	qh, err := c.QueryCertain("C", "bx", 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The answer is withheld while uncertain.
+	c.RunFor(3 * time.Second)
+	if _, _, done := qh.Result(); done {
+		t.Fatal("withheld query completed while uncertain")
+	}
+	// Repair; the next poll sees the certain value.
+	c.Restart("A")
+	c.RunFor(30 * time.Second)
+	p, qerr, done := qh.Result()
+	if !done || qerr != nil {
+		t.Fatalf("withheld query: done=%v err=%v", done, qerr)
+	}
+	if v, certain := p.IsCertain(); !certain || !v.Equal(intVal(100)) {
+		t.Errorf("result = %v, want certain 100 (presumed abort)", p)
+	}
+}
+
+// TestQueryCertainDeadline: if the uncertainty outlives the wait, the
+// handle completes with ErrStillUncertain plus the uncertain answer.
+func TestQueryCertainDeadline(t *testing.T) {
+	c := newTestCluster(t, PolicyPolyvalue)
+	loadInt(t, c, "bx", 100)
+	c.ArmCrashBeforeDecision("A")
+	_, _ = c.Submit("A", "bx = bx - 40")
+	c.RunFor(2 * time.Second)
+
+	qh, err := c.QueryCertain("C", "bx", 3*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(10 * time.Second) // A stays down; uncertainty persists
+	p, qerr, done := qh.Result()
+	if !done {
+		t.Fatal("deadline did not complete the query")
+	}
+	if !errors.Is(qerr, ErrStillUncertain) {
+		t.Fatalf("err = %v, want ErrStillUncertain", qerr)
+	}
+	if p.NumPairs() != 2 {
+		t.Errorf("uncertain answer not delivered: %v", p)
+	}
+}
+
+// TestQueryCertainImmediateWhenCertain: no failure → completes on the
+// first round like a plain query.
+func TestQueryCertainImmediateWhenCertain(t *testing.T) {
+	c := newTestCluster(t, PolicyPolyvalue)
+	loadInt(t, c, "bx", 7)
+	qh, err := c.QueryCertain("A", "bx * 2", 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(time.Second)
+	p, qerr, done := qh.Result()
+	if !done || qerr != nil {
+		t.Fatalf("certain query: done=%v err=%v", done, qerr)
+	}
+	if v, _ := p.IsCertain(); !v.Equal(intVal(14)) {
+		t.Errorf("result = %v", p)
+	}
+}
+
+func TestQueryCertainValidation(t *testing.T) {
+	c := newTestCluster(t, PolicyPolyvalue)
+	if _, err := c.QueryCertain("nope", "1", time.Second); err == nil {
+		t.Error("unknown site accepted")
+	}
+	if _, err := c.QueryCertain("A", "1 +", time.Second); err == nil {
+		t.Error("bad expression accepted")
+	}
+	if _, err := c.QueryCertain("A", "1", 0); err == nil {
+		t.Error("zero wait accepted")
+	}
+}
+
+// TestQueryCertainCoordinatorCrash: a withheld query must not hang when
+// its coordinating site crashes mid-wait.
+func TestQueryCertainCoordinatorCrash(t *testing.T) {
+	c := newTestCluster(t, PolicyPolyvalue)
+	loadInt(t, c, "bx", 100)
+	c.ArmCrashBeforeDecision("A")
+	_, _ = c.Submit("A", "bx = bx - 40")
+	c.RunFor(2 * time.Second)
+	qh, err := c.QueryCertain("C", "bx", 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(time.Second)
+	c.Crash("C")
+	c.RunFor(5 * time.Second)
+	if _, qerr, done := qh.Result(); !done || qerr == nil {
+		t.Errorf("withheld query on crashed coordinator: done=%v err=%v", done, qerr)
+	}
+}

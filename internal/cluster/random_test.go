@@ -1,0 +1,184 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/expr"
+	"repro/internal/network"
+	"repro/internal/polyvalue"
+	"repro/internal/protocol"
+	"repro/internal/value"
+)
+
+// TestRandomizedFailureSchedules is the cluster's randomized
+// serial-equivalence property: for many seeds, run a transfer workload
+// with random coordinator crashes, random participant crashes, random
+// restarts and link cuts; after everything heals and settles, assert
+//
+//  1. no polyvalues remain (§3.3 liveness),
+//  2. no dependency-table or await entries remain (§3.3 hygiene),
+//  3. the final state equals the serial execution of exactly the
+//     transactions whose coordinator reported commit, in submission
+//     order (atomicity / serializability),
+//  4. total money is conserved.
+//
+// Transactions are serialized (each settles before the next) so the
+// serial oracle's order is well-defined; every nondeterministic choice
+// comes from the seeded RNG, so failures are reproducible.
+func TestRandomizedFailureSchedules(t *testing.T) {
+	for seed := int64(0); seed < 30; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			runRandomSchedule(t, seed)
+		})
+	}
+}
+
+func runRandomSchedule(t *testing.T, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	sites := []protocol.SiteID{"s0", "s1", "s2", "s3"}
+	c, err := New(Config{
+		Sites: sites,
+		Net:   network.Config{Latency: 5 * time.Millisecond, Jitter: 2 * time.Millisecond, Seed: seed},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const items = 8
+	state := map[string]value.V{}
+	for i := 0; i < items; i++ {
+		name := fmt.Sprintf("acct%d", i)
+		state[name] = value.Int(100)
+		if err := c.Load(name, polyvalue.Simple(value.Int(100))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	type sub struct {
+		src string
+		h   *Handle
+	}
+	var subs []sub
+	const txns = 40
+	for i := 0; i < txns; i++ {
+		// Random failure injection before each submission.
+		switch rng.Intn(8) {
+		case 0: // crash a random live site's next commit decision
+			s := sites[rng.Intn(len(sites))]
+			if !c.IsDown(s) {
+				c.ArmCrashBeforeDecision(s)
+			}
+		case 1: // crash a site outright
+			s := sites[rng.Intn(len(sites))]
+			if !c.IsDown(s) {
+				c.Crash(s)
+			}
+		case 2: // cut a random link
+			a, b := sites[rng.Intn(len(sites))], sites[rng.Intn(len(sites))]
+			if a != b {
+				c.Partition(a, b)
+			}
+		case 3: // heal everything and restart one down site
+			c.HealAll()
+			for _, s := range sites {
+				if c.IsDown(s) {
+					c.Restart(s)
+					break
+				}
+			}
+		}
+		// Submit from a live coordinator; if the schedule crashed every
+		// site, restart one (a client has to run somewhere).
+		allDown := true
+		for _, s := range sites {
+			if !c.IsDown(s) {
+				allDown = false
+				break
+			}
+		}
+		if allDown {
+			c.Restart(sites[rng.Intn(len(sites))])
+		}
+		coord := sites[rng.Intn(len(sites))]
+		for c.IsDown(coord) {
+			coord = sites[rng.Intn(len(sites))]
+		}
+		a := rng.Intn(items)
+		b := (a + 1 + rng.Intn(items-1)) % items
+		amt := 1 + rng.Intn(20)
+		src := fmt.Sprintf("acct%d = acct%d - %d if acct%d >= %d; acct%d = acct%d + %d if acct%d >= %d",
+			a, a, amt, a, amt, b, b, amt, a, amt)
+		h, err := c.Submit(coord, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		subs = append(subs, sub{src: src, h: h})
+		c.RunFor(2 * time.Second)
+	}
+
+	// Global repair and settle.
+	c.HealAll()
+	for _, s := range sites {
+		if c.IsDown(s) {
+			c.Restart(s)
+		}
+	}
+	c.RunFor(120 * time.Second)
+
+	// 1. No polyvalues remain.
+	if polys := c.PolyItems(); len(polys) != 0 {
+		t.Fatalf("seed %d: unresolved polyvalues %v", seed, polys)
+	}
+	// 2. No dependency or await entries remain.
+	for _, id := range sites {
+		if tids := c.Store(id).DepTIDs(); len(tids) != 0 {
+			t.Errorf("seed %d: site %s retains deps %v", seed, id, tids)
+		}
+		if aw := c.Store(id).Awaits(); len(aw) != 0 {
+			t.Errorf("seed %d: site %s retains awaits %v", seed, id, aw)
+		}
+	}
+	// 3. Serial equivalence over client-visible commits.  A transaction
+	// whose coordinator crashed before reporting is pending at the
+	// client; its actual fate was decided by recovery (presumed abort),
+	// so pending == not applied.
+	for _, s := range subs {
+		if s.h.Status() != StatusCommitted {
+			continue
+		}
+		prog := expr.MustParse(s.src)
+		writes, err := prog.Eval(expr.MapEnv(state))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, v := range writes {
+			state[k] = v
+		}
+	}
+	var total int64
+	for i := 0; i < items; i++ {
+		name := fmt.Sprintf("acct%d", i)
+		got, ok := c.Read(name).IsCertain()
+		if !ok {
+			t.Fatalf("seed %d: %s uncertain", seed, name)
+		}
+		if !got.Equal(state[name]) {
+			t.Errorf("seed %d: %s = %v, oracle %v", seed, name, got, state[name])
+		}
+		n, _ := value.AsInt(got)
+		total += n
+	}
+	// 4. Conservation.
+	if total != int64(items)*100 {
+		t.Errorf("seed %d: total = %d, want %d", seed, total, items*100)
+	}
+	// 5. Global invariants at quiescence.
+	for _, v := range c.CheckInvariants() {
+		t.Errorf("seed %d: invariant violation: %s", seed, v)
+	}
+}

@@ -1,0 +1,1280 @@
+package cluster
+
+import (
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/expr"
+	"repro/internal/polytxn"
+	"repro/internal/polyvalue"
+	"repro/internal/protocol"
+	"repro/internal/storage"
+	"repro/internal/txn"
+	"repro/internal/vclock"
+)
+
+// Site is one database node: a goroutine processing one event at a time.
+// All fields are owned by the site goroutine; the controller interacts
+// only through do().
+type Site struct {
+	id    protocol.SiteID
+	c     *Cluster
+	store *storage.Store
+
+	inbox chan func()
+	acked chan struct{}
+
+	down bool
+	// crashBeforeDecision is the one-shot failpoint armed by
+	// Cluster.ArmCrashBeforeDecision.
+	crashBeforeDecision bool
+
+	// locks maps item → holding transaction (no-wait exclusive locks:
+	// conflicts refuse, which aborts, which is deadlock-free).
+	locks map[string]txn.ID
+	// parts holds per-transaction participant contexts.
+	parts map[txn.ID]*partCtx
+	// coords holds per-transaction coordinator contexts.
+	coords map[txn.ID]*coordCtx
+	// retry holds outcome-request retry state for in-doubt transactions.
+	retry map[txn.ID]retryState
+	// notifyRetry holds resend timers for §3.3 outcome notifications
+	// that have not been acknowledged by every listed site yet.
+	notifyRetry map[txn.ID]vclock.TimerID
+	// acks tracks, per decided transaction this site coordinated, which
+	// participants have not yet acknowledged the outcome; once empty the
+	// outcome record is garbage-collected after OutcomeTTL (§3.3).
+	acks map[txn.ID]map[protocol.SiteID]bool
+}
+
+// retryState is one in-doubt transaction's outcome-request loop.
+type retryState struct {
+	timer       vclock.TimerID
+	coordinator protocol.SiteID
+}
+
+// partCtx is a participant's volatile state for one transaction.
+type partCtx struct {
+	tid         txn.ID
+	coordinator protocol.SiteID
+	machine     *protocol.Participant
+	// locked lists local items this transaction holds locks on.
+	locked []string
+	// writes/previous cover the local write items (set at prepare).
+	writes   map[string]polyvalue.Poly
+	previous map[string]polyvalue.Poly
+	// blocked marks a blocking-policy participant sitting on its locks
+	// past the wait timeout.
+	blocked   bool
+	waitTimer vclock.TimerID
+	lockTimer vclock.TimerID
+}
+
+// coordCtx is a coordinator's volatile state for one transaction or
+// query.
+type coordCtx struct {
+	tid    txn.ID
+	t      txn.T
+	handle *Handle
+
+	// isQuery marks read-only queries (no prepare/commit phases).
+	isQuery bool
+	qh      *QueryHandle
+	qnode   expr.Node
+	// qCertainBy, when non-zero, is §3.4's "withhold" mode: an uncertain
+	// answer is re-polled until it becomes certain or this deadline
+	// passes.
+	qCertainBy vclock.Time
+
+	// readWait counts outstanding read replies; values accumulates them.
+	readWait  map[protocol.SiteID]bool
+	values    map[string]polyvalue.Poly
+	readTimer vclock.TimerID
+
+	// participants are the sites involved (every site holding an
+	// accessed item); machine collects their readies.
+	participants []protocol.SiteID
+	// readOnly marks participants that voted ready-read-only and left
+	// the protocol early; they receive no complete/abort.
+	readOnly   map[protocol.SiteID]bool
+	machine    *protocol.Coordinator
+	readyTimer vclock.TimerID
+	prepared   bool
+}
+
+func newSite(c *Cluster, id protocol.SiteID, store *storage.Store) *Site {
+	s := &Site{
+		id: id, c: c, store: store,
+		inbox:       make(chan func()),
+		acked:       make(chan struct{}),
+		locks:       map[string]txn.ID{},
+		parts:       map[txn.ID]*partCtx{},
+		coords:      map[txn.ID]*coordCtx{},
+		retry:       map[txn.ID]retryState{},
+		notifyRetry: map[txn.ID]vclock.TimerID{},
+		acks:        map[txn.ID]map[protocol.SiteID]bool{},
+	}
+	go s.loop()
+	return s
+}
+
+// loop is the site goroutine: it processes one closure at a time and
+// acknowledges each, so the dispatching event blocks until the site is
+// done — this serialization is what makes cluster runs deterministic.
+func (s *Site) loop() {
+	for fn := range s.inbox {
+		fn()
+		s.acked <- struct{}{}
+	}
+}
+
+// do runs fn on the site goroutine and waits for completion.
+func (s *Site) do(fn func()) {
+	s.inbox <- fn
+	<-s.acked
+}
+
+// close stops the goroutine.
+func (s *Site) close() { close(s.inbox) }
+
+// onMessage is the network delivery handler (called from a scheduler
+// event on the controller goroutine).
+func (s *Site) onMessage(msg protocol.Message) {
+	s.do(func() {
+		if s.down {
+			return
+		}
+		s.handle(msg)
+	})
+}
+
+// send traces and transmits a message from this site.
+func (s *Site) send(msg protocol.Message) {
+	msg.From = s.id
+	s.c.trace("%s send %s", s.id, msg)
+	s.c.net.Send(msg)
+}
+
+// after schedules a site-local timer that is automatically ignored if
+// the site is down when it fires.
+func (s *Site) after(d vclock.Time, fn func()) vclock.TimerID {
+	return s.c.sched.After(d, func() {
+		s.do(func() {
+			if s.down {
+				return
+			}
+			fn()
+		})
+	})
+}
+
+// handle dispatches one delivered message.
+func (s *Site) handle(msg protocol.Message) {
+	s.c.trace("%s recv %s", s.id, msg)
+	switch msg.Kind {
+	case protocol.MsgReadReq:
+		s.onReadReq(msg)
+	case protocol.MsgReadRep:
+		s.onReadRep(msg)
+	case protocol.MsgPrepare:
+		s.onPrepare(msg)
+	case protocol.MsgReady:
+		s.onReady(msg)
+	case protocol.MsgRefuse:
+		s.onRefuse(msg)
+	case protocol.MsgComplete:
+		s.onOutcomeMsg(msg.TID, true)
+		s.ackOutcome(msg)
+	case protocol.MsgAbort:
+		s.onAbortMsg(msg)
+		s.ackOutcome(msg)
+	case protocol.MsgOutcomeReq:
+		s.onOutcomeReq(msg)
+	case protocol.MsgOutcomeInfo:
+		s.resolveOutcome(msg.TID, msg.Committed)
+		// Acknowledge so the notifier can strike us from its dependency
+		// entry and stop resending (§3.3 delivery must be reliable).
+		if msg.From != s.id {
+			s.send(protocol.Message{Kind: protocol.MsgOutcomeAck, TID: msg.TID, To: msg.From})
+		}
+	case protocol.MsgOutcomeAck:
+		s.onOutcomeAck(msg)
+	}
+	if cb := s.c.cfg.CheckpointBytes; cb > 0 && s.store.WALSize() > cb {
+		if n, err := s.store.Checkpoint(); err != nil {
+			s.c.trace("%s checkpoint failed: %v", s.id, err)
+		} else {
+			s.c.trace("%s checkpointed WAL to %d bytes", s.id, n)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Coordinator side
+// ---------------------------------------------------------------------
+
+// beginTxn starts coordinating a transaction (runs on the site
+// goroutine).
+func (s *Site) beginTxn(t txn.T, h *Handle) {
+	if s.down {
+		h.decide(StatusAborted, "coordinator down", s.c.sched.Now())
+		s.c.aborted.Inc()
+		return
+	}
+	ctx := &coordCtx{
+		tid: t.ID, t: t, handle: h,
+		readWait: map[protocol.SiteID]bool{},
+		values:   map[string]polyvalue.Poly{},
+	}
+	// Participants: every site holding an accessed item.
+	siteItems := map[protocol.SiteID][]string{}
+	for _, item := range t.Items() {
+		owner := s.c.Placement(item)
+		siteItems[owner] = append(siteItems[owner], item)
+	}
+	for site := range siteItems {
+		ctx.participants = append(ctx.participants, site)
+	}
+	sort.Slice(ctx.participants, func(i, j int) bool { return ctx.participants[i] < ctx.participants[j] })
+
+	// §2.1 lock avoidance: a transaction entirely local to this site
+	// needs no atomic-update coordination at all — commit in one step.
+	if !s.c.cfg.DisableOnePhaseOpt && len(ctx.participants) == 1 && ctx.participants[0] == s.id {
+		s.onePhaseCommit(ctx, h)
+		return
+	}
+	s.coords[t.ID] = ctx
+
+	// Read phase: request the read-set values, with locks.
+	readOwner := map[protocol.SiteID][]string{}
+	for _, item := range t.ReadSet() {
+		owner := s.c.Placement(item)
+		readOwner[owner] = append(readOwner[owner], item)
+	}
+	if len(readOwner) == 0 {
+		// Nothing to read; go straight to prepare.
+		s.sendPrepares(ctx)
+		return
+	}
+	for site, items := range readOwner {
+		ctx.readWait[site] = true
+		sort.Strings(items)
+		s.send(protocol.Message{
+			Kind: protocol.MsgReadReq, TID: t.ID, To: site,
+			Items: items, Lock: true, Coordinator: s.id,
+		})
+	}
+	ctx.readTimer = s.after(s.c.cfg.ReadyTimeout, func() { s.onReadTimeout(ctx.tid) })
+}
+
+// onePhaseCommit executes a fully-local transaction directly: lock,
+// compute, install, unlock.  No protocol window exists in which a remote
+// failure could strand the items — the §2.1 observation that avoiding
+// the need for an atomic distributed update avoids its hazards.
+func (s *Site) onePhaseCommit(ctx *coordCtx, h *Handle) {
+	items := ctx.t.Items()
+	if !s.lockAll(ctx.tid, items) {
+		s.c.refused.Inc()
+		s.c.aborted.Inc()
+		h.decide(StatusAborted, "refused: lock conflict at "+string(s.id), s.c.sched.Now())
+		return
+	}
+	defer s.releaseLocks(ctx.tid)
+	ex := &polytxn.Executor{MaxAlternatives: s.c.cfg.MaxAlternatives}
+	res, err := ex.Execute(ctx.t, s.store.Get)
+	if err != nil {
+		s.c.aborted.Inc()
+		h.decide(StatusAborted, "compute: "+err.Error(), s.c.sched.Now())
+		return
+	}
+	writeItems := make([]string, 0, len(res.Writes))
+	for item := range res.Writes {
+		writeItems = append(writeItems, item)
+	}
+	sort.Strings(writeItems)
+	for _, item := range writeItems {
+		p := res.Writes[item]
+		if err := s.store.Put(item, p); err != nil {
+			s.c.aborted.Inc()
+			h.decide(StatusAborted, "wal: "+err.Error(), s.c.sched.Now())
+			return
+		}
+		if _, certain := p.IsCertain(); !certain {
+			s.c.polyInstalls.Inc()
+			for _, dep := range p.DependsOn() {
+				_ = s.store.AddDepItem(dep, item)
+			}
+		}
+	}
+	s.reduceKnownDeps()
+	s.c.committed.Inc()
+	h.decide(StatusCommitted, "", s.c.sched.Now())
+	if lat, ok := h.Latency(); ok {
+		s.c.latency.Observe(lat.Seconds())
+	}
+	s.c.trace("%s one-phase commit of %s", s.id, ctx.tid)
+}
+
+// beginQuery starts a read-only query.  A non-zero certainBy deadline
+// selects §3.4's withhold mode: uncertain answers are re-polled until
+// they resolve or the deadline passes.
+func (s *Site) beginQuery(qid txn.ID, node expr.Node, qh *QueryHandle, certainBy vclock.Time) {
+	if s.down {
+		qh.complete(polyvalue.Poly{}, errSiteDown)
+		return
+	}
+	ctx := &coordCtx{
+		tid: qid, isQuery: true, qh: qh, qnode: node, qCertainBy: certainBy,
+		readWait: map[protocol.SiteID]bool{},
+		values:   map[string]polyvalue.Poly{},
+	}
+	set := map[string]bool{}
+	exprVars(node, set)
+	readOwner := map[protocol.SiteID][]string{}
+	for item := range set {
+		owner := s.c.Placement(item)
+		readOwner[owner] = append(readOwner[owner], item)
+	}
+	s.coords[qid] = ctx
+	if len(readOwner) == 0 {
+		s.finishQuery(ctx)
+		return
+	}
+	for site, items := range readOwner {
+		ctx.readWait[site] = true
+		sort.Strings(items)
+		s.send(protocol.Message{
+			Kind: protocol.MsgReadReq, TID: qid, To: site,
+			Items: items, Lock: false, Coordinator: s.id,
+		})
+	}
+	ctx.readTimer = s.after(s.c.cfg.ReadyTimeout, func() { s.onReadTimeout(qid) })
+}
+
+// onReadRep collects read values; when complete, queries evaluate and
+// update transactions move to the prepare phase.
+func (s *Site) onReadRep(msg protocol.Message) {
+	ctx, ok := s.coords[msg.TID]
+	if !ok || ctx.prepared {
+		return // late or duplicate
+	}
+	if !ctx.readWait[msg.From] {
+		return
+	}
+	delete(ctx.readWait, msg.From)
+	for item, p := range msg.Values {
+		ctx.values[item] = p
+	}
+	if len(ctx.readWait) > 0 {
+		return
+	}
+	s.c.sched.Cancel(ctx.readTimer)
+	if ctx.isQuery {
+		s.finishQuery(ctx)
+		return
+	}
+	s.sendPrepares(ctx)
+}
+
+// finishQuery evaluates the query against the collected values; in
+// withhold mode an uncertain answer schedules a re-poll instead of
+// completing (§3.4: "withhold those outputs until the uncertainty is
+// resolved").
+func (s *Site) finishQuery(ctx *coordCtx) {
+	ex := &polytxn.Executor{MaxAlternatives: s.c.cfg.MaxAlternatives}
+	p, err := ex.EvalQuery(ctx.qnode, func(item string) polyvalue.Poly {
+		if v, ok := ctx.values[item]; ok {
+			return v
+		}
+		return polyvalue.Simple(nilValue())
+	})
+	delete(s.coords, ctx.tid)
+	if err == nil && ctx.qCertainBy > 0 {
+		if _, certain := p.IsCertain(); !certain {
+			if s.c.sched.Now() >= ctx.qCertainBy {
+				ctx.qh.complete(p, ErrStillUncertain)
+				return
+			}
+			qid, node, qh, deadline := ctx.tid, ctx.qnode, ctx.qh, ctx.qCertainBy
+			s.c.sched.After(s.c.cfg.RetryInterval, func() {
+				s.do(func() {
+					if s.down {
+						// Withheld queries must not hang on a crashed
+						// coordinator.
+						qh.complete(polyvalue.Poly{}, errSiteDown)
+						return
+					}
+					s.beginQuery(qid, node, qh, deadline)
+				})
+			})
+			return
+		}
+	}
+	ctx.qh.complete(p, err)
+}
+
+// onReadTimeout aborts a transaction (or fails a query) whose read phase
+// stalled — some site holding needed data is unreachable, so per the
+// paper the transaction is simply not performed.
+func (s *Site) onReadTimeout(tid txn.ID) {
+	ctx, ok := s.coords[tid]
+	if !ok || ctx.prepared {
+		return
+	}
+	if ctx.isQuery {
+		ctx.qh.complete(polyvalue.Poly{}, errReadTimeout)
+		delete(s.coords, tid)
+		return
+	}
+	s.decide(ctx, false, "read timeout")
+}
+
+// sendPrepares distributes the transaction to every participant.
+func (s *Site) sendPrepares(ctx *coordCtx) {
+	ctx.prepared = true
+	ctx.machine = protocol.NewCoordinator(ctx.tid, ctx.participants)
+
+	// §3.3 bookkeeping: forwarding a polyvalue to a participant makes
+	// that participant a site "to which polyvalues dependent on T have
+	// been sent"; record it so outcome news reaches them.
+	depTIDs := map[txn.ID]bool{}
+	for _, p := range ctx.values {
+		for _, dep := range p.DependsOn() {
+			depTIDs[dep] = true
+		}
+	}
+
+	writeOwner := map[protocol.SiteID][]string{}
+	for _, item := range ctx.t.WriteSet() {
+		owner := s.c.Placement(item)
+		writeOwner[owner] = append(writeOwner[owner], item)
+	}
+	ctx.readOnly = map[protocol.SiteID]bool{}
+	for _, site := range ctx.participants {
+		items := writeOwner[site]
+		sort.Strings(items)
+		// Read-only participants (no local writes) compute nothing, so
+		// they need no values and receive no forwarded polyvalues.
+		roOpt := len(items) == 0 && !s.c.cfg.DisableReadOnlyOpt
+		var vals map[string]polyvalue.Poly
+		if !roOpt {
+			vals = copyValues(ctx.values)
+			for dep := range depTIDs {
+				if site != s.id {
+					_ = s.store.AddDepSite(dep, string(site))
+				}
+			}
+		}
+		s.send(protocol.Message{
+			Kind: protocol.MsgPrepare, TID: ctx.tid, To: site,
+			Items: items, Values: vals,
+			Program: ctx.t.Program.String(), Coordinator: s.id,
+		})
+	}
+	ctx.readyTimer = s.after(s.c.cfg.ReadyTimeout, func() { s.onReadyTimeout(ctx.tid) })
+}
+
+// onReady collects a participant's ready; the last one decides commit.
+func (s *Site) onReady(msg protocol.Message) {
+	ctx, ok := s.coords[msg.TID]
+	if !ok || ctx.machine == nil {
+		return
+	}
+	if msg.ReadOnly {
+		ctx.readOnly[msg.From] = true
+	}
+	if ctx.machine.OnReady(msg.From) {
+		s.decide(ctx, true, "")
+	}
+}
+
+// onRefuse aborts the transaction on the first refusal.
+func (s *Site) onRefuse(msg protocol.Message) {
+	s.c.refused.Inc()
+	ctx, ok := s.coords[msg.TID]
+	if !ok {
+		return
+	}
+	if ctx.machine == nil {
+		// Refusal during the read phase (a read lock conflict).
+		s.decide(ctx, false, "refused: "+msg.Reason)
+		return
+	}
+	if ctx.machine.OnRefuse(msg.From) {
+		s.decide(ctx, false, "refused: "+msg.Reason)
+	}
+}
+
+// onReadyTimeout aborts a transaction whose readies did not all arrive
+// promptly.
+func (s *Site) onReadyTimeout(tid txn.ID) {
+	ctx, ok := s.coords[tid]
+	if !ok || ctx.machine == nil {
+		return
+	}
+	if ctx.machine.OnTimeout() {
+		s.decide(ctx, false, "ready timeout")
+	}
+}
+
+// decide fixes and durably records the outcome, then broadcasts it.
+func (s *Site) decide(ctx *coordCtx, committed bool, reason string) {
+	if committed && s.crashBeforeDecision {
+		// Failpoint: the paper's critical moment — every participant is
+		// in the wait phase and the decision never leaves this site.
+		s.crashBeforeDecision = false
+		s.c.trace("%s CRASH before decision of %s", s.id, ctx.tid)
+		s.crash()
+		return
+	}
+	// Durable decision before any complete/abort leaves the site: a
+	// crash after this point must answer outcome requests consistently.
+	if err := s.store.SetOutcome(ctx.tid, committed); err != nil {
+		s.c.trace("%s outcome log error for %s: %v", s.id, ctx.tid, err)
+	}
+	kind := protocol.MsgAbort
+	if committed {
+		kind = protocol.MsgComplete
+	}
+	// Participants covers every site holding an accessed item, including
+	// the read sites contacted during the read phase (they hold locks).
+	// Track their outcome acknowledgements so the record can be
+	// garbage-collected once everyone has settled (§3.3).
+	targets := make([]protocol.SiteID, 0, len(ctx.participants))
+	for _, site := range ctx.participants {
+		if ctx.readOnly != nil && ctx.readOnly[site] {
+			continue // left the protocol at ready time
+		}
+		targets = append(targets, site)
+	}
+	if s.c.cfg.OutcomeTTL >= 0 && len(targets) > 0 {
+		waiting := make(map[protocol.SiteID]bool, len(targets))
+		for _, site := range targets {
+			waiting[site] = true
+		}
+		s.acks[ctx.tid] = waiting
+	}
+	for _, site := range targets {
+		s.send(protocol.Message{Kind: kind, TID: ctx.tid, To: site, Committed: committed})
+	}
+	st := StatusAborted
+	if committed {
+		st = StatusCommitted
+		s.c.committed.Inc()
+	} else {
+		s.c.aborted.Inc()
+	}
+	now := s.c.sched.Now()
+	ctx.handle.decide(st, reason, now)
+	if committed {
+		if lat, ok := ctx.handle.Latency(); ok {
+			s.c.latency.Observe(lat.Seconds())
+		}
+	}
+	s.c.sched.Cancel(ctx.readTimer)
+	s.c.sched.Cancel(ctx.readyTimer)
+	delete(s.coords, ctx.tid)
+}
+
+// ---------------------------------------------------------------------
+// Participant side
+// ---------------------------------------------------------------------
+
+// onReadReq serves (and for updates, locks) the requested items.
+func (s *Site) onReadReq(msg protocol.Message) {
+	if msg.Lock {
+		if !s.lockAll(msg.TID, msg.Items) {
+			s.send(protocol.Message{
+				Kind: protocol.MsgRefuse, TID: msg.TID, To: msg.From,
+				Reason: "lock conflict at " + string(s.id),
+			})
+			return
+		}
+		ctx := s.part(msg.TID, msg.Coordinator)
+		ctx.locked = mergeItems(ctx.locked, msg.Items)
+		// If the prepare never arrives (coordinator failed before
+		// prepare), release unilaterally: without our ready the
+		// transaction cannot commit.
+		ctx.lockTimer = s.after(s.c.cfg.LockTimeout, func() { s.onLockTimeout(msg.TID) })
+	}
+	values := map[string]polyvalue.Poly{}
+	for _, item := range msg.Items {
+		p := s.store.Get(item)
+		values[item] = p
+		if msg.Lock {
+			// §3.3: sending a polyvalue makes the recipient a site that
+			// must learn the outcomes it depends on.
+			for _, dep := range p.DependsOn() {
+				if msg.From != s.id {
+					_ = s.store.AddDepSite(dep, string(msg.From))
+				}
+			}
+		}
+	}
+	s.send(protocol.Message{
+		Kind: protocol.MsgReadRep, TID: msg.TID, To: msg.From, Values: values,
+	})
+}
+
+// onLockTimeout abandons a read-locked transaction that never prepared.
+func (s *Site) onLockTimeout(tid txn.ID) {
+	ctx, ok := s.parts[tid]
+	if !ok || ctx.machine.State() != protocol.StateIdle {
+		return
+	}
+	s.c.trace("%s abandon read locks of %s (no prepare)", s.id, tid)
+	s.releaseLocks(tid)
+	delete(s.parts, tid)
+}
+
+// onPrepare runs the compute phase for the local share of the write set.
+func (s *Site) onPrepare(msg protocol.Message) {
+	ctx := s.part(msg.TID, msg.Coordinator)
+	s.c.sched.Cancel(ctx.lockTimer)
+	if ctx.machine.State() != protocol.StateIdle {
+		return // duplicate prepare
+	}
+	if _, err := ctx.machine.Transition(protocol.EvPrepare); err != nil {
+		return
+	}
+	if len(msg.Items) == 0 && !s.c.cfg.DisableReadOnlyOpt {
+		// Read-only participant: the reads were served (and held stable)
+		// since the read phase; vote ready-read-only, release, and leave
+		// the protocol — no wait phase, no decision message needed.
+		s.releaseLocks(msg.TID)
+		delete(s.parts, msg.TID)
+		s.send(protocol.Message{
+			Kind: protocol.MsgReady, TID: msg.TID, To: msg.From, ReadOnly: true,
+		})
+		return
+	}
+	refuse := func(reason string) {
+		_, _ = ctx.machine.Transition(protocol.EvComputeFailed)
+		s.releaseLocks(msg.TID)
+		delete(s.parts, msg.TID)
+		s.send(protocol.Message{
+			Kind: protocol.MsgRefuse, TID: msg.TID, To: msg.From, Reason: reason,
+		})
+	}
+	// Lock the local write items not already read-locked by this txn.
+	var needed []string
+	for _, item := range msg.Items {
+		if s.locks[item] != msg.TID {
+			needed = append(needed, item)
+		}
+	}
+	if !s.lockAll(msg.TID, needed) {
+		refuse("write lock conflict at " + string(s.id))
+		return
+	}
+	ctx.locked = mergeItems(ctx.locked, needed)
+
+	t, err := txn.New(msg.TID, msg.Program)
+	if err != nil {
+		refuse("bad program: " + err.Error())
+		return
+	}
+	// Compute all writes from the coordinator's read snapshot, then keep
+	// the local share.  Previous values come from the local store (the
+	// items are locked, hence stable).
+	ex := &polytxn.Executor{MaxAlternatives: s.c.cfg.MaxAlternatives}
+	res, err := ex.Execute(t, func(item string) polyvalue.Poly {
+		if v, ok := msg.Values[item]; ok {
+			return v
+		}
+		return s.store.Get(item)
+	})
+	if err != nil {
+		refuse("compute: " + err.Error())
+		return
+	}
+	ctx.writes = map[string]polyvalue.Poly{}
+	ctx.previous = map[string]polyvalue.Poly{}
+	for _, item := range msg.Items {
+		ctx.writes[item] = res.Writes[item]
+		ctx.previous[item] = s.store.Get(item)
+	}
+	// Durably remember the in-doubt window before declaring ready, so a
+	// crash in the wait phase recovers into polyvalues, not amnesia.
+	if len(ctx.writes) > 0 {
+		if err := s.store.MarkPrepared(storage.Prepared{
+			TID: msg.TID, Coordinator: string(msg.Coordinator),
+			Writes: ctx.writes, Previous: ctx.previous,
+		}); err != nil {
+			refuse("wal: " + err.Error())
+			return
+		}
+	}
+	if _, err := ctx.machine.Transition(protocol.EvComputed); err != nil {
+		return
+	}
+	s.send(protocol.Message{Kind: protocol.MsgReady, TID: msg.TID, To: msg.From})
+	ctx.waitTimer = s.after(s.c.cfg.WaitTimeout, func() { s.onWaitTimeout(msg.TID) })
+}
+
+// onWaitTimeout fires when neither complete nor abort arrived promptly:
+// the §3.1 moment that separates the polyvalue mechanism from blocking
+// 2PC.
+func (s *Site) onWaitTimeout(tid txn.ID) {
+	ctx, ok := s.parts[tid]
+	if !ok || ctx.machine.State() != protocol.StateWait {
+		return
+	}
+	s.c.inDoubt.Inc()
+	if s.c.cfg.Policy == PolicyBlocking {
+		// Baseline: hold everything until the outcome is known.
+		ctx.blocked = true
+		s.c.trace("%s BLOCKED on %s (holding %d locks)", s.id, tid, len(ctx.locked))
+		s.armOutcomeRetry(tid, ctx.coordinator)
+		return
+	}
+	if s.c.cfg.Policy == PolicyArbitrary {
+		// §2.3 relaxed consistency: decide locally and move on.  Each
+		// site guesses independently, so sites can disagree — the
+		// atomicity violation the A3 ablation measures.
+		guess := arbitraryChoice(s.id, tid)
+		s.c.trace("%s ARBITRARY decision for %s: commit=%v", s.id, tid, guess)
+		s.onOutcomeMsg(tid, guess)
+		return
+	}
+	if _, err := ctx.machine.Transition(protocol.EvTimeout); err != nil {
+		return
+	}
+	s.c.trace("%s wait timeout on %s: installing polyvalues", s.id, tid)
+	// Durably swap the prepared entry for an await entry: a crash from
+	// here on must still know to ask ctx.coordinator for the outcome.
+	_ = s.store.SetAwait(tid, string(ctx.coordinator))
+	s.installPolyvalues(tid, ctx.writes, ctx.previous)
+	_ = s.store.ClearPrepared(tid)
+	s.releaseLocks(tid)
+	delete(s.parts, tid)
+	s.armOutcomeRetry(tid, ctx.coordinator)
+}
+
+// installPolyvalues writes {<new, T>, <old, !T>} for every updated item
+// and records the §3.3 dependency-table rows.
+func (s *Site) installPolyvalues(tid txn.ID, writes, previous map[string]polyvalue.Poly) {
+	items := make([]string, 0, len(writes))
+	for item := range writes {
+		items = append(items, item)
+	}
+	sort.Strings(items)
+	for _, item := range items {
+		p := polyvalue.Uncertain(tid, writes[item], previous[item])
+		if err := s.store.Put(item, p); err != nil {
+			s.c.trace("%s put %s: %v", s.id, item, err)
+			continue
+		}
+		if _, certain := p.IsCertain(); certain {
+			continue // new equals old: no uncertainty introduced
+		}
+		s.c.polyInstalls.Inc()
+		for _, dep := range p.DependsOn() {
+			_ = s.store.AddDepItem(dep, item)
+		}
+	}
+	s.reduceKnownDeps()
+}
+
+// reduceKnownDeps reduces any dependency whose outcome this site already
+// knows — outcome news can race ahead of a polyvalue install, and without
+// this check such a polyvalue would never be reduced.
+func (s *Site) reduceKnownDeps() {
+	for _, dep := range s.store.DepTIDs() {
+		if committed, known := s.store.Outcome(dep); known {
+			s.reduceDependents(dep, committed)
+		}
+	}
+}
+
+// onOutcomeMsg handles a complete message (or an abort via onAbortMsg):
+// if we are still a live participant in the wait phase, act on it;
+// otherwise fold it into the general outcome-resolution path.
+func (s *Site) onOutcomeMsg(tid txn.ID, committed bool) {
+	ctx, ok := s.parts[tid]
+	if !ok || ctx.machine.State() != protocol.StateWait {
+		s.resolveOutcome(tid, committed)
+		return
+	}
+	ev := protocol.EvAbort
+	if committed {
+		ev = protocol.EvComplete
+	}
+	act, err := ctx.machine.Transition(ev)
+	if err != nil {
+		return
+	}
+	if act == protocol.ActInstall {
+		items := make([]string, 0, len(ctx.writes))
+		for item := range ctx.writes {
+			items = append(items, item)
+		}
+		sort.Strings(items)
+		for _, item := range items {
+			p := ctx.writes[item]
+			if err := s.store.Put(item, p); err != nil {
+				s.c.trace("%s put %s: %v", s.id, item, err)
+				continue
+			}
+			// A polytransaction's committed result may itself be a
+			// polyvalue depending on other transactions: track it.
+			if _, certain := p.IsCertain(); !certain {
+				s.c.polyInstalls.Inc()
+				for _, dep := range p.DependsOn() {
+					_ = s.store.AddDepItem(dep, item)
+				}
+			}
+		}
+		s.reduceKnownDeps()
+	}
+	_ = s.store.ClearPrepared(tid)
+	_ = s.store.SetOutcome(tid, committed)
+	s.c.sched.Cancel(ctx.waitTimer)
+	s.releaseLocks(tid)
+	delete(s.parts, tid)
+	// The outcome may also reduce older polyvalues we hold.  (The
+	// acknowledgement that lets the coordinator forget the record is sent
+	// by the message handler — every complete/abort is acked after
+	// processing, whatever state the participant was in.)
+	s.reduceDependents(tid, committed)
+}
+
+// ackOutcome acknowledges a processed complete/abort so the coordinator
+// can garbage-collect the outcome record (§3.3).
+func (s *Site) ackOutcome(msg protocol.Message) {
+	if msg.From == s.id {
+		// Self-delivery: strike ourselves from our own ack set directly.
+		s.onOutcomeAck(protocol.Message{Kind: protocol.MsgOutcomeAck, TID: msg.TID, From: s.id})
+		return
+	}
+	s.send(protocol.Message{Kind: protocol.MsgOutcomeAck, TID: msg.TID, To: msg.From})
+}
+
+// onOutcomeAck collects acknowledgements: it strikes the sender from any
+// §3.3 dependency entry (notification delivered), and when the last
+// participant acks a transaction this site coordinated, the outcome
+// record is scheduled for deletion.
+func (s *Site) onOutcomeAck(msg protocol.Message) {
+	_ = s.store.RemoveDepSite(msg.TID, string(msg.From))
+	if !s.store.HasDeps(msg.TID) {
+		if id, ok := s.notifyRetry[msg.TID]; ok {
+			s.c.sched.Cancel(id)
+			delete(s.notifyRetry, msg.TID)
+		}
+	}
+	waiting, ok := s.acks[msg.TID]
+	if !ok {
+		return
+	}
+	delete(waiting, msg.From)
+	if len(waiting) > 0 {
+		return
+	}
+	delete(s.acks, msg.TID)
+	tid := msg.TID
+	s.after(s.c.cfg.OutcomeTTL, func() {
+		if _, live := s.acks[tid]; live {
+			return
+		}
+		if s.store.HasDeps(tid) {
+			return // still notifying dependent sites; keep the record
+		}
+		s.store.ForgetOutcome(tid)
+		s.c.trace("%s forgot outcome of %s", s.id, tid)
+	})
+}
+
+// onAbortMsg handles abort for live participants and for transactions
+// still in their read phase at this site.
+func (s *Site) onAbortMsg(msg protocol.Message) {
+	tid := msg.TID
+	if ctx, ok := s.parts[tid]; ok {
+		switch ctx.machine.State() {
+		case protocol.StateIdle:
+			// Read-locked, never prepared: just release.
+			s.c.sched.Cancel(ctx.lockTimer)
+			s.releaseLocks(tid)
+			delete(s.parts, tid)
+			return
+		case protocol.StateWait, protocol.StateCompute:
+			s.onOutcomeMsg(tid, false)
+			return
+		}
+	}
+	s.resolveOutcome(tid, false)
+}
+
+// ---------------------------------------------------------------------
+// Outcome propagation and recovery (§3.3)
+// ---------------------------------------------------------------------
+
+// armOutcomeRetry keeps asking the coordinator for an outcome until it is
+// known locally.
+func (s *Site) armOutcomeRetry(tid txn.ID, coordinator protocol.SiteID) {
+	if committed, known := s.store.Outcome(tid); known {
+		s.resolveOutcome(tid, committed)
+		return
+	}
+	if coordinator == "" || coordinator == s.id {
+		// We are the coordinator.  With no live context and no durable
+		// decision, the transaction cannot have committed (decisions are
+		// logged before any complete is sent): presume abort locally.
+		if _, live := s.coords[tid]; live {
+			return
+		}
+		if err := s.store.SetOutcome(tid, false); err != nil {
+			s.c.trace("%s self presumed-abort log error for %s: %v", s.id, tid, err)
+			return
+		}
+		s.c.trace("%s self presumed abort for %s", s.id, tid)
+		s.resolveOutcome(tid, false)
+		return
+	}
+	s.send(protocol.Message{Kind: protocol.MsgOutcomeReq, TID: tid, To: coordinator})
+	timer := s.after(s.c.cfg.RetryInterval, func() {
+		if _, known := s.store.Outcome(tid); known {
+			return
+		}
+		s.armOutcomeRetry(tid, coordinator)
+	})
+	s.retry[tid] = retryState{timer: timer, coordinator: coordinator}
+}
+
+// onOutcomeReq answers from the durable outcome log; an unknown
+// transaction with no live coordinator context is presumed aborted (the
+// decision to commit is always logged before any complete is sent, so an
+// unlogged transaction cannot have committed).
+func (s *Site) onOutcomeReq(msg protocol.Message) {
+	if committed, known := s.store.Outcome(msg.TID); known {
+		s.send(protocol.Message{Kind: protocol.MsgOutcomeInfo, TID: msg.TID, To: msg.From, Committed: committed})
+		return
+	}
+	if _, live := s.coords[msg.TID]; live {
+		return // still deciding; the requester will retry
+	}
+	if err := s.store.SetOutcome(msg.TID, false); err != nil {
+		s.c.trace("%s presumed-abort log error for %s: %v", s.id, msg.TID, err)
+		return
+	}
+	s.c.trace("%s presumed abort for %s", s.id, msg.TID)
+	s.send(protocol.Message{Kind: protocol.MsgOutcomeInfo, TID: msg.TID, To: msg.From, Committed: false})
+}
+
+// resolveOutcome records a learned outcome, settles any blocked or
+// recovered participant state, reduces dependent polyvalues, and
+// propagates the news to listed sites (§3.3).
+func (s *Site) resolveOutcome(tid txn.ID, committed bool) {
+	if prev, known := s.store.Outcome(tid); known && prev != committed {
+		s.c.trace("%s CONFLICTING outcome for %s: had %v, got %v", s.id, tid, prev, committed)
+		return
+	}
+	_ = s.store.SetOutcome(tid, committed)
+
+	// A blocking-policy participant wakes up here.
+	if ctx, ok := s.parts[tid]; ok && ctx.blocked {
+		ctx.blocked = false
+		s.onOutcomeMsg(tid, committed)
+		return
+	}
+	// A prepared entry without a live context (recovered site under the
+	// blocking policy, or lost complete): settle it now.
+	if prep, ok := s.store.GetPrepared(tid); ok {
+		if _, live := s.parts[tid]; !live {
+			if committed {
+				items := make([]string, 0, len(prep.Writes))
+				for item := range prep.Writes {
+					items = append(items, item)
+				}
+				sort.Strings(items)
+				for _, item := range items {
+					_ = s.store.Put(item, prep.Writes[item])
+				}
+			}
+			_ = s.store.ClearPrepared(tid)
+		}
+	}
+	s.reduceDependents(tid, committed)
+}
+
+// reduceDependents applies a known outcome to every dependent local
+// polyvalue, informs every site we sent dependent polyvalues to, and
+// deletes the dependency entry.
+func (s *Site) reduceDependents(tid txn.ID, committed bool) {
+	rs, hadRetry := s.retry[tid]
+	if hadRetry {
+		s.c.sched.Cancel(rs.timer)
+		delete(s.retry, tid)
+		// We were in doubt and have now settled: acknowledge so the
+		// coordinator can forget the outcome record.
+		s.send(protocol.Message{Kind: protocol.MsgOutcomeAck, TID: tid, To: rs.coordinator})
+	}
+	if coord, ok := s.store.Await(tid); ok {
+		_ = s.store.ClearAwait(tid)
+		// A crash-recovered in-doubt site may have no retry entry; ack
+		// from the durable record instead.
+		if !hadRetry {
+			s.send(protocol.Message{Kind: protocol.MsgOutcomeAck, TID: tid, To: protocol.SiteID(coord)})
+		}
+	}
+	items, sites := s.store.Deps(tid)
+	for _, item := range items {
+		p := s.store.Get(item)
+		if !p.Mentions(tid) {
+			continue // overwritten since
+		}
+		reduced := p.Resolve(tid, committed)
+		if err := s.store.Put(item, reduced); err != nil {
+			s.c.trace("%s reduce %s: %v", s.id, item, err)
+			continue
+		}
+		s.c.polyReductions.Inc()
+	}
+	for _, site := range sites {
+		s.send(protocol.Message{
+			Kind: protocol.MsgOutcomeInfo, TID: tid,
+			To: protocol.SiteID(site), Committed: committed,
+		})
+	}
+	if len(sites) == 0 {
+		if len(items) > 0 {
+			_ = s.store.ClearDeps(tid)
+		}
+	} else {
+		// Keep the entry until every listed site acknowledges; resend
+		// periodically (targets may be down right now).
+		if id, ok := s.notifyRetry[tid]; ok {
+			s.c.sched.Cancel(id)
+		}
+		s.notifyRetry[tid] = s.after(s.c.cfg.RetryInterval, func() {
+			delete(s.notifyRetry, tid)
+			if s.store.HasDeps(tid) {
+				s.reduceDependents(tid, committed)
+			}
+		})
+	}
+	// Participant-side outcome GC: once dependencies are cleared and we
+	// are not coordinating this transaction's ack collection, the record
+	// is only needed for duplicate suppression — forget it after the TTL.
+	if ttl := s.c.cfg.OutcomeTTL; ttl >= 0 {
+		if _, coordinating := s.acks[tid]; !coordinating {
+			s.after(ttl, func() {
+				if _, coordinating := s.acks[tid]; coordinating {
+					return
+				}
+				if s.store.HasDeps(tid) {
+					return // unacknowledged notifications still pending
+				}
+				s.store.ForgetOutcome(tid)
+			})
+		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Failure injection
+// ---------------------------------------------------------------------
+
+// crash loses all volatile state; the store survives.
+func (s *Site) crash() {
+	s.down = true
+	s.c.net.SetDown(s.id, true)
+	for _, ctx := range s.parts {
+		s.c.sched.Cancel(ctx.waitTimer)
+		s.c.sched.Cancel(ctx.lockTimer)
+	}
+	for _, ctx := range s.coords {
+		s.c.sched.Cancel(ctx.readTimer)
+		s.c.sched.Cancel(ctx.readyTimer)
+		if ctx.isQuery {
+			ctx.qh.complete(polyvalue.Poly{}, errSiteDown)
+		}
+	}
+	for _, rs := range s.retry {
+		s.c.sched.Cancel(rs.timer)
+	}
+	for _, id := range s.notifyRetry {
+		s.c.sched.Cancel(id)
+	}
+	s.locks = map[string]txn.ID{}
+	s.parts = map[txn.ID]*partCtx{}
+	s.coords = map[txn.ID]*coordCtx{}
+	s.retry = map[txn.ID]retryState{}
+	s.notifyRetry = map[txn.ID]vclock.TimerID{}
+	s.acks = map[txn.ID]map[protocol.SiteID]bool{}
+	s.c.trace("%s crashed", s.id)
+}
+
+// restart recovers from the durable store.  Under the polyvalue policy,
+// prepared-but-unresolved transactions become polyvalues immediately so
+// the site is fully available; under the blocking policy their items are
+// re-locked until the outcome is learned.
+func (s *Site) restart() {
+	if !s.down {
+		return
+	}
+	s.down = false
+	s.c.net.SetDown(s.id, false)
+	s.recoverDurableState()
+}
+
+// recoverDurableState settles whatever the durable store says was in
+// flight: prepared entries become polyvalues (or re-locked items, or
+// arbitrary guesses, per policy), known outcomes reduce dependents, and
+// await entries resume their outcome-request loops.  Called on site
+// restart and, for file-backed clusters, at process start.
+func (s *Site) recoverDurableState() {
+	s.c.trace("%s recovering with %d prepared txns", s.id, len(s.store.PreparedTxns()))
+	for _, prep := range s.store.PreparedTxns() {
+		coord := protocol.SiteID(prep.Coordinator)
+		if s.c.cfg.Policy == PolicyArbitrary {
+			guess := arbitraryChoice(s.id, prep.TID)
+			s.c.inDoubt.Inc()
+			s.c.trace("%s ARBITRARY recovery decision for %s: commit=%v", s.id, prep.TID, guess)
+			if guess {
+				items := make([]string, 0, len(prep.Writes))
+				for item := range prep.Writes {
+					items = append(items, item)
+				}
+				sort.Strings(items)
+				for _, item := range items {
+					_ = s.store.Put(item, prep.Writes[item])
+				}
+			}
+			_ = s.store.ClearPrepared(prep.TID)
+			continue
+		}
+		if s.c.cfg.Policy == PolicyBlocking {
+			ctx := s.part(prep.TID, coord)
+			// Walk the machine into the wait state it died in.
+			_, _ = ctx.machine.Transition(protocol.EvPrepare)
+			_, _ = ctx.machine.Transition(protocol.EvComputed)
+			ctx.blocked = true
+			ctx.writes = prep.Writes
+			ctx.previous = prep.Previous
+			for item := range prep.Writes {
+				s.locks[item] = prep.TID
+				ctx.locked = append(ctx.locked, item)
+			}
+			s.c.inDoubt.Inc()
+			s.armOutcomeRetry(prep.TID, coord)
+			continue
+		}
+		s.c.inDoubt.Inc()
+		_ = s.store.SetAwait(prep.TID, prep.Coordinator)
+		s.installPolyvalues(prep.TID, prep.Writes, prep.Previous)
+		_ = s.store.ClearPrepared(prep.TID)
+		s.armOutcomeRetry(prep.TID, coord)
+	}
+	// Resume outcome propagation for any dependency entries that predate
+	// the crash: entries whose outcome we already know are reduced
+	// immediately.
+	for _, tid := range s.store.DepTIDs() {
+		if committed, known := s.store.Outcome(tid); known {
+			s.reduceDependents(tid, committed)
+		}
+	}
+	// Resume the outcome-request loop for every transaction we installed
+	// polyvalues for and still lack an outcome on (the durable await
+	// table survives any number of crashes).
+	for tid, coord := range s.store.Awaits() {
+		if committed, known := s.store.Outcome(tid); known {
+			s.resolveOutcome(tid, committed)
+			continue
+		}
+		s.armOutcomeRetry(tid, protocol.SiteID(coord))
+	}
+}
+
+// ---------------------------------------------------------------------
+// Small helpers
+// ---------------------------------------------------------------------
+
+// part finds or creates the participant context.
+func (s *Site) part(tid txn.ID, coordinator protocol.SiteID) *partCtx {
+	if ctx, ok := s.parts[tid]; ok {
+		return ctx
+	}
+	ctx := &partCtx{
+		tid: tid, coordinator: coordinator,
+		machine: protocol.NewParticipant(tid, coordinator),
+	}
+	s.parts[tid] = ctx
+	return ctx
+}
+
+// lockAll acquires every item or none.
+func (s *Site) lockAll(tid txn.ID, items []string) bool {
+	for _, item := range items {
+		if holder, held := s.locks[item]; held && holder != tid {
+			return false
+		}
+	}
+	for _, item := range items {
+		s.locks[item] = tid
+	}
+	return true
+}
+
+// releaseLocks frees every lock held by tid.
+func (s *Site) releaseLocks(tid txn.ID) {
+	for item, holder := range s.locks {
+		if holder == tid {
+			delete(s.locks, item)
+		}
+	}
+}
+
+func mergeItems(a, b []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, s := range a {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	for _, s := range b {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func copyValues(m map[string]polyvalue.Poly) map[string]polyvalue.Poly {
+	out := make(map[string]polyvalue.Poly, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// arbitraryChoice is the §2.3 baseline's local coin flip, made
+// deterministic per (site, transaction) so runs are reproducible.
+func arbitraryChoice(site protocol.SiteID, tid txn.ID) bool {
+	h := fnv.New32a()
+	h.Write([]byte(site))
+	h.Write([]byte(tid))
+	// FNV's low bit is a pure parity chain of the input's low bits, which
+	// correlates across nearby site names; a middle bit is well mixed.
+	return (h.Sum32()>>16)&1 == 1
+}
+
+// exprVars mirrors polytxn's variable collection for query scatter.
+func exprVars(n expr.Node, set map[string]bool) {
+	switch x := n.(type) {
+	case expr.Lit:
+	case expr.Ref:
+		set[x.Name] = true
+	case expr.Unary:
+		exprVars(x.X, set)
+	case expr.Binary:
+		exprVars(x.L, set)
+		exprVars(x.R, set)
+	case expr.Call:
+		for _, a := range x.Args {
+			exprVars(a, set)
+		}
+	}
+}

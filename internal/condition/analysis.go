@@ -1,0 +1,75 @@
+package condition
+
+// This file holds the semantic analyses used to check the paper's §3
+// invariant that "the conditions on the pairs in each polyvalue must be
+// complete and disjoint: one and only one of the predicates must be true
+// under any assignment of truth values to the transaction identifiers."
+
+// isTautology decides whether the canonical SOP is true under every
+// assignment, by Shannon expansion on its variables.  Polyvalue
+// conditions are small (§4 shows steady-state polyvalue populations of a
+// handful), so the exponential worst case is acceptable; the expansion
+// short-circuits aggressively through Assign's simplification.
+func (c Cond) isTautology() bool {
+	if len(c.products) == 1 && c.products[0].isTrue() {
+		return true
+	}
+	if len(c.products) == 0 {
+		return false
+	}
+	vars := c.Vars()
+	t := vars[0]
+	return c.Assign(t, true).isTautology() && c.Assign(t, false).isTautology()
+}
+
+// Equivalent reports whether c and d denote the same predicate.  It first
+// tries cheap structural equality of the canonical forms, then decides
+// semantically: c ≡ d iff (c ∧ ¬d) ∨ (¬c ∧ d) is unsatisfiable.
+func (c Cond) Equivalent(d Cond) bool {
+	if c.Equal(d) {
+		return true
+	}
+	xor := c.And(d.Not()).Or(c.Not().And(d))
+	return xor.IsFalse() || !xor.satisfiable()
+}
+
+// Implies reports whether c ⇒ d (every assignment satisfying c satisfies
+// d).
+func (c Cond) Implies(d Cond) bool {
+	counter := c.And(d.Not())
+	return counter.IsFalse() || !counter.satisfiable()
+}
+
+// satisfiable reports whether some assignment makes the condition true.
+// In canonical SOP form every stored product is non-contradictory, so any
+// product witnesses satisfiability.
+func (c Cond) satisfiable() bool { return len(c.products) > 0 }
+
+// Disjoint reports whether no assignment satisfies two of the conditions
+// simultaneously (pairwise c_i ∧ c_j unsatisfiable).
+func Disjoint(conds []Cond) bool {
+	for i := range conds {
+		for j := i + 1; j < len(conds); j++ {
+			if conds[i].And(conds[j]).satisfiable() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Complete reports whether every assignment satisfies at least one of the
+// conditions (their disjunction is a tautology).
+func Complete(conds []Cond) bool {
+	all := False()
+	for _, c := range conds {
+		all = all.Or(c)
+	}
+	return all.IsTrue()
+}
+
+// CompleteAndDisjoint checks the paper's polyvalue well-formedness
+// invariant: exactly one condition holds under any outcome assignment.
+func CompleteAndDisjoint(conds []Cond) bool {
+	return Disjoint(conds) && Complete(conds)
+}

@@ -1,0 +1,275 @@
+// Package condition implements the boolean condition algebra that tags
+// polyvalue alternatives.
+//
+// A condition is a predicate over transaction identifiers.  The variable
+// for a transaction T is true if T committed and false if T aborted
+// (Montgomery, SOSP 1979, §3).  Conditions are kept in canonical
+// sum-of-products (SOP) form: a disjunction of products, each product a
+// conjunction of literals ("T committed" or "T aborted").  The paper's
+// simplification rule 3 ("reduce each predicate to sum-of-products form,
+// and discard any pair whose condition is logically false") is the
+// canonicalization implemented here.
+//
+// The zero value of Cond is the constant false.  Conditions are immutable:
+// every operation returns a fresh canonical condition, so values may be
+// freely shared between goroutines.
+package condition
+
+import (
+	"sort"
+	"strings"
+)
+
+// TID names a transaction.  The paper calls these "transaction
+// identifiers"; they are the variables of every condition.
+type TID string
+
+// Literal is a single assertion about one transaction: T committed
+// (Neg == false) or T aborted (Neg == true).
+type Literal struct {
+	T   TID
+	Neg bool
+}
+
+// String renders the literal in the compact form used throughout the
+// package: "T1" for committed, "!T1" for aborted.
+func (l Literal) String() string {
+	if l.Neg {
+		return "!" + string(l.T)
+	}
+	return string(l.T)
+}
+
+// compare orders literals by transaction ID, positive before negative.
+func (l Literal) compare(m Literal) int {
+	switch {
+	case l.T < m.T:
+		return -1
+	case l.T > m.T:
+		return 1
+	case !l.Neg && m.Neg:
+		return -1
+	case l.Neg && !m.Neg:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// product is a conjunction of literals.  Canonical form: sorted by TID,
+// at most one literal per TID.  A product containing both T and !T is
+// contradictory and is never stored.  The empty product is the constant
+// true.
+type product struct {
+	lits []Literal
+}
+
+// newProduct builds a canonical product from literals.  The second result
+// is false if the literals are contradictory (contain both T and !T).
+func newProduct(lits []Literal) (product, bool) {
+	if len(lits) == 0 {
+		return product{}, true
+	}
+	sorted := make([]Literal, len(lits))
+	copy(sorted, lits)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].compare(sorted[j]) < 0 })
+	out := sorted[:0]
+	for _, l := range sorted {
+		if n := len(out); n > 0 && out[n-1].T == l.T {
+			if out[n-1].Neg != l.Neg {
+				return product{}, false // T ∧ !T
+			}
+			continue // duplicate literal
+		}
+		out = append(out, l)
+	}
+	return product{lits: out}, true
+}
+
+// isTrue reports whether the product is the constant true (no literals).
+func (p product) isTrue() bool { return len(p.lits) == 0 }
+
+// find returns the sign of the literal for t, if present.
+func (p product) find(t TID) (neg, ok bool) {
+	i := sort.Search(len(p.lits), func(i int) bool { return p.lits[i].T >= t })
+	if i < len(p.lits) && p.lits[i].T == t {
+		return p.lits[i].Neg, true
+	}
+	return false, false
+}
+
+// without returns a copy of p with any literal on t removed.
+func (p product) without(t TID) product {
+	out := make([]Literal, 0, len(p.lits))
+	for _, l := range p.lits {
+		if l.T != t {
+			out = append(out, l)
+		}
+	}
+	return product{lits: out}
+}
+
+// subsumes reports whether p's literals are a subset of q's, meaning p is
+// implied by q and q is redundant alongside p (p ∨ q ≡ p).
+func (p product) subsumes(q product) bool {
+	if len(p.lits) > len(q.lits) {
+		return false
+	}
+	i := 0
+	for _, l := range q.lits {
+		if i < len(p.lits) && p.lits[i] == l {
+			i++
+		}
+	}
+	return i == len(p.lits)
+}
+
+// compare orders products: shorter first, then lexicographic by literal.
+func (p product) compare(q product) int {
+	if len(p.lits) != len(q.lits) {
+		if len(p.lits) < len(q.lits) {
+			return -1
+		}
+		return 1
+	}
+	for i := range p.lits {
+		if c := p.lits[i].compare(q.lits[i]); c != 0 {
+			return c
+		}
+	}
+	return 0
+}
+
+// eval evaluates the product under a full assignment.  Missing variables
+// are reported via ok == false.
+func (p product) eval(asn map[TID]bool) (val, ok bool) {
+	for _, l := range p.lits {
+		committed, present := asn[l.T]
+		if !present {
+			return false, false
+		}
+		if committed == l.Neg { // literal is false
+			return false, true
+		}
+	}
+	return true, true
+}
+
+func (p product) String() string {
+	if p.isTrue() {
+		return "true"
+	}
+	parts := make([]string, len(p.lits))
+	for i, l := range p.lits {
+		parts[i] = l.String()
+	}
+	return strings.Join(parts, "&")
+}
+
+// Cond is a condition in canonical sum-of-products form.  The zero value
+// is the constant false.  Cond values are immutable.
+type Cond struct {
+	products []product
+}
+
+// False returns the constant-false condition.
+func False() Cond { return Cond{} }
+
+// True returns the constant-true condition.
+func True() Cond { return Cond{products: []product{{}}} }
+
+// Committed returns the condition "transaction t committed".
+func Committed(t TID) Cond {
+	return Cond{products: []product{{lits: []Literal{{T: t}}}}}
+}
+
+// Aborted returns the condition "transaction t aborted".
+func Aborted(t TID) Cond {
+	return Cond{products: []product{{lits: []Literal{{T: t, Neg: true}}}}}
+}
+
+// IsFalse reports whether the condition is the constant false.  Canonical
+// form guarantees the check is structural.
+func (c Cond) IsFalse() bool { return len(c.products) == 0 }
+
+// IsTrue reports whether the condition is a tautology.  The constant true
+// is detected structurally; other tautologies (such as T ∨ !T) are
+// detected by Shannon expansion.
+func (c Cond) IsTrue() bool {
+	if len(c.products) == 1 && c.products[0].isTrue() {
+		return true
+	}
+	if len(c.products) == 0 {
+		return false
+	}
+	return c.isTautology()
+}
+
+// Vars returns the transaction identifiers mentioned by the condition, in
+// sorted order.
+func (c Cond) Vars() []TID {
+	seen := map[TID]bool{}
+	var out []TID
+	for _, p := range c.products {
+		for _, l := range p.lits {
+			if !seen[l.T] {
+				seen[l.T] = true
+				out = append(out, l.T)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Mentions reports whether the condition depends on transaction t.
+func (c Cond) Mentions(t TID) bool {
+	for _, p := range c.products {
+		if _, ok := p.find(t); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// NumProducts returns the number of products in the canonical form; a
+// rough size measure used by benchmarks and metrics.
+func (c Cond) NumProducts() int { return len(c.products) }
+
+// NumLiterals returns the total literal count across all products.
+func (c Cond) NumLiterals() int {
+	n := 0
+	for _, p := range c.products {
+		n += len(p.lits)
+	}
+	return n
+}
+
+// String renders the condition, e.g. "T1&!T2 | T3".  The constants render
+// as "true" and "false".
+func (c Cond) String() string {
+	if c.IsFalse() {
+		return "false"
+	}
+	parts := make([]string, len(c.products))
+	for i, p := range c.products {
+		parts[i] = p.String()
+	}
+	return strings.Join(parts, " | ")
+}
+
+// Equal reports structural equality of canonical forms.  Because both
+// operands are canonical, structural equality of the products implies
+// syntactic identity; it is sufficient for equal conditions produced by
+// the same operation pipeline, while Equivalent decides semantic equality.
+func (c Cond) Equal(d Cond) bool {
+	if len(c.products) != len(d.products) {
+		return false
+	}
+	for i := range c.products {
+		if c.products[i].compare(d.products[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,376 @@
+package condition
+
+import (
+	"testing"
+)
+
+func TestConstants(t *testing.T) {
+	if !False().IsFalse() {
+		t.Error("False().IsFalse() = false")
+	}
+	if False().IsTrue() {
+		t.Error("False().IsTrue() = true")
+	}
+	if !True().IsTrue() {
+		t.Error("True().IsTrue() = false")
+	}
+	if True().IsFalse() {
+		t.Error("True().IsFalse() = true")
+	}
+	if got := True().String(); got != "true" {
+		t.Errorf("True().String() = %q", got)
+	}
+	if got := False().String(); got != "false" {
+		t.Errorf("False().String() = %q", got)
+	}
+}
+
+func TestZeroValueIsFalse(t *testing.T) {
+	var c Cond
+	if !c.IsFalse() {
+		t.Error("zero Cond is not false")
+	}
+	if !c.Or(True()).IsTrue() {
+		t.Error("false | true != true")
+	}
+	if !c.And(True()).IsFalse() {
+		t.Error("false & true != false")
+	}
+}
+
+func TestLiteralConstructors(t *testing.T) {
+	c := Committed("T1")
+	if got := c.String(); got != "T1" {
+		t.Errorf("Committed string = %q", got)
+	}
+	a := Aborted("T1")
+	if got := a.String(); got != "!T1" {
+		t.Errorf("Aborted string = %q", got)
+	}
+	if c.Equal(a) {
+		t.Error("T1 == !T1")
+	}
+}
+
+func TestAndBasics(t *testing.T) {
+	t1, t2 := Committed("T1"), Committed("T2")
+	c := t1.And(t2)
+	if got := c.String(); got != "T1&T2" {
+		t.Errorf("T1&T2 = %q", got)
+	}
+	if !t1.And(Aborted("T1")).IsFalse() {
+		t.Error("T1 & !T1 should be false")
+	}
+	if !t1.And(t1).Equal(t1) {
+		t.Error("And not idempotent")
+	}
+	if !t1.And(True()).Equal(t1) {
+		t.Error("T1 & true != T1")
+	}
+	if !t1.And(False()).IsFalse() {
+		t.Error("T1 & false != false")
+	}
+}
+
+func TestOrBasics(t *testing.T) {
+	t1 := Committed("T1")
+	if !t1.Or(Aborted("T1")).IsTrue() {
+		t.Error("T1 | !T1 should be a tautology")
+	}
+	if !t1.Or(t1).Equal(t1) {
+		t.Error("Or not idempotent")
+	}
+	if !t1.Or(False()).Equal(t1) {
+		t.Error("T1 | false != T1")
+	}
+	if !t1.Or(True()).IsTrue() {
+		t.Error("T1 | true != true")
+	}
+}
+
+func TestSubsumption(t *testing.T) {
+	t1, t2 := Committed("T1"), Committed("T2")
+	c := t1.Or(t1.And(t2)) // T1 | T1&T2 == T1
+	if !c.Equal(t1) {
+		t.Errorf("subsumption failed: got %v", c)
+	}
+}
+
+func TestComplementMerge(t *testing.T) {
+	t1, t2 := Committed("T1"), Committed("T2")
+	// T1&T2 | T1&!T2 == T1
+	c := t1.And(t2).Or(t1.And(Aborted("T2")))
+	if !c.Equal(t1) {
+		t.Errorf("complement merge failed: got %v", c)
+	}
+}
+
+func TestNot(t *testing.T) {
+	t1, t2 := Committed("T1"), Committed("T2")
+	cases := []struct {
+		in   Cond
+		want Cond
+	}{
+		{True(), False()},
+		{False(), True()},
+		{t1, Aborted("T1")},
+		{t1.And(t2), Aborted("T1").Or(Aborted("T2"))},
+		{t1.Or(t2), Aborted("T1").And(Aborted("T2"))},
+	}
+	for _, c := range cases {
+		if got := c.in.Not(); !got.Equivalent(c.want) {
+			t.Errorf("Not(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDoubleNegation(t *testing.T) {
+	c := MustParse("T1&!T2 | T3")
+	if !c.Not().Not().Equivalent(c) {
+		t.Errorf("double negation changed %v to %v", c, c.Not().Not())
+	}
+}
+
+func TestAssign(t *testing.T) {
+	// Paper's example shape: T1&(T2|T3) expanded to SOP.
+	c := MustParse("T1&T2 | T1&T3")
+	if got := c.Assign("T1", false); !got.IsFalse() {
+		t.Errorf("assign T1=aborted: got %v, want false", got)
+	}
+	if got := c.Assign("T1", true); !got.Equivalent(MustParse("T2 | T3")) {
+		t.Errorf("assign T1=committed: got %v", got)
+	}
+	got := c.Assign("T2", true)
+	if !got.Equivalent(MustParse("T1")) {
+		t.Errorf("assign T2=committed: got %v, want T1", got)
+	}
+}
+
+func TestAssignIrrelevantVar(t *testing.T) {
+	c := MustParse("T1&!T2")
+	if got := c.Assign("T9", true); !got.Equal(c) {
+		t.Errorf("assigning unmentioned var changed condition: %v", got)
+	}
+}
+
+func TestAssignAll(t *testing.T) {
+	c := MustParse("T1&T2 | !T1&T3")
+	got := c.AssignAll(map[TID]bool{"T1": true, "T2": true})
+	if !got.IsTrue() {
+		t.Errorf("AssignAll: got %v, want true", got)
+	}
+	got = c.AssignAll(map[TID]bool{"T1": false, "T3": false})
+	if !got.IsFalse() {
+		t.Errorf("AssignAll: got %v, want false", got)
+	}
+}
+
+func TestEval(t *testing.T) {
+	c := MustParse("T1&T2 | !T1&T3")
+	v, ok := c.Eval(map[TID]bool{"T1": true, "T2": true, "T3": false})
+	if !ok || !v {
+		t.Errorf("Eval full assignment = %v,%v", v, ok)
+	}
+	v, ok = c.Eval(map[TID]bool{"T1": true, "T2": false, "T3": true})
+	if !ok || v {
+		t.Errorf("Eval = %v,%v, want false,true", v, ok)
+	}
+	// Partial assignment that cannot decide: T1 committed, T2 unknown.
+	_, ok = c.Eval(map[TID]bool{"T1": true, "T3": false})
+	if ok {
+		t.Error("Eval decided with missing relevant variable")
+	}
+	// Partial assignment that can decide: T1 aborted kills first product,
+	// T3 committed satisfies the second.
+	v, ok = c.Eval(map[TID]bool{"T1": false, "T3": true})
+	if !ok || !v {
+		t.Errorf("Eval short-circuit = %v,%v, want true,true", v, ok)
+	}
+}
+
+func TestVarsAndMentions(t *testing.T) {
+	c := MustParse("T2&!T1 | T3")
+	vars := c.Vars()
+	want := []TID{"T1", "T2", "T3"}
+	if len(vars) != len(want) {
+		t.Fatalf("Vars = %v", vars)
+	}
+	for i := range want {
+		if vars[i] != want[i] {
+			t.Errorf("Vars[%d] = %v, want %v", i, vars[i], want[i])
+		}
+	}
+	if !c.Mentions("T1") || c.Mentions("T9") {
+		t.Error("Mentions wrong")
+	}
+	if len(True().Vars()) != 0 || len(False().Vars()) != 0 {
+		t.Error("constants mention variables")
+	}
+}
+
+func TestImplies(t *testing.T) {
+	t1t2 := MustParse("T1&T2")
+	t1 := MustParse("T1")
+	if !t1t2.Implies(t1) {
+		t.Error("T1&T2 should imply T1")
+	}
+	if t1.Implies(t1t2) {
+		t.Error("T1 should not imply T1&T2")
+	}
+	if !False().Implies(t1) {
+		t.Error("false implies everything")
+	}
+	if !t1.Implies(True()) {
+		t.Error("everything implies true")
+	}
+}
+
+func TestEquivalentSemantic(t *testing.T) {
+	// Structurally different, semantically equal: distribution.
+	a := MustParse("T1&T2 | T1&T3")
+	b := MustParse("T1").And(MustParse("T2 | T3"))
+	if !a.Equivalent(b) {
+		t.Errorf("%v !~ %v", a, b)
+	}
+	if a.Equivalent(MustParse("T1")) {
+		t.Error("false positive equivalence")
+	}
+}
+
+func TestCompleteAndDisjoint(t *testing.T) {
+	// The canonical polyvalue pair conditions from §3.1: {T, !T}.
+	pair := []Cond{Committed("T"), Aborted("T")}
+	if !CompleteAndDisjoint(pair) {
+		t.Error("{T, !T} should be complete and disjoint")
+	}
+	// Overlapping set.
+	if Disjoint([]Cond{Committed("T"), True()}) {
+		t.Error("{T, true} should not be disjoint")
+	}
+	// Incomplete set.
+	if Complete([]Cond{Committed("T1").And(Committed("T2"))}) {
+		t.Error("{T1&T2} should not be complete")
+	}
+	// Two-transaction partition: {T1&T2, T1&!T2, !T1}.
+	three := []Cond{
+		MustParse("T1&T2"),
+		MustParse("T1&!T2"),
+		MustParse("!T1"),
+	}
+	if !CompleteAndDisjoint(three) {
+		t.Error("three-way partition should be complete and disjoint")
+	}
+}
+
+func TestTautologyDetection(t *testing.T) {
+	// (T1&T2) | !T1 | (T1&!T2) is a tautology that needs Shannon
+	// expansion to detect... though complement merging may collapse it.
+	c := MustParse("T1&T2 | !T1 | T1&!T2")
+	if !c.IsTrue() {
+		t.Errorf("%v should be a tautology", c)
+	}
+	c = MustParse("T1&T2 | !T1&!T2")
+	if c.IsTrue() {
+		t.Errorf("%v is not a tautology", c)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	for _, s := range []string{
+		"true", "false", "T1", "!T1", "T1&T2", "T1&!T2 | T3",
+		"!T1&!T2&!T3", "T1 | T2 | T3",
+	} {
+		c := MustParse(s)
+		back, err := Parse(c.String())
+		if err != nil {
+			t.Fatalf("re-parse %q: %v", c.String(), err)
+		}
+		if !back.Equal(c) {
+			t.Errorf("round trip %q -> %q -> %v", s, c.String(), back)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, s := range []string{"", "T1&", "|T1", "T1 T2", "!&T1", "tr ue"} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestParseContradictionCollapses(t *testing.T) {
+	c := MustParse("T1&!T1")
+	if !c.IsFalse() {
+		t.Errorf("T1&!T1 parsed to %v", c)
+	}
+	c = MustParse("T1&!T1 | T2")
+	if !c.Equal(Committed("T2")) {
+		t.Errorf("T1&!T1 | T2 parsed to %v", c)
+	}
+}
+
+func TestParseDoubleNegation(t *testing.T) {
+	c := MustParse("!!T1")
+	if !c.Equal(Committed("T1")) {
+		t.Errorf("!!T1 = %v", c)
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	for _, s := range []string{
+		"true", "false", "T1", "!T1&T2 | T3", "a&b&c | !a&!b",
+	} {
+		c := MustParse(s)
+		data, err := c.MarshalBinary()
+		if err != nil {
+			t.Fatalf("marshal %v: %v", c, err)
+		}
+		var back Cond
+		if err := back.UnmarshalBinary(data); err != nil {
+			t.Fatalf("unmarshal %v: %v", c, err)
+		}
+		if !back.Equal(c) {
+			t.Errorf("binary round trip %v -> %v", c, back)
+		}
+	}
+}
+
+func TestBinaryTruncated(t *testing.T) {
+	c := MustParse("T1&!T2 | T3")
+	data, _ := c.MarshalBinary()
+	for i := 0; i < len(data); i++ {
+		var back Cond
+		if err := back.UnmarshalBinary(data[:i]); err == nil && i < len(data) {
+			// Some prefixes may decode as a shorter valid condition only
+			// if they end exactly at a product boundary AND consume all
+			// input; UnmarshalBinary requires full consumption, so any
+			// strict prefix that decodes must have trailing garbage.
+			t.Errorf("truncation to %d bytes decoded successfully", i)
+		}
+	}
+}
+
+func TestDecodeBinaryTrailing(t *testing.T) {
+	c := MustParse("T1")
+	data, _ := c.MarshalBinary()
+	data = append(data, 0xff)
+	var back Cond
+	if err := back.UnmarshalBinary(data); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	got, n, err := DecodeBinary(data)
+	if err != nil || n != len(data)-1 || !got.Equal(c) {
+		t.Errorf("DecodeBinary = %v,%d,%v", got, n, err)
+	}
+}
+
+func TestSizeAccessors(t *testing.T) {
+	c := MustParse("T1&!T2 | T3")
+	if c.NumProducts() != 2 {
+		t.Errorf("NumProducts = %d", c.NumProducts())
+	}
+	if c.NumLiterals() != 3 {
+		t.Errorf("NumLiterals = %d", c.NumLiterals())
+	}
+}

@@ -1,0 +1,105 @@
+package condition
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Binary wire format (used by the storage WAL and the simulated network):
+//
+//	uvarint  number of products
+//	per product:
+//	  uvarint  number of literals
+//	  per literal:
+//	    byte     0 = positive (committed), 1 = negative (aborted)
+//	    uvarint  length of TID
+//	    bytes    TID
+//
+// The format round-trips canonical form exactly; UnmarshalBinary
+// re-canonicalizes anyway so corrupted-but-parseable input still yields a
+// well-formed condition.
+
+// AppendBinary appends the encoded condition to dst and returns the
+// extended slice.
+func (c Cond) AppendBinary(dst []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(c.products)))
+	for _, p := range c.products {
+		dst = binary.AppendUvarint(dst, uint64(len(p.lits)))
+		for _, l := range p.lits {
+			if l.Neg {
+				dst = append(dst, 1)
+			} else {
+				dst = append(dst, 0)
+			}
+			dst = binary.AppendUvarint(dst, uint64(len(l.T)))
+			dst = append(dst, l.T...)
+		}
+	}
+	return dst
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (c Cond) MarshalBinary() ([]byte, error) {
+	return c.AppendBinary(nil), nil
+}
+
+// DecodeBinary decodes one condition from the front of buf, returning the
+// condition and the number of bytes consumed.
+func DecodeBinary(buf []byte) (Cond, int, error) {
+	off := 0
+	np, n := binary.Uvarint(buf[off:])
+	if n <= 0 {
+		return False(), 0, fmt.Errorf("condition: truncated product count")
+	}
+	off += n
+	if np > uint64(len(buf)) {
+		return False(), 0, fmt.Errorf("condition: product count %d exceeds input", np)
+	}
+	products := make([]product, 0, np)
+	for i := uint64(0); i < np; i++ {
+		nl, n := binary.Uvarint(buf[off:])
+		if n <= 0 {
+			return False(), 0, fmt.Errorf("condition: truncated literal count")
+		}
+		off += n
+		if nl > uint64(len(buf)) {
+			return False(), 0, fmt.Errorf("condition: literal count %d exceeds input", nl)
+		}
+		lits := make([]Literal, 0, nl)
+		for j := uint64(0); j < nl; j++ {
+			if off >= len(buf) {
+				return False(), 0, fmt.Errorf("condition: truncated literal sign")
+			}
+			neg := buf[off] == 1
+			off++
+			ln, n := binary.Uvarint(buf[off:])
+			if n <= 0 {
+				return False(), 0, fmt.Errorf("condition: truncated TID length")
+			}
+			off += n
+			if ln > uint64(len(buf)-off) { // uint64 compare: no overflow
+				return False(), 0, fmt.Errorf("condition: truncated TID")
+			}
+			lits = append(lits, Literal{T: TID(buf[off : off+int(ln)]), Neg: neg})
+			off += int(ln)
+		}
+		if p, ok := newProduct(lits); ok {
+			products = append(products, p)
+		}
+	}
+	return canonicalize(products), off, nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler.  Trailing bytes
+// are an error.
+func (c *Cond) UnmarshalBinary(data []byte) error {
+	decoded, n, err := DecodeBinary(data)
+	if err != nil {
+		return err
+	}
+	if n != len(data) {
+		return fmt.Errorf("condition: %d trailing bytes", len(data)-n)
+	}
+	*c = decoded
+	return nil
+}

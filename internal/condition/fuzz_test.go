@@ -1,0 +1,61 @@
+package condition
+
+import (
+	"testing"
+)
+
+// FuzzParse: the parser must never panic, and anything it accepts must
+// round-trip through String/Parse to an equal canonical condition.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"true", "false", "T1", "!T1", "T1&T2 | !T3", "a&b&c|d", "!!x",
+		"T1&!T1", " T1 & T2 ", "|", "&", "!", "x|y|z", "T1&&T2",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		c, err := Parse(s)
+		if err != nil {
+			return
+		}
+		back, err := Parse(c.String())
+		if err != nil {
+			t.Fatalf("canonical form %q does not re-parse: %v", c.String(), err)
+		}
+		if !back.Equal(c) {
+			t.Fatalf("round trip %q -> %q -> %q", s, c.String(), back.String())
+		}
+	})
+}
+
+// FuzzDecodeBinary: the decoder must never panic and must reject or
+// canonicalize arbitrary bytes; whatever decodes must re-encode and
+// decode to an equal condition.
+func FuzzDecodeBinary(f *testing.F) {
+	for _, src := range []string{"true", "false", "T1&!T2 | T3"} {
+		data, _ := MustParse(src).MarshalBinary()
+		f.Add(data)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, n, err := DecodeBinary(data)
+		if err != nil {
+			return
+		}
+		if n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		re, err := c.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, _, err := DecodeBinary(re)
+		if err != nil {
+			t.Fatalf("re-encoded condition %q does not decode: %v", c, err)
+		}
+		if !back.Equal(c) {
+			t.Fatalf("binary round trip changed %q to %q", c, back)
+		}
+	})
+}

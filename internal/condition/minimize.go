@@ -1,0 +1,197 @@
+package condition
+
+import "sort"
+
+// minimizeVarLimit bounds exact minimization: Quine-McCluskey enumerates
+// all 2^n assignments.  Polyvalue conditions have a handful of variables
+// (§4: steady-state populations are tiny), so 16 is generous; larger
+// conditions fall back to the standard canonical form.
+const minimizeVarLimit = 16
+
+// Minimize returns a minimal sum-of-products form equivalent to c,
+// computed by the Quine-McCluskey algorithm (prime implicants, essential
+// selection, then greedy cover).  The result denotes exactly the same
+// predicate as c; it has at most as many products, and each product has
+// at most as many literals.  Conditions over more than 16 variables are
+// returned unchanged (already canonical).
+//
+// The standard operation pipeline (And/Or/Assign) keeps conditions in a
+// canonical form that is usually already minimal; Minimize exists for
+// display compaction and for long polytransaction chains whose composed
+// conditions accumulate redundancy.
+func (c Cond) Minimize() Cond {
+	vars := c.Vars()
+	n := len(vars)
+	if n == 0 || n > minimizeVarLimit {
+		return c
+	}
+	if c.IsFalse() {
+		return False()
+	}
+
+	// Enumerate minterms (assignments under which c is true).
+	idx := make(map[TID]uint, n)
+	for i, v := range vars {
+		idx[v] = uint(i)
+	}
+	total := 1 << n
+	minterms := make([]uint32, 0, total)
+	asn := make(map[TID]bool, n)
+	for m := 0; m < total; m++ {
+		for i, v := range vars {
+			asn[v] = m&(1<<uint(i)) != 0
+		}
+		if val, ok := c.Eval(asn); ok && val {
+			minterms = append(minterms, uint32(m))
+		}
+	}
+	if len(minterms) == 0 {
+		return False()
+	}
+	if len(minterms) == total {
+		return True()
+	}
+
+	primes := primeImplicants(minterms, n)
+	chosen := coverMinterms(primes, minterms)
+
+	// Render chosen implicants as products.
+	products := make([]product, 0, len(chosen))
+	for _, imp := range chosen {
+		var lits []Literal
+		for i := 0; i < n; i++ {
+			bit := uint32(1) << uint(i)
+			if imp.mask&bit == 0 {
+				continue // variable eliminated in this implicant
+			}
+			lits = append(lits, Literal{T: vars[i], Neg: imp.vals&bit == 0})
+		}
+		p, ok := newProduct(lits)
+		if !ok {
+			continue // unreachable: implicants are consistent
+		}
+		products = append(products, p)
+	}
+	out := canonicalize(products)
+	// The greedy cover is not always optimal (cyclic prime-implicant
+	// charts); never return something larger than the input.
+	if out.NumProducts() > c.NumProducts() ||
+		(out.NumProducts() == c.NumProducts() && out.NumLiterals() > c.NumLiterals()) {
+		return c
+	}
+	return out
+}
+
+// implicant is a cube: vals gives the fixed variables' polarities, mask
+// has a 1 bit for each fixed variable.
+type implicant struct {
+	vals, mask uint32
+}
+
+// covers reports whether the implicant contains the minterm.
+func (im implicant) covers(m uint32) bool { return m&im.mask == im.vals }
+
+// primeImplicants runs the tabulation step: repeatedly combine cubes
+// differing in exactly one fixed bit until no combination is possible.
+func primeImplicants(minterms []uint32, n int) []implicant {
+	fullMask := uint32(1)<<uint(n) - 1
+	current := make(map[implicant]bool, len(minterms))
+	for _, m := range minterms {
+		current[implicant{vals: m, mask: fullMask}] = true
+	}
+	var primes []implicant
+	for len(current) > 0 {
+		next := map[implicant]bool{}
+		combined := map[implicant]bool{}
+		list := make([]implicant, 0, len(current))
+		for im := range current {
+			list = append(list, im)
+		}
+		for i := 0; i < len(list); i++ {
+			for j := i + 1; j < len(list); j++ {
+				a, b := list[i], list[j]
+				if a.mask != b.mask {
+					continue
+				}
+				diff := a.vals ^ b.vals
+				if diff == 0 || diff&(diff-1) != 0 {
+					continue // must differ in exactly one bit
+				}
+				next[implicant{vals: a.vals &^ diff, mask: a.mask &^ diff}] = true
+				combined[a] = true
+				combined[b] = true
+			}
+		}
+		for im := range current {
+			if !combined[im] {
+				primes = append(primes, im)
+			}
+		}
+		current = next
+	}
+	return primes
+}
+
+// coverMinterms picks a small set of primes covering every minterm:
+// essential primes first, then greedy by remaining coverage.
+func coverMinterms(primes []implicant, minterms []uint32) []implicant {
+	// Deterministic order for reproducible output.
+	sort.Slice(primes, func(i, j int) bool {
+		if primes[i].mask != primes[j].mask {
+			return primes[i].mask < primes[j].mask
+		}
+		return primes[i].vals < primes[j].vals
+	})
+	covered := make(map[uint32]bool, len(minterms))
+	var chosen []implicant
+	take := func(im implicant) {
+		chosen = append(chosen, im)
+		for _, m := range minterms {
+			if im.covers(m) {
+				covered[m] = true
+			}
+		}
+	}
+	// Essential primes: sole cover of some minterm.
+	for _, m := range minterms {
+		var only *implicant
+		count := 0
+		for i := range primes {
+			if primes[i].covers(m) {
+				count++
+				only = &primes[i]
+			}
+		}
+		if count == 1 && !covered[m] {
+			take(*only)
+		}
+	}
+	// Greedy cover of the rest.
+	for {
+		remaining := 0
+		for _, m := range minterms {
+			if !covered[m] {
+				remaining++
+			}
+		}
+		if remaining == 0 {
+			return chosen
+		}
+		best, bestGain := -1, 0
+		for i, im := range primes {
+			gain := 0
+			for _, m := range minterms {
+				if !covered[m] && im.covers(m) {
+					gain++
+				}
+			}
+			if gain > bestGain {
+				best, bestGain = i, gain
+			}
+		}
+		if best < 0 {
+			return chosen // unreachable: primes cover all minterms
+		}
+		take(primes[best])
+	}
+}

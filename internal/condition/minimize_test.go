@@ -1,0 +1,86 @@
+package condition
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMinimizeConstants(t *testing.T) {
+	if !True().Minimize().IsTrue() {
+		t.Error("Minimize(true) != true")
+	}
+	if !False().Minimize().IsFalse() {
+		t.Error("Minimize(false) != false")
+	}
+}
+
+func TestMinimizeKnownCases(t *testing.T) {
+	cases := []struct {
+		in       string
+		wantSize int // products in the minimal form
+	}{
+		{"T1", 1},
+		{"!T1", 1},
+		{"T1&T2 | T1&!T2", 1},                    // = T1
+		{"T1 | !T1&T2", 2},                       // = T1 | T2
+		{"T1&T2 | T2&T3 | T1&!T3", 2},            // consensus T2&T3 redundant
+		{"T1&T2 | !T1&T3 | T2&T3", 2},            // consensus term drops
+		{"T1&T2&T3 | T1&T2&!T3 | T1&!T2", 1},     // = T1
+		{"!T1&!T2 | !T1&T2 | T1&!T2 | T1&T2", 1}, // tautology shape (true)
+	}
+	for _, c := range cases {
+		in := MustParse(c.in)
+		got := in.Minimize()
+		if !got.Equivalent(in) {
+			t.Errorf("Minimize(%q) = %q, not equivalent", c.in, got)
+		}
+		size := got.NumProducts()
+		if got.IsTrue() {
+			size = 1
+		}
+		if size != c.wantSize {
+			t.Errorf("Minimize(%q) = %q (%d products), want %d", c.in, got, size, c.wantSize)
+		}
+	}
+}
+
+// The "T1 | !T1&T2 | !T1&!T2&T3" chain is what repeated Uncertain
+// wrapping produces; minimal form is T1 | T2 | T3.
+func TestMinimizeUncertainChain(t *testing.T) {
+	in := MustParse("T1 | !T1&T2 | !T1&!T2&T3")
+	got := in.Minimize()
+	want := MustParse("T1 | T2 | T3")
+	if !got.Equal(want) {
+		t.Errorf("Minimize = %q, want %q", got, want)
+	}
+}
+
+func TestPropMinimizeEquivalentAndNoLarger(t *testing.T) {
+	f := func(x condWithAssignment) bool {
+		m := x.C.Minimize()
+		if !m.Equivalent(x.C) {
+			return false
+		}
+		if m.NumProducts() > x.C.NumProducts() && !x.C.IsTrue() {
+			return false
+		}
+		// Idempotent up to equivalence (and never grows on re-run).
+		m2 := m.Minimize()
+		return m2.Equivalent(m) && m2.NumLiterals() <= m.NumLiterals()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinimizeManyVarsFallsBack(t *testing.T) {
+	// Build a condition over 17 variables; Minimize must return it
+	// unchanged rather than enumerate 2^17 assignments.
+	c := False()
+	for i := 0; i < 17; i++ {
+		c = c.Or(Committed(TID(string(rune('a' + i)))))
+	}
+	if !c.Minimize().Equal(c) {
+		t.Error("large condition was not returned unchanged")
+	}
+}

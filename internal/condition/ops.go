@@ -1,0 +1,113 @@
+package condition
+
+// And returns the conjunction c ∧ d in canonical form.  The result is
+// built by distributing products pairwise; contradictory products are
+// dropped, so And(Committed(t), Aborted(t)) is False.
+func (c Cond) And(d Cond) Cond {
+	if c.IsFalse() || d.IsFalse() {
+		return False()
+	}
+	out := make([]product, 0, len(c.products)*len(d.products))
+	for _, p := range c.products {
+		for _, q := range d.products {
+			merged := make([]Literal, 0, len(p.lits)+len(q.lits))
+			merged = append(merged, p.lits...)
+			merged = append(merged, q.lits...)
+			if prod, ok := newProduct(merged); ok {
+				out = append(out, prod)
+			}
+		}
+	}
+	return canonicalize(out)
+}
+
+// Or returns the disjunction c ∨ d in canonical form.
+func (c Cond) Or(d Cond) Cond {
+	out := make([]product, 0, len(c.products)+len(d.products))
+	out = append(out, c.products...)
+	out = append(out, d.products...)
+	return canonicalize(out)
+}
+
+// Not returns the negation ¬c in canonical form, computed by De Morgan
+// expansion (product of sums, redistributed).  Worst case exponential in
+// the size of c; polyvalue conditions are small in practice (see the
+// paper's §4 analysis), and the A2 ablation benchmark measures this cost.
+func (c Cond) Not() Cond {
+	if c.IsFalse() {
+		return True()
+	}
+	// ¬(P1 ∨ P2 ∨ ...) = ¬P1 ∧ ¬P2 ∧ ...; each ¬Pi is a disjunction of
+	// negated literals.
+	result := True()
+	for _, p := range c.products {
+		if p.isTrue() {
+			return False()
+		}
+		neg := make([]product, 0, len(p.lits))
+		for _, l := range p.lits {
+			neg = append(neg, product{lits: []Literal{{T: l.T, Neg: !l.Neg}}})
+		}
+		result = result.And(Cond{products: neg})
+		if result.IsFalse() {
+			return False()
+		}
+	}
+	return result
+}
+
+// Assign substitutes a known outcome for transaction t (committed == true
+// means t committed) and returns the simplified condition.  This is the
+// reduction step of the paper's §3.3: "the value of the transaction
+// identifier ... can be replaced by true or false in the predicates".
+func (c Cond) Assign(t TID, committed bool) Cond {
+	out := make([]product, 0, len(c.products))
+	for _, p := range c.products {
+		neg, ok := p.find(t)
+		if !ok {
+			out = append(out, p)
+			continue
+		}
+		if neg != committed { // literal "t" holds iff committed, "!t" iff aborted
+			// Literal satisfied: drop it from the product.
+			out = append(out, p.without(t))
+		}
+		// Literal falsified: drop the whole product.
+	}
+	return canonicalize(out)
+}
+
+// AssignAll applies Assign for every entry of outcomes.
+func (c Cond) AssignAll(outcomes map[TID]bool) Cond {
+	out := c
+	for t, committed := range outcomes {
+		out = out.Assign(t, committed)
+	}
+	return out
+}
+
+// Eval evaluates the condition under a complete assignment.  ok is false
+// when the assignment does not cover every variable the result depends on
+// (a product can still be decided false by the variables present).
+func (c Cond) Eval(asn map[TID]bool) (val, ok bool) {
+	undecided := false
+	for _, p := range c.products {
+		v, complete := p.eval(asn)
+		if !complete {
+			undecided = true
+			continue
+		}
+		if v {
+			return true, true
+		}
+	}
+	if undecided {
+		return false, false
+	}
+	return false, true
+}
+
+// Restrict returns the condition specialized to the partial assignment:
+// each assigned variable is substituted and the result simplified.  It is
+// Assign applied for every pair, provided for symmetry with Eval.
+func (c Cond) Restrict(asn map[TID]bool) Cond { return c.AssignAll(asn) }

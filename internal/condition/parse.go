@@ -1,0 +1,82 @@
+package condition
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse reads the textual condition syntax produced by Cond.String:
+//
+//	cond    := "true" | "false" | product { "|" product }
+//	product := literal { "&" literal }
+//	literal := [ "!" ] ident
+//
+// Whitespace around tokens is ignored.  The result is canonicalized, so
+// Parse(s).String() may differ from s while denoting the same predicate.
+func Parse(s string) (Cond, error) {
+	trimmed := strings.TrimSpace(s)
+	switch trimmed {
+	case "true":
+		return True(), nil
+	case "false":
+		return False(), nil
+	case "":
+		return False(), fmt.Errorf("condition: empty input")
+	}
+	var products []product
+	for _, part := range strings.Split(trimmed, "|") {
+		p, err := parseProduct(part)
+		if err != nil {
+			return False(), err
+		}
+		prod, ok := newProduct(p)
+		if !ok {
+			continue // contradictory product: contributes false
+		}
+		products = append(products, prod)
+	}
+	return canonicalize(products), nil
+}
+
+// MustParse is Parse that panics on malformed input; for tests and
+// package-level constants.
+func MustParse(s string) Cond {
+	c, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func parseProduct(s string) ([]Literal, error) {
+	var lits []Literal
+	for _, tok := range strings.Split(s, "&") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			return nil, fmt.Errorf("condition: empty literal in %q", s)
+		}
+		neg := false
+		for strings.HasPrefix(tok, "!") {
+			neg = !neg
+			tok = strings.TrimSpace(tok[1:])
+		}
+		if !validIdent(tok) {
+			return nil, fmt.Errorf("condition: bad transaction identifier %q", tok)
+		}
+		lits = append(lits, Literal{T: TID(tok), Neg: neg})
+	}
+	return lits, nil
+}
+
+func validIdent(s string) bool {
+	if s == "" || s == "true" || s == "false" {
+		return false
+	}
+	for _, r := range s {
+		if !unicode.IsLetter(r) && !unicode.IsDigit(r) && r != '_' && r != '-' && r != '.' && r != ':' {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,253 @@
+package condition
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genVars is the variable universe for property tests; kept small so random
+// conditions interact.
+var genVars = []TID{"T1", "T2", "T3", "T4"}
+
+// randCond builds a random condition of bounded size over genVars.
+func randCond(r *rand.Rand) Cond {
+	switch r.Intn(10) {
+	case 0:
+		return True()
+	case 1:
+		return False()
+	}
+	nProducts := 1 + r.Intn(3)
+	c := False()
+	for i := 0; i < nProducts; i++ {
+		nLits := 1 + r.Intn(3)
+		p := True()
+		for j := 0; j < nLits; j++ {
+			v := genVars[r.Intn(len(genVars))]
+			if r.Intn(2) == 0 {
+				p = p.And(Committed(v))
+			} else {
+				p = p.And(Aborted(v))
+			}
+		}
+		c = c.Or(p)
+	}
+	return c
+}
+
+// condPair is a quick.Generator producing two random conditions.
+type condPair struct{ A, B Cond }
+
+func (condPair) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(condPair{A: randCond(r), B: randCond(r)})
+}
+
+// condTriple adds a third condition for associativity-style laws.
+type condTriple struct{ A, B, C Cond }
+
+func (condTriple) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(condTriple{A: randCond(r), B: randCond(r), C: randCond(r)})
+}
+
+// randAssignment covers all generator variables.
+func randAssignment(r *rand.Rand) map[TID]bool {
+	asn := make(map[TID]bool, len(genVars))
+	for _, v := range genVars {
+		asn[v] = r.Intn(2) == 0
+	}
+	return asn
+}
+
+// condWithAssignment pairs a condition with a full assignment.
+type condWithAssignment struct {
+	C   Cond
+	Asn map[TID]bool
+}
+
+func (condWithAssignment) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(condWithAssignment{C: randCond(r), Asn: randAssignment(r)})
+}
+
+func mustEval(t *testing.T, c Cond, asn map[TID]bool) bool {
+	t.Helper()
+	v, ok := c.Eval(asn)
+	if !ok {
+		t.Fatalf("Eval(%v) under full assignment undecided", c)
+	}
+	return v
+}
+
+var quickCfg = &quick.Config{MaxCount: 400}
+
+func TestPropAndMatchesSemantics(t *testing.T) {
+	f := func(p condPair) bool {
+		asn := randAssignment(rand.New(rand.NewSource(42)))
+		for i := 0; i < 8; i++ {
+			for _, v := range genVars {
+				asn[v] = rand.Intn(2) == 0
+			}
+			got := mustEval(t, p.A.And(p.B), asn)
+			want := mustEval(t, p.A, asn) && mustEval(t, p.B, asn)
+			if got != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropOrMatchesSemantics(t *testing.T) {
+	f := func(x condWithAssignment, y condPair) bool {
+		got := mustEval(t, y.A.Or(y.B), x.Asn)
+		want := mustEval(t, y.A, x.Asn) || mustEval(t, y.B, x.Asn)
+		return got == want
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropNotMatchesSemantics(t *testing.T) {
+	f := func(x condWithAssignment) bool {
+		return mustEval(t, x.C.Not(), x.Asn) == !mustEval(t, x.C, x.Asn)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropDeMorgan(t *testing.T) {
+	f := func(p condPair) bool {
+		lhs := p.A.And(p.B).Not()
+		rhs := p.A.Not().Or(p.B.Not())
+		return lhs.Equivalent(rhs)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropDistributivity(t *testing.T) {
+	f := func(p condTriple) bool {
+		lhs := p.A.And(p.B.Or(p.C))
+		rhs := p.A.And(p.B).Or(p.A.And(p.C))
+		return lhs.Equivalent(rhs)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropAssociativityCommutativity(t *testing.T) {
+	f := func(p condTriple) bool {
+		if !p.A.And(p.B).Equivalent(p.B.And(p.A)) {
+			return false
+		}
+		if !p.A.Or(p.B).Equivalent(p.B.Or(p.A)) {
+			return false
+		}
+		if !p.A.And(p.B.And(p.C)).Equivalent(p.A.And(p.B).And(p.C)) {
+			return false
+		}
+		return p.A.Or(p.B.Or(p.C)).Equivalent(p.A.Or(p.B).Or(p.C))
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropAssignAgreesWithEval: substituting an outcome then evaluating
+// equals evaluating with that outcome in the assignment.  This is the
+// correctness of §3.3 outcome reduction.
+func TestPropAssignAgreesWithEval(t *testing.T) {
+	f := func(x condWithAssignment) bool {
+		for _, v := range genVars {
+			reduced := x.C.Assign(v, x.Asn[v])
+			if mustEval(t, reduced, x.Asn) != mustEval(t, x.C, x.Asn) {
+				return false
+			}
+			if reduced.Mentions(v) {
+				return false // assignment must eliminate the variable
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropCanonicalFormStable: re-canonicalizing (via Or with false) is a
+// no-op, and String/Parse round-trips preserve equality.
+func TestPropCanonicalFormStable(t *testing.T) {
+	f := func(x condWithAssignment) bool {
+		c := x.C
+		if !c.Or(False()).Equal(c) {
+			return false
+		}
+		back, err := Parse(c.String())
+		if err != nil {
+			return false
+		}
+		return back.Equal(c)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropBinaryRoundTrip: encode/decode is the identity on canonical
+// conditions.
+func TestPropBinaryRoundTrip(t *testing.T) {
+	f := func(x condWithAssignment) bool {
+		data, err := x.C.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var back Cond
+		if err := back.UnmarshalBinary(data); err != nil {
+			return false
+		}
+		return back.Equal(x.C)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropPartitionCompleteDisjoint: the condition family {c, ¬c} is
+// always complete and disjoint — the shape every 2PC polyvalue starts
+// with.
+func TestPropPartitionCompleteDisjoint(t *testing.T) {
+	f := func(x condWithAssignment) bool {
+		return CompleteAndDisjoint([]Cond{x.C, x.C.Not()})
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropImpliesReflexiveTransitive exercises the implication decision
+// procedure.
+func TestPropImpliesReflexiveTransitive(t *testing.T) {
+	f := func(p condTriple) bool {
+		if !p.A.Implies(p.A) {
+			return false
+		}
+		ab := p.A.And(p.B)
+		if !ab.Implies(p.A) || !ab.Implies(p.B) {
+			return false
+		}
+		// Transitivity on a constructed chain: A&B&C ⇒ A&B ⇒ A.
+		abc := ab.And(p.C)
+		return abc.Implies(ab) && abc.Implies(p.A)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}

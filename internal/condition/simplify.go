@@ -1,0 +1,115 @@
+package condition
+
+import "sort"
+
+// canonicalize produces the canonical SOP for a set of products:
+//
+//  1. products are sorted and deduplicated;
+//  2. subsumed products are removed (P ∨ P&Q ≡ P);
+//  3. complementary pairs are merged (x&P ∨ !x&P ≡ P), iterated with
+//     step 2 to a fixed point.
+//
+// The input slice may alias condition internals and is never mutated in
+// place; ownership of the product values (which are immutable) is shared.
+func canonicalize(ps []product) Cond {
+	ps = dedupe(ps)
+	for {
+		ps = pruneSubsumed(ps)
+		merged, changed := mergeComplements(ps)
+		if !changed {
+			return Cond{products: merged}
+		}
+		ps = dedupe(merged)
+	}
+}
+
+// dedupe sorts products and removes exact duplicates.  A constant-true
+// product collapses the whole set to {true}.
+func dedupe(ps []product) []product {
+	for _, p := range ps {
+		if p.isTrue() {
+			return []product{{}}
+		}
+	}
+	sorted := make([]product, len(ps))
+	copy(sorted, ps)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].compare(sorted[j]) < 0 })
+	out := sorted[:0]
+	for _, p := range sorted {
+		if n := len(out); n > 0 && out[n-1].compare(p) == 0 {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// pruneSubsumed removes every product subsumed by a shorter (or equal
+// length, earlier) one.  Input must be sorted by compare; shorter products
+// sort first, so a single forward pass per candidate suffices.
+func pruneSubsumed(ps []product) []product {
+	out := make([]product, 0, len(ps))
+	for _, q := range ps {
+		redundant := false
+		for _, p := range out {
+			if p.subsumes(q) {
+				redundant = true
+				break
+			}
+		}
+		if !redundant {
+			out = append(out, q)
+		}
+	}
+	return out
+}
+
+// mergeComplements looks for pairs of products identical except for the
+// sign of one literal and replaces them with the product minus that
+// literal.  Returns the (possibly unchanged) set and whether any merge
+// happened.
+func mergeComplements(ps []product) ([]product, bool) {
+	changed := false
+	out := make([]product, len(ps))
+	copy(out, ps)
+	for i := 0; i < len(out); i++ {
+		for j := i + 1; j < len(out); j++ {
+			m, ok := complementMerge(out[i], out[j])
+			if !ok {
+				continue
+			}
+			// Replace pair {i, j} with the merged product.
+			out[i] = m
+			out = append(out[:j], out[j+1:]...)
+			changed = true
+			j = i // rescan pairs involving the merged product
+		}
+	}
+	return out, changed
+}
+
+// complementMerge merges p and q when they have the same literals except
+// one differing only in sign.
+func complementMerge(p, q product) (product, bool) {
+	if len(p.lits) != len(q.lits) || len(p.lits) == 0 {
+		return product{}, false
+	}
+	diff := -1
+	for i := range p.lits {
+		if p.lits[i] == q.lits[i] {
+			continue
+		}
+		if p.lits[i].T == q.lits[i].T && p.lits[i].Neg != q.lits[i].Neg && diff == -1 {
+			diff = i
+			continue
+		}
+		return product{}, false
+	}
+	if diff == -1 {
+		return product{}, false // identical; dedupe handles it
+	}
+	lits := make([]Literal, 0, len(p.lits)-1)
+	lits = append(lits, p.lits[:diff]...)
+	lits = append(lits, p.lits[diff+1:]...)
+	return product{lits: lits}, true
+}

@@ -1,0 +1,201 @@
+package expr
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/value"
+)
+
+// Node is an expression AST node.  Nodes are immutable after parsing.
+type Node interface {
+	// String renders source-equivalent text.
+	String() string
+	// vars accumulates the item names the expression reads.
+	vars(set map[string]bool)
+}
+
+// Lit is a literal scalar.
+type Lit struct{ V value.V }
+
+// Ref reads the named database item.
+type Ref struct{ Name string }
+
+// Unary applies "-" (numeric negation) or "!" (boolean not).
+type Unary struct {
+	Op string
+	X  Node
+}
+
+// Binary applies an infix operator.
+type Binary struct {
+	Op   string
+	L, R Node
+}
+
+// Call invokes a builtin: min, max (variadic ≥1), abs (1 argument).
+type Call struct {
+	Fn   string
+	Args []Node
+}
+
+func (n Lit) String() string { return n.V.String() }
+func (n Ref) String() string { return n.Name }
+func (n Unary) String() string {
+	return n.Op + maybeParen(n.X)
+}
+func (n Binary) String() string {
+	return maybeParen(n.L) + " " + n.Op + " " + maybeParen(n.R)
+}
+func (n Call) String() string {
+	args := make([]string, len(n.Args))
+	for i, a := range n.Args {
+		args[i] = a.String()
+	}
+	return n.Fn + "(" + strings.Join(args, ", ") + ")"
+}
+
+func maybeParen(n Node) string {
+	switch n.(type) {
+	case Binary:
+		return "(" + n.String() + ")"
+	default:
+		return n.String()
+	}
+}
+
+func (n Lit) vars(map[string]bool)       {}
+func (n Ref) vars(set map[string]bool)   { set[n.Name] = true }
+func (n Unary) vars(set map[string]bool) { n.X.vars(set) }
+func (n Binary) vars(set map[string]bool) {
+	n.L.vars(set)
+	n.R.vars(set)
+}
+func (n Call) vars(set map[string]bool) {
+	for _, a := range n.Args {
+		a.vars(set)
+	}
+}
+
+// Assign is one guarded assignment: Target = Expr [if Guard].  A nil
+// Guard means unconditional.
+type Assign struct {
+	Target string
+	Expr   Node
+	Guard  Node
+}
+
+// String renders the assignment in source syntax.
+func (a Assign) String() string {
+	s := a.Target + " = " + a.Expr.String()
+	if a.Guard != nil {
+		s += " if " + a.Guard.String()
+	}
+	return s
+}
+
+// Program is a parsed transaction body: a sequence of guarded
+// assignments.  All reads observe the *pre-state* (the paper's model of a
+// transaction as a single mapping between database states), so statement
+// order does not matter for semantics; guards and right-hand sides never
+// see earlier statements' writes.
+type Program struct {
+	Stmts []Assign
+	src   string
+}
+
+// String returns the original source text.
+func (p Program) String() string { return p.src }
+
+// ReadSet returns the sorted names of all items the program may read
+// (right-hand sides and guards).
+func (p Program) ReadSet() []string {
+	set := map[string]bool{}
+	for _, s := range p.Stmts {
+		s.Expr.vars(set)
+		if s.Guard != nil {
+			s.Guard.vars(set)
+		}
+	}
+	return sortedNames(set)
+}
+
+// WriteSet returns the sorted names of all items the program may write.
+func (p Program) WriteSet() []string {
+	set := map[string]bool{}
+	for _, s := range p.Stmts {
+		set[s.Target] = true
+	}
+	return sortedNames(set)
+}
+
+// Items returns the union of read and write sets: every item whose site
+// participates in the transaction.
+func (p Program) Items() []string {
+	set := map[string]bool{}
+	for _, s := range p.Stmts {
+		set[s.Target] = true
+		s.Expr.vars(set)
+		if s.Guard != nil {
+			s.Guard.vars(set)
+		}
+	}
+	return sortedNames(set)
+}
+
+func sortedNames(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Env supplies item values during evaluation.
+type Env interface {
+	// Lookup returns the current value of the named item.  Items never
+	// written read as value.Nil.
+	Lookup(name string) value.V
+}
+
+// MapEnv is the simplest Env: a map with Nil fallback.
+type MapEnv map[string]value.V
+
+// Lookup implements Env.
+func (m MapEnv) Lookup(name string) value.V {
+	if v, ok := m[name]; ok {
+		return v
+	}
+	return value.Nil{}
+}
+
+// Eval evaluates the program against the pre-state env and returns the
+// writes it performs.  Guarded assignments whose guard is false (or whose
+// guard errors as non-boolean) produce no write.  All guards and
+// right-hand sides read the pre-state only.
+func (p Program) Eval(env Env) (map[string]value.V, error) {
+	writes := make(map[string]value.V, len(p.Stmts))
+	for _, s := range p.Stmts {
+		if s.Guard != nil {
+			g, err := evalNode(s.Guard, env)
+			if err != nil {
+				return nil, fmt.Errorf("expr: guard of %q: %w", s.Target, err)
+			}
+			b, ok := g.(value.Bool)
+			if !ok {
+				return nil, fmt.Errorf("expr: guard of %q is %s, want bool", s.Target, g.Kind())
+			}
+			if !bool(b) {
+				continue
+			}
+		}
+		v, err := evalNode(s.Expr, env)
+		if err != nil {
+			return nil, fmt.Errorf("expr: assignment to %q: %w", s.Target, err)
+		}
+		writes[s.Target] = v
+	}
+	return writes, nil
+}

@@ -1,0 +1,85 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/value"
+)
+
+// TestNodeStringRendering: every node type renders source-equivalent
+// text that re-parses to the same semantics.
+func TestNodeStringRendering(t *testing.T) {
+	cases := []string{
+		"x = -y",
+		"x = !(a && b)",
+		"x = min(a, b + 1, abs(-c))",
+		"x = (a + b) * (c - d)",
+		"x = \"s\" + t",
+		"x = a || b && c",
+	}
+	env := MapEnv{
+		"a": value.Bool(true), "b": value.Bool(false), "c": value.Bool(true),
+		"y": value.Int(3), "t": value.Str("u"), "d": value.Int(1),
+	}
+	numEnv := MapEnv{
+		"a": value.Int(2), "b": value.Int(3), "c": value.Int(-4),
+		"d": value.Int(1), "y": value.Int(3), "t": value.Str("u"),
+	}
+	for _, src := range cases {
+		p := MustParse(src)
+		rendered := p.Stmts[0].String()
+		re, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("rendered %q does not parse: %v", rendered, err)
+		}
+		for _, e := range []MapEnv{env, numEnv} {
+			w1, err1 := p.Eval(e)
+			w2, err2 := re.Eval(e)
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("%q: eval divergence: %v vs %v", src, err1, err2)
+			}
+			if err1 != nil {
+				continue
+			}
+			if len(w1) != len(w2) {
+				t.Fatalf("%q: write divergence", src)
+			}
+			for k := range w1 {
+				if !w1[k].Equal(w2[k]) {
+					t.Errorf("%q: %s = %v vs %v", src, k, w1[k], w2[k])
+				}
+			}
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse did not panic on bad input")
+		}
+	}()
+	MustParse("not a program!!!")
+}
+
+func TestParseExprErrors(t *testing.T) {
+	for _, src := range []string{"", "1 +", "(1", "1 2", "@"} {
+		if _, err := ParseExpr(src); err == nil {
+			t.Errorf("ParseExpr(%q) accepted", src)
+		}
+	}
+	// Guard/unary rendering paths.
+	p := MustParse("x = 1 if !(a == 1)")
+	if !strings.Contains(p.Stmts[0].String(), "if !") {
+		t.Errorf("guard rendering: %q", p.Stmts[0].String())
+	}
+}
+
+func TestReadSetIncludesCallAndUnaryArgs(t *testing.T) {
+	p := MustParse("x = min(a, -b) if !(c == nil)")
+	reads := p.ReadSet()
+	if len(reads) != 3 {
+		t.Errorf("ReadSet = %v", reads)
+	}
+}

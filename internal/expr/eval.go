@@ -1,0 +1,240 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/value"
+)
+
+// evalNode evaluates one expression node against an environment.
+//
+// Type rules: arithmetic requires numeric operands and yields Int when
+// both are Int, otherwise Float; comparisons yield Bool and accept any
+// pair of same-kind comparable values plus mixed Int/Float; && and ||
+// require Bool and short-circuit; == and != accept any kinds.
+func evalNode(n Node, env Env) (value.V, error) {
+	switch x := n.(type) {
+	case Lit:
+		return x.V, nil
+	case Ref:
+		return env.Lookup(x.Name), nil
+	case Unary:
+		return evalUnary(x, env)
+	case Binary:
+		return evalBinary(x, env)
+	case Call:
+		return evalCall(x, env)
+	default:
+		return nil, fmt.Errorf("unknown node %T", n)
+	}
+}
+
+// EvalExpr evaluates a standalone expression (from ParseExpr).
+func EvalExpr(n Node, env Env) (value.V, error) { return evalNode(n, env) }
+
+func evalUnary(u Unary, env Env) (value.V, error) {
+	v, err := evalNode(u.X, env)
+	if err != nil {
+		return nil, err
+	}
+	switch u.Op {
+	case "-":
+		switch x := v.(type) {
+		case value.Int:
+			return value.Int(-x), nil
+		case value.Float:
+			return value.Float(-x), nil
+		}
+		return nil, fmt.Errorf("cannot negate %s", v.Kind())
+	case "!":
+		if b, ok := v.(value.Bool); ok {
+			return value.Bool(!b), nil
+		}
+		return nil, fmt.Errorf("cannot apply ! to %s", v.Kind())
+	default:
+		return nil, fmt.Errorf("unknown unary operator %q", u.Op)
+	}
+}
+
+func evalBinary(b Binary, env Env) (value.V, error) {
+	// Short-circuit boolean operators first.
+	if b.Op == "&&" || b.Op == "||" {
+		l, err := evalNode(b.L, env)
+		if err != nil {
+			return nil, err
+		}
+		lb, ok := l.(value.Bool)
+		if !ok {
+			return nil, fmt.Errorf("left operand of %s is %s, want bool", b.Op, l.Kind())
+		}
+		if b.Op == "&&" && !bool(lb) {
+			return value.Bool(false), nil
+		}
+		if b.Op == "||" && bool(lb) {
+			return value.Bool(true), nil
+		}
+		r, err := evalNode(b.R, env)
+		if err != nil {
+			return nil, err
+		}
+		rb, ok := r.(value.Bool)
+		if !ok {
+			return nil, fmt.Errorf("right operand of %s is %s, want bool", b.Op, r.Kind())
+		}
+		return rb, nil
+	}
+
+	l, err := evalNode(b.L, env)
+	if err != nil {
+		return nil, err
+	}
+	r, err := evalNode(b.R, env)
+	if err != nil {
+		return nil, err
+	}
+
+	switch b.Op {
+	case "==":
+		return value.Bool(equalLoose(l, r)), nil
+	case "!=":
+		return value.Bool(!equalLoose(l, r)), nil
+	case "<", "<=", ">", ">=":
+		cmp, ok := compareLoose(l, r)
+		if !ok {
+			return nil, fmt.Errorf("cannot order %s and %s", l.Kind(), r.Kind())
+		}
+		switch b.Op {
+		case "<":
+			return value.Bool(cmp < 0), nil
+		case "<=":
+			return value.Bool(cmp <= 0), nil
+		case ">":
+			return value.Bool(cmp > 0), nil
+		default:
+			return value.Bool(cmp >= 0), nil
+		}
+	case "+", "-", "*", "/", "%":
+		return arith(b.Op, l, r)
+	default:
+		return nil, fmt.Errorf("unknown operator %q", b.Op)
+	}
+}
+
+// equalLoose treats Int and Float with equal numeric value as equal, so
+// "x == 1" works whether x holds Int(1) or Float(1).
+func equalLoose(l, r value.V) bool {
+	if l.Kind() != r.Kind() && value.IsNumeric(l) && value.IsNumeric(r) {
+		lf, _ := value.AsFloat(l)
+		rf, _ := value.AsFloat(r)
+		return lf == rf
+	}
+	return l.Equal(r)
+}
+
+// compareLoose orders mixed numerics as floats and same-kind values with
+// value.Compare.
+func compareLoose(l, r value.V) (int, bool) {
+	if value.IsNumeric(l) && value.IsNumeric(r) {
+		lf, _ := value.AsFloat(l)
+		rf, _ := value.AsFloat(r)
+		switch {
+		case lf < rf:
+			return -1, true
+		case lf > rf:
+			return 1, true
+		}
+		return 0, true
+	}
+	if l.Kind() != r.Kind() || l.Kind() != value.KindStr {
+		return 0, false // only numerics and strings are orderable here
+	}
+	return value.Compare(l, r)
+}
+
+func arith(op string, l, r value.V) (value.V, error) {
+	// String concatenation.
+	if op == "+" {
+		if ls, ok := l.(value.Str); ok {
+			if rs, ok := r.(value.Str); ok {
+				return value.Str(string(ls) + string(rs)), nil
+			}
+		}
+	}
+	if !value.IsNumeric(l) || !value.IsNumeric(r) {
+		return nil, fmt.Errorf("cannot apply %s to %s and %s", op, l.Kind(), r.Kind())
+	}
+	li, lIsInt := l.(value.Int)
+	ri, rIsInt := r.(value.Int)
+	if lIsInt && rIsInt {
+		switch op {
+		case "+":
+			return value.Int(li + ri), nil
+		case "-":
+			return value.Int(li - ri), nil
+		case "*":
+			return value.Int(li * ri), nil
+		case "/":
+			if ri == 0 {
+				return nil, fmt.Errorf("integer division by zero")
+			}
+			return value.Int(li / ri), nil
+		case "%":
+			if ri == 0 {
+				return nil, fmt.Errorf("integer modulo by zero")
+			}
+			return value.Int(li % ri), nil
+		}
+	}
+	lf, _ := value.AsFloat(l)
+	rf, _ := value.AsFloat(r)
+	switch op {
+	case "+":
+		return value.Float(lf + rf), nil
+	case "-":
+		return value.Float(lf - rf), nil
+	case "*":
+		return value.Float(lf * rf), nil
+	case "/":
+		return value.Float(lf / rf), nil
+	case "%":
+		return value.Float(math.Mod(lf, rf)), nil
+	}
+	return nil, fmt.Errorf("unknown arithmetic operator %q", op)
+}
+
+func evalCall(c Call, env Env) (value.V, error) {
+	args := make([]value.V, len(c.Args))
+	for i, a := range c.Args {
+		v, err := evalNode(a, env)
+		if err != nil {
+			return nil, err
+		}
+		if !value.IsNumeric(v) {
+			return nil, fmt.Errorf("%s: argument %d is %s, want numeric", c.Fn, i+1, v.Kind())
+		}
+		args[i] = v
+	}
+	switch c.Fn {
+	case "abs":
+		switch x := args[0].(type) {
+		case value.Int:
+			if x < 0 {
+				return value.Int(-x), nil
+			}
+			return x, nil
+		case value.Float:
+			return value.Float(math.Abs(float64(x))), nil
+		}
+	case "min", "max":
+		best := args[0]
+		for _, a := range args[1:] {
+			cmp, _ := compareLoose(a, best)
+			if (c.Fn == "min" && cmp < 0) || (c.Fn == "max" && cmp > 0) {
+				best = a
+			}
+		}
+		return best, nil
+	}
+	return nil, fmt.Errorf("unknown function %q", c.Fn)
+}

@@ -1,0 +1,39 @@
+package expr
+
+import (
+	"testing"
+
+	"repro/internal/value"
+)
+
+// FuzzParseProgram: the parser must never panic; accepted programs must
+// have consistent read/write sets and evaluate without panicking against
+// a permissive environment.
+func FuzzParseProgram(f *testing.F) {
+	for _, seed := range []string{
+		"x = 1", "x = y + 1 if y > 0", "a = b; c = d * 2",
+		"x = min(a, b, c) if !(a == b)", `s = "lit" + t`,
+		"x = 1 if", "= 2", "x = (", "x = 1; ; y",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if len(p.WriteSet()) == 0 {
+			t.Fatalf("accepted program %q writes nothing", src)
+		}
+		env := MapEnv{}
+		for _, name := range p.ReadSet() {
+			env[name] = value.Int(1)
+		}
+		// Evaluation may fail (type errors) but must not panic.
+		_, _ = p.Eval(env)
+		// The rendered source must re-parse.
+		if _, err := Parse(p.String()); err != nil {
+			t.Fatalf("String() of accepted program does not re-parse: %q: %v", p.String(), err)
+		}
+	})
+}

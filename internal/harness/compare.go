@@ -1,0 +1,66 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cluster"
+)
+
+// Comparison holds one experiment's results under every wait-timeout
+// policy, on identical workload and failure schedules.
+type Comparison struct {
+	Experiment Experiment
+	Blocking   Report
+	Arbitrary  Report
+	Polyvalue  Report
+}
+
+// Compare runs the experiment three times, once per policy, holding
+// everything else fixed.
+func Compare(e Experiment) (Comparison, error) {
+	out := Comparison{Experiment: e}
+	for _, p := range []cluster.Policy{
+		cluster.PolicyBlocking, cluster.PolicyArbitrary, cluster.PolicyPolyvalue,
+	} {
+		run := e
+		run.Policy = p
+		rep, err := Run(run)
+		if err != nil {
+			return Comparison{}, fmt.Errorf("harness: %s policy: %w", p, err)
+		}
+		switch p {
+		case cluster.PolicyBlocking:
+			out.Blocking = rep
+		case cluster.PolicyArbitrary:
+			out.Arbitrary = rep
+		default:
+			out.Polyvalue = rep
+		}
+	}
+	return out, nil
+}
+
+// Format renders the comparison as the A1/A3 summary table.
+func (c Comparison) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-10s %-9s %-13s %-11s %-10s\n",
+		"policy", "committed", "aborted", "availability", "peak polys", "conserved")
+	row := func(name string, r Report) {
+		fmt.Fprintf(&b, "%-10s %-10d %-9d %-13.2f %-11d %-10v\n",
+			name, r.Committed, r.Aborted, r.Availability(), r.PeakPolys, r.ConservationOK)
+	}
+	row("blocking", c.Blocking)
+	row("arbitrary", c.Arbitrary)
+	row("polyvalue", c.Polyvalue)
+	return b.String()
+}
+
+// Sound reports whether the comparison reproduces the paper's ordering:
+// polyvalue availability ≥ both baselines' and polyvalue conserves the
+// workload invariant.
+func (c Comparison) Sound() bool {
+	return c.Polyvalue.Availability() >= c.Blocking.Availability() &&
+		c.Polyvalue.Availability() >= c.Arbitrary.Availability()-1e-9 &&
+		c.Polyvalue.ConservationOK
+}

@@ -1,0 +1,46 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+func TestCompare(t *testing.T) {
+	cmp, err := Compare(Experiment{
+		Sites: 3, Items: 8, Txns: 60,
+		Workload:   workload.Bank,
+		CrashEvery: 15, RepairAfter: time.Second,
+		Gap: 100 * time.Millisecond, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cmp.Sound() {
+		t.Errorf("comparison not sound:\n%s", cmp.Format())
+	}
+	if cmp.Polyvalue.Availability() <= cmp.Blocking.Availability() {
+		t.Errorf("polyvalue availability %.2f not above blocking %.2f",
+			cmp.Polyvalue.Availability(), cmp.Blocking.Availability())
+	}
+	// Seed 9 is a known conservation violation for the arbitrary policy
+	// (see the A3 ablation); polyvalue must conserve on the same seed.
+	if cmp.Arbitrary.ConservationOK {
+		t.Log("arbitrary policy conserved on this seed (possible but rare)")
+	}
+	if !cmp.Polyvalue.ConservationOK {
+		t.Error("polyvalue policy violated conservation")
+	}
+	out := cmp.Format()
+	if !strings.Contains(out, "polyvalue") || strings.Count(out, "\n") != 4 {
+		t.Errorf("Format:\n%s", out)
+	}
+}
+
+func TestCompareBadExperiment(t *testing.T) {
+	if _, err := Compare(Experiment{Sites: 1}); err == nil {
+		t.Error("bad experiment accepted")
+	}
+}

@@ -1,0 +1,68 @@
+package harness
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cluster"
+)
+
+// CurvePoint is one point of the availability-vs-failure-rate curve:
+// the same experiment run under the polyvalue and blocking policies at
+// one crash frequency.
+type CurvePoint struct {
+	// CrashEvery is the failure schedule (a coordinator crashes at the
+	// critical moment every k-th transaction).
+	CrashEvery int
+	// Polyvalue and Blocking are the availability measurements
+	// (committed fraction of failure-window transactions).
+	Polyvalue float64
+	Blocking  float64
+	// PolyPeak is the peak polyvalue population under the polyvalue
+	// policy.
+	PolyPeak int
+}
+
+// AvailabilityCurve runs the base experiment at each crash frequency
+// under both the polyvalue and blocking policies.  Smaller CrashEvery
+// means more frequent failures.
+func AvailabilityCurve(base Experiment, crashEvery []int) ([]CurvePoint, error) {
+	out := make([]CurvePoint, 0, len(crashEvery))
+	for _, k := range crashEvery {
+		if k < 1 {
+			return nil, fmt.Errorf("harness: CrashEvery must be ≥ 1, got %d", k)
+		}
+		e := base
+		e.CrashEvery = k
+
+		e.Policy = cluster.PolicyPolyvalue
+		poly, err := Run(e)
+		if err != nil {
+			return nil, fmt.Errorf("harness: curve k=%d polyvalue: %w", k, err)
+		}
+		e.Policy = cluster.PolicyBlocking
+		block, err := Run(e)
+		if err != nil {
+			return nil, fmt.Errorf("harness: curve k=%d blocking: %w", k, err)
+		}
+		out = append(out, CurvePoint{
+			CrashEvery: k,
+			Polyvalue:  poly.Availability(),
+			Blocking:   block.Availability(),
+			PolyPeak:   poly.PeakPolys,
+		})
+	}
+	return out, nil
+}
+
+// FormatCurve renders the curve as a table.
+func FormatCurve(points []CurvePoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %-22s %-22s %-10s\n",
+		"crash-every", "polyvalue availability", "blocking availability", "peak polys")
+	for _, p := range points {
+		fmt.Fprintf(&b, "%-12d %-22.2f %-22.2f %-10d\n",
+			p.CrashEvery, p.Polyvalue, p.Blocking, p.PolyPeak)
+	}
+	return b.String()
+}

@@ -1,0 +1,61 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+func curveBase() Experiment {
+	return Experiment{
+		Sites: 3, Items: 6, Txns: 60,
+		Workload:    workload.Bank,
+		RepairAfter: time.Second,
+		Gap:         100 * time.Millisecond,
+		Seed:        3,
+	}
+}
+
+func TestAvailabilityCurve(t *testing.T) {
+	points, err := AvailabilityCurve(curveBase(), []int{10, 20, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.Polyvalue < p.Blocking {
+			t.Errorf("crash-every=%d: polyvalue %.2f below blocking %.2f",
+				p.CrashEvery, p.Polyvalue, p.Blocking)
+		}
+	}
+	// At least one point must show a strict polyvalue advantage, or the
+	// schedule produced no in-doubt traffic and the curve is vacuous.
+	strict := false
+	for _, p := range points {
+		if p.Polyvalue > p.Blocking {
+			strict = true
+		}
+	}
+	if !strict {
+		t.Error("no point shows a polyvalue advantage")
+	}
+	out := FormatCurve(points)
+	if !strings.Contains(out, "crash-every") || strings.Count(out, "\n") != 4 {
+		t.Errorf("FormatCurve:\n%s", out)
+	}
+}
+
+func TestAvailabilityCurveValidation(t *testing.T) {
+	if _, err := AvailabilityCurve(curveBase(), []int{0}); err == nil {
+		t.Error("CrashEvery=0 accepted")
+	}
+	bad := curveBase()
+	bad.Sites = 0
+	if _, err := AvailabilityCurve(bad, []int{10}); err == nil {
+		t.Error("bad base experiment accepted")
+	}
+}

@@ -1,0 +1,44 @@
+package harness
+
+import (
+	"testing"
+)
+
+func TestTortureCleanSeeds(t *testing.T) {
+	for seed := int64(100); seed < 106; seed++ {
+		rep, err := Torture(TortureConfig{Seed: seed, Txns: 25})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !rep.OK() {
+			t.Errorf("seed %d: %s\n%v", seed, rep, rep.Violations)
+		}
+		if rep.Committed+rep.Aborted+rep.Pending != 25 {
+			t.Errorf("seed %d: statuses don't sum: %s", seed, rep)
+		}
+	}
+}
+
+func TestTortureDeterministic(t *testing.T) {
+	a, err := Torture(TortureConfig{Seed: 7, Txns: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Torture(TortureConfig{Seed: 7, Txns: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Errorf("same seed diverged:\n%s\n%s", a, b)
+	}
+}
+
+func TestTortureDefaults(t *testing.T) {
+	rep, err := Torture(TortureConfig{Seed: 1, Txns: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.String() == "" {
+		t.Error("empty report string")
+	}
+}

@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Errorf("Value = %d", c.Value())
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative Add did not panic")
+		}
+	}()
+	c.Add(-1)
+}
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Errorf("Value = %d", c.Value())
+	}
+}
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	g.Set(10)
+	g.Add(-3)
+	if g.Value() != 7 {
+		t.Errorf("Value = %d", g.Value())
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Error("empty histogram should report zeros")
+	}
+}
+
+func TestHistogramStats(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	if h.Count() != 100 {
+		t.Errorf("Count = %d", h.Count())
+	}
+	if h.Mean() != 50.5 {
+		t.Errorf("Mean = %g", h.Mean())
+	}
+	if h.Quantile(0.5) != 50 {
+		t.Errorf("p50 = %g", h.Quantile(0.5))
+	}
+	if h.Quantile(0.99) != 99 {
+		t.Errorf("p99 = %g", h.Quantile(0.99))
+	}
+	if h.Min() != 1 || h.Max() != 100 {
+		t.Errorf("min/max = %g/%g", h.Min(), h.Max())
+	}
+	// Out-of-range quantiles clamp.
+	if h.Quantile(-1) != 1 || h.Quantile(2) != 100 {
+		t.Error("quantile clamping wrong")
+	}
+	if !strings.Contains(h.Summary(), "n=100") {
+		t.Errorf("Summary = %q", h.Summary())
+	}
+}
+
+func TestHistogramObserveAfterQuantile(t *testing.T) {
+	var h Histogram
+	h.Observe(5)
+	_ = h.Quantile(0.5) // sorts
+	h.Observe(1)        // must re-sort on next query
+	if h.Min() != 1 {
+		t.Errorf("Min = %g", h.Min())
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	h.Observe(5)
+	h.Reset()
+	if h.Count() != 0 || h.Mean() != 0 {
+		t.Error("Reset incomplete")
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 500; j++ {
+				h.Observe(float64(j))
+				_ = h.Mean()
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 4000 {
+		t.Errorf("Count = %d", h.Count())
+	}
+}

@@ -1,0 +1,151 @@
+// Package model implements §4.1 of the paper: the first-order analytic
+// model of polyvalue creation and deletion.
+//
+// The expected number of polyvalued items P(t) obeys
+//
+//	P'(t) = U·F + U·D·P/I − U·Y·P/I − R·P
+//
+// whose steady state is P∞ = U·F·I / (I·R + U·Y − U·D), valid while
+// P ≪ I and the decay rate λ = R + U·(Y−D)/I is positive (otherwise
+// polyvalue creation by polytransactions outpaces elimination and the
+// first-order model diverges — the paper notes one "would not wish to
+// operate a database with such values").
+package model
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params are the six database parameters of §4.1.
+type Params struct {
+	// U is the number of updates made per second.
+	U float64
+	// F is the probability that an update will fail.
+	F float64
+	// I is the number of items in the database.
+	I float64
+	// R is the proportion of failures recovered each second.
+	R float64
+	// Y is the probability that the new value of an updated item will
+	// not depend on its previous value.
+	Y float64
+	// D is the average number of items on which the new value assigned
+	// to an updated item depends.
+	D float64
+}
+
+// String renders the parameters in the paper's column order.
+func (p Params) String() string {
+	return fmt.Sprintf("U=%g F=%g I=%g R=%g Y=%g D=%g", p.U, p.F, p.I, p.R, p.Y, p.D)
+}
+
+// Validate rejects non-physical parameters.
+func (p Params) Validate() error {
+	switch {
+	case p.U <= 0:
+		return fmt.Errorf("model: U must be positive, got %g", p.U)
+	case p.F < 0 || p.F > 1:
+		return fmt.Errorf("model: F must be a probability, got %g", p.F)
+	case p.I <= 0:
+		return fmt.Errorf("model: I must be positive, got %g", p.I)
+	case p.R <= 0 || p.R > 1:
+		return fmt.Errorf("model: R must be in (0,1], got %g", p.R)
+	case p.Y < 0 || p.Y > 1:
+		return fmt.Errorf("model: Y must be a probability, got %g", p.Y)
+	case p.D < 0:
+		return fmt.Errorf("model: D must be non-negative, got %g", p.D)
+	}
+	return nil
+}
+
+// Rate returns λ = R + U·(Y−D)/I, the exponential decay rate of excess
+// polyvalues.  Positive λ means the system is stable.
+func (p Params) Rate() float64 {
+	return p.R + p.U*(p.Y-p.D)/p.I
+}
+
+// Stable reports whether the first-order model predicts a finite
+// steady-state polyvalue population.
+func (p Params) Stable() bool { return p.Rate() > 0 }
+
+// SteadyState returns P∞ = U·F·I / (I·R + U·Y − U·D); +Inf when the
+// system is unstable.
+func (p Params) SteadyState() float64 {
+	denom := p.I*p.R + p.U*p.Y - p.U*p.D
+	if denom <= 0 {
+		return math.Inf(1)
+	}
+	return p.U * p.F * p.I / denom
+}
+
+// Transient returns the expected polyvalue count at time t (seconds)
+// starting from P(0) = p0:
+//
+//	P(t) = P∞ + (p0 − P∞)·e^(−λt)
+func (p Params) Transient(p0, t float64) float64 {
+	lam := p.Rate()
+	if lam == 0 {
+		// Creation exactly balances elimination: linear growth at UF.
+		return p0 + p.U*p.F*t
+	}
+	// P(t) = UF/λ + (p0 − UF/λ)·e^(−λt); for λ > 0 the first term is
+	// the steady state, for λ < 0 the exponential grows without bound.
+	eq := p.U * p.F / lam
+	return eq + (p0-eq)*math.Exp(-lam*t)
+}
+
+// SettlingTime returns the time for the transient term to decay to
+// within frac (e.g. 0.01) of its initial magnitude; +Inf when unstable.
+func (p Params) SettlingTime(frac float64) float64 {
+	lam := p.Rate()
+	if lam <= 0 {
+		return math.Inf(1)
+	}
+	if frac <= 0 || frac >= 1 {
+		frac = 0.01
+	}
+	return -math.Log(frac) / lam
+}
+
+// Sensitivity holds the partial derivatives of the steady-state
+// polyvalue count with respect to each parameter, evaluated at the
+// operating point — which knob most affects the uncertainty level.
+type Sensitivity struct {
+	DU, DF, DI, DR, DY, DD float64
+}
+
+// Sensitivities computes ∂P∞/∂x for each parameter x analytically:
+//
+//	P = U·F·I / Q with Q = I·R + U·Y − U·D
+//	∂P/∂F = U·I/Q                 ∂P/∂U = F·I·(Q − U·(Y−D))/Q²
+//	∂P/∂I = U·F·(Q − I·R)/Q²      ∂P/∂R = −U·F·I²/Q²
+//	∂P/∂Y = −U²·F·I/Q²            ∂P/∂D = +U²·F·I/Q²
+//
+// Returns zero values when the system is unstable (Q ≤ 0).
+func (p Params) Sensitivities() Sensitivity {
+	q := p.I*p.R + p.U*p.Y - p.U*p.D
+	if q <= 0 {
+		return Sensitivity{}
+	}
+	q2 := q * q
+	return Sensitivity{
+		DU: p.F * p.I * (q - p.U*(p.Y-p.D)) / q2,
+		DF: p.U * p.I / q,
+		DI: p.U * p.F * (q - p.I*p.R) / q2,
+		DR: -p.U * p.F * p.I * p.I / q2,
+		DY: -p.U * p.U * p.F * p.I / q2,
+		DD: p.U * p.U * p.F * p.I / q2,
+	}
+}
+
+// PolytransactionRate returns the expected rate (per second) at which
+// transactions touch at least one polyvalued input in steady state,
+// ≈ U·D·P∞/I, the model's uncertainty-propagation term.
+func (p Params) PolytransactionRate() float64 {
+	pss := p.SteadyState()
+	if math.IsInf(pss, 1) {
+		return math.Inf(1)
+	}
+	return p.U * p.D * pss / p.I
+}

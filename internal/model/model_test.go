@@ -1,0 +1,222 @@
+package model
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestSteadyStateMatchesClosedForm(t *testing.T) {
+	p := Params{U: 10, F: 0.01, I: 10000, R: 0.01, Y: 0, D: 1}
+	want := 10.0 * 0.01 * 10000 / (10000*0.01 + 0 - 10)
+	if got := p.SteadyState(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("SteadyState = %g, want %g", got, want)
+	}
+}
+
+func TestTable1AgreesWithPaper(t *testing.T) {
+	for i, row := range Table1() {
+		if err := row.Params.Validate(); err != nil {
+			t.Fatalf("row %d invalid: %v", i, err)
+		}
+		got := row.Params.SteadyState()
+		if math.Abs(got-row.PaperP)/row.PaperP > 0.01 {
+			t.Errorf("row %d (%s): model %g, paper %g", i, row.Note, got, row.PaperP)
+		}
+	}
+	if len(Table1()) != 11 {
+		t.Errorf("Table 1 has %d rows, paper prints 11", len(Table1()))
+	}
+}
+
+func TestTable2Predictions(t *testing.T) {
+	// The "Predicted P" column of Table 2, recomputed from the closed
+	// form, must match the paper's printed values.
+	cases := []struct {
+		p    Params
+		want float64
+	}{
+		{Params{U: 2, F: 0.01, I: 10000, R: 0.01, Y: 0, D: 1}, 2.04},
+		{Params{U: 5, F: 0.01, I: 10000, R: 0.01, Y: 0, D: 1}, 5.26},
+		{Params{U: 10, F: 0.01, I: 10000, R: 0.01, Y: 0, D: 1}, 11.11},
+		{Params{U: 10, F: 0.001, I: 10000, R: 0.01, Y: 0, D: 1}, 1.11},
+		{Params{U: 10, F: 0.01, I: 10000, R: 0.01, Y: 0, D: 5}, 20},
+		{Params{U: 10, F: 0.01, I: 10000, R: 0.01, Y: 1, D: 5}, 16.7},
+	}
+	for i, c := range cases {
+		got := c.p.SteadyState()
+		if math.Abs(got-c.want)/c.want > 0.01 {
+			t.Errorf("row %d: %g, paper %g", i, got, c.want)
+		}
+	}
+}
+
+func TestStability(t *testing.T) {
+	stable := Params{U: 10, F: 0.0001, I: 1e6, R: 0.001, Y: 0, D: 1}
+	if !stable.Stable() {
+		t.Error("typical database should be stable")
+	}
+	// UD > IR + UY: polytransactions outpace recovery.
+	unstable := Params{U: 100, F: 0.01, I: 1000, R: 0.01, Y: 0, D: 50}
+	if unstable.Stable() {
+		t.Error("should be unstable")
+	}
+	if !math.IsInf(unstable.SteadyState(), 1) {
+		t.Errorf("unstable steady state = %g", unstable.SteadyState())
+	}
+	if !math.IsInf(unstable.SettlingTime(0.01), 1) {
+		t.Error("unstable settling time should be +Inf")
+	}
+	if !math.IsInf(unstable.PolytransactionRate(), 1) {
+		t.Error("unstable polytransaction rate should be +Inf")
+	}
+}
+
+func TestTransient(t *testing.T) {
+	p := Params{U: 10, F: 0.01, I: 10000, R: 0.01, Y: 0, D: 1}
+	pss := p.SteadyState()
+	// Starts at p0, converges to steady state, monotonically.
+	if got := p.Transient(0, 0); got != 0 {
+		t.Errorf("Transient(0,0) = %g", got)
+	}
+	prev := 0.0
+	for _, tm := range []float64{10, 50, 100, 1000, 10000} {
+		cur := p.Transient(0, tm)
+		if cur <= prev {
+			t.Errorf("transient not increasing at t=%g", tm)
+		}
+		prev = cur
+	}
+	if math.Abs(p.Transient(0, 1e6)-pss) > 1e-6 {
+		t.Errorf("transient does not converge: %g vs %g", p.Transient(0, 1e6), pss)
+	}
+	// From above: a failure burst decays back down (the paper's
+	// stability observation).
+	if p.Transient(100, 1000) <= pss || p.Transient(100, 1000) >= 100 {
+		t.Errorf("decay from burst wrong: %g", p.Transient(100, 1000))
+	}
+}
+
+func TestTransientUnstable(t *testing.T) {
+	unstable := Params{U: 100, F: 0.01, I: 1000, R: 0.01, Y: 0, D: 50}
+	// Grows without bound.
+	if unstable.Transient(0, 100) <= unstable.Transient(0, 10) {
+		t.Error("unstable transient should grow")
+	}
+	// λ = 0 edge: linear growth at rate UF.
+	zero := Params{U: 10, F: 0.5, I: 1000, R: 0.02, Y: 0, D: 2}
+	if r := zero.Rate(); r != 0 {
+		t.Fatalf("constructed rate = %g, want 0", r)
+	}
+	if got := zero.Transient(0, 10); math.Abs(got-10*0.5*10) > 1e-9 {
+		t.Errorf("λ=0 transient = %g, want 50", got)
+	}
+}
+
+func TestSettlingTime(t *testing.T) {
+	p := Params{U: 10, F: 0.01, I: 10000, R: 0.01, Y: 0, D: 1}
+	ts := p.SettlingTime(0.01)
+	// After the settling time the transient term is 1% of initial.
+	start, target := 100.0, p.SteadyState()
+	at := p.Transient(start, ts)
+	frac := (at - target) / (start - target)
+	if math.Abs(frac-0.01) > 1e-9 {
+		t.Errorf("settling fraction = %g", frac)
+	}
+	// Bad frac arguments default to 1%.
+	if p.SettlingTime(-1) != p.SettlingTime(0.01) {
+		t.Error("frac default wrong")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := Params{U: 10, F: 0.01, I: 10000, R: 0.01, Y: 0, D: 1}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good params rejected: %v", err)
+	}
+	bad := []Params{
+		{U: 0, F: 0.01, I: 1, R: 0.01},
+		{U: 1, F: -0.1, I: 1, R: 0.01},
+		{U: 1, F: 1.1, I: 1, R: 0.01},
+		{U: 1, F: 0.1, I: 0, R: 0.01},
+		{U: 1, F: 0.1, I: 1, R: 0},
+		{U: 1, F: 0.1, I: 1, R: 2},
+		{U: 1, F: 0.1, I: 1, R: 0.01, Y: -1},
+		{U: 1, F: 0.1, I: 1, R: 0.01, D: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad params %d accepted: %v", i, p)
+		}
+	}
+}
+
+func TestPolytransactionRate(t *testing.T) {
+	p := Params{U: 10, F: 0.01, I: 10000, R: 0.01, Y: 0, D: 1}
+	want := p.U * p.D * p.SteadyState() / p.I
+	if got := p.PolytransactionRate(); math.Abs(got-want) > 1e-12 {
+		t.Errorf("PolytransactionRate = %g, want %g", got, want)
+	}
+}
+
+// TestSensitivitiesMatchNumericalDerivatives: the closed-form partials
+// agree with central finite differences at the Table 2 operating point.
+func TestSensitivitiesMatchNumericalDerivatives(t *testing.T) {
+	p := Params{U: 10, F: 0.01, I: 10000, R: 0.01, Y: 0.2, D: 1}
+	s := p.Sensitivities()
+	numeric := func(perturb func(*Params, float64)) float64 {
+		const h = 1e-6
+		hi, lo := p, p
+		perturb(&hi, h)
+		perturb(&lo, -h)
+		return (hi.SteadyState() - lo.SteadyState()) / (2 * h)
+	}
+	cases := []struct {
+		name    string
+		got     float64
+		perturb func(*Params, float64)
+	}{
+		{"dU", s.DU, func(q *Params, h float64) { q.U += h }},
+		{"dF", s.DF, func(q *Params, h float64) { q.F += h }},
+		{"dI", s.DI, func(q *Params, h float64) { q.I += h }},
+		{"dR", s.DR, func(q *Params, h float64) { q.R += h }},
+		{"dY", s.DY, func(q *Params, h float64) { q.Y += h }},
+		{"dD", s.DD, func(q *Params, h float64) { q.D += h }},
+	}
+	for _, c := range cases {
+		want := numeric(c.perturb)
+		if math.Abs(c.got-want) > math.Abs(want)*1e-4+1e-9 {
+			t.Errorf("%s: analytic %g, numeric %g", c.name, c.got, want)
+		}
+	}
+	// Signs: more failures/load/dependence raise P; faster recovery and
+	// overwriting lower it.
+	if s.DF <= 0 || s.DD <= 0 || s.DU <= 0 {
+		t.Error("DF/DD/DU should be positive")
+	}
+	if s.DR >= 0 || s.DY >= 0 {
+		t.Error("DR/DY should be negative")
+	}
+	// Unstable point returns zeros.
+	bad := Params{U: 100, F: 0.01, I: 1000, R: 0.01, Y: 0, D: 50}
+	if bad.Sensitivities() != (Sensitivity{}) {
+		t.Error("unstable sensitivities not zeroed")
+	}
+}
+
+func TestFormatTable1(t *testing.T) {
+	s := FormatTable1()
+	if !strings.Contains(s, "typical database") || !strings.Contains(s, "50.50") {
+		t.Errorf("FormatTable1 missing content:\n%s", s)
+	}
+	if lines := strings.Count(s, "\n"); lines != 12 { // header + 11 rows
+		t.Errorf("FormatTable1 has %d lines", lines)
+	}
+}
+
+func TestParamsString(t *testing.T) {
+	p := Params{U: 10, F: 0.01, I: 10000, R: 0.01, Y: 1, D: 5}
+	if !strings.Contains(p.String(), "U=10") || !strings.Contains(p.String(), "D=5") {
+		t.Errorf("String = %q", p.String())
+	}
+}

@@ -1,0 +1,58 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table1Row pairs one parameter set with the paper's printed prediction.
+type Table1Row struct {
+	Params Params
+	// PaperP is the expected number of polyvalues as printed in Table 1.
+	PaperP float64
+	// Note describes which parameter the row varies from the typical
+	// database of row 1.
+	Note string
+}
+
+// Table1 returns the paper's Table 1: "Typical Predictions of the Number
+// of Polyvalues in a Database".  Row 1 is the typical database
+// (U=10, F=10⁻⁴, I=10⁶, R=10⁻³, Y=0, D=1); the remaining rows vary each
+// parameter individually, as the paper describes.  PaperP values are the
+// printed predictions (the archival scan garbles two digits; those rows
+// are reconstructed from the closed form, see EXPERIMENTS.md).
+func Table1() []Table1Row {
+	typical := Params{U: 10, F: 0.0001, I: 1e6, R: 0.001, Y: 0, D: 1}
+	with := func(mod func(*Params)) Params {
+		p := typical
+		mod(&p)
+		return p
+	}
+	return []Table1Row{
+		{Params: typical, PaperP: 1.01, Note: "typical database"},
+		{Params: with(func(p *Params) { p.U = 100 }), PaperP: 11.11, Note: "U ×10"},
+		{Params: with(func(p *Params) { p.I = 1e5 }), PaperP: 1.11, Note: "I ÷10"},
+		{Params: with(func(p *Params) { p.I = 1e5; p.D = 5 }), PaperP: 2.00, Note: "I ÷10, D=5"},
+		{Params: with(func(p *Params) { p.I = 1e5; p.Y = 1 }), PaperP: 1.00, Note: "I ÷10, Y=1"},
+		{Params: with(func(p *Params) { p.I = 2e4 }), PaperP: 2.00, Note: "I=20,000"},
+		{Params: with(func(p *Params) { p.F = 0.001 }), PaperP: 10.10, Note: "F ×10"},
+		{Params: with(func(p *Params) { p.F = 0.005 }), PaperP: 50.50, Note: "F ×50"},
+		{Params: with(func(p *Params) { p.R = 0.0001 }), PaperP: 11.11, Note: "R ÷10"},
+		{Params: with(func(p *Params) { p.D = 10 }), PaperP: 1.11, Note: "D=10"},
+		{Params: with(func(p *Params) { p.Y = 1 }), PaperP: 1.00, Note: "Y=1"},
+	}
+}
+
+// FormatTable1 renders the table with computed predictions beside the
+// paper's printed values.
+func FormatTable1() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %-8s %-10s %-8s %-4s %-4s %-10s %-10s %s\n",
+		"U", "F", "I", "R", "Y", "D", "paper P", "model P", "note")
+	for _, row := range Table1() {
+		p := row.Params
+		fmt.Fprintf(&b, "%-6g %-8g %-10g %-8g %-4g %-4g %-10.2f %-10.2f %s\n",
+			p.U, p.F, p.I, p.R, p.Y, p.D, row.PaperP, p.SteadyState(), row.Note)
+	}
+	return b.String()
+}

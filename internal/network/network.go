@@ -1,0 +1,226 @@
+// Package network simulates the message fabric among sites: point-to-
+// point delivery with configurable latency and jitter, site down states,
+// and link partitions.  Delivery is scheduled on a vclock.Scheduler, so
+// every protocol run is deterministic given a seed.
+//
+// This stands in for the paper's (unspecified) inter-site communication
+// substrate.  The failure model is the paper's: "a failure disrupts
+// communication among sites during an update" — realized here as crashed
+// sites (drop everything) and severed links (drop both directions).
+package network
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/protocol"
+	"repro/internal/vclock"
+)
+
+// Handler receives delivered messages at a site.
+type Handler func(msg protocol.Message)
+
+// Stats counts network activity, for benchmarks and the cluster's
+// metrics output.
+type Stats struct {
+	Sent      int64
+	Delivered int64
+	// DroppedDown counts messages dropped because an endpoint was down
+	// at send or delivery time.
+	DroppedDown int64
+	// DroppedPartition counts messages dropped by a severed link.
+	DroppedPartition int64
+	// DroppedRandom counts messages lost to the configured DropProb.
+	DroppedRandom int64
+	// Duplicated counts extra deliveries injected by DuplicateProb.
+	Duplicated int64
+}
+
+// Network is the simulated fabric.  Safe for concurrent use; in the
+// deterministic cluster runtime all calls are serialized anyway.
+type Network struct {
+	mu       sync.Mutex
+	sched    *vclock.Scheduler
+	latency  time.Duration
+	jitter   time.Duration
+	dropP    float64
+	dupP     float64
+	rng      *rand.Rand
+	handlers map[protocol.SiteID]Handler
+	down     map[protocol.SiteID]bool
+	cut      map[linkKey]bool
+	stats    Stats
+}
+
+// linkKey is an unordered site pair.
+type linkKey struct{ a, b protocol.SiteID }
+
+func link(a, b protocol.SiteID) linkKey {
+	if a > b {
+		a, b = b, a
+	}
+	return linkKey{a, b}
+}
+
+// Config parameterizes a Network.
+type Config struct {
+	// Latency is the one-way delivery delay (default 10ms of simulated
+	// time).
+	Latency time.Duration
+	// Jitter adds a uniform random extra delay in [0, Jitter).
+	Jitter time.Duration
+	// Seed drives the jitter/chaos RNG; runs with equal seeds are
+	// identical.
+	Seed int64
+	// DropProb randomly drops each message with this probability
+	// (lossy-link chaos testing).
+	DropProb float64
+	// DuplicateProb delivers each message a second time with this
+	// probability (at an independently jittered instant), exercising the
+	// protocol's idempotency.
+	DuplicateProb float64
+}
+
+// New builds a network delivering on the given scheduler.
+func New(sched *vclock.Scheduler, cfg Config) *Network {
+	if cfg.Latency <= 0 {
+		cfg.Latency = 10 * time.Millisecond
+	}
+	return &Network{
+		sched:    sched,
+		latency:  cfg.Latency,
+		jitter:   cfg.Jitter,
+		dropP:    cfg.DropProb,
+		dupP:     cfg.DuplicateProb,
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		handlers: map[protocol.SiteID]Handler{},
+		down:     map[protocol.SiteID]bool{},
+		cut:      map[linkKey]bool{},
+	}
+}
+
+// Register installs the delivery handler for a site.  Re-registering
+// replaces the handler (a restarted site re-registers).
+func (n *Network) Register(site protocol.SiteID, h Handler) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.handlers[site] = h
+}
+
+// Send schedules delivery of msg.  Messages to/from down sites and over
+// severed links are silently dropped (counted in Stats) — the sender
+// learns nothing, exactly like a lost datagram.
+func (n *Network) Send(msg protocol.Message) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats.Sent++
+	if n.down[msg.From] || n.down[msg.To] {
+		n.stats.DroppedDown++
+		return
+	}
+	if n.cut[link(msg.From, msg.To)] {
+		n.stats.DroppedPartition++
+		return
+	}
+	if n.dropP > 0 && n.rng.Float64() < n.dropP {
+		n.stats.DroppedRandom++
+		return
+	}
+	n.sched.After(n.delay(), func() { n.deliver(msg) })
+	if n.dupP > 0 && n.rng.Float64() < n.dupP {
+		n.stats.Duplicated++
+		n.sched.After(n.delay(), func() { n.deliver(msg) })
+	}
+}
+
+// delay computes one delivery's latency.  Callers hold n.mu.
+func (n *Network) delay() time.Duration {
+	d := n.latency
+	if n.jitter > 0 {
+		d += time.Duration(n.rng.Int63n(int64(n.jitter)))
+	}
+	return d
+}
+
+// deliver runs at the scheduled instant and re-checks failure state: a
+// site that crashed, or a link that was cut, while the message was in
+// flight still loses the message.
+func (n *Network) deliver(msg protocol.Message) {
+	n.mu.Lock()
+	if n.down[msg.To] {
+		n.stats.DroppedDown++
+		n.mu.Unlock()
+		return
+	}
+	if n.cut[link(msg.From, msg.To)] {
+		n.stats.DroppedPartition++
+		n.mu.Unlock()
+		return
+	}
+	h := n.handlers[msg.To]
+	n.stats.Delivered++
+	n.mu.Unlock()
+	if h != nil {
+		h(msg)
+	}
+}
+
+// SetDown marks a site crashed (true) or recovered (false).  Crashing
+// does not flush in-flight messages to the site; they are dropped at
+// delivery time.
+func (n *Network) SetDown(site protocol.SiteID, down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.down[site] = down
+}
+
+// IsDown reports a site's crash state.
+func (n *Network) IsDown(site protocol.SiteID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.down[site]
+}
+
+// Partition severs the link between two sites (both directions).
+func (n *Network) Partition(a, b protocol.SiteID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cut[link(a, b)] = true
+}
+
+// Heal restores the link between two sites.
+func (n *Network) Heal(a, b protocol.SiteID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.cut, link(a, b))
+}
+
+// HealAll restores every link and brings every site up.
+func (n *Network) HealAll() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.cut = map[linkKey]bool{}
+	n.down = map[protocol.SiteID]bool{}
+}
+
+// Stats returns a snapshot of the counters.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.stats
+}
+
+// String summarizes the failure state, for traces.
+func (n *Network) String() string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	downCount := 0
+	for _, d := range n.down {
+		if d {
+			downCount++
+		}
+	}
+	return fmt.Sprintf("network{down:%d cuts:%d sent:%d delivered:%d}", downCount, len(n.cut), n.stats.Sent, n.stats.Delivered)
+}

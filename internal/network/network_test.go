@@ -1,0 +1,215 @@
+package network
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/protocol"
+	"repro/internal/vclock"
+)
+
+func setup(cfg Config) (*vclock.Scheduler, *Network) {
+	s := vclock.NewScheduler()
+	return s, New(s, cfg)
+}
+
+func TestDelivery(t *testing.T) {
+	sched, n := setup(Config{Latency: 5 * time.Millisecond})
+	var got []protocol.Message
+	n.Register("b", func(m protocol.Message) { got = append(got, m) })
+	n.Send(protocol.Message{Kind: protocol.MsgReady, From: "a", To: "b", TID: "T1"})
+	if len(got) != 0 {
+		t.Fatal("delivered before latency elapsed")
+	}
+	sched.Drain(0)
+	if len(got) != 1 || got[0].TID != "T1" {
+		t.Fatalf("got = %v", got)
+	}
+	if sched.Now() != 5*time.Millisecond {
+		t.Errorf("delivery time = %v", sched.Now())
+	}
+	st := n.Stats()
+	if st.Sent != 1 || st.Delivered != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestUnregisteredTargetDropsQuietly(t *testing.T) {
+	sched, n := setup(Config{})
+	n.Send(protocol.Message{From: "a", To: "nowhere"})
+	sched.Drain(0) // must not panic
+	if n.Stats().Delivered != 1 {
+		// Delivery is counted even with no handler; the message reached
+		// the (silent) site.
+		t.Errorf("stats = %+v", n.Stats())
+	}
+}
+
+func TestDownSiteDropsAtSend(t *testing.T) {
+	sched, n := setup(Config{})
+	delivered := 0
+	n.Register("b", func(protocol.Message) { delivered++ })
+	n.SetDown("b", true)
+	if !n.IsDown("b") {
+		t.Fatal("IsDown wrong")
+	}
+	n.Send(protocol.Message{From: "a", To: "b"})
+	sched.Drain(0)
+	if delivered != 0 || n.Stats().DroppedDown != 1 {
+		t.Errorf("delivered=%d stats=%+v", delivered, n.Stats())
+	}
+	// Sender down drops too.
+	n.SetDown("b", false)
+	n.SetDown("a", true)
+	n.Send(protocol.Message{From: "a", To: "b"})
+	sched.Drain(0)
+	if delivered != 0 {
+		t.Error("message from down site delivered")
+	}
+}
+
+func TestCrashWhileInFlight(t *testing.T) {
+	sched, n := setup(Config{Latency: 10 * time.Millisecond})
+	delivered := 0
+	n.Register("b", func(protocol.Message) { delivered++ })
+	n.Send(protocol.Message{From: "a", To: "b"})
+	// Crash the target while the message is in flight.
+	sched.After(5*time.Millisecond, func() { n.SetDown("b", true) })
+	sched.Drain(0)
+	if delivered != 0 {
+		t.Error("message delivered to site that crashed mid-flight")
+	}
+	if n.Stats().DroppedDown != 1 {
+		t.Errorf("stats = %+v", n.Stats())
+	}
+}
+
+func TestPartitionAndHeal(t *testing.T) {
+	sched, n := setup(Config{})
+	delivered := 0
+	n.Register("b", func(protocol.Message) { delivered++ })
+	n.Partition("a", "b")
+	n.Send(protocol.Message{From: "a", To: "b"})
+	// Partition is symmetric regardless of argument order.
+	n.Send(protocol.Message{From: "b", To: "a"})
+	sched.Drain(0)
+	if delivered != 0 || n.Stats().DroppedPartition != 2 {
+		t.Errorf("delivered=%d stats=%+v", delivered, n.Stats())
+	}
+	n.Heal("b", "a") // reversed order heals the same link
+	n.Send(protocol.Message{From: "a", To: "b"})
+	sched.Drain(0)
+	if delivered != 1 {
+		t.Errorf("post-heal delivered = %d", delivered)
+	}
+}
+
+func TestPartitionWhileInFlight(t *testing.T) {
+	sched, n := setup(Config{Latency: 10 * time.Millisecond})
+	delivered := 0
+	n.Register("b", func(protocol.Message) { delivered++ })
+	n.Send(protocol.Message{From: "a", To: "b"})
+	sched.After(time.Millisecond, func() { n.Partition("a", "b") })
+	sched.Drain(0)
+	if delivered != 0 {
+		t.Error("message crossed a link cut while in flight")
+	}
+}
+
+func TestHealAll(t *testing.T) {
+	sched, n := setup(Config{})
+	delivered := 0
+	n.Register("b", func(protocol.Message) { delivered++ })
+	n.SetDown("b", true)
+	n.Partition("a", "b")
+	n.HealAll()
+	n.Send(protocol.Message{From: "a", To: "b"})
+	sched.Drain(0)
+	if delivered != 1 {
+		t.Errorf("post-HealAll delivered = %d", delivered)
+	}
+}
+
+func TestJitterDeterministic(t *testing.T) {
+	run := func(seed int64) []vclock.Time {
+		sched, n := setup(Config{Latency: time.Millisecond, Jitter: 10 * time.Millisecond, Seed: seed})
+		var times []vclock.Time
+		n.Register("b", func(protocol.Message) { times = append(times, sched.Now()) })
+		for i := 0; i < 5; i++ {
+			n.Send(protocol.Message{From: "a", To: "b"})
+		}
+		sched.Drain(0)
+		return times
+	}
+	a, b := run(7), run(7)
+	if len(a) != 5 || len(b) != 5 {
+		t.Fatalf("deliveries: %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged: %v vs %v", a, b)
+		}
+	}
+	c := run(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical jitter")
+	}
+}
+
+func TestDefaultLatency(t *testing.T) {
+	sched, n := setup(Config{})
+	n.Register("b", func(protocol.Message) {})
+	n.Send(protocol.Message{From: "a", To: "b"})
+	sched.Drain(0)
+	if sched.Now() != 10*time.Millisecond {
+		t.Errorf("default latency = %v", sched.Now())
+	}
+}
+
+func TestDropAndDuplicateProbabilities(t *testing.T) {
+	sched, n := setup(Config{Latency: time.Millisecond, Seed: 3, DropProb: 0.3, DuplicateProb: 0.3})
+	delivered := 0
+	n.Register("b", func(protocol.Message) { delivered++ })
+	const sent = 1000
+	for i := 0; i < sent; i++ {
+		n.Send(protocol.Message{From: "a", To: "b"})
+	}
+	sched.Drain(0)
+	st := n.Stats()
+	if st.DroppedRandom < 200 || st.DroppedRandom > 400 {
+		t.Errorf("DroppedRandom = %d, want ≈ 300", st.DroppedRandom)
+	}
+	if st.Duplicated < 200 || st.Duplicated > 400 {
+		t.Errorf("Duplicated = %d, want ≈ 300", st.Duplicated)
+	}
+	// Every surviving send is delivered once, plus one per duplicate.
+	want := sent - int(st.DroppedRandom) + int(st.Duplicated)
+	if delivered != want {
+		t.Errorf("delivered = %d, want %d", delivered, want)
+	}
+	// Deterministic for the seed.
+	sched2, n2 := setup(Config{Latency: time.Millisecond, Seed: 3, DropProb: 0.3, DuplicateProb: 0.3})
+	n2.Register("b", func(protocol.Message) {})
+	for i := 0; i < sent; i++ {
+		n2.Send(protocol.Message{From: "a", To: "b"})
+	}
+	sched2.Drain(0)
+	if n2.Stats().DroppedRandom != st.DroppedRandom || n2.Stats().Duplicated != st.Duplicated {
+		t.Error("chaos not deterministic for seed")
+	}
+}
+
+func TestStringSummary(t *testing.T) {
+	_, n := setup(Config{})
+	n.SetDown("x", true)
+	n.Partition("a", "b")
+	if s := n.String(); s == "" {
+		t.Error("empty String")
+	}
+}

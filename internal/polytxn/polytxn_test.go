@@ -1,0 +1,297 @@
+package polytxn
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/condition"
+	"repro/internal/expr"
+	"repro/internal/polyvalue"
+	"repro/internal/txn"
+	"repro/internal/value"
+)
+
+// storeOf builds a lookup over a fixed map, defaulting to Nil.
+func storeOf(m map[string]polyvalue.Poly) func(string) polyvalue.Poly {
+	return func(item string) polyvalue.Poly {
+		if p, ok := m[item]; ok {
+			return p
+		}
+		return polyvalue.Simple(value.Nil{})
+	}
+}
+
+func TestCertainInputsStayCertain(t *testing.T) {
+	e := &Executor{}
+	tx := txn.MustNew("T1", "b = b + 1")
+	res, err := e.Execute(tx, storeOf(map[string]polyvalue.Poly{
+		"b": polyvalue.Simple(value.Int(5)),
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Alternatives != 1 || !res.Certain {
+		t.Errorf("res = %+v", res)
+	}
+	if v, ok := res.Writes["b"].IsCertain(); !ok || !v.Equal(value.Int(6)) {
+		t.Errorf("b = %v", res.Writes["b"])
+	}
+}
+
+func TestPolyInputPartitions(t *testing.T) {
+	// §3.2: reading a 2-pair polyvalue forks the transaction into 2
+	// alternatives whose outputs carry the input's conditions.
+	e := &Executor{}
+	bal := polyvalue.Uncertain("T9", polyvalue.Simple(value.Int(50)), polyvalue.Simple(value.Int(100)))
+	tx := txn.MustNew("T1", "bal = bal - 10")
+	res, err := e.Execute(tx, storeOf(map[string]polyvalue.Poly{"bal": bal}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Alternatives != 2 || res.Certain {
+		t.Errorf("res = %+v", res)
+	}
+	out := res.Writes["bal"]
+	if out.NumPairs() != 2 || !out.WellFormed() {
+		t.Fatalf("out = %v", out)
+	}
+	if v, _ := out.ValueUnder(map[condition.TID]bool{"T9": true}); !v.Equal(value.Int(40)) {
+		t.Errorf("committed branch = %v", v)
+	}
+	if v, _ := out.ValueUnder(map[condition.TID]bool{"T9": false}); !v.Equal(value.Int(90)) {
+		t.Errorf("aborted branch = %v", v)
+	}
+}
+
+func TestUncertaintyNotPropagatedWhenIrrelevant(t *testing.T) {
+	// The §5 credit-authorization property: if every alternative computes
+	// the same output, the output is a simple value even though the input
+	// was a polyvalue.
+	e := &Executor{}
+	bal := polyvalue.Uncertain("T9", polyvalue.Simple(value.Int(500)), polyvalue.Simple(value.Int(450)))
+	tx := txn.MustNew("T1", "approved = bal >= 100")
+	res, err := e.Execute(tx, storeOf(map[string]polyvalue.Poly{"bal": bal}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Certain {
+		t.Errorf("output should be certain: %v", res.Writes["approved"])
+	}
+	if v, ok := res.Writes["approved"].IsCertain(); !ok || !v.Equal(value.Bool(true)) {
+		t.Errorf("approved = %v", res.Writes["approved"])
+	}
+}
+
+func TestWriteOnlyItemDoesNotPartition(t *testing.T) {
+	// An item that is written but not read must not multiply alternatives
+	// even if it currently holds a polyvalue.
+	e := &Executor{}
+	old := polyvalue.Uncertain("T9", polyvalue.Simple(value.Int(1)), polyvalue.Simple(value.Int(2)))
+	tx := txn.MustNew("T1", "x = 42")
+	res, err := e.Execute(tx, storeOf(map[string]polyvalue.Poly{"x": old}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Alternatives != 1 {
+		t.Errorf("Alternatives = %d", res.Alternatives)
+	}
+	if v, ok := res.Writes["x"].IsCertain(); !ok || !v.Equal(value.Int(42)) {
+		t.Errorf("x = %v", res.Writes["x"])
+	}
+}
+
+func TestGuardFailurePreservesPreviousValue(t *testing.T) {
+	// Where the guard fails, the written item keeps its previous value
+	// under that alternative's condition (§3.2).
+	e := &Executor{}
+	bal := polyvalue.Uncertain("T9", polyvalue.Simple(value.Int(30)), polyvalue.Simple(value.Int(100)))
+	tx := txn.MustNew("T1", "bal = bal - 50 if bal >= 50")
+	res, err := e.Execute(tx, storeOf(map[string]polyvalue.Poly{"bal": bal}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Writes["bal"]
+	// T9 committed -> bal was 30, guard fails, stays 30.
+	if v, _ := out.ValueUnder(map[condition.TID]bool{"T9": true}); !v.Equal(value.Int(30)) {
+		t.Errorf("committed branch = %v", v)
+	}
+	// T9 aborted -> bal was 100, guard passes, 50.
+	if v, _ := out.ValueUnder(map[condition.TID]bool{"T9": false}); !v.Equal(value.Int(50)) {
+		t.Errorf("aborted branch = %v", v)
+	}
+}
+
+func TestTwoIndependentPolyInputs(t *testing.T) {
+	e := &Executor{}
+	a := polyvalue.Uncertain("TA", polyvalue.Simple(value.Int(1)), polyvalue.Simple(value.Int(0)))
+	b := polyvalue.Uncertain("TB", polyvalue.Simple(value.Int(10)), polyvalue.Simple(value.Int(0)))
+	tx := txn.MustNew("T1", "sum = a + b")
+	res, err := e.Execute(tx, storeOf(map[string]polyvalue.Poly{"a": a, "b": b}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Alternatives != 4 {
+		t.Errorf("Alternatives = %d, want 4", res.Alternatives)
+	}
+	out := res.Writes["sum"]
+	if out.NumPairs() != 4 || !out.WellFormed() {
+		t.Fatalf("sum = %v", out)
+	}
+	want := map[bool]map[bool]int64{true: {true: 11, false: 1}, false: {true: 10, false: 0}}
+	for _, ca := range []bool{true, false} {
+		for _, cb := range []bool{true, false} {
+			v, ok := out.ValueUnder(map[condition.TID]bool{"TA": ca, "TB": cb})
+			if !ok || !v.Equal(value.Int(want[ca][cb])) {
+				t.Errorf("sum under TA=%v TB=%v = %v", ca, cb, v)
+			}
+		}
+	}
+}
+
+func TestCorrelatedInputsPruneFalseAlternatives(t *testing.T) {
+	// Two items depending on the SAME transaction: only 2 of the 4 naive
+	// combinations are possible; the impossible ones must be discarded
+	// (§3.2: "any such alternative transaction can be discarded").
+	e := &Executor{}
+	src := polyvalue.Uncertain("T9", polyvalue.Simple(value.Int(50)), polyvalue.Simple(value.Int(100)))
+	dst := polyvalue.Uncertain("T9", polyvalue.Simple(value.Int(70)), polyvalue.Simple(value.Int(20)))
+	tx := txn.MustNew("T1", "total = src + dst")
+	res, err := e.Execute(tx, storeOf(map[string]polyvalue.Poly{"src": src, "dst": dst}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Alternatives != 2 {
+		t.Errorf("Alternatives = %d, want 2 (false combinations pruned)", res.Alternatives)
+	}
+	// Both surviving alternatives compute 120: a conservation law that
+	// makes the total certain despite per-item uncertainty.
+	if v, ok := res.Writes["total"].IsCertain(); !ok || !v.Equal(value.Int(120)) {
+		t.Errorf("total = %v", res.Writes["total"])
+	}
+}
+
+func TestAlternativeLimit(t *testing.T) {
+	e := &Executor{MaxAlternatives: 4}
+	store := map[string]polyvalue.Poly{}
+	items := []string{"a", "b", "c"}
+	for i, name := range items {
+		store[name] = polyvalue.Uncertain(condition.TID("T"+name), polyvalue.Simple(value.Int(int64(i))), polyvalue.Simple(value.Int(100)))
+	}
+	tx := txn.MustNew("T1", "s = a + b + c")
+	if _, err := e.Execute(tx, storeOf(store)); err == nil {
+		t.Error("8 alternatives should exceed limit 4")
+	} else if !strings.Contains(err.Error(), "exceed limit") {
+		t.Errorf("unexpected error %v", err)
+	}
+}
+
+func TestExecuteErrorPropagates(t *testing.T) {
+	e := &Executor{}
+	// One alternative holds a string: arithmetic fails there.
+	mixed := polyvalue.Uncertain("T9", polyvalue.Simple(value.Str("oops")), polyvalue.Simple(value.Int(1)))
+	tx := txn.MustNew("T1", "x = x + 1")
+	if _, err := e.Execute(tx, storeOf(map[string]polyvalue.Poly{"x": mixed})); err == nil {
+		t.Error("type error in an alternative not propagated")
+	}
+}
+
+func TestResolveAfterExecuteMatchesSerial(t *testing.T) {
+	// End-to-end §3.3 check: execute with uncertainty, then resolve the
+	// pending outcome both ways; each resolution must equal running the
+	// transaction serially against the corresponding pre-state.
+	e := &Executor{}
+	pre := polyvalue.Uncertain("T9", polyvalue.Simple(value.Int(50)), polyvalue.Simple(value.Int(100)))
+	tx := txn.MustNew("T1", "bal = bal * 2")
+	res, err := e.Execute(tx, storeOf(map[string]polyvalue.Poly{"bal": pre}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, committed := range []bool{true, false} {
+		preVal := int64(100)
+		if committed {
+			preVal = 50
+		}
+		want := value.Int(preVal * 2)
+		got := res.Writes["bal"].Resolve("T9", committed)
+		if v, ok := got.IsCertain(); !ok || !v.Equal(want) {
+			t.Errorf("resolve(committed=%v) = %v, want %v", committed, got, want)
+		}
+	}
+}
+
+func TestEvalQueryCertain(t *testing.T) {
+	e := &Executor{}
+	node, err := expr.ParseExpr("a + b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := e.EvalQuery(node, storeOf(map[string]polyvalue.Poly{
+		"a": polyvalue.Simple(value.Int(2)), "b": polyvalue.Simple(value.Int(3)),
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := p.IsCertain(); !ok || !v.Equal(value.Int(5)) {
+		t.Errorf("query = %v", p)
+	}
+}
+
+func TestEvalQueryUncertainOutput(t *testing.T) {
+	// §3.4: "a ticket agent would not be bothered by an uncertain answer
+	// to a request for the number of seats remaining".
+	e := &Executor{}
+	seats := polyvalue.Uncertain("T9", polyvalue.Simple(value.Int(12)), polyvalue.Simple(value.Int(13)))
+	node, err := expr.ParseExpr("150 - seats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := e.EvalQuery(node, storeOf(map[string]polyvalue.Poly{"seats": seats}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max, ok := p.MinMax()
+	if !ok || min != 137 || max != 138 {
+		t.Errorf("remaining = %v (min %g max %g)", p, min, max)
+	}
+	// A query whose answer doesn't depend on which value is real is
+	// certain: seats < 100 either way.
+	lt, err := expr.ParseExpr("seats < 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err = e.EvalQuery(lt, storeOf(map[string]polyvalue.Poly{"seats": seats}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := p.IsCertain(); !ok || !v.Equal(value.Bool(true)) {
+		t.Errorf("seats<100 = %v", p)
+	}
+}
+
+func TestEvalQueryError(t *testing.T) {
+	e := &Executor{}
+	node, err := expr.ParseExpr("s * 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.EvalQuery(node, storeOf(map[string]polyvalue.Poly{
+		"s": polyvalue.Simple(value.Str("x")),
+	})); err == nil {
+		t.Error("query type error not propagated")
+	}
+}
+
+func TestEvalQueryLimit(t *testing.T) {
+	e := &Executor{MaxAlternatives: 2}
+	store := map[string]polyvalue.Poly{
+		"a": polyvalue.Uncertain("TA", polyvalue.Simple(value.Int(1)), polyvalue.Simple(value.Int(2))),
+		"b": polyvalue.Uncertain("TB", polyvalue.Simple(value.Int(3)), polyvalue.Simple(value.Int(4))),
+	}
+	node, err := expr.ParseExpr("a + b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.EvalQuery(node, storeOf(store)); err == nil {
+		t.Error("query fan-out limit not enforced")
+	}
+}

@@ -1,0 +1,147 @@
+package polytxn
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/condition"
+	"repro/internal/expr"
+	"repro/internal/polyvalue"
+	"repro/internal/txn"
+	"repro/internal/value"
+)
+
+// scenario is a random polytransaction case: a store with some
+// polyvalued items and a random arithmetic program over them.
+type scenario struct {
+	Seed int64
+}
+
+func (scenario) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(scenario{Seed: r.Int63()})
+}
+
+// build materializes the scenario: 4 input items (each either certain or
+// a 2-pair polyvalue on its own transaction), and a program combining
+// them with random operators and an optional guard.
+func (s scenario) build() (txn.T, map[string]polyvalue.Poly, []condition.TID) {
+	r := rand.New(rand.NewSource(s.Seed))
+	store := map[string]polyvalue.Poly{}
+	var pending []condition.TID
+	for i := 0; i < 4; i++ {
+		name := fmt.Sprintf("in%d", i)
+		base := value.Int(r.Int63n(20) + 1)
+		if r.Intn(2) == 0 {
+			tid := condition.TID(fmt.Sprintf("P%d", i))
+			store[name] = polyvalue.Uncertain(tid,
+				polyvalue.Simple(value.Int(r.Int63n(20)+1)), polyvalue.Simple(base))
+			pending = append(pending, tid)
+		} else {
+			store[name] = polyvalue.Simple(base)
+		}
+	}
+	ops := []string{"+", "-", "*"}
+	src := fmt.Sprintf("out = in0 %s in1 %s in2 %s in3",
+		ops[r.Intn(3)], ops[r.Intn(3)], ops[r.Intn(3)])
+	if r.Intn(2) == 0 {
+		src += fmt.Sprintf(" if in%d >= %d", r.Intn(4), r.Int63n(15))
+	}
+	if r.Intn(3) == 0 {
+		src += fmt.Sprintf("; aux = in%d + %d", r.Intn(4), r.Int63n(5))
+	}
+	return txn.MustNew("TX", src), store, pending
+}
+
+// TestPropExecuteAgreesWithBruteForce: for every outcome assignment of
+// the pending transactions, the composed output polyvalue denotes
+// exactly what evaluating the program against the resolved inputs would
+// produce — §3.2's correctness in full generality.
+func TestPropExecuteAgreesWithBruteForce(t *testing.T) {
+	ex := &Executor{}
+	f := func(s scenario) bool {
+		tx, store, pending := s.build()
+		res, err := ex.Execute(tx, func(item string) polyvalue.Poly {
+			if p, ok := store[item]; ok {
+				return p
+			}
+			return polyvalue.Simple(value.Nil{})
+		})
+		if err != nil {
+			return false
+		}
+		// Enumerate every assignment of the pending outcomes.
+		total := 1 << len(pending)
+		for m := 0; m < total; m++ {
+			asn := map[condition.TID]bool{}
+			for i, tid := range pending {
+				asn[tid] = m&(1<<uint(i)) != 0
+			}
+			// Brute force: resolve every input, evaluate directly.
+			env := expr.MapEnv{}
+			for name, p := range store {
+				v, ok := p.ResolveAll(asn).IsCertain()
+				if !ok {
+					return false
+				}
+				env[name] = v
+			}
+			writes, err := tx.Program.Eval(env)
+			if err != nil {
+				return false
+			}
+			for _, item := range tx.WriteSet() {
+				want, wrote := writes[item]
+				if !wrote {
+					// Guard failed: previous value (Nil — outputs are
+					// fresh items here).
+					want = value.Nil{}
+				}
+				got, ok := res.Writes[item].ValueUnder(asn)
+				if !ok || !got.Equal(want) {
+					return false
+				}
+			}
+		}
+		// Well-formedness of every output.
+		for _, p := range res.Writes {
+			if !p.WellFormed() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropCertainFlagAccurate: Result.Certain is true exactly when every
+// written value is a one-pair polyvalue.
+func TestPropCertainFlagAccurate(t *testing.T) {
+	ex := &Executor{}
+	f := func(s scenario) bool {
+		tx, store, _ := s.build()
+		res, err := ex.Execute(tx, func(item string) polyvalue.Poly {
+			if p, ok := store[item]; ok {
+				return p
+			}
+			return polyvalue.Simple(value.Nil{})
+		})
+		if err != nil {
+			return false
+		}
+		allCertain := true
+		for _, p := range res.Writes {
+			if _, ok := p.IsCertain(); !ok {
+				allCertain = false
+			}
+		}
+		return res.Certain == allCertain
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 250}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,94 @@
+package polyvalue
+
+import (
+	"fmt"
+
+	"repro/internal/condition"
+	"repro/internal/value"
+)
+
+// This file extends §3.4 ("present the uncertain outputs to the user"):
+// when uncertain outputs are presented, a client can weight the
+// alternatives by how likely each is.  In-doubt transactions mostly
+// commit in practice — the coordinator had collected every ready before
+// failing — so the probability a given branch is real is well modelled by
+// independent per-transaction commit probabilities.
+
+// probLimit bounds exact weight computation (enumeration over the
+// condition's variables).
+const probLimit = 20
+
+// Weights returns, for each pair (in Pairs() order), the probability
+// that its condition holds, assuming each pending transaction commits
+// independently with probability pCommit.  The weights sum to 1 (the
+// conditions are complete and disjoint).  Errors if the polyvalue
+// depends on more than 20 transactions.
+func (p Poly) Weights(pCommit float64) ([]float64, error) {
+	if pCommit < 0 || pCommit > 1 {
+		return nil, fmt.Errorf("polyvalue: commit probability %g out of [0,1]", pCommit)
+	}
+	deps := p.DependsOn()
+	if len(deps) > probLimit {
+		return nil, fmt.Errorf("polyvalue: %d pending transactions exceed weight limit %d", len(deps), probLimit)
+	}
+	weights := make([]float64, len(p.pairs))
+	asn := make(map[condition.TID]bool, len(deps))
+	total := 1 << len(deps)
+	for m := 0; m < total; m++ {
+		prob := 1.0
+		for i, t := range deps {
+			committed := m&(1<<uint(i)) != 0
+			asn[t] = committed
+			if committed {
+				prob *= pCommit
+			} else {
+				prob *= 1 - pCommit
+			}
+		}
+		if prob == 0 {
+			continue
+		}
+		for i, pr := range p.pairs {
+			if v, ok := pr.Cond.Eval(asn); ok && v {
+				weights[i] += prob
+				break // disjoint: at most one pair matches
+			}
+		}
+	}
+	return weights, nil
+}
+
+// Expected returns the probability-weighted expected value of a numeric
+// polyvalue, assuming independent commit probability pCommit for each
+// pending transaction.  A certain value returns itself.
+func (p Poly) Expected(pCommit float64) (float64, error) {
+	weights, err := p.Weights(pCommit)
+	if err != nil {
+		return 0, err
+	}
+	var e float64
+	for i, pr := range p.pairs {
+		f, ok := value.AsFloat(pr.Val)
+		if !ok {
+			return 0, fmt.Errorf("polyvalue: non-numeric alternative %s", pr.Val)
+		}
+		e += weights[i] * f
+	}
+	return e, nil
+}
+
+// MostLikely returns the value whose condition is most probable under
+// independent commit probability pCommit, with its weight.
+func (p Poly) MostLikely(pCommit float64) (value.V, float64, error) {
+	weights, err := p.Weights(pCommit)
+	if err != nil {
+		return nil, 0, err
+	}
+	best := 0
+	for i := range weights {
+		if weights[i] > weights[best] {
+			best = i
+		}
+	}
+	return p.pairs[best].Val, weights[best], nil
+}

@@ -1,0 +1,128 @@
+package polyvalue
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/condition"
+	"repro/internal/value"
+)
+
+func TestWeightsSimpleValue(t *testing.T) {
+	p := Simple(value.Int(5))
+	w, err := p.Weights(0.9)
+	if err != nil || len(w) != 1 || w[0] != 1 {
+		t.Errorf("Weights = %v, %v", w, err)
+	}
+}
+
+func TestWeightsTwoPair(t *testing.T) {
+	p := Uncertain("T1", Simple(value.Int(60)), Simple(value.Int(100)))
+	w, err := p.Weights(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pairs are in canonical order; find which is which by value.
+	for i, pr := range p.Pairs() {
+		n, _ := value.AsInt(pr.Val)
+		want := 0.9
+		if n == 100 {
+			want = 0.1
+		}
+		if math.Abs(w[i]-want) > 1e-12 {
+			t.Errorf("weight of %d = %g, want %g", n, w[i], want)
+		}
+	}
+}
+
+func TestWeightsSumToOne(t *testing.T) {
+	inner := Uncertain("T1", Simple(value.Int(10)), Simple(value.Int(0)))
+	outer := Uncertain("T2", Simple(value.Int(99)), inner)
+	for _, pc := range []float64{0, 0.25, 0.5, 0.9, 1} {
+		w, err := outer.Weights(pc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for _, x := range w {
+			sum += x
+		}
+		if math.Abs(sum-1) > 1e-12 {
+			t.Errorf("weights at p=%g sum to %g", pc, sum)
+		}
+	}
+}
+
+func TestExpected(t *testing.T) {
+	p := Uncertain("T1", Simple(value.Int(60)), Simple(value.Int(100)))
+	e, err := p.Expected(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.9*60 + 0.1*100
+	if math.Abs(e-want) > 1e-12 {
+		t.Errorf("Expected = %g, want %g", e, want)
+	}
+	// Degenerate probabilities give the branch values exactly.
+	if e, _ := p.Expected(1); e != 60 {
+		t.Errorf("Expected(1) = %g", e)
+	}
+	if e, _ := p.Expected(0); e != 100 {
+		t.Errorf("Expected(0) = %g", e)
+	}
+}
+
+func TestExpectedErrors(t *testing.T) {
+	p := Uncertain("T1", Simple(value.Str("x")), Simple(value.Int(1)))
+	if _, err := p.Expected(0.5); err == nil {
+		t.Error("non-numeric accepted")
+	}
+	q := Simple(value.Int(1))
+	if _, err := q.Expected(-0.1); err == nil {
+		t.Error("bad probability accepted")
+	}
+	if _, err := q.Expected(1.1); err == nil {
+		t.Error("bad probability accepted")
+	}
+	// Too many dependencies.
+	big := Simple(value.Int(0))
+	for i := 0; i < 21; i++ {
+		big = Uncertain(condition.TID(string(rune('a'+i))), Simple(value.Int(int64(i+1))), big)
+	}
+	if _, err := big.Expected(0.5); err == nil {
+		t.Error("21 dependencies accepted")
+	}
+}
+
+func TestMostLikely(t *testing.T) {
+	p := Uncertain("T1", Simple(value.Int(60)), Simple(value.Int(100)))
+	v, w, err := p.MostLikely(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Equal(value.Int(60)) || math.Abs(w-0.9) > 1e-12 {
+		t.Errorf("MostLikely = %v, %g", v, w)
+	}
+	v, w, err = p.MostLikely(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Equal(value.Int(100)) || math.Abs(w-0.8) > 1e-12 {
+		t.Errorf("MostLikely(0.2) = %v, %g", v, w)
+	}
+}
+
+func TestExpectedNested(t *testing.T) {
+	// {99 | T2, 10 | !T2&T1, 0 | !T2&!T1}: E = p·99 + (1-p)p·10.
+	inner := Uncertain("T1", Simple(value.Int(10)), Simple(value.Int(0)))
+	outer := Uncertain("T2", Simple(value.Int(99)), inner)
+	pc := 0.7
+	e, err := outer.Expected(pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := pc*99 + (1-pc)*pc*10
+	if math.Abs(e-want) > 1e-12 {
+		t.Errorf("Expected = %g, want %g", e, want)
+	}
+}

@@ -1,0 +1,45 @@
+package polyvalue
+
+import (
+	"testing"
+
+	"repro/internal/value"
+)
+
+// FuzzDecodeBinary: arbitrary bytes must never panic the decoder, never
+// produce an ill-formed polyvalue, and anything that decodes must
+// round-trip.
+func FuzzDecodeBinary(f *testing.F) {
+	seeds := []Poly{
+		Simple(value.Int(1)),
+		Uncertain("T1", Simple(value.Int(2)), Simple(value.Int(3))),
+		Uncertain("T2", Simple(value.Str("x")),
+			Uncertain("T1", Simple(value.Bool(true)), Simple(value.Nil{}))),
+	}
+	for _, p := range seeds {
+		data, _ := p.MarshalBinary()
+		f.Add(data)
+	}
+	f.Add([]byte{})
+	f.Add([]byte{1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, _, err := DecodeBinary(data)
+		if err != nil {
+			return
+		}
+		if !p.WellFormed() {
+			t.Fatalf("decoder produced ill-formed polyvalue %v", p)
+		}
+		re, err := p.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Poly
+		if err := back.UnmarshalBinary(re); err != nil {
+			t.Fatalf("re-encode/decode failed: %v", err)
+		}
+		if !back.Equal(p) {
+			t.Fatalf("round trip changed %v to %v", p, back)
+		}
+	})
+}

@@ -1,0 +1,183 @@
+package polyvalue
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/condition"
+	"repro/internal/value"
+)
+
+// opSequence describes a random history of uncertain updates applied to
+// an item: each step either overwrites with a fresh simple value (the
+// paper's Y parameter) or wraps the current value in a new layer of
+// uncertainty.  It is the generator for the polyvalue invariant
+// properties.
+type opSequence struct {
+	Seed int64
+	N    int
+}
+
+func (opSequence) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(opSequence{Seed: r.Int63(), N: 1 + r.Intn(6)})
+}
+
+// run replays the sequence, returning the final polyvalue, the serial
+// oracle (what the value would be under the chosen outcomes), and the
+// outcome assignment.
+func (s opSequence) run() (Poly, value.V, map[condition.TID]bool) {
+	r := rand.New(rand.NewSource(s.Seed))
+	outcomes := map[condition.TID]bool{}
+	p := Simple(value.Int(0))
+	oracle := value.V(value.Int(0))
+	for i := 0; i < s.N; i++ {
+		t := condition.TID(fmt.Sprintf("T%d", i))
+		committed := r.Intn(2) == 0
+		outcomes[t] = committed
+		newVal := value.Int(r.Int63n(100))
+		switch r.Intn(3) {
+		case 0:
+			// Certain overwrite: uncertainty is discarded (the paper's
+			// "transactions overwrite polyvalues ... with simple values").
+			p = Simple(newVal)
+			oracle = newVal
+		case 1:
+			// In-doubt blind write (Y=1: new value independent of old).
+			p = Uncertain(t, Simple(newVal), p)
+			if committed {
+				oracle = newVal
+			}
+		default:
+			// In-doubt dependent write (Y=0): new value derived from old,
+			// computed per alternative, exercising Compose flattening.
+			alts := make([]Alternative, 0, p.NumPairs()+1)
+			for _, pr := range p.Pairs() {
+				old, _ := value.AsInt(pr.Val)
+				alts = append(alts, Alternative{
+					Cond: condition.Committed(t).And(pr.Cond),
+					Val:  Simple(value.Int(old + 1)),
+				})
+			}
+			alts = append(alts, Alternative{Cond: condition.Aborted(t), Val: p})
+			p = Compose(alts)
+			if committed {
+				old, _ := value.AsInt(oracle)
+				oracle = value.Int(old + 1)
+			}
+		}
+	}
+	return p, oracle, outcomes
+}
+
+var quickCfg = &quick.Config{MaxCount: 200}
+
+// TestPropWellFormedUnderHistories: every polyvalue produced by a random
+// update history satisfies the complete-and-disjoint invariant.
+func TestPropWellFormedUnderHistories(t *testing.T) {
+	f := func(s opSequence) bool {
+		p, _, _ := s.run()
+		return p.WellFormed()
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropSerialEquivalence: resolving every outcome yields exactly the
+// value a serial execution produces — the paper's core correctness claim
+// (§3.3: "when the outcome of every transaction is known, a single value
+// pair will be left in each polyvalue, eliminating all uncertainty").
+func TestPropSerialEquivalence(t *testing.T) {
+	f := func(s opSequence) bool {
+		p, oracle, outcomes := s.run()
+		resolved := p.ResolveAll(outcomes)
+		v, ok := resolved.IsCertain()
+		return ok && v.Equal(oracle)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropValueUnderAgreesWithResolve: evaluating under an assignment and
+// resolving with the same assignment must agree.
+func TestPropValueUnderAgreesWithResolve(t *testing.T) {
+	f := func(s opSequence) bool {
+		p, _, outcomes := s.run()
+		under, okU := p.ValueUnder(outcomes)
+		resolved, okR := p.ResolveAll(outcomes).IsCertain()
+		return okU && okR && under.Equal(resolved)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropResolveOrderIrrelevant: outcomes may arrive in any order (§3.3
+// propagation is asynchronous); the final value must not depend on order.
+func TestPropResolveOrderIrrelevant(t *testing.T) {
+	f := func(s opSequence) bool {
+		p, _, outcomes := s.run()
+		tids := make([]condition.TID, 0, len(outcomes))
+		for t := range outcomes {
+			tids = append(tids, t)
+		}
+		forward := p
+		for i := 0; i < len(tids); i++ {
+			forward = forward.Resolve(tids[i], outcomes[tids[i]])
+		}
+		backward := p
+		for i := len(tids) - 1; i >= 0; i-- {
+			backward = backward.Resolve(tids[i], outcomes[tids[i]])
+		}
+		return forward.Equal(backward)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropEncodingStable: binary round trip is identity over random
+// histories.
+func TestPropEncodingStable(t *testing.T) {
+	f := func(s opSequence) bool {
+		p, _, _ := s.run()
+		data, err := p.MarshalBinary()
+		if err != nil {
+			return false
+		}
+		var back Poly
+		if err := back.UnmarshalBinary(data); err != nil {
+			return false
+		}
+		return back.Equal(p)
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropPartialResolveShrinksDependence: resolving any mentioned
+// transaction removes it from the dependency set and never grows the
+// pair count.
+func TestPropPartialResolveShrinksDependence(t *testing.T) {
+	f := func(s opSequence) bool {
+		p, _, outcomes := s.run()
+		for _, tid := range p.DependsOn() {
+			r := p.Resolve(tid, outcomes[tid])
+			if r.Mentions(tid) {
+				return false
+			}
+			if r.NumPairs() > p.NumPairs() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,121 @@
+// Package protocol implements the paper's update protocol (§3.1,
+// Figure 1): a two-phase commit in which a participant that times out in
+// the wait phase installs polyvalues instead of blocking.
+//
+// The participant and coordinator are pure state machines: they consume
+// events and emit actions, with no transport, storage, or clock of their
+// own.  The cluster runtime (goroutine actors over a simulated network)
+// and the Figure 1 conformance tests drive the same code.
+package protocol
+
+import (
+	"fmt"
+
+	"repro/internal/polyvalue"
+	"repro/internal/txn"
+)
+
+// SiteID names a site (a node holding a partition of the database).
+type SiteID string
+
+// MsgKind enumerates protocol messages.
+type MsgKind uint8
+
+const (
+	// MsgReadReq asks a site for the current (possibly poly) values of
+	// named items, on behalf of a transaction's compute phase.
+	MsgReadReq MsgKind = iota + 1
+	// MsgReadRep returns the requested values.
+	MsgReadRep
+	// MsgPrepare carries the transaction to a participant: program source
+	// plus the values of remote read items, so the participant can
+	// compute new values for the items it holds.
+	MsgPrepare
+	// MsgReady reports a participant finished its compute phase
+	// ("it then reports that it is ready ... by sending a ready message").
+	MsgReady
+	// MsgRefuse reports the participant cannot perform the transaction
+	// (lock conflict or computation error); the coordinator will abort.
+	MsgRefuse
+	// MsgComplete instructs participants to install computed results.
+	MsgComplete
+	// MsgAbort instructs participants to discard computed results.
+	MsgAbort
+	// MsgOutcomeReq asks the coordinator (or any site that knows) for the
+	// outcome of a transaction, during failure recovery (§3.3).
+	MsgOutcomeReq
+	// MsgOutcomeInfo announces a transaction's outcome so holders of
+	// dependent polyvalues can reduce them (§3.3).
+	MsgOutcomeInfo
+	// MsgOutcomeAck tells the coordinator a participant has fully settled
+	// the transaction, so the coordinator can eventually forget the
+	// outcome record (§3.3: "any data structures used to keep track of
+	// the transaction outcome should be quickly deleted when no longer
+	// needed").
+	MsgOutcomeAck
+)
+
+// String names the message kind.
+func (k MsgKind) String() string {
+	switch k {
+	case MsgReadReq:
+		return "read-req"
+	case MsgReadRep:
+		return "read-rep"
+	case MsgPrepare:
+		return "prepare"
+	case MsgReady:
+		return "ready"
+	case MsgRefuse:
+		return "refuse"
+	case MsgComplete:
+		return "complete"
+	case MsgAbort:
+		return "abort"
+	case MsgOutcomeReq:
+		return "outcome-req"
+	case MsgOutcomeInfo:
+		return "outcome-info"
+	case MsgOutcomeAck:
+		return "outcome-ack"
+	default:
+		return fmt.Sprintf("msg(%d)", uint8(k))
+	}
+}
+
+// Message is one protocol message.  Fields beyond Kind/TID/From/To are
+// populated per kind; unused fields are zero.
+type Message struct {
+	Kind MsgKind
+	TID  txn.ID
+	From SiteID
+	To   SiteID
+
+	// MsgReadReq: items requested.  MsgPrepare: the items this
+	// participant holds (its share of the write set).
+	Items []string
+	// MsgReadReq: whether the read is on behalf of an update transaction
+	// and must lock the items (false for §3.4 read-only queries).
+	Lock bool
+	// MsgReadRep and MsgPrepare: item values (current values for
+	// read-rep; remote read values for prepare).
+	Values map[string]polyvalue.Poly
+	// MsgPrepare: transaction body source text.
+	Program string
+	// MsgPrepare: the coordinator to whom ready is sent and from whom
+	// the outcome can later be requested.
+	Coordinator SiteID
+	// MsgRefuse: human-readable reason, for tracing.
+	Reason string
+	// MsgReady: the participant held only read items and has already
+	// released them (the classic read-only 2PC optimization); it needs no
+	// complete/abort and must not be waited on for outcome acks.
+	ReadOnly bool
+	// MsgOutcomeInfo: the outcome.
+	Committed bool
+}
+
+// String renders a compact trace line for the message.
+func (m Message) String() string {
+	return fmt.Sprintf("%s %s->%s tid=%s", m.Kind, m.From, m.To, m.TID)
+}

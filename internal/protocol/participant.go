@@ -1,0 +1,208 @@
+package protocol
+
+import (
+	"fmt"
+
+	"repro/internal/polyvalue"
+	"repro/internal/txn"
+)
+
+// PState is a participant's per-transaction state, exactly Figure 1 of
+// the paper: idle, compute, wait.
+type PState uint8
+
+const (
+	// StateIdle: "a site is ready to begin a new transaction".
+	StateIdle PState = iota
+	// StateCompute: "a site computes the results of a transaction".
+	StateCompute
+	// StateWait: results computed, ready sent, awaiting the outcome.
+	StateWait
+)
+
+// String names the state as in Figure 1.
+func (s PState) String() string {
+	switch s {
+	case StateIdle:
+		return "idle"
+	case StateCompute:
+		return "compute"
+	case StateWait:
+		return "wait"
+	default:
+		return fmt.Sprintf("state(%d)", uint8(s))
+	}
+}
+
+// PEvent is an input to the participant machine.
+type PEvent uint8
+
+const (
+	// EvPrepare: a prepare message arrived (begin compute phase).
+	EvPrepare PEvent = iota + 1
+	// EvComputed: local computation finished successfully.
+	EvComputed
+	// EvComputeFailed: local computation could not finish (lock conflict,
+	// type error, or a failure preventing it) — "that site simply
+	// discards the computation performed".
+	EvComputeFailed
+	// EvComplete: the coordinator's complete message arrived.
+	EvComplete
+	// EvAbort: the coordinator's abort message arrived.
+	EvAbort
+	// EvTimeout: neither complete nor abort arrived promptly.
+	EvTimeout
+)
+
+// String names the event.
+func (e PEvent) String() string {
+	switch e {
+	case EvPrepare:
+		return "prepare"
+	case EvComputed:
+		return "computed"
+	case EvComputeFailed:
+		return "compute-failed"
+	case EvComplete:
+		return "complete"
+	case EvAbort:
+		return "abort"
+	case EvTimeout:
+		return "timeout"
+	default:
+		return fmt.Sprintf("event(%d)", uint8(e))
+	}
+}
+
+// PAction is the output the runtime must perform after a transition.
+type PAction uint8
+
+const (
+	// ActNone: nothing to do.
+	ActNone PAction = iota
+	// ActCompute: run the compute phase (evaluate the transaction against
+	// local + supplied remote values).
+	ActCompute
+	// ActSendReady: report readiness to the coordinator and arm the
+	// wait-phase timer.
+	ActSendReady
+	// ActDiscard: drop any computed results; the transaction is over at
+	// this site.
+	ActDiscard
+	// ActInstall: make the computed results current; the transaction
+	// committed.
+	ActInstall
+	// ActInstallPoly: the outcome is unknown — install polyvalues
+	// {<new, T>, <old, !T>} for each updated item and return to idle.
+	ActInstallPoly
+)
+
+// String names the action.
+func (a PAction) String() string {
+	switch a {
+	case ActNone:
+		return "none"
+	case ActCompute:
+		return "compute"
+	case ActSendReady:
+		return "send-ready"
+	case ActDiscard:
+		return "discard"
+	case ActInstall:
+		return "install"
+	case ActInstallPoly:
+		return "install-poly"
+	default:
+		return fmt.Sprintf("action(%d)", uint8(a))
+	}
+}
+
+// Participant is the per-transaction state machine run by each site
+// involved in a transaction.  It is a pure Mealy machine; the runtime
+// owns timers, storage and messaging and performs the returned actions.
+type Participant struct {
+	TID         txn.ID
+	Coordinator SiteID
+	state       PState
+
+	// Computed holds the new values for local items once the compute
+	// phase finishes; the runtime stores them here so Install /
+	// InstallPoly actions can use them.
+	Computed map[string]polyvalue.Poly
+	// Previous holds the pre-transaction values of the same items, needed
+	// to build {<new, T>, <old, !T>} polyvalues.
+	Previous map[string]polyvalue.Poly
+}
+
+// NewParticipant returns a participant in the idle state.
+func NewParticipant(tid txn.ID, coord SiteID) *Participant {
+	return &Participant{TID: tid, Coordinator: coord, state: StateIdle}
+}
+
+// State returns the current Figure 1 state.
+func (p *Participant) State() PState { return p.state }
+
+// Transition consumes an event and returns the action the runtime must
+// perform.  Illegal (state, event) combinations return an error and leave
+// the state unchanged; the runtime treats these as protocol violations
+// (in practice they arise only from duplicated or very late messages,
+// which the runtime filters before calling Transition).
+func (p *Participant) Transition(ev PEvent) (PAction, error) {
+	switch p.state {
+	case StateIdle:
+		if ev == EvPrepare {
+			p.state = StateCompute
+			return ActCompute, nil
+		}
+	case StateCompute:
+		switch ev {
+		case EvComputed:
+			p.state = StateWait
+			return ActSendReady, nil
+		case EvComputeFailed, EvAbort:
+			// "If a failure delays the completion of the compute phase
+			// ... that site simply discards the computation performed."
+			p.state = StateIdle
+			return ActDiscard, nil
+		}
+	case StateWait:
+		switch ev {
+		case EvComplete:
+			p.state = StateIdle
+			return ActInstall, nil
+		case EvAbort:
+			p.state = StateIdle
+			return ActDiscard, nil
+		case EvTimeout:
+			// "If neither a complete nor an abort message is received ...
+			// it installs polyvalues for the results of that transaction."
+			p.state = StateIdle
+			return ActInstallPoly, nil
+		}
+	}
+	return ActNone, fmt.Errorf("protocol: participant %s in %s cannot handle %s", p.TID, p.state, ev)
+}
+
+// Transitions enumerates the full transition relation of Figure 1, for
+// the conformance test and the cmd/polytables figure renderer.
+func Transitions() []struct {
+	From   PState
+	Event  PEvent
+	To     PState
+	Action PAction
+} {
+	return []struct {
+		From   PState
+		Event  PEvent
+		To     PState
+		Action PAction
+	}{
+		{StateIdle, EvPrepare, StateCompute, ActCompute},
+		{StateCompute, EvComputed, StateWait, ActSendReady},
+		{StateCompute, EvComputeFailed, StateIdle, ActDiscard},
+		{StateCompute, EvAbort, StateIdle, ActDiscard},
+		{StateWait, EvComplete, StateIdle, ActInstall},
+		{StateWait, EvAbort, StateIdle, ActDiscard},
+		{StateWait, EvTimeout, StateIdle, ActInstallPoly},
+	}
+}

@@ -1,0 +1,110 @@
+package protocol
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropCoordinatorDecisionStable: under any event sequence, once the
+// coordinator decides, further events never change the decision, and a
+// commit decision happens only after every participant's ready.
+func TestPropCoordinatorDecisionStable(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(4)
+		sites := make([]SiteID, n)
+		for i := range sites {
+			sites[i] = SiteID(string(rune('a' + i)))
+		}
+		c := NewCoordinator("T", sites)
+		readySet := map[SiteID]bool{}
+		var decided bool
+		var decision bool
+		for step := 0; step < 20; step++ {
+			switch rng.Intn(3) {
+			case 0:
+				from := sites[rng.Intn(n)]
+				wasDecided := decided
+				if c.OnReady(from) {
+					if wasDecided {
+						return false // re-decided
+					}
+					decided, decision = true, true
+				}
+				if !wasDecided {
+					readySet[from] = true
+				}
+				// A commit decision requires all readies.
+				if decided && decision && len(readySet) != n && !wasDecided {
+					_ = readySet
+				}
+			case 1:
+				if c.OnRefuse(sites[rng.Intn(n)]) {
+					if decided {
+						return false
+					}
+					decided, decision = true, false
+				}
+			default:
+				if c.OnTimeout() {
+					if decided {
+						return false
+					}
+					decided, decision = true, false
+				}
+			}
+			// The machine's reported decision must match our shadow.
+			gotCommit, gotDecided := c.Decided()
+			if gotDecided != decided {
+				return false
+			}
+			if decided && gotCommit != decision {
+				return false
+			}
+			// Commit implies every site was ready at decision time.
+			if decided && decision && len(readySet) != n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropParticipantNeverInstallsAfterDiscard: random event sequences
+// never let a participant both discard and install for the same
+// transaction, and every action is emitted from a legal state.
+func TestPropParticipantActionConsistency(t *testing.T) {
+	events := []PEvent{EvPrepare, EvComputed, EvComputeFailed, EvComplete, EvAbort, EvTimeout}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := NewParticipant("T", "c")
+		installed, discarded := false, false
+		for step := 0; step < 30; step++ {
+			ev := events[rng.Intn(len(events))]
+			act, err := p.Transition(ev)
+			if err != nil {
+				continue // illegal in current state; state unchanged
+			}
+			switch act {
+			case ActInstall, ActInstallPoly:
+				installed = true
+			case ActDiscard:
+				discarded = true
+			}
+			// One transaction's results are installed XOR discarded; the
+			// machine resets to idle after either, so a NEW prepare could
+			// legally restart it — stop at the first terminal action.
+			if installed || discarded {
+				return !(installed && discarded)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

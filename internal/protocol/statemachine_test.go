@@ -1,0 +1,214 @@
+package protocol
+
+import (
+	"testing"
+)
+
+// TestFigure1Conformance drives the participant through every edge of
+// Figure 1 and verifies the transition relation matches the paper's
+// state diagram exactly: idle --prepare--> compute; compute --computed-->
+// wait (send ready); compute --{failure,abort}--> idle (discard); wait
+// --complete--> idle (install); wait --abort--> idle (discard); wait
+// --timeout--> idle (install polyvalues).
+func TestFigure1Conformance(t *testing.T) {
+	for _, tr := range Transitions() {
+		p := NewParticipant("T1", "coord")
+		// Walk the machine into tr.From.
+		switch tr.From {
+		case StateCompute:
+			mustTransition(t, p, EvPrepare, ActCompute)
+		case StateWait:
+			mustTransition(t, p, EvPrepare, ActCompute)
+			mustTransition(t, p, EvComputed, ActSendReady)
+		}
+		if p.State() != tr.From {
+			t.Fatalf("setup failed: at %v, want %v", p.State(), tr.From)
+		}
+		act, err := p.Transition(tr.Event)
+		if err != nil {
+			t.Fatalf("%v --%v-->: %v", tr.From, tr.Event, err)
+		}
+		if act != tr.Action {
+			t.Errorf("%v --%v--> action %v, want %v", tr.From, tr.Event, act, tr.Action)
+		}
+		if p.State() != tr.To {
+			t.Errorf("%v --%v--> state %v, want %v", tr.From, tr.Event, p.State(), tr.To)
+		}
+	}
+}
+
+// TestFigure1Completeness: the enumerated relation covers exactly the
+// legal (state, event) pairs; everything else errors and leaves the state
+// unchanged.
+func TestFigure1Completeness(t *testing.T) {
+	legal := map[PState]map[PEvent]bool{}
+	for _, tr := range Transitions() {
+		if legal[tr.From] == nil {
+			legal[tr.From] = map[PEvent]bool{}
+		}
+		legal[tr.From][tr.Event] = true
+	}
+	states := []PState{StateIdle, StateCompute, StateWait}
+	events := []PEvent{EvPrepare, EvComputed, EvComputeFailed, EvComplete, EvAbort, EvTimeout}
+	for _, st := range states {
+		for _, ev := range events {
+			p := NewParticipant("T1", "coord")
+			switch st {
+			case StateCompute:
+				mustTransition(t, p, EvPrepare, ActCompute)
+			case StateWait:
+				mustTransition(t, p, EvPrepare, ActCompute)
+				mustTransition(t, p, EvComputed, ActSendReady)
+			}
+			act, err := p.Transition(ev)
+			if legal[st][ev] {
+				if err != nil {
+					t.Errorf("legal %v --%v--> errored: %v", st, ev, err)
+				}
+				continue
+			}
+			if err == nil {
+				t.Errorf("illegal %v --%v--> accepted with action %v", st, ev, act)
+			}
+			if p.State() != st {
+				t.Errorf("illegal event moved state %v -> %v", st, p.State())
+			}
+			if act != ActNone {
+				t.Errorf("illegal event produced action %v", act)
+			}
+		}
+	}
+}
+
+func mustTransition(t *testing.T, p *Participant, ev PEvent, want PAction) {
+	t.Helper()
+	act, err := p.Transition(ev)
+	if err != nil {
+		t.Fatalf("transition %v: %v", ev, err)
+	}
+	if act != want {
+		t.Fatalf("transition %v: action %v, want %v", ev, act, want)
+	}
+}
+
+func TestParticipantHappyPath(t *testing.T) {
+	p := NewParticipant("T1", "c")
+	mustTransition(t, p, EvPrepare, ActCompute)
+	mustTransition(t, p, EvComputed, ActSendReady)
+	mustTransition(t, p, EvComplete, ActInstall)
+	if p.State() != StateIdle {
+		t.Errorf("final state %v", p.State())
+	}
+}
+
+func TestParticipantTimeoutInstallsPolyvalues(t *testing.T) {
+	p := NewParticipant("T1", "c")
+	mustTransition(t, p, EvPrepare, ActCompute)
+	mustTransition(t, p, EvComputed, ActSendReady)
+	mustTransition(t, p, EvTimeout, ActInstallPoly)
+	if p.State() != StateIdle {
+		t.Errorf("final state %v — the site must return to idle and keep processing", p.State())
+	}
+}
+
+func TestCoordinatorCommit(t *testing.T) {
+	c := NewCoordinator("T1", []SiteID{"a", "b", "c"})
+	if c.State() != CCollecting {
+		t.Fatalf("initial state %v", c.State())
+	}
+	if c.OnReady("a") || c.OnReady("b") {
+		t.Error("decided before all readies")
+	}
+	if !c.OnReady("c") {
+		t.Error("final ready did not decide commit")
+	}
+	committed, decided := c.Decided()
+	if !decided || !committed {
+		t.Errorf("Decided = %v,%v", committed, decided)
+	}
+}
+
+func TestCoordinatorDecisionImmutable(t *testing.T) {
+	c := NewCoordinator("T1", []SiteID{"a"})
+	if !c.OnReady("a") {
+		t.Fatal("ready did not decide")
+	}
+	if c.OnTimeout() {
+		t.Error("timeout after commit changed decision")
+	}
+	if c.OnRefuse("a") {
+		t.Error("refuse after commit changed decision")
+	}
+	if committed, _ := c.Decided(); !committed {
+		t.Error("decision mutated")
+	}
+	// And the abort side.
+	c2 := NewCoordinator("T2", []SiteID{"a", "b"})
+	if !c2.OnTimeout() {
+		t.Fatal("timeout did not decide abort")
+	}
+	if c2.OnReady("a") || c2.OnReady("b") {
+		t.Error("late readies changed aborted decision")
+	}
+	if committed, decided := c2.Decided(); committed || !decided {
+		t.Errorf("Decided = %v,%v", committed, decided)
+	}
+}
+
+func TestCoordinatorDuplicateAndUnknownReady(t *testing.T) {
+	c := NewCoordinator("T1", []SiteID{"a", "b"})
+	c.OnReady("a")
+	if c.OnReady("a") {
+		t.Error("duplicate ready decided commit")
+	}
+	if c.OnReady("zz") {
+		t.Error("unknown site's ready decided commit")
+	}
+	if !c.OnReady("b") {
+		t.Error("final ready did not decide")
+	}
+}
+
+func TestCoordinatorRefuseAborts(t *testing.T) {
+	c := NewCoordinator("T1", []SiteID{"a", "b"})
+	c.OnReady("a")
+	if !c.OnRefuse("b") {
+		t.Error("refuse did not decide abort")
+	}
+	if c.State() != CAborted {
+		t.Errorf("state %v", c.State())
+	}
+}
+
+func TestCoordinatorParticipants(t *testing.T) {
+	c := NewCoordinator("T1", []SiteID{"b", "a"})
+	ps := c.Participants()
+	if len(ps) != 2 || ps[0] != "a" || ps[1] != "b" {
+		t.Errorf("Participants = %v", ps)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if StateIdle.String() != "idle" || StateCompute.String() != "compute" || StateWait.String() != "wait" {
+		t.Error("PState strings wrong")
+	}
+	if PState(9).String() != "state(9)" || PEvent(99).String() != "event(99)" ||
+		PAction(99).String() != "action(99)" || CState(99).String() != "cstate(99)" ||
+		MsgKind(99).String() != "msg(99)" {
+		t.Error("fallback strings wrong")
+	}
+	for _, e := range []PEvent{EvPrepare, EvComputed, EvComputeFailed, EvComplete, EvAbort, EvTimeout} {
+		if e.String() == "" {
+			t.Error("empty event name")
+		}
+	}
+	for _, k := range []MsgKind{MsgReadReq, MsgReadRep, MsgPrepare, MsgReady, MsgRefuse, MsgComplete, MsgAbort, MsgOutcomeReq, MsgOutcomeInfo, MsgOutcomeAck} {
+		if k.String() == "" {
+			t.Error("empty message kind name")
+		}
+	}
+	m := Message{Kind: MsgReady, From: "a", To: "b", TID: "T1"}
+	if m.String() != "ready a->b tid=T1" {
+		t.Errorf("Message.String = %q", m.String())
+	}
+}

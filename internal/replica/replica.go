@@ -1,0 +1,130 @@
+// Package replica makes the paper's §3 replication note concrete: "an
+// item that is replicated at several sites can be viewed as a set of
+// individual items, one for each site."
+//
+// A logical item x replicated k ways becomes physical items x@0 … x@k-1,
+// placed on distinct sites.  A transaction on logical items is rewritten
+// to a write-all / read-one transaction on physical items: every write
+// updates all k replicas atomically (they are just k items in one
+// transaction, so the polyvalue machinery applies unchanged), and every
+// read targets one chosen replica.  Clients fail over by re-submitting
+// with a different read replica when a site is down; writes require all
+// replica sites (write-all), which is the classic availability trade —
+// reads survive any k-1 site failures, writes none.  Polyvalues and
+// replication compose: an interrupted write-all leaves polyvalues on
+// every replica, and each reduces independently when the outcome
+// arrives.
+package replica
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strconv"
+	"strings"
+
+	"repro/internal/expr"
+	"repro/internal/protocol"
+)
+
+// Marker separates the logical name from the replica index.  It is
+// chosen from the expression language's identifier alphabet so physical
+// names remain valid identifiers.
+const Marker = "_r"
+
+// Name returns the physical name of logical item's i-th replica.
+func Name(logical string, i int) string {
+	return logical + Marker + strconv.Itoa(i)
+}
+
+// Logical splits a physical name into its logical item and replica
+// index; ok is false for names without a replica suffix.
+func Logical(physical string) (logical string, i int, ok bool) {
+	idx := strings.LastIndex(physical, Marker)
+	if idx <= 0 {
+		return "", 0, false
+	}
+	n, err := strconv.Atoi(physical[idx+len(Marker):])
+	if err != nil || n < 0 {
+		return "", 0, false
+	}
+	return physical[:idx], n, true
+}
+
+// Rewrite compiles a logical-item program into a physical write-all /
+// read-one program: every read references replica readFrom, every
+// written item is assigned at all k replicas.  Statement guards are
+// rewritten like other reads.
+func Rewrite(p expr.Program, k, readFrom int) (expr.Program, error) {
+	if k < 1 {
+		return expr.Program{}, fmt.Errorf("replica: k must be ≥ 1, got %d", k)
+	}
+	if readFrom < 0 || readFrom >= k {
+		return expr.Program{}, fmt.Errorf("replica: readFrom %d out of range [0,%d)", readFrom, k)
+	}
+	var sb strings.Builder
+	for si, stmt := range p.Stmts {
+		rhs := rewriteNode(stmt.Expr, readFrom)
+		var guard string
+		if stmt.Guard != nil {
+			guard = " if " + rewriteNode(stmt.Guard, readFrom)
+		}
+		for i := 0; i < k; i++ {
+			if si > 0 || i > 0 {
+				sb.WriteString("; ")
+			}
+			sb.WriteString(Name(stmt.Target, i))
+			sb.WriteString(" = ")
+			sb.WriteString(rhs)
+			sb.WriteString(guard)
+		}
+	}
+	return expr.Parse(sb.String())
+}
+
+// RewriteExpr compiles a logical read-only expression to read from the
+// given replica.
+func RewriteExpr(src string, readFrom int) (string, error) {
+	node, err := expr.ParseExpr(src)
+	if err != nil {
+		return "", err
+	}
+	return rewriteNode(node, readFrom), nil
+}
+
+// rewriteNode renders a node with every item reference redirected to the
+// chosen replica.
+func rewriteNode(n expr.Node, readFrom int) string {
+	switch x := n.(type) {
+	case expr.Lit:
+		return x.String()
+	case expr.Ref:
+		return Name(x.Name, readFrom)
+	case expr.Unary:
+		return x.Op + "(" + rewriteNode(x.X, readFrom) + ")"
+	case expr.Binary:
+		return "(" + rewriteNode(x.L, readFrom) + " " + x.Op + " " + rewriteNode(x.R, readFrom) + ")"
+	case expr.Call:
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = rewriteNode(a, readFrom)
+		}
+		return x.Fn + "(" + strings.Join(args, ", ") + ")"
+	default:
+		return n.String()
+	}
+}
+
+// Placement returns an item→site mapping that puts each logical item's
+// replicas on distinct sites (replica i on sites[(h+i) mod n]) and
+// hashes non-replica items normally.  Use it as cluster.Config.Placement.
+func Placement(sites []protocol.SiteID) func(string) protocol.SiteID {
+	return func(item string) protocol.SiteID {
+		logical, i, ok := Logical(item)
+		if !ok {
+			logical, i = item, 0
+		}
+		h := fnv.New32a()
+		h.Write([]byte(logical))
+		return sites[(int(h.Sum32())+i)%len(sites)]
+	}
+}

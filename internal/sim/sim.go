@@ -1,0 +1,295 @@
+// Package sim reimplements §4.2 of the paper: a discrete-event simulation
+// of a database using the polyvalue mechanism, tracking which items hold
+// polyvalues and which transaction outcomes they depend on.
+//
+// Faithful to the paper's description:
+//
+//   - transactions are introduced at rate U;
+//   - each transaction updates a single item chosen uniformly at random;
+//   - the update depends on d items, also chosen uniformly, with d drawn
+//     from an exponential distribution of mean D;
+//   - the previous value of the updated item is included in its new value
+//     with probability (1−Y);
+//   - transactions fail with probability F; a failed transaction creates
+//     a polyvalue for its updated item and a recovery time is drawn from
+//     an exponential distribution of mean 1/R;
+//   - each polyvalued item is tagged with the identities of all
+//     transactions its value depends on; recovery removes the recovered
+//     transaction's tag everywhere, and untagged polyvalues become simple.
+//
+// The polyvalue count is measured as a time-weighted average over a
+// window that starts after a warm-up period, matching the paper's "run
+// ... until the number of polyvalues has remained stable for some time,
+// and then taking the average".
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/model"
+)
+
+// Params configures one simulation run.
+type Params struct {
+	// Model carries the six §4.1 database parameters.
+	Model model.Params
+	// Seed drives all randomness; equal seeds give identical runs.
+	Seed int64
+	// Warmup is the simulated seconds discarded before measurement.  0
+	// picks several settling times automatically.
+	Warmup float64
+	// Measure is the simulated seconds of the measurement window.  0
+	// picks a default long enough for tight averages.
+	Measure float64
+	// InitialPolyvalues seeds the database with a burst of polyvalued
+	// items at t=0 (each tagged with its own pending transaction whose
+	// recovery is drawn from Exp(1/R)).  Models the paper's "serious
+	// failure causing the introduction of many polyvalues", whose decay
+	// the §4.1 transient predicts.
+	InitialPolyvalues int
+	// SampleEvery, when positive, records the polyvalue count every
+	// that-many simulated seconds into Result.Series.
+	SampleEvery float64
+}
+
+// PopSample is one point of the population time series.
+type PopSample struct {
+	T float64
+	P int
+}
+
+// Result reports one run's measurements.
+type Result struct {
+	// MeanPolyvalues is the time-weighted average polyvalue count over
+	// the measurement window — the paper's "Actual P".
+	MeanPolyvalues float64
+	// MaxPolyvalues is the peak count over the whole run.
+	MaxPolyvalues int
+	// FinalPolyvalues is the count when the run ended.
+	FinalPolyvalues int
+	// Transactions and Failed count arrivals and failures.
+	Transactions int64
+	Failed       int64
+	// PolyTransactions counts transactions that read at least one
+	// polyvalued input — the §3.2 events that propagate uncertainty.
+	PolyTransactions int64
+	// PolySpread counts polyvalues created by propagation alone (a
+	// successful transaction whose inputs were uncertain).
+	PolySpread int64
+	// SimulatedSeconds is total simulated time (warmup + measurement).
+	SimulatedSeconds float64
+	// Series is the sampled population over time (when SampleEvery > 0).
+	Series []PopSample
+}
+
+// recovery is a pending failure-recovery event.
+type recovery struct {
+	at  float64
+	tid int64
+}
+
+type recoveryHeap []recovery
+
+func (h recoveryHeap) Len() int           { return len(h) }
+func (h recoveryHeap) Less(i, j int) bool { return h[i].at < h[j].at }
+func (h recoveryHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *recoveryHeap) Push(x any)        { *h = append(*h, x.(recovery)) }
+func (h *recoveryHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}
+
+// state is the simulated database: only uncertainty is represented, as in
+// the paper's simulation ("maintained a description of the items of the
+// database having polyvalues, and the transactions on which those items
+// depended").
+type state struct {
+	// tags maps a polyvalued item to the set of transactions its value
+	// depends on.  Absent items are simple.
+	tags map[int64]map[int64]bool
+	// holders maps a pending transaction to the items tagged with it.
+	holders map[int64]map[int64]bool
+}
+
+func newState() *state {
+	return &state{tags: map[int64]map[int64]bool{}, holders: map[int64]map[int64]bool{}}
+}
+
+// setTags replaces an item's tag set (empty or nil clears it).
+func (s *state) setTags(item int64, tids map[int64]bool) {
+	if old, ok := s.tags[item]; ok {
+		for tid := range old {
+			delete(s.holders[tid], item)
+			if len(s.holders[tid]) == 0 {
+				delete(s.holders, tid)
+			}
+		}
+		delete(s.tags, item)
+	}
+	if len(tids) == 0 {
+		return
+	}
+	s.tags[item] = tids
+	for tid := range tids {
+		h, ok := s.holders[tid]
+		if !ok {
+			h = map[int64]bool{}
+			s.holders[tid] = h
+		}
+		h[item] = true
+	}
+}
+
+// recover removes tid's tag from every item; items left untagged become
+// simple.
+func (s *state) recover(tid int64) {
+	for item := range s.holders[tid] {
+		delete(s.tags[item], tid)
+		if len(s.tags[item]) == 0 {
+			delete(s.tags, item)
+		}
+	}
+	delete(s.holders, tid)
+}
+
+func (s *state) polyCount() int { return len(s.tags) }
+
+// Run executes one simulation.
+func Run(p Params) (Result, error) {
+	if err := p.Model.Validate(); err != nil {
+		return Result{}, err
+	}
+	m := p.Model
+	warmup := p.Warmup
+	if warmup <= 0 {
+		if st := m.SettlingTime(0.01); !math.IsInf(st, 1) {
+			warmup = 5 * st
+		} else {
+			warmup = 1000
+		}
+	}
+	measure := p.Measure
+	if measure <= 0 {
+		// Long enough to smooth over recovery times: ≥ 200 mean
+		// recoveries and ≥ 2000 seconds.
+		measure = math.Max(2000, 200/m.R)
+	}
+	end := warmup + measure
+
+	rng := rand.New(rand.NewSource(p.Seed))
+	db := newState()
+	var pending recoveryHeap
+	res := Result{SimulatedSeconds: end}
+
+	nextTID := int64(1)
+	// Optional initial burst: InitialPolyvalues distinct items, one
+	// pending transaction each.
+	for k := 0; k < p.InitialPolyvalues && k < int(m.I); k++ {
+		tid := nextTID
+		nextTID++
+		db.setTags(int64(k), map[int64]bool{tid: true})
+		heap.Push(&pending, recovery{at: rng.ExpFloat64() / m.R, tid: tid})
+	}
+	res.MaxPolyvalues = db.polyCount()
+
+	now := 0.0
+	nextArrival := rng.ExpFloat64() / m.U
+	nextSample := 0.0
+	sample := func(t float64) {
+		if p.SampleEvery <= 0 {
+			return
+		}
+		for nextSample <= t {
+			res.Series = append(res.Series, PopSample{T: nextSample, P: db.polyCount()})
+			nextSample += p.SampleEvery
+		}
+	}
+
+	// Time-weighted integration of the polyvalue count over the window.
+	area := 0.0
+	lastT := warmup
+	account := func(t float64) {
+		if t > lastT {
+			area += float64(db.polyCount()) * (t - lastT)
+			lastT = t
+		}
+	}
+
+	for now < end {
+		// Next event: transaction arrival or failure recovery.
+		if len(pending) > 0 && pending[0].at <= nextArrival {
+			ev := heap.Pop(&pending).(recovery)
+			now = ev.at
+			if now > warmup {
+				account(math.Min(now, end))
+			}
+			sample(math.Min(now, end))
+			if now >= end {
+				break
+			}
+			db.recover(ev.tid)
+			continue
+		}
+		now = nextArrival
+		nextArrival = now + rng.ExpFloat64()/m.U
+		if now > warmup {
+			account(math.Min(now, end))
+		}
+		sample(math.Min(now, end))
+		if now >= end {
+			break
+		}
+
+		// One transaction: one updated item, d dependency items.
+		res.Transactions++
+		item := rng.Int63n(int64(m.I))
+		d := int(math.Round(rng.ExpFloat64() * m.D))
+		newTags := map[int64]bool{}
+		for k := 0; k < d; k++ {
+			dep := rng.Int63n(int64(m.I))
+			for tid := range db.tags[dep] {
+				newTags[tid] = true
+			}
+		}
+		// Previous value included with probability 1−Y.
+		if rng.Float64() >= m.Y {
+			for tid := range db.tags[item] {
+				newTags[tid] = true
+			}
+		}
+		touchedPoly := len(newTags) > 0
+		if touchedPoly {
+			res.PolyTransactions++
+		}
+		if rng.Float64() < m.F {
+			// Failed: the update itself is in doubt.
+			res.Failed++
+			tid := nextTID
+			nextTID++
+			newTags[tid] = true
+			heap.Push(&pending, recovery{at: now + rng.ExpFloat64()/m.R, tid: tid})
+		} else if touchedPoly {
+			res.PolySpread++
+		}
+		db.setTags(item, newTags)
+		if c := db.polyCount(); c > res.MaxPolyvalues {
+			res.MaxPolyvalues = c
+		}
+	}
+	account(end)
+	res.MeanPolyvalues = area / measure
+	res.FinalPolyvalues = db.polyCount()
+	return res, nil
+}
+
+// String summarizes a result.
+func (r Result) String() string {
+	return fmt.Sprintf("meanP=%.2f maxP=%d txns=%d failed=%d polytxns=%d",
+		r.MeanPolyvalues, r.MaxPolyvalues, r.Transactions, r.Failed, r.PolyTransactions)
+}

@@ -1,0 +1,127 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// Table2Row is one row of the paper's Table 2: "Results of Simulating the
+// Polyvalue Mechanism".
+type Table2Row struct {
+	Params model.Params
+	// PaperPredicted is the printed "Predicted P" column.
+	PaperPredicted float64
+	// PaperActual is the printed "Actual P" column (the authors'
+	// simulation).
+	PaperActual float64
+}
+
+// Table2 returns the paper's six simulated parameter sets with the
+// printed predicted and measured polyvalue counts.
+func Table2() []Table2Row {
+	return []Table2Row{
+		{model.Params{U: 2, F: 0.01, I: 10000, R: 0.01, Y: 0, D: 1}, 2.04, 2.00},
+		{model.Params{U: 5, F: 0.01, I: 10000, R: 0.01, Y: 0, D: 1}, 5.26, 2.71},
+		{model.Params{U: 10, F: 0.01, I: 10000, R: 0.01, Y: 0, D: 1}, 11.11, 9.5},
+		{model.Params{U: 10, F: 0.001, I: 10000, R: 0.01, Y: 0, D: 1}, 1.11, 0.74},
+		{model.Params{U: 10, F: 0.01, I: 10000, R: 0.01, Y: 0, D: 5}, 20, 19.8},
+		{model.Params{U: 10, F: 0.01, I: 10000, R: 0.01, Y: 1, D: 5}, 16.7, 15.8},
+	}
+}
+
+// Table2Result pairs a row with this implementation's measured value.
+type Table2Result struct {
+	Row      Table2Row
+	Measured Result
+}
+
+// RunTable2 executes every Table 2 row with the given seed and
+// measurement window (0 = defaults).
+func RunTable2(seed int64, warmup, measure float64) ([]Table2Result, error) {
+	rows := Table2()
+	out := make([]Table2Result, 0, len(rows))
+	for i, row := range rows {
+		r, err := Run(Params{Model: row.Params, Seed: seed + int64(i), Warmup: warmup, Measure: measure})
+		if err != nil {
+			return nil, fmt.Errorf("sim: table 2 row %d: %w", i, err)
+		}
+		out = append(out, Table2Result{Row: row, Measured: r})
+	}
+	return out, nil
+}
+
+// Table2Stats aggregates one row's measurement over several seeds.
+type Table2Stats struct {
+	Row Table2Row
+	// Mean and StdErr summarize the per-seed MeanPolyvalues.
+	Mean, StdErr float64
+	Runs         int
+}
+
+// RunTable2Multi executes every Table 2 row `runs` times with distinct
+// seeds and reports mean ± standard error, for confidence beyond a
+// single draw.
+func RunTable2Multi(runs int, baseSeed int64, warmup, measure float64) ([]Table2Stats, error) {
+	if runs < 2 {
+		return nil, fmt.Errorf("sim: need ≥ 2 runs for error bars, got %d", runs)
+	}
+	rows := Table2()
+	out := make([]Table2Stats, 0, len(rows))
+	for i, row := range rows {
+		var sum, sumSq float64
+		for r := 0; r < runs; r++ {
+			res, err := Run(Params{
+				Model:  row.Params,
+				Seed:   baseSeed + int64(i*runs+r),
+				Warmup: warmup, Measure: measure,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("sim: row %d run %d: %w", i, r, err)
+			}
+			sum += res.MeanPolyvalues
+			sumSq += res.MeanPolyvalues * res.MeanPolyvalues
+		}
+		mean := sum / float64(runs)
+		variance := (sumSq - sum*sum/float64(runs)) / float64(runs-1)
+		if variance < 0 {
+			variance = 0
+		}
+		out = append(out, Table2Stats{
+			Row: row, Mean: mean,
+			StdErr: math.Sqrt(variance / float64(runs)),
+			Runs:   runs,
+		})
+	}
+	return out, nil
+}
+
+// FormatTable2Multi renders the multi-seed comparison.
+func FormatTable2Multi(stats []Table2Stats) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %-7s %-7s %-6s %-3s %-3s %-11s %-12s %-16s\n",
+		"U", "F", "I", "R", "Y", "D", "predicted", "paper-actual", "measured (±se)")
+	for _, s := range stats {
+		p := s.Row.Params
+		fmt.Fprintf(&b, "%-4g %-7g %-7g %-6g %-3g %-3g %-11.2f %-12.2f %.2f ± %.2f\n",
+			p.U, p.F, p.I, p.R, p.Y, p.D,
+			s.Row.PaperPredicted, s.Row.PaperActual, s.Mean, s.StdErr)
+	}
+	return b.String()
+}
+
+// FormatTable2 renders measured-vs-paper columns.
+func FormatTable2(results []Table2Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-4s %-7s %-7s %-6s %-3s %-3s %-11s %-12s %-10s\n",
+		"U", "F", "I", "R", "Y", "D", "predicted", "paper-actual", "measured")
+	for _, res := range results {
+		p := res.Row.Params
+		fmt.Fprintf(&b, "%-4g %-7g %-7g %-6g %-3g %-3g %-11.2f %-12.2f %-10.2f\n",
+			p.U, p.F, p.I, p.R, p.Y, p.D,
+			res.Row.PaperPredicted, res.Row.PaperActual, res.Measured.MeanPolyvalues)
+	}
+	return b.String()
+}

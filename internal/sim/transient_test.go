@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model"
+)
+
+// TestBurstDecayMatchesTransient validates the §4.1 stability claim
+// against the simulator: seed a burst of P0 polyvalues far above the
+// steady state and check the population decays along the model's
+// transient P(t) = P∞ + (P0 − P∞)·e^(−λt).
+func TestBurstDecayMatchesTransient(t *testing.T) {
+	m := model.Params{U: 10, F: 0.01, I: 10000, R: 0.01, Y: 0, D: 1}
+	const p0 = 500
+	// Average several seeds to smooth stochastic wiggle.
+	const seeds = 8
+	horizon := 400.0
+	step := 50.0
+	sums := map[float64]float64{}
+	for seed := int64(0); seed < seeds; seed++ {
+		r, err := Run(Params{
+			Model: m, Seed: seed,
+			Warmup: 0.001, Measure: horizon,
+			InitialPolyvalues: p0, SampleEvery: step,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.MaxPolyvalues < p0 {
+			t.Fatalf("burst not installed: max = %d", r.MaxPolyvalues)
+		}
+		for _, s := range r.Series {
+			sums[s.T] += float64(s.P)
+		}
+	}
+	for tm := step; tm <= horizon-step; tm += step {
+		avg := sums[tm] / seeds
+		want := m.Transient(p0, tm)
+		if math.Abs(avg-want) > 0.25*p0*math.Exp(-m.Rate()*tm)+0.15*want+5 {
+			t.Errorf("t=%.0f: population %.1f, transient predicts %.1f", tm, avg, want)
+		}
+	}
+	// And it decays: later samples below earlier ones, heading to P∞.
+	early := sums[step] / seeds
+	late := sums[horizon-step] / seeds
+	if late >= early {
+		t.Errorf("burst did not decay: %.1f -> %.1f", early, late)
+	}
+	if late > 4*m.SteadyState() {
+		t.Errorf("population %.1f far above steady state %.1f after %g s", late, m.SteadyState(), horizon)
+	}
+}
+
+// TestPolytransactionRateMatchesModel: the observed rate of transactions
+// touching polyvalued inputs tracks the model's U·D·P∞/I propagation
+// term — the §4 quantity that justifies the polytransaction machinery's
+// cost being negligible.
+func TestPolytransactionRateMatchesModel(t *testing.T) {
+	m := model.Params{U: 10, F: 0.01, I: 10000, R: 0.01, Y: 0, D: 2}
+	r, err := Run(Params{Model: m, Seed: 4, Warmup: 2000, Measure: 40000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed := float64(r.PolyTransactions) / r.SimulatedSeconds
+	// The model term counts dependency touches only (U·D·P/I); the
+	// simulator also counts previous-value touches (Y=0 adds ≈ U·P/I),
+	// so compare against the sum.
+	predicted := m.PolytransactionRate() + m.U*(1-m.Y)*m.SteadyState()/m.I
+	if observed < predicted*0.5 || observed > predicted*1.6 {
+		t.Errorf("polytransaction rate %.4f/s, model ≈ %.4f/s", observed, predicted)
+	}
+}
+
+// TestSeriesSampling: the series covers the run at the requested
+// cadence.
+func TestSeriesSampling(t *testing.T) {
+	m := model.Params{U: 10, F: 0.01, I: 10000, R: 0.01, Y: 0, D: 1}
+	r, err := Run(Params{Model: m, Seed: 1, Warmup: 1, Measure: 99, SampleEvery: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) < 9 || len(r.Series) > 12 {
+		t.Errorf("series has %d samples", len(r.Series))
+	}
+	for i := 1; i < len(r.Series); i++ {
+		if r.Series[i].T <= r.Series[i-1].T {
+			t.Fatalf("series not increasing at %d", i)
+		}
+	}
+}
+
+// TestInitialPolyvaluesCappedByI: a burst larger than the database is
+// clamped.
+func TestInitialPolyvaluesCappedByI(t *testing.T) {
+	m := model.Params{U: 1, F: 0.01, I: 10, R: 0.5, Y: 0, D: 0}
+	r, err := Run(Params{Model: m, Seed: 1, Warmup: 1, Measure: 10, InitialPolyvalues: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MaxPolyvalues > 10 {
+		t.Errorf("max = %d with I=10", r.MaxPolyvalues)
+	}
+}

@@ -1,0 +1,76 @@
+package storage
+
+import (
+	"testing"
+
+	"repro/internal/polyvalue"
+	"repro/internal/value"
+)
+
+func TestAwaitLifecycle(t *testing.T) {
+	s := NewStore()
+	if _, ok := s.Await("T1"); ok {
+		t.Error("empty store has await entry")
+	}
+	if err := s.SetAwait("T1", "coordA"); err != nil {
+		t.Fatal(err)
+	}
+	coord, ok := s.Await("T1")
+	if !ok || coord != "coordA" {
+		t.Errorf("Await = %q,%v", coord, ok)
+	}
+	all := s.Awaits()
+	if len(all) != 1 || all["T1"] != "coordA" {
+		t.Errorf("Awaits = %v", all)
+	}
+	if err := s.ClearAwait("T1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Await("T1"); ok {
+		t.Error("await survived clear")
+	}
+	// Clearing an absent entry is a cheap no-op (no WAL record).
+	before := s.WALSize()
+	if err := s.ClearAwait("T9"); err != nil {
+		t.Fatal(err)
+	}
+	if s.WALSize() != before {
+		t.Error("no-op clear wrote a record")
+	}
+}
+
+func TestAwaitSurvivesCrash(t *testing.T) {
+	s := NewStore()
+	s.SetAwait("T1", "coordA")
+	s.SetAwait("T2", "coordB")
+	s.ClearAwait("T2")
+	r, err := Recover(s.WALBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, ok := r.Await("T1")
+	if !ok || coord != "coordA" {
+		t.Errorf("recovered await = %q,%v", coord, ok)
+	}
+	if _, ok := r.Await("T2"); ok {
+		t.Error("cleared await resurrected")
+	}
+}
+
+func TestAwaitSurvivesCheckpoint(t *testing.T) {
+	s := NewStore()
+	s.SetAwait("T1", "coordA")
+	for i := 0; i < 50; i++ {
+		s.Put("x", polyvalue.Simple(value.Int(int64(i))))
+	}
+	if _, err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Recover(s.WALBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coord, ok := r.Await("T1"); !ok || coord != "coordA" {
+		t.Error("await lost by checkpoint")
+	}
+}

@@ -1,0 +1,112 @@
+package storage
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// FileLog persists a site's WAL to a file.  Appends are written through
+// to the file and synced on request; recovery reads the whole file and
+// tolerates a torn tail, so a crash at any byte boundary is safe.
+//
+// The cluster runtime keeps its stores in memory (the simulated sites
+// crash by dropping volatile state, not the process), but cmd tools and
+// library users embedding a real site persist through this type.
+type FileLog struct {
+	f    *os.File
+	path string
+}
+
+// OpenFileLog opens (creating if needed) the log file for appending.
+func OpenFileLog(path string) (*FileLog, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: open log: %w", err)
+	}
+	return &FileLog{f: f, path: path}, nil
+}
+
+// Write implements io.Writer for use as a WAL sink.
+func (l *FileLog) Write(p []byte) (int, error) { return l.f.Write(p) }
+
+// Sync flushes to stable storage.
+func (l *FileLog) Sync() error { return l.f.Sync() }
+
+// Close syncs and closes the file.
+func (l *FileLog) Close() error {
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}
+
+// Path returns the log file's path.
+func (l *FileLog) Path() string { return l.path }
+
+// OpenFileStore recovers a store from the log file at path (an empty or
+// absent file yields an empty store) and arranges for all further
+// mutations to append to it.  The returned FileLog must be closed by the
+// caller when the store is retired.
+func OpenFileStore(path string) (*Store, *FileLog, error) {
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("storage: read log: %w", err)
+	}
+	recovered, err := Recover(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	log, err := OpenFileLog(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	recovered.mu.Lock()
+	recovered.wal.sink = log
+	recovered.mu.Unlock()
+	return recovered, log, nil
+}
+
+// CheckpointFile compacts the store's WAL and atomically replaces the
+// log file with the compacted contents (write temp + rename), re-pointing
+// the store's sink at the new file.  Returns the new log size.
+func CheckpointFile(s *Store, log *FileLog) (int, *FileLog, error) {
+	n, err := s.Checkpoint()
+	if err != nil {
+		return 0, log, err
+	}
+	dir := filepath.Dir(log.path)
+	tmp, err := os.CreateTemp(dir, ".wal-checkpoint-*")
+	if err != nil {
+		return 0, log, fmt.Errorf("storage: checkpoint temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() { tmp.Close(); os.Remove(tmpName) }
+	if _, err := tmp.Write(s.WALBytes()); err != nil {
+		cleanup()
+		return 0, log, fmt.Errorf("storage: checkpoint write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return 0, log, fmt.Errorf("storage: checkpoint sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return 0, log, fmt.Errorf("storage: checkpoint close: %w", err)
+	}
+	if err := os.Rename(tmpName, log.path); err != nil {
+		os.Remove(tmpName)
+		return 0, log, fmt.Errorf("storage: checkpoint rename: %w", err)
+	}
+	path := log.path
+	log.Close()
+	fresh, err := OpenFileLog(path)
+	if err != nil {
+		return 0, nil, err
+	}
+	s.mu.Lock()
+	s.wal.sink = fresh
+	s.mu.Unlock()
+	return n, fresh, nil
+}

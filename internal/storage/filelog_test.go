@@ -1,0 +1,147 @@
+package storage
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/polyvalue"
+	"repro/internal/value"
+)
+
+func TestFileStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "site.wal")
+	s, log, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("x", polyvalue.Simple(value.Int(7))); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.MarkPrepared(Prepared{TID: "T1", Coordinator: "c",
+		Writes:   map[string]polyvalue.Poly{"x": polyvalue.Simple(value.Int(9))},
+		Previous: map[string]polyvalue.Poly{"x": polyvalue.Simple(value.Int(7))}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// "Process restart": reopen from the same file.
+	s2, log2, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log2.Close()
+	if v, ok := s2.Get("x").IsCertain(); !ok || !v.Equal(value.Int(7)) {
+		t.Errorf("x = %v", s2.Get("x"))
+	}
+	if _, ok := s2.GetPrepared("T1"); !ok {
+		t.Error("prepared entry lost across process restart")
+	}
+	// And the reopened store keeps appending to the same file.
+	if err := s2.Put("y", polyvalue.Simple(value.Int(1))); err != nil {
+		t.Fatal(err)
+	}
+	log2.Sync()
+	s3, log3, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log3.Close()
+	if !s3.Has("y") || !s3.Has("x") {
+		t.Error("third-generation recovery lost data")
+	}
+	if log3.Path() != path {
+		t.Errorf("Path = %q", log3.Path())
+	}
+}
+
+func TestFileStoreAbsentFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "absent.wal")
+	s, log, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	if len(s.Items()) != 0 {
+		t.Error("absent file yielded non-empty store")
+	}
+}
+
+func TestFileStoreTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "torn.wal")
+	s, log, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Put("x", polyvalue.Simple(value.Int(1)))
+	s.Put("y", polyvalue.Simple(value.Int(2)))
+	log.Close()
+	// Tear the last few bytes off, as a crash mid-write would.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s2, log2, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log2.Close()
+	if !s2.Has("x") {
+		t.Error("intact record lost")
+	}
+	if s2.Has("y") {
+		t.Error("torn record resurrected")
+	}
+}
+
+func TestCheckpointFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ckpt.wal")
+	s, log, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		s.Put("x", polyvalue.Simple(value.Int(int64(i))))
+	}
+	big, _ := os.Stat(path)
+	n, log2, err := CheckpointFile(s, log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log2.Close()
+	small, _ := os.Stat(path)
+	if small.Size() >= big.Size() || small.Size() != int64(n) {
+		t.Errorf("checkpoint sizes: file %d -> %d, reported %d", big.Size(), small.Size(), n)
+	}
+	// Post-checkpoint appends land in the new file and recover cleanly.
+	s.Put("z", polyvalue.Simple(value.Int(5)))
+	log2.Sync()
+	s2, log3, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log3.Close()
+	if v, ok := s2.Get("x").IsCertain(); !ok || !v.Equal(value.Int(199)) {
+		t.Errorf("x = %v", s2.Get("x"))
+	}
+	if !s2.Has("z") {
+		t.Error("post-checkpoint append lost")
+	}
+}
+
+func TestOpenFileLogBadPath(t *testing.T) {
+	if _, err := OpenFileLog(filepath.Join(t.TempDir(), "no", "such", "dir", "x.wal")); err == nil {
+		t.Error("bad path accepted")
+	}
+	if _, _, err := OpenFileStore(filepath.Join(t.TempDir(), "no", "such", "dir", "x.wal")); err == nil {
+		t.Error("bad path accepted by OpenFileStore")
+	}
+}

@@ -1,0 +1,256 @@
+package storage
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/polyvalue"
+	"repro/internal/value"
+)
+
+func poly(t, newV, oldV int64) polyvalue.Poly {
+	return polyvalue.Uncertain("T9", polyvalue.Simple(value.Int(newV)), polyvalue.Simple(value.Int(oldV)))
+}
+
+func TestPutGet(t *testing.T) {
+	s := NewStore()
+	if err := s.Put("x", polyvalue.Simple(value.Int(7))); err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := s.Get("x").IsCertain(); !ok || !v.Equal(value.Int(7)) {
+		t.Errorf("Get = %v", s.Get("x"))
+	}
+	if !s.Has("x") || s.Has("y") {
+		t.Error("Has wrong")
+	}
+	// Missing item reads Nil.
+	if v, ok := s.Get("missing").IsCertain(); !ok || !v.Equal(value.Nil{}) {
+		t.Errorf("missing item = %v", s.Get("missing"))
+	}
+}
+
+func TestItemsAndPolyItems(t *testing.T) {
+	s := NewStore()
+	s.Put("b", polyvalue.Simple(value.Int(1)))
+	s.Put("a", poly(9, 1, 2))
+	items := s.Items()
+	if len(items) != 2 || items[0] != "a" || items[1] != "b" {
+		t.Errorf("Items = %v", items)
+	}
+	pi := s.PolyItems()
+	if len(pi) != 1 || pi[0] != "a" {
+		t.Errorf("PolyItems = %v", pi)
+	}
+}
+
+func TestPreparedLifecycle(t *testing.T) {
+	s := NewStore()
+	p := Prepared{
+		TID: "T1", Coordinator: "siteA",
+		Writes:   map[string]polyvalue.Poly{"x": polyvalue.Simple(value.Int(5))},
+		Previous: map[string]polyvalue.Poly{"x": polyvalue.Simple(value.Int(1))},
+	}
+	if err := s.MarkPrepared(p); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.GetPrepared("T1")
+	if !ok || got.Coordinator != "siteA" {
+		t.Fatalf("GetPrepared = %+v, %v", got, ok)
+	}
+	if v, _ := got.Writes["x"].IsCertain(); !v.Equal(value.Int(5)) {
+		t.Errorf("writes = %v", got.Writes)
+	}
+	if n := len(s.PreparedTxns()); n != 1 {
+		t.Errorf("PreparedTxns = %d", n)
+	}
+	if err := s.ClearPrepared("T1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.GetPrepared("T1"); ok {
+		t.Error("prepared entry survived clear")
+	}
+}
+
+func TestOutcomes(t *testing.T) {
+	s := NewStore()
+	if _, known := s.Outcome("T1"); known {
+		t.Error("unknown outcome reported known")
+	}
+	if err := s.SetOutcome("T1", true); err != nil {
+		t.Fatal(err)
+	}
+	if c, known := s.Outcome("T1"); !known || !c {
+		t.Errorf("Outcome = %v,%v", c, known)
+	}
+	// Idempotent same-value set.
+	if err := s.SetOutcome("T1", true); err != nil {
+		t.Errorf("idempotent SetOutcome errored: %v", err)
+	}
+	// Conflicting outcome is a protocol violation.
+	if err := s.SetOutcome("T1", false); err == nil {
+		t.Error("conflicting outcome accepted")
+	}
+	s.ForgetOutcome("T1")
+	if _, known := s.Outcome("T1"); known {
+		t.Error("outcome survived ForgetOutcome")
+	}
+}
+
+func TestDependencyTable(t *testing.T) {
+	s := NewStore()
+	s.AddDepItem("T1", "x")
+	s.AddDepItem("T1", "y")
+	s.AddDepSite("T1", "site2")
+	items, sites := s.Deps("T1")
+	if len(items) != 2 || items[0] != "x" || items[1] != "y" {
+		t.Errorf("dep items = %v", items)
+	}
+	if len(sites) != 1 || sites[0] != "site2" {
+		t.Errorf("dep sites = %v", sites)
+	}
+	if tids := s.DepTIDs(); len(tids) != 1 || tids[0] != "T1" {
+		t.Errorf("DepTIDs = %v", tids)
+	}
+	if err := s.AddDepSite("T1", ""); err == nil {
+		t.Error("empty site accepted")
+	}
+	s.ClearDeps("T1")
+	if items, sites := s.Deps("T1"); items != nil || sites != nil {
+		t.Error("deps survived clear")
+	}
+}
+
+func TestCrashRecovery(t *testing.T) {
+	s := NewStore()
+	s.Put("x", polyvalue.Simple(value.Int(1)))
+	s.Put("x", poly(9, 2, 1)) // overwrite with uncertainty
+	s.MarkPrepared(Prepared{
+		TID: "T2", Coordinator: "c",
+		Writes:   map[string]polyvalue.Poly{"y": polyvalue.Simple(value.Int(10))},
+		Previous: map[string]polyvalue.Poly{"y": polyvalue.Simple(value.Nil{})},
+	})
+	s.SetOutcome("T3", false)
+	s.AddDepItem("T9", "x")
+	s.AddDepSite("T9", "other")
+
+	// Crash: all that survives is the WAL.
+	r, err := Recover(s.WALBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Get("x").Equal(s.Get("x")) {
+		t.Errorf("recovered x = %v", r.Get("x"))
+	}
+	if _, ok := r.GetPrepared("T2"); !ok {
+		t.Error("prepared entry lost in recovery — in-doubt txn would be forgotten")
+	}
+	if c, known := r.Outcome("T3"); !known || c {
+		t.Error("outcome lost in recovery")
+	}
+	items, sites := r.Deps("T9")
+	if len(items) != 1 || len(sites) != 1 {
+		t.Errorf("deps lost: %v %v", items, sites)
+	}
+	// The recovered store keeps logging: mutate and recover again.
+	r.Put("z", polyvalue.Simple(value.Int(5)))
+	r2, err := Recover(r.WALBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Has("z") || !r2.Has("x") {
+		t.Error("second-generation recovery lost data")
+	}
+}
+
+func TestTornTailIgnored(t *testing.T) {
+	s := NewStore()
+	s.Put("x", polyvalue.Simple(value.Int(1)))
+	s.Put("y", polyvalue.Simple(value.Int(2)))
+	data := s.WALBytes()
+	// Simulate a torn final write.
+	for cut := 1; cut < 8 && cut < len(data); cut++ {
+		r, err := Recover(data[:len(data)-cut])
+		if err != nil {
+			t.Fatalf("torn tail (cut %d) errored: %v", cut, err)
+		}
+		if !r.Has("x") {
+			t.Errorf("cut %d lost intact first record", cut)
+		}
+		if r.Has("y") {
+			t.Errorf("cut %d resurrected torn record", cut)
+		}
+	}
+}
+
+func TestMidLogCorruptionDetected(t *testing.T) {
+	s := NewStore()
+	s.Put("x", polyvalue.Simple(value.Int(1)))
+	s.Put("y", polyvalue.Simple(value.Int(2)))
+	data := append([]byte{}, s.WALBytes()...)
+	data[3] ^= 0xff // flip a byte inside the first record
+	if _, err := Recover(data); err == nil {
+		t.Error("mid-log corruption not detected")
+	}
+}
+
+func TestCheckpointCompacts(t *testing.T) {
+	s := NewStore()
+	for i := 0; i < 100; i++ {
+		s.Put("x", polyvalue.Simple(value.Int(int64(i))))
+	}
+	s.AddDepItem("T1", "x")
+	s.AddDepSite("T1", "s2")
+	s.MarkPrepared(Prepared{TID: "T5", Coordinator: "c",
+		Writes:   map[string]polyvalue.Poly{"x": polyvalue.Simple(value.Int(1))},
+		Previous: map[string]polyvalue.Poly{"x": polyvalue.Simple(value.Int(0))}})
+	s.SetOutcome("T6", true)
+	before := len(s.WALBytes())
+	n, err := s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n >= before {
+		t.Errorf("checkpoint did not shrink log: %d -> %d", before, n)
+	}
+	r, err := Recover(s.WALBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := r.Get("x").IsCertain(); !v.Equal(value.Int(99)) {
+		t.Errorf("post-checkpoint x = %v", r.Get("x"))
+	}
+	if _, ok := r.GetPrepared("T5"); !ok {
+		t.Error("checkpoint dropped prepared entry")
+	}
+	if _, known := r.Outcome("T6"); !known {
+		t.Error("checkpoint dropped outcome")
+	}
+	if items, sites := r.Deps("T1"); len(items) != 1 || len(sites) != 1 {
+		t.Error("checkpoint dropped deps")
+	}
+}
+
+func TestWALSink(t *testing.T) {
+	var sink bytes.Buffer
+	w := NewWALWithSink(&sink)
+	s := NewStoreWithWAL(w)
+	s.Put("x", polyvalue.Simple(value.Int(1)))
+	if !bytes.Equal(sink.Bytes(), s.WALBytes()) {
+		t.Error("sink diverged from in-memory log")
+	}
+	// Recovery from the sink's contents works identically.
+	r, err := Recover(sink.Bytes())
+	if err != nil || !r.Has("x") {
+		t.Errorf("recover from sink: %v", err)
+	}
+}
+
+func TestReplayEmptyAndGarbage(t *testing.T) {
+	if n, err := Replay(nil, func(Record) error { return nil }); n != 0 || err != nil {
+		t.Errorf("empty replay = %d,%v", n, err)
+	}
+	// Pure garbage that doesn't frame: treated as torn tail.
+	if n, err := Replay([]byte{0xff, 0xff, 0xff}, func(Record) error { return nil }); n != 0 || err != nil {
+		t.Errorf("garbage replay = %d,%v", n, err)
+	}
+}

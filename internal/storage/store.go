@@ -1,0 +1,462 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/polyvalue"
+	"repro/internal/txn"
+	"repro/internal/value"
+)
+
+// Prepared is a transaction this site has computed results for but whose
+// outcome it has not resolved locally: the in-doubt window of §3.1.
+type Prepared struct {
+	TID         txn.ID
+	Coordinator string
+	// Writes are the computed new values for local items.
+	Writes map[string]polyvalue.Poly
+	// Previous are those items' values before the transaction.
+	Previous map[string]polyvalue.Poly
+}
+
+// DepEntry is one row of the §3.3 dependency table: "a list of the
+// polyvalues held by the site that depend on T, and a list of other sites
+// to which polyvalues dependent on T have been sent."
+type DepEntry struct {
+	Items map[string]bool
+	Sites map[string]bool
+}
+
+// Store is a site's durable state.  Every mutation appends to the WAL
+// before updating memory, so Recover rebuilds exactly this state.  Safe
+// for concurrent use.
+type Store struct {
+	mu       sync.RWMutex
+	wal      *WAL
+	items    map[string]polyvalue.Poly
+	prepared map[txn.ID]Prepared
+	outcomes map[txn.ID]bool // tid → committed
+	deps     map[txn.ID]*DepEntry
+	awaits   map[txn.ID]string // tid → coordinator to ask for the outcome
+}
+
+// NewStore returns an empty store logging to a fresh in-memory WAL.
+func NewStore() *Store { return NewStoreWithWAL(NewWAL()) }
+
+// NewStoreWithWAL returns an empty store logging to the given WAL.
+func NewStoreWithWAL(w *WAL) *Store {
+	return &Store{
+		wal:      w,
+		items:    map[string]polyvalue.Poly{},
+		prepared: map[txn.ID]Prepared{},
+		outcomes: map[txn.ID]bool{},
+		deps:     map[txn.ID]*DepEntry{},
+		awaits:   map[txn.ID]string{},
+	}
+}
+
+// Recover rebuilds a store from log contents; the returned store's WAL
+// already contains the replayed records (appended afresh), so further
+// mutation and a second crash are safe.
+func Recover(data []byte) (*Store, error) {
+	s := NewStore()
+	_, err := Replay(data, func(r Record) error { return s.apply(r, true) })
+	if err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// apply logs (unless replaying) and applies one record.
+func (s *Store) apply(r Record, replaying bool) error {
+	if !replaying {
+		if err := s.wal.Append(r); err != nil {
+			return err
+		}
+	} else if err := s.wal.Append(r); err != nil {
+		// During replay we re-append so the recovered store's log is
+		// self-contained.
+		return err
+	}
+	switch r.Kind {
+	case RecPut:
+		s.items[r.Item] = r.Poly
+	case RecPrepared:
+		s.prepared[r.TID] = Prepared{
+			TID: r.TID, Coordinator: r.Coordinator,
+			Writes: r.Writes, Previous: r.Previous,
+		}
+	case RecResolved:
+		delete(s.prepared, r.TID)
+	case RecOutcome:
+		s.outcomes[r.TID] = r.Committed
+	case RecDepItem:
+		s.dep(r.TID).Items[r.Item] = true
+	case RecDepSite:
+		s.dep(r.TID).Sites[r.Site] = true
+	case RecDepSiteDone:
+		if e, ok := s.deps[r.TID]; ok {
+			delete(e.Sites, r.Site)
+			if len(e.Sites) == 0 {
+				delete(s.deps, r.TID)
+			}
+		}
+	case RecDepClear:
+		delete(s.deps, r.TID)
+	case RecAwait:
+		s.awaits[r.TID] = r.Coordinator
+	case RecAwaitDone:
+		delete(s.awaits, r.TID)
+	default:
+		return fmt.Errorf("storage: unknown record kind %d", r.Kind)
+	}
+	return nil
+}
+
+func (s *Store) dep(tid txn.ID) *DepEntry {
+	e, ok := s.deps[tid]
+	if !ok {
+		e = &DepEntry{Items: map[string]bool{}, Sites: map[string]bool{}}
+		s.deps[tid] = e
+	}
+	return e
+}
+
+// WALSize returns the current log size in bytes.
+func (s *Store) WALSize() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.wal.Len()
+}
+
+// WALBytes returns the current log contents (what survives a crash).
+func (s *Store) WALBytes() []byte {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]byte, s.wal.Len())
+	copy(out, s.wal.Bytes())
+	return out
+}
+
+// Put installs a value for an item.
+func (s *Store) Put(item string, p polyvalue.Poly) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.apply(Record{Kind: RecPut, Item: item, Poly: p}, false)
+}
+
+// Get returns the current value of an item; never-written items read as
+// the certain Nil value.
+func (s *Store) Get(item string) polyvalue.Poly {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if p, ok := s.items[item]; ok {
+		return p
+	}
+	return polyvalue.Simple(value.Nil{})
+}
+
+// Has reports whether the item has ever been written.
+func (s *Store) Has(item string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.items[item]
+	return ok
+}
+
+// Items returns the names of all stored items, sorted.
+func (s *Store) Items() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.items))
+	for k := range s.items {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PolyItems returns the names of items currently holding uncertain
+// values, sorted — the population the paper's §4 analysis predicts.
+func (s *Store) PolyItems() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []string
+	for k, p := range s.items {
+		if _, certain := p.IsCertain(); !certain {
+			out = append(out, k)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MarkPrepared records an in-doubt transaction's computed and previous
+// values, durably, before ready is sent.
+func (s *Store) MarkPrepared(p Prepared) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.apply(Record{
+		Kind: RecPrepared, TID: p.TID, Coordinator: p.Coordinator,
+		Writes: p.Writes, Previous: p.Previous,
+	}, false)
+}
+
+// ClearPrepared removes an in-doubt entry once the transaction's fate is
+// settled at this site.
+func (s *Store) ClearPrepared(tid txn.ID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.apply(Record{Kind: RecResolved, TID: tid}, false)
+}
+
+// GetPrepared looks up an in-doubt entry.
+func (s *Store) GetPrepared(tid txn.ID) (Prepared, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	p, ok := s.prepared[tid]
+	return p, ok
+}
+
+// PreparedTxns returns all in-doubt entries, sorted by transaction ID.
+func (s *Store) PreparedTxns() []Prepared {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]Prepared, 0, len(s.prepared))
+	for _, p := range s.prepared {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].TID < out[j].TID })
+	return out
+}
+
+// SetOutcome durably records a transaction's outcome.
+func (s *Store) SetOutcome(tid txn.ID, committed bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if existing, ok := s.outcomes[tid]; ok {
+		if existing != committed {
+			return fmt.Errorf("storage: conflicting outcome for %s: had %v, got %v", tid, existing, committed)
+		}
+		return nil
+	}
+	return s.apply(Record{Kind: RecOutcome, TID: tid, Committed: committed}, false)
+}
+
+// Outcome returns a recorded outcome.
+func (s *Store) Outcome(tid txn.ID) (committed, known bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.outcomes[tid]
+	return c, ok
+}
+
+// ForgetOutcome drops a recorded outcome (bounded-memory hygiene once no
+// polyvalue can depend on it anymore; §3.3's "any data structures used to
+// keep track of the transaction outcome should be quickly deleted").
+// Implemented as a dep-clear plus outcome tombstone via RecDepClear; the
+// outcome map entry is removed in memory only if present.
+func (s *Store) ForgetOutcome(tid txn.ID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.outcomes, tid)
+}
+
+// AddDepItem records that a local item's polyvalue depends on tid.
+func (s *Store) AddDepItem(tid txn.ID, item string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.apply(Record{Kind: RecDepItem, TID: tid, Item: item}, false)
+}
+
+// AddDepSite records that a polyvalue dependent on tid was sent to site.
+func (s *Store) AddDepSite(tid txn.ID, site string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if site == "" {
+		return fmt.Errorf("storage: empty dependent site")
+	}
+	return s.apply(Record{Kind: RecDepSite, TID: tid, Site: site}, false)
+}
+
+// RemoveDepSite removes one acknowledged site from tid's dependency
+// entry; the entry is deleted when its last site is removed.  A no-op
+// when the entry or site is absent.
+func (s *Store) RemoveDepSite(tid txn.ID, site string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.deps[tid]
+	if !ok || !e.Sites[site] {
+		return nil
+	}
+	return s.apply(Record{Kind: RecDepSiteDone, TID: tid, Site: site}, false)
+}
+
+// HasDeps reports whether tid has a live dependency entry.
+func (s *Store) HasDeps(tid txn.ID) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	_, ok := s.deps[tid]
+	return ok
+}
+
+// ClearDeps removes the dependency entry for tid.
+func (s *Store) ClearDeps(tid txn.ID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.apply(Record{Kind: RecDepClear, TID: tid}, false)
+}
+
+// Deps returns the dependency entry for tid: local items and remote
+// sites, both sorted.  Empty slices mean no entry.
+func (s *Store) Deps(tid txn.ID) (items, sites []string) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.deps[tid]
+	if !ok {
+		return nil, nil
+	}
+	for it := range e.Items {
+		items = append(items, it)
+	}
+	for st := range e.Sites {
+		sites = append(sites, st)
+	}
+	sort.Strings(items)
+	sort.Strings(sites)
+	return items, sites
+}
+
+// DepTIDs returns every transaction with a live dependency entry, sorted.
+func (s *Store) DepTIDs() []txn.ID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]txn.ID, 0, len(s.deps))
+	for tid := range s.deps {
+		out = append(out, tid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// SetAwait durably records that this site must learn tid's outcome from
+// the named coordinator (it installed polyvalues for tid's updates).
+func (s *Store) SetAwait(tid txn.ID, coordinator string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.apply(Record{Kind: RecAwait, TID: tid, Coordinator: coordinator}, false)
+}
+
+// ClearAwait removes an await entry once the outcome is known.
+func (s *Store) ClearAwait(tid txn.ID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.awaits[tid]; !ok {
+		return nil
+	}
+	return s.apply(Record{Kind: RecAwaitDone, TID: tid}, false)
+}
+
+// Await looks up the coordinator recorded for tid.
+func (s *Store) Await(tid txn.ID) (coordinator string, ok bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	c, ok := s.awaits[tid]
+	return c, ok
+}
+
+// Awaits returns every pending await entry, sorted by transaction ID.
+func (s *Store) Awaits() map[txn.ID]string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[txn.ID]string, len(s.awaits))
+	for tid, c := range s.awaits {
+		out[tid] = c
+	}
+	return out
+}
+
+// Checkpoint compacts the WAL: the log is rewritten as the minimal record
+// sequence reproducing the current state.  Returns the new log size.
+func (s *Store) Checkpoint() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fresh := NewWAL()
+	// Stable order for determinism.
+	items := make([]string, 0, len(s.items))
+	for k := range s.items {
+		items = append(items, k)
+	}
+	sort.Strings(items)
+	for _, k := range items {
+		if err := fresh.Append(Record{Kind: RecPut, Item: k, Poly: s.items[k]}); err != nil {
+			return 0, err
+		}
+	}
+	tids := make([]txn.ID, 0, len(s.prepared))
+	for tid := range s.prepared {
+		tids = append(tids, tid)
+	}
+	sort.Slice(tids, func(i, j int) bool { return tids[i] < tids[j] })
+	for _, tid := range tids {
+		p := s.prepared[tid]
+		if err := fresh.Append(Record{Kind: RecPrepared, TID: tid, Coordinator: p.Coordinator, Writes: p.Writes, Previous: p.Previous}); err != nil {
+			return 0, err
+		}
+	}
+	otids := make([]txn.ID, 0, len(s.outcomes))
+	for tid := range s.outcomes {
+		otids = append(otids, tid)
+	}
+	sort.Slice(otids, func(i, j int) bool { return otids[i] < otids[j] })
+	for _, tid := range otids {
+		if err := fresh.Append(Record{Kind: RecOutcome, TID: tid, Committed: s.outcomes[tid]}); err != nil {
+			return 0, err
+		}
+	}
+	dtids := make([]txn.ID, 0, len(s.deps))
+	for tid := range s.deps {
+		dtids = append(dtids, tid)
+	}
+	sort.Slice(dtids, func(i, j int) bool { return dtids[i] < dtids[j] })
+	for _, tid := range dtids {
+		e := s.deps[tid]
+		its := make([]string, 0, len(e.Items))
+		for it := range e.Items {
+			its = append(its, it)
+		}
+		sort.Strings(its)
+		for _, it := range its {
+			if err := fresh.Append(Record{Kind: RecDepItem, TID: tid, Item: it}); err != nil {
+				return 0, err
+			}
+		}
+		sts := make([]string, 0, len(e.Sites))
+		for st := range e.Sites {
+			sts = append(sts, st)
+		}
+		sort.Strings(sts)
+		for _, st := range sts {
+			if err := fresh.Append(Record{Kind: RecDepSite, TID: tid, Site: st}); err != nil {
+				return 0, err
+			}
+		}
+	}
+	atids := make([]txn.ID, 0, len(s.awaits))
+	for tid := range s.awaits {
+		atids = append(atids, tid)
+	}
+	sort.Slice(atids, func(i, j int) bool { return atids[i] < atids[j] })
+	for _, tid := range atids {
+		if err := fresh.Append(Record{Kind: RecAwait, TID: tid, Coordinator: s.awaits[tid]}); err != nil {
+			return 0, err
+		}
+	}
+	s.wal.Reset()
+	if _, err := s.wal.buf.Write(fresh.Bytes()); err != nil {
+		return 0, err
+	}
+	return s.wal.Len(), nil
+}

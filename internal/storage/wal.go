@@ -1,0 +1,352 @@
+// Package storage implements a site's durable state: the items it holds
+// (simple values or polyvalues), the set of prepared-but-unresolved
+// transactions, coordinator outcome records, and the §3.3 dependency
+// table.  All mutations go through a write-ahead log so a crashed site
+// restarts with exactly the state it had — in particular, a site that
+// crashes while in doubt about a transaction discovers that fact from the
+// log and installs polyvalues on restart instead of blocking.
+package storage
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sort"
+
+	"repro/internal/polyvalue"
+	"repro/internal/txn"
+)
+
+// RecKind enumerates WAL record types.
+type RecKind uint8
+
+const (
+	// RecPut installs a (possibly poly) value for an item.
+	RecPut RecKind = iota + 1
+	// RecPrepared marks a transaction prepared at this site: computed
+	// writes and previous values are retained so the site can later
+	// install results, discard them, or build polyvalues.
+	RecPrepared
+	// RecResolved clears a prepared entry (the transaction completed,
+	// aborted, or was converted to polyvalues here).
+	RecResolved
+	// RecOutcome durably records a commit/abort decision (coordinator
+	// role, and participant's memo of learned outcomes).
+	RecOutcome
+	// RecDepItem notes that a local item's polyvalue depends on a
+	// transaction's outcome.
+	RecDepItem
+	// RecDepSite notes that a polyvalue dependent on a transaction was
+	// sent to another site, which must be informed of the outcome (§3.3).
+	RecDepSite
+	// RecDepClear removes a transaction's dependency entry ("once this is
+	// done, that site can forget the outcome of T and the table entry").
+	RecDepClear
+	// RecAwait records that this site installed polyvalues for a
+	// transaction whose outcome it must still learn from the named
+	// coordinator; survives crashes so the outcome-request loop resumes.
+	RecAwait
+	// RecAwaitDone clears an await entry once the outcome is known.
+	RecAwaitDone
+	// RecDepSiteDone removes one site from a dependency entry after that
+	// site acknowledged the outcome notification; when the last site is
+	// removed the whole entry is deleted.
+	RecDepSiteDone
+)
+
+// Record is one WAL entry.  Fields beyond Kind are populated per kind.
+type Record struct {
+	Kind RecKind
+
+	// RecPut, RecDepItem: the item.
+	Item string
+	// RecPut: the installed value.
+	Poly polyvalue.Poly
+
+	// RecPrepared, RecResolved, RecOutcome, RecDep*: the transaction.
+	TID txn.ID
+	// RecPrepared: computed new values and previous values per item.
+	Writes   map[string]polyvalue.Poly
+	Previous map[string]polyvalue.Poly
+	// RecPrepared: the coordinator to query for the outcome.
+	Coordinator string
+
+	// RecOutcome: the decision.
+	Committed bool
+
+	// RecDepSite: the site that received a dependent polyvalue.
+	Site string
+}
+
+// appendPolyMap encodes a map of item → polyvalue deterministically
+// (sorted keys).
+func appendPolyMap(dst []byte, m map[string]polyvalue.Poly) []byte {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	dst = binary.AppendUvarint(dst, uint64(len(keys)))
+	for _, k := range keys {
+		dst = appendString(dst, k)
+		dst = m[k].AppendBinary(dst)
+	}
+	return dst
+}
+
+func decodePolyMap(buf []byte) (map[string]polyvalue.Poly, int, error) {
+	n, off := binary.Uvarint(buf)
+	if off <= 0 {
+		return nil, 0, fmt.Errorf("storage: truncated map size")
+	}
+	if n > uint64(len(buf)) {
+		return nil, 0, fmt.Errorf("storage: map size %d exceeds input", n)
+	}
+	m := make(map[string]polyvalue.Poly, n)
+	for i := uint64(0); i < n; i++ {
+		k, kn, err := decodeString(buf[off:])
+		if err != nil {
+			return nil, 0, err
+		}
+		off += kn
+		p, pn, err := polyvalue.DecodeBinary(buf[off:])
+		if err != nil {
+			return nil, 0, err
+		}
+		off += pn
+		m[k] = p
+	}
+	return m, off, nil
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func decodeString(buf []byte) (string, int, error) {
+	n, off := binary.Uvarint(buf)
+	if off <= 0 {
+		return "", 0, fmt.Errorf("storage: truncated string length")
+	}
+	if n > uint64(len(buf)-off) { // uint64 compare: no overflow
+		return "", 0, fmt.Errorf("storage: truncated string")
+	}
+	return string(buf[off : off+int(n)]), off + int(n), nil
+}
+
+// encodePayload serializes the record body (without framing).
+func (r Record) encodePayload() []byte {
+	buf := []byte{byte(r.Kind)}
+	switch r.Kind {
+	case RecPut:
+		buf = appendString(buf, r.Item)
+		buf = r.Poly.AppendBinary(buf)
+	case RecPrepared:
+		buf = appendString(buf, string(r.TID))
+		buf = appendString(buf, r.Coordinator)
+		buf = appendPolyMap(buf, r.Writes)
+		buf = appendPolyMap(buf, r.Previous)
+	case RecResolved, RecDepClear, RecAwaitDone:
+		buf = appendString(buf, string(r.TID))
+	case RecAwait:
+		buf = appendString(buf, string(r.TID))
+		buf = appendString(buf, r.Coordinator)
+	case RecOutcome:
+		buf = appendString(buf, string(r.TID))
+		if r.Committed {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	case RecDepItem:
+		buf = appendString(buf, string(r.TID))
+		buf = appendString(buf, r.Item)
+	case RecDepSite, RecDepSiteDone:
+		buf = appendString(buf, string(r.TID))
+		buf = appendString(buf, r.Site)
+	}
+	return buf
+}
+
+// decodePayload parses a record body.
+func decodePayload(buf []byte) (Record, error) {
+	if len(buf) == 0 {
+		return Record{}, fmt.Errorf("storage: empty record")
+	}
+	r := Record{Kind: RecKind(buf[0])}
+	body := buf[1:]
+	off := 0
+	readStr := func() (string, error) {
+		s, n, err := decodeString(body[off:])
+		off += n
+		return s, err
+	}
+	switch r.Kind {
+	case RecPut:
+		item, err := readStr()
+		if err != nil {
+			return Record{}, err
+		}
+		r.Item = item
+		p, _, err := polyvalue.DecodeBinary(body[off:])
+		if err != nil {
+			return Record{}, err
+		}
+		r.Poly = p
+	case RecPrepared:
+		tid, err := readStr()
+		if err != nil {
+			return Record{}, err
+		}
+		coord, err := readStr()
+		if err != nil {
+			return Record{}, err
+		}
+		r.TID, r.Coordinator = txn.ID(tid), coord
+		w, n, err := decodePolyMap(body[off:])
+		if err != nil {
+			return Record{}, err
+		}
+		off += n
+		prev, _, err := decodePolyMap(body[off:])
+		if err != nil {
+			return Record{}, err
+		}
+		r.Writes, r.Previous = w, prev
+	case RecResolved, RecDepClear, RecAwaitDone:
+		tid, err := readStr()
+		if err != nil {
+			return Record{}, err
+		}
+		r.TID = txn.ID(tid)
+	case RecAwait:
+		tid, err := readStr()
+		if err != nil {
+			return Record{}, err
+		}
+		coord, err := readStr()
+		if err != nil {
+			return Record{}, err
+		}
+		r.TID, r.Coordinator = txn.ID(tid), coord
+	case RecOutcome:
+		tid, err := readStr()
+		if err != nil {
+			return Record{}, err
+		}
+		r.TID = txn.ID(tid)
+		if off >= len(body) {
+			return Record{}, fmt.Errorf("storage: truncated outcome")
+		}
+		r.Committed = body[off] == 1
+	case RecDepItem:
+		tid, err := readStr()
+		if err != nil {
+			return Record{}, err
+		}
+		item, err := readStr()
+		if err != nil {
+			return Record{}, err
+		}
+		r.TID, r.Item = txn.ID(tid), item
+	case RecDepSite, RecDepSiteDone:
+		tid, err := readStr()
+		if err != nil {
+			return Record{}, err
+		}
+		site, err := readStr()
+		if err != nil {
+			return Record{}, err
+		}
+		r.TID, r.Site = txn.ID(tid), site
+	default:
+		return Record{}, fmt.Errorf("storage: unknown record kind %d", r.Kind)
+	}
+	return r, nil
+}
+
+// WAL frames records onto a byte stream: uvarint payload length, payload,
+// 4-byte big-endian CRC32 of the payload.  Replay stops cleanly at a torn
+// tail (truncated or CRC-failing final record), the standard contract for
+// crash-consistent logs.
+type WAL struct {
+	buf bytes.Buffer
+	// sink, when non-nil, receives every append immediately (e.g. a
+	// file); the in-memory buffer remains the source of truth for
+	// Bytes/Replay.
+	sink io.Writer
+}
+
+// NewWAL returns an empty in-memory log.
+func NewWAL() *WAL { return &WAL{} }
+
+// NewWALWithSink mirrors every append to sink (e.g. an *os.File).
+func NewWALWithSink(sink io.Writer) *WAL { return &WAL{sink: sink} }
+
+// Append frames and stores one record.
+func (w *WAL) Append(r Record) error {
+	payload := r.encodePayload()
+	var frame []byte
+	frame = binary.AppendUvarint(frame, uint64(len(payload)))
+	frame = append(frame, payload...)
+	frame = binary.BigEndian.AppendUint32(frame, crc32.ChecksumIEEE(payload))
+	if _, err := w.buf.Write(frame); err != nil {
+		return err
+	}
+	if w.sink != nil {
+		if _, err := w.sink.Write(frame); err != nil {
+			return fmt.Errorf("storage: wal sink: %w", err)
+		}
+	}
+	return nil
+}
+
+// Bytes returns the full log contents.
+func (w *WAL) Bytes() []byte { return w.buf.Bytes() }
+
+// Len returns the log size in bytes.
+func (w *WAL) Len() int { return w.buf.Len() }
+
+// Reset discards the log contents (used by checkpointing).
+func (w *WAL) Reset() { w.buf.Reset() }
+
+// Replay decodes records from data, invoking fn for each, and returns the
+// number of complete records replayed.  A torn tail (truncated frame or
+// CRC mismatch on the final record) ends replay without error; corruption
+// before the tail is reported.
+func Replay(data []byte, fn func(Record) error) (int, error) {
+	count := 0
+	off := 0
+	for off < len(data) {
+		ln, n := binary.Uvarint(data[off:])
+		if n <= 0 {
+			return count, nil // torn tail
+		}
+		// Compare in uint64 space: a hostile/corrupt length must not
+		// overflow the int arithmetic below.
+		if ln > uint64(len(data)-off-n) || len(data)-off-n-int(ln) < 4 {
+			return count, nil // torn tail
+		}
+		payload := data[off+n : off+n+int(ln)]
+		crc := binary.BigEndian.Uint32(data[off+n+int(ln):])
+		if crc32.ChecksumIEEE(payload) != crc {
+			if off+n+int(ln)+4 == len(data) {
+				return count, nil // torn final record
+			}
+			return count, fmt.Errorf("storage: CRC mismatch at offset %d", off)
+		}
+		rec, err := decodePayload(payload)
+		if err != nil {
+			return count, fmt.Errorf("storage: record %d: %w", count, err)
+		}
+		if err := fn(rec); err != nil {
+			return count, err
+		}
+		count++
+		off += n + int(ln) + 4
+	}
+	return count, nil
+}

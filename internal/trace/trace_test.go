@@ -1,0 +1,88 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/vclock"
+)
+
+func TestNop(t *testing.T) {
+	var tr Tracer = Nop{}
+	tr.Event("anything %d", 1) // must not panic
+}
+
+func TestRingBasics(t *testing.T) {
+	r := NewRing(10)
+	r.Event("hello %s", "world")
+	r.Event("second")
+	e := r.Entries()
+	if len(e) != 2 || e[0] != "hello world" {
+		t.Errorf("Entries = %v", e)
+	}
+	if !r.Contains("world") || r.Contains("absent") {
+		t.Error("Contains wrong")
+	}
+	if r.Count("o") != 2 {
+		t.Errorf("Count = %d", r.Count("o"))
+	}
+	if !strings.Contains(r.String(), "second") {
+		t.Errorf("String = %q", r.String())
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	r := NewRing(3)
+	for i := 0; i < 5; i++ {
+		r.Event("e%d", i)
+	}
+	e := r.Entries()
+	if len(e) != 3 || e[0] != "e2" || e[2] != "e4" {
+		t.Errorf("Entries = %v", e)
+	}
+	if r.Dropped() != 2 {
+		t.Errorf("Dropped = %d", r.Dropped())
+	}
+}
+
+func TestRingMinSize(t *testing.T) {
+	r := NewRing(0)
+	r.Event("a")
+	r.Event("b")
+	if e := r.Entries(); len(e) != 1 || e[0] != "b" {
+		t.Errorf("Entries = %v", e)
+	}
+}
+
+func TestRingClockPrefix(t *testing.T) {
+	s := vclock.NewScheduler()
+	r := NewRing(10)
+	r.Clock = s.Now
+	s.After(3*time.Second, func() { r.Event("tick") })
+	s.Drain(0)
+	e := r.Entries()
+	if len(e) != 1 || !strings.HasPrefix(e[0], "[3s]") {
+		t.Errorf("Entries = %v", e)
+	}
+}
+
+func TestRingConcurrent(t *testing.T) {
+	r := NewRing(1000)
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				r.Event(fmt.Sprintf("g%d-%d", i, j))
+			}
+		}(i)
+	}
+	wg.Wait()
+	if len(r.Entries()) != 1000 {
+		t.Errorf("entries = %d", len(r.Entries()))
+	}
+}

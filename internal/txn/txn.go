@@ -1,0 +1,139 @@
+// Package txn defines the transaction model shared by the commit
+// protocol, the polytransaction engine and the cluster runtime: a
+// transaction is an identified deterministic mapping from one database
+// state to another (Montgomery, SOSP 1979, §3), expressed as an expr
+// program of guarded assignments.
+//
+// The package also provides the serial-execution oracle used throughout
+// the test suite: atomicity requires that any concurrent/failure-ridden
+// execution be equivalent to some serial execution of the committed
+// transactions, so tests replay histories through the oracle and compare.
+package txn
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/condition"
+	"repro/internal/expr"
+	"repro/internal/value"
+)
+
+// ID identifies a transaction.  It doubles as the condition variable name
+// in polyvalues, hence the alias.
+type ID = condition.TID
+
+// Outcome is the coordinator's decision for a transaction.
+type Outcome uint8
+
+const (
+	// Pending means the outcome is not yet known (the transaction is
+	// running, or a failure has hidden the decision).
+	Pending Outcome = iota
+	// Committed means every site installed the transaction's results.
+	Committed
+	// Aborted means the transaction's results were discarded everywhere.
+	Aborted
+)
+
+// String names the outcome.
+func (o Outcome) String() string {
+	switch o {
+	case Pending:
+		return "pending"
+	case Committed:
+		return "committed"
+	case Aborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("outcome(%d)", uint8(o))
+	}
+}
+
+// T is a transaction: an identifier plus a deterministic body.
+type T struct {
+	ID      ID
+	Program expr.Program
+}
+
+// New builds a transaction from source text.
+func New(id ID, src string) (T, error) {
+	p, err := expr.Parse(src)
+	if err != nil {
+		return T{}, fmt.Errorf("txn %s: %w", id, err)
+	}
+	return T{ID: id, Program: p}, nil
+}
+
+// MustNew is New that panics on parse errors.
+func MustNew(id ID, src string) T {
+	t, err := New(id, src)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// ReadSet returns the items the transaction may read.
+func (t T) ReadSet() []string { return t.Program.ReadSet() }
+
+// WriteSet returns the items the transaction may write.
+func (t T) WriteSet() []string { return t.Program.WriteSet() }
+
+// Items returns every item the transaction accesses; the sites holding
+// these items are exactly the sites the transaction "directly involves"
+// (§3).
+func (t T) Items() []string { return t.Program.Items() }
+
+// IDGen allocates process-unique transaction identifiers.  The zero
+// value is ready to use; Next is safe for concurrent use.
+type IDGen struct {
+	prefix string
+	n      atomic.Uint64
+}
+
+// NewIDGen returns a generator whose IDs carry the given prefix
+// (typically the coordinator site name, making IDs globally unique in a
+// cluster without coordination).
+func NewIDGen(prefix string) *IDGen { return &IDGen{prefix: prefix} }
+
+// Next returns a fresh identifier.
+func (g *IDGen) Next() ID {
+	n := g.n.Add(1)
+	if g.prefix == "" {
+		return ID(fmt.Sprintf("T%d", n))
+	}
+	return ID(fmt.Sprintf("%s.T%d", g.prefix, n))
+}
+
+// HistoryEntry pairs a transaction with its (eventual) outcome, for the
+// serial oracle.
+type HistoryEntry struct {
+	Txn     T
+	Outcome Outcome
+}
+
+// SerialApply executes the committed transactions of a history in order
+// against an initial state and returns the final state.  Aborted and
+// pending transactions contribute nothing.  This is the correctness
+// oracle: a polyvalue execution, once all outcomes are known and
+// resolved, must equal SerialApply of the same history.
+func SerialApply(initial map[string]value.V, history []HistoryEntry) (map[string]value.V, error) {
+	state := make(map[string]value.V, len(initial))
+	for k, v := range initial {
+		state[k] = v
+	}
+	for _, h := range history {
+		if h.Outcome != Committed {
+			continue
+		}
+		writes, err := h.Txn.Program.Eval(expr.MapEnv(state))
+		if err != nil {
+			return nil, fmt.Errorf("serial apply %s: %w", h.Txn.ID, err)
+		}
+		for k, v := range writes {
+			state[k] = v
+		}
+	}
+	return state, nil
+}

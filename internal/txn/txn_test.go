@@ -1,0 +1,119 @@
+package txn
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/value"
+)
+
+func TestNewAndSets(t *testing.T) {
+	tx, err := New("T1", "dst = dst + amt if src >= amt; src = src - amt if src >= amt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tx.ID != "T1" {
+		t.Errorf("ID = %v", tx.ID)
+	}
+	if got := tx.ReadSet(); len(got) != 3 {
+		t.Errorf("ReadSet = %v", got)
+	}
+	if got := tx.WriteSet(); len(got) != 2 {
+		t.Errorf("WriteSet = %v", got)
+	}
+	if got := tx.Items(); len(got) != 3 {
+		t.Errorf("Items = %v", got)
+	}
+}
+
+func TestNewParseError(t *testing.T) {
+	if _, err := New("T1", "not a program"); err == nil {
+		t.Error("bad program accepted")
+	}
+}
+
+func TestOutcomeString(t *testing.T) {
+	if Pending.String() != "pending" || Committed.String() != "committed" ||
+		Aborted.String() != "aborted" || Outcome(9).String() != "outcome(9)" {
+		t.Error("Outcome.String wrong")
+	}
+}
+
+func TestIDGenUnique(t *testing.T) {
+	g := NewIDGen("site1")
+	a, b := g.Next(), g.Next()
+	if a == b {
+		t.Errorf("duplicate IDs: %v", a)
+	}
+	if a != "site1.T1" {
+		t.Errorf("first ID = %v", a)
+	}
+	unprefixed := NewIDGen("")
+	if unprefixed.Next() != "T1" {
+		t.Error("unprefixed ID format changed")
+	}
+}
+
+func TestIDGenConcurrent(t *testing.T) {
+	g := NewIDGen("s")
+	const n = 100
+	var wg sync.WaitGroup
+	ids := make([]ID, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ids[i] = g.Next()
+		}(i)
+	}
+	wg.Wait()
+	seen := map[ID]bool{}
+	for _, id := range ids {
+		if seen[id] {
+			t.Fatalf("duplicate concurrent ID %v", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestSerialApply(t *testing.T) {
+	initial := map[string]value.V{"a": value.Int(100), "b": value.Int(0)}
+	history := []HistoryEntry{
+		{Txn: MustNew("T1", "a = a - 30; b = b + 30"), Outcome: Committed},
+		{Txn: MustNew("T2", "a = a - 1000 if a >= 1000"), Outcome: Committed}, // guard fails
+		{Txn: MustNew("T3", "a = 0; b = 0"), Outcome: Aborted},                // skipped
+		{Txn: MustNew("T4", "b = b * 2"), Outcome: Committed},
+	}
+	final, err := SerialApply(initial, history)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !final["a"].Equal(value.Int(70)) || !final["b"].Equal(value.Int(60)) {
+		t.Errorf("final = %v", final)
+	}
+	// Initial state must not be mutated.
+	if !initial["b"].Equal(value.Int(0)) {
+		t.Error("SerialApply mutated input")
+	}
+}
+
+func TestSerialApplyPendingSkipped(t *testing.T) {
+	final, err := SerialApply(map[string]value.V{"x": value.Int(1)}, []HistoryEntry{
+		{Txn: MustNew("T1", "x = 99"), Outcome: Pending},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !final["x"].Equal(value.Int(1)) {
+		t.Errorf("pending transaction applied: %v", final)
+	}
+}
+
+func TestSerialApplyError(t *testing.T) {
+	_, err := SerialApply(map[string]value.V{"s": value.Str("x")}, []HistoryEntry{
+		{Txn: MustNew("T1", "s = s * 2"), Outcome: Committed},
+	})
+	if err == nil {
+		t.Error("type error not propagated")
+	}
+}

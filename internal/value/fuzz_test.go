@@ -1,0 +1,29 @@
+package value
+
+import "testing"
+
+// FuzzDecodeBinary: arbitrary bytes must never panic the scalar decoder;
+// whatever decodes must re-encode/decode to an equal value.
+func FuzzDecodeBinary(f *testing.F) {
+	for _, v := range []V{Nil{}, Int(-3), Float(2.5), Str("abc"), Bool(true)} {
+		f.Add(MarshalBinary(v))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0x01, 0x02})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, n, err := DecodeBinary(data)
+		if err != nil {
+			return
+		}
+		if n > len(data) {
+			t.Fatalf("consumed %d of %d bytes", n, len(data))
+		}
+		back, m, err := DecodeBinary(MarshalBinary(v))
+		if err != nil || m != len(MarshalBinary(v)) {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !back.Equal(v) {
+			t.Fatalf("round trip changed %v to %v", v, back)
+		}
+	})
+}

@@ -1,0 +1,262 @@
+// Package value defines the simple ("exact") values stored in database
+// items.  The paper's model treats item values abstractly; real
+// applications (§5: funds transfer, reservations, inventory) need typed
+// scalars, equality (polyvalue simplification rule 2 merges pairs with
+// equal values), ordering (the reservation example grants if the *largest*
+// possible count is under capacity), and a wire encoding (WAL, network).
+package value
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// V is a simple scalar value: one of Int, Float, Str, Bool, or Nil.
+// Implementations are immutable.
+type V interface {
+	// Kind discriminates the concrete type.
+	Kind() Kind
+	// Equal reports whether the two values are the same value of the same
+	// kind.  Cross-kind comparisons are false (Int(1) != Float(1)).
+	Equal(V) bool
+	// String renders the value for humans.
+	String() string
+	// appendBinary appends the kind-tagged encoding.
+	appendBinary(dst []byte) []byte
+}
+
+// Kind enumerates the scalar types.
+type Kind uint8
+
+const (
+	KindNil Kind = iota
+	KindInt
+	KindFloat
+	KindStr
+	KindBool
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindNil:
+		return "nil"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindStr:
+		return "str"
+	case KindBool:
+		return "bool"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Nil is the absent value: the content of an item that has never been
+// written.  Transactions may legitimately read and overwrite it.
+type Nil struct{}
+
+// Int is a 64-bit integer scalar (account balances, reservation counts).
+type Int int64
+
+// Float is a 64-bit floating-point scalar (process-control measurements).
+type Float float64
+
+// Str is a string scalar.
+type Str string
+
+// Bool is a boolean scalar (authorization decisions).
+type Bool bool
+
+func (Nil) Kind() Kind   { return KindNil }
+func (Int) Kind() Kind   { return KindInt }
+func (Float) Kind() Kind { return KindFloat }
+func (Str) Kind() Kind   { return KindStr }
+func (Bool) Kind() Kind  { return KindBool }
+
+func (Nil) Equal(o V) bool { _, ok := o.(Nil); return ok }
+
+func (v Int) Equal(o V) bool { w, ok := o.(Int); return ok && v == w }
+
+func (v Float) Equal(o V) bool {
+	w, ok := o.(Float)
+	// NaN is deliberately equal to itself so polyvalue merging stays a
+	// proper equivalence relation.
+	return ok && (v == w || (math.IsNaN(float64(v)) && math.IsNaN(float64(w))))
+}
+
+func (v Str) Equal(o V) bool { w, ok := o.(Str); return ok && v == w }
+
+func (v Bool) Equal(o V) bool { w, ok := o.(Bool); return ok && v == w }
+
+func (Nil) String() string     { return "nil" }
+func (v Int) String() string   { return fmt.Sprintf("%d", int64(v)) }
+func (v Float) String() string { return fmt.Sprintf("%g", float64(v)) }
+func (v Str) String() string   { return fmt.Sprintf("%q", string(v)) }
+func (v Bool) String() string  { return fmt.Sprintf("%t", bool(v)) }
+
+// Compare orders two values.  Values of different kinds order by kind;
+// within a kind the natural order applies.  The boolean result follows
+// the strings.Compare convention.  ok is false when either value is Nil
+// and the other is not comparable in a meaningful way; callers that only
+// deal in numerics can ignore ok after validating kinds.
+func Compare(a, b V) (cmp int, ok bool) {
+	if a.Kind() != b.Kind() {
+		switch {
+		case a.Kind() < b.Kind():
+			return -1, false
+		case a.Kind() > b.Kind():
+			return 1, false
+		}
+	}
+	switch x := a.(type) {
+	case Nil:
+		return 0, true
+	case Int:
+		y := b.(Int)
+		switch {
+		case x < y:
+			return -1, true
+		case x > y:
+			return 1, true
+		}
+		return 0, true
+	case Float:
+		y := b.(Float)
+		switch {
+		case x < y:
+			return -1, true
+		case x > y:
+			return 1, true
+		}
+		return 0, true
+	case Str:
+		y := b.(Str)
+		switch {
+		case x < y:
+			return -1, true
+		case x > y:
+			return 1, true
+		}
+		return 0, true
+	case Bool:
+		y := b.(Bool)
+		switch {
+		case !bool(x) && bool(y):
+			return -1, true
+		case bool(x) && !bool(y):
+			return 1, true
+		}
+		return 0, true
+	default:
+		return 0, false
+	}
+}
+
+// AsInt extracts an integer, converting Float values with integral value.
+func AsInt(v V) (int64, bool) {
+	switch x := v.(type) {
+	case Int:
+		return int64(x), true
+	case Float:
+		if float64(x) == math.Trunc(float64(x)) && !math.IsInf(float64(x), 0) {
+			return int64(x), true
+		}
+	}
+	return 0, false
+}
+
+// AsFloat extracts a numeric value as float64.
+func AsFloat(v V) (float64, bool) {
+	switch x := v.(type) {
+	case Int:
+		return float64(x), true
+	case Float:
+		return float64(x), true
+	}
+	return 0, false
+}
+
+// IsNumeric reports whether v is Int or Float.
+func IsNumeric(v V) bool {
+	k := v.Kind()
+	return k == KindInt || k == KindFloat
+}
+
+func (Nil) appendBinary(dst []byte) []byte { return append(dst, byte(KindNil)) }
+
+func (v Int) appendBinary(dst []byte) []byte {
+	dst = append(dst, byte(KindInt))
+	return binary.AppendVarint(dst, int64(v))
+}
+
+func (v Float) appendBinary(dst []byte) []byte {
+	dst = append(dst, byte(KindFloat))
+	return binary.BigEndian.AppendUint64(dst, math.Float64bits(float64(v)))
+}
+
+func (v Str) appendBinary(dst []byte) []byte {
+	dst = append(dst, byte(KindStr))
+	dst = binary.AppendUvarint(dst, uint64(len(v)))
+	return append(dst, v...)
+}
+
+func (v Bool) appendBinary(dst []byte) []byte {
+	dst = append(dst, byte(KindBool))
+	if v {
+		return append(dst, 1)
+	}
+	return append(dst, 0)
+}
+
+// AppendBinary appends v's kind-tagged encoding to dst.
+func AppendBinary(dst []byte, v V) []byte { return v.appendBinary(dst) }
+
+// MarshalBinary encodes v.
+func MarshalBinary(v V) []byte { return v.appendBinary(nil) }
+
+// DecodeBinary decodes one value from the front of buf, returning the
+// value and bytes consumed.
+func DecodeBinary(buf []byte) (V, int, error) {
+	if len(buf) == 0 {
+		return nil, 0, fmt.Errorf("value: empty buffer")
+	}
+	kind := Kind(buf[0])
+	off := 1
+	switch kind {
+	case KindNil:
+		return Nil{}, off, nil
+	case KindInt:
+		x, n := binary.Varint(buf[off:])
+		if n <= 0 {
+			return nil, 0, fmt.Errorf("value: truncated int")
+		}
+		return Int(x), off + n, nil
+	case KindFloat:
+		if len(buf) < off+8 {
+			return nil, 0, fmt.Errorf("value: truncated float")
+		}
+		bits := binary.BigEndian.Uint64(buf[off:])
+		return Float(math.Float64frombits(bits)), off + 8, nil
+	case KindStr:
+		ln, n := binary.Uvarint(buf[off:])
+		if n <= 0 {
+			return nil, 0, fmt.Errorf("value: truncated string length")
+		}
+		off += n
+		if ln > uint64(len(buf)-off) { // uint64 compare: no overflow
+			return nil, 0, fmt.Errorf("value: truncated string")
+		}
+		return Str(buf[off : off+int(ln)]), off + int(ln), nil
+	case KindBool:
+		if len(buf) < off+1 {
+			return nil, 0, fmt.Errorf("value: truncated bool")
+		}
+		return Bool(buf[off] == 1), off + 1, nil
+	default:
+		return nil, 0, fmt.Errorf("value: unknown kind %d", kind)
+	}
+}

@@ -1,0 +1,216 @@
+package value
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestKinds(t *testing.T) {
+	cases := []struct {
+		v V
+		k Kind
+	}{
+		{Nil{}, KindNil}, {Int(3), KindInt}, {Float(2.5), KindFloat},
+		{Str("x"), KindStr}, {Bool(true), KindBool},
+	}
+	for _, c := range cases {
+		if c.v.Kind() != c.k {
+			t.Errorf("%v.Kind() = %v, want %v", c.v, c.v.Kind(), c.k)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{
+		KindNil: "nil", KindInt: "int", KindFloat: "float",
+		KindStr: "str", KindBool: "bool", Kind(99): "kind(99)",
+	}
+	for k, want := range names {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, k.String(), want)
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	if !Int(5).Equal(Int(5)) || Int(5).Equal(Int(6)) {
+		t.Error("Int equality wrong")
+	}
+	if Int(1).Equal(Float(1)) {
+		t.Error("cross-kind equality should be false")
+	}
+	if !Str("a").Equal(Str("a")) || Str("a").Equal(Str("b")) {
+		t.Error("Str equality wrong")
+	}
+	if !Bool(true).Equal(Bool(true)) || Bool(true).Equal(Bool(false)) {
+		t.Error("Bool equality wrong")
+	}
+	if !(Nil{}).Equal(Nil{}) || (Nil{}).Equal(Int(0)) {
+		t.Error("Nil equality wrong")
+	}
+	nan := Float(math.NaN())
+	if !nan.Equal(nan) {
+		t.Error("NaN must equal itself for polyvalue merging")
+	}
+}
+
+func TestCompare(t *testing.T) {
+	cases := []struct {
+		a, b V
+		cmp  int
+		ok   bool
+	}{
+		{Int(1), Int(2), -1, true},
+		{Int(2), Int(2), 0, true},
+		{Int(3), Int(2), 1, true},
+		{Float(1.5), Float(2.5), -1, true},
+		{Str("a"), Str("b"), -1, true},
+		{Bool(false), Bool(true), -1, true},
+		{Bool(true), Bool(true), 0, true},
+		{Nil{}, Nil{}, 0, true},
+		{Int(1), Float(1), -1, false}, // cross-kind: ordered by kind, not ok
+	}
+	for _, c := range cases {
+		cmp, ok := Compare(c.a, c.b)
+		if cmp != c.cmp || ok != c.ok {
+			t.Errorf("Compare(%v, %v) = %d,%v want %d,%v", c.a, c.b, cmp, ok, c.cmp, c.ok)
+		}
+	}
+}
+
+func TestAsIntAsFloat(t *testing.T) {
+	if n, ok := AsInt(Int(7)); !ok || n != 7 {
+		t.Errorf("AsInt(Int(7)) = %d,%v", n, ok)
+	}
+	if n, ok := AsInt(Float(3.0)); !ok || n != 3 {
+		t.Errorf("AsInt(Float(3.0)) = %d,%v", n, ok)
+	}
+	if _, ok := AsInt(Float(3.5)); ok {
+		t.Error("AsInt(3.5) should fail")
+	}
+	if _, ok := AsInt(Str("3")); ok {
+		t.Error("AsInt(Str) should fail")
+	}
+	if f, ok := AsFloat(Int(2)); !ok || f != 2 {
+		t.Errorf("AsFloat(Int(2)) = %g,%v", f, ok)
+	}
+	if _, ok := AsFloat(Bool(true)); ok {
+		t.Error("AsFloat(Bool) should fail")
+	}
+	if !IsNumeric(Int(1)) || !IsNumeric(Float(1)) || IsNumeric(Str("x")) {
+		t.Error("IsNumeric wrong")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	cases := map[string]V{
+		"nil": Nil{}, "42": Int(42), "2.5": Float(2.5),
+		`"hi"`: Str("hi"), "true": Bool(true),
+	}
+	for want, v := range cases {
+		if v.String() != want {
+			t.Errorf("%T.String() = %q, want %q", v, v.String(), want)
+		}
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	vals := []V{
+		Nil{}, Int(0), Int(-12345), Int(math.MaxInt64), Float(3.14159),
+		Float(math.Inf(1)), Str(""), Str("hello world"), Bool(true), Bool(false),
+	}
+	for _, v := range vals {
+		data := MarshalBinary(v)
+		back, n, err := DecodeBinary(data)
+		if err != nil {
+			t.Fatalf("decode %v: %v", v, err)
+		}
+		if n != len(data) {
+			t.Errorf("decode %v consumed %d of %d bytes", v, n, len(data))
+		}
+		if !back.Equal(v) {
+			t.Errorf("round trip %v -> %v", v, back)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, _, err := DecodeBinary(nil); err == nil {
+		t.Error("empty buffer accepted")
+	}
+	if _, _, err := DecodeBinary([]byte{200}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	// Truncate each encoding by one byte.
+	for _, v := range []V{Int(300), Float(1.5), Str("abc"), Bool(true)} {
+		data := MarshalBinary(v)
+		if _, _, err := DecodeBinary(data[:len(data)-1]); err == nil {
+			t.Errorf("truncated %v accepted", v)
+		}
+	}
+}
+
+// randValue generates an arbitrary scalar.
+func randValue(r *rand.Rand) V {
+	switch r.Intn(5) {
+	case 0:
+		return Nil{}
+	case 1:
+		return Int(r.Int63n(2000) - 1000)
+	case 2:
+		return Float(r.NormFloat64() * 100)
+	case 3:
+		letters := []byte("abcdefgh")
+		n := r.Intn(8)
+		b := make([]byte, n)
+		for i := range b {
+			b[i] = letters[r.Intn(len(letters))]
+		}
+		return Str(b)
+	default:
+		return Bool(r.Intn(2) == 0)
+	}
+}
+
+type valuePair struct{ A, B V }
+
+func (valuePair) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(valuePair{A: randValue(r), B: randValue(r)})
+}
+
+func TestPropEqualSymmetricAndBinaryStable(t *testing.T) {
+	f := func(p valuePair) bool {
+		if p.A.Equal(p.B) != p.B.Equal(p.A) {
+			return false
+		}
+		back, n, err := DecodeBinary(MarshalBinary(p.A))
+		if err != nil || n != len(MarshalBinary(p.A)) {
+			return false
+		}
+		return back.Equal(p.A)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropCompareConsistentWithEqual(t *testing.T) {
+	f := func(p valuePair) bool {
+		cmp, ok := Compare(p.A, p.B)
+		if p.A.Equal(p.B) {
+			return ok && cmp == 0
+		}
+		// Unequal same-kind values must not compare equal (except the
+		// Nil/Nil case which is always equal).
+		if p.A.Kind() == p.B.Kind() && ok && cmp == 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,172 @@
+// Package vclock provides deterministic simulated time: a discrete-event
+// scheduler with cancellable timers.
+//
+// The commit protocol's behaviour is timeout-driven (a site that hears
+// neither complete nor abort "promptly" installs polyvalues), so tests
+// and benchmarks must control time exactly.  All protocol-level code
+// takes a *Scheduler rather than reading the wall clock; the live cluster
+// runtime drives one from real time, while tests and the §4.2 simulator
+// advance it explicitly.
+//
+// Scheduler is not safe for concurrent use; each runtime owns one and
+// serializes access (the simulation loop, or the cluster's event
+// goroutine).
+package vclock
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Time is a simulated instant, measured as a duration since the
+// scheduler's epoch.
+type Time = time.Duration
+
+// TimerID identifies a scheduled event for cancellation.  The zero value
+// is never a valid ID.
+type TimerID uint64
+
+// event is one scheduled callback.
+type event struct {
+	at       Time
+	seq      uint64 // FIFO tie-break for events at the same instant
+	id       TimerID
+	fn       func()
+	canceled bool
+	index    int // heap index
+}
+
+// eventHeap orders events by (time, seq).
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Scheduler is a discrete-event clock.  The zero value is ready to use
+// at time 0.
+type Scheduler struct {
+	now     Time
+	nextSeq uint64
+	nextID  TimerID
+	heap    eventHeap
+	byID    map[TimerID]*event
+}
+
+// NewScheduler returns an empty scheduler at time zero.
+func NewScheduler() *Scheduler {
+	return &Scheduler{byID: map[TimerID]*event{}}
+}
+
+// Now returns the current simulated time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// At schedules fn to run at the absolute instant t.  Scheduling in the
+// past runs at the current instant (as the next step).  The returned ID
+// cancels the event.
+func (s *Scheduler) At(t Time, fn func()) TimerID {
+	if s.byID == nil {
+		s.byID = map[TimerID]*event{}
+	}
+	if t < s.now {
+		t = s.now
+	}
+	s.nextSeq++
+	s.nextID++
+	e := &event{at: t, seq: s.nextSeq, id: s.nextID, fn: fn}
+	heap.Push(&s.heap, e)
+	s.byID[e.id] = e
+	return e.id
+}
+
+// After schedules fn to run d from now.
+func (s *Scheduler) After(d time.Duration, fn func()) TimerID {
+	return s.At(s.now+d, fn)
+}
+
+// Cancel drops a scheduled event.  Cancelling an already-fired or unknown
+// ID is a no-op; it returns whether an event was actually cancelled.
+func (s *Scheduler) Cancel(id TimerID) bool {
+	e, ok := s.byID[id]
+	if !ok || e.canceled {
+		return false
+	}
+	e.canceled = true
+	delete(s.byID, id)
+	return true
+}
+
+// Pending returns the number of live (non-cancelled) scheduled events.
+func (s *Scheduler) Pending() int { return len(s.byID) }
+
+// Step runs the next scheduled event, advancing the clock to its instant.
+// It returns false if nothing is scheduled.
+func (s *Scheduler) Step() bool {
+	for s.heap.Len() > 0 {
+		e := heap.Pop(&s.heap).(*event)
+		if e.canceled {
+			continue
+		}
+		delete(s.byID, e.id)
+		s.now = e.at
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes events in order until the clock would pass t; the
+// clock finishes at exactly t.  Events scheduled at t run.
+func (s *Scheduler) RunUntil(t Time) {
+	for s.heap.Len() > 0 {
+		// Peek.
+		e := s.heap[0]
+		if e.canceled {
+			heap.Pop(&s.heap)
+			continue
+		}
+		if e.at > t {
+			break
+		}
+		s.Step()
+	}
+	if s.now < t {
+		s.now = t
+	}
+}
+
+// Drain runs every scheduled event (including those scheduled by event
+// callbacks) until none remain or the step budget is exhausted, and
+// returns the number of events run.  A budget ≤ 0 means unbounded.
+func (s *Scheduler) Drain(budget int) int {
+	steps := 0
+	for s.Step() {
+		steps++
+		if budget > 0 && steps >= budget {
+			break
+		}
+	}
+	return steps
+}

@@ -1,0 +1,149 @@
+package vclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestZeroValueUsable(t *testing.T) {
+	var s Scheduler
+	ran := false
+	s.After(time.Second, func() { ran = true })
+	if !s.Step() || !ran {
+		t.Error("zero-value scheduler broken")
+	}
+}
+
+func TestOrdering(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	s.After(3*time.Second, func() { order = append(order, 3) })
+	s.After(1*time.Second, func() { order = append(order, 1) })
+	s.After(2*time.Second, func() { order = append(order, 2) })
+	s.Drain(0)
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+	if s.Now() != 3*time.Second {
+		t.Errorf("Now = %v", s.Now())
+	}
+}
+
+func TestFIFOAtSameInstant(t *testing.T) {
+	s := NewScheduler()
+	var order []int
+	for i := 0; i < 5; i++ {
+		i := i
+		s.At(time.Second, func() { order = append(order, i) })
+	}
+	s.Drain(0)
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("same-instant events reordered: %v", order)
+		}
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := NewScheduler()
+	ran := false
+	id := s.After(time.Second, func() { ran = true })
+	if !s.Cancel(id) {
+		t.Error("Cancel returned false for live timer")
+	}
+	if s.Cancel(id) {
+		t.Error("double Cancel returned true")
+	}
+	if s.Cancel(999999) {
+		t.Error("Cancel of unknown ID returned true")
+	}
+	s.Drain(0)
+	if ran {
+		t.Error("cancelled event ran")
+	}
+	if s.Pending() != 0 {
+		t.Errorf("Pending = %d", s.Pending())
+	}
+}
+
+func TestScheduleInPast(t *testing.T) {
+	s := NewScheduler()
+	s.After(5*time.Second, func() {})
+	s.Step()
+	ran := false
+	s.At(time.Second, func() { ran = true }) // in the past
+	s.Step()
+	if !ran {
+		t.Error("past event did not run")
+	}
+	if s.Now() != 5*time.Second {
+		t.Errorf("past event moved clock backwards: %v", s.Now())
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := NewScheduler()
+	var ran []int
+	s.After(1*time.Second, func() { ran = append(ran, 1) })
+	s.After(2*time.Second, func() { ran = append(ran, 2) })
+	s.After(5*time.Second, func() { ran = append(ran, 5) })
+	s.RunUntil(2 * time.Second)
+	if len(ran) != 2 {
+		t.Errorf("ran = %v", ran)
+	}
+	if s.Now() != 2*time.Second {
+		t.Errorf("Now = %v", s.Now())
+	}
+	// Idle advance: no events between 2s and 4s.
+	s.RunUntil(4 * time.Second)
+	if s.Now() != 4*time.Second {
+		t.Errorf("idle RunUntil: Now = %v", s.Now())
+	}
+	if s.Pending() != 1 {
+		t.Errorf("Pending = %d", s.Pending())
+	}
+}
+
+func TestEventsScheduleEvents(t *testing.T) {
+	s := NewScheduler()
+	count := 0
+	var reschedule func()
+	reschedule = func() {
+		count++
+		if count < 10 {
+			s.After(time.Second, reschedule)
+		}
+	}
+	s.After(time.Second, reschedule)
+	s.Drain(0)
+	if count != 10 {
+		t.Errorf("count = %d", count)
+	}
+	if s.Now() != 10*time.Second {
+		t.Errorf("Now = %v", s.Now())
+	}
+}
+
+func TestDrainBudget(t *testing.T) {
+	s := NewScheduler()
+	// Self-perpetuating event chain: only the budget stops it.
+	var tick func()
+	n := 0
+	tick = func() { n++; s.After(time.Millisecond, tick) }
+	s.After(time.Millisecond, tick)
+	if steps := s.Drain(100); steps != 100 || n != 100 {
+		t.Errorf("steps = %d, n = %d", steps, n)
+	}
+}
+
+func TestCancelInsideEvent(t *testing.T) {
+	s := NewScheduler()
+	var id TimerID
+	ran := false
+	s.After(time.Second, func() { s.Cancel(id) })
+	id = s.After(2*time.Second, func() { ran = true })
+	s.Drain(0)
+	if ran {
+		t.Error("event cancelled from another event still ran")
+	}
+}

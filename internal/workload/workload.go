@@ -1,0 +1,202 @@
+// Package workload generates the transaction mixes used by the cluster
+// benchmarks and the example applications: the §5 application domains
+// (funds transfer, reservations, inventory control) expressed as expr
+// programs over named items.
+//
+// Generators are deterministic for a seed.  Item selection supports a
+// hot-set skew, reflecting the paper's observation that "some items may
+// participate in transactions much more frequently than others[, which]
+// has the effect of reducing the effective size of the database."
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/polyvalue"
+	"repro/internal/value"
+)
+
+// Kind selects the application domain.
+type Kind uint8
+
+const (
+	// Bank generates guarded transfers between account items.
+	Bank Kind = iota
+	// Reservations generates seat-grant increments against capacity.
+	Reservations
+	// Inventory generates stock withdrawals and occasional restocks.
+	Inventory
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case Bank:
+		return "bank"
+	case Reservations:
+		return "reservations"
+	case Inventory:
+		return "inventory"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// Config parameterizes a generator.
+type Config struct {
+	Kind Kind
+	// Items is the number of distinct items (accounts, flights, SKUs).
+	Items int
+	// Seed drives all randomness.
+	Seed int64
+	// HotFraction, if positive, routes that fraction of picks to the
+	// first HotItems items.
+	HotFraction float64
+	// HotItems is the size of the hot set (default max(1, Items/100)).
+	HotItems int
+	// Zipf, when > 1, draws item indices from a Zipf distribution with
+	// parameter s = Zipf instead of the uniform/hot-set scheme — the
+	// paper's "some items may participate in transactions much more
+	// frequently than others" modelled with a standard heavy tail.
+	// Mutually exclusive with HotFraction.
+	Zipf float64
+	// Capacity is the reservation capacity / restock level (default 100).
+	Capacity int
+}
+
+// Generator produces transaction program sources.
+type Generator struct {
+	cfg  Config
+	rng  *rand.Rand
+	zipf *rand.Zipf
+	n    int64
+}
+
+// New builds a generator.
+func New(cfg Config) (*Generator, error) {
+	if cfg.Items < 2 {
+		return nil, fmt.Errorf("workload: need at least 2 items, got %d", cfg.Items)
+	}
+	if cfg.HotFraction < 0 || cfg.HotFraction > 1 {
+		return nil, fmt.Errorf("workload: HotFraction must be in [0,1], got %g", cfg.HotFraction)
+	}
+	if cfg.Zipf != 0 && cfg.Zipf <= 1 {
+		return nil, fmt.Errorf("workload: Zipf parameter must be > 1, got %g", cfg.Zipf)
+	}
+	if cfg.Zipf > 1 && cfg.HotFraction > 0 {
+		return nil, fmt.Errorf("workload: Zipf and HotFraction are mutually exclusive")
+	}
+	if cfg.HotItems <= 0 {
+		cfg.HotItems = cfg.Items / 100
+		if cfg.HotItems < 1 {
+			cfg.HotItems = 1
+		}
+	}
+	if cfg.Capacity <= 0 {
+		cfg.Capacity = 100
+	}
+	g := &Generator{cfg: cfg, rng: rand.New(rand.NewSource(cfg.Seed))}
+	if cfg.Zipf > 1 {
+		g.zipf = rand.NewZipf(g.rng, cfg.Zipf, 1, uint64(cfg.Items-1))
+	}
+	return g, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(cfg Config) *Generator {
+	g, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// Item returns the name of the i-th item in this workload's namespace.
+func (g *Generator) Item(i int) string {
+	switch g.cfg.Kind {
+	case Reservations:
+		return fmt.Sprintf("flight%d", i)
+	case Inventory:
+		return fmt.Sprintf("sku%d", i)
+	default:
+		return fmt.Sprintf("acct%d", i)
+	}
+}
+
+// pick selects an item index with the configured skew.
+func (g *Generator) pick() int {
+	if g.zipf != nil {
+		return int(g.zipf.Uint64())
+	}
+	if g.cfg.HotFraction > 0 && g.rng.Float64() < g.cfg.HotFraction {
+		return g.rng.Intn(g.cfg.HotItems)
+	}
+	return g.rng.Intn(g.cfg.Items)
+}
+
+// pickDistinct returns two different item indices.
+func (g *Generator) pickDistinct() (int, int) {
+	a := g.pick()
+	b := g.pick()
+	for b == a {
+		b = g.rng.Intn(g.cfg.Items)
+	}
+	return a, b
+}
+
+// Next returns the next transaction's program source.
+func (g *Generator) Next() string {
+	g.n++
+	switch g.cfg.Kind {
+	case Reservations:
+		f := g.Item(g.pick())
+		return fmt.Sprintf("%s = %s + 1 if %s < %d", f, f, f, g.cfg.Capacity)
+	case Inventory:
+		s := g.Item(g.pick())
+		if g.n%10 == 0 {
+			// Periodic restock.
+			return fmt.Sprintf("%s = %s + %d if %s < %d", s, s, g.cfg.Capacity, s, g.cfg.Capacity/5)
+		}
+		q := 1 + g.rng.Intn(5)
+		return fmt.Sprintf("%s = %s - %d if %s >= %d", s, s, q, s, q)
+	default:
+		src, dst := g.pickDistinct()
+		amt := 1 + g.rng.Intn(50)
+		a, b := g.Item(src), g.Item(dst)
+		return fmt.Sprintf("%s = %s - %d if %s >= %d; %s = %s + %d if %s >= %d",
+			a, a, amt, a, amt, b, b, amt, a, amt)
+	}
+}
+
+// Query returns a read-only query source appropriate to the domain
+// (balance check, seats remaining, stock level).
+func (g *Generator) Query() string {
+	item := g.Item(g.pick())
+	switch g.cfg.Kind {
+	case Reservations:
+		return fmt.Sprintf("%d - %s", g.cfg.Capacity, item)
+	default:
+		return item
+	}
+}
+
+// InitialState returns the bootstrap values for every item: bank accounts
+// start rich enough for most transfers, reservations start empty,
+// inventory starts at capacity.
+func (g *Generator) InitialState() map[string]polyvalue.Poly {
+	out := make(map[string]polyvalue.Poly, g.cfg.Items)
+	for i := 0; i < g.cfg.Items; i++ {
+		var v int64
+		switch g.cfg.Kind {
+		case Reservations:
+			v = 0
+		case Inventory:
+			v = int64(g.cfg.Capacity)
+		default:
+			v = 1000
+		}
+		out[g.Item(i)] = polyvalue.Simple(value.Int(v))
+	}
+	return out
+}

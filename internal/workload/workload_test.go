@@ -1,0 +1,210 @@
+package workload
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/expr"
+	"repro/internal/value"
+)
+
+func TestValidation(t *testing.T) {
+	if _, err := New(Config{Kind: Bank, Items: 1}); err == nil {
+		t.Error("too few items accepted")
+	}
+	if _, err := New(Config{Kind: Bank, Items: 10, HotFraction: 2}); err == nil {
+		t.Error("bad HotFraction accepted")
+	}
+	if _, err := New(Config{Kind: Bank, Items: 10}); err != nil {
+		t.Errorf("good config rejected: %v", err)
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	a := MustNew(Config{Kind: Bank, Items: 20, Seed: 5})
+	b := MustNew(Config{Kind: Bank, Items: 20, Seed: 5})
+	for i := 0; i < 50; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}
+
+func TestAllKindsParseAndRun(t *testing.T) {
+	for _, kind := range []Kind{Bank, Reservations, Inventory} {
+		g := MustNew(Config{Kind: kind, Items: 10, Seed: 1})
+		init := g.InitialState()
+		if len(init) != 10 {
+			t.Fatalf("%v: initial state has %d items", kind, len(init))
+		}
+		env := expr.MapEnv{}
+		for name, p := range init {
+			v, ok := p.IsCertain()
+			if !ok {
+				t.Fatalf("%v: initial %s uncertain", kind, name)
+			}
+			env[name] = v
+		}
+		for i := 0; i < 100; i++ {
+			src := g.Next()
+			prog, err := expr.Parse(src)
+			if err != nil {
+				t.Fatalf("%v txn %d: %q does not parse: %v", kind, i, src, err)
+			}
+			writes, err := prog.Eval(env)
+			if err != nil {
+				t.Fatalf("%v txn %d: %q does not run: %v", kind, i, src, err)
+			}
+			for k, v := range writes {
+				env[k] = v
+			}
+			qn, err := expr.ParseExpr(g.Query())
+			if err != nil {
+				t.Fatalf("%v query: %v", kind, err)
+			}
+			if _, err := expr.EvalExpr(qn, env); err != nil {
+				t.Fatalf("%v query eval: %v", kind, err)
+			}
+		}
+	}
+}
+
+func TestBankConservation(t *testing.T) {
+	// Transfers conserve total money: both legs share the same guard.
+	g := MustNew(Config{Kind: Bank, Items: 5, Seed: 9})
+	env := expr.MapEnv{}
+	total := int64(0)
+	for name, p := range g.InitialState() {
+		v, _ := p.IsCertain()
+		env[name] = v
+		n, _ := value.AsInt(v)
+		total += n
+	}
+	for i := 0; i < 500; i++ {
+		prog := expr.MustParse(g.Next())
+		writes, err := prog.Eval(env)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, v := range writes {
+			env[k] = v
+		}
+	}
+	sum := int64(0)
+	for i := 0; i < 5; i++ {
+		n, _ := value.AsInt(env[g.Item(i)])
+		sum += n
+	}
+	if sum != total {
+		t.Errorf("money not conserved: %d -> %d", total, sum)
+	}
+}
+
+func TestReservationsNeverExceedCapacity(t *testing.T) {
+	g := MustNew(Config{Kind: Reservations, Items: 3, Seed: 2, Capacity: 5})
+	env := expr.MapEnv{}
+	for name, p := range g.InitialState() {
+		v, _ := p.IsCertain()
+		env[name] = v
+	}
+	for i := 0; i < 200; i++ {
+		prog := expr.MustParse(g.Next())
+		writes, _ := prog.Eval(env)
+		for k, v := range writes {
+			env[k] = v
+		}
+	}
+	for i := 0; i < 3; i++ {
+		n, _ := value.AsInt(env[g.Item(i)])
+		if n > 5 {
+			t.Errorf("flight %d overbooked: %d", i, n)
+		}
+	}
+}
+
+func TestInventoryNeverNegative(t *testing.T) {
+	g := MustNew(Config{Kind: Inventory, Items: 4, Seed: 3, Capacity: 20})
+	env := expr.MapEnv{}
+	for name, p := range g.InitialState() {
+		v, _ := p.IsCertain()
+		env[name] = v
+	}
+	for i := 0; i < 300; i++ {
+		prog := expr.MustParse(g.Next())
+		writes, _ := prog.Eval(env)
+		for k, v := range writes {
+			env[k] = v
+		}
+	}
+	for i := 0; i < 4; i++ {
+		n, _ := value.AsInt(env[g.Item(i)])
+		if n < 0 {
+			t.Errorf("sku %d negative: %d", i, n)
+		}
+	}
+}
+
+func TestHotSkew(t *testing.T) {
+	g := MustNew(Config{Kind: Reservations, Items: 100, Seed: 4, HotFraction: 0.9, HotItems: 2})
+	hot := 0
+	for i := 0; i < 1000; i++ {
+		src := g.Next()
+		if strings.Contains(src, "flight0 ") || strings.Contains(src, "flight1 ") {
+			hot++
+		}
+	}
+	if hot < 700 {
+		t.Errorf("hot traffic = %d/1000, want skewed", hot)
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	g := MustNew(Config{Kind: Reservations, Items: 100, Seed: 6, Zipf: 2.0})
+	counts := map[int]int{}
+	for i := 0; i < 2000; i++ {
+		src := g.Next()
+		// Extract the flight index from "flightN = flightN + 1 if ...".
+		var n int
+		if _, err := fmt.Sscanf(src, "flight%d ", &n); err != nil {
+			t.Fatalf("unparseable %q: %v", src, err)
+		}
+		counts[n]++
+	}
+	// Zipf: item 0 dominates, and low indices outweigh the tail.
+	if counts[0] < counts[50]*3 {
+		t.Errorf("no Zipf skew: counts[0]=%d counts[50]=%d", counts[0], counts[50])
+	}
+	head := counts[0] + counts[1] + counts[2]
+	if head < 600 {
+		t.Errorf("head too light for s=2: %d/2000", head)
+	}
+}
+
+func TestZipfValidation(t *testing.T) {
+	if _, err := New(Config{Kind: Bank, Items: 10, Zipf: 0.5}); err == nil {
+		t.Error("Zipf <= 1 accepted")
+	}
+	if _, err := New(Config{Kind: Bank, Items: 10, Zipf: 2, HotFraction: 0.5}); err == nil {
+		t.Error("Zipf + HotFraction accepted")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	if Bank.String() != "bank" || Reservations.String() != "reservations" ||
+		Inventory.String() != "inventory" || Kind(9).String() != "kind(9)" {
+		t.Error("Kind strings wrong")
+	}
+}
+
+func TestItemNamespaces(t *testing.T) {
+	if MustNew(Config{Kind: Bank, Items: 2}).Item(0) != "acct0" {
+		t.Error("bank namespace")
+	}
+	if MustNew(Config{Kind: Reservations, Items: 2}).Item(1) != "flight1" {
+		t.Error("reservations namespace")
+	}
+	if MustNew(Config{Kind: Inventory, Items: 2}).Item(0) != "sku0" {
+		t.Error("inventory namespace")
+	}
+}

@@ -1,0 +1,90 @@
+package polyvalues
+
+import (
+	"repro/internal/condition"
+	"repro/internal/polyvalue"
+	"repro/internal/value"
+)
+
+// ---------------------------------------------------------------------
+// Values
+// ---------------------------------------------------------------------
+
+// Value is a simple scalar database value (Int, Float, Str, Bool, Nil).
+type Value = value.V
+
+// Int is a 64-bit integer value.
+type Int = value.Int
+
+// Float is a 64-bit floating-point value.
+type Float = value.Float
+
+// Str is a string value.
+type Str = value.Str
+
+// Bool is a boolean value.
+type Bool = value.Bool
+
+// Nil is the absent value of never-written items.
+type Nil = value.Nil
+
+// AsInt extracts an integer from a numeric value.
+func AsInt(v Value) (int64, bool) { return value.AsInt(v) }
+
+// AsFloat extracts a float from a numeric value.
+func AsFloat(v Value) (float64, bool) { return value.AsFloat(v) }
+
+// ---------------------------------------------------------------------
+// Conditions
+// ---------------------------------------------------------------------
+
+// TID identifies a transaction; conditions are predicates over TIDs.
+type TID = condition.TID
+
+// Cond is a condition in canonical sum-of-products form.
+type Cond = condition.Cond
+
+// CondTrue returns the constant-true condition.
+func CondTrue() Cond { return condition.True() }
+
+// CondFalse returns the constant-false condition.
+func CondFalse() Cond { return condition.False() }
+
+// Committed returns the condition "transaction t committed".
+func Committed(t TID) Cond { return condition.Committed(t) }
+
+// Aborted returns the condition "transaction t aborted".
+func Aborted(t TID) Cond { return condition.Aborted(t) }
+
+// ParseCond parses the textual condition syntax, e.g. "T1&!T2 | T3".
+func ParseCond(s string) (Cond, error) { return condition.Parse(s) }
+
+// ---------------------------------------------------------------------
+// Polyvalues
+// ---------------------------------------------------------------------
+
+// Poly is a polyvalue: a set of ⟨value, condition⟩ pairs with complete
+// and disjoint conditions.  A certain value is a one-pair polyvalue.
+type Poly = polyvalue.Poly
+
+// Pair couples a value with the condition under which it is correct.
+type Pair = polyvalue.Pair
+
+// Alternative pairs a condition with the value computed by one
+// alternative transaction (§3.2).
+type Alternative = polyvalue.Alternative
+
+// Simple wraps a certain value as the trivial polyvalue ⟨v, true⟩.
+func Simple(v Value) Poly { return polyvalue.Simple(v) }
+
+// NewPoly builds a polyvalue from explicit pairs, validating the
+// completeness/disjointness invariant.
+func NewPoly(pairs []Pair) (Poly, error) { return polyvalue.New(pairs) }
+
+// Uncertain constructs the §3.1 in-doubt polyvalue
+// {⟨new, T⟩, ⟨old, ¬T⟩}.
+func Uncertain(t TID, newV, oldV Poly) Poly { return polyvalue.Uncertain(t, newV, oldV) }
+
+// Compose assembles a polytransaction's output from its alternatives,
+// flattening nesting and simplifying (§3.2).
+func Compose(alts []Alternative) Poly { return polyvalue.Compose(alts) }

@@ -1,0 +1,41 @@
+package polyvalues
+
+import (
+	"repro/internal/expr"
+	"repro/internal/protocol"
+	"repro/internal/replica"
+)
+
+// ---------------------------------------------------------------------
+// Replication (§3: "an item that is replicated at several sites can be
+// viewed as a set of individual items, one for each site")
+// ---------------------------------------------------------------------
+
+// ReplicaName returns the physical name of a logical item's i-th
+// replica.
+func ReplicaName(logical string, i int) string { return replica.Name(logical, i) }
+
+// ReplicaLogical splits a physical replica name back into its logical
+// item and index.
+func ReplicaLogical(physical string) (logical string, i int, ok bool) {
+	return replica.Logical(physical)
+}
+
+// ReplicateProgram rewrites a logical-item transaction into a write-all /
+// read-one transaction over k replicas, reading from replica readFrom.
+func ReplicateProgram(p Program, k, readFrom int) (Program, error) {
+	return replica.Rewrite(expr.Program(p), k, readFrom)
+}
+
+// ReplicateExpr rewrites a logical read-only expression to read from the
+// given replica.
+func ReplicateExpr(src string, readFrom int) (string, error) {
+	return replica.RewriteExpr(src, readFrom)
+}
+
+// ReplicaPlacement returns a cluster Placement that puts each logical
+// item's replicas on distinct sites.
+func ReplicaPlacement(sites []SiteID) func(string) SiteID {
+	inner := replica.Placement(sites)
+	return func(item string) protocol.SiteID { return inner(item) }
+}
