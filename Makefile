@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: check vet build test race bench tables
+
+check: vet build race ## everything CI runs
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem -run=^$$ .
+
+tables:
+	$(GO) run ./cmd/polytables

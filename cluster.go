@@ -3,6 +3,7 @@ package polyvalues
 import (
 	"repro/internal/cluster"
 	"repro/internal/harness"
+	"repro/internal/metrics"
 	"repro/internal/network"
 	"repro/internal/protocol"
 	"repro/internal/workload"
@@ -69,6 +70,31 @@ const (
 
 // ClusterStats aggregates cluster-wide counters.
 type ClusterStats = cluster.Stats
+
+// ---------------------------------------------------------------------
+// Observability (metrics registry, snapshots, text export)
+// ---------------------------------------------------------------------
+
+// MetricsRegistry is a named collection of counters, gauges and
+// histograms.  Every cluster (and, when Params.Metrics is set, every sim
+// run) reports into one; pass the same registry to several components to
+// aggregate, or read a cluster's private registry via Cluster.Metrics.
+type MetricsRegistry = metrics.Registry
+
+// MetricsSnapshot is a point-in-time copy of a registry, sorted and
+// deterministic; Diff computes the window between two snapshots and
+// Export renders the Prometheus-style text form.
+type MetricsSnapshot = metrics.Snapshot
+
+// MetricsPoint is one series inside a snapshot.
+type MetricsPoint = metrics.Point
+
+// MetricsLabel attaches a dimension (site, phase, message type) to a
+// series.
+type MetricsLabel = metrics.Label
+
+// NewMetricsRegistry returns an empty registry.
+func NewMetricsRegistry() *MetricsRegistry { return metrics.NewRegistry() }
 
 // ---------------------------------------------------------------------
 // Workload generators (§5 application domains)

@@ -64,6 +64,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "workload and network seed")
 	crashAt := flag.Int("crash-at", 0, "transaction index at which the coordinator crashes mid-commit (0 = halfway)")
 	showTrace := flag.Bool("trace", false, "print the protocol event trace")
+	showStats := flag.Bool("stats", false, "print the metrics exposition and the repair-window diff")
 	compare := flag.Bool("compare", false, "run the same workload+failure schedule under all three policies and print the comparison table")
 	flag.Parse()
 
@@ -177,6 +178,7 @@ func main() {
 	fmt.Printf("protocol: %d wait-phase timeouts, %d polyvalue installs, %d refusals\n",
 		st.InDoubt, st.PolyInstalls, st.Refused)
 
+	preRepair := c.Metrics().Snapshot()
 	if crashed {
 		fmt.Printf("\nrepairing: restarting %s\n", victim)
 		c.Restart(victim)
@@ -189,6 +191,16 @@ func main() {
 	net := c.NetStats()
 	fmt.Printf("network: %d sent, %d delivered, %d dropped (down), %d dropped (partition)\n",
 		net.Sent, net.Delivered, net.DroppedDown, net.DroppedPartition)
+
+	if *showStats {
+		snap := c.Metrics().Snapshot()
+		fmt.Println("\nmetrics exposition:")
+		fmt.Print(snap.Export())
+		if crashed {
+			fmt.Println("\nrepair-window diff (what the repair changed):")
+			fmt.Print(snap.Diff(preRepair).Export())
+		}
+	}
 
 	if *showTrace {
 		fmt.Println("\nprotocol trace:")

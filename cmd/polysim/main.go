@@ -35,6 +35,7 @@ func main() {
 	to := flag.Float64("to", 0, "sweep end value")
 	steps := flag.Int("steps", 5, "sweep steps")
 	burst := flag.Int("burst", 0, "inject this many polyvalues at t=0 and print the decay series against the model transient")
+	stats := flag.Bool("stats", false, "collect sim.* metrics and print the polyvalue lifetime histogram and raw exposition")
 	flag.Parse()
 
 	base := polyvalues.ModelParams{U: *u, F: *f, I: *i, R: *r, Y: *y, D: *d}
@@ -44,7 +45,7 @@ func main() {
 		return
 	}
 	if *sweep == "" {
-		runOne(base, *seed, *warmup, *measure)
+		runOne(base, *seed, *warmup, *measure, *stats)
 		return
 	}
 	if *from <= 0 || *to <= *from || *steps < 2 {
@@ -111,7 +112,7 @@ func runBurst(p polyvalues.ModelParams, burst int, seed int64, measure float64) 
 	}
 }
 
-func runOne(p polyvalues.ModelParams, seed int64, warmup, measure float64) {
+func runOne(p polyvalues.ModelParams, seed int64, warmup, measure float64, stats bool) {
 	if err := p.Validate(); err != nil {
 		fmt.Fprintln(os.Stderr, "polysim:", err)
 		os.Exit(2)
@@ -124,11 +125,24 @@ func runOne(p polyvalues.ModelParams, seed int64, warmup, measure float64) {
 		fmt.Printf("sensitivities: ∂P/∂U=%.3g ∂P/∂F=%.3g ∂P/∂I=%.3g ∂P/∂R=%.3g ∂P/∂Y=%.3g ∂P/∂D=%.3g\n",
 			s.DU, s.DF, s.DI, s.DR, s.DY, s.DD)
 	}
-	res, err := polyvalues.SimRun(polyvalues.SimParams{Model: p, Seed: seed, Warmup: warmup, Measure: measure})
+	var reg *polyvalues.MetricsRegistry
+	if stats {
+		reg = polyvalues.NewMetricsRegistry()
+	}
+	res, err := polyvalues.SimRun(polyvalues.SimParams{Model: p, Seed: seed, Warmup: warmup, Measure: measure, Metrics: reg})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "polysim:", err)
 		os.Exit(1)
 	}
 	fmt.Printf("simulated: %s over %.0fs\n", res, res.SimulatedSeconds)
 	fmt.Printf("mean polyvalues: %.3f (model %.3f)\n", res.MeanPolyvalues, p.SteadyState())
+	if reg != nil {
+		snap := reg.Snapshot()
+		if lt, ok := snap.Get("sim.poly.lifetime.seconds"); ok && lt.Count > 0 {
+			fmt.Printf("polyvalue lifetime (simulated s): count %d  mean %.1f  p50 %.1f  p90 %.1f  p99 %.1f  max %.1f\n",
+				lt.Count, lt.Mean(), lt.P50, lt.P90, lt.P99, lt.Max)
+		}
+		fmt.Println("\nmetrics exposition:")
+		fmt.Print(snap.Export())
+	}
 }

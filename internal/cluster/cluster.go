@@ -43,13 +43,28 @@ type Cluster struct {
 	ids   *txn.IDGen
 	qids  *txn.IDGen
 
-	committed      metrics.Counter
-	aborted        metrics.Counter
-	inDoubt        metrics.Counter
-	polyInstalls   metrics.Counter
-	polyReductions metrics.Counter
-	refused        metrics.Counter
-	latency        metrics.Histogram
+	// reg is the metrics registry every layer reports into; the named
+	// fields below cache the hot-path instruments (see metrics.go for the
+	// series catalogue).
+	reg            *metrics.Registry
+	submitted      *metrics.Counter
+	committed      *metrics.Counter
+	aborted        *metrics.Counter
+	inDoubt        *metrics.Counter
+	polyInstalls   *metrics.Counter
+	polyReductions *metrics.Counter
+	polyForks      *metrics.Counter
+	refused        *metrics.Counter
+	latency        *metrics.Histogram
+	population     *metrics.Gauge
+	lifetime       *metrics.Histogram
+	phaseRead      *metrics.Histogram
+	phasePrepare   *metrics.Histogram
+	phaseWait      *metrics.Histogram
+	phaseSettle    *metrics.Histogram
+	// installAt timestamps live polyvalued items for the lifetime
+	// histogram; only touched from serialized site events.
+	installAt map[lifeKey]vclock.Time
 }
 
 // New builds a cluster; sites start up immediately.
@@ -73,7 +88,13 @@ func New(cfg Config) (*Cluster, error) {
 		ids:   txn.NewIDGen("t"),
 		qids:  txn.NewIDGen("q"),
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	c.initMetrics(reg)
 	c.net = network.New(c.sched, cfg.Net)
+	c.net.Instrument(reg)
 	for _, id := range cfg.Sites {
 		store := storage.NewStore()
 		if cfg.DataDir != "" {
@@ -84,7 +105,11 @@ func New(cfg Config) (*Cluster, error) {
 				return nil, fmt.Errorf("cluster: site %s: %w", id, err)
 			}
 			c.logs = append(c.logs, log)
+			// Polyvalues recovered from a previous process join the
+			// population gauge with install time = this cluster's epoch.
+			c.seedLifecycle(id, store.PolyItems())
 		}
+		store.Instrument(reg, string(id))
 		s := newSite(c, id, store)
 		c.sites[id] = s
 		c.net.Register(id, s.onMessage)
@@ -150,6 +175,7 @@ func (c *Cluster) Submit(coord protocol.SiteID, src string) (*Handle, error) {
 	if err != nil {
 		return nil, err
 	}
+	c.submitted.Inc()
 	h := &Handle{TID: t.ID, submitted: c.sched.Now()}
 	c.sched.At(c.sched.Now(), func() {
 		site.do(func() { site.beginTxn(t, h) })
@@ -208,7 +234,7 @@ func (c *Cluster) QueryCertain(coord protocol.SiteID, exprSrc string, wait vcloc
 func (c *Cluster) Load(item string, p polyvalue.Poly) error {
 	site := c.sites[c.Placement(item)]
 	var err error
-	site.do(func() { err = site.store.Put(item, p) })
+	site.do(func() { err = site.put(item, p) })
 	return err
 }
 
@@ -354,7 +380,7 @@ func (c *Cluster) Stats() Stats {
 
 // LatencyHistogram exposes the committed-transaction latency
 // distribution (simulated seconds).
-func (c *Cluster) LatencyHistogram() *metrics.Histogram { return &c.latency }
+func (c *Cluster) LatencyHistogram() *metrics.Histogram { return c.latency }
 
 // NetStats exposes network counters.
 func (c *Cluster) NetStats() network.Stats { return c.net.Stats() }

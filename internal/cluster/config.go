@@ -15,6 +15,7 @@ package cluster
 import (
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/network"
 	"repro/internal/protocol"
 	"repro/internal/trace"
@@ -88,6 +89,11 @@ type Config struct {
 	Policy Policy
 	// Tracer receives protocol events; nil means no tracing.
 	Tracer trace.Tracer
+	// Metrics, when set, is the registry all cluster/network/protocol/
+	// storage series are registered against — share one registry across
+	// clusters to aggregate, or leave nil for a private registry
+	// (retrievable via Cluster.Metrics).
+	Metrics *metrics.Registry
 	// Placement maps an item to its owning site; nil means FNV-hash over
 	// Sites.  Must be deterministic.
 	Placement func(item string) protocol.SiteID

@@ -1,0 +1,95 @@
+package cluster
+
+import (
+	"repro/internal/metrics"
+	"repro/internal/polyvalue"
+	"repro/internal/protocol"
+	"repro/internal/vclock"
+)
+
+// Metric series maintained by the cluster runtime:
+//
+//	txn.submitted / txn.committed / txn.aborted / txn.indoubt /
+//	txn.refused                      — outcome counters (the Stats view)
+//	txn.latency.seconds              — committed-transaction latency
+//	protocol.phase.seconds{phase=}   — read, prepare, wait, settle
+//	poly.installs / poly.reductions  — per-item lifecycle counters
+//	poly.forks                       — polytransaction outputs that were
+//	                                   themselves uncertain (§3.2 spread)
+//	poly.population                  — live polyvalued-item gauge
+//	poly.lifetime.seconds            — install→reduction per item, the
+//	                                   paper's §4 figure-level quantity
+//
+// The network and storage layers add network.* and storage.wal.* series
+// to the same registry; the protocol state machines add protocol.* event
+// counters.
+
+// lifeKey identifies one polyvalued item at one site for lifetime
+// tracking (the same item name can be polyvalued at several sites when
+// uncertainty propagates).
+type lifeKey struct {
+	site protocol.SiteID
+	item string
+}
+
+// initMetrics registers every cluster-level series against the registry
+// and caches the hot-path instruments.  Called once from New.
+func (c *Cluster) initMetrics(reg *metrics.Registry) {
+	c.reg = reg
+	c.submitted = reg.Counter("txn.submitted")
+	c.committed = reg.Counter("txn.committed")
+	c.aborted = reg.Counter("txn.aborted")
+	c.inDoubt = reg.Counter("txn.indoubt")
+	c.refused = reg.Counter("txn.refused")
+	c.latency = reg.Histogram("txn.latency.seconds")
+	c.polyInstalls = reg.Counter("poly.installs")
+	c.polyReductions = reg.Counter("poly.reductions")
+	c.polyForks = reg.Counter("poly.forks")
+	c.population = reg.Gauge("poly.population")
+	c.lifetime = reg.Histogram("poly.lifetime.seconds")
+	c.phaseRead = reg.Histogram("protocol.phase.seconds", metrics.L("phase", "read"))
+	c.phasePrepare = reg.Histogram("protocol.phase.seconds", metrics.L("phase", "prepare"))
+	c.phaseWait = reg.Histogram("protocol.phase.seconds", metrics.L("phase", "wait"))
+	c.phaseSettle = reg.Histogram("protocol.phase.seconds", metrics.L("phase", "settle"))
+	c.installAt = map[lifeKey]vclock.Time{}
+}
+
+// Metrics exposes the cluster's registry for snapshots, diffs and text
+// export.
+func (c *Cluster) Metrics() *metrics.Registry { return c.reg }
+
+// trackPut maintains the polyvalue population gauge and the lifetime
+// histogram across an item-store write: a certain→uncertain transition is
+// an install (timestamped with the simulated clock), uncertain→certain a
+// reduction whose lifetime is observed.  Runs on the writing site's
+// goroutine; cluster events are serialized, so the map needs no lock.
+func (c *Cluster) trackPut(site protocol.SiteID, item string, before, after polyvalue.Poly) {
+	_, wasCertain := before.IsCertain()
+	_, isCertain := after.IsCertain()
+	if wasCertain == isCertain {
+		return
+	}
+	key := lifeKey{site: site, item: item}
+	now := c.sched.Now()
+	if isCertain {
+		c.population.Add(-1)
+		if t, ok := c.installAt[key]; ok {
+			c.lifetime.Observe((now - t).Seconds())
+			delete(c.installAt, key)
+		}
+		return
+	}
+	c.population.Add(1)
+	c.installAt[key] = now
+}
+
+// seedLifecycle accounts for polyvalues already present in a recovered
+// store at cluster construction (file-backed DataDir restarts): they
+// join the population gauge with their install time taken as the
+// cluster's epoch.
+func (c *Cluster) seedLifecycle(site protocol.SiteID, items []string) {
+	for _, item := range items {
+		c.population.Add(1)
+		c.installAt[lifeKey{site: site, item: item}] = c.sched.Now()
+	}
+}

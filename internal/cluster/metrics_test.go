@@ -1,0 +1,173 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/network"
+	"repro/internal/polyvalue"
+	"repro/internal/protocol"
+	"repro/internal/value"
+)
+
+// TestStatsViewMatchesRegistry: the legacy Stats struct is a view over
+// the registry-backed counters — the two must always agree.
+func TestStatsViewMatchesRegistry(t *testing.T) {
+	c, _ := tracedCluster(t)
+	if err := c.Load("bx", polyvalue.Simple(value.Int(1))); err != nil {
+		t.Fatal(err)
+	}
+	c.ArmCrashBeforeDecision("A")
+	_, _ = c.Submit("A", "bx = bx + 1")
+	c.RunFor(2 * time.Second)
+	c.Restart("A")
+	c.RunFor(5 * time.Second)
+
+	st := c.Stats()
+	snap := c.Metrics().Snapshot()
+	for _, row := range []struct {
+		name string
+		want int64
+	}{
+		{"txn.committed", st.Committed},
+		{"txn.aborted", st.Aborted},
+		{"txn.indoubt", st.InDoubt},
+		{"poly.installs", st.PolyInstalls},
+		{"poly.reductions", st.PolyReductions},
+		{"txn.refused", st.Refused},
+	} {
+		if got := snap.Counter(row.name); got != row.want {
+			t.Errorf("%s = %d, Stats view says %d", row.name, got, row.want)
+		}
+	}
+}
+
+// TestPolyvalueLifecycleMetrics: a coordinator crash installs polyvalues
+// (population rises), repair reduces them (population returns to zero and
+// every install/reduce pair lands in the lifetime histogram), and the
+// trace carries correlatable per-item events.
+func TestPolyvalueLifecycleMetrics(t *testing.T) {
+	c, ring := tracedCluster(t)
+	if err := c.Load("bx", polyvalue.Simple(value.Int(1))); err != nil {
+		t.Fatal(err)
+	}
+	c.ArmCrashBeforeDecision("A")
+	_, _ = c.Submit("A", "bx = bx + 1")
+	c.RunFor(2 * time.Second)
+
+	mid := c.Metrics().Snapshot()
+	if n := mid.Counter("poly.installs"); n == 0 {
+		t.Fatal("crash produced no polyvalue installs")
+	}
+	if pop := mid.Counter("poly.population"); pop == 0 {
+		t.Error("population gauge should be nonzero while uncertain")
+	}
+	if got := int64(ring.Count("poly-install")); got != mid.Counter("poly.installs") {
+		t.Errorf("trace poly-install events = %d, counter = %d", got, mid.Counter("poly.installs"))
+	}
+
+	c.Restart("A")
+	c.RunFor(5 * time.Second)
+	snap := c.Metrics().Snapshot()
+	if pop := snap.Counter("poly.population"); pop != 0 {
+		t.Errorf("population gauge = %d after settle, want 0", pop)
+	}
+	if snap.Counter("poly.reductions") == 0 {
+		t.Error("repair produced no reductions")
+	}
+	lt, ok := snap.Get("poly.lifetime.seconds")
+	if !ok || lt.Count == 0 {
+		t.Fatal("no polyvalue lifetimes observed")
+	}
+	if lt.Min <= 0 {
+		t.Errorf("lifetime min = %g, want > 0 (install and reduction are separated by repair)", lt.Min)
+	}
+	if got := int64(ring.Count("poly-reduce")); got == 0 {
+		t.Error("no poly-reduce trace events")
+	}
+}
+
+// TestPhaseHistograms: a clean commit populates the read, prepare and
+// settle phase histograms; the wait phase records only on timeout or
+// outcome delivery, which a clean remote commit also exercises.
+func TestPhaseHistograms(t *testing.T) {
+	c, _ := tracedCluster(t)
+	if err := c.Load("bx", polyvalue.Simple(value.Int(1))); err != nil {
+		t.Fatal(err)
+	}
+	h, _ := c.Submit("A", "bx = bx + 1")
+	c.RunFor(2 * time.Second)
+	if h.Status() != StatusCommitted {
+		t.Fatal("setup failed")
+	}
+	snap := c.Metrics().Snapshot()
+	for _, phase := range []string{"read", "prepare", "wait", "settle"} {
+		p, ok := snap.Get("protocol.phase.seconds", metrics.L("phase", phase))
+		if !ok || p.Count == 0 {
+			t.Errorf("phase %q has no observations", phase)
+			continue
+		}
+		if p.Sum <= 0 {
+			t.Errorf("phase %q total latency = %g, want > 0", phase, p.Sum)
+		}
+	}
+}
+
+// TestSharedRegistryAggregates: two clusters reporting into one registry
+// accumulate into the same series.
+func TestSharedRegistryAggregates(t *testing.T) {
+	reg := metrics.NewRegistry()
+	mk := func() *Cluster {
+		c, err := New(Config{
+			Sites:   []protocol.SiteID{"A", "B"},
+			Net:     network.Config{Latency: 5 * time.Millisecond},
+			Metrics: reg,
+			Placement: func(item string) protocol.SiteID {
+				if item[0] == 'a' {
+					return "A"
+				}
+				return "B"
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(c.Close)
+		return c
+	}
+	c1, c2 := mk(), mk()
+	for _, c := range []*Cluster{c1, c2} {
+		if err := c.Load("bx", polyvalue.Simple(value.Int(1))); err != nil {
+			t.Fatal(err)
+		}
+		h, _ := c.Submit("A", "bx = bx + 1")
+		c.RunFor(time.Second)
+		if h.Status() != StatusCommitted {
+			t.Fatal("setup failed")
+		}
+	}
+	if got := reg.Snapshot().Counter("txn.committed"); got != 2 {
+		t.Errorf("shared txn.committed = %d, want 2", got)
+	}
+	if c1.Metrics() != reg || c2.Metrics() != reg {
+		t.Error("Metrics() should expose the shared registry")
+	}
+}
+
+// TestLatencyHistogramIsRegistrySeries: the legacy accessor and the
+// registry expose the same histogram.
+func TestLatencyHistogramIsRegistrySeries(t *testing.T) {
+	c, _ := tracedCluster(t)
+	if err := c.Load("bx", polyvalue.Simple(value.Int(1))); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = c.Submit("A", "bx = bx + 1")
+	c.RunFor(time.Second)
+	if c.LatencyHistogram() != c.Metrics().Histogram("txn.latency.seconds") {
+		t.Error("LatencyHistogram should be the registry's txn.latency.seconds series")
+	}
+	if c.LatencyHistogram().Count() == 0 {
+		t.Error("no latency observations after a commit")
+	}
+}

@@ -45,6 +45,9 @@ type Site struct {
 	// participants have not yet acknowledged the outcome; once empty the
 	// outcome record is garbage-collected after OutcomeTTL (§3.3).
 	acks map[txn.ID]map[protocol.SiteID]bool
+	// decidedAt timestamps coordinator decisions still awaiting their
+	// last outcome ack, for the settle-phase histogram.
+	decidedAt map[txn.ID]vclock.Time
 }
 
 // retryState is one in-doubt transaction's outcome-request loop.
@@ -68,6 +71,8 @@ type partCtx struct {
 	blocked   bool
 	waitTimer vclock.TimerID
 	lockTimer vclock.TimerID
+	// readyAt timestamps the ready message for the wait-phase histogram.
+	readyAt vclock.Time
 }
 
 // coordCtx is a coordinator's volatile state for one transaction or
@@ -100,6 +105,10 @@ type coordCtx struct {
 	machine    *protocol.Coordinator
 	readyTimer vclock.TimerID
 	prepared   bool
+	// startAt/prepareAt bound the read and prepare phases for the
+	// per-phase latency histograms.
+	startAt   vclock.Time
+	prepareAt vclock.Time
 }
 
 func newSite(c *Cluster, id protocol.SiteID, store *storage.Store) *Site {
@@ -113,6 +122,7 @@ func newSite(c *Cluster, id protocol.SiteID, store *storage.Store) *Site {
 		retry:       map[txn.ID]retryState{},
 		notifyRetry: map[txn.ID]vclock.TimerID{},
 		acks:        map[txn.ID]map[protocol.SiteID]bool{},
+		decidedAt:   map[txn.ID]vclock.Time{},
 	}
 	go s.loop()
 	return s
@@ -225,6 +235,7 @@ func (s *Site) beginTxn(t txn.T, h *Handle) {
 		tid: t.ID, t: t, handle: h,
 		readWait: map[protocol.SiteID]bool{},
 		values:   map[string]polyvalue.Poly{},
+		startAt:  s.c.sched.Now(),
 	}
 	// Participants: every site holding an accessed item.
 	siteItems := map[protocol.SiteID][]string{}
@@ -256,7 +267,8 @@ func (s *Site) beginTxn(t txn.T, h *Handle) {
 		s.sendPrepares(ctx)
 		return
 	}
-	for site, items := range readOwner {
+	for _, site := range sortedSites(readOwner) {
+		items := readOwner[site]
 		ctx.readWait[site] = true
 		sort.Strings(items)
 		s.send(protocol.Message{
@@ -294,13 +306,15 @@ func (s *Site) onePhaseCommit(ctx *coordCtx, h *Handle) {
 	sort.Strings(writeItems)
 	for _, item := range writeItems {
 		p := res.Writes[item]
-		if err := s.store.Put(item, p); err != nil {
+		if err := s.put(item, p); err != nil {
 			s.c.aborted.Inc()
 			h.decide(StatusAborted, "wal: "+err.Error(), s.c.sched.Now())
 			return
 		}
 		if _, certain := p.IsCertain(); !certain {
 			s.c.polyInstalls.Inc()
+			s.c.polyForks.Inc()
+			s.c.trace("%s poly-install %s item=%s", s.id, ctx.tid, item)
 			for _, dep := range p.DependsOn() {
 				_ = s.store.AddDepItem(dep, item)
 			}
@@ -340,7 +354,8 @@ func (s *Site) beginQuery(qid txn.ID, node expr.Node, qh *QueryHandle, certainBy
 		s.finishQuery(ctx)
 		return
 	}
-	for site, items := range readOwner {
+	for _, site := range sortedSites(readOwner) {
+		items := readOwner[site]
 		ctx.readWait[site] = true
 		sort.Strings(items)
 		s.send(protocol.Message{
@@ -432,7 +447,10 @@ func (s *Site) onReadTimeout(tid txn.ID) {
 // sendPrepares distributes the transaction to every participant.
 func (s *Site) sendPrepares(ctx *coordCtx) {
 	ctx.prepared = true
+	ctx.prepareAt = s.c.sched.Now()
+	s.c.phaseRead.Observe((ctx.prepareAt - ctx.startAt).Seconds())
 	ctx.machine = protocol.NewCoordinator(ctx.tid, ctx.participants)
+	ctx.machine.Instrument(s.c.reg)
 
 	// §3.3 bookkeeping: forwarding a polyvalue to a participant makes
 	// that participant a site "to which polyvalues dependent on T have
@@ -547,12 +565,17 @@ func (s *Site) decide(ctx *coordCtx, committed bool, reason string) {
 		}
 		targets = append(targets, site)
 	}
+	now := s.c.sched.Now()
+	if ctx.prepared {
+		s.c.phasePrepare.Observe((now - ctx.prepareAt).Seconds())
+	}
 	if s.c.cfg.OutcomeTTL >= 0 && len(targets) > 0 {
 		waiting := make(map[protocol.SiteID]bool, len(targets))
 		for _, site := range targets {
 			waiting[site] = true
 		}
 		s.acks[ctx.tid] = waiting
+		s.decidedAt[ctx.tid] = now
 	}
 	for _, site := range targets {
 		s.send(protocol.Message{Kind: kind, TID: ctx.tid, To: site, Committed: committed})
@@ -564,7 +587,6 @@ func (s *Site) decide(ctx *coordCtx, committed bool, reason string) {
 	} else {
 		s.c.aborted.Inc()
 	}
-	now := s.c.sched.Now()
 	ctx.handle.decide(st, reason, now)
 	if committed {
 		if lat, ok := ctx.handle.Latency(); ok {
@@ -709,6 +731,7 @@ func (s *Site) onPrepare(msg protocol.Message) {
 		return
 	}
 	s.send(protocol.Message{Kind: protocol.MsgReady, TID: msg.TID, To: msg.From})
+	ctx.readyAt = s.c.sched.Now()
 	ctx.waitTimer = s.after(s.c.cfg.WaitTimeout, func() { s.onWaitTimeout(msg.TID) })
 }
 
@@ -721,6 +744,10 @@ func (s *Site) onWaitTimeout(tid txn.ID) {
 		return
 	}
 	s.c.inDoubt.Inc()
+	s.c.phaseWait.Observe((s.c.sched.Now() - ctx.readyAt).Seconds())
+	// Zero readyAt so a later outcome delivery (blocking resume, arbitrary
+	// self-decision) does not observe this wait a second time.
+	ctx.readyAt = 0
 	if s.c.cfg.Policy == PolicyBlocking {
 		// Baseline: hold everything until the outcome is known.
 		ctx.blocked = true
@@ -761,7 +788,7 @@ func (s *Site) installPolyvalues(tid txn.ID, writes, previous map[string]polyval
 	sort.Strings(items)
 	for _, item := range items {
 		p := polyvalue.Uncertain(tid, writes[item], previous[item])
-		if err := s.store.Put(item, p); err != nil {
+		if err := s.put(item, p); err != nil {
 			s.c.trace("%s put %s: %v", s.id, item, err)
 			continue
 		}
@@ -769,6 +796,7 @@ func (s *Site) installPolyvalues(tid txn.ID, writes, previous map[string]polyval
 			continue // new equals old: no uncertainty introduced
 		}
 		s.c.polyInstalls.Inc()
+		s.c.trace("%s poly-install %s item=%s", s.id, tid, item)
 		for _, dep := range p.DependsOn() {
 			_ = s.store.AddDepItem(dep, item)
 		}
@@ -804,6 +832,9 @@ func (s *Site) onOutcomeMsg(tid txn.ID, committed bool) {
 	if err != nil {
 		return
 	}
+	if ctx.readyAt > 0 {
+		s.c.phaseWait.Observe((s.c.sched.Now() - ctx.readyAt).Seconds())
+	}
 	if act == protocol.ActInstall {
 		items := make([]string, 0, len(ctx.writes))
 		for item := range ctx.writes {
@@ -812,7 +843,7 @@ func (s *Site) onOutcomeMsg(tid txn.ID, committed bool) {
 		sort.Strings(items)
 		for _, item := range items {
 			p := ctx.writes[item]
-			if err := s.store.Put(item, p); err != nil {
+			if err := s.put(item, p); err != nil {
 				s.c.trace("%s put %s: %v", s.id, item, err)
 				continue
 			}
@@ -820,6 +851,8 @@ func (s *Site) onOutcomeMsg(tid txn.ID, committed bool) {
 			// polyvalue depending on other transactions: track it.
 			if _, certain := p.IsCertain(); !certain {
 				s.c.polyInstalls.Inc()
+				s.c.polyForks.Inc()
+				s.c.trace("%s poly-install %s item=%s", s.id, tid, item)
 				for _, dep := range p.DependsOn() {
 					_ = s.store.AddDepItem(dep, item)
 				}
@@ -872,6 +905,10 @@ func (s *Site) onOutcomeAck(msg protocol.Message) {
 	}
 	delete(s.acks, msg.TID)
 	tid := msg.TID
+	if t, ok := s.decidedAt[tid]; ok {
+		s.c.phaseSettle.Observe((s.c.sched.Now() - t).Seconds())
+		delete(s.decidedAt, tid)
+	}
 	s.after(s.c.cfg.OutcomeTTL, func() {
 		if _, live := s.acks[tid]; live {
 			return
@@ -987,7 +1024,7 @@ func (s *Site) resolveOutcome(tid txn.ID, committed bool) {
 				}
 				sort.Strings(items)
 				for _, item := range items {
-					_ = s.store.Put(item, prep.Writes[item])
+					_ = s.put(item, prep.Writes[item])
 				}
 			}
 			_ = s.store.ClearPrepared(tid)
@@ -1023,11 +1060,12 @@ func (s *Site) reduceDependents(tid txn.ID, committed bool) {
 			continue // overwritten since
 		}
 		reduced := p.Resolve(tid, committed)
-		if err := s.store.Put(item, reduced); err != nil {
+		if err := s.put(item, reduced); err != nil {
 			s.c.trace("%s reduce %s: %v", s.id, item, err)
 			continue
 		}
 		s.c.polyReductions.Inc()
+		s.c.trace("%s poly-reduce %s item=%s", s.id, tid, item)
 	}
 	for _, site := range sites {
 		s.send(protocol.Message{
@@ -1101,6 +1139,7 @@ func (s *Site) crash() {
 	s.retry = map[txn.ID]retryState{}
 	s.notifyRetry = map[txn.ID]vclock.TimerID{}
 	s.acks = map[txn.ID]map[protocol.SiteID]bool{}
+	s.decidedAt = map[txn.ID]vclock.Time{}
 	s.c.trace("%s crashed", s.id)
 }
 
@@ -1137,7 +1176,7 @@ func (s *Site) recoverDurableState() {
 				}
 				sort.Strings(items)
 				for _, item := range items {
-					_ = s.store.Put(item, prep.Writes[item])
+					_ = s.put(item, prep.Writes[item])
 				}
 			}
 			_ = s.store.ClearPrepared(prep.TID)
@@ -1189,6 +1228,19 @@ func (s *Site) recoverDurableState() {
 // Small helpers
 // ---------------------------------------------------------------------
 
+// put writes an item through the polyvalue-lifecycle tracker: certainty
+// transitions update the population gauge and lifetime histogram.  All
+// site-goroutine item writes go through here; Store.Put is only called
+// directly where no cluster is attached (package storage's own users).
+func (s *Site) put(item string, p polyvalue.Poly) error {
+	before := s.store.Get(item)
+	if err := s.store.Put(item, p); err != nil {
+		return err
+	}
+	s.c.trackPut(s.id, item, before, p)
+	return nil
+}
+
 // part finds or creates the participant context.
 func (s *Site) part(tid txn.ID, coordinator protocol.SiteID) *partCtx {
 	if ctx, ok := s.parts[tid]; ok {
@@ -1198,6 +1250,7 @@ func (s *Site) part(tid txn.ID, coordinator protocol.SiteID) *partCtx {
 		tid: tid, coordinator: coordinator,
 		machine: protocol.NewParticipant(tid, coordinator),
 	}
+	ctx.machine.Instrument(s.c.reg)
 	s.parts[tid] = ctx
 	return ctx
 }
@@ -1259,6 +1312,18 @@ func arbitraryChoice(site protocol.SiteID, tid txn.ID) bool {
 	// FNV's low bit is a pure parity chain of the input's low bits, which
 	// correlates across nearby site names; a middle bit is well mixed.
 	return (h.Sum32()>>16)&1 == 1
+}
+
+// sortedSites returns the keys of a per-site fan-out map in sorted
+// order, so sends (and the RNG draws behind their delays) happen in
+// the same order every run.
+func sortedSites(m map[protocol.SiteID][]string) []protocol.SiteID {
+	out := make([]protocol.SiteID, 0, len(m))
+	for site := range m {
+		out = append(out, site)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // exprVars mirrors polytxn's variable collection for query scatter.

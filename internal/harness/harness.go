@@ -15,6 +15,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/metrics"
 	"repro/internal/network"
 	"repro/internal/protocol"
 	"repro/internal/value"
@@ -48,6 +49,10 @@ type Experiment struct {
 	Seed int64
 	// Net overrides the network config (zero value = 10ms latency).
 	Net network.Config
+	// Metrics, when set, is the registry the cluster reports into (nil
+	// gives the cluster a private one); either way Report.Metrics carries
+	// the post-settle snapshot.
+	Metrics *metrics.Registry
 }
 
 func (e *Experiment) fillDefaults() error {
@@ -105,6 +110,9 @@ type Report struct {
 	TotalBefore, TotalAfter int64
 	// Stats snapshots the cluster counters.
 	Stats cluster.Stats
+	// Metrics is the full post-settle metrics snapshot (protocol phases,
+	// network message counts, polyvalue lifetimes, WAL activity).
+	Metrics metrics.Snapshot
 	// Series is the population time series (one sample per submission).
 	Series []Sample
 	// SimulatedDuration is the total simulated time.
@@ -136,7 +144,7 @@ func Run(e Experiment) (Report, error) {
 	if net.Seed == 0 {
 		net.Seed = e.Seed
 	}
-	c, err := cluster.New(cluster.Config{Sites: sites, Net: net, Policy: e.Policy})
+	c, err := cluster.New(cluster.Config{Sites: sites, Net: net, Policy: e.Policy, Metrics: e.Metrics})
 	if err != nil {
 		return Report{}, err
 	}
@@ -249,6 +257,7 @@ func Run(e Experiment) (Report, error) {
 	}
 	rep.FinalPolys = len(c.PolyItems())
 	rep.Stats = c.Stats()
+	rep.Metrics = c.Metrics().Snapshot()
 	rep.SimulatedDuration = c.Now()
 
 	// Conservation check (bank workload): money is neither created nor

@@ -46,44 +46,128 @@ func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
 // Value returns the current level.
 func (g *Gauge) Value() int64 { return g.v.Load() }
 
-// Histogram collects float64 samples and answers summary queries.  It
-// retains all samples (workloads here are bounded); safe for concurrent
-// use.  The zero value is ready.
+// DefaultReservoirCap bounds a histogram's retained samples unless
+// overridden by NewHistogram or SetCap.  Count, Sum, Mean, Min and Max
+// stay exact regardless; only quantiles become approximate (computed over
+// a uniform reservoir) once more than cap samples have been observed.
+const DefaultReservoirCap = 4096
+
+// Histogram collects float64 samples and answers summary queries.  Memory
+// is bounded: beyond its cap it keeps a uniform random reservoir
+// (Vitter's Algorithm R with a deterministic generator, so equal
+// observation sequences yield equal state).  Safe for concurrent use.
+// The zero value is ready with the default cap.
 type Histogram struct {
 	mu      sync.Mutex
+	cap     int
+	count   int64
+	sum     float64
+	min     float64
+	max     float64
 	samples []float64
 	sorted  bool
-	sum     float64
+	rng     uint64
+}
+
+// NewHistogram returns a histogram retaining at most cap samples for
+// quantile estimation (cap <= 0 selects DefaultReservoirCap).
+func NewHistogram(cap int) *Histogram {
+	if cap <= 0 {
+		cap = DefaultReservoirCap
+	}
+	return &Histogram{cap: cap}
+}
+
+// SetCap changes the reservoir cap (n <= 0 selects the default).  If the
+// histogram already retains more than n samples, the retained set is
+// truncated; count/sum/mean/min/max are unaffected.
+func (h *Histogram) SetCap(n int) {
+	if n <= 0 {
+		n = DefaultReservoirCap
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.cap = n
+	if len(h.samples) > n {
+		h.samples = h.samples[:n]
+		h.sorted = false
+	}
+}
+
+// next returns a deterministic pseudo-random index in [0, n).
+func (h *Histogram) next(n int64) int64 {
+	if h.rng == 0 {
+		h.rng = 0x9E3779B97F4A7C15
+	}
+	h.rng ^= h.rng << 13
+	h.rng ^= h.rng >> 7
+	h.rng ^= h.rng << 17
+	return int64(h.rng % uint64(n))
 }
 
 // Observe records one sample.
 func (h *Histogram) Observe(v float64) {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	h.samples = append(h.samples, v)
-	h.sorted = false
+	if h.cap <= 0 {
+		h.cap = DefaultReservoirCap
+	}
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
 	h.sum += v
+	if len(h.samples) < h.cap {
+		h.samples = append(h.samples, v)
+		h.sorted = false
+		return
+	}
+	// Reservoir full: replace a random slot with probability cap/count,
+	// keeping the retained set a uniform sample of everything observed.
+	if j := h.next(h.count); j < int64(h.cap) {
+		h.samples[j] = v
+		h.sorted = false
+	}
 }
 
-// Count returns the number of samples.
+// Count returns the number of samples observed (exact, not the retained
+// reservoir size).
 func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return int(h.count)
+}
+
+// Retained returns how many samples the reservoir currently holds.
+func (h *Histogram) Retained() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return len(h.samples)
 }
 
-// Mean returns the sample mean (0 with no samples).
+// Sum returns the exact sum of all observed samples.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Mean returns the exact sample mean (0 with no samples).
 func (h *Histogram) Mean() float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
-	if len(h.samples) == 0 {
+	if h.count == 0 {
 		return 0
 	}
-	return h.sum / float64(len(h.samples))
+	return h.sum / float64(h.count)
 }
 
-// Quantile returns the q-quantile (0 ≤ q ≤ 1) by nearest-rank; 0 with no
-// samples.
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) by nearest-rank over the
+// retained reservoir (exact while fewer than cap samples have been
+// observed); 0 with no samples.
 func (h *Histogram) Quantile(q float64) float64 {
 	h.mu.Lock()
 	defer h.mu.Unlock()
@@ -102,11 +186,19 @@ func (h *Histogram) Quantile(q float64) float64 {
 	return h.samples[idx]
 }
 
-// Min returns the smallest sample (0 with no samples).
-func (h *Histogram) Min() float64 { return h.Quantile(0) }
+// Min returns the smallest sample ever observed (0 with no samples).
+func (h *Histogram) Min() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.min
+}
 
-// Max returns the largest sample (0 with no samples).
-func (h *Histogram) Max() float64 { return h.Quantile(1) }
+// Max returns the largest sample ever observed (0 with no samples).
+func (h *Histogram) Max() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
 
 // Summary renders count/mean/p50/p99 on one line.
 func (h *Histogram) Summary() string {
@@ -114,11 +206,14 @@ func (h *Histogram) Summary() string {
 		h.Count(), h.Mean(), h.Quantile(0.5), h.Quantile(0.99), h.Max())
 }
 
-// Reset discards all samples.
+// Reset discards all samples (the cap is retained).
 func (h *Histogram) Reset() {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	h.samples = h.samples[:0]
 	h.sorted = false
+	h.count = 0
 	h.sum = 0
+	h.min = 0
+	h.max = 0
 }

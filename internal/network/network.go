@@ -15,6 +15,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/protocol"
 	"repro/internal/vclock"
 )
@@ -52,6 +53,11 @@ type Network struct {
 	down     map[protocol.SiteID]bool
 	cut      map[linkKey]bool
 	stats    Stats
+	// reg, when set via Instrument, receives per-message-type series:
+	// network.sent/delivered (type label), network.dropped (reason
+	// label), network.duplicated, and the network.delay.seconds
+	// distribution by type.
+	reg *metrics.Registry
 }
 
 // linkKey is an unordered site pair.
@@ -101,6 +107,22 @@ func New(sched *vclock.Scheduler, cfg Config) *Network {
 	}
 }
 
+// Instrument attaches a metrics registry; all subsequent activity is
+// recorded as network.* series in addition to the Stats counters.
+func (n *Network) Instrument(reg *metrics.Registry) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.reg = reg
+}
+
+// count increments a registry counter if a registry is attached.
+// Callers hold n.mu.
+func (n *Network) count(name string, labels ...metrics.Label) {
+	if n.reg != nil {
+		n.reg.Counter(name, labels...).Inc()
+	}
+}
+
 // Register installs the delivery handler for a site.  Re-registering
 // replaces the handler (a restarted site re-registers).
 func (n *Network) Register(site protocol.SiteID, h Handler) {
@@ -115,22 +137,32 @@ func (n *Network) Register(site protocol.SiteID, h Handler) {
 func (n *Network) Send(msg protocol.Message) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	kind := metrics.L("type", msg.Kind.String())
 	n.stats.Sent++
+	n.count("network.sent", kind)
 	if n.down[msg.From] || n.down[msg.To] {
 		n.stats.DroppedDown++
+		n.count("network.dropped", metrics.L("reason", "down"))
 		return
 	}
 	if n.cut[link(msg.From, msg.To)] {
 		n.stats.DroppedPartition++
+		n.count("network.dropped", metrics.L("reason", "partition"))
 		return
 	}
 	if n.dropP > 0 && n.rng.Float64() < n.dropP {
 		n.stats.DroppedRandom++
+		n.count("network.dropped", metrics.L("reason", "random"))
 		return
 	}
-	n.sched.After(n.delay(), func() { n.deliver(msg) })
+	d := n.delay()
+	if n.reg != nil {
+		n.reg.Histogram("network.delay.seconds", kind).Observe(d.Seconds())
+	}
+	n.sched.After(d, func() { n.deliver(msg) })
 	if n.dupP > 0 && n.rng.Float64() < n.dupP {
 		n.stats.Duplicated++
+		n.count("network.duplicated", kind)
 		n.sched.After(n.delay(), func() { n.deliver(msg) })
 	}
 }
@@ -151,16 +183,19 @@ func (n *Network) deliver(msg protocol.Message) {
 	n.mu.Lock()
 	if n.down[msg.To] {
 		n.stats.DroppedDown++
+		n.count("network.dropped", metrics.L("reason", "down"))
 		n.mu.Unlock()
 		return
 	}
 	if n.cut[link(msg.From, msg.To)] {
 		n.stats.DroppedPartition++
+		n.count("network.dropped", metrics.L("reason", "partition"))
 		n.mu.Unlock()
 		return
 	}
 	h := n.handlers[msg.To]
 	n.stats.Delivered++
+	n.count("network.delivered", metrics.L("type", msg.Kind.String()))
 	n.mu.Unlock()
 	if h != nil {
 		h(msg)

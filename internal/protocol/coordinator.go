@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/metrics"
 	"repro/internal/txn"
 )
 
@@ -45,6 +46,7 @@ type Coordinator struct {
 	TID          txn.ID
 	state        CState
 	participants map[SiteID]bool // true once ready received
+	reg          *metrics.Registry
 }
 
 // NewCoordinator starts collecting for the given participant set.
@@ -93,12 +95,14 @@ func (c *Coordinator) OnReady(from SiteID) (decidedCommit bool) {
 		return false
 	}
 	c.participants[from] = true
+	c.count("protocol.coordinator.ready.received")
 	for _, ready := range c.participants {
 		if !ready {
 			return false
 		}
 	}
 	c.state = CCommitted
+	c.decision("commit", "all-ready")
 	return true
 }
 
@@ -110,6 +114,7 @@ func (c *Coordinator) OnRefuse(from SiteID) (decidedAbort bool) {
 		return false
 	}
 	c.state = CAborted
+	c.decision("abort", "refused")
 	return true
 }
 
@@ -120,5 +125,6 @@ func (c *Coordinator) OnTimeout() (decidedAbort bool) {
 		return false
 	}
 	c.state = CAborted
+	c.decision("abort", "ready-timeout")
 	return true
 }

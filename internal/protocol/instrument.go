@@ -1,0 +1,39 @@
+package protocol
+
+import "repro/internal/metrics"
+
+// The protocol state machines are pure — no transport, storage, or clock
+// — so their instrumentation is likewise pure event counting: every
+// transition and decision is recorded against an attached registry.
+// Phase *timings* live with the runtime that owns the clock (the cluster
+// site loop), which observes protocol.phase.seconds there.
+
+// Instrument attaches a metrics registry to the coordinator; decisions
+// and received votes are then counted as protocol.coordinator.* series.
+func (c *Coordinator) Instrument(reg *metrics.Registry) { c.reg = reg }
+
+// Instrument attaches a metrics registry to the participant; every state
+// transition is then counted as a protocol.participant.transitions
+// series labelled by event and resulting action.
+func (p *Participant) Instrument(reg *metrics.Registry) { p.reg = reg }
+
+// countCoord records one coordinator-side event.
+func (c *Coordinator) count(name string, labels ...metrics.Label) {
+	if c.reg != nil {
+		c.reg.Counter(name, labels...).Inc()
+	}
+}
+
+// decision records the commit/abort decision with its cause.
+func (c *Coordinator) decision(outcome, cause string) {
+	c.count("protocol.coordinator.decisions",
+		metrics.L("outcome", outcome), metrics.L("cause", cause))
+}
+
+// countTransition records one successful participant transition.
+func (p *Participant) countTransition(ev PEvent, act PAction) {
+	if p.reg != nil {
+		p.reg.Counter("protocol.participant.transitions",
+			metrics.L("event", ev.String()), metrics.L("action", act.String())).Inc()
+	}
+}

@@ -3,6 +3,7 @@ package protocol
 import (
 	"fmt"
 
+	"repro/internal/metrics"
 	"repro/internal/polyvalue"
 	"repro/internal/txn"
 )
@@ -132,6 +133,8 @@ type Participant struct {
 	// Previous holds the pre-transaction values of the same items, needed
 	// to build {<new, T>, <old, !T>} polyvalues.
 	Previous map[string]polyvalue.Poly
+
+	reg *metrics.Registry
 }
 
 // NewParticipant returns a participant in the idle state.
@@ -148,6 +151,14 @@ func (p *Participant) State() PState { return p.state }
 // (in practice they arise only from duplicated or very late messages,
 // which the runtime filters before calling Transition).
 func (p *Participant) Transition(ev PEvent) (PAction, error) {
+	act, err := p.transition(ev)
+	if err == nil {
+		p.countTransition(ev, act)
+	}
+	return act, err
+}
+
+func (p *Participant) transition(ev PEvent) (PAction, error) {
 	switch p.state {
 	case StateIdle:
 		if ev == EvPrepare {

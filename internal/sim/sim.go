@@ -29,6 +29,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/metrics"
 	"repro/internal/model"
 )
 
@@ -53,6 +54,10 @@ type Params struct {
 	// SampleEvery, when positive, records the polyvalue count every
 	// that-many simulated seconds into Result.Series.
 	SampleEvery float64
+	// Metrics, when set, receives sim.* series: arrival/failure counters,
+	// the live polyvalue-population gauge, and the per-item polyvalue
+	// lifetime histogram (install → last tag removed, simulated seconds).
+	Metrics *metrics.Registry
 }
 
 // PopSample is one point of the population time series.
@@ -147,15 +152,19 @@ func (s *state) setTags(item int64, tids map[int64]bool) {
 }
 
 // recover removes tid's tag from every item; items left untagged become
-// simple.
-func (s *state) recover(tid int64) {
+// simple.  It returns the items that became simple, for lifetime
+// bookkeeping.
+func (s *state) recover(tid int64) []int64 {
+	var cleared []int64
 	for item := range s.holders[tid] {
 		delete(s.tags[item], tid)
 		if len(s.tags[item]) == 0 {
 			delete(s.tags, item)
+			cleared = append(cleared, item)
 		}
 	}
 	delete(s.holders, tid)
+	return cleared
 }
 
 func (s *state) polyCount() int { return len(s.tags) }
@@ -187,6 +196,42 @@ func Run(p Params) (Result, error) {
 	var pending recoveryHeap
 	res := Result{SimulatedSeconds: end}
 
+	// Optional observability: lifetime bookkeeping mirrors the state
+	// transitions (item gains its first tag = install, loses its last =
+	// reduction).
+	var (
+		mTxns, mFailed, mPolyTxns, mPolySpread *metrics.Counter
+		mPop                                   *metrics.Gauge
+		mLife                                  *metrics.Histogram
+		installAt                              map[int64]float64
+	)
+	if p.Metrics != nil {
+		mTxns = p.Metrics.Counter("sim.txns")
+		mFailed = p.Metrics.Counter("sim.failed")
+		mPolyTxns = p.Metrics.Counter("sim.polytxns")
+		mPolySpread = p.Metrics.Counter("sim.polyspread")
+		mPop = p.Metrics.Gauge("sim.poly.population")
+		mLife = p.Metrics.Histogram("sim.poly.lifetime.seconds")
+		installAt = map[int64]float64{}
+	}
+	install := func(item int64, t float64) {
+		if installAt == nil {
+			return
+		}
+		installAt[item] = t
+		mPop.Add(1)
+	}
+	reduce := func(item int64, t float64) {
+		if installAt == nil {
+			return
+		}
+		if at, ok := installAt[item]; ok {
+			mLife.Observe(t - at)
+			delete(installAt, item)
+		}
+		mPop.Add(-1)
+	}
+
 	nextTID := int64(1)
 	// Optional initial burst: InitialPolyvalues distinct items, one
 	// pending transaction each.
@@ -194,6 +239,7 @@ func Run(p Params) (Result, error) {
 		tid := nextTID
 		nextTID++
 		db.setTags(int64(k), map[int64]bool{tid: true})
+		install(int64(k), 0)
 		heap.Push(&pending, recovery{at: rng.ExpFloat64() / m.R, tid: tid})
 	}
 	res.MaxPolyvalues = db.polyCount()
@@ -233,7 +279,9 @@ func Run(p Params) (Result, error) {
 			if now >= end {
 				break
 			}
-			db.recover(ev.tid)
+			for _, item := range db.recover(ev.tid) {
+				reduce(item, now)
+			}
 			continue
 		}
 		now = nextArrival
@@ -248,6 +296,9 @@ func Run(p Params) (Result, error) {
 
 		// One transaction: one updated item, d dependency items.
 		res.Transactions++
+		if mTxns != nil {
+			mTxns.Inc()
+		}
 		item := rng.Int63n(int64(m.I))
 		d := int(math.Round(rng.ExpFloat64() * m.D))
 		newTags := map[int64]bool{}
@@ -266,18 +317,35 @@ func Run(p Params) (Result, error) {
 		touchedPoly := len(newTags) > 0
 		if touchedPoly {
 			res.PolyTransactions++
+			if mPolyTxns != nil {
+				mPolyTxns.Inc()
+			}
 		}
 		if rng.Float64() < m.F {
 			// Failed: the update itself is in doubt.
 			res.Failed++
+			if mFailed != nil {
+				mFailed.Inc()
+			}
 			tid := nextTID
 			nextTID++
 			newTags[tid] = true
 			heap.Push(&pending, recovery{at: now + rng.ExpFloat64()/m.R, tid: tid})
 		} else if touchedPoly {
 			res.PolySpread++
+			if mPolySpread != nil {
+				mPolySpread.Inc()
+			}
 		}
+		wasPoly := len(db.tags[item]) > 0
 		db.setTags(item, newTags)
+		isPoly := len(newTags) > 0
+		switch {
+		case !wasPoly && isPoly:
+			install(item, now)
+		case wasPoly && !isPoly:
+			reduce(item, now)
+		}
 		if c := db.polyCount(); c > res.MaxPolyvalues {
 			res.MaxPolyvalues = c
 		}

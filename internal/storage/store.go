@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/metrics"
 	"repro/internal/polyvalue"
 	"repro/internal/txn"
 	"repro/internal/value"
@@ -40,6 +41,18 @@ type Store struct {
 	outcomes map[txn.ID]bool // tid → committed
 	deps     map[txn.ID]*DepEntry
 	awaits   map[txn.ID]string // tid → coordinator to ask for the outcome
+	// checkpoints, when set via Instrument, counts WAL compactions.
+	checkpoints *metrics.Counter
+}
+
+// Instrument attaches a metrics registry: WAL appends, appended bytes and
+// checkpoints are recorded as storage.wal.* series labelled with site.
+func (s *Store) Instrument(reg *metrics.Registry, site string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	l := metrics.L("site", site)
+	s.checkpoints = reg.Counter("storage.wal.checkpoints", l)
+	s.wal.Instrument(reg.Counter("storage.wal.appends", l), reg.Counter("storage.wal.bytes", l))
 }
 
 // NewStore returns an empty store logging to a fresh in-memory WAL.
@@ -457,6 +470,9 @@ func (s *Store) Checkpoint() (int, error) {
 	s.wal.Reset()
 	if _, err := s.wal.buf.Write(fresh.Bytes()); err != nil {
 		return 0, err
+	}
+	if s.checkpoints != nil {
+		s.checkpoints.Inc()
 	}
 	return s.wal.Len(), nil
 }

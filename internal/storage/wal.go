@@ -15,6 +15,7 @@ import (
 	"io"
 	"sort"
 
+	"repro/internal/metrics"
 	"repro/internal/polyvalue"
 	"repro/internal/txn"
 )
@@ -278,6 +279,17 @@ type WAL struct {
 	// file); the in-memory buffer remains the source of truth for
 	// Bytes/Replay.
 	sink io.Writer
+	// appends/appendBytes, when set via Instrument, count every framed
+	// record and its on-log size — each append is this log's
+	// fsync-equivalent unit of durable work.
+	appends     *metrics.Counter
+	appendBytes *metrics.Counter
+}
+
+// Instrument attaches append counters (either may be nil).
+func (w *WAL) Instrument(appends, appendBytes *metrics.Counter) {
+	w.appends = appends
+	w.appendBytes = appendBytes
 }
 
 // NewWAL returns an empty in-memory log.
@@ -300,6 +312,12 @@ func (w *WAL) Append(r Record) error {
 		if _, err := w.sink.Write(frame); err != nil {
 			return fmt.Errorf("storage: wal sink: %w", err)
 		}
+	}
+	if w.appends != nil {
+		w.appends.Inc()
+	}
+	if w.appendBytes != nil {
+		w.appendBytes.Add(int64(len(frame)))
 	}
 	return nil
 }

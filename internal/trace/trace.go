@@ -25,12 +25,16 @@ type Nop struct{}
 // Event implements Tracer.
 func (Nop) Event(string, ...any) {}
 
-// Ring is a bounded in-memory tracer.  When full, the oldest entries are
-// dropped.
+// Ring is a bounded in-memory tracer: a true circular buffer.  When
+// full, each new entry overwrites the oldest in O(1) — no slice
+// shifting.
 type Ring struct {
-	mu      sync.Mutex
-	max     int
-	entries []string
+	mu  sync.Mutex
+	max int
+	// buf grows to max entries, then stays that length; head is the index
+	// of the oldest entry once the buffer has wrapped.
+	buf     []string
+	head    int
 	dropped int
 	// Clock, when set, prefixes each entry with the simulated time.
 	Clock func() vclock.Time
@@ -52,21 +56,25 @@ func (r *Ring) Event(format string, args ...any) {
 	if r.Clock != nil {
 		line = fmt.Sprintf("[%v] %s", r.Clock(), line)
 	}
-	if len(r.entries) == r.max {
-		copy(r.entries, r.entries[1:])
-		r.entries[len(r.entries)-1] = line
-		r.dropped++
+	if len(r.buf) < r.max {
+		r.buf = append(r.buf, line)
 		return
 	}
-	r.entries = append(r.entries, line)
+	r.buf[r.head] = line
+	r.head++
+	if r.head == r.max {
+		r.head = 0
+	}
+	r.dropped++
 }
 
 // Entries returns a copy of the retained lines, oldest first.
 func (r *Ring) Entries() []string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]string, len(r.entries))
-	copy(out, r.entries)
+	out := make([]string, 0, len(r.buf))
+	out = append(out, r.buf[r.head:]...)
+	out = append(out, r.buf[:r.head]...)
 	return out
 }
 
@@ -81,7 +89,7 @@ func (r *Ring) Dropped() int {
 func (r *Ring) Contains(sub string) bool {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	for _, e := range r.entries {
+	for _, e := range r.buf {
 		if strings.Contains(e, sub) {
 			return true
 		}
@@ -94,7 +102,7 @@ func (r *Ring) Count(sub string) int {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	n := 0
-	for _, e := range r.entries {
+	for _, e := range r.buf {
 		if strings.Contains(e, sub) {
 			n++
 		}

@@ -86,3 +86,33 @@ func TestRingConcurrent(t *testing.T) {
 		t.Errorf("entries = %d", len(r.Entries()))
 	}
 }
+
+// TestRingMultipleWraps: the circular buffer stays oldest-first through
+// many full wraparounds, and Contains/Count see exactly the retained
+// window.
+func TestRingMultipleWraps(t *testing.T) {
+	r := NewRing(4)
+	for i := 0; i < 23; i++ {
+		r.Event("e%d", i)
+	}
+	e := r.Entries()
+	want := []string{"e19", "e20", "e21", "e22"}
+	if len(e) != len(want) {
+		t.Fatalf("Entries = %v, want %v", e, want)
+	}
+	for i := range want {
+		if e[i] != want[i] {
+			t.Errorf("Entries[%d] = %q, want %q", i, e[i], want[i])
+		}
+	}
+	if r.Dropped() != 19 {
+		t.Errorf("Dropped = %d, want 19", r.Dropped())
+	}
+	if r.Contains("e18") {
+		t.Error("evicted entry still visible to Contains")
+	}
+	if got := r.Count("e2"); got != 3 {
+		// e20, e21, e22 all contain the substring "e2".
+		t.Errorf("Count(e2) = %d, want 3", got)
+	}
+}
