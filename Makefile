@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench tables
+.PHONY: check vet build test race bench tables fuzz-smoke cluster-demo
 
 check: vet build race ## everything CI runs
 
@@ -21,3 +21,15 @@ bench:
 
 tables:
 	$(GO) run ./cmd/polytables
+
+# Short fuzzing passes over every wire-format decoder (one -fuzz run per
+# target; go test only accepts a single fuzz target at a time).
+fuzz-smoke:
+	$(GO) test -run=^$$ -fuzz=FuzzMessageDecode -fuzztime=10s ./internal/wire
+	$(GO) test -run=^$$ -fuzz=FuzzPolyDecode -fuzztime=10s ./internal/wire
+
+# Boot a real 3-process cluster on loopback TCP, transfer between
+# accounts, kill the coordinator mid-commit, watch polyvalues install,
+# restart it, and assert conservation after the reduction.
+cluster-demo:
+	scripts/cluster_demo.sh

@@ -22,8 +22,11 @@ import (
 	"repro/internal/condition"
 	"repro/internal/harness"
 	"repro/internal/polytxn"
+	"repro/internal/polyvalue"
 	"repro/internal/protocol"
 	"repro/internal/storage"
+	"repro/internal/value"
+	"repro/internal/wire"
 )
 
 // BenchmarkTable1Model regenerates Table 1: steady-state polyvalue
@@ -524,5 +527,65 @@ func BenchmarkPolytxnQueryUncertain(b *testing.B) {
 		if p.NumPairs() != 2 {
 			b.Fatal("wrong fan-out")
 		}
+	}
+}
+
+// BenchmarkWireCodec measures the binary message codec used by the TCP
+// transport: frame encode and decode across three representative shapes
+// (B/op shows the bounded decode allocations).
+func BenchmarkWireCodec(b *testing.B) {
+	poly := polyvalue.Uncertain("T1",
+		polyvalue.Simple(value.Int(70)),
+		polyvalue.Simple(value.Int(100)))
+	nested := polyvalue.Uncertain("T2", poly, polyvalue.Simple(value.Int(0)))
+
+	largeValues := map[string]polyvalue.Poly{}
+	var largeItems []string
+	for i := 0; i < 32; i++ {
+		item := fmt.Sprintf("acct%02d", i)
+		largeItems = append(largeItems, item)
+		largeValues[item] = nested
+	}
+
+	cases := []struct {
+		name string
+		msg  protocol.Message
+	}{
+		{"small", protocol.Message{
+			Kind: protocol.MsgOutcomeAck, TID: "t42", From: "A", To: "B",
+		}},
+		{"typical", protocol.Message{
+			Kind: protocol.MsgReadRep, TID: "t42", From: "B", To: "A",
+			Items: []string{"acct1", "acct2"},
+			Values: map[string]polyvalue.Poly{
+				"acct1": polyvalue.Simple(value.Int(100)),
+				"acct2": poly,
+			},
+		}},
+		{"large", protocol.Message{
+			Kind: protocol.MsgPrepare, TID: "t42", From: "A", To: "C",
+			Items:   largeItems,
+			Values:  largeValues,
+			Program: "acct00 = acct00 - 30 if acct00 >= 30; acct01 = acct01 + 30 if acct00 >= 30",
+		}},
+	}
+	for _, tc := range cases {
+		frame := wire.EncodeFrame(tc.msg)
+		b.Run("encode/"+tc.name, func(b *testing.B) {
+			b.ReportMetric(float64(len(frame)), "frame_bytes")
+			buf := make([]byte, 0, len(frame))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf = wire.AppendFrame(buf[:0], tc.msg)
+			}
+			_ = buf
+		})
+		b.Run("decode/"+tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, _, err := wire.DecodeFrame(frame); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/network"
 	"repro/internal/protocol"
+	"repro/internal/transport"
 	"repro/internal/workload"
 )
 
@@ -136,3 +137,36 @@ type ExperimentSample = harness.Sample
 
 // RunExperiment executes a cluster-level experiment.
 func RunExperiment(e Experiment) (ExperimentReport, error) { return harness.Run(e) }
+
+// ---------------------------------------------------------------------
+// Multi-process runtime (wire codec + TCP transport + node)
+// ---------------------------------------------------------------------
+
+// Transport is the message fabric a cluster site sends protocol
+// messages through: the simulated network (NewSimTransport) or real TCP
+// sockets between processes (NewTCPTransport).
+type Transport = transport.Transport
+
+// TCPTransport carries protocol messages between OS processes over TCP
+// using the versioned binary wire codec, with per-peer reconnect
+// (capped exponential backoff + jitter) and write deadlines.
+type TCPTransport = transport.TCP
+
+// TCPTransportConfig parameterizes a TCP transport for one site.
+type TCPTransportConfig = transport.TCPConfig
+
+// TransportStats snapshots a TCP transport's counters, with a sorted
+// per-peer breakdown.
+type TransportStats = transport.TCPStats
+
+// NewTCPTransport opens the listener and starts per-peer writers.
+func NewTCPTransport(cfg TCPTransportConfig) (*TCPTransport, error) {
+	return transport.NewTCP(cfg)
+}
+
+// NewNode builds a single-site cluster over a caller-supplied transport
+// on wall-clock time — one process of a multi-process cluster (see
+// cmd/polynode).  Every process must pass the identical cfg.Sites list.
+func NewNode(cfg ClusterConfig, self SiteID, fab Transport) (*Cluster, error) {
+	return cluster.NewNode(cfg, self, fab)
+}

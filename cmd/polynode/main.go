@@ -1,0 +1,381 @@
+// Command polynode runs ONE site of a polyvalue cluster as its own OS
+// process, speaking the internal/wire binary protocol to its peers over
+// TCP.  Three terminals (or scripts/cluster_demo.sh) make a live
+// cluster:
+//
+//	polynode -site A -peers A=:7001,B=:7002,C=:7003 -control :8001 -data /tmp/pv
+//	polynode -site B -peers A=:7001,B=:7002,C=:7003 -control :8002 -data /tmp/pv
+//	polynode -site C -peers A=:7001,B=:7002,C=:7003 -control :8003 -data /tmp/pv
+//
+// Each node exposes a line-based control port for clients and scripts:
+//
+//	PING                 liveness check
+//	OWNER <item>         which site an item is placed at
+//	LOAD <item> <int>    install an initial value (owner only)
+//	READ <item>          current value: "certain <v>" or "poly <p>"
+//	POLY                 list local items currently holding polyvalues
+//	SUBMIT <program>     run a transaction, wait for the decision
+//	ASYNC <program>      run a transaction, don't wait (returns the TID)
+//	QUERY <expr>         read-only query, waits for the answer
+//	ARMCRASH             crash this site just before its next COMMIT
+//	                     decision (the paper's critical moment)
+//	STATS                cluster + transport counters
+//
+// Responses end with a line starting "OK" or "ERR"; intermediate lines
+// are prefixed "| ".  Client mode sends one command and prints the
+// response:
+//
+//	polynode -call 127.0.0.1:8001 SUBMIT 'a = a - 10 if a >= 10; b = b + 10 if a >= 10'
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"os"
+	"os/signal"
+	"sort"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/metrics"
+	"repro/internal/polyvalue"
+	"repro/internal/protocol"
+	"repro/internal/transport"
+	"repro/internal/value"
+)
+
+func main() {
+	var (
+		site     = flag.String("site", "", "site ID this process hosts (required in server mode)")
+		peersArg = flag.String("peers", "", "comma-separated site=host:port transport addresses for every site (required)")
+		listen   = flag.String("listen", "", "transport bind address override (default: this site's -peers entry)")
+		control  = flag.String("control", "", "control-port listen address (required in server mode)")
+		dataDir  = flag.String("data", "", "WAL directory; restarting over the same directory recovers durable state")
+		stats    = flag.Bool("stats", false, "print transport and cluster stats on shutdown")
+		waitT    = flag.Duration("wait-timeout", 250*time.Millisecond, "participant wait-phase timeout before installing polyvalues")
+		retryT   = flag.Duration("retry-interval", 250*time.Millisecond, "outcome-request retry pacing for in-doubt sites")
+		place    = flag.String("place", "", "comma-separated item=site placement pins (every process must pass the same value); unlisted items hash across sites")
+		callAddr = flag.String("call", "", "client mode: send the remaining arguments as one command to this control address")
+	)
+	flag.Parse()
+
+	if *callAddr != "" {
+		os.Exit(runClient(*callAddr, strings.Join(flag.Args(), " ")))
+	}
+	if *site == "" || *peersArg == "" || *control == "" {
+		fmt.Fprintln(os.Stderr, "polynode: -site, -peers and -control are required (or -call for client mode)")
+		flag.Usage()
+		os.Exit(2)
+	}
+	peers, err := parsePeers(*peersArg)
+	if err != nil {
+		fatal("%v", err)
+	}
+	self := protocol.SiteID(*site)
+	if _, ok := peers[self]; !ok {
+		fatal("site %s has no -peers entry", self)
+	}
+	// Membership order must agree across processes: sorted site IDs.
+	sites := make([]protocol.SiteID, 0, len(peers))
+	for id := range peers {
+		sites = append(sites, id)
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+
+	reg := metrics.NewRegistry()
+	fab, err := transport.NewTCP(transport.TCPConfig{
+		Self:    self,
+		Peers:   peers,
+		Listen:  *listen,
+		Metrics: reg,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "polynode[%s] transport: %s\n", self, fmt.Sprintf(format, args...))
+		},
+	})
+	if err != nil {
+		fatal("%v", err)
+	}
+	placement, err := parsePlacement(*place, peers)
+	if err != nil {
+		fatal("%v", err)
+	}
+	node, err := cluster.NewNode(cluster.Config{
+		Sites:         sites,
+		WaitTimeout:   *waitT,
+		RetryInterval: *retryT,
+		Metrics:       reg,
+		Placement:     placement,
+		DataDir:       *dataDir,
+	}, self, fab)
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	ctl, err := net.Listen("tcp", *control)
+	if err != nil {
+		fatal("control listen %s: %v", *control, err)
+	}
+	srv := &server{self: self, node: node, fab: fab}
+	go srv.serve(ctl)
+	fmt.Printf("polynode[%s] transport=%s control=%s peers=%d\n",
+		self, fab.Addr(), ctl.Addr(), len(peers)-1)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	ctl.Close()
+	node.Close() // closes fab and the WAL
+	if *stats {
+		st := node.Stats()
+		fmt.Printf("polynode[%s] cluster: committed=%d aborted=%d in_doubt=%d poly_installs=%d poly_reductions=%d\n",
+			self, st.Committed, st.Aborted, st.InDoubt, st.PolyInstalls, st.PolyReductions)
+		fmt.Printf("polynode[%s] transport:\n%s", self, fab.Stats().Format())
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "polynode: %s\n", fmt.Sprintf(format, args...))
+	os.Exit(1)
+}
+
+// parsePeers parses "A=host:port,B=host:port" into a peer map.
+func parsePeers(s string) (map[protocol.SiteID]string, error) {
+	peers := map[protocol.SiteID]string{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok || id == "" || addr == "" {
+			return nil, fmt.Errorf("bad -peers entry %q (want site=host:port)", part)
+		}
+		peers[protocol.SiteID(id)] = addr
+	}
+	if len(peers) == 0 {
+		return nil, fmt.Errorf("-peers is empty")
+	}
+	return peers, nil
+}
+
+// parsePlacement builds a placement override from "item=site,..." pins;
+// nil (cluster default FNV hashing) when s is empty.  Pinned items fall
+// back to hashing if they name an unknown site — but that is rejected
+// here, at flag-parse time.
+func parsePlacement(s string, peers map[protocol.SiteID]string) (func(string) protocol.SiteID, error) {
+	if strings.TrimSpace(s) == "" {
+		return nil, nil
+	}
+	pins := map[string]protocol.SiteID{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		item, site, ok := strings.Cut(part, "=")
+		if !ok || item == "" || site == "" {
+			return nil, fmt.Errorf("bad -place entry %q (want item=site)", part)
+		}
+		id := protocol.SiteID(site)
+		if _, known := peers[id]; !known {
+			return nil, fmt.Errorf("-place pins %q to unknown site %q", item, site)
+		}
+		pins[item] = id
+	}
+	// Deterministic fallback identical to the cluster default: FNV over
+	// the sorted membership.
+	sites := make([]protocol.SiteID, 0, len(peers))
+	for id := range peers {
+		sites = append(sites, id)
+	}
+	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
+	return func(item string) protocol.SiteID {
+		if id, ok := pins[item]; ok {
+			return id
+		}
+		h := fnv.New32a()
+		h.Write([]byte(item))
+		return sites[int(h.Sum32())%len(sites)]
+	}, nil
+}
+
+// ---------------------------------------------------------------------
+// Control server
+// ---------------------------------------------------------------------
+
+type server struct {
+	self protocol.SiteID
+	node *cluster.Cluster
+	fab  *transport.TCP
+}
+
+func (s *server) serve(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		go s.session(conn)
+	}
+}
+
+func (s *server) session(conn net.Conn) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64<<10), 64<<10)
+	w := bufio.NewWriter(conn)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		for _, out := range s.execute(line) {
+			fmt.Fprintln(w, out)
+		}
+		w.Flush()
+	}
+}
+
+// execute runs one command; the last returned line starts "OK" or "ERR".
+func (s *server) execute(line string) []string {
+	cmd, rest, _ := strings.Cut(line, " ")
+	rest = strings.TrimSpace(rest)
+	switch strings.ToUpper(cmd) {
+	case "PING":
+		return []string{"OK pong " + string(s.self)}
+	case "OWNER":
+		if rest == "" {
+			return []string{"ERR usage: OWNER <item>"}
+		}
+		return []string{"OK " + string(s.node.Placement(rest))}
+	case "LOAD":
+		item, num, ok := strings.Cut(rest, " ")
+		if !ok {
+			return []string{"ERR usage: LOAD <item> <int>"}
+		}
+		n, err := strconv.ParseInt(strings.TrimSpace(num), 10, 64)
+		if err != nil {
+			return []string{"ERR bad int: " + err.Error()}
+		}
+		if err := s.node.Load(item, polyvalue.Simple(value.Int(n))); err != nil {
+			return []string{"ERR " + err.Error()}
+		}
+		return []string{"OK loaded"}
+	case "READ":
+		if rest == "" {
+			return []string{"ERR usage: READ <item>"}
+		}
+		if !s.node.Local(rest) {
+			return []string{"ERR item " + rest + " is at remote site " + string(s.node.Placement(rest))}
+		}
+		return []string{"OK " + formatPoly(s.node.Read(rest))}
+	case "POLY":
+		items := s.node.PolyItems()
+		return []string{fmt.Sprintf("OK %d %s", len(items), strings.Join(items, " "))}
+	case "SUBMIT":
+		if rest == "" {
+			return []string{"ERR usage: SUBMIT <program>"}
+		}
+		h, err := s.node.Submit(s.self, rest)
+		if err != nil {
+			return []string{"ERR " + err.Error()}
+		}
+		st, done := h.Wait(15 * time.Second)
+		if !done {
+			return []string{"ERR timeout; transaction " + string(h.TID) + " still " + st.String()}
+		}
+		if st == cluster.StatusAborted {
+			return []string{fmt.Sprintf("OK aborted %s reason=%q", h.TID, h.Reason())}
+		}
+		return []string{"OK committed " + string(h.TID)}
+	case "ASYNC":
+		if rest == "" {
+			return []string{"ERR usage: ASYNC <program>"}
+		}
+		h, err := s.node.Submit(s.self, rest)
+		if err != nil {
+			return []string{"ERR " + err.Error()}
+		}
+		return []string{"OK submitted " + string(h.TID)}
+	case "QUERY":
+		if rest == "" {
+			return []string{"ERR usage: QUERY <expr>"}
+		}
+		qh, err := s.node.Query(s.self, rest)
+		if err != nil {
+			return []string{"ERR " + err.Error()}
+		}
+		p, qerr, done := qh.Wait(15 * time.Second)
+		if !done {
+			return []string{"ERR query timeout"}
+		}
+		if qerr != nil {
+			return []string{"ERR " + qerr.Error()}
+		}
+		return []string{"OK " + formatPoly(p)}
+	case "ARMCRASH":
+		s.node.ArmCrashBeforeDecision(s.self)
+		return []string{"OK armed"}
+	case "STATS":
+		st := s.node.Stats()
+		out := []string{
+			fmt.Sprintf("| committed=%d aborted=%d in_doubt=%d poly_installs=%d poly_reductions=%d refused=%d",
+				st.Committed, st.Aborted, st.InDoubt, st.PolyInstalls, st.PolyReductions, st.Refused),
+		}
+		for _, l := range strings.Split(strings.TrimRight(s.fab.Stats().Format(), "\n"), "\n") {
+			out = append(out, "| "+l)
+		}
+		return append(out, "OK")
+	default:
+		return []string{"ERR unknown command " + cmd}
+	}
+}
+
+// formatPoly renders a value as "certain <v>" or "poly <p>".
+func formatPoly(p polyvalue.Poly) string {
+	if v, ok := p.IsCertain(); ok {
+		return "certain " + v.String()
+	}
+	return "poly " + p.String()
+}
+
+// ---------------------------------------------------------------------
+// Client mode
+// ---------------------------------------------------------------------
+
+// runClient sends one command and prints the response; exit status 0 on
+// an OK-terminated response, 1 otherwise.
+func runClient(addr, command string) int {
+	if strings.TrimSpace(command) == "" {
+		fmt.Fprintln(os.Stderr, "polynode -call: no command given")
+		return 2
+	}
+	conn, err := net.DialTimeout("tcp", addr, 5*time.Second)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "polynode -call: %v\n", err)
+		return 1
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(30 * time.Second))
+	fmt.Fprintln(conn, command)
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 0, 64<<10), 64<<10)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line)
+		if strings.HasPrefix(line, "OK") {
+			return 0
+		}
+		if strings.HasPrefix(line, "ERR") {
+			return 1
+		}
+	}
+	fmt.Fprintln(os.Stderr, "polynode -call: connection closed without a terminator")
+	return 1
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/polyvalue"
 	"repro/internal/protocol"
 	"repro/internal/storage"
+	"repro/internal/transport"
 	"repro/internal/txn"
 	"repro/internal/vclock"
 )
@@ -32,9 +33,18 @@ type Stats struct {
 	Refused int64
 }
 
-// Cluster wires sites, network and scheduler together.
+// Cluster wires sites, fabric and clock together.  Two runtimes share
+// this type: the deterministic simulation (New: discrete-event scheduler
+// plus simulated network) and the wall-clock node (NewNode: real time
+// plus a caller-supplied transport, typically TCP).  clk and fab are the
+// seams all protocol code schedules and sends through; sched and net are
+// the simulation concretions behind them and are nil in node mode.
 type Cluster struct {
-	cfg   Config
+	cfg Config
+	clk vclock.Clock
+	fab transport.Transport
+	// wall is set in node mode only; Close stops it.
+	wall  *vclock.Wall
 	sched *vclock.Scheduler
 	net   *network.Network
 	sites map[protocol.SiteID]*Site
@@ -95,6 +105,8 @@ func New(cfg Config) (*Cluster, error) {
 	c.initMetrics(reg)
 	c.net = network.New(c.sched, cfg.Net)
 	c.net.Instrument(reg)
+	c.clk = c.sched
+	c.fab = transport.NewSim(c.net)
 	for _, id := range cfg.Sites {
 		store := storage.NewStore()
 		if cfg.DataDir != "" {
@@ -112,7 +124,7 @@ func New(cfg Config) (*Cluster, error) {
 		store.Instrument(reg, string(id))
 		s := newSite(c, id, store)
 		c.sites[id] = s
-		c.net.Register(id, s.onMessage)
+		c.fab.Register(id, s.onMessage)
 	}
 	// Process-restart semantics for persistent clusters: any site that
 	// recovered in-doubt state converts it exactly as a site restart
@@ -120,7 +132,7 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.DataDir != "" {
 		for _, id := range cfg.Sites {
 			site := c.sites[id]
-			c.sched.At(0, func() {
+			c.clk.At(0, func() {
 				site.do(func() { site.recoverDurableState() })
 			})
 		}
@@ -128,11 +140,21 @@ func New(cfg Config) (*Cluster, error) {
 	return c, nil
 }
 
-// Close stops every site goroutine and flushes/closes any file-backed
-// WALs.  The cluster must be idle (no event currently dispatching).
+// Close stops every site goroutine, stops the wall clock and transport
+// in node mode (the simulated fabric's Close is a no-op), and flushes/
+// closes any file-backed WALs.  In the simulated runtime the cluster
+// must be idle (no event currently dispatching).
 func (c *Cluster) Close() {
 	for _, s := range c.sites {
 		s.close()
+	}
+	if c.wall != nil {
+		c.wall.Stop()
+	}
+	if c.fab != nil {
+		if err := c.fab.Close(); err != nil {
+			c.trace("close transport: %v", err)
+		}
 	}
 	for _, log := range c.logs {
 		if err := log.Close(); err != nil {
@@ -152,17 +174,29 @@ func (c *Cluster) Placement(item string) protocol.SiteID {
 	return c.order[int(h.Sum32())%len(c.order)]
 }
 
-// Now returns the simulated time.
-func (c *Cluster) Now() vclock.Time { return c.sched.Now() }
+// Now returns the cluster clock's current time (simulated in the
+// scheduler runtime, wall-relative in node mode).
+func (c *Cluster) Now() vclock.Time { return c.clk.Now() }
+
+// requireSim panics with a clear message when a simulation-only method
+// is called in node mode.
+func (c *Cluster) requireSim(method string) {
+	if c.sched == nil {
+		panic("cluster: " + method + " requires the simulated runtime (New); node mode runs on wall time")
+	}
+}
 
 // RunUntil advances simulated time, executing all events up to t.
-func (c *Cluster) RunUntil(t vclock.Time) { c.sched.RunUntil(t) }
+func (c *Cluster) RunUntil(t vclock.Time) { c.requireSim("RunUntil"); c.sched.RunUntil(t) }
 
 // RunFor advances simulated time by d.
-func (c *Cluster) RunFor(d vclock.Time) { c.sched.RunUntil(c.sched.Now() + d) }
+func (c *Cluster) RunFor(d vclock.Time) {
+	c.requireSim("RunFor")
+	c.sched.RunUntil(c.sched.Now() + d)
+}
 
 // Step executes the next scheduled event; false when idle.
-func (c *Cluster) Step() bool { return c.sched.Step() }
+func (c *Cluster) Step() bool { c.requireSim("Step"); return c.sched.Step() }
 
 // Submit starts a transaction with the given site as coordinator.  The
 // returned handle resolves as events run (RunUntil / RunFor / Step).
@@ -176,8 +210,8 @@ func (c *Cluster) Submit(coord protocol.SiteID, src string) (*Handle, error) {
 		return nil, err
 	}
 	c.submitted.Inc()
-	h := &Handle{TID: t.ID, submitted: c.sched.Now()}
-	c.sched.At(c.sched.Now(), func() {
+	h := &Handle{TID: t.ID, submitted: c.clk.Now(), done: make(chan struct{})}
+	c.clk.At(c.clk.Now(), func() {
 		site.do(func() { site.beginTxn(t, h) })
 	})
 	return h, nil
@@ -195,9 +229,9 @@ func (c *Cluster) Query(coord protocol.SiteID, exprSrc string) (*QueryHandle, er
 	if err != nil {
 		return nil, err
 	}
-	qh := &QueryHandle{}
+	qh := newQueryHandle()
 	qid := c.qids.Next()
-	c.sched.At(c.sched.Now(), func() {
+	c.clk.At(c.clk.Now(), func() {
 		site.do(func() { site.beginQuery(qid, node, qh, 0) })
 	})
 	return qh, nil
@@ -220,10 +254,10 @@ func (c *Cluster) QueryCertain(coord protocol.SiteID, exprSrc string, wait vcloc
 	if err != nil {
 		return nil, err
 	}
-	qh := &QueryHandle{}
+	qh := newQueryHandle()
 	qid := c.qids.Next()
-	deadline := c.sched.Now() + wait
-	c.sched.At(c.sched.Now(), func() {
+	deadline := c.clk.Now() + wait
+	c.clk.At(c.clk.Now(), func() {
 		site.do(func() { site.beginQuery(qid, node, qh, deadline) })
 	})
 	return qh, nil
@@ -233,6 +267,9 @@ func (c *Cluster) QueryCertain(coord protocol.SiteID, exprSrc string, wait vcloc
 // transaction (bootstrap only; uses the store, not the protocol).
 func (c *Cluster) Load(item string, p polyvalue.Poly) error {
 	site := c.sites[c.Placement(item)]
+	if site == nil {
+		return fmt.Errorf("cluster: item %q is placed at remote site %s", item, c.Placement(item))
+	}
 	var err error
 	site.do(func() { err = site.put(item, p) })
 	return err
@@ -242,6 +279,9 @@ func (c *Cluster) Load(item string, p polyvalue.Poly) error {
 // site's store (inspection; not a protocol read).
 func (c *Cluster) Read(item string) polyvalue.Poly {
 	site := c.sites[c.Placement(item)]
+	if site == nil {
+		return polyvalue.Poly{}
+	}
 	var p polyvalue.Poly
 	site.do(func() { p = site.store.Get(item) })
 	return p
@@ -263,17 +303,18 @@ func (c *Cluster) Restart(id protocol.SiteID) {
 }
 
 // IsDown reports whether the site is crashed.
-func (c *Cluster) IsDown(id protocol.SiteID) bool { return c.net.IsDown(id) }
+func (c *Cluster) IsDown(id protocol.SiteID) bool { return c.fab.IsDown(id) }
 
-// Partition severs the link between two sites.
-func (c *Cluster) Partition(a, b protocol.SiteID) { c.net.Partition(a, b) }
+// Partition severs the link between two sites (simulation only).
+func (c *Cluster) Partition(a, b protocol.SiteID) { c.requireSim("Partition"); c.net.Partition(a, b) }
 
-// Heal restores the link between two sites.
-func (c *Cluster) Heal(a, b protocol.SiteID) { c.net.Heal(a, b) }
+// Heal restores the link between two sites (simulation only).
+func (c *Cluster) Heal(a, b protocol.SiteID) { c.requireSim("Heal"); c.net.Heal(a, b) }
 
 // HealAll restores all links.  Crashed sites stay crashed until Restart;
 // only link cuts are healed here.
 func (c *Cluster) HealAll() {
+	c.requireSim("HealAll")
 	for i, a := range c.order {
 		for _, b := range c.order[i+1:] {
 			c.net.Heal(a, b)
@@ -305,6 +346,9 @@ func (c *Cluster) PolyItems() []string {
 	var out []string
 	for _, id := range c.order {
 		site := c.sites[id]
+		if site == nil {
+			continue
+		}
 		var items []string
 		site.do(func() { items = site.store.PolyItems() })
 		out = append(out, items...)
@@ -357,6 +401,9 @@ func (c *Cluster) Snapshot() map[string]polyvalue.Poly {
 	out := map[string]polyvalue.Poly{}
 	for _, id := range c.order {
 		site := c.sites[id]
+		if site == nil {
+			continue
+		}
 		site.do(func() {
 			for _, item := range site.store.Items() {
 				out[item] = site.store.Get(item)
@@ -382,8 +429,14 @@ func (c *Cluster) Stats() Stats {
 // distribution (simulated seconds).
 func (c *Cluster) LatencyHistogram() *metrics.Histogram { return c.latency }
 
-// NetStats exposes network counters.
-func (c *Cluster) NetStats() network.Stats { return c.net.Stats() }
+// NetStats exposes the simulated network's counters (zero in node mode;
+// use the TCP transport's own Stats there).
+func (c *Cluster) NetStats() network.Stats {
+	if c.net == nil {
+		return network.Stats{}
+	}
+	return c.net.Stats()
+}
 
 func (c *Cluster) trace(format string, args ...any) {
 	c.cfg.Tracer.Event(format, args...)

@@ -3,6 +3,7 @@ package cluster
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/polyvalue"
 	"repro/internal/txn"
@@ -47,6 +48,31 @@ type Handle struct {
 	reason    string
 	submitted vclock.Time
 	decided   vclock.Time
+	// done closes when the decision lands; Wait blocks on it.  Nil for
+	// handles created before this field existed (tests constructing
+	// Handle directly) — decide tolerates that.
+	done chan struct{}
+}
+
+// Wait blocks until the transaction decides, or until timeout elapses
+// (wall time; the node runtime's clock IS wall time).  It returns the
+// final status and true, or the current status and false on timeout.
+// Only meaningful in node mode — the simulated runtime decides handles
+// synchronously as RunUntil executes events.
+func (h *Handle) Wait(timeout time.Duration) (Status, bool) {
+	h.mu.Lock()
+	ch := h.done
+	st := h.status
+	h.mu.Unlock()
+	if st != StatusPending || ch == nil {
+		return st, st != StatusPending
+	}
+	select {
+	case <-ch:
+		return h.Status(), true
+	case <-time.After(timeout):
+		return h.Status(), false
+	}
 }
 
 // Status returns the current client-visible status.
@@ -83,6 +109,9 @@ func (h *Handle) decide(st Status, reason string, at vclock.Time) {
 	h.status = st
 	h.reason = reason
 	h.decided = at
+	if h.done != nil {
+		close(h.done)
+	}
 }
 
 // QueryHandle tracks one read-only query.
@@ -91,6 +120,29 @@ type QueryHandle struct {
 	done   bool
 	result polyvalue.Poly
 	err    error
+	// doneCh closes on completion; nil unless built by newQueryHandle
+	// (node mode).
+	doneCh chan struct{}
+}
+
+func newQueryHandle() *QueryHandle { return &QueryHandle{doneCh: make(chan struct{})} }
+
+// Wait blocks until the query completes or timeout elapses, returning
+// the answer and whether it completed.  Node-mode counterpart of polling
+// Result while the simulation runs.
+func (q *QueryHandle) Wait(timeout time.Duration) (polyvalue.Poly, error, bool) {
+	q.mu.Lock()
+	ch := q.doneCh
+	done := q.done
+	q.mu.Unlock()
+	if done || ch == nil {
+		return q.Result()
+	}
+	select {
+	case <-ch:
+	case <-time.After(timeout):
+	}
+	return q.Result()
 }
 
 // Result returns the query's answer once available.  The answer may be a
@@ -111,4 +163,7 @@ func (q *QueryHandle) complete(p polyvalue.Poly, err error) {
 	q.done = true
 	q.result = p
 	q.err = err
+	if q.doneCh != nil {
+		close(q.doneCh)
+	}
 }

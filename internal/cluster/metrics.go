@@ -70,7 +70,7 @@ func (c *Cluster) trackPut(site protocol.SiteID, item string, before, after poly
 		return
 	}
 	key := lifeKey{site: site, item: item}
-	now := c.sched.Now()
+	now := c.clk.Now()
 	if isCertain {
 		c.population.Add(-1)
 		if t, ok := c.installAt[key]; ok {
@@ -90,6 +90,6 @@ func (c *Cluster) trackPut(site protocol.SiteID, item string, before, after poly
 func (c *Cluster) seedLifecycle(site protocol.SiteID, items []string) {
 	for _, item := range items {
 		c.population.Add(1)
-		c.installAt[lifeKey{site: site, item: item}] = c.sched.Now()
+		c.installAt[lifeKey{site: site, item: item}] = c.clk.Now()
 	}
 }

@@ -1,0 +1,105 @@
+package cluster
+
+import (
+	"fmt"
+	"path/filepath"
+
+	"repro/internal/metrics"
+	"repro/internal/protocol"
+	"repro/internal/storage"
+	"repro/internal/transport"
+	"repro/internal/txn"
+	"repro/internal/vclock"
+)
+
+// NewNode builds a single-site cluster running over a caller-supplied
+// transport on wall-clock time — the multi-process runtime behind
+// cmd/polynode.  cfg.Sites is the full cluster membership (every process
+// must pass the identical list, in the same order, so item placement
+// agrees); only self is hosted here, and the other sites are expected to
+// be their own processes reachable through fab.
+//
+// Semantics differences from the simulated runtime (New):
+//
+//   - time is real: WaitTimeout, RetryInterval etc. elapse on the wall,
+//     and Handle.Wait / QueryHandle.Wait replace RunUntil for clients;
+//   - transaction IDs are prefixed with the site name, keeping them
+//     unique across coordinating processes;
+//   - the cluster owns fab and the wall clock: Close shuts both down.
+//
+// RunUntil/RunFor/Step and Partition/Heal are simulation-only and panic
+// in node mode.
+func NewNode(cfg Config, self protocol.SiteID, fab transport.Transport) (*Cluster, error) {
+	if fab == nil {
+		return nil, fmt.Errorf("cluster: NewNode needs a transport")
+	}
+	if len(cfg.Sites) == 0 {
+		return nil, fmt.Errorf("cluster: no sites configured")
+	}
+	found := false
+	for _, s := range cfg.Sites {
+		if s == self {
+			found = true
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("cluster: self %q not in site list %v", self, cfg.Sites)
+	}
+	cfg.fillDefaults()
+	wall := vclock.NewWall()
+	c := &Cluster{
+		cfg:   cfg,
+		clk:   wall,
+		wall:  wall,
+		fab:   fab,
+		sites: map[protocol.SiteID]*Site{},
+		order: append([]protocol.SiteID{}, cfg.Sites...),
+		ids:   txn.NewIDGen(string(self) + ".t"),
+		qids:  txn.NewIDGen(string(self) + ".q"),
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	c.initMetrics(reg)
+
+	store := storage.NewStore()
+	if cfg.DataDir != "" {
+		var log *storage.FileLog
+		var err error
+		store, log, err = storage.OpenFileStore(filepath.Join(cfg.DataDir, string(self)+".wal"))
+		if err != nil {
+			return nil, fmt.Errorf("cluster: site %s: %w", self, err)
+		}
+		c.logs = append(c.logs, log)
+		c.seedLifecycle(self, store.PolyItems())
+	}
+	store.Instrument(reg, string(self))
+	s := newSite(c, self, store)
+	c.sites[self] = s
+	fab.Register(self, s.onMessage)
+	// Recover durable state synchronously, before any network traffic can
+	// interleave: in-doubt transactions convert exactly as a site restart
+	// would, and their outcome-request loops start ticking on the wall.
+	if cfg.DataDir != "" {
+		s.do(func() { s.recoverDurableState() })
+	}
+	return c, nil
+}
+
+// Self returns the locally-hosted site in node mode ("" for the
+// simulated runtime, which hosts every site).
+func (c *Cluster) Self() protocol.SiteID {
+	if c.wall == nil || len(c.sites) != 1 {
+		return ""
+	}
+	for id := range c.sites {
+		return id
+	}
+	return ""
+}
+
+// Local reports whether an item is placed at a locally-hosted site.
+func (c *Cluster) Local(item string) bool {
+	return c.sites[c.Placement(item)] != nil
+}

@@ -3,6 +3,7 @@ package cluster
 import (
 	"hash/fnv"
 	"sort"
+	"sync"
 
 	"repro/internal/expr"
 	"repro/internal/polytxn"
@@ -23,6 +24,8 @@ type Site struct {
 
 	inbox chan func()
 	acked chan struct{}
+	quit  chan struct{}
+	once  sync.Once
 
 	down bool
 	// crashBeforeDecision is the one-shot failpoint armed by
@@ -116,6 +119,7 @@ func newSite(c *Cluster, id protocol.SiteID, store *storage.Store) *Site {
 		id: id, c: c, store: store,
 		inbox:       make(chan func()),
 		acked:       make(chan struct{}),
+		quit:        make(chan struct{}),
 		locks:       map[string]txn.ID{},
 		parts:       map[txn.ID]*partCtx{},
 		coords:      map[txn.ID]*coordCtx{},
@@ -130,22 +134,35 @@ func newSite(c *Cluster, id protocol.SiteID, store *storage.Store) *Site {
 
 // loop is the site goroutine: it processes one closure at a time and
 // acknowledges each, so the dispatching event blocks until the site is
-// done — this serialization is what makes cluster runs deterministic.
+// done — this serialization is what makes cluster runs deterministic in
+// the simulated runtime, and what serializes concurrent timer callbacks
+// and TCP deliveries in the wall-clock runtime.
 func (s *Site) loop() {
-	for fn := range s.inbox {
-		fn()
-		s.acked <- struct{}{}
+	for {
+		select {
+		case <-s.quit:
+			return
+		case fn := <-s.inbox:
+			fn()
+			s.acked <- struct{}{}
+		}
 	}
 }
 
-// do runs fn on the site goroutine and waits for completion.
+// do runs fn on the site goroutine and waits for completion.  After
+// close, fn is silently dropped — late timers and deliveries racing a
+// wall-clock shutdown land here.
 func (s *Site) do(fn func()) {
-	s.inbox <- fn
-	<-s.acked
+	select {
+	case s.inbox <- fn:
+		<-s.acked
+	case <-s.quit:
+	}
 }
 
-// close stops the goroutine.
-func (s *Site) close() { close(s.inbox) }
+// close stops the goroutine.  Idempotent; pending do() callers unblock
+// without running.
+func (s *Site) close() { s.once.Do(func() { close(s.quit) }) }
 
 // onMessage is the network delivery handler (called from a scheduler
 // event on the controller goroutine).
@@ -162,13 +179,13 @@ func (s *Site) onMessage(msg protocol.Message) {
 func (s *Site) send(msg protocol.Message) {
 	msg.From = s.id
 	s.c.trace("%s send %s", s.id, msg)
-	s.c.net.Send(msg)
+	s.c.fab.Send(msg)
 }
 
 // after schedules a site-local timer that is automatically ignored if
 // the site is down when it fires.
 func (s *Site) after(d vclock.Time, fn func()) vclock.TimerID {
-	return s.c.sched.After(d, func() {
+	return s.c.clk.After(d, func() {
 		s.do(func() {
 			if s.down {
 				return
@@ -227,7 +244,7 @@ func (s *Site) handle(msg protocol.Message) {
 // goroutine).
 func (s *Site) beginTxn(t txn.T, h *Handle) {
 	if s.down {
-		h.decide(StatusAborted, "coordinator down", s.c.sched.Now())
+		h.decide(StatusAborted, "coordinator down", s.c.clk.Now())
 		s.c.aborted.Inc()
 		return
 	}
@@ -235,7 +252,7 @@ func (s *Site) beginTxn(t txn.T, h *Handle) {
 		tid: t.ID, t: t, handle: h,
 		readWait: map[protocol.SiteID]bool{},
 		values:   map[string]polyvalue.Poly{},
-		startAt:  s.c.sched.Now(),
+		startAt:  s.c.clk.Now(),
 	}
 	// Participants: every site holding an accessed item.
 	siteItems := map[protocol.SiteID][]string{}
@@ -288,7 +305,7 @@ func (s *Site) onePhaseCommit(ctx *coordCtx, h *Handle) {
 	if !s.lockAll(ctx.tid, items) {
 		s.c.refused.Inc()
 		s.c.aborted.Inc()
-		h.decide(StatusAborted, "refused: lock conflict at "+string(s.id), s.c.sched.Now())
+		h.decide(StatusAborted, "refused: lock conflict at "+string(s.id), s.c.clk.Now())
 		return
 	}
 	defer s.releaseLocks(ctx.tid)
@@ -296,7 +313,7 @@ func (s *Site) onePhaseCommit(ctx *coordCtx, h *Handle) {
 	res, err := ex.Execute(ctx.t, s.store.Get)
 	if err != nil {
 		s.c.aborted.Inc()
-		h.decide(StatusAborted, "compute: "+err.Error(), s.c.sched.Now())
+		h.decide(StatusAborted, "compute: "+err.Error(), s.c.clk.Now())
 		return
 	}
 	writeItems := make([]string, 0, len(res.Writes))
@@ -308,7 +325,7 @@ func (s *Site) onePhaseCommit(ctx *coordCtx, h *Handle) {
 		p := res.Writes[item]
 		if err := s.put(item, p); err != nil {
 			s.c.aborted.Inc()
-			h.decide(StatusAborted, "wal: "+err.Error(), s.c.sched.Now())
+			h.decide(StatusAborted, "wal: "+err.Error(), s.c.clk.Now())
 			return
 		}
 		if _, certain := p.IsCertain(); !certain {
@@ -322,7 +339,7 @@ func (s *Site) onePhaseCommit(ctx *coordCtx, h *Handle) {
 	}
 	s.reduceKnownDeps()
 	s.c.committed.Inc()
-	h.decide(StatusCommitted, "", s.c.sched.Now())
+	h.decide(StatusCommitted, "", s.c.clk.Now())
 	if lat, ok := h.Latency(); ok {
 		s.c.latency.Observe(lat.Seconds())
 	}
@@ -383,7 +400,7 @@ func (s *Site) onReadRep(msg protocol.Message) {
 	if len(ctx.readWait) > 0 {
 		return
 	}
-	s.c.sched.Cancel(ctx.readTimer)
+	s.c.clk.Cancel(ctx.readTimer)
 	if ctx.isQuery {
 		s.finishQuery(ctx)
 		return
@@ -406,12 +423,12 @@ func (s *Site) finishQuery(ctx *coordCtx) {
 	delete(s.coords, ctx.tid)
 	if err == nil && ctx.qCertainBy > 0 {
 		if _, certain := p.IsCertain(); !certain {
-			if s.c.sched.Now() >= ctx.qCertainBy {
+			if s.c.clk.Now() >= ctx.qCertainBy {
 				ctx.qh.complete(p, ErrStillUncertain)
 				return
 			}
 			qid, node, qh, deadline := ctx.tid, ctx.qnode, ctx.qh, ctx.qCertainBy
-			s.c.sched.After(s.c.cfg.RetryInterval, func() {
+			s.c.clk.After(s.c.cfg.RetryInterval, func() {
 				s.do(func() {
 					if s.down {
 						// Withheld queries must not hang on a crashed
@@ -447,7 +464,7 @@ func (s *Site) onReadTimeout(tid txn.ID) {
 // sendPrepares distributes the transaction to every participant.
 func (s *Site) sendPrepares(ctx *coordCtx) {
 	ctx.prepared = true
-	ctx.prepareAt = s.c.sched.Now()
+	ctx.prepareAt = s.c.clk.Now()
 	s.c.phaseRead.Observe((ctx.prepareAt - ctx.startAt).Seconds())
 	ctx.machine = protocol.NewCoordinator(ctx.tid, ctx.participants)
 	ctx.machine.Instrument(s.c.reg)
@@ -565,7 +582,7 @@ func (s *Site) decide(ctx *coordCtx, committed bool, reason string) {
 		}
 		targets = append(targets, site)
 	}
-	now := s.c.sched.Now()
+	now := s.c.clk.Now()
 	if ctx.prepared {
 		s.c.phasePrepare.Observe((now - ctx.prepareAt).Seconds())
 	}
@@ -593,8 +610,8 @@ func (s *Site) decide(ctx *coordCtx, committed bool, reason string) {
 			s.c.latency.Observe(lat.Seconds())
 		}
 	}
-	s.c.sched.Cancel(ctx.readTimer)
-	s.c.sched.Cancel(ctx.readyTimer)
+	s.c.clk.Cancel(ctx.readTimer)
+	s.c.clk.Cancel(ctx.readyTimer)
 	delete(s.coords, ctx.tid)
 }
 
@@ -652,7 +669,7 @@ func (s *Site) onLockTimeout(tid txn.ID) {
 // onPrepare runs the compute phase for the local share of the write set.
 func (s *Site) onPrepare(msg protocol.Message) {
 	ctx := s.part(msg.TID, msg.Coordinator)
-	s.c.sched.Cancel(ctx.lockTimer)
+	s.c.clk.Cancel(ctx.lockTimer)
 	if ctx.machine.State() != protocol.StateIdle {
 		return // duplicate prepare
 	}
@@ -731,7 +748,7 @@ func (s *Site) onPrepare(msg protocol.Message) {
 		return
 	}
 	s.send(protocol.Message{Kind: protocol.MsgReady, TID: msg.TID, To: msg.From})
-	ctx.readyAt = s.c.sched.Now()
+	ctx.readyAt = s.c.clk.Now()
 	ctx.waitTimer = s.after(s.c.cfg.WaitTimeout, func() { s.onWaitTimeout(msg.TID) })
 }
 
@@ -744,7 +761,7 @@ func (s *Site) onWaitTimeout(tid txn.ID) {
 		return
 	}
 	s.c.inDoubt.Inc()
-	s.c.phaseWait.Observe((s.c.sched.Now() - ctx.readyAt).Seconds())
+	s.c.phaseWait.Observe((s.c.clk.Now() - ctx.readyAt).Seconds())
 	// Zero readyAt so a later outcome delivery (blocking resume, arbitrary
 	// self-decision) does not observe this wait a second time.
 	ctx.readyAt = 0
@@ -833,7 +850,7 @@ func (s *Site) onOutcomeMsg(tid txn.ID, committed bool) {
 		return
 	}
 	if ctx.readyAt > 0 {
-		s.c.phaseWait.Observe((s.c.sched.Now() - ctx.readyAt).Seconds())
+		s.c.phaseWait.Observe((s.c.clk.Now() - ctx.readyAt).Seconds())
 	}
 	if act == protocol.ActInstall {
 		items := make([]string, 0, len(ctx.writes))
@@ -862,7 +879,7 @@ func (s *Site) onOutcomeMsg(tid txn.ID, committed bool) {
 	}
 	_ = s.store.ClearPrepared(tid)
 	_ = s.store.SetOutcome(tid, committed)
-	s.c.sched.Cancel(ctx.waitTimer)
+	s.c.clk.Cancel(ctx.waitTimer)
 	s.releaseLocks(tid)
 	delete(s.parts, tid)
 	// The outcome may also reduce older polyvalues we hold.  (The
@@ -891,7 +908,7 @@ func (s *Site) onOutcomeAck(msg protocol.Message) {
 	_ = s.store.RemoveDepSite(msg.TID, string(msg.From))
 	if !s.store.HasDeps(msg.TID) {
 		if id, ok := s.notifyRetry[msg.TID]; ok {
-			s.c.sched.Cancel(id)
+			s.c.clk.Cancel(id)
 			delete(s.notifyRetry, msg.TID)
 		}
 	}
@@ -906,7 +923,7 @@ func (s *Site) onOutcomeAck(msg protocol.Message) {
 	delete(s.acks, msg.TID)
 	tid := msg.TID
 	if t, ok := s.decidedAt[tid]; ok {
-		s.c.phaseSettle.Observe((s.c.sched.Now() - t).Seconds())
+		s.c.phaseSettle.Observe((s.c.clk.Now() - t).Seconds())
 		delete(s.decidedAt, tid)
 	}
 	s.after(s.c.cfg.OutcomeTTL, func() {
@@ -929,7 +946,7 @@ func (s *Site) onAbortMsg(msg protocol.Message) {
 		switch ctx.machine.State() {
 		case protocol.StateIdle:
 			// Read-locked, never prepared: just release.
-			s.c.sched.Cancel(ctx.lockTimer)
+			s.c.clk.Cancel(ctx.lockTimer)
 			s.releaseLocks(tid)
 			delete(s.parts, tid)
 			return
@@ -1039,7 +1056,7 @@ func (s *Site) resolveOutcome(tid txn.ID, committed bool) {
 func (s *Site) reduceDependents(tid txn.ID, committed bool) {
 	rs, hadRetry := s.retry[tid]
 	if hadRetry {
-		s.c.sched.Cancel(rs.timer)
+		s.c.clk.Cancel(rs.timer)
 		delete(s.retry, tid)
 		// We were in doubt and have now settled: acknowledge so the
 		// coordinator can forget the outcome record.
@@ -1081,7 +1098,7 @@ func (s *Site) reduceDependents(tid txn.ID, committed bool) {
 		// Keep the entry until every listed site acknowledges; resend
 		// periodically (targets may be down right now).
 		if id, ok := s.notifyRetry[tid]; ok {
-			s.c.sched.Cancel(id)
+			s.c.clk.Cancel(id)
 		}
 		s.notifyRetry[tid] = s.after(s.c.cfg.RetryInterval, func() {
 			delete(s.notifyRetry, tid)
@@ -1115,23 +1132,23 @@ func (s *Site) reduceDependents(tid txn.ID, committed bool) {
 // crash loses all volatile state; the store survives.
 func (s *Site) crash() {
 	s.down = true
-	s.c.net.SetDown(s.id, true)
+	s.c.fab.SetDown(s.id, true)
 	for _, ctx := range s.parts {
-		s.c.sched.Cancel(ctx.waitTimer)
-		s.c.sched.Cancel(ctx.lockTimer)
+		s.c.clk.Cancel(ctx.waitTimer)
+		s.c.clk.Cancel(ctx.lockTimer)
 	}
 	for _, ctx := range s.coords {
-		s.c.sched.Cancel(ctx.readTimer)
-		s.c.sched.Cancel(ctx.readyTimer)
+		s.c.clk.Cancel(ctx.readTimer)
+		s.c.clk.Cancel(ctx.readyTimer)
 		if ctx.isQuery {
 			ctx.qh.complete(polyvalue.Poly{}, errSiteDown)
 		}
 	}
 	for _, rs := range s.retry {
-		s.c.sched.Cancel(rs.timer)
+		s.c.clk.Cancel(rs.timer)
 	}
 	for _, id := range s.notifyRetry {
-		s.c.sched.Cancel(id)
+		s.c.clk.Cancel(id)
 	}
 	s.locks = map[string]txn.ID{}
 	s.parts = map[txn.ID]*partCtx{}
@@ -1152,7 +1169,7 @@ func (s *Site) restart() {
 		return
 	}
 	s.down = false
-	s.c.net.SetDown(s.id, false)
+	s.c.fab.SetDown(s.id, false)
 	s.recoverDurableState()
 }
 

@@ -12,6 +12,8 @@ package network
 import (
 	"fmt"
 	"math/rand"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -20,8 +22,10 @@ import (
 	"repro/internal/vclock"
 )
 
-// Handler receives delivered messages at a site.
-type Handler func(msg protocol.Message)
+// Handler receives delivered messages at a site.  It is an alias (not a
+// defined type) so *Network structurally satisfies transport.Transport's
+// Register signature.
+type Handler = func(msg protocol.Message)
 
 // Stats counts network activity, for benchmarks and the cluster's
 // metrics output.
@@ -37,6 +41,34 @@ type Stats struct {
 	DroppedRandom int64
 	// Duplicated counts extra deliveries injected by DuplicateProb.
 	Duplicated int64
+	// SentByType and DeliveredByType break the totals down by message
+	// kind (keys are MsgKind.String()).  Snapshots deep-copy the maps;
+	// render them with Format, which iterates in sorted order so
+	// same-seed exports stay byte-identical.
+	SentByType      map[string]int64
+	DeliveredByType map[string]int64
+}
+
+// Format renders the counters as stable text: fixed field order, and
+// per-type breakdowns in sorted key order.
+func (s Stats) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sent=%d delivered=%d dropped_down=%d dropped_partition=%d dropped_random=%d duplicated=%d\n",
+		s.Sent, s.Delivered, s.DroppedDown, s.DroppedPartition, s.DroppedRandom, s.Duplicated)
+	for _, kv := range []struct {
+		name string
+		m    map[string]int64
+	}{{"sent", s.SentByType}, {"delivered", s.DeliveredByType}} {
+		keys := make([]string, 0, len(kv.m))
+		for k := range kv.m {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%s{type=%s}=%d\n", kv.name, k, kv.m[k])
+		}
+	}
+	return b.String()
 }
 
 // Network is the simulated fabric.  Safe for concurrent use; in the
@@ -139,6 +171,10 @@ func (n *Network) Send(msg protocol.Message) {
 	defer n.mu.Unlock()
 	kind := metrics.L("type", msg.Kind.String())
 	n.stats.Sent++
+	if n.stats.SentByType == nil {
+		n.stats.SentByType = map[string]int64{}
+	}
+	n.stats.SentByType[msg.Kind.String()]++
 	n.count("network.sent", kind)
 	if n.down[msg.From] || n.down[msg.To] {
 		n.stats.DroppedDown++
@@ -195,6 +231,10 @@ func (n *Network) deliver(msg protocol.Message) {
 	}
 	h := n.handlers[msg.To]
 	n.stats.Delivered++
+	if n.stats.DeliveredByType == nil {
+		n.stats.DeliveredByType = map[string]int64{}
+	}
+	n.stats.DeliveredByType[msg.Kind.String()]++
 	n.count("network.delivered", metrics.L("type", msg.Kind.String()))
 	n.mu.Unlock()
 	if h != nil {
@@ -240,11 +280,26 @@ func (n *Network) HealAll() {
 	n.down = map[protocol.SiteID]bool{}
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters.  The per-type maps are
+// deep-copied so the snapshot is stable.
 func (n *Network) Stats() Stats {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	return n.stats
+	st := n.stats
+	st.SentByType = copyCounts(n.stats.SentByType)
+	st.DeliveredByType = copyCounts(n.stats.DeliveredByType)
+	return st
+}
+
+func copyCounts(m map[string]int64) map[string]int64 {
+	if m == nil {
+		return nil
+	}
+	out := make(map[string]int64, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
 }
 
 // String summarizes the failure state, for traces.

@@ -1,0 +1,507 @@
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"net"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/protocol"
+	"repro/internal/wire"
+)
+
+// TCPConfig parameterizes a TCP transport for one site.
+type TCPConfig struct {
+	// Self is the site this process hosts.
+	Self protocol.SiteID
+	// Peers maps every cluster site (including Self) to its listen
+	// address.
+	Peers map[protocol.SiteID]string
+	// Listen overrides the address to listen on (default Peers[Self]);
+	// useful to bind "0.0.0.0:port" while peers dial a specific host.
+	Listen string
+	// DialTimeout bounds one connection attempt (default 1s).
+	DialTimeout time.Duration
+	// WriteTimeout bounds one frame write; a peer that stops reading
+	// drops the connection rather than wedging the writer (default 2s).
+	WriteTimeout time.Duration
+	// BackoffMin/BackoffMax bound the exponential redial backoff
+	// (defaults 50ms and 2s); each step gets ±50% jitter.
+	BackoffMin, BackoffMax time.Duration
+	// QueueDepth is the per-peer outgoing buffer; a full queue drops
+	// (lost-datagram semantics, default 256).
+	QueueDepth int
+	// MaxFrame caps accepted payload size (default wire.MaxFrame).
+	MaxFrame int
+	// Seed drives backoff jitter (runs with equal seeds draw the same
+	// jitter sequence).
+	Seed int64
+	// Metrics, when set, receives network.sent/delivered/dropped (same
+	// series as the simulated fabric) plus transport.reconnects and
+	// transport.conn.errors, labelled by peer.
+	Metrics *metrics.Registry
+	// Logf, when set, receives connection lifecycle diagnostics.
+	Logf func(format string, args ...any)
+}
+
+func (c *TCPConfig) fillDefaults() {
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = time.Second
+	}
+	if c.WriteTimeout <= 0 {
+		c.WriteTimeout = 2 * time.Second
+	}
+	if c.BackoffMin <= 0 {
+		c.BackoffMin = 50 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 2 * time.Second
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = wire.MaxFrame
+	}
+	if c.Listen == "" {
+		c.Listen = c.Peers[c.Self]
+	}
+}
+
+// PeerStats counts one peer link's activity.
+type PeerStats struct {
+	// Sent counts frames written to the peer; Dropped counts messages
+	// abandoned (dead link, backoff window, full queue).
+	Sent, Dropped int64
+	// Reconnects counts successful dials after a previous connection
+	// existed; ConnErrors counts failed dials and broken writes.
+	Reconnects, ConnErrors int64
+}
+
+// TCPStats snapshots a TCP transport's counters.
+type TCPStats struct {
+	Sent, Delivered, Dropped int64
+	Reconnects, ConnErrors   int64
+	ByPeer                   map[protocol.SiteID]PeerStats
+}
+
+// Format renders the counters as stable text, iterating the per-peer
+// breakdown in sorted site order so same-run exports are byte-identical.
+func (s TCPStats) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sent=%d delivered=%d dropped=%d reconnects=%d conn_errors=%d\n",
+		s.Sent, s.Delivered, s.Dropped, s.Reconnects, s.ConnErrors)
+	peers := make([]protocol.SiteID, 0, len(s.ByPeer))
+	for id := range s.ByPeer {
+		peers = append(peers, id)
+	}
+	sort.Slice(peers, func(i, j int) bool { return peers[i] < peers[j] })
+	for _, id := range peers {
+		ps := s.ByPeer[id]
+		fmt.Fprintf(&b, "peer{site=%s} sent=%d dropped=%d reconnects=%d conn_errors=%d\n",
+			id, ps.Sent, ps.Dropped, ps.Reconnects, ps.ConnErrors)
+	}
+	return b.String()
+}
+
+// peer is one outgoing link.  conn and backoff state are owned by the
+// writer goroutine; out is the only cross-goroutine surface.
+type peer struct {
+	id   protocol.SiteID
+	addr string
+	out  chan protocol.Message
+
+	conn     net.Conn
+	buf      []byte
+	rng      *rand.Rand
+	backoff  time.Duration
+	nextDial time.Time
+	everUp   bool
+}
+
+// TCP is the real-socket Transport: one listener for inbound frames, one
+// writer goroutine (with its own connection and reconnect/backoff state)
+// per peer for outbound.
+type TCP struct {
+	cfg   TCPConfig
+	ln    net.Listener
+	peers map[protocol.SiteID]*peer // fixed at construction
+	lo    chan protocol.Message     // self-addressed loopback
+
+	mu       sync.Mutex
+	handlers map[protocol.SiteID]Handler
+	down     map[protocol.SiteID]bool
+	conns    map[net.Conn]bool // accepted connections, for Close
+	closed   bool
+	stats    TCPStats
+
+	wg   sync.WaitGroup
+	quit chan struct{}
+}
+
+// NewTCP opens the listener and starts the per-peer writers.  The
+// returned transport delivers nothing until Register installs a handler.
+func NewTCP(cfg TCPConfig) (*TCP, error) {
+	cfg.fillDefaults()
+	if cfg.Self == "" {
+		return nil, fmt.Errorf("transport: TCPConfig.Self is required")
+	}
+	if cfg.Listen == "" {
+		return nil, fmt.Errorf("transport: no listen address for site %s", cfg.Self)
+	}
+	ln, err := net.Listen("tcp", cfg.Listen)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", cfg.Listen, err)
+	}
+	return newTCPWithListener(cfg, ln), nil
+}
+
+// NewTCPWithListener builds a transport over an already-bound listener
+// (tests bind ":0" first and exchange the resulting addresses).
+func NewTCPWithListener(cfg TCPConfig, ln net.Listener) *TCP {
+	cfg.fillDefaults()
+	return newTCPWithListener(cfg, ln)
+}
+
+func newTCPWithListener(cfg TCPConfig, ln net.Listener) *TCP {
+	t := &TCP{
+		cfg:      cfg,
+		ln:       ln,
+		peers:    map[protocol.SiteID]*peer{},
+		lo:       make(chan protocol.Message, cfg.QueueDepth),
+		handlers: map[protocol.SiteID]Handler{},
+		down:     map[protocol.SiteID]bool{},
+		conns:    map[net.Conn]bool{},
+		quit:     make(chan struct{}),
+	}
+	t.stats.ByPeer = map[protocol.SiteID]PeerStats{}
+	for id, addr := range cfg.Peers {
+		if id == cfg.Self {
+			continue
+		}
+		h := fnv.New64a()
+		h.Write([]byte(id))
+		p := &peer{
+			id: id, addr: addr,
+			out:     make(chan protocol.Message, cfg.QueueDepth),
+			rng:     rand.New(rand.NewSource(cfg.Seed ^ int64(h.Sum64()))),
+			backoff: cfg.BackoffMin,
+		}
+		t.peers[id] = p
+		t.wg.Add(1)
+		go t.writer(p)
+	}
+	t.wg.Add(2)
+	go t.acceptLoop()
+	go t.loopback()
+	return t
+}
+
+// Addr returns the listener's address (useful with ":0" binds).
+func (t *TCP) Addr() string { return t.ln.Addr().String() }
+
+// Register installs the delivery handler for a site (normally Self).
+func (t *TCP) Register(site protocol.SiteID, h Handler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.handlers[site] = h
+}
+
+// SetDown marks a site down from this process's point of view: messages
+// to or from it are dropped locally.  Real remote failure needs no
+// marking — the dead process simply stops answering.
+func (t *TCP) SetDown(site protocol.SiteID, down bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.down[site] = down
+}
+
+// IsDown reports a site's locally-marked down state.
+func (t *TCP) IsDown(site protocol.SiteID) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.down[site]
+}
+
+// Send queues msg toward msg.To.  Unknown destinations, down endpoints,
+// full queues and a closed transport all drop (and count) the message —
+// exactly a lost datagram, which the protocol's retry machinery covers.
+func (t *TCP) Send(msg protocol.Message) {
+	kind := metrics.L("type", msg.Kind.String())
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return
+	}
+	t.stats.Sent++
+	t.count("network.sent", kind)
+	if t.down[msg.From] || t.down[msg.To] {
+		t.stats.Dropped++
+		t.count("network.dropped", metrics.L("reason", "down"))
+		t.mu.Unlock()
+		return
+	}
+	t.mu.Unlock()
+
+	if msg.To == t.cfg.Self {
+		select {
+		case t.lo <- msg:
+		default:
+			t.drop(msg.To, "backpressure")
+		}
+		return
+	}
+	p, ok := t.peers[msg.To]
+	if !ok {
+		t.drop(msg.To, "unknown")
+		return
+	}
+	select {
+	case p.out <- msg:
+	default:
+		t.drop(msg.To, "backpressure")
+	}
+}
+
+// Close shuts down: the listener stops, writers drain out, connections
+// close, and every transport goroutine exits before Close returns.
+func (t *TCP) Close() error {
+	t.mu.Lock()
+	if t.closed {
+		t.mu.Unlock()
+		return nil
+	}
+	t.closed = true
+	close(t.quit)
+	err := t.ln.Close()
+	for c := range t.conns {
+		c.Close()
+	}
+	t.mu.Unlock()
+	t.wg.Wait()
+	return err
+}
+
+// Stats snapshots the counters (per-peer map deep-copied).
+func (t *TCP) Stats() TCPStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := t.stats
+	st.ByPeer = make(map[protocol.SiteID]PeerStats, len(t.stats.ByPeer))
+	for id, ps := range t.stats.ByPeer {
+		st.ByPeer[id] = ps
+	}
+	return st
+}
+
+// ---------------------------------------------------------------------
+// Outbound
+// ---------------------------------------------------------------------
+
+// writer owns one peer link: it drains the queue, (re)dialing with
+// capped exponential backoff + jitter, and writes frames under a write
+// deadline.
+func (t *TCP) writer(p *peer) {
+	defer t.wg.Done()
+	defer func() {
+		if p.conn != nil {
+			p.conn.Close()
+		}
+	}()
+	for {
+		select {
+		case <-t.quit:
+			return
+		case msg := <-p.out:
+			t.writeOne(p, msg)
+		}
+	}
+}
+
+// writeOne makes at most one delivery attempt for msg.
+func (t *TCP) writeOne(p *peer, msg protocol.Message) {
+	if p.conn == nil && !t.dial(p) {
+		t.dropPeer(p, "conn")
+		return
+	}
+	p.buf = wire.AppendFrame(p.buf[:0], msg)
+	p.conn.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout))
+	if _, err := p.conn.Write(p.buf); err != nil {
+		t.logf("write to %s: %v", p.id, err)
+		p.conn.Close()
+		p.conn = nil
+		t.connError(p)
+		t.dropPeer(p, "conn")
+		return
+	}
+	t.mu.Lock()
+	ps := t.stats.ByPeer[p.id]
+	ps.Sent++
+	t.stats.ByPeer[p.id] = ps
+	t.mu.Unlock()
+}
+
+// dial attempts to (re)connect, honouring the backoff window.  Returns
+// true when a live connection exists on exit.
+func (t *TCP) dial(p *peer) bool {
+	now := time.Now()
+	if now.Before(p.nextDial) {
+		return false
+	}
+	conn, err := net.DialTimeout("tcp", p.addr, t.cfg.DialTimeout)
+	if err != nil {
+		t.logf("dial %s (%s): %v", p.id, p.addr, err)
+		t.connError(p)
+		// Exponential backoff with ±50% jitter, capped.
+		jitter := 0.5 + p.rng.Float64()
+		p.nextDial = now.Add(time.Duration(float64(p.backoff) * jitter))
+		p.backoff *= 2
+		if p.backoff > t.cfg.BackoffMax {
+			p.backoff = t.cfg.BackoffMax
+		}
+		return false
+	}
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	p.conn = conn
+	p.backoff = t.cfg.BackoffMin
+	p.nextDial = time.Time{}
+	if p.everUp {
+		t.mu.Lock()
+		t.stats.Reconnects++
+		ps := t.stats.ByPeer[p.id]
+		ps.Reconnects++
+		t.stats.ByPeer[p.id] = ps
+		t.mu.Unlock()
+		t.count("transport.reconnects", metrics.L("peer", string(p.id)))
+		t.logf("reconnected to %s (%s)", p.id, p.addr)
+	}
+	p.everUp = true
+	return true
+}
+
+// ---------------------------------------------------------------------
+// Inbound
+// ---------------------------------------------------------------------
+
+func (t *TCP) acceptLoop() {
+	defer t.wg.Done()
+	for {
+		conn, err := t.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		t.mu.Lock()
+		if t.closed {
+			t.mu.Unlock()
+			conn.Close()
+			return
+		}
+		t.conns[conn] = true
+		t.mu.Unlock()
+		t.wg.Add(1)
+		go t.readLoop(conn)
+	}
+}
+
+// readLoop decodes frames off one accepted connection and delivers them.
+func (t *TCP) readLoop(conn net.Conn) {
+	defer t.wg.Done()
+	defer func() {
+		conn.Close()
+		t.mu.Lock()
+		delete(t.conns, conn)
+		t.mu.Unlock()
+	}()
+	r := bufio.NewReader(conn)
+	for {
+		msg, err := wire.ReadMessage(r, t.cfg.MaxFrame)
+		if err != nil {
+			return // EOF, peer death, or a corrupt frame: drop the conn
+		}
+		t.deliver(msg)
+	}
+}
+
+// loopback delivers self-addressed messages asynchronously, preserving
+// their order; synchronous delivery would deadlock the sending site's
+// event loop.
+func (t *TCP) loopback() {
+	defer t.wg.Done()
+	for {
+		select {
+		case <-t.quit:
+			return
+		case msg := <-t.lo:
+			t.deliver(msg)
+		}
+	}
+}
+
+func (t *TCP) deliver(msg protocol.Message) {
+	t.mu.Lock()
+	if t.closed || t.down[msg.To] {
+		t.mu.Unlock()
+		return
+	}
+	h := t.handlers[msg.To]
+	if h == nil {
+		t.stats.Dropped++
+		t.count("network.dropped", metrics.L("reason", "unknown"))
+		t.mu.Unlock()
+		return
+	}
+	t.stats.Delivered++
+	t.count("network.delivered", metrics.L("type", msg.Kind.String()))
+	t.mu.Unlock()
+	h(msg)
+}
+
+// ---------------------------------------------------------------------
+// Accounting
+// ---------------------------------------------------------------------
+
+// count increments a registry counter if a registry is attached.
+func (t *TCP) count(name string, labels ...metrics.Label) {
+	if t.cfg.Metrics != nil {
+		t.cfg.Metrics.Counter(name, labels...).Inc()
+	}
+}
+
+func (t *TCP) drop(to protocol.SiteID, reason string) {
+	t.mu.Lock()
+	t.stats.Dropped++
+	if p, ok := t.stats.ByPeer[to]; ok || t.peers[to] != nil {
+		p.Dropped++
+		t.stats.ByPeer[to] = p
+	}
+	t.mu.Unlock()
+	t.count("network.dropped", metrics.L("reason", reason))
+}
+
+func (t *TCP) dropPeer(p *peer, reason string) { t.drop(p.id, reason) }
+
+func (t *TCP) connError(p *peer) {
+	t.mu.Lock()
+	t.stats.ConnErrors++
+	ps := t.stats.ByPeer[p.id]
+	ps.ConnErrors++
+	t.stats.ByPeer[p.id] = ps
+	t.mu.Unlock()
+	t.count("transport.conn.errors", metrics.L("peer", string(p.id)))
+}
+
+func (t *TCP) logf(format string, args ...any) {
+	if t.cfg.Logf != nil {
+		t.cfg.Logf(format, args...)
+	}
+}
+
+var _ Transport = (*TCP)(nil)

@@ -1,0 +1,321 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/condition"
+	"repro/internal/metrics"
+	"repro/internal/network"
+	"repro/internal/polyvalue"
+	"repro/internal/protocol"
+	"repro/internal/txn"
+	"repro/internal/value"
+	"repro/internal/vclock"
+)
+
+// newTCPs builds one TCP transport per site on loopback :0 ports, all
+// knowing each other's addresses.
+func newTCPs(t *testing.T, ids ...protocol.SiteID) map[protocol.SiteID]*TCP {
+	t.Helper()
+	lns := map[protocol.SiteID]net.Listener{}
+	peers := map[protocol.SiteID]string{}
+	for _, id := range ids {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		lns[id] = ln
+		peers[id] = ln.Addr().String()
+	}
+	out := map[protocol.SiteID]*TCP{}
+	for _, id := range ids {
+		tr := NewTCPWithListener(TCPConfig{
+			Self:       id,
+			Peers:      peers,
+			BackoffMin: 5 * time.Millisecond,
+			BackoffMax: 50 * time.Millisecond,
+			Seed:       42,
+		}, lns[id])
+		out[id] = tr
+		t.Cleanup(func() { tr.Close() })
+	}
+	return out
+}
+
+// collector is a thread-safe message sink.
+type collector struct {
+	mu   sync.Mutex
+	msgs []protocol.Message
+}
+
+func (c *collector) handle(msg protocol.Message) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.msgs = append(c.msgs, msg)
+}
+
+func (c *collector) count() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.msgs)
+}
+
+func (c *collector) waitFor(t *testing.T, n int, d time.Duration) []protocol.Message {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if c.count() >= n {
+			c.mu.Lock()
+			defer c.mu.Unlock()
+			return append([]protocol.Message(nil), c.msgs...)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %d messages (have %d)", n, c.count())
+	return nil
+}
+
+func tid(i int) txn.ID { return txn.ID(fmt.Sprintf("t%04d", i)) }
+
+func samplePoly(t *testing.T) polyvalue.Poly {
+	t.Helper()
+	return polyvalue.Uncertain(condition.TID("t1"),
+		polyvalue.Simple(value.Int(50)),
+		polyvalue.Simple(value.Int(100)))
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	trs := newTCPs(t, "A", "B")
+	var atB collector
+	trs["B"].Register("B", atB.handle)
+
+	msg := protocol.Message{
+		Kind: protocol.MsgReadRep,
+		TID:  "txn-7",
+		From: "A", To: "B",
+		Items:  []string{"acct1", "acct2"},
+		Values: map[string]polyvalue.Poly{"acct1": samplePoly(t)},
+	}
+	trs["A"].Send(msg)
+	got := atB.waitFor(t, 1, 5*time.Second)[0]
+	if got.Kind != msg.Kind || got.TID != msg.TID || got.From != "A" || got.To != "B" {
+		t.Fatalf("header mismatch: %+v", got)
+	}
+	if len(got.Items) != 2 || got.Items[0] != "acct1" {
+		t.Fatalf("items mismatch: %v", got.Items)
+	}
+	if !got.Values["acct1"].Equal(msg.Values["acct1"]) {
+		t.Fatalf("poly mismatch:\n got %v\nwant %v", got.Values["acct1"], msg.Values["acct1"])
+	}
+
+	// And the reverse direction over a separate connection.
+	var atA collector
+	trs["A"].Register("A", atA.handle)
+	trs["B"].Send(protocol.Message{Kind: protocol.MsgOutcomeAck, TID: "txn-7", From: "B", To: "A"})
+	if got := atA.waitFor(t, 1, 5*time.Second)[0]; got.Kind != protocol.MsgOutcomeAck {
+		t.Fatalf("kind = %v, want MsgOutcomeAck", got.Kind)
+	}
+}
+
+func TestTCPSelfLoopback(t *testing.T) {
+	trs := newTCPs(t, "A", "B")
+	var atA collector
+	trs["A"].Register("A", atA.handle)
+	for i := 0; i < 5; i++ {
+		trs["A"].Send(protocol.Message{Kind: protocol.MsgReadReq, TID: tid(i), From: "A", To: "A"})
+	}
+	msgs := atA.waitFor(t, 5, 5*time.Second)
+	for i, m := range msgs {
+		if m.TID != tid(i) {
+			t.Fatalf("self message %d out of order: %s", i, m.TID)
+		}
+	}
+}
+
+func TestTCPOrderPreservedPerPeer(t *testing.T) {
+	trs := newTCPs(t, "A", "B")
+	var atB collector
+	trs["B"].Register("B", atB.handle)
+	const n = 200
+	for i := 0; i < n; i++ {
+		trs["A"].Send(protocol.Message{Kind: protocol.MsgReadReq, TID: tid(i), From: "A", To: "B"})
+		// Pace sends so the bounded queue never backpressure-drops;
+		// this test is about ordering, not loss.
+		if i%50 == 49 {
+			time.Sleep(time.Millisecond)
+		}
+	}
+	msgs := atB.waitFor(t, n, 10*time.Second)
+	for i, m := range msgs {
+		if m.TID != tid(i) {
+			t.Fatalf("message %d has TID %s, want %s", i, m.TID, tid(i))
+		}
+	}
+}
+
+func TestTCPSetDownDrops(t *testing.T) {
+	trs := newTCPs(t, "A", "B")
+	var atB collector
+	trs["B"].Register("B", atB.handle)
+
+	// Sender-side down: A refuses to send to B.
+	trs["A"].SetDown("B", true)
+	trs["A"].Send(protocol.Message{Kind: protocol.MsgOutcomeAck, TID: "t", From: "A", To: "B"})
+	if !trs["A"].IsDown("B") {
+		t.Fatal("IsDown(B) = false after SetDown")
+	}
+	st := trs["A"].Stats()
+	if st.Dropped != 1 {
+		t.Fatalf("dropped = %d, want 1", st.Dropped)
+	}
+	trs["A"].SetDown("B", false)
+
+	// Receiver-side down: B drops on delivery.
+	trs["B"].SetDown("B", true)
+	trs["A"].Send(protocol.Message{Kind: protocol.MsgOutcomeAck, TID: "t", From: "A", To: "B"})
+	time.Sleep(50 * time.Millisecond)
+	if n := atB.count(); n != 0 {
+		t.Fatalf("down receiver got %d messages", n)
+	}
+	trs["B"].SetDown("B", false)
+	trs["A"].Send(protocol.Message{Kind: protocol.MsgOutcomeAck, TID: "t", From: "A", To: "B"})
+	atB.waitFor(t, 1, 5*time.Second)
+}
+
+// TestTCPReconnect kills the receiving transport, watches the sender
+// drop messages through the backoff window, restarts a transport on the
+// same address, and verifies traffic resumes and the reconnect counter
+// advances.
+func TestTCPReconnect(t *testing.T) {
+	reg := metrics.NewRegistry()
+	lnA, _ := net.Listen("tcp", "127.0.0.1:0")
+	lnB, _ := net.Listen("tcp", "127.0.0.1:0")
+	peers := map[protocol.SiteID]string{"A": lnA.Addr().String(), "B": lnB.Addr().String()}
+	a := NewTCPWithListener(TCPConfig{
+		Self: "A", Peers: peers,
+		BackoffMin: time.Millisecond, BackoffMax: 20 * time.Millisecond,
+		WriteTimeout: 200 * time.Millisecond, Seed: 1, Metrics: reg,
+	}, lnA)
+	defer a.Close()
+	b1 := NewTCPWithListener(TCPConfig{Self: "B", Peers: peers, Seed: 2}, lnB)
+	var atB1 collector
+	b1.Register("B", atB1.handle)
+
+	a.Send(protocol.Message{Kind: protocol.MsgOutcomeAck, TID: "warm", From: "A", To: "B"})
+	atB1.waitFor(t, 1, 5*time.Second)
+
+	if err := b1.Close(); err != nil {
+		t.Fatalf("close b1: %v", err)
+	}
+
+	// Drive sends until A notices the dead link (broken write or failed
+	// dial) and records at least one connection error.
+	deadline := time.Now().Add(5 * time.Second)
+	for a.Stats().ConnErrors == 0 && time.Now().Before(deadline) {
+		a.Send(protocol.Message{Kind: protocol.MsgOutcomeAck, TID: "probe", From: "A", To: "B"})
+		time.Sleep(5 * time.Millisecond)
+	}
+	if a.Stats().ConnErrors == 0 {
+		t.Fatal("sender never observed the dead peer")
+	}
+
+	// Restart B on the same address; A must reconnect and deliver.
+	lnB2, err := net.Listen("tcp", peers["B"])
+	if err != nil {
+		t.Fatalf("rebind %s: %v", peers["B"], err)
+	}
+	b2 := NewTCPWithListener(TCPConfig{Self: "B", Peers: peers, Seed: 3}, lnB2)
+	defer b2.Close()
+	var atB2 collector
+	b2.Register("B", atB2.handle)
+
+	deadline = time.Now().Add(10 * time.Second)
+	for atB2.count() == 0 && time.Now().Before(deadline) {
+		a.Send(protocol.Message{Kind: protocol.MsgComplete, TID: "resume", From: "A", To: "B"})
+		time.Sleep(10 * time.Millisecond)
+	}
+	if atB2.count() == 0 {
+		t.Fatal("no delivery after peer restart")
+	}
+	st := a.Stats()
+	if st.Reconnects == 0 {
+		t.Errorf("reconnects = 0 after peer restart; stats:\n%s", st.Format())
+	}
+	if st.ByPeer["B"].Reconnects == 0 {
+		t.Errorf("per-peer reconnects = 0; stats:\n%s", st.Format())
+	}
+	if reg.Counter("transport.reconnects", metrics.L("peer", "B")).Value() == 0 {
+		t.Error("transport.reconnects metric not incremented")
+	}
+}
+
+func TestTCPStatsFormatSorted(t *testing.T) {
+	st := TCPStats{
+		Sent: 3, Delivered: 2, Dropped: 1,
+		ByPeer: map[protocol.SiteID]PeerStats{
+			"C": {Sent: 1}, "A": {Sent: 2}, "B": {Dropped: 1},
+		},
+	}
+	out := st.Format()
+	ia, ib, ic := strings.Index(out, "site=A"), strings.Index(out, "site=B"), strings.Index(out, "site=C")
+	if ia < 0 || ib < 0 || ic < 0 || !(ia < ib && ib < ic) {
+		t.Fatalf("peers not in sorted order:\n%s", out)
+	}
+	for i := 0; i < 10; i++ {
+		if st.Format() != out {
+			t.Fatal("Format not deterministic")
+		}
+	}
+}
+
+func TestTCPCloseIsIdempotentAndQuiet(t *testing.T) {
+	trs := newTCPs(t, "A", "B")
+	var atB collector
+	trs["B"].Register("B", atB.handle)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			trs["A"].Send(protocol.Message{Kind: protocol.MsgOutcomeAck, TID: tid(i), From: "A", To: "B"})
+		}
+	}()
+	trs["A"].Close()
+	trs["A"].Close() // idempotent
+	<-done
+	// Sends after close are silent no-ops.
+	trs["A"].Send(protocol.Message{Kind: protocol.MsgOutcomeAck, TID: "late", From: "A", To: "B"})
+}
+
+// TestSimTransport checks the simulated-network adapter satisfies the
+// same contract over the deterministic scheduler.
+func TestSimTransport(t *testing.T) {
+	sched := vclock.NewScheduler()
+	sim := NewSim(network.New(sched, network.Config{Seed: 7}))
+	var fab Transport = sim
+
+	var atB collector
+	fab.Register("B", atB.handle)
+	fab.Send(protocol.Message{Kind: protocol.MsgReadRep, TID: "t", From: "A", To: "B",
+		Values: map[string]polyvalue.Poly{"x": samplePoly(t)}})
+	sched.Drain(0)
+	if atB.count() != 1 {
+		t.Fatalf("sim delivered %d, want 1", atB.count())
+	}
+	fab.SetDown("B", true)
+	if !fab.IsDown("B") {
+		t.Fatal("IsDown after SetDown = false")
+	}
+	fab.Send(protocol.Message{Kind: protocol.MsgOutcomeAck, TID: "t", From: "A", To: "B"})
+	sched.Drain(0)
+	if atB.count() != 1 {
+		t.Fatal("message delivered to down site")
+	}
+	if err := fab.Close(); err != nil {
+		t.Fatalf("sim Close: %v", err)
+	}
+}

@@ -1,0 +1,64 @@
+// Package transport abstracts the message fabric a cluster site sends
+// and receives protocol messages through.  Two implementations exist:
+//
+//   - Sim adapts the deterministic in-process simulated network
+//     (internal/network) — the default for tests, benchmarks and the
+//     single-process cluster runtime;
+//   - TCP carries messages between real OS processes over loopback or a
+//     LAN, using the internal/wire binary codec, so a cluster can run as
+//     N independent polynode processes (cmd/polynode).
+//
+// Both deliver with lost-datagram semantics: Send never blocks on a slow
+// or dead peer, and a message that cannot be delivered is dropped and
+// counted.  The commit protocol is built to tolerate exactly that (§3.3
+// retries outcome propagation until acknowledged), which is what lets
+// one protocol core drive both fabrics unchanged.
+package transport
+
+import (
+	"repro/internal/network"
+	"repro/internal/protocol"
+)
+
+// Handler receives delivered messages at a site.  Alias of
+// network.Handler: the same handler functions register against either
+// fabric.
+type Handler = network.Handler
+
+// Transport is the message fabric interface the cluster runtime sends
+// through.  Implementations are safe for concurrent use.
+type Transport interface {
+	// Send transmits msg toward msg.To.  It never blocks on the
+	// destination; undeliverable messages are dropped (and counted).
+	Send(msg protocol.Message)
+	// Register installs the delivery handler for a site.  Re-registering
+	// replaces the handler (a restarted site re-registers).
+	Register(site protocol.SiteID, h Handler)
+	// SetDown marks a site crashed (true) or recovered (false) from this
+	// fabric's point of view: messages to and from a down site are
+	// dropped.  For TCP this only applies to the local site — remote
+	// "down" is a real dead process.
+	SetDown(site protocol.SiteID, down bool)
+	// IsDown reports a site's down state as far as this fabric knows.
+	IsDown(site protocol.SiteID) bool
+	// Close shuts the fabric down gracefully: stops accepting, closes
+	// connections, and waits for I/O goroutines to exit.
+	Close() error
+}
+
+// Sim adapts the simulated network to the Transport interface.
+// *network.Network already has Send/Register/SetDown/IsDown with
+// matching signatures; only Close is added (the simulated fabric holds
+// no resources).
+type Sim struct {
+	*network.Network
+}
+
+// NewSim wraps a simulated network as a Transport.
+func NewSim(n *network.Network) Sim { return Sim{Network: n} }
+
+// Close implements Transport; the simulated network has nothing to
+// release.
+func (Sim) Close() error { return nil }
+
+var _ Transport = Sim{}

@@ -1,0 +1,109 @@
+package vclock
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWallFires(t *testing.T) {
+	w := NewWall()
+	defer w.Stop()
+	done := make(chan struct{})
+	w.After(5*time.Millisecond, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("timer never fired")
+	}
+	if w.Pending() != 0 {
+		t.Errorf("pending = %d after fire", w.Pending())
+	}
+}
+
+func TestWallCancel(t *testing.T) {
+	w := NewWall()
+	defer w.Stop()
+	var fired atomic.Int32
+	id := w.After(20*time.Millisecond, func() { fired.Add(1) })
+	if !w.Cancel(id) {
+		t.Fatal("cancel of pending timer returned false")
+	}
+	if w.Cancel(id) {
+		t.Error("double cancel returned true")
+	}
+	time.Sleep(60 * time.Millisecond)
+	if fired.Load() != 0 {
+		t.Error("cancelled timer fired")
+	}
+}
+
+func TestWallAtPastRunsPromptly(t *testing.T) {
+	w := NewWall()
+	defer w.Stop()
+	done := make(chan struct{})
+	w.At(-time.Hour, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("past-instant timer never fired")
+	}
+}
+
+func TestWallStop(t *testing.T) {
+	w := NewWall()
+	var fired atomic.Int32
+	for i := 0; i < 10; i++ {
+		w.After(10*time.Millisecond, func() { fired.Add(1) })
+	}
+	w.Stop()
+	if id := w.After(time.Millisecond, func() { fired.Add(1) }); id != 0 {
+		t.Error("scheduling after Stop returned a live ID")
+	}
+	time.Sleep(50 * time.Millisecond)
+	if fired.Load() != 0 {
+		t.Errorf("%d timers fired after Stop", fired.Load())
+	}
+}
+
+// TestWallConcurrent exercises the clock from many goroutines under the
+// race detector: schedule, cancel, and callbacks that reschedule.
+func TestWallConcurrent(t *testing.T) {
+	w := NewWall()
+	defer w.Stop()
+	var wg sync.WaitGroup
+	var fired atomic.Int32
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			ids := make([]TimerID, 0, 50)
+			for i := 0; i < 50; i++ {
+				d := time.Duration(i%5) * time.Millisecond
+				ids = append(ids, w.After(d, func() {
+					fired.Add(1)
+					if fired.Load()%7 == 0 {
+						w.After(time.Millisecond, func() {})
+					}
+				}))
+			}
+			for i, id := range ids {
+				if i%3 == 0 {
+					w.Cancel(id)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	deadline := time.Now().Add(2 * time.Second)
+	for w.Pending() > 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if w.Pending() != 0 {
+		t.Errorf("pending = %d after drain", w.Pending())
+	}
+	if w.Now() <= 0 {
+		t.Error("Now did not advance")
+	}
+}

@@ -1,0 +1,349 @@
+// Package wire defines the versioned binary format protocol messages
+// take on a real network link.  The simulated network passes
+// protocol.Message structs by value; a multi-process cluster (cmd/
+// polynode over internal/transport) needs an actual byte encoding, with
+// the same canonical polyvalue/condition wire form the storage WAL uses.
+//
+// Frame layout (all integers big-endian):
+//
+//	4 bytes  payload length N
+//	4 bytes  CRC32 (IEEE) of the payload
+//	N bytes  payload
+//
+// Payload layout (version 1):
+//
+//	1 byte   wire version
+//	1 byte   message kind
+//	str      TID, From, To           (uvarint length + bytes each)
+//	1 byte   flags (bit0 Lock, bit1 ReadOnly, bit2 Committed)
+//	uvarint  item count; per item: str
+//	str      Program
+//	str      Coordinator
+//	str      Reason
+//	uvarint  value count; per entry, sorted by item name:
+//	           str   item
+//	           poly  polyvalue.AppendBinary encoding
+//
+// Values entries are written in sorted item order, so encoding is
+// canonical: equal messages produce identical bytes, and re-encoding a
+// decoded message reproduces the source frame exactly.
+//
+// Decoding is defensive — frames arrive from a real socket and may be
+// truncated, corrupted, or hostile.  Every failure returns (wrapped) one
+// of the typed errors below; decoders never panic, and allocations are
+// bounded by the input length regardless of what counts the header
+// claims.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"sort"
+
+	"repro/internal/polyvalue"
+	"repro/internal/protocol"
+	"repro/internal/txn"
+)
+
+// Version is the current payload format version.
+const Version = 1
+
+// MaxFrame is the default cap on payload size, applied by ReadMessage
+// and DecodeFrame.  A peer announcing a larger frame is faulty or
+// hostile; reading it would be an unbounded allocation.
+const MaxFrame = 8 << 20
+
+// frameHeader is the fixed frame prefix: length + checksum.
+const frameHeader = 8
+
+// Typed decode failures.  Callers match with errors.Is; the returned
+// errors wrap these with positional detail.
+var (
+	// ErrTruncated reports input that ends mid-field (or mid-frame).
+	ErrTruncated = errors.New("wire: truncated")
+	// ErrOversize reports a frame whose announced payload exceeds the
+	// size limit.
+	ErrOversize = errors.New("wire: frame too large")
+	// ErrChecksum reports a payload that fails CRC verification.
+	ErrChecksum = errors.New("wire: checksum mismatch")
+	// ErrVersion reports an unknown payload version byte.
+	ErrVersion = errors.New("wire: unknown version")
+	// ErrMalformed reports a structurally invalid payload (bad counts,
+	// invalid polyvalue, trailing bytes).
+	ErrMalformed = errors.New("wire: malformed payload")
+)
+
+// Message flag bits.
+const (
+	flagLock      = 1 << 0
+	flagReadOnly  = 1 << 1
+	flagCommitted = 1 << 2
+)
+
+// AppendMessage appends m's version-1 payload encoding to dst.
+func AppendMessage(dst []byte, m protocol.Message) []byte {
+	dst = append(dst, Version, byte(m.Kind))
+	dst = appendString(dst, string(m.TID))
+	dst = appendString(dst, string(m.From))
+	dst = appendString(dst, string(m.To))
+	var flags byte
+	if m.Lock {
+		flags |= flagLock
+	}
+	if m.ReadOnly {
+		flags |= flagReadOnly
+	}
+	if m.Committed {
+		flags |= flagCommitted
+	}
+	dst = append(dst, flags)
+	dst = binary.AppendUvarint(dst, uint64(len(m.Items)))
+	for _, item := range m.Items {
+		dst = appendString(dst, item)
+	}
+	dst = appendString(dst, m.Program)
+	dst = appendString(dst, string(m.Coordinator))
+	dst = appendString(dst, m.Reason)
+	dst = binary.AppendUvarint(dst, uint64(len(m.Values)))
+	for _, item := range sortedKeys(m.Values) {
+		dst = appendString(dst, item)
+		dst = m.Values[item].AppendBinary(dst)
+	}
+	return dst
+}
+
+// EncodeMessage returns m's payload encoding.
+func EncodeMessage(m protocol.Message) []byte {
+	return AppendMessage(nil, m)
+}
+
+// DecodeMessage decodes one complete payload.  Trailing bytes are an
+// error: a frame carries exactly one message.
+func DecodeMessage(buf []byte) (protocol.Message, error) {
+	m, n, err := decodeMessage(buf)
+	if err != nil {
+		return protocol.Message{}, err
+	}
+	if n != len(buf) {
+		return protocol.Message{}, fmt.Errorf("%w: %d trailing bytes", ErrMalformed, len(buf)-n)
+	}
+	return m, nil
+}
+
+// decodeMessage decodes one payload from the front of buf, returning the
+// message and bytes consumed.
+func decodeMessage(buf []byte) (protocol.Message, int, error) {
+	d := decoder{buf: buf}
+	ver := d.byte("version")
+	if d.err == nil && ver != Version {
+		return protocol.Message{}, 0, fmt.Errorf("%w: %d", ErrVersion, ver)
+	}
+	var m protocol.Message
+	m.Kind = protocol.MsgKind(d.byte("kind"))
+	m.TID = txn.ID(d.str("tid"))
+	m.From = protocol.SiteID(d.str("from"))
+	m.To = protocol.SiteID(d.str("to"))
+	flags := d.byte("flags")
+	m.Lock = flags&flagLock != 0
+	m.ReadOnly = flags&flagReadOnly != 0
+	m.Committed = flags&flagCommitted != 0
+	if n := d.count("item count"); n > 0 {
+		m.Items = make([]string, 0, n)
+		for i := 0; i < n && d.err == nil; i++ {
+			m.Items = append(m.Items, d.str("item"))
+		}
+	}
+	m.Program = d.str("program")
+	m.Coordinator = protocol.SiteID(d.str("coordinator"))
+	m.Reason = d.str("reason")
+	if n := d.count("value count"); n > 0 {
+		m.Values = make(map[string]polyvalue.Poly, n)
+		for i := 0; i < n && d.err == nil; i++ {
+			item := d.str("value item")
+			p := d.poly("value poly")
+			if d.err == nil {
+				m.Values[item] = p
+			}
+		}
+	}
+	if d.err != nil {
+		return protocol.Message{}, 0, d.err
+	}
+	return m, d.off, nil
+}
+
+// AppendFrame appends the length-prefixed, checksummed frame for m.
+func AppendFrame(dst []byte, m protocol.Message) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0) // header placeholder
+	dst = AppendMessage(dst, m)
+	payload := dst[start+frameHeader:]
+	binary.BigEndian.PutUint32(dst[start:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(dst[start+4:], crc32.ChecksumIEEE(payload))
+	return dst
+}
+
+// EncodeFrame returns the complete frame for m.
+func EncodeFrame(m protocol.Message) []byte {
+	return AppendFrame(nil, m)
+}
+
+// DecodeFrame decodes one frame from the front of buf, returning the
+// message and the number of bytes consumed (header + payload).
+func DecodeFrame(buf []byte) (protocol.Message, int, error) {
+	if len(buf) < frameHeader {
+		return protocol.Message{}, 0, fmt.Errorf("%w: frame header", ErrTruncated)
+	}
+	n := binary.BigEndian.Uint32(buf)
+	if n > MaxFrame {
+		return protocol.Message{}, 0, fmt.Errorf("%w: %d bytes (limit %d)", ErrOversize, n, MaxFrame)
+	}
+	if uint64(len(buf)-frameHeader) < uint64(n) {
+		return protocol.Message{}, 0, fmt.Errorf("%w: frame payload", ErrTruncated)
+	}
+	payload := buf[frameHeader : frameHeader+int(n)]
+	if sum := crc32.ChecksumIEEE(payload); sum != binary.BigEndian.Uint32(buf[4:]) {
+		return protocol.Message{}, 0, fmt.Errorf("%w: got %08x want %08x",
+			ErrChecksum, sum, binary.BigEndian.Uint32(buf[4:]))
+	}
+	m, err := DecodeMessage(payload)
+	if err != nil {
+		return protocol.Message{}, 0, err
+	}
+	return m, frameHeader + int(n), nil
+}
+
+// WriteMessage writes m's frame to w.
+func WriteMessage(w io.Writer, m protocol.Message) error {
+	_, err := w.Write(EncodeFrame(m))
+	return err
+}
+
+// ReadMessage reads one frame from r.  maxFrame caps the payload length
+// (≤ 0 means MaxFrame).  io.EOF is returned unwrapped when the stream
+// ends cleanly at a frame boundary; mid-frame EOF is ErrTruncated.
+func ReadMessage(r io.Reader, maxFrame int) (protocol.Message, error) {
+	if maxFrame <= 0 {
+		maxFrame = MaxFrame
+	}
+	var hdr [frameHeader]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return protocol.Message{}, io.EOF
+		}
+		return protocol.Message{}, fmt.Errorf("%w: frame header: %v", ErrTruncated, err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > uint32(maxFrame) {
+		return protocol.Message{}, fmt.Errorf("%w: %d bytes (limit %d)", ErrOversize, n, maxFrame)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return protocol.Message{}, fmt.Errorf("%w: frame payload: %v", ErrTruncated, err)
+	}
+	if sum := crc32.ChecksumIEEE(payload); sum != binary.BigEndian.Uint32(hdr[4:]) {
+		return protocol.Message{}, fmt.Errorf("%w: got %08x want %08x",
+			ErrChecksum, sum, binary.BigEndian.Uint32(hdr[4:]))
+	}
+	return DecodeMessage(payload)
+}
+
+// ---------------------------------------------------------------------
+// Decode plumbing
+// ---------------------------------------------------------------------
+
+// decoder walks a payload buffer, latching the first error; subsequent
+// reads are no-ops so call sites stay linear.
+type decoder struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (d *decoder) fail(what string, err error) {
+	if d.err == nil {
+		d.err = fmt.Errorf("%w: %s at offset %d", err, what, d.off)
+	}
+}
+
+func (d *decoder) byte(what string) byte {
+	if d.err != nil {
+		return 0
+	}
+	if d.off >= len(d.buf) {
+		d.fail(what, ErrTruncated)
+		return 0
+	}
+	b := d.buf[d.off]
+	d.off++
+	return b
+}
+
+// count reads a uvarint element count and bounds it by the remaining
+// input: every element occupies at least one byte, so a count beyond
+// that is lying and must not size an allocation.
+func (d *decoder) count(what string) int {
+	if d.err != nil {
+		return 0
+	}
+	n, w := binary.Uvarint(d.buf[d.off:])
+	if w <= 0 {
+		d.fail(what, ErrTruncated)
+		return 0
+	}
+	d.off += w
+	if n > uint64(len(d.buf)-d.off) {
+		d.fail(what, ErrMalformed)
+		return 0
+	}
+	return int(n)
+}
+
+func (d *decoder) str(what string) string {
+	if d.err != nil {
+		return ""
+	}
+	n, w := binary.Uvarint(d.buf[d.off:])
+	if w <= 0 {
+		d.fail(what+" length", ErrTruncated)
+		return ""
+	}
+	d.off += w
+	if n > uint64(len(d.buf)-d.off) {
+		d.fail(what, ErrTruncated)
+		return ""
+	}
+	s := string(d.buf[d.off : d.off+int(n)])
+	d.off += int(n)
+	return s
+}
+
+func (d *decoder) poly(what string) polyvalue.Poly {
+	if d.err != nil {
+		return polyvalue.Poly{}
+	}
+	p, n, err := polyvalue.DecodeBinary(d.buf[d.off:])
+	if err != nil {
+		d.fail(what+": "+err.Error(), ErrMalformed)
+		return polyvalue.Poly{}
+	}
+	d.off += n
+	return p
+}
+
+func appendString(dst []byte, s string) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(s)))
+	return append(dst, s...)
+}
+
+func sortedKeys(m map[string]polyvalue.Poly) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,283 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/condition"
+	"repro/internal/polyvalue"
+	"repro/internal/protocol"
+	"repro/internal/txn"
+	"repro/internal/value"
+)
+
+// goldenMessages covers every message kind and every populated field,
+// including polyvalued Values maps.  Shared with the fuzz seed corpus.
+func goldenMessages() []protocol.Message {
+	poly := polyvalue.Uncertain("T7",
+		polyvalue.Simple(value.Int(150)),
+		polyvalue.Simple(value.Int(100)))
+	nested := polyvalue.Uncertain("T9", poly, polyvalue.Simple(value.Str("x")))
+	return []protocol.Message{
+		{},
+		{Kind: protocol.MsgReadReq, TID: "t1", From: "A", To: "B",
+			Items: []string{"acct0", "acct1"}, Lock: true, Coordinator: "A"},
+		{Kind: protocol.MsgReadRep, TID: "t1", From: "B", To: "A",
+			Values: map[string]polyvalue.Poly{
+				"acct0": polyvalue.Simple(value.Int(100)),
+				"acct1": poly,
+			}},
+		{Kind: protocol.MsgPrepare, TID: "t2", From: "A", To: "C",
+			Items:   []string{"acct2"},
+			Program: "acct2 = acct2 - 50 if acct2 >= 50",
+			Values: map[string]polyvalue.Poly{
+				"acct0": nested,
+				"f":     polyvalue.Simple(value.Float(2.5)),
+				"b":     polyvalue.Simple(value.Bool(true)),
+				"n":     polyvalue.Simple(value.Nil{}),
+			},
+			Coordinator: "A"},
+		{Kind: protocol.MsgReady, TID: "t2", From: "C", To: "A", ReadOnly: true},
+		{Kind: protocol.MsgRefuse, TID: "t2", From: "C", To: "A",
+			Reason: "lock conflict at C"},
+		{Kind: protocol.MsgComplete, TID: "t2", From: "A", To: "C", Committed: true},
+		{Kind: protocol.MsgAbort, TID: "t2", From: "A", To: "C"},
+		{Kind: protocol.MsgOutcomeReq, TID: "t3", From: "C", To: "A"},
+		{Kind: protocol.MsgOutcomeInfo, TID: "t3", From: "A", To: "C", Committed: true},
+		{Kind: protocol.MsgOutcomeAck, TID: "t3", From: "C", To: "A"},
+	}
+}
+
+// messagesEqual compares semantically: nil and empty Items/Values are
+// the same message on the wire.
+func messagesEqual(a, b protocol.Message) bool {
+	if a.Kind != b.Kind || a.TID != b.TID || a.From != b.From || a.To != b.To ||
+		a.Lock != b.Lock || a.ReadOnly != b.ReadOnly || a.Committed != b.Committed ||
+		a.Program != b.Program || a.Coordinator != b.Coordinator || a.Reason != b.Reason {
+		return false
+	}
+	if len(a.Items) != len(b.Items) {
+		return false
+	}
+	for i := range a.Items {
+		if a.Items[i] != b.Items[i] {
+			return false
+		}
+	}
+	if len(a.Values) != len(b.Values) {
+		return false
+	}
+	for k, v := range a.Values {
+		w, ok := b.Values[k]
+		if !ok || !v.Equal(w) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRoundTripGolden(t *testing.T) {
+	for i, m := range goldenMessages() {
+		payload := EncodeMessage(m)
+		got, err := DecodeMessage(payload)
+		if err != nil {
+			t.Fatalf("msg %d: decode: %v", i, err)
+		}
+		if !messagesEqual(m, got) {
+			t.Errorf("msg %d: round trip mismatch\n in: %+v\nout: %+v", i, m, got)
+		}
+		// Canonical: re-encoding the decoded message is byte-identical.
+		if again := EncodeMessage(got); !bytes.Equal(payload, again) {
+			t.Errorf("msg %d: re-encode not canonical", i)
+		}
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	msgs := goldenMessages()
+	var stream []byte
+	for _, m := range msgs {
+		stream = AppendFrame(stream, m)
+	}
+	// Decode back-to-back frames from one buffer.
+	off := 0
+	for i, want := range msgs {
+		got, n, err := DecodeFrame(stream[off:])
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if !messagesEqual(want, got) {
+			t.Errorf("frame %d mismatch", i)
+		}
+		off += n
+	}
+	if off != len(stream) {
+		t.Errorf("consumed %d of %d bytes", off, len(stream))
+	}
+	// And through an io.Reader.
+	r := bytes.NewReader(stream)
+	for i, want := range msgs {
+		got, err := ReadMessage(r, 0)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if !messagesEqual(want, got) {
+			t.Errorf("read %d mismatch", i)
+		}
+	}
+	if _, err := ReadMessage(r, 0); err != io.EOF {
+		t.Errorf("want clean EOF, got %v", err)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	m := goldenMessages()[3] // prepare with polyvalues
+	frame := EncodeFrame(m)
+
+	t.Run("truncated", func(t *testing.T) {
+		for n := 0; n < len(frame); n++ {
+			_, _, err := DecodeFrame(frame[:n])
+			if err == nil {
+				t.Fatalf("truncation to %d bytes accepted", n)
+			}
+		}
+		// Mid-frame EOF over a reader.
+		_, err := ReadMessage(bytes.NewReader(frame[:len(frame)-3]), 0)
+		if !errors.Is(err, ErrTruncated) {
+			t.Errorf("reader truncation: got %v", err)
+		}
+	})
+
+	t.Run("checksum", func(t *testing.T) {
+		bad := append([]byte{}, frame...)
+		bad[len(bad)-1] ^= 0x40
+		if _, _, err := DecodeFrame(bad); !errors.Is(err, ErrChecksum) {
+			t.Errorf("got %v, want ErrChecksum", err)
+		}
+		if _, err := ReadMessage(bytes.NewReader(bad), 0); !errors.Is(err, ErrChecksum) {
+			t.Errorf("reader: got %v, want ErrChecksum", err)
+		}
+	})
+
+	t.Run("oversize", func(t *testing.T) {
+		bad := append([]byte{}, frame...)
+		bad[0], bad[1] = 0xff, 0xff // claim a ~4 GiB payload
+		if _, _, err := DecodeFrame(bad); !errors.Is(err, ErrOversize) {
+			t.Errorf("got %v, want ErrOversize", err)
+		}
+		if _, err := ReadMessage(bytes.NewReader(frame), 8); !errors.Is(err, ErrOversize) {
+			t.Errorf("reader limit: got %v, want ErrOversize", err)
+		}
+	})
+
+	t.Run("version", func(t *testing.T) {
+		payload := EncodeMessage(m)
+		payload[0] = 99
+		if _, err := DecodeMessage(payload); !errors.Is(err, ErrVersion) {
+			t.Errorf("got %v, want ErrVersion", err)
+		}
+	})
+
+	t.Run("trailing", func(t *testing.T) {
+		payload := append(EncodeMessage(m), 0xaa)
+		if _, err := DecodeMessage(payload); !errors.Is(err, ErrMalformed) {
+			t.Errorf("got %v, want ErrMalformed", err)
+		}
+	})
+
+	t.Run("lying-count", func(t *testing.T) {
+		// A payload that claims 2^60 items must fail fast, not allocate.
+		payload := []byte{Version, byte(protocol.MsgReadReq)}
+		payload = append(payload, 0, 0, 0) // empty tid/from/to
+		payload = append(payload, 0)       // flags
+		payload = append(payload, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x10)
+		if _, err := DecodeMessage(payload); !errors.Is(err, ErrMalformed) {
+			t.Errorf("got %v, want ErrMalformed", err)
+		}
+	})
+
+	t.Run("bad-poly", func(t *testing.T) {
+		// An incomplete polyvalue (conditions not complete/disjoint) must
+		// be rejected at decode, not admitted into a store.  Raw bad
+		// polyvalue bytes: pair count 1, value int 1, condition with one
+		// positive literal "T" — holds only if T commits.
+		raw := []byte{1}
+		raw = append(raw, value.MarshalBinary(value.Int(1))...)
+		c := condition.Committed("T")
+		raw = c.AppendBinary(raw)
+		// Splice: a read-rep whose single value is the raw poly.
+		spliced := []byte{Version, byte(protocol.MsgReadRep)}
+		spliced = appendString(spliced, "t")
+		spliced = appendString(spliced, "")
+		spliced = appendString(spliced, "")
+		spliced = append(spliced, 0) // flags
+		spliced = append(spliced, 0) // items
+		spliced = appendString(spliced, "")
+		spliced = appendString(spliced, "")
+		spliced = appendString(spliced, "")
+		spliced = append(spliced, 1) // one value
+		spliced = appendString(spliced, "item")
+		spliced = append(spliced, raw...)
+		if _, err := DecodeMessage(spliced); !errors.Is(err, ErrMalformed) {
+			t.Errorf("got %v, want ErrMalformed", err)
+		}
+	})
+}
+
+func TestEncodingIsCanonical(t *testing.T) {
+	// Two equal Values maps built in different insertion orders encode
+	// identically (sorted item order).
+	a := map[string]polyvalue.Poly{}
+	b := map[string]polyvalue.Poly{}
+	items := []string{"z", "a", "m", "q"}
+	for _, it := range items {
+		a[it] = polyvalue.Simple(value.Str(it))
+	}
+	for i := len(items) - 1; i >= 0; i-- {
+		b[items[i]] = polyvalue.Simple(value.Str(items[i]))
+	}
+	ma := protocol.Message{Kind: protocol.MsgReadRep, TID: "t", Values: a}
+	mb := protocol.Message{Kind: protocol.MsgReadRep, TID: "t", Values: b}
+	if !bytes.Equal(EncodeMessage(ma), EncodeMessage(mb)) {
+		t.Error("insertion order leaked into the encoding")
+	}
+}
+
+func TestOversizeNeverBuffered(t *testing.T) {
+	// ReadMessage must reject before reading (or allocating) the payload.
+	hdr := make([]byte, frameHeader)
+	hdr[0] = 0xff // 0xff000000 bytes claimed
+	r := io.MultiReader(bytes.NewReader(hdr), neverEnding{})
+	if _, err := ReadMessage(r, 0); !errors.Is(err, ErrOversize) {
+		t.Fatalf("got %v, want ErrOversize", err)
+	}
+}
+
+// neverEnding would feed unbounded data if the reader tried to buffer an
+// oversize payload.
+type neverEnding struct{}
+
+func (neverEnding) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = 0
+	}
+	return len(p), nil
+}
+
+func TestLongStringsRoundTrip(t *testing.T) {
+	m := protocol.Message{
+		Kind:    protocol.MsgPrepare,
+		TID:     txn.ID("t-" + strings.Repeat("x", 300)),
+		Program: strings.Repeat("a = a + 1; ", 1000),
+	}
+	got, err := DecodeMessage(EncodeMessage(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !messagesEqual(m, got) {
+		t.Error("long-string round trip mismatch")
+	}
+}

@@ -1,0 +1,137 @@
+#!/usr/bin/env bash
+# cluster_demo.sh — boot a real 3-process polyvalue cluster on loopback,
+# run a bank transfer through it, kill the coordinator mid-commit, watch
+# the participants install polyvalues over real sockets, restart the
+# coordinator from its WAL, and assert the polyvalues reduce with the
+# total conserved.
+#
+# Usage: scripts/cluster_demo.sh   (or: make cluster-demo)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+WORK="$(mktemp -d "${TMPDIR:-/tmp}/polydemo.XXXXXX")"
+BIN="$WORK/polynode"
+
+declare -A PID=()
+cleanup() {
+    for site in "${!PID[@]}"; do
+        kill -9 "${PID[$site]}" 2>/dev/null || true
+    done
+    rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+say()  { printf '\033[1m== %s\033[0m\n' "$*"; }
+fail() { printf 'FAIL: %s\n' "$*" >&2; for f in "$WORK"/*.log; do echo "--- $f"; cat "$f"; done >&2; exit 1; }
+
+say "building polynode"
+(cd "$ROOT" && go build -o "$BIN" ./cmd/polynode)
+
+# Pick six free loopback ports: three transport, three control.
+read -r PA PB PC CA CB CC < <(python3 - <<'EOF'
+import socket
+socks = [socket.socket() for _ in range(6)]
+for s in socks: s.bind(("127.0.0.1", 0))
+print(" ".join(str(s.getsockname()[1]) for s in socks))
+for s in socks: s.close()
+EOF
+)
+PEERS="A=127.0.0.1:$PA,B=127.0.0.1:$PB,C=127.0.0.1:$PC"
+declare -A CTRL=([A]="127.0.0.1:$CA" [B]="127.0.0.1:$CB" [C]="127.0.0.1:$CC")
+
+start_node() { # site
+    local site="$1"
+    "$BIN" -site "$site" -peers "$PEERS" -control "${CTRL[$site]}" \
+        -data "$WORK/wal" -wait-timeout 150ms -retry-interval 150ms -stats \
+        -place acct1=B,acct2=C \
+        >>"$WORK/$site.log" 2>&1 &
+    PID[$site]=$!
+    disown
+}
+
+call() { # site command...
+    local site="$1"; shift
+    "$BIN" -call "${CTRL[$site]}" "$@"
+}
+
+wait_ready() { # site
+    local site="$1"
+    for _ in $(seq 1 100); do
+        if call "$site" PING >/dev/null 2>&1; then return 0; fi
+        sleep 0.1
+    done
+    fail "node $site never answered PING"
+}
+
+say "starting 3 polynode processes (A, B, C)"
+mkdir -p "$WORK/wal"
+for site in A B C; do start_node "$site"; done
+for site in A B C; do wait_ready "$site"; done
+
+OWNER1=$(call A OWNER acct1 | awk '{print $2}')
+OWNER2=$(call A OWNER acct2 | awk '{print $2}')
+say "placement: acct1 -> $OWNER1, acct2 -> $OWNER2"
+
+call "$OWNER1" LOAD acct1 100 >/dev/null || fail "LOAD acct1"
+call "$OWNER2" LOAD acct2 100 >/dev/null || fail "LOAD acct2"
+
+TRANSFER='acct1 = acct1 - 30 if acct1 >= 30; acct2 = acct2 + 30 if acct1 >= 30'
+
+say "transfer 30 from acct1 to acct2 through coordinator A"
+OUT=$(call A SUBMIT "$TRANSFER")
+echo "$OUT"
+[[ "$OUT" == OK\ committed* ]] || fail "transfer did not commit: $OUT"
+
+read_item() { # owner item -> prints "certain 70" / "poly ..."
+    call "$1" READ "$2" | sed 's/^OK //'
+}
+[[ "$(read_item "$OWNER1" acct1)" == "certain 70" ]]  || fail "acct1 != 70 after commit"
+[[ "$(read_item "$OWNER2" acct2)" == "certain 130" ]] || fail "acct2 != 130 after commit"
+
+say "arming failpoint: A will crash at its next COMMIT decision"
+call A ARMCRASH >/dev/null
+
+say "submitting a second transfer; the decision will never leave A"
+call A ASYNC "$TRANSFER" >/dev/null
+
+say "waiting for participants to time out and install polyvalues"
+poly_count() { call "$1" POLY | awk '{print $2}'; }
+for _ in $(seq 1 100); do
+    n1=$(poly_count "$OWNER1"); n2=$(poly_count "$OWNER2")
+    if [[ "$n1" -ge 1 && "$n2" -ge 1 ]]; then break; fi
+    sleep 0.1
+done
+[[ "$n1" -ge 1 && "$n2" -ge 1 ]] || fail "polyvalues never installed (owner1=$n1 owner2=$n2)"
+echo "   $OWNER1: $(read_item "$OWNER1" acct1)"
+echo "   $OWNER2: $(read_item "$OWNER2" acct2)"
+say "items remain readable as polyvalues while the outcome is unknown"
+
+say "killing coordinator process A (kill -9)"
+kill -9 "${PID[A]}"
+wait "${PID[A]}" 2>/dev/null || true
+unset 'PID[A]'
+
+sleep 0.5
+
+say "restarting A over the same WAL directory"
+start_node A
+wait_ready A
+
+say "waiting for outcome requests to reach A (presumed abort) and the polyvalues to reduce"
+V1=""; V2=""
+for _ in $(seq 1 150); do
+    R1=$(read_item "$OWNER1" acct1); R2=$(read_item "$OWNER2" acct2)
+    if [[ "$R1" == certain\ * && "$R2" == certain\ * ]]; then
+        V1=${R1#certain }; V2=${R2#certain }
+        break
+    fi
+    sleep 0.1
+done
+[[ -n "$V1" && -n "$V2" ]] || fail "polyvalues never reduced (acct1='$R1' acct2='$R2')"
+echo "   acct1=$V1 acct2=$V2"
+
+[[ "$V1" == "70" ]]  || fail "acct1 = $V1, want 70 (second transfer presumed aborted)"
+[[ "$V2" == "130" ]] || fail "acct2 = $V2, want 130 (second transfer presumed aborted)"
+[[ $((V1 + V2)) -eq 200 ]] || fail "conservation violated: $V1 + $V2 != 200"
+
+say "conservation holds: $V1 + $V2 = 200 — PASS"
