@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench tables fuzz-smoke cluster-demo
+.PHONY: check vet build test race bench tables fuzz-smoke cluster-demo chaos chaos-smoke chaos-demo
 
 check: vet build race ## everything CI runs
 
@@ -27,9 +27,27 @@ tables:
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzMessageDecode -fuzztime=10s ./internal/wire
 	$(GO) test -run=^$$ -fuzz=FuzzPolyDecode -fuzztime=10s ./internal/wire
+	$(GO) test -run=^$$ -fuzz=FuzzRecover -fuzztime=10s ./internal/storage
+
+# Full crash-recovery torture: seeded faults (drops, dup, delay,
+# corruption, partitions, resets), crash points, and kill+restart cycles
+# against a 3-site TCP cluster, asserting conservation, zero residual
+# polyvalues, WAL idempotence, and no goroutine leaks.
+chaos:
+	$(GO) test -race -count=1 -v -run TestChaos ./internal/harness
+
+# Short seeded torture for CI: same assertions, smaller schedule.
+chaos-smoke:
+	$(GO) test -race -count=1 -short -run TestChaosTortureSeeded ./internal/harness
 
 # Boot a real 3-process cluster on loopback TCP, transfer between
 # accounts, kill the coordinator mid-commit, watch polyvalues install,
 # restart it, and assert conservation after the reduction.
 cluster-demo:
 	scripts/cluster_demo.sh
+
+# Drive the fault plane through polynode control ports: partitions,
+# drops and corruption against a live 3-process cluster, healed live,
+# ending with conservation intact.
+chaos-demo:
+	scripts/chaos_demo.sh

@@ -17,8 +17,12 @@
 //	SUBMIT <program>     run a transaction, wait for the decision
 //	ASYNC <program>      run a transaction, don't wait (returns the TID)
 //	QUERY <expr>         read-only query, waits for the answer
-//	ARMCRASH             crash this site just before its next COMMIT
-//	                     decision (the paper's critical moment)
+//	ARMCRASH [point]     crash this site at a protocol crash point (default
+//	                     before-decision, the paper's critical moment)
+//	CRASHPOINTS          list the crash points ARMCRASH accepts
+//	FAULT <cmd>          drive the fault-injection plane: drop/dup/delay/
+//	                     corrupt/reset rules, partitions, heal, seed,
+//	                     status, clear (see internal/fault plan grammar)
 //	STATS                cluster + transport counters
 //
 // Responses end with a line starting "OK" or "ERR"; intermediate lines
@@ -26,6 +30,10 @@
 // response:
 //
 //	polynode -call 127.0.0.1:8001 SUBMIT 'a = a - 10 if a >= 10; b = b + 10 if a >= 10'
+//	polynode -call 127.0.0.1:8001 FAULT 'partition a=A b=B heal=5s'
+//
+// Every node's transport is wrapped in the fault injector; with no
+// -faults plan and no FAULT commands it is a transparent pass-through.
 package main
 
 import (
@@ -43,6 +51,7 @@ import (
 	"time"
 
 	"repro/internal/cluster"
+	"repro/internal/fault"
 	"repro/internal/metrics"
 	"repro/internal/polyvalue"
 	"repro/internal/protocol"
@@ -61,6 +70,8 @@ func main() {
 		waitT    = flag.Duration("wait-timeout", 250*time.Millisecond, "participant wait-phase timeout before installing polyvalues")
 		retryT   = flag.Duration("retry-interval", 250*time.Millisecond, "outcome-request retry pacing for in-doubt sites")
 		place    = flag.String("place", "", "comma-separated item=site placement pins (every process must pass the same value); unlisted items hash across sites")
+		faults   = flag.String("faults", "", "initial fault plan, ';'-separated injector commands (e.g. 'drop to=B p=0.1; delay p=0.2 min=5ms max=40ms')")
+		faultSd  = flag.Int64("fault-seed", 1, "PRNG seed for the fault injector (same seed, same fault decisions)")
 		callAddr = flag.String("call", "", "client mode: send the remaining arguments as one command to this control address")
 	)
 	flag.Parse()
@@ -101,6 +112,21 @@ func main() {
 	if err != nil {
 		fatal("%v", err)
 	}
+	// The fault plane sits between the cluster and the wire; with no
+	// rules it forwards untouched.
+	inj := fault.Wrap(fab, fault.Config{
+		Self:    self,
+		Seed:    *faultSd,
+		Metrics: reg,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "polynode[%s] %s\n", self, fmt.Sprintf(format, args...))
+		},
+	})
+	if *faults != "" {
+		if err := inj.ApplyPlan(*faults); err != nil {
+			fatal("-faults: %v", err)
+		}
+	}
 	placement, err := parsePlacement(*place, peers)
 	if err != nil {
 		fatal("%v", err)
@@ -112,7 +138,7 @@ func main() {
 		Metrics:       reg,
 		Placement:     placement,
 		DataDir:       *dataDir,
-	}, self, fab)
+	}, self, inj)
 	if err != nil {
 		fatal("%v", err)
 	}
@@ -121,7 +147,7 @@ func main() {
 	if err != nil {
 		fatal("control listen %s: %v", *control, err)
 	}
-	srv := &server{self: self, node: node, fab: fab}
+	srv := &server{self: self, node: node, fab: fab, inj: inj}
 	go srv.serve(ctl)
 	fmt.Printf("polynode[%s] transport=%s control=%s peers=%d\n",
 		self, fab.Addr(), ctl.Addr(), len(peers)-1)
@@ -213,6 +239,7 @@ type server struct {
 	self protocol.SiteID
 	node *cluster.Cluster
 	fab  *transport.TCP
+	inj  *fault.Injector
 }
 
 func (s *server) serve(ln net.Listener) {
@@ -225,12 +252,26 @@ func (s *server) serve(ln net.Listener) {
 	}
 }
 
+// controlIdleTimeout bounds how long a control session may sit silent
+// between lines; the deadline refreshes per command, so an interactive
+// session stays up as long as it keeps talking.
+const controlIdleTimeout = 5 * time.Minute
+
+// controlMaxLine bounds one control command; a client exceeding it (or
+// going silent past the idle timeout) has its session closed rather
+// than holding memory or a goroutine hostage.
+const controlMaxLine = 64 << 10
+
 func (s *server) session(conn net.Conn) {
 	defer conn.Close()
 	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 64<<10), 64<<10)
+	sc.Buffer(make([]byte, 0, 4096), controlMaxLine)
 	w := bufio.NewWriter(conn)
-	for sc.Scan() {
+	for {
+		conn.SetReadDeadline(time.Now().Add(controlIdleTimeout))
+		if !sc.Scan() {
+			return
+		}
 		line := strings.TrimSpace(sc.Text())
 		if line == "" {
 			continue
@@ -320,8 +361,33 @@ func (s *server) execute(line string) []string {
 		}
 		return []string{"OK " + formatPoly(p)}
 	case "ARMCRASH":
-		s.node.ArmCrashBeforeDecision(s.self)
-		return []string{"OK armed"}
+		point := cluster.CrashBeforeDecision
+		if rest != "" {
+			point = cluster.CrashPoint(rest)
+		}
+		if err := s.node.ArmCrash(s.self, point); err != nil {
+			return []string{"ERR " + err.Error()}
+		}
+		return []string{"OK armed " + string(point)}
+	case "CRASHPOINTS":
+		var out []string
+		for _, p := range cluster.CrashPoints() {
+			out = append(out, "| "+string(p))
+		}
+		return append(out, "OK")
+	case "FAULT":
+		if rest == "" {
+			return []string{"ERR usage: FAULT <cmd> (drop|dup|delay|corrupt|reset|partition|heal|seed|status|clear)"}
+		}
+		msg, err := s.inj.Apply(rest)
+		if err != nil {
+			return []string{"ERR " + err.Error()}
+		}
+		var out []string
+		for _, l := range strings.Split(strings.TrimRight(msg, "\n"), "\n") {
+			out = append(out, "| "+l)
+		}
+		return append(out, "OK")
 	case "STATS":
 		st := s.node.Stats()
 		out := []string{

@@ -72,6 +72,8 @@ type Cluster struct {
 	phasePrepare   *metrics.Histogram
 	phaseWait      *metrics.Histogram
 	phaseSettle    *metrics.Histogram
+	decisionResends *metrics.Counter
+	outcomeRetries  *metrics.Counter
 	// installAt timestamps live polyvalued items for the lifetime
 	// histogram; only touched from serialized site events.
 	installAt map[lifeKey]vclock.Time
@@ -123,6 +125,9 @@ func New(cfg Config) (*Cluster, error) {
 		}
 		store.Instrument(reg, string(id))
 		s := newSite(c, id, store)
+		if len(c.logs) > 0 && cfg.DataDir != "" {
+			s.flog = c.logs[len(c.logs)-1]
+		}
 		c.sites[id] = s
 		c.fab.Register(id, s.onMessage)
 	}
@@ -320,16 +325,6 @@ func (c *Cluster) HealAll() {
 			c.net.Heal(a, b)
 		}
 	}
-}
-
-// ArmCrashBeforeDecision makes the site crash the instant it would next
-// decide COMMIT as a coordinator — after collecting every ready message,
-// before logging or sending complete.  This is the paper's "critical
-// moment": every participant is in the wait phase with no decision
-// coming.  One-shot.
-func (c *Cluster) ArmCrashBeforeDecision(id protocol.SiteID) {
-	site := c.sites[id]
-	site.do(func() { site.crashBeforeDecision = true })
 }
 
 // Sites returns the site IDs in configuration order.

@@ -213,7 +213,10 @@ func TestCoordinatorCrashInstallsPolyvalues(t *testing.T) {
 	// presumes abort, and every polyvalue reduces to the no-transfer
 	// branch.
 	c.Restart("A")
-	c.RunFor(5 * time.Second)
+	// The inquiry loop backs off up to RetryBackoffMax (8x the retry
+	// interval, with jitter), so give recovery a couple of full backoff
+	// periods to drain.
+	c.RunFor(15 * time.Second)
 	if len(c.PolyItems()) != 0 {
 		t.Fatalf("polyvalues survived recovery: %v", c.PolyItems())
 	}

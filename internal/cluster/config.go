@@ -74,6 +74,11 @@ type Config struct {
 	// RetryInterval paces outcome-request retries from in-doubt sites.
 	// Default 500ms (simulated).
 	RetryInterval time.Duration
+	// RetryBackoffMax caps the exponential backoff applied to outcome
+	// inquiries and coordinator decision retransmissions: retry N waits
+	// about RetryInterval·2^(N-1) (±50% jitter), never more than this.
+	// Default 8×RetryInterval.
+	RetryBackoffMax time.Duration
 	// OutcomeTTL is how long an outcome record is retained after every
 	// participant has acknowledged it (coordinator side) or after local
 	// dependencies are cleared (participant side), before being
@@ -129,6 +134,9 @@ func (c *Config) fillDefaults() {
 	}
 	if c.RetryInterval <= 0 {
 		c.RetryInterval = 500 * time.Millisecond
+	}
+	if c.RetryBackoffMax <= 0 {
+		c.RetryBackoffMax = 8 * c.RetryInterval
 	}
 	if c.OutcomeTTL == 0 {
 		c.OutcomeTTL = 5 * time.Second

@@ -29,6 +29,9 @@ func (c *Cluster) CheckInvariants() []string {
 	var violations []string
 	for _, id := range c.order {
 		site := c.sites[id]
+		if site == nil {
+			continue // node mode: remote sites are other processes
+		}
 		site.do(func() {
 			st := site.store
 			// 1 & 2: polyvalue well-formedness and dependency coverage.

@@ -19,6 +19,10 @@ import (
 //	poly.population                  — live polyvalued-item gauge
 //	poly.lifetime.seconds            — install→reduction per item, the
 //	                                   paper's §4 figure-level quantity
+//	txn.decision.resends             — coordinator complete/abort
+//	                                   retransmissions to unacked sites
+//	txn.outcome.retries              — participant outcome-inquiry
+//	                                   retries (backoff-paced)
 //
 // The network and storage layers add network.* and storage.wal.* series
 // to the same registry; the protocol state machines add protocol.* event
@@ -51,6 +55,8 @@ func (c *Cluster) initMetrics(reg *metrics.Registry) {
 	c.phasePrepare = reg.Histogram("protocol.phase.seconds", metrics.L("phase", "prepare"))
 	c.phaseWait = reg.Histogram("protocol.phase.seconds", metrics.L("phase", "wait"))
 	c.phaseSettle = reg.Histogram("protocol.phase.seconds", metrics.L("phase", "settle"))
+	c.decisionResends = reg.Counter("txn.decision.resends")
+	c.outcomeRetries = reg.Counter("txn.outcome.retries")
 	c.installAt = map[lifeKey]vclock.Time{}
 }
 

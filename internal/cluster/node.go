@@ -76,6 +76,9 @@ func NewNode(cfg Config, self protocol.SiteID, fab transport.Transport) (*Cluste
 	}
 	store.Instrument(reg, string(self))
 	s := newSite(c, self, store)
+	if len(c.logs) > 0 {
+		s.flog = c.logs[0]
+	}
 	c.sites[self] = s
 	fab.Register(self, s.onMessage)
 	// Recover durable state synchronously, before any network traffic can

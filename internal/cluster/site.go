@@ -28,9 +28,13 @@ type Site struct {
 	once  sync.Once
 
 	down bool
-	// crashBeforeDecision is the one-shot failpoint armed by
-	// Cluster.ArmCrashBeforeDecision.
-	crashBeforeDecision bool
+	// armed holds the one-shot crash points set by Cluster.ArmCrash
+	// (see crashpoints.go).  Injection state, not protocol state: it
+	// survives crash() so a point armed while down fires after restart.
+	armed map[CrashPoint]bool
+	// flog is the site's file-backed WAL when one exists (DataDir set);
+	// the mid-wal-append crash point tears writes through it.
+	flog *storage.FileLog
 
 	// locks maps item → holding transaction (no-wait exclusive locks:
 	// conflicts refuse, which aborts, which is deadlock-free).
@@ -41,6 +45,10 @@ type Site struct {
 	coords map[txn.ID]*coordCtx
 	// retry holds outcome-request retry state for in-doubt transactions.
 	retry map[txn.ID]retryState
+	// ackRetry holds coordinator-side decision-retransmission timers:
+	// until every participant acknowledges a decided outcome, the
+	// complete/abort is resent with capped exponential backoff.
+	ackRetry map[txn.ID]vclock.TimerID
 	// notifyRetry holds resend timers for §3.3 outcome notifications
 	// that have not been acknowledged by every listed site yet.
 	notifyRetry map[txn.ID]vclock.TimerID
@@ -57,6 +65,8 @@ type Site struct {
 type retryState struct {
 	timer       vclock.TimerID
 	coordinator protocol.SiteID
+	// attempt counts inquiries sent so far, driving the backoff.
+	attempt int
 }
 
 // partCtx is a participant's volatile state for one transaction.
@@ -120,10 +130,12 @@ func newSite(c *Cluster, id protocol.SiteID, store *storage.Store) *Site {
 		inbox:       make(chan func()),
 		acked:       make(chan struct{}),
 		quit:        make(chan struct{}),
+		armed:       map[CrashPoint]bool{},
 		locks:       map[string]txn.ID{},
 		parts:       map[txn.ID]*partCtx{},
 		coords:      map[txn.ID]*coordCtx{},
 		retry:       map[txn.ID]retryState{},
+		ackRetry:    map[txn.ID]vclock.TimerID{},
 		notifyRetry: map[txn.ID]vclock.TimerID{},
 		acks:        map[txn.ID]map[protocol.SiteID]bool{},
 		decidedAt:   map[txn.ID]vclock.Time{},
@@ -463,6 +475,11 @@ func (s *Site) onReadTimeout(tid txn.ID) {
 
 // sendPrepares distributes the transaction to every participant.
 func (s *Site) sendPrepares(ctx *coordCtx) {
+	// Failpoint: reads collected, no prepare sent — participants hold
+	// read locks they must abandon via the lock timeout.
+	if s.maybeCrash(CrashBeforePrepare, ctx.tid) {
+		return
+	}
 	ctx.prepared = true
 	ctx.prepareAt = s.c.clk.Now()
 	s.c.phaseRead.Observe((ctx.prepareAt - ctx.startAt).Seconds())
@@ -554,18 +571,26 @@ func (s *Site) onReadyTimeout(tid txn.ID) {
 
 // decide fixes and durably records the outcome, then broadcasts it.
 func (s *Site) decide(ctx *coordCtx, committed bool, reason string) {
-	if committed && s.crashBeforeDecision {
-		// Failpoint: the paper's critical moment — every participant is
-		// in the wait phase and the decision never leaves this site.
-		s.crashBeforeDecision = false
-		s.c.trace("%s CRASH before decision of %s", s.id, ctx.tid)
-		s.crash()
+	// Failpoint: the paper's critical moment — every participant is in
+	// the wait phase and the decision never leaves this site.
+	if committed && s.maybeCrash(CrashBeforeDecision, ctx.tid) {
 		return
 	}
 	// Durable decision before any complete/abort leaves the site: a
 	// crash after this point must answer outcome requests consistently.
-	if err := s.store.SetOutcome(ctx.tid, committed); err != nil {
+	crashed, err := s.walWrite(ctx.tid, func() error {
+		return s.store.SetOutcome(ctx.tid, committed)
+	})
+	if crashed {
+		return
+	}
+	if err != nil {
 		s.c.trace("%s outcome log error for %s: %v", s.id, ctx.tid, err)
+	}
+	// Failpoint: decision durable, nothing announced — participants
+	// must pull the outcome from this site's recovered log.
+	if committed && s.maybeCrash(CrashAfterDecisionLog, ctx.tid) {
+		return
 	}
 	kind := protocol.MsgAbort
 	if committed {
@@ -597,6 +622,10 @@ func (s *Site) decide(ctx *coordCtx, committed bool, reason string) {
 	for _, site := range targets {
 		s.send(protocol.Message{Kind: kind, TID: ctx.tid, To: site, Committed: committed})
 	}
+	// A dropped complete/abort must not strand participants until their
+	// own inquiry loop fires: retransmit to unacked participants with
+	// capped exponential backoff.
+	s.armDecisionResend(ctx.tid, committed, 1)
 	st := StatusAborted
 	if committed {
 		st = StatusCommitted
@@ -736,18 +765,33 @@ func (s *Site) onPrepare(msg protocol.Message) {
 	// Durably remember the in-doubt window before declaring ready, so a
 	// crash in the wait phase recovers into polyvalues, not amnesia.
 	if len(ctx.writes) > 0 {
-		if err := s.store.MarkPrepared(storage.Prepared{
-			TID: msg.TID, Coordinator: string(msg.Coordinator),
-			Writes: ctx.writes, Previous: ctx.previous,
-		}); err != nil {
+		crashed, err := s.walWrite(msg.TID, func() error {
+			return s.store.MarkPrepared(storage.Prepared{
+				TID: msg.TID, Coordinator: string(msg.Coordinator),
+				Writes: ctx.writes, Previous: ctx.previous,
+			})
+		})
+		if crashed {
+			return
+		}
+		if err != nil {
 			refuse("wal: " + err.Error())
 			return
 		}
+	}
+	// Failpoint: prepared record durable, ready unsent — the
+	// coordinator times out while this site recovers in doubt.
+	if s.maybeCrash(CrashBeforeReady, msg.TID) {
+		return
 	}
 	if _, err := ctx.machine.Transition(protocol.EvComputed); err != nil {
 		return
 	}
 	s.send(protocol.Message{Kind: protocol.MsgReady, TID: msg.TID, To: msg.From})
+	// Failpoint: ready sent, wait phase entered — and immediately died.
+	if s.maybeCrash(CrashAfterReady, msg.TID) {
+		return
+	}
 	ctx.readyAt = s.c.clk.Now()
 	ctx.waitTimer = s.after(s.c.cfg.WaitTimeout, func() { s.onWaitTimeout(msg.TID) })
 }
@@ -921,6 +965,11 @@ func (s *Site) onOutcomeAck(msg protocol.Message) {
 		return
 	}
 	delete(s.acks, msg.TID)
+	if id, ok := s.ackRetry[msg.TID]; ok {
+		// Everyone has the outcome: stop retransmitting the decision.
+		s.c.clk.Cancel(id)
+		delete(s.ackRetry, msg.TID)
+	}
 	tid := msg.TID
 	if t, ok := s.decidedAt[tid]; ok {
 		s.c.phaseSettle.Observe((s.c.clk.Now() - t).Seconds())
@@ -965,6 +1014,12 @@ func (s *Site) onAbortMsg(msg protocol.Message) {
 // armOutcomeRetry keeps asking the coordinator for an outcome until it is
 // known locally.
 func (s *Site) armOutcomeRetry(tid txn.ID, coordinator protocol.SiteID) {
+	s.armOutcomeRetryN(tid, coordinator, 1)
+}
+
+// armOutcomeRetryN sends inquiry number attempt and schedules the next
+// one under the capped-backoff policy.
+func (s *Site) armOutcomeRetryN(tid txn.ID, coordinator protocol.SiteID, attempt int) {
 	if committed, known := s.store.Outcome(tid); known {
 		s.resolveOutcome(tid, committed)
 		return
@@ -985,13 +1040,72 @@ func (s *Site) armOutcomeRetry(tid txn.ID, coordinator protocol.SiteID) {
 		return
 	}
 	s.send(protocol.Message{Kind: protocol.MsgOutcomeReq, TID: tid, To: coordinator})
-	timer := s.after(s.c.cfg.RetryInterval, func() {
+	if attempt > 1 {
+		s.c.outcomeRetries.Inc()
+	}
+	timer := s.after(s.retryBackoff(tid, attempt), func() {
 		if _, known := s.store.Outcome(tid); known {
 			return
 		}
-		s.armOutcomeRetry(tid, coordinator)
+		s.armOutcomeRetryN(tid, coordinator, attempt+1)
 	})
-	s.retry[tid] = retryState{timer: timer, coordinator: coordinator}
+	s.retry[tid] = retryState{timer: timer, coordinator: coordinator, attempt: attempt}
+}
+
+// armDecisionResend schedules retransmission of a decided outcome to
+// every participant that has not acknowledged it yet, paced by the same
+// capped-backoff policy as the inquiry loop.  The final ack cancels it
+// (onOutcomeAck); until then a dropped complete/abort is repaired from
+// the coordinator side instead of waiting out the participants' own
+// inquiry timeouts.
+func (s *Site) armDecisionResend(tid txn.ID, committed bool, attempt int) {
+	waiting, ok := s.acks[tid]
+	if !ok || len(waiting) == 0 {
+		return
+	}
+	s.ackRetry[tid] = s.after(s.retryBackoff(tid, attempt), func() {
+		delete(s.ackRetry, tid)
+		waiting, ok := s.acks[tid]
+		if !ok || len(waiting) == 0 {
+			return
+		}
+		kind := protocol.MsgAbort
+		if committed {
+			kind = protocol.MsgComplete
+		}
+		targets := make([]protocol.SiteID, 0, len(waiting))
+		for site := range waiting {
+			targets = append(targets, site)
+		}
+		sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+		for _, site := range targets {
+			s.c.trace("%s resend %s of %s to %s (attempt %d)", s.id, kind, tid, site, attempt)
+			s.send(protocol.Message{Kind: kind, TID: tid, To: site, Committed: committed})
+			s.c.decisionResends.Inc()
+		}
+		s.armDecisionResend(tid, committed, attempt+1)
+	})
+}
+
+// retryBackoff returns the delay before retry number attempt (1-based):
+// capped exponential backoff with ±50% jitter, mirroring the TCP
+// reconnect policy.  The jitter is a hash of (site, tid, attempt)
+// rather than a PRNG draw, so simulated runs stay deterministic.
+func (s *Site) retryBackoff(tid txn.ID, attempt int) vclock.Time {
+	d := s.c.cfg.RetryInterval
+	limit := s.c.cfg.RetryBackoffMax
+	for i := 1; i < attempt && d < limit; i++ {
+		d *= 2
+	}
+	if d > limit {
+		d = limit
+	}
+	h := fnv.New64a()
+	h.Write([]byte(s.id))
+	h.Write([]byte(tid))
+	h.Write([]byte{byte(attempt), byte(attempt >> 8)})
+	jitter := 0.5 + float64(h.Sum64()%1024)/1024
+	return vclock.Time(float64(d) * jitter)
 }
 
 // onOutcomeReq answers from the durable outcome log; an unknown
@@ -1147,6 +1261,9 @@ func (s *Site) crash() {
 	for _, rs := range s.retry {
 		s.c.clk.Cancel(rs.timer)
 	}
+	for _, id := range s.ackRetry {
+		s.c.clk.Cancel(id)
+	}
 	for _, id := range s.notifyRetry {
 		s.c.clk.Cancel(id)
 	}
@@ -1154,6 +1271,7 @@ func (s *Site) crash() {
 	s.parts = map[txn.ID]*partCtx{}
 	s.coords = map[txn.ID]*coordCtx{}
 	s.retry = map[txn.ID]retryState{}
+	s.ackRetry = map[txn.ID]vclock.TimerID{}
 	s.notifyRetry = map[txn.ID]vclock.TimerID{}
 	s.acks = map[txn.ID]map[protocol.SiteID]bool{}
 	s.decidedAt = map[txn.ID]vclock.Time{}

@@ -73,7 +73,7 @@ func TestTraceShowsPolyvalueInstallOnTimeout(t *testing.T) {
 	c.ArmCrashBeforeDecision("A")
 	_, _ = c.Submit("A", "bx = bx + 1")
 	c.RunFor(2 * time.Second)
-	if !ring.Contains("CRASH before decision") {
+	if !ring.Contains("CRASH at before-decision") {
 		t.Error("failpoint crash not traced")
 	}
 	if !ring.Contains("wait timeout") || !ring.Contains("installing polyvalues") {

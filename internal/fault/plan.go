@@ -1,0 +1,175 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/protocol"
+)
+
+// Apply parses and executes one fault command, returning a one-line
+// human-readable result.  The same grammar serves the polynode control
+// port's FAULT verb and the -faults startup flag:
+//
+//	drop|dup|corrupt|reset [from=<site|*>] [to=<site|*>] p=<prob>
+//	delay [from=<site|*>] [to=<site|*>] p=<prob> min=<dur> max=<dur>
+//	partition a=<site> b=<site> [oneway] [heal=<dur>]
+//	heal [a=<site> b=<site>]
+//	clear
+//	seed n=<int>
+//	status
+//
+// Omitted from=/to= default to the wildcard; p=0 removes the matching
+// rule.  Durations use Go syntax (150ms, 2s).
+func (in *Injector) Apply(cmd string) (string, error) {
+	fields := strings.Fields(cmd)
+	if len(fields) == 0 {
+		return "", fmt.Errorf("fault: empty command")
+	}
+	verb := strings.ToLower(fields[0])
+	kv, flags, err := parseArgs(fields[1:])
+	if err != nil {
+		return "", err
+	}
+	switch verb {
+	case KindDrop, KindDup, KindCorrupt, KindReset, KindDelay:
+		r := Rule{
+			Kind: verb,
+			From: protocol.SiteID(orWild(kv["from"])),
+			To:   protocol.SiteID(orWild(kv["to"])),
+		}
+		if _, ok := kv["p"]; !ok {
+			return "", fmt.Errorf("fault: %s needs p=<prob>", verb)
+		}
+		if r.P, err = strconv.ParseFloat(kv["p"], 64); err != nil {
+			return "", fmt.Errorf("fault: bad p=%q: %v", kv["p"], err)
+		}
+		if r.P < 0 || r.P > 1 {
+			return "", fmt.Errorf("fault: p=%g out of [0,1]", r.P)
+		}
+		if verb == KindDelay {
+			if r.MinDelay, err = parseDur(kv, "min"); err != nil {
+				return "", err
+			}
+			if r.MaxDelay, err = parseDur(kv, "max"); err != nil {
+				return "", err
+			}
+			if r.MaxDelay < r.MinDelay {
+				return "", fmt.Errorf("fault: delay max=%s < min=%s", r.MaxDelay, r.MinDelay)
+			}
+		}
+		in.SetRule(r)
+		if r.P == 0 {
+			return fmt.Sprintf("cleared %s from=%s to=%s", r.Kind, r.From, r.To), nil
+		}
+		return "set " + r.String(), nil
+
+	case "partition":
+		a, b := kv["a"], kv["b"]
+		if a == "" || b == "" {
+			return "", fmt.Errorf("fault: partition needs a=<site> b=<site>")
+		}
+		heal, err := parseDurOpt(kv, "heal")
+		if err != nil {
+			return "", err
+		}
+		oneWay := flags["oneway"]
+		in.Partition(protocol.SiteID(a), protocol.SiteID(b), oneWay, heal)
+		desc := fmt.Sprintf("partitioned %s<->%s", a, b)
+		if oneWay {
+			desc = fmt.Sprintf("partitioned %s->%s", a, b)
+		}
+		if heal > 0 {
+			desc += fmt.Sprintf(" heal=%s", heal)
+		}
+		return desc, nil
+
+	case "heal":
+		a, b := kv["a"], kv["b"]
+		if a == "" && b == "" {
+			in.HealAll()
+			return "healed all partitions", nil
+		}
+		if a == "" || b == "" {
+			return "", fmt.Errorf("fault: heal needs both a= and b= (or neither)")
+		}
+		in.HealLink(protocol.SiteID(a), protocol.SiteID(b))
+		return fmt.Sprintf("healed %s<->%s", a, b), nil
+
+	case "clear":
+		in.Clear()
+		return "cleared all faults", nil
+
+	case "seed":
+		n, err := strconv.ParseInt(kv["n"], 10, 64)
+		if err != nil {
+			return "", fmt.Errorf("fault: seed needs n=<int>: %v", err)
+		}
+		in.Reseed(n)
+		return fmt.Sprintf("reseeded to %d", n), nil
+
+	case "status":
+		return strings.TrimRight(in.Status(), "\n"), nil
+	}
+	return "", fmt.Errorf("fault: unknown command %q", verb)
+}
+
+// ApplyPlan executes a whole plan: commands separated by ';' or
+// newlines, blank entries and #-comments ignored.  The first error
+// aborts and is returned with the offending command.
+func (in *Injector) ApplyPlan(plan string) error {
+	for _, line := range strings.FieldsFunc(plan, func(r rune) bool { return r == ';' || r == '\n' }) {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if _, err := in.Apply(line); err != nil {
+			return fmt.Errorf("%w (in %q)", err, line)
+		}
+	}
+	return nil
+}
+
+func parseArgs(fields []string) (kv map[string]string, flags map[string]bool, err error) {
+	kv = map[string]string{}
+	flags = map[string]bool{}
+	for _, f := range fields {
+		if k, v, ok := strings.Cut(f, "="); ok {
+			if k == "" || v == "" {
+				return nil, nil, fmt.Errorf("fault: malformed argument %q", f)
+			}
+			kv[strings.ToLower(k)] = v
+		} else {
+			flags[strings.ToLower(f)] = true
+		}
+	}
+	return kv, flags, nil
+}
+
+func orWild(s string) string {
+	if s == "" {
+		return Wildcard
+	}
+	return s
+}
+
+func parseDur(kv map[string]string, key string) (time.Duration, error) {
+	v, ok := kv[key]
+	if !ok {
+		return 0, fmt.Errorf("fault: missing %s=<dur>", key)
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil || d < 0 {
+		return 0, fmt.Errorf("fault: bad %s=%q", key, v)
+	}
+	return d, nil
+}
+
+func parseDurOpt(kv map[string]string, key string) (time.Duration, error) {
+	if _, ok := kv[key]; !ok {
+		return 0, nil
+	}
+	return parseDur(kv, key)
+}

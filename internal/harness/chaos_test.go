@@ -1,0 +1,70 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+// TestChaosTortureSeeded is the crash-recovery torture run over real
+// TCP sockets and WAL files: seeded faults (drops, duplicates, delays,
+// corruption, partitions, connection resets), crash-point armings, and
+// hard kill+restart cycles, ending in full quiescence with conservation
+// and zero unreduced polyvalues.  Short mode (CI smoke) shrinks the
+// schedule; `make chaos` runs the full one.
+func TestChaosTortureSeeded(t *testing.T) {
+	cfg := ChaosConfig{
+		Seed:       20260806,
+		Sites:      3,
+		Txns:       40,
+		KillCycles: 3,
+		Settle:     60 * time.Second,
+		Logf:       t.Logf,
+	}
+	if testing.Short() {
+		cfg.Txns = 12
+		cfg.KillCycles = 1
+		cfg.Settle = 45 * time.Second
+	}
+	report, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatalf("chaos run failed to execute: %v", err)
+	}
+	t.Logf("%s", report)
+	for k, v := range report.Totals {
+		t.Logf("  %s = %d", k, v)
+	}
+	if len(report.Violations) > 0 {
+		for _, v := range report.Violations {
+			t.Errorf("violation: %s", v)
+		}
+	}
+	if report.Kills < cfg.KillCycles {
+		t.Errorf("kill cycles = %d, want %d", report.Kills, cfg.KillCycles)
+	}
+	if report.Committed == 0 {
+		t.Error("no transaction committed — the schedule exercised nothing")
+	}
+}
+
+// TestChaosDistinctSeedsDiverge: two different seeds should produce
+// observably different schedules (sanity that the seed is plumbed
+// through, cheap enough to always run in short mode sizes).
+func TestChaosDistinctSeedsDiverge(t *testing.T) {
+	if testing.Short() {
+		t.Skip("covered by the main torture run in smoke mode")
+	}
+	a, err := RunChaos(ChaosConfig{Seed: 1, Txns: 8, KillCycles: 1, Settle: 45 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunChaos(ChaosConfig{Seed: 2, Txns: 8, KillCycles: 1, Settle: 45 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Violations) > 0 || len(b.Violations) > 0 {
+		t.Fatalf("violations: seed1=%v seed2=%v", a.Violations, b.Violations)
+	}
+	if a.FaultCmds == b.FaultCmds && a.Committed == b.Committed && a.Aborted == b.Aborted {
+		t.Logf("warning: seeds 1 and 2 produced identical summary counts (possible but unlikely)")
+	}
+}

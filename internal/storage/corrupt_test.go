@@ -1,0 +1,251 @@
+package storage
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/polyvalue"
+	"repro/internal/value"
+)
+
+// buildLog returns a WAL with n puts (x0..x(n-1)) and the record
+// boundaries (byte offset after each record).
+func buildLog(t *testing.T, n int) ([]byte, []int) {
+	t.Helper()
+	s := NewStore()
+	var bounds []int
+	for i := 0; i < n; i++ {
+		if err := s.Put(item(i), polyvalue.Simple(value.Int(int64(i)))); err != nil {
+			t.Fatal(err)
+		}
+		bounds = append(bounds, len(s.WALBytes()))
+	}
+	return append([]byte(nil), s.WALBytes()...), bounds
+}
+
+func item(i int) string { return string(rune('a'+i)) + "x" }
+
+// TestRecoverBitFlipTruncatesAtFirstBadRecord: corruption in the middle
+// of the log yields the intact-prefix store plus ErrCorruptRecord, and
+// the returned store's own WAL holds only the good prefix.
+func TestRecoverBitFlipTruncatesAtFirstBadRecord(t *testing.T) {
+	data, bounds := buildLog(t, 5)
+	// Flip a byte inside record 2's payload (just after record 1's end,
+	// past the uvarint length, within payload).
+	off := bounds[1] + 2
+	data[off] ^= 0xFF
+
+	s, err := Recover(data)
+	if err == nil {
+		t.Fatal("mid-log corruption not reported")
+	}
+	if !errors.Is(err, ErrCorruptRecord) {
+		t.Fatalf("error %v does not wrap ErrCorruptRecord", err)
+	}
+	if s == nil {
+		t.Fatal("no prefix store returned alongside ErrCorruptRecord")
+	}
+	// Records 0 and 1 survive; 2.. are truncated away.
+	for i := 0; i < 2; i++ {
+		if !s.Has(item(i)) {
+			t.Errorf("prefix record %d lost", i)
+		}
+	}
+	for i := 2; i < 5; i++ {
+		if s.Has(item(i)) {
+			t.Errorf("record %d at/after the corruption survived", i)
+		}
+	}
+	// The prefix store's own WAL is clean: recovery is idempotent.
+	s2, err := Recover(s.WALBytes())
+	if err != nil {
+		t.Fatalf("prefix WAL recovery: %v", err)
+	}
+	if len(s2.Items()) != len(s.Items()) {
+		t.Fatalf("prefix store not self-consistent: %d vs %d items", len(s2.Items()), len(s.Items()))
+	}
+}
+
+// TestRecoverToleratesTornTail: truncating the final record at every
+// possible byte boundary recovers the full prefix without error.
+func TestRecoverToleratesTornTail(t *testing.T) {
+	data, bounds := buildLog(t, 3)
+	for cut := bounds[1] + 1; cut < len(data); cut++ {
+		s, err := Recover(data[:cut])
+		if err != nil {
+			t.Fatalf("cut at %d: %v", cut, err)
+		}
+		for i := 0; i < 2; i++ {
+			if !s.Has(item(i)) {
+				t.Fatalf("cut at %d: prefix record %d lost", cut, i)
+			}
+		}
+		if s.Has(item(2)) {
+			t.Fatalf("cut at %d: torn record partially applied", cut)
+		}
+	}
+}
+
+// TestRecoverCorruptFinalRecordIsTornTail: a CRC failure on the very
+// last record counts as a torn tail (no error), since a crash mid-write
+// can damage exactly that record.
+func TestRecoverCorruptFinalRecordIsTornTail(t *testing.T) {
+	data, bounds := buildLog(t, 3)
+	data[bounds[2]-1] ^= 0xFF // last byte of the final record's CRC
+	s, err := Recover(data)
+	if err != nil {
+		t.Fatalf("corrupt final record reported as error: %v", err)
+	}
+	if !s.Has(item(1)) || s.Has(item(2)) {
+		t.Fatal("prefix not preserved or torn record applied")
+	}
+}
+
+// TestFileLogTearNext: an armed tear persists half the frame, errors
+// with ErrTornWrite, and recovery from the file replays only the
+// intact prefix — the on-disk image of a crash mid-append.
+func TestFileLogTearNext(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "site.wal")
+	s, log, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("ax", polyvalue.Simple(value.Int(1))); err != nil {
+		t.Fatal(err)
+	}
+	log.TearNext()
+	err = s.Put("bx", polyvalue.Simple(value.Int(2)))
+	if !IsTornWrite(err) {
+		t.Fatalf("torn write error = %v, want ErrTornWrite", err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, log2, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatalf("recovery over torn tail (%d bytes): %v", len(data), err)
+	}
+	defer log2.Close()
+	if !rec.Has("ax") {
+		t.Error("intact prefix record lost")
+	}
+	if rec.Has("bx") {
+		t.Error("torn record applied on recovery")
+	}
+	// Memory never ran ahead of disk: the store that suffered the torn
+	// write must not hold bx either (sink-first append ordering).
+	if s.Has("bx") {
+		t.Error("in-memory store applied the torn record")
+	}
+
+	// Recovery truncated the fragment: appends through the recovered
+	// store land on a clean boundary and a third generation sees them.
+	if err := rec.Put("cx", polyvalue.Simple(value.Int(3))); err != nil {
+		t.Fatal(err)
+	}
+	if err := log2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	third, log3, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatalf("third-generation recovery: %v", err)
+	}
+	defer log3.Close()
+	if !third.Has("ax") || !third.Has("cx") || third.Has("bx") {
+		t.Errorf("third generation state: ax=%v bx=%v cx=%v",
+			third.Has("ax"), third.Has("bx"), third.Has("cx"))
+	}
+}
+
+// TestFileLogWriteAfterTearHealsInPlace: when the SAME process keeps
+// using the log after a torn write (a simulated site restarting without
+// reopening the file), the next append first truncates the fragment —
+// the disk image stays parseable.
+func TestFileLogWriteAfterTearHealsInPlace(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "site.wal")
+	s, log, err := OpenFileStore(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer log.Close()
+	if err := s.Put("ax", polyvalue.Simple(value.Int(1))); err != nil {
+		t.Fatal(err)
+	}
+	log.TearNext()
+	if err := s.Put("bx", polyvalue.Simple(value.Int(2))); !IsTornWrite(err) {
+		t.Fatalf("torn write error = %v", err)
+	}
+	if err := s.Put("cx", polyvalue.Simple(value.Int(3))); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Recover(data)
+	if err != nil {
+		t.Fatalf("recovery after in-place heal: %v", err)
+	}
+	if !rec.Has("ax") || !rec.Has("cx") || rec.Has("bx") {
+		t.Errorf("healed log state: ax=%v bx=%v cx=%v",
+			rec.Has("ax"), rec.Has("bx"), rec.Has("cx"))
+	}
+}
+
+// FuzzRecover: Recover over arbitrary (often corrupt) bytes never
+// panics and always returns a usable store — on a typed corruption
+// error the prefix store must itself recover cleanly.
+func FuzzRecover(f *testing.F) {
+	seed := NewStore()
+	seed.Put("x", polyvalue.Simple(value.Int(1)))
+	seed.SetOutcome("T2", true)
+	seed.AddDepSite("T3", "s2")
+	seed.SetAwait("T4", "c")
+	good := seed.WALBytes()
+	f.Add(append([]byte(nil), good...), 0, byte(0))
+	f.Add(append([]byte(nil), good...), 3, byte(0xFF))
+	f.Add([]byte{}, 0, byte(0))
+	f.Add([]byte{0x01, 0xff, 0x00}, 1, byte(0x80))
+	f.Fuzz(func(t *testing.T, data []byte, flipAt int, mask byte) {
+		if len(data) > 0 {
+			data[abs(flipAt)%len(data)] ^= mask
+		}
+		s, err := Recover(data)
+		if err != nil {
+			if !errors.Is(err, ErrCorruptRecord) {
+				t.Fatalf("untyped recovery error: %v", err)
+			}
+			if s == nil {
+				t.Fatal("corrupt log returned no prefix store")
+			}
+		}
+		if s == nil {
+			t.Fatal("nil store with nil error")
+		}
+		// Whatever came back must be self-consistent.
+		s2, err2 := Recover(s.WALBytes())
+		if err2 != nil {
+			t.Fatalf("second-generation recovery failed: %v", err2)
+		}
+		if len(s2.Items()) != len(s.Items()) {
+			t.Fatalf("item count changed: %d vs %d", len(s.Items()), len(s2.Items()))
+		}
+	})
+}
+
+func abs(i int) int {
+	if i < 0 {
+		return -i
+	}
+	return i
+}

@@ -1,10 +1,21 @@
 package storage
 
 import (
+	"bytes"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync/atomic"
 )
+
+// ErrTornWrite is the failure a log write armed with TearNext reports
+// after persisting only a prefix of the frame — the on-disk image a
+// power cut mid-append leaves behind.
+var ErrTornWrite = errors.New("storage: injected torn write")
+
+// IsTornWrite reports whether err is (or wraps) an injected torn write.
+func IsTornWrite(err error) bool { return errors.Is(err, ErrTornWrite) }
 
 // FileLog persists a site's WAL to a file.  Appends are written through
 // to the file and synced on request; recovery reads the whole file and
@@ -16,6 +27,15 @@ import (
 type FileLog struct {
 	f    *os.File
 	path string
+	// tear, when set, makes the next Write persist only the first half
+	// of its input and fail — crash-point injection for mid-append
+	// power loss (see TearNext).
+	tear atomic.Bool
+	// tornAt is the offset of an un-recovered torn fragment left by a
+	// teared write, or -1.  The next successful Write truncates the
+	// fragment first, exactly as crash recovery would, so the file never
+	// accumulates garbage mid-stream.
+	tornAt int64
 }
 
 // OpenFileLog opens (creating if needed) the log file for appending.
@@ -24,11 +44,36 @@ func OpenFileLog(path string) (*FileLog, error) {
 	if err != nil {
 		return nil, fmt.Errorf("storage: open log: %w", err)
 	}
-	return &FileLog{f: f, path: path}, nil
+	return &FileLog{f: f, path: path, tornAt: -1}, nil
 }
 
-// Write implements io.Writer for use as a WAL sink.
-func (l *FileLog) Write(p []byte) (int, error) { return l.f.Write(p) }
+// Write implements io.Writer for use as a WAL sink.  An armed tear
+// (TearNext) persists only the first half of p and reports ErrTornWrite.
+// A later Write after a tear truncates the torn fragment first (the
+// same repair crash recovery performs), keeping the file parseable.
+func (l *FileLog) Write(p []byte) (int, error) {
+	if l.tear.CompareAndSwap(true, false) {
+		if st, err := l.f.Stat(); err == nil {
+			l.tornAt = st.Size()
+		}
+		n, _ := l.f.Write(p[:len(p)/2])
+		l.f.Sync()
+		return n, ErrTornWrite
+	}
+	if l.tornAt >= 0 {
+		if err := l.f.Truncate(l.tornAt); err != nil {
+			return 0, fmt.Errorf("storage: truncate torn tail: %w", err)
+		}
+		l.tornAt = -1
+	}
+	return l.f.Write(p)
+}
+
+// TearNext arms a one-shot torn write: the next Write persists only
+// half its bytes and fails, leaving the on-disk log with exactly the
+// torn tail a crash mid-append produces.  Recovery must replay the
+// intact prefix and drop the fragment.
+func (l *FileLog) TearNext() { l.tear.Store(true) }
 
 // Sync flushes to stable storage.
 func (l *FileLog) Sync() error { return l.f.Sync() }
@@ -58,6 +103,18 @@ func OpenFileStore(path string) (*Store, *FileLog, error) {
 	if err != nil {
 		return nil, nil, err
 	}
+	// A torn tail (crash mid-append) replays silently as the intact
+	// prefix; truncate the fragment so appends resume on a clean
+	// boundary instead of burying garbage mid-stream.
+	if wb := recovered.WALBytes(); len(wb) < len(data) {
+		if bytes.HasPrefix(data, wb) {
+			if err := os.Truncate(path, int64(len(wb))); err != nil {
+				return nil, nil, fmt.Errorf("storage: truncate torn tail: %w", err)
+			}
+		} else if err := atomicRewrite(path, wb); err != nil {
+			return nil, nil, err
+		}
+	}
 	log, err := OpenFileLog(path)
 	if err != nil {
 		return nil, nil, err
@@ -66,6 +123,36 @@ func OpenFileStore(path string) (*Store, *FileLog, error) {
 	recovered.wal.sink = log
 	recovered.mu.Unlock()
 	return recovered, log, nil
+}
+
+// atomicRewrite replaces the file at path with content via write-temp +
+// rename, the crash-safe way to drop a corrupt or torn suffix whose
+// prefix re-encoding diverged from the on-disk bytes.
+func atomicRewrite(path string, content []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".wal-repair-*")
+	if err != nil {
+		return fmt.Errorf("storage: repair temp: %w", err)
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(content); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("storage: repair write: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return fmt.Errorf("storage: repair sync: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("storage: repair close: %w", err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("storage: repair rename: %w", err)
+	}
+	return nil
 }
 
 // CheckpointFile compacts the store's WAL and atomically replaces the

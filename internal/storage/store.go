@@ -1,6 +1,7 @@
 package storage
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -72,11 +73,19 @@ func NewStoreWithWAL(w *WAL) *Store {
 
 // Recover rebuilds a store from log contents; the returned store's WAL
 // already contains the replayed records (appended afresh), so further
-// mutation and a second crash are safe.
+// mutation and a second crash are safe.  A torn tail is tolerated
+// silently.  Corruption BEFORE the tail returns the store recovered
+// from the intact prefix together with a wrapped ErrCorruptRecord: the
+// bad record and everything after it are truncated away (the returned
+// store's WAL holds only the good prefix), and the caller decides
+// whether a partial recovery is acceptable.
 func Recover(data []byte) (*Store, error) {
 	s := NewStore()
 	_, err := Replay(data, func(r Record) error { return s.apply(r, true) })
 	if err != nil {
+		if errors.Is(err, ErrCorruptRecord) {
+			return s, err
+		}
 		return nil, err
 	}
 	return s, nil

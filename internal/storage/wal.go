@@ -10,6 +10,7 @@ package storage
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"hash/crc32"
 	"io"
@@ -19,6 +20,13 @@ import (
 	"repro/internal/polyvalue"
 	"repro/internal/txn"
 )
+
+// ErrCorruptRecord reports a WAL record before the tail that fails its
+// CRC or decodes to garbage — damage a clean crash cannot produce
+// (torn tails end replay silently; this is bit rot or an overwrite).
+// Replay and Recover wrap it with positional detail; match with
+// errors.Is.
+var ErrCorruptRecord = errors.New("storage: corrupt WAL record")
 
 // RecKind enumerates WAL record types.
 type RecKind uint8
@@ -298,20 +306,23 @@ func NewWAL() *WAL { return &WAL{} }
 // NewWALWithSink mirrors every append to sink (e.g. an *os.File).
 func NewWALWithSink(sink io.Writer) *WAL { return &WAL{sink: sink} }
 
-// Append frames and stores one record.
+// Append frames and stores one record.  The durable sink is written
+// BEFORE the in-memory buffer: if the sink write fails (possibly
+// tearing mid-frame on disk — which Replay tolerates as a torn tail),
+// memory never runs ahead of what a restart would recover.
 func (w *WAL) Append(r Record) error {
 	payload := r.encodePayload()
 	var frame []byte
 	frame = binary.AppendUvarint(frame, uint64(len(payload)))
 	frame = append(frame, payload...)
 	frame = binary.BigEndian.AppendUint32(frame, crc32.ChecksumIEEE(payload))
-	if _, err := w.buf.Write(frame); err != nil {
-		return err
-	}
 	if w.sink != nil {
 		if _, err := w.sink.Write(frame); err != nil {
 			return fmt.Errorf("storage: wal sink: %w", err)
 		}
+	}
+	if _, err := w.buf.Write(frame); err != nil {
+		return err
 	}
 	if w.appends != nil {
 		w.appends.Inc()
@@ -334,7 +345,8 @@ func (w *WAL) Reset() { w.buf.Reset() }
 // Replay decodes records from data, invoking fn for each, and returns the
 // number of complete records replayed.  A torn tail (truncated frame or
 // CRC mismatch on the final record) ends replay without error; corruption
-// before the tail is reported.
+// before the tail is reported as a wrapped ErrCorruptRecord, with every
+// record before the damage already replayed.
 func Replay(data []byte, fn func(Record) error) (int, error) {
 	count := 0
 	off := 0
@@ -354,11 +366,11 @@ func Replay(data []byte, fn func(Record) error) (int, error) {
 			if off+n+int(ln)+4 == len(data) {
 				return count, nil // torn final record
 			}
-			return count, fmt.Errorf("storage: CRC mismatch at offset %d", off)
+			return count, fmt.Errorf("%w: CRC mismatch at offset %d", ErrCorruptRecord, off)
 		}
 		rec, err := decodePayload(payload)
 		if err != nil {
-			return count, fmt.Errorf("storage: record %d: %w", count, err)
+			return count, fmt.Errorf("%w: record %d: %v", ErrCorruptRecord, count, err)
 		}
 		if err := fn(rec); err != nil {
 			return count, err

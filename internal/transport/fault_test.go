@@ -1,0 +1,153 @@
+package transport
+
+import (
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/protocol"
+)
+
+// newTCPsMetrics is newTCPs with a shared metrics registry attached.
+func newTCPsMetrics(t *testing.T, reg *metrics.Registry, ids ...protocol.SiteID) map[protocol.SiteID]*TCP {
+	t.Helper()
+	lns := map[protocol.SiteID]net.Listener{}
+	peers := map[protocol.SiteID]string{}
+	for _, id := range ids {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		lns[id] = ln
+		peers[id] = ln.Addr().String()
+	}
+	out := map[protocol.SiteID]*TCP{}
+	for _, id := range ids {
+		tr := NewTCPWithListener(TCPConfig{
+			Self:       id,
+			Peers:      peers,
+			BackoffMin: 5 * time.Millisecond,
+			BackoffMax: 50 * time.Millisecond,
+			Seed:       42,
+			Metrics:    reg,
+		}, lns[id])
+		out[id] = tr
+		t.Cleanup(func() { tr.Close() })
+	}
+	return out
+}
+
+// TestTCPCorruptFrameKeepsConnection proves the CRC reject path: a
+// frame corrupted on the wire (via the frame tap) bumps the
+// decode-error metric on the receiver and does NOT kill the connection
+// — the next clean frame arrives on the same stream.
+func TestTCPCorruptFrameKeepsConnection(t *testing.T) {
+	reg := metrics.NewRegistry()
+	trs := newTCPsMetrics(t, reg, "A", "B")
+	sender, receiver := trs["A"], trs["B"]
+
+	var atB collector
+	receiver.Register("B", atB.handle)
+
+	// Corrupt exactly the first frame's payload.
+	var corrupted atomic.Int64
+	sender.SetFrameTap(func(to protocol.SiteID, frame []byte) []byte {
+		if corrupted.CompareAndSwap(0, 1) {
+			frame[len(frame)-1] ^= 0xFF // payload byte, length prefix intact
+		}
+		return frame
+	})
+
+	sender.Send(protocol.Message{Kind: protocol.MsgReady, TID: tid(1), From: "A", To: "B"})
+	sender.Send(protocol.Message{Kind: protocol.MsgReady, TID: tid(2), From: "A", To: "B"})
+
+	// Only the clean frame is delivered, over the SAME connection (no
+	// reconnect happened — the first dial is not counted as one).
+	got := atB.waitFor(t, 1, 5*time.Second)
+	if got[0].TID != tid(2) {
+		t.Fatalf("delivered %s, want the second (clean) frame", got[0].TID)
+	}
+	st := receiver.Stats()
+	if st.DecodeErrors != 1 {
+		t.Fatalf("DecodeErrors = %d, want 1", st.DecodeErrors)
+	}
+	if got := reg.Counter("transport.decode.errors").Value(); got != 1 {
+		t.Fatalf("transport.decode.errors = %d, want 1", got)
+	}
+	if st := sender.Stats(); st.Reconnects != 0 {
+		t.Fatalf("sender reconnected (%d): corrupt frame killed the connection", st.Reconnects)
+	}
+}
+
+// TestTCPQueueOverflowDropsOldest: when the per-peer queue is full the
+// OLDEST frame is evicted (counted in transport.queue.dropped) and the
+// newest is kept.
+func TestTCPQueueOverflowDropsOldest(t *testing.T) {
+	reg := metrics.NewRegistry()
+	pair := newTCPsMetrics(t, reg, "C", "D")
+	src := pair["C"]
+	pair["D"].Close() // D's listener is gone: C's writer can never dial
+
+	depth := src.cfg.QueueDepth
+	total := depth + 5
+	for i := 0; i < total; i++ {
+		src.Send(protocol.Message{Kind: protocol.MsgReady, TID: tid(i), From: "C", To: "D"})
+	}
+	// The writer may have consumed a frame or two before the queue
+	// filled, so assert the invariants rather than exact counts: some
+	// evictions happened, and the newest frame is still queued (the
+	// queue holds the most recent window of traffic).
+	st := src.Stats()
+	if st.QueueDropped == 0 {
+		t.Fatalf("QueueDropped = 0 after %d sends into a depth-%d queue", total, depth)
+	}
+	if got := reg.Counter("transport.queue.dropped", metrics.L("peer", "D")).Value(); got != st.QueueDropped {
+		t.Fatalf("transport.queue.dropped = %d, stats say %d", got, st.QueueDropped)
+	}
+	// Drain the queue and verify the newest message survived eviction.
+	found := false
+	for drained := false; !drained; {
+		select {
+		case m := <-src.peers["D"].out:
+			if m.TID == tid(total-1) {
+				found = true
+			}
+		default:
+			drained = true
+		}
+	}
+	if !found {
+		t.Fatal("newest frame was evicted; drop-oldest policy not in effect")
+	}
+}
+
+// TestTCPResetPeerForcesReconnect: severing the live connection makes
+// the writer redial, and traffic resumes.
+func TestTCPResetPeerForcesReconnect(t *testing.T) {
+	trs := newTCPs(t, "A", "B")
+	var atB collector
+	trs["B"].Register("B", atB.handle)
+
+	trs["A"].Send(protocol.Message{Kind: protocol.MsgReady, TID: tid(1), From: "A", To: "B"})
+	atB.waitFor(t, 1, 5*time.Second)
+
+	if !trs["A"].ResetPeer("B") {
+		t.Fatal("ResetPeer found no live connection")
+	}
+	if trs["A"].ResetPeer("nosuch") {
+		t.Fatal("ResetPeer invented a peer")
+	}
+
+	// Sends keep flowing: the first may be lost to the dead socket, but
+	// the writer reconnects and later frames arrive.
+	deadline := time.Now().Add(5 * time.Second)
+	for i := 2; atB.count() < 2 && time.Now().Before(deadline); i++ {
+		trs["A"].Send(protocol.Message{Kind: protocol.MsgReady, TID: tid(i), From: "A", To: "B"})
+		time.Sleep(10 * time.Millisecond)
+	}
+	if atB.count() < 2 {
+		t.Fatal("no delivery after ResetPeer; writer did not reconnect")
+	}
+}

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"hash/fnv"
 	"math/rand"
@@ -88,15 +89,20 @@ type PeerStats struct {
 type TCPStats struct {
 	Sent, Delivered, Dropped int64
 	Reconnects, ConnErrors   int64
-	ByPeer                   map[protocol.SiteID]PeerStats
+	// QueueDropped counts frames evicted from a full per-peer queue
+	// (oldest-first); DecodeErrors counts inbound frames rejected by
+	// the wire codec (CRC mismatch, bad version, malformed payload)
+	// without killing the connection.
+	QueueDropped, DecodeErrors int64
+	ByPeer                     map[protocol.SiteID]PeerStats
 }
 
 // Format renders the counters as stable text, iterating the per-peer
 // breakdown in sorted site order so same-run exports are byte-identical.
 func (s TCPStats) Format() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "sent=%d delivered=%d dropped=%d reconnects=%d conn_errors=%d\n",
-		s.Sent, s.Delivered, s.Dropped, s.Reconnects, s.ConnErrors)
+	fmt.Fprintf(&b, "sent=%d delivered=%d dropped=%d reconnects=%d conn_errors=%d queue_dropped=%d decode_errors=%d\n",
+		s.Sent, s.Delivered, s.Dropped, s.Reconnects, s.ConnErrors, s.QueueDropped, s.DecodeErrors)
 	peers := make([]protocol.SiteID, 0, len(s.ByPeer))
 	for id := range s.ByPeer {
 		peers = append(peers, id)
@@ -111,7 +117,8 @@ func (s TCPStats) Format() string {
 }
 
 // peer is one outgoing link.  conn and backoff state are owned by the
-// writer goroutine; out is the only cross-goroutine surface.
+// writer goroutine; out and the live mirror are the only
+// cross-goroutine surfaces.
 type peer struct {
 	id   protocol.SiteID
 	addr string
@@ -123,6 +130,17 @@ type peer struct {
 	backoff  time.Duration
 	nextDial time.Time
 	everUp   bool
+
+	// live mirrors conn for ResetPeer, which runs outside the writer
+	// goroutine and may only Close (never use) the connection.
+	liveMu sync.Mutex
+	live   net.Conn
+}
+
+func (p *peer) setLive(c net.Conn) {
+	p.liveMu.Lock()
+	p.live = c
+	p.liveMu.Unlock()
 }
 
 // TCP is the real-socket Transport: one listener for inbound frames, one
@@ -140,6 +158,7 @@ type TCP struct {
 	conns    map[net.Conn]bool // accepted connections, for Close
 	closed   bool
 	stats    TCPStats
+	tap      func(to protocol.SiteID, frame []byte) []byte
 
 	wg   sync.WaitGroup
 	quit chan struct{}
@@ -229,6 +248,37 @@ func (t *TCP) IsDown(site protocol.SiteID) bool {
 	return t.down[site]
 }
 
+// SetFrameTap installs a hook that observes (and may mutate or replace)
+// every encoded frame just before it is written to a peer socket.  A
+// fault injector uses it to corrupt bytes on the wire; nil removes the
+// tap.  The tap runs on writer goroutines and must be safe for
+// concurrent use.
+func (t *TCP) SetFrameTap(tap func(to protocol.SiteID, frame []byte) []byte) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.tap = tap
+}
+
+// ResetPeer severs the live outbound connection to one peer, as a
+// network fault would; the writer redials (with backoff) on the next
+// frame.  Returns false when the peer is unknown or has no live
+// connection.
+func (t *TCP) ResetPeer(site protocol.SiteID) bool {
+	p, ok := t.peers[site]
+	if !ok {
+		return false
+	}
+	p.liveMu.Lock()
+	c := p.live
+	p.liveMu.Unlock()
+	if c == nil {
+		return false
+	}
+	c.Close()
+	t.logf("reset connection to %s", site)
+	return true
+}
+
 // Send queues msg toward msg.To.  Unknown destinations, down endpoints,
 // full queues and a closed transport all drop (and count) the message —
 // exactly a lost datagram, which the protocol's retry machinery covers.
@@ -265,7 +315,20 @@ func (t *TCP) Send(msg protocol.Message) {
 	select {
 	case p.out <- msg:
 	default:
-		t.drop(msg.To, "backpressure")
+		// Full queue: evict the OLDEST frame to make room.  While a
+		// peer is partitioned the queue holds the most recent window
+		// of traffic instead of a stale prefix, and the retry-driven
+		// protocol recovers newest-first.
+		select {
+		case <-p.out:
+			t.queueDrop(p.id)
+		default:
+		}
+		select {
+		case p.out <- msg:
+		default:
+			t.drop(msg.To, "backpressure")
+		}
 	}
 }
 
@@ -331,11 +394,19 @@ func (t *TCP) writeOne(p *peer, msg protocol.Message) {
 		return
 	}
 	p.buf = wire.AppendFrame(p.buf[:0], msg)
+	frame := p.buf
+	t.mu.Lock()
+	tap := t.tap
+	t.mu.Unlock()
+	if tap != nil {
+		frame = tap(p.id, frame)
+	}
 	p.conn.SetWriteDeadline(time.Now().Add(t.cfg.WriteTimeout))
-	if _, err := p.conn.Write(p.buf); err != nil {
+	if _, err := p.conn.Write(frame); err != nil {
 		t.logf("write to %s: %v", p.id, err)
 		p.conn.Close()
 		p.conn = nil
+		p.setLive(nil)
 		t.connError(p)
 		t.dropPeer(p, "conn")
 		return
@@ -371,6 +442,7 @@ func (t *TCP) dial(p *peer) bool {
 		tc.SetNoDelay(true)
 	}
 	p.conn = conn
+	p.setLive(conn)
 	p.backoff = t.cfg.BackoffMin
 	p.nextDial = time.Time{}
 	if p.everUp {
@@ -424,7 +496,17 @@ func (t *TCP) readLoop(conn net.Conn) {
 	for {
 		msg, err := wire.ReadMessage(r, t.cfg.MaxFrame)
 		if err != nil {
-			return // EOF, peer death, or a corrupt frame: drop the conn
+			// A frame that failed its checksum, carried an unknown
+			// version, or decoded to garbage was still consumed whole
+			// (the length prefix framed it), so the stream is intact:
+			// count the reject and keep reading.  Anything else —
+			// EOF, a torn read, an oversize claim — desyncs or ends
+			// the stream, so the connection is dropped.
+			if errors.Is(err, wire.ErrChecksum) || errors.Is(err, wire.ErrVersion) || errors.Is(err, wire.ErrMalformed) {
+				t.decodeError(err)
+				continue
+			}
+			return
 		}
 		t.deliver(msg)
 	}
@@ -487,6 +569,29 @@ func (t *TCP) drop(to protocol.SiteID, reason string) {
 }
 
 func (t *TCP) dropPeer(p *peer, reason string) { t.drop(p.id, reason) }
+
+// queueDrop accounts one frame evicted from a full per-peer queue.
+func (t *TCP) queueDrop(to protocol.SiteID) {
+	t.mu.Lock()
+	t.stats.Dropped++
+	t.stats.QueueDropped++
+	if p, ok := t.stats.ByPeer[to]; ok || t.peers[to] != nil {
+		p.Dropped++
+		t.stats.ByPeer[to] = p
+	}
+	t.mu.Unlock()
+	t.count("transport.queue.dropped", metrics.L("peer", string(to)))
+	t.count("network.dropped", metrics.L("reason", "queue"))
+}
+
+// decodeError accounts one inbound frame the wire codec rejected.
+func (t *TCP) decodeError(err error) {
+	t.mu.Lock()
+	t.stats.DecodeErrors++
+	t.mu.Unlock()
+	t.count("transport.decode.errors")
+	t.logf("rejected inbound frame: %v", err)
+}
 
 func (t *TCP) connError(p *peer) {
 	t.mu.Lock()
