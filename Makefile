@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench tables fuzz-smoke cluster-demo chaos chaos-smoke chaos-demo
+.PHONY: check vet build test race bench bench-smoke tables fuzz-smoke cluster-demo chaos chaos-smoke chaos-demo
 
 check: vet build race ## everything CI runs
 
@@ -17,7 +17,12 @@ race:
 	$(GO) test -race ./...
 
 bench:
-	$(GO) test -bench=. -benchmem -run=^$$ .
+	$(GO) test -bench=. -benchmem -run=^$$ ./...
+
+# Short seeded polybench runs (in-process + 3-process TCP) gated against
+# the checked-in baseline — the same job CI runs.
+bench-smoke:
+	scripts/bench_smoke.sh
 
 tables:
 	$(GO) run ./cmd/polytables
@@ -27,6 +32,7 @@ tables:
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzMessageDecode -fuzztime=10s ./internal/wire
 	$(GO) test -run=^$$ -fuzz=FuzzPolyDecode -fuzztime=10s ./internal/wire
+	$(GO) test -run=^$$ -fuzz=FuzzBatchDecode -fuzztime=10s ./internal/wire
 	$(GO) test -run=^$$ -fuzz=FuzzRecover -fuzztime=10s ./internal/storage
 
 # Full crash-recovery torture: seeded faults (drops, dup, delay,

@@ -11,6 +11,7 @@ import (
 	"repro/internal/polyvalue"
 	"repro/internal/protocol"
 	"repro/internal/storage"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/txn"
 	"repro/internal/vclock"
@@ -43,6 +44,10 @@ type Cluster struct {
 	cfg Config
 	clk vclock.Clock
 	fab transport.Transport
+	// tracing short-circuits per-message trace calls: with the default
+	// Nop tracer, hot paths must not pay the variadic boxing of a whole
+	// Message per send/receive just to discard it.
+	tracing bool
 	// wall is set in node mode only; Close stops it.
 	wall  *vclock.Wall
 	sched *vclock.Scheduler
@@ -56,22 +61,22 @@ type Cluster struct {
 	// reg is the metrics registry every layer reports into; the named
 	// fields below cache the hot-path instruments (see metrics.go for the
 	// series catalogue).
-	reg            *metrics.Registry
-	submitted      *metrics.Counter
-	committed      *metrics.Counter
-	aborted        *metrics.Counter
-	inDoubt        *metrics.Counter
-	polyInstalls   *metrics.Counter
-	polyReductions *metrics.Counter
-	polyForks      *metrics.Counter
-	refused        *metrics.Counter
-	latency        *metrics.Histogram
-	population     *metrics.Gauge
-	lifetime       *metrics.Histogram
-	phaseRead      *metrics.Histogram
-	phasePrepare   *metrics.Histogram
-	phaseWait      *metrics.Histogram
-	phaseSettle    *metrics.Histogram
+	reg             *metrics.Registry
+	submitted       *metrics.Counter
+	committed       *metrics.Counter
+	aborted         *metrics.Counter
+	inDoubt         *metrics.Counter
+	polyInstalls    *metrics.Counter
+	polyReductions  *metrics.Counter
+	polyForks       *metrics.Counter
+	refused         *metrics.Counter
+	latency         *metrics.Histogram
+	population      *metrics.Gauge
+	lifetime        *metrics.Histogram
+	phaseRead       *metrics.Histogram
+	phasePrepare    *metrics.Histogram
+	phaseWait       *metrics.Histogram
+	phaseSettle     *metrics.Histogram
 	decisionResends *metrics.Counter
 	outcomeRetries  *metrics.Counter
 	// installAt timestamps live polyvalued items for the lifetime
@@ -93,12 +98,13 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	cfg.fillDefaults()
 	c := &Cluster{
-		cfg:   cfg,
-		sched: vclock.NewScheduler(),
-		sites: map[protocol.SiteID]*Site{},
-		order: append([]protocol.SiteID{}, cfg.Sites...),
-		ids:   txn.NewIDGen("t"),
-		qids:  txn.NewIDGen("q"),
+		cfg:     cfg,
+		tracing: tracingEnabled(cfg.Tracer),
+		sched:   vclock.NewScheduler(),
+		sites:   map[protocol.SiteID]*Site{},
+		order:   append([]protocol.SiteID{}, cfg.Sites...),
+		ids:     txn.NewIDGen("t"),
+		qids:    txn.NewIDGen("q"),
 	}
 	reg := cfg.Metrics
 	if reg == nil {
@@ -109,6 +115,13 @@ func New(cfg Config) (*Cluster, error) {
 	c.net.Instrument(reg)
 	c.clk = c.sched
 	c.fab = transport.NewSim(c.net)
+	if cfg.SimBatch != nil {
+		p := *cfg.SimBatch
+		if p.Metrics == nil {
+			p.Metrics = reg
+		}
+		c.fab = transport.NewBatcher(c.fab, c.sched, p)
+	}
 	for _, id := range cfg.Sites {
 		store := storage.NewStore()
 		if cfg.DataDir != "" {
@@ -206,20 +219,40 @@ func (c *Cluster) Step() bool { c.requireSim("Step"); return c.sched.Step() }
 // Submit starts a transaction with the given site as coordinator.  The
 // returned handle resolves as events run (RunUntil / RunFor / Step).
 func (c *Cluster) Submit(coord protocol.SiteID, src string) (*Handle, error) {
+	p, err := expr.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return c.SubmitProgram(coord, p)
+}
+
+// SubmitProgram is Submit for a pre-parsed program.  Load generators
+// parse their transaction mix once up front and call this on the hot
+// path, keeping parser cost out of the measured submit loop.
+func (c *Cluster) SubmitProgram(coord protocol.SiteID, p expr.Program) (*Handle, error) {
 	site, ok := c.sites[coord]
 	if !ok {
 		return nil, fmt.Errorf("cluster: unknown site %q", coord)
 	}
-	t, err := txn.New(c.ids.Next(), src)
-	if err != nil {
-		return nil, err
-	}
+	t := txn.T{ID: c.ids.Next(), Program: p}
 	c.submitted.Inc()
 	h := &Handle{TID: t.ID, submitted: c.clk.Now(), done: make(chan struct{})}
-	c.clk.At(c.clk.Now(), func() {
-		site.do(func() { site.beginTxn(t, h) })
-	})
+	c.dispatch(site, func() { site.beginTxn(t, h) })
 	return h, nil
+}
+
+// dispatch hands fn to a site's serialized loop "now".  The simulated
+// runtime routes it through the scheduler so it interleaves
+// deterministically with every other event; on a wall clock the site
+// mailbox is already the serialization point and a zero-delay timer per
+// submit would be pure overhead (lock + map churn + an extra goroutine
+// on the submit hot path).
+func (c *Cluster) dispatch(site *Site, fn func()) {
+	if c.wall != nil {
+		site.do(fn)
+		return
+	}
+	c.clk.At(c.clk.Now(), func() { site.do(fn) })
 }
 
 // Query starts a read-only query (an expression over items) with the
@@ -236,9 +269,7 @@ func (c *Cluster) Query(coord protocol.SiteID, exprSrc string) (*QueryHandle, er
 	}
 	qh := newQueryHandle()
 	qid := c.qids.Next()
-	c.clk.At(c.clk.Now(), func() {
-		site.do(func() { site.beginQuery(qid, node, qh, 0) })
-	})
+	c.dispatch(site, func() { site.beginQuery(qid, node, qh, 0) })
 	return qh, nil
 }
 
@@ -262,9 +293,7 @@ func (c *Cluster) QueryCertain(coord protocol.SiteID, exprSrc string, wait vcloc
 	qh := newQueryHandle()
 	qid := c.qids.Next()
 	deadline := c.clk.Now() + wait
-	c.clk.At(c.clk.Now(), func() {
-		site.do(func() { site.beginQuery(qid, node, qh, deadline) })
-	})
+	c.dispatch(site, func() { site.beginQuery(qid, node, qh, deadline) })
 	return qh, nil
 }
 
@@ -281,15 +310,16 @@ func (c *Cluster) Load(item string, p polyvalue.Poly) error {
 }
 
 // Read returns the current value of an item straight from its owning
-// site's store (inspection; not a protocol read).
+// site's store (inspection; not a protocol read).  The store's sharded
+// item map is safe for concurrent access, so this does not round-trip
+// through the site event loop — a load generator can sample state
+// without stealing event-loop cycles from the protocol.
 func (c *Cluster) Read(item string) polyvalue.Poly {
 	site := c.sites[c.Placement(item)]
 	if site == nil {
 		return polyvalue.Poly{}
 	}
-	var p polyvalue.Poly
-	site.do(func() { p = site.store.Get(item) })
-	return p
+	return site.store.Get(item)
 }
 
 // Crash takes a site down: volatile state (locks, in-flight transaction
@@ -336,7 +366,7 @@ func (c *Cluster) Sites() []protocol.SiteID {
 func (c *Cluster) Store(id protocol.SiteID) *storage.Store { return c.sites[id].store }
 
 // PolyItems returns every item currently holding a polyvalue, across all
-// sites, sorted per site order.
+// sites, sorted per site order.  Reads the thread-safe stores directly.
 func (c *Cluster) PolyItems() []string {
 	var out []string
 	for _, id := range c.order {
@@ -344,9 +374,7 @@ func (c *Cluster) PolyItems() []string {
 		if site == nil {
 			continue
 		}
-		var items []string
-		site.do(func() { items = site.store.PolyItems() })
-		out = append(out, items...)
+		out = append(out, site.store.PolyItems()...)
 	}
 	return out
 }
@@ -392,6 +420,7 @@ func (c *Cluster) SiteInfo(id protocol.SiteID) (SiteInfo, error) {
 
 // Snapshot copies every item across all sites into one map (inspection
 // and debugging; not a consistent cut while transactions are in flight).
+// Reads the thread-safe stores directly.
 func (c *Cluster) Snapshot() map[string]polyvalue.Poly {
 	out := map[string]polyvalue.Poly{}
 	for _, id := range c.order {
@@ -399,11 +428,9 @@ func (c *Cluster) Snapshot() map[string]polyvalue.Poly {
 		if site == nil {
 			continue
 		}
-		site.do(func() {
-			for _, item := range site.store.Items() {
-				out[item] = site.store.Get(item)
-			}
-		})
+		for _, item := range site.store.Items() {
+			out[item] = site.store.Get(item)
+		}
 	}
 	return out
 }
@@ -433,6 +460,16 @@ func (c *Cluster) NetStats() network.Stats {
 	return c.net.Stats()
 }
 
+// tracingEnabled reports whether t is a real tracer (fillDefaults
+// installs trace.Nop when the caller left Tracer nil).
+func tracingEnabled(t trace.Tracer) bool {
+	_, nop := t.(trace.Nop)
+	return !nop
+}
+
 func (c *Cluster) trace(format string, args ...any) {
+	if !c.tracing {
+		return
+	}
 	c.cfg.Tracer.Event(format, args...)
 }

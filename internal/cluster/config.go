@@ -19,6 +19,7 @@ import (
 	"repro/internal/network"
 	"repro/internal/protocol"
 	"repro/internal/trace"
+	"repro/internal/transport"
 )
 
 // Policy selects the participant's behaviour when the wait phase times
@@ -86,7 +87,9 @@ type Config struct {
 	// negative disables GC entirely.
 	OutcomeTTL time.Duration
 	// CheckpointBytes triggers a WAL compaction whenever a site's log
-	// exceeds this size.  0 means the default 256 KiB; negative disables
+	// exceeds this size (and twice its post-compaction size, so stores
+	// whose live state alone exceeds the threshold are not compacted on
+	// every message).  0 means the default 256 KiB; negative disables
 	// auto-checkpointing.
 	CheckpointBytes int
 	// Policy selects wait-phase timeout behaviour.  Default
@@ -114,6 +117,12 @@ type Config struct {
 	DisableOnePhaseOpt bool
 	// MaxAlternatives caps polytransaction fan-out (0 = package default).
 	MaxAlternatives int
+	// SimBatch, when set, wraps the simulated fabric in a
+	// transport.Batcher so the deterministic runtime exercises the same
+	// message-coalescing seam (and batch wire codec) the TCP transport
+	// uses.  Flush timing runs on the discrete-event scheduler, so runs
+	// stay reproducible.  Nil means unbatched sim sends, as before.
+	SimBatch *transport.BatchParams
 	// DataDir, when set, backs every site's store with a file WAL
 	// (<DataDir>/<site>.wal).  A cluster re-created over the same
 	// directory recovers each site's durable state — including in-doubt

@@ -48,14 +48,15 @@ func NewNode(cfg Config, self protocol.SiteID, fab transport.Transport) (*Cluste
 	cfg.fillDefaults()
 	wall := vclock.NewWall()
 	c := &Cluster{
-		cfg:   cfg,
-		clk:   wall,
-		wall:  wall,
-		fab:   fab,
-		sites: map[protocol.SiteID]*Site{},
-		order: append([]protocol.SiteID{}, cfg.Sites...),
-		ids:   txn.NewIDGen(string(self) + ".t"),
-		qids:  txn.NewIDGen(string(self) + ".q"),
+		cfg:     cfg,
+		tracing: tracingEnabled(cfg.Tracer),
+		clk:     wall,
+		wall:    wall,
+		fab:     fab,
+		sites:   map[protocol.SiteID]*Site{},
+		order:   append([]protocol.SiteID{}, cfg.Sites...),
+		ids:     txn.NewIDGen(string(self) + ".t"),
+		qids:    txn.NewIDGen(string(self) + ".q"),
 	}
 	reg := cfg.Metrics
 	if reg == nil {
@@ -64,6 +65,11 @@ func NewNode(cfg Config, self protocol.SiteID, fab transport.Transport) (*Cluste
 	c.initMetrics(reg)
 
 	store := storage.NewStore()
+	if cfg.DataDir == "" {
+		// No durable medium: skip WAL record framing on every mutation
+		// (a real process crash loses the in-memory store regardless).
+		store.SetVolatile()
+	}
 	if cfg.DataDir != "" {
 		var log *storage.FileLog
 		var err error
@@ -81,6 +87,11 @@ func NewNode(cfg Config, self protocol.SiteID, fab transport.Transport) (*Cluste
 	}
 	c.sites[self] = s
 	fab.Register(self, s.onMessage)
+	if br, ok := fab.(transport.BatchReceiver); ok {
+		// Whole decoded frames become one site event each instead of one
+		// per message.
+		br.RegisterBatch(self, s.onMessageBatch)
+	}
 	// Recover durable state synchronously, before any network traffic can
 	// interleave: in-doubt transactions convert exactly as a site restart
 	// would, and their outcome-request loops start ticking on the wall.

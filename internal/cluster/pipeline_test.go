@@ -5,9 +5,11 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/network"
 	"repro/internal/polyvalue"
 	"repro/internal/protocol"
+	"repro/internal/transport"
 	"repro/internal/value"
 )
 
@@ -117,6 +119,94 @@ func TestPipelinedConflictingTransactions(t *testing.T) {
 		t.Errorf("total = %d, want %d (committed=%d)", total, items*100, committed)
 	}
 	t.Logf("pipelined conflicts: %d/%d committed", committed, len(subs))
+}
+
+// TestSimBatchingPreservesOutcomes: the same conflicting-transfer
+// workload (fixed seed) run twice with sim-side message batching
+// enabled is bit-for-bit deterministic, conserves money, settles with
+// zero residual polyvalues even through a coordinator crash, and
+// actually exercises the batch path (flush metrics advance).
+func TestSimBatchingPreservesOutcomes(t *testing.T) {
+	run := func() (map[string]int64, Stats, int64) {
+		c, err := New(Config{
+			Sites:    []protocol.SiteID{"s0", "s1", "s2"},
+			Net:      network.Config{Latency: 5 * time.Millisecond, Jitter: 2 * time.Millisecond, Seed: 11},
+			SimBatch: &transport.BatchParams{MaxCount: 8, MaxDelay: 2 * time.Millisecond},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		const items = 4
+		for i := 0; i < items; i++ {
+			if err := c.Load(fmt.Sprintf("y%d", i), polyvalue.Simple(value.Int(100))); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 24; i++ {
+			if i == 10 {
+				// One coordinator dies after logging its decision: the
+				// outcome must still reach participants through batched
+				// retransmissions and recovery.
+				c.ArmCrashBeforeDecision("s1")
+			}
+			a, b := i%items, (i+1)%items
+			if _, err := c.Submit(c.Sites()[i%3],
+				fmt.Sprintf("y%d = y%d - 5; y%d = y%d + 5", a, a, b, b)); err != nil {
+				t.Fatal(err)
+			}
+			c.RunFor(50 * time.Millisecond)
+		}
+		c.RunFor(5 * time.Second)
+		for _, s := range c.Sites() {
+			if c.IsDown(s) {
+				c.Restart(s)
+			}
+		}
+		c.RunFor(60 * time.Second)
+
+		state := map[string]int64{}
+		var total int64
+		for i := 0; i < items; i++ {
+			name := fmt.Sprintf("y%d", i)
+			v, ok := c.Read(name).IsCertain()
+			if !ok {
+				t.Fatalf("%s uncertain at quiescence", name)
+			}
+			n, _ := value.AsInt(v)
+			state[name] = n
+			total += n
+		}
+		if total != items*100 {
+			t.Errorf("total = %d, want %d", total, items*100)
+		}
+		if polys := c.PolyItems(); len(polys) != 0 {
+			t.Errorf("residual polyvalues: %v", polys)
+		}
+		for _, v := range c.CheckInvariants() {
+			t.Errorf("invariant violation: %s", v)
+		}
+		var flushes int64
+		for _, reason := range []string{"count", "size", "delay", "drain"} {
+			flushes += c.Metrics().Counter("transport.batch.flushes", metrics.L("reason", reason)).Value()
+		}
+		return state, c.Stats(), flushes
+	}
+
+	state1, stats1, flushes1 := run()
+	state2, stats2, flushes2 := run()
+	if flushes1 == 0 {
+		t.Fatal("batching enabled but no batch flushes recorded")
+	}
+	if flushes1 != flushes2 || stats1 != stats2 {
+		t.Errorf("batched runs diverged: flushes %d vs %d, stats %+v vs %+v",
+			flushes1, flushes2, stats1, stats2)
+	}
+	for k, v := range state1 {
+		if state2[k] != v {
+			t.Errorf("state diverged at %s: %d vs %d", k, v, state2[k])
+		}
+	}
 }
 
 // TestQueriesConcurrentWithUpdates: read-only queries interleaved with a

@@ -22,8 +22,7 @@ type Site struct {
 	c     *Cluster
 	store *storage.Store
 
-	inbox chan func()
-	acked chan struct{}
+	inbox chan siteEvent
 	quit  chan struct{}
 	once  sync.Once
 
@@ -35,10 +34,21 @@ type Site struct {
 	// flog is the site's file-backed WAL when one exists (DataDir set);
 	// the mid-wal-append crash point tears writes through it.
 	flog *storage.FileLog
+	// walFloor is the WAL size right after the last compaction.  The
+	// next checkpoint fires only once the log exceeds both
+	// CheckpointBytes and twice this floor: when live state alone is
+	// bigger than the configured threshold, a fixed trigger would
+	// otherwise re-checkpoint on every message (each compaction ends
+	// already over the limit).
+	walFloor int
 
 	// locks maps item → holding transaction (no-wait exclusive locks:
 	// conflicts refuse, which aborts, which is deadlock-free).
 	locks map[string]txn.ID
+	// lockedBy is the reverse index: the items each transaction holds,
+	// so release is O(items held) instead of a sweep of every lock on
+	// the site.
+	lockedBy map[txn.ID][]string
 	// parts holds per-transaction participant contexts.
 	parts map[txn.ID]*partCtx
 	// coords holds per-transaction coordinator contexts.
@@ -60,6 +70,19 @@ type Site struct {
 	// last outcome ack, for the settle-phase histogram.
 	decidedAt map[txn.ID]vclock.Time
 }
+
+// siteEvent is one queued closure for the site goroutine; done, when
+// non-nil, is closed after fn runs (the synchronous do() path).
+type siteEvent struct {
+	fn   func()
+	done chan struct{}
+}
+
+// siteInboxDepth buffers the event queue so wall-clock posters (TCP
+// read loops, timers) hand off without a rendezvous.  The simulated
+// runtime's do() waits for completion regardless, so buffering does not
+// affect determinism.
+const siteInboxDepth = 256
 
 // retryState is one in-doubt transaction's outcome-request loop.
 type retryState struct {
@@ -127,11 +150,11 @@ type coordCtx struct {
 func newSite(c *Cluster, id protocol.SiteID, store *storage.Store) *Site {
 	s := &Site{
 		id: id, c: c, store: store,
-		inbox:       make(chan func()),
-		acked:       make(chan struct{}),
+		inbox:       make(chan siteEvent, siteInboxDepth),
 		quit:        make(chan struct{}),
 		armed:       map[CrashPoint]bool{},
 		locks:       map[string]txn.ID{},
+		lockedBy:    map[txn.ID][]string{},
 		parts:       map[txn.ID]*partCtx{},
 		coords:      map[txn.ID]*coordCtx{},
 		retry:       map[txn.ID]retryState{},
@@ -144,19 +167,24 @@ func newSite(c *Cluster, id protocol.SiteID, store *storage.Store) *Site {
 	return s
 }
 
-// loop is the site goroutine: it processes one closure at a time and
-// acknowledges each, so the dispatching event blocks until the site is
-// done — this serialization is what makes cluster runs deterministic in
-// the simulated runtime, and what serializes concurrent timer callbacks
-// and TCP deliveries in the wall-clock runtime.
+// loop is the site goroutine: it processes one event at a time and
+// acknowledges the synchronous ones, so a dispatching do() blocks until
+// the site is done — this serialization is what makes cluster runs
+// deterministic in the simulated runtime.  Asynchronous events (post)
+// carry no ack channel: the wall-clock runtime pipelines message
+// delivery through the buffered inbox without stalling TCP read loops
+// on handler completion, while the per-site goroutine still serializes
+// all state access.
 func (s *Site) loop() {
 	for {
 		select {
 		case <-s.quit:
 			return
-		case fn := <-s.inbox:
-			fn()
-			s.acked <- struct{}{}
+		case ev := <-s.inbox:
+			ev.fn()
+			if ev.done != nil {
+				close(ev.done)
+			}
 		}
 	}
 }
@@ -165,9 +193,25 @@ func (s *Site) loop() {
 // close, fn is silently dropped — late timers and deliveries racing a
 // wall-clock shutdown land here.
 func (s *Site) do(fn func()) {
+	done := make(chan struct{})
 	select {
-	case s.inbox <- fn:
-		<-s.acked
+	case s.inbox <- siteEvent{fn: fn, done: done}:
+		select {
+		case <-done:
+		case <-s.quit:
+		}
+	case <-s.quit:
+	}
+}
+
+// post queues fn on the site goroutine WITHOUT waiting for it to run —
+// the wall-clock fast path.  Events still execute strictly in queue
+// order on the one site goroutine; only the caller's rendezvous is
+// gone.  Never used by the simulated runtime, whose determinism depends
+// on do()'s synchronous handoff.
+func (s *Site) post(fn func()) {
+	select {
+	case s.inbox <- siteEvent{fn: fn}:
 	case <-s.quit:
 	}
 }
@@ -176,21 +220,46 @@ func (s *Site) do(fn func()) {
 // without running.
 func (s *Site) close() { s.once.Do(func() { close(s.quit) }) }
 
-// onMessage is the network delivery handler (called from a scheduler
-// event on the controller goroutine).
+// onMessage is the network delivery handler.  The simulated runtime
+// calls it from scheduler events and needs the synchronous handoff for
+// determinism; the wall-clock runtime posts asynchronously so a TCP
+// read loop (which may have just decoded a whole batch) queues the
+// messages and moves on instead of stalling a round-trip per message.
+// onMessageBatch handles a whole same-destination frame as ONE site
+// event (wall-clock runtime only: the TCP transport's batch delivery
+// path).  The transport hands over ownership of the slice, so it can
+// cross the goroutine boundary without a copy.
+func (s *Site) onMessageBatch(msgs []protocol.Message) {
+	s.post(func() {
+		if s.down {
+			return
+		}
+		for _, msg := range msgs {
+			s.handle(msg)
+		}
+	})
+}
+
 func (s *Site) onMessage(msg protocol.Message) {
-	s.do(func() {
+	fn := func() {
 		if s.down {
 			return
 		}
 		s.handle(msg)
-	})
+	}
+	if s.c.wall != nil {
+		s.post(fn)
+		return
+	}
+	s.do(fn)
 }
 
 // send traces and transmits a message from this site.
 func (s *Site) send(msg protocol.Message) {
 	msg.From = s.id
-	s.c.trace("%s send %s", s.id, msg)
+	if s.c.tracing {
+		s.c.trace("%s send %s", s.id, msg)
+	}
 	s.c.fab.Send(msg)
 }
 
@@ -209,7 +278,9 @@ func (s *Site) after(d vclock.Time, fn func()) vclock.TimerID {
 
 // handle dispatches one delivered message.
 func (s *Site) handle(msg protocol.Message) {
-	s.c.trace("%s recv %s", s.id, msg)
+	if s.c.tracing {
+		s.c.trace("%s recv %s", s.id, msg)
+	}
 	switch msg.Kind {
 	case protocol.MsgReadReq:
 		s.onReadReq(msg)
@@ -239,10 +310,11 @@ func (s *Site) handle(msg protocol.Message) {
 	case protocol.MsgOutcomeAck:
 		s.onOutcomeAck(msg)
 	}
-	if cb := s.c.cfg.CheckpointBytes; cb > 0 && s.store.WALSize() > cb {
+	if cb := s.c.cfg.CheckpointBytes; cb > 0 && s.store.WALSize() > max(cb, 2*s.walFloor) {
 		if n, err := s.store.Checkpoint(); err != nil {
 			s.c.trace("%s checkpoint failed: %v", s.id, err)
 		} else {
+			s.walFloor = n
 			s.c.trace("%s checkpointed WAL to %d bytes", s.id, n)
 		}
 	}
@@ -611,6 +683,25 @@ func (s *Site) decide(ctx *coordCtx, committed bool, reason string) {
 	if ctx.prepared {
 		s.c.phasePrepare.Observe((now - ctx.prepareAt).Seconds())
 	}
+	// Pipelining: the decision is durable, so the client's fate is
+	// sealed — resolve the handle BEFORE fanning the outcome out to
+	// participants.  The submitter unblocks one WAL write after the last
+	// ready instead of also waiting behind N outcome sends; §3.3's
+	// acknowledgement collection (and the resend loop below) proceeds
+	// concurrently with whatever the client does next.
+	st := StatusAborted
+	if committed {
+		st = StatusCommitted
+		s.c.committed.Inc()
+	} else {
+		s.c.aborted.Inc()
+	}
+	ctx.handle.decide(st, reason, now)
+	if committed {
+		if lat, ok := ctx.handle.Latency(); ok {
+			s.c.latency.Observe(lat.Seconds())
+		}
+	}
 	if s.c.cfg.OutcomeTTL >= 0 && len(targets) > 0 {
 		waiting := make(map[protocol.SiteID]bool, len(targets))
 		for _, site := range targets {
@@ -626,19 +717,6 @@ func (s *Site) decide(ctx *coordCtx, committed bool, reason string) {
 	// own inquiry loop fires: retransmit to unacked participants with
 	// capped exponential backoff.
 	s.armDecisionResend(ctx.tid, committed, 1)
-	st := StatusAborted
-	if committed {
-		st = StatusCommitted
-		s.c.committed.Inc()
-	} else {
-		s.c.aborted.Inc()
-	}
-	ctx.handle.decide(st, reason, now)
-	if committed {
-		if lat, ok := ctx.handle.Latency(); ok {
-			s.c.latency.Observe(lat.Seconds())
-		}
-	}
 	s.c.clk.Cancel(ctx.readTimer)
 	s.c.clk.Cancel(ctx.readyTimer)
 	delete(s.coords, ctx.tid)
@@ -1268,6 +1346,7 @@ func (s *Site) crash() {
 		s.c.clk.Cancel(id)
 	}
 	s.locks = map[string]txn.ID{}
+	s.lockedBy = map[txn.ID][]string{}
 	s.parts = map[txn.ID]*partCtx{}
 	s.coords = map[txn.ID]*coordCtx{}
 	s.retry = map[txn.ID]retryState{}
@@ -1327,6 +1406,7 @@ func (s *Site) recoverDurableState() {
 			ctx.previous = prep.Previous
 			for item := range prep.Writes {
 				s.locks[item] = prep.TID
+				s.lockedBy[prep.TID] = append(s.lockedBy[prep.TID], item)
 				ctx.locked = append(ctx.locked, item)
 			}
 			s.c.inDoubt.Inc()
@@ -1400,16 +1480,20 @@ func (s *Site) lockAll(tid txn.ID, items []string) bool {
 	for _, item := range items {
 		s.locks[item] = tid
 	}
+	if len(items) > 0 {
+		s.lockedBy[tid] = append(s.lockedBy[tid], items...)
+	}
 	return true
 }
 
 // releaseLocks frees every lock held by tid.
 func (s *Site) releaseLocks(tid txn.ID) {
-	for item, holder := range s.locks {
-		if holder == tid {
+	for _, item := range s.lockedBy[tid] {
+		if s.locks[item] == tid {
 			delete(s.locks, item)
 		}
 	}
+	delete(s.lockedBy, tid)
 }
 
 func mergeItems(a, b []string) []string {

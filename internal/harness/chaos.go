@@ -26,8 +26,8 @@ import (
 	"time"
 
 	"repro/internal/cluster"
-	"repro/internal/metrics"
 	"repro/internal/fault"
+	"repro/internal/metrics"
 	"repro/internal/polyvalue"
 	"repro/internal/protocol"
 	"repro/internal/storage"

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"sort"
 
-	"repro/internal/metrics"
 	"repro/internal/txn"
 )
 
@@ -46,7 +45,7 @@ type Coordinator struct {
 	TID          txn.ID
 	state        CState
 	participants map[SiteID]bool // true once ready received
-	reg          *metrics.Registry
+	ins          *Instruments
 }
 
 // NewCoordinator starts collecting for the given participant set.
@@ -95,7 +94,7 @@ func (c *Coordinator) OnReady(from SiteID) (decidedCommit bool) {
 		return false
 	}
 	c.participants[from] = true
-	c.count("protocol.coordinator.ready.received")
+	c.countReady()
 	for _, ready := range c.participants {
 		if !ready {
 			return false

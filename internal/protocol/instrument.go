@@ -1,39 +1,114 @@
 package protocol
 
-import "repro/internal/metrics"
+import (
+	"sync"
+
+	"repro/internal/metrics"
+)
 
 // The protocol state machines are pure — no transport, storage, or clock
 // — so their instrumentation is likewise pure event counting: every
 // transition and decision is recorded against an attached registry.
 // Phase *timings* live with the runtime that owns the clock (the cluster
 // site loop), which observes protocol.phase.seconds there.
+//
+// Machines are per-transaction and Instrument is called for each one, so
+// the registry's series are resolved once per registry (not per machine,
+// and certainly not per event) and cached in an Instruments table; the
+// per-event cost is an atomic increment on a prebuilt counter.
+
+const (
+	pEventSlots  = int(EvTimeout) + 1
+	pActionSlots = int(ActInstallPoly) + 1
+)
+
+// Instruments caches the protocol counter series of one registry.
+type Instruments struct {
+	readyReceived *metrics.Counter
+	commitAllOK   *metrics.Counter // decision commit/all-ready
+	abortRefused  *metrics.Counter // decision abort/refused
+	abortTimeout  *metrics.Counter // decision abort/ready-timeout
+	transitions   [pEventSlots][pActionSlots]*metrics.Counter
+	reg           *metrics.Registry // fallback for out-of-range enum values
+}
+
+// instrumentsCache maps *metrics.Registry → *Instruments.
+var instrumentsCache sync.Map
+
+// InstrumentsFor returns the (shared, concurrency-safe) counter table for
+// a registry, building it on first use.  Returns nil for a nil registry.
+func InstrumentsFor(reg *metrics.Registry) *Instruments {
+	if reg == nil {
+		return nil
+	}
+	if v, ok := instrumentsCache.Load(reg); ok {
+		return v.(*Instruments)
+	}
+	ins := &Instruments{
+		readyReceived: reg.Counter("protocol.coordinator.ready.received"),
+		commitAllOK: reg.Counter("protocol.coordinator.decisions",
+			metrics.L("outcome", "commit"), metrics.L("cause", "all-ready")),
+		abortRefused: reg.Counter("protocol.coordinator.decisions",
+			metrics.L("outcome", "abort"), metrics.L("cause", "refused")),
+		abortTimeout: reg.Counter("protocol.coordinator.decisions",
+			metrics.L("outcome", "abort"), metrics.L("cause", "ready-timeout")),
+		reg: reg,
+	}
+	for ev := 0; ev < pEventSlots; ev++ {
+		for act := 0; act < pActionSlots; act++ {
+			ins.transitions[ev][act] = reg.Counter("protocol.participant.transitions",
+				metrics.L("event", PEvent(ev).String()), metrics.L("action", PAction(act).String()))
+		}
+	}
+	if v, loaded := instrumentsCache.LoadOrStore(reg, ins); loaded {
+		return v.(*Instruments)
+	}
+	return ins
+}
 
 // Instrument attaches a metrics registry to the coordinator; decisions
 // and received votes are then counted as protocol.coordinator.* series.
-func (c *Coordinator) Instrument(reg *metrics.Registry) { c.reg = reg }
+func (c *Coordinator) Instrument(reg *metrics.Registry) { c.ins = InstrumentsFor(reg) }
 
 // Instrument attaches a metrics registry to the participant; every state
 // transition is then counted as a protocol.participant.transitions
 // series labelled by event and resulting action.
-func (p *Participant) Instrument(reg *metrics.Registry) { p.reg = reg }
+func (p *Participant) Instrument(reg *metrics.Registry) { p.ins = InstrumentsFor(reg) }
 
-// countCoord records one coordinator-side event.
-func (c *Coordinator) count(name string, labels ...metrics.Label) {
-	if c.reg != nil {
-		c.reg.Counter(name, labels...).Inc()
+// countReady records one received ready vote.
+func (c *Coordinator) countReady() {
+	if c.ins != nil {
+		c.ins.readyReceived.Inc()
 	}
 }
 
 // decision records the commit/abort decision with its cause.
 func (c *Coordinator) decision(outcome, cause string) {
-	c.count("protocol.coordinator.decisions",
-		metrics.L("outcome", outcome), metrics.L("cause", cause))
+	if c.ins == nil {
+		return
+	}
+	switch cause {
+	case "all-ready":
+		c.ins.commitAllOK.Inc()
+	case "refused":
+		c.ins.abortRefused.Inc()
+	case "ready-timeout":
+		c.ins.abortTimeout.Inc()
+	default:
+		c.ins.reg.Counter("protocol.coordinator.decisions",
+			metrics.L("outcome", outcome), metrics.L("cause", cause)).Inc()
+	}
 }
 
 // countTransition records one successful participant transition.
 func (p *Participant) countTransition(ev PEvent, act PAction) {
-	if p.reg != nil {
-		p.reg.Counter("protocol.participant.transitions",
-			metrics.L("event", ev.String()), metrics.L("action", act.String())).Inc()
+	if p.ins == nil {
+		return
 	}
+	if int(ev) < pEventSlots && int(act) < pActionSlots {
+		p.ins.transitions[ev][act].Inc()
+		return
+	}
+	p.ins.reg.Counter("protocol.participant.transitions",
+		metrics.L("event", ev.String()), metrics.L("action", act.String())).Inc()
 }

@@ -3,7 +3,6 @@ package protocol
 import (
 	"fmt"
 
-	"repro/internal/metrics"
 	"repro/internal/polyvalue"
 	"repro/internal/txn"
 )
@@ -134,7 +133,7 @@ type Participant struct {
 	// to build {<new, T>, <old, !T>} polyvalues.
 	Previous map[string]polyvalue.Poly
 
-	reg *metrics.Registry
+	ins *Instruments
 }
 
 // NewParticipant returns a participant in the idle state.

@@ -31,19 +31,49 @@ type DepEntry struct {
 	Sites map[string]bool
 }
 
+// itemShards fixes the item map's shard count.  Sixteen is plenty: the
+// goal is that point reads on independent items don't serialize behind
+// the store-wide mutex WAL appends hold.
+const itemShards = 16
+
+// itemShard is one lock-striped slice of the item map.
+type itemShard struct {
+	mu sync.RWMutex
+	m  map[string]polyvalue.Poly
+}
+
 // Store is a site's durable state.  Every mutation appends to the WAL
 // before updating memory, so Recover rebuilds exactly this state.  Safe
 // for concurrent use.
+//
+// The item map is sharded: point reads (Get/Has) take only their
+// shard's read lock, so independent transactions — and inspection reads
+// like a bench harness sampling balances — don't serialize behind the
+// store-wide mutex that orders WAL appends.  Writes still append to the
+// WAL under the outer mutex first (crash ordering is sacred), then
+// update the shard.  Lock order is always outer mu → shard mu.
 type Store struct {
 	mu       sync.RWMutex
 	wal      *WAL
-	items    map[string]polyvalue.Poly
+	items    [itemShards]itemShard
 	prepared map[txn.ID]Prepared
 	outcomes map[txn.ID]bool // tid → committed
 	deps     map[txn.ID]*DepEntry
 	awaits   map[txn.ID]string // tid → coordinator to ask for the outcome
 	// checkpoints, when set via Instrument, counts WAL compactions.
 	checkpoints *metrics.Counter
+	// volatile suppresses WAL logging entirely (see SetVolatile).
+	volatile bool
+}
+
+// shard picks the lock stripe for an item (FNV-1a).
+func (s *Store) shard(item string) *itemShard {
+	h := uint32(2166136261)
+	for i := 0; i < len(item); i++ {
+		h ^= uint32(item[i])
+		h *= 16777619
+	}
+	return &s.items[h%itemShards]
 }
 
 // Instrument attaches a metrics registry: WAL appends, appended bytes and
@@ -61,14 +91,17 @@ func NewStore() *Store { return NewStoreWithWAL(NewWAL()) }
 
 // NewStoreWithWAL returns an empty store logging to the given WAL.
 func NewStoreWithWAL(w *WAL) *Store {
-	return &Store{
+	s := &Store{
 		wal:      w,
-		items:    map[string]polyvalue.Poly{},
 		prepared: map[txn.ID]Prepared{},
 		outcomes: map[txn.ID]bool{},
 		deps:     map[txn.ID]*DepEntry{},
 		awaits:   map[txn.ID]string{},
 	}
+	for i := range s.items {
+		s.items[i].m = map[string]polyvalue.Poly{}
+	}
+	return s
 }
 
 // Recover rebuilds a store from log contents; the returned store's WAL
@@ -91,20 +124,33 @@ func Recover(data []byte) (*Store, error) {
 	return s, nil
 }
 
-// apply logs (unless replaying) and applies one record.
+// SetVolatile stops logging mutations to the WAL.  A node-mode cluster
+// with no data directory has no durable medium at all — a process crash
+// loses the Store object itself — so per-record framing, checksumming
+// and log buffering buy nothing.  Not for the simulated runtime, where
+// the in-memory store stands in for stable storage across simulated
+// crashes and the WAL must stay replayable.
+func (s *Store) SetVolatile() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.volatile = true
+}
+
+// apply logs (unless replaying or volatile) and applies one record.
+// During replay the record is re-appended so the recovered store's log
+// is self-contained.
 func (s *Store) apply(r Record, replaying bool) error {
-	if !replaying {
+	if !s.volatile {
 		if err := s.wal.Append(r); err != nil {
 			return err
 		}
-	} else if err := s.wal.Append(r); err != nil {
-		// During replay we re-append so the recovered store's log is
-		// self-contained.
-		return err
 	}
 	switch r.Kind {
 	case RecPut:
-		s.items[r.Item] = r.Poly
+		sh := s.shard(r.Item)
+		sh.mu.Lock()
+		sh.m[r.Item] = r.Poly
+		sh.mu.Unlock()
 	case RecPrepared:
 		s.prepared[r.TID] = Prepared{
 			TID: r.TID, Coordinator: r.Coordinator,
@@ -170,11 +216,12 @@ func (s *Store) Put(item string, p polyvalue.Poly) error {
 }
 
 // Get returns the current value of an item; never-written items read as
-// the certain Nil value.
+// the certain Nil value.  Touches only the item's shard lock.
 func (s *Store) Get(item string) polyvalue.Poly {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	if p, ok := s.items[item]; ok {
+	sh := s.shard(item)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if p, ok := sh.m[item]; ok {
 		return p
 	}
 	return polyvalue.Simple(value.Nil{})
@@ -182,19 +229,23 @@ func (s *Store) Get(item string) polyvalue.Poly {
 
 // Has reports whether the item has ever been written.
 func (s *Store) Has(item string) bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	_, ok := s.items[item]
+	sh := s.shard(item)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	_, ok := sh.m[item]
 	return ok
 }
 
 // Items returns the names of all stored items, sorted.
 func (s *Store) Items() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]string, 0, len(s.items))
-	for k := range s.items {
-		out = append(out, k)
+	var out []string
+	for i := range s.items {
+		sh := &s.items[i]
+		sh.mu.RLock()
+		for k := range sh.m {
+			out = append(out, k)
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Strings(out)
 	return out
@@ -203,13 +254,16 @@ func (s *Store) Items() []string {
 // PolyItems returns the names of items currently holding uncertain
 // values, sorted — the population the paper's §4 analysis predicts.
 func (s *Store) PolyItems() []string {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var out []string
-	for k, p := range s.items {
-		if _, certain := p.IsCertain(); !certain {
-			out = append(out, k)
+	for i := range s.items {
+		sh := &s.items[i]
+		sh.mu.RLock()
+		for k, p := range sh.m {
+			if _, certain := p.IsCertain(); !certain {
+				out = append(out, k)
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	sort.Strings(out)
 	return out
@@ -406,14 +460,22 @@ func (s *Store) Checkpoint() (int, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	fresh := NewWAL()
-	// Stable order for determinism.
-	items := make([]string, 0, len(s.items))
-	for k := range s.items {
-		items = append(items, k)
+	// Stable order for determinism.  Item writers are blocked on the
+	// outer mutex here, so the shard sweep sees a consistent state.
+	var items []string
+	vals := map[string]polyvalue.Poly{}
+	for i := range s.items {
+		sh := &s.items[i]
+		sh.mu.RLock()
+		for k, p := range sh.m {
+			items = append(items, k)
+			vals[k] = p
+		}
+		sh.mu.RUnlock()
 	}
 	sort.Strings(items)
 	for _, k := range items {
-		if err := fresh.Append(Record{Kind: RecPut, Item: k, Poly: s.items[k]}); err != nil {
+		if err := fresh.Append(Record{Kind: RecPut, Item: k, Poly: vals[k]}); err != nil {
 			return 0, err
 		}
 	}

@@ -1,0 +1,142 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/network"
+	"repro/internal/polyvalue"
+	"repro/internal/protocol"
+	"repro/internal/vclock"
+)
+
+// newBatcher builds a Batcher over a deterministic simulated fabric.
+func newBatcher(p BatchParams) (*Batcher, *vclock.Scheduler, *collector) {
+	sched := vclock.NewScheduler()
+	inner := NewSim(network.New(sched, network.Config{Seed: 9}))
+	b := NewBatcher(inner, sched, p)
+	var sink collector
+	b.Register("B", sink.handle)
+	return b, sched, &sink
+}
+
+func batchMsg(i int) protocol.Message {
+	return protocol.Message{Kind: protocol.MsgReadReq, TID: tid(i), From: "A", To: "B"}
+}
+
+func TestBatcherCountFlush(t *testing.T) {
+	reg := metrics.NewRegistry()
+	b, sched, sink := newBatcher(BatchParams{MaxCount: 3, MaxDelay: -1, Metrics: reg})
+	defer b.Close()
+
+	b.Send(batchMsg(0))
+	b.Send(batchMsg(1))
+	sched.Drain(0)
+	if n := sink.count(); n != 0 {
+		t.Fatalf("partial batch leaked %d messages before the count bound", n)
+	}
+	b.Send(batchMsg(2))
+	sched.Drain(0)
+	msgs := sink.msgs
+	if len(msgs) != 3 {
+		t.Fatalf("delivered %d messages, want 3", len(msgs))
+	}
+	for i, m := range msgs {
+		if m.TID != tid(i) {
+			t.Fatalf("message %d out of order: %s", i, m.TID)
+		}
+	}
+	if got := reg.Counter("transport.batch.flushes", metrics.L("reason", "count")).Value(); got != 1 {
+		t.Errorf("flushes{reason=count} = %d, want 1", got)
+	}
+	if got := reg.Histogram("transport.batch.size").Max(); got != 3 {
+		t.Errorf("batch.size max = %v, want 3", got)
+	}
+}
+
+func TestBatcherDelayFlush(t *testing.T) {
+	reg := metrics.NewRegistry()
+	b, sched, sink := newBatcher(BatchParams{MaxCount: 100, MaxDelay: 5 * time.Millisecond, Metrics: reg})
+	defer b.Close()
+
+	b.Send(batchMsg(0))
+	b.Send(batchMsg(1))
+	// Nothing moves until the linger timer fires on the simulated clock.
+	sched.RunUntil(4 * time.Millisecond)
+	if n := sink.count(); n != 0 {
+		t.Fatalf("flushed %d messages before MaxDelay", n)
+	}
+	sched.Drain(0)
+	if n := sink.count(); n != 2 {
+		t.Fatalf("delivered %d messages after delay flush, want 2", n)
+	}
+	if got := reg.Counter("transport.batch.flushes", metrics.L("reason", "delay")).Value(); got != 1 {
+		t.Errorf("flushes{reason=delay} = %d, want 1", got)
+	}
+}
+
+func TestBatcherSizeFlush(t *testing.T) {
+	reg := metrics.NewRegistry()
+	b, sched, sink := newBatcher(BatchParams{MaxCount: 1000, MaxBytes: 64, MaxDelay: -1, Metrics: reg})
+	defer b.Close()
+
+	// Bulky values push past 64 encoded bytes within a few sends.
+	for i := 0; i < 4; i++ {
+		m := batchMsg(i)
+		m.Values = map[string]polyvalue.Poly{"acct": samplePoly(t)}
+		b.Send(m)
+	}
+	sched.Drain(0)
+	if sink.count() == 0 {
+		t.Fatal("size bound never flushed")
+	}
+	if got := reg.Counter("transport.batch.flushes", metrics.L("reason", "size")).Value(); got == 0 {
+		t.Error("flushes{reason=size} = 0")
+	}
+}
+
+// TestBatcherFlushClose: explicit Flush drains pending queues, Close
+// flushes the remainder before shutting the inner fabric, and sends
+// after Close are silent no-ops.
+func TestBatcherFlushClose(t *testing.T) {
+	b, sched, sink := newBatcher(BatchParams{MaxCount: 100, MaxDelay: -1})
+
+	b.Send(batchMsg(0))
+	b.Flush()
+	sched.Drain(0)
+	if n := sink.count(); n != 1 {
+		t.Fatalf("Flush delivered %d, want 1", n)
+	}
+
+	b.Send(batchMsg(1))
+	if err := b.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	sched.Drain(0)
+	if n := sink.count(); n != 2 {
+		t.Fatalf("Close flushed to %d messages, want 2", n)
+	}
+	b.Send(batchMsg(2))
+	sched.Drain(0)
+	if n := sink.count(); n != 2 {
+		t.Fatalf("send after Close delivered (%d messages)", n)
+	}
+}
+
+// TestBatcherSingleMessageMode: MaxCount=1 degenerates to pass-through
+// with no timers pending.
+func TestBatcherSingleMessageMode(t *testing.T) {
+	b, sched, sink := newBatcher(BatchParams{MaxCount: 1, MaxDelay: time.Second})
+	defer b.Close()
+	for i := 0; i < 5; i++ {
+		b.Send(batchMsg(i))
+	}
+	sched.Drain(0)
+	if n := sink.count(); n != 5 {
+		t.Fatalf("delivered %d, want 5", n)
+	}
+	if p := sched.Pending(); p != 0 {
+		t.Fatalf("%d timers left pending in pass-through mode", p)
+	}
+}

@@ -40,6 +40,17 @@ type TCPConfig struct {
 	QueueDepth int
 	// MaxFrame caps accepted payload size (default wire.MaxFrame).
 	MaxFrame int
+	// BatchMax caps how many queued messages one outgoing frame may
+	// coalesce (default 32; 1 disables coalescing — every message gets
+	// its own classic frame).
+	BatchMax int
+	// BatchBytes flushes a batch once its encoded message payload
+	// reaches this many bytes (default 64 KiB).
+	BatchBytes int
+	// BatchDelay bounds how long a writer lingers for more traffic when
+	// the queue drains with a partial batch (default 100µs; negative
+	// means no lingering — flush the moment the queue is empty).
+	BatchDelay time.Duration
 	// Seed drives backoff jitter (runs with equal seeds draw the same
 	// jitter sequence).
 	Seed int64
@@ -70,6 +81,18 @@ func (c *TCPConfig) fillDefaults() {
 	if c.MaxFrame <= 0 {
 		c.MaxFrame = wire.MaxFrame
 	}
+	if c.BatchMax <= 0 {
+		c.BatchMax = 32
+	}
+	if c.BatchMax > wire.MaxBatch {
+		c.BatchMax = wire.MaxBatch
+	}
+	if c.BatchBytes <= 0 {
+		c.BatchBytes = 64 << 10
+	}
+	if c.BatchDelay == 0 {
+		c.BatchDelay = 100 * time.Microsecond
+	}
 	if c.Listen == "" {
 		c.Listen = c.Peers[c.Self]
 	}
@@ -77,8 +100,9 @@ func (c *TCPConfig) fillDefaults() {
 
 // PeerStats counts one peer link's activity.
 type PeerStats struct {
-	// Sent counts frames written to the peer; Dropped counts messages
-	// abandoned (dead link, backoff window, full queue).
+	// Sent counts frames written to the peer (one frame may carry a
+	// whole batch of messages); Dropped counts messages abandoned
+	// (dead link, backoff window, full queue).
 	Sent, Dropped int64
 	// Reconnects counts successful dials after a previous connection
 	// existed; ConnErrors counts failed dials and broken writes.
@@ -126,10 +150,14 @@ type peer struct {
 
 	conn     net.Conn
 	buf      []byte
+	batch    wire.BatchBuilder
 	rng      *rand.Rand
 	backoff  time.Duration
 	nextDial time.Time
 	everUp   bool
+
+	// Cached per-peer metric handles (nil without a registry).
+	reconnects, connErrors, queueDropped *metrics.Counter
 
 	// live mirrors conn for ResetPeer, which runs outside the writer
 	// goroutine and may only Close (never use) the connection.
@@ -143,17 +171,58 @@ func (p *peer) setLive(c net.Conn) {
 	p.liveMu.Unlock()
 }
 
+// msgKindSlots bounds the per-kind counter arrays in tcpSeries; kinds
+// outside the range fall back to a registry lookup.
+const msgKindSlots = 16
+
+// tcpSeries caches the transport's hot-path metric handles.  Per-message
+// accounting runs on every send and delivery, so it must be a pointer
+// increment — not a registry lookup (label normalization + map probe)
+// per event.  All fields are nil/empty when no registry is attached.
+type tcpSeries struct {
+	sent      [msgKindSlots]*metrics.Counter // network.sent{type}
+	delivered [msgKindSlots]*metrics.Counter // network.delivered{type}
+	dropped   map[string]*metrics.Counter    // network.dropped{reason}
+	flushes   map[string]*metrics.Counter    // transport.batch.flushes{reason}
+	batchSize *metrics.Histogram             // transport.batch.size
+	decodeErr *metrics.Counter               // transport.decode.errors
+}
+
+func newTCPSeries(reg *metrics.Registry) tcpSeries {
+	var s tcpSeries
+	if reg == nil {
+		return s
+	}
+	for k := protocol.MsgReadReq; int(k) < msgKindSlots; k++ {
+		s.sent[k] = reg.Counter("network.sent", metrics.L("type", k.String()))
+		s.delivered[k] = reg.Counter("network.delivered", metrics.L("type", k.String()))
+	}
+	s.dropped = map[string]*metrics.Counter{}
+	for _, r := range []string{"down", "backpressure", "unknown", "queue", "conn"} {
+		s.dropped[r] = reg.Counter("network.dropped", metrics.L("reason", r))
+	}
+	s.flushes = map[string]*metrics.Counter{}
+	for _, r := range batchFlushReasons {
+		s.flushes[r] = reg.Counter("transport.batch.flushes", metrics.L("reason", r))
+	}
+	s.batchSize = reg.Histogram("transport.batch.size")
+	s.decodeErr = reg.Counter("transport.decode.errors")
+	return s
+}
+
 // TCP is the real-socket Transport: one listener for inbound frames, one
 // writer goroutine (with its own connection and reconnect/backoff state)
 // per peer for outbound.
 type TCP struct {
-	cfg   TCPConfig
-	ln    net.Listener
-	peers map[protocol.SiteID]*peer // fixed at construction
-	lo    chan protocol.Message     // self-addressed loopback
+	cfg    TCPConfig
+	ln     net.Listener
+	peers  map[protocol.SiteID]*peer // fixed at construction
+	lo     chan protocol.Message     // self-addressed loopback
+	series tcpSeries
 
 	mu       sync.Mutex
 	handlers map[protocol.SiteID]Handler
+	bhandler map[protocol.SiteID]BatchHandler
 	down     map[protocol.SiteID]bool
 	conns    map[net.Conn]bool // accepted connections, for Close
 	closed   bool
@@ -195,10 +264,12 @@ func newTCPWithListener(cfg TCPConfig, ln net.Listener) *TCP {
 		peers:    map[protocol.SiteID]*peer{},
 		lo:       make(chan protocol.Message, cfg.QueueDepth),
 		handlers: map[protocol.SiteID]Handler{},
+		bhandler: map[protocol.SiteID]BatchHandler{},
 		down:     map[protocol.SiteID]bool{},
 		conns:    map[net.Conn]bool{},
 		quit:     make(chan struct{}),
 	}
+	t.series = newTCPSeries(cfg.Metrics)
 	t.stats.ByPeer = map[protocol.SiteID]PeerStats{}
 	for id, addr := range cfg.Peers {
 		if id == cfg.Self {
@@ -211,6 +282,11 @@ func newTCPWithListener(cfg TCPConfig, ln net.Listener) *TCP {
 			out:     make(chan protocol.Message, cfg.QueueDepth),
 			rng:     rand.New(rand.NewSource(cfg.Seed ^ int64(h.Sum64()))),
 			backoff: cfg.BackoffMin,
+		}
+		if reg := cfg.Metrics; reg != nil {
+			p.reconnects = reg.Counter("transport.reconnects", metrics.L("peer", string(id)))
+			p.connErrors = reg.Counter("transport.conn.errors", metrics.L("peer", string(id)))
+			p.queueDropped = reg.Counter("transport.queue.dropped", metrics.L("peer", string(id)))
 		}
 		t.peers[id] = p
 		t.wg.Add(1)
@@ -230,6 +306,18 @@ func (t *TCP) Register(site protocol.SiteID, h Handler) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.handlers[site] = h
+}
+
+// RegisterBatch installs a whole-frame delivery handler for a site: a
+// decoded batch frame whose messages share that destination is handed
+// over in one call instead of one per message, so a receiver with its
+// own serialization point (the cluster's site loop) pays one event per
+// frame.  Register must still be called — the plain handler remains the
+// path for loopback and for frames interleaving destinations.
+func (t *TCP) RegisterBatch(site protocol.SiteID, h BatchHandler) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.bhandler[site] = h
 }
 
 // SetDown marks a site down from this process's point of view: messages
@@ -283,17 +371,16 @@ func (t *TCP) ResetPeer(site protocol.SiteID) bool {
 // full queues and a closed transport all drop (and count) the message —
 // exactly a lost datagram, which the protocol's retry machinery covers.
 func (t *TCP) Send(msg protocol.Message) {
-	kind := metrics.L("type", msg.Kind.String())
 	t.mu.Lock()
 	if t.closed {
 		t.mu.Unlock()
 		return
 	}
 	t.stats.Sent++
-	t.count("network.sent", kind)
+	t.countKind(t.series.sent[:], "network.sent", msg.Kind)
 	if t.down[msg.From] || t.down[msg.To] {
 		t.stats.Dropped++
-		t.count("network.dropped", metrics.L("reason", "down"))
+		t.countDrop("down")
 		t.mu.Unlock()
 		return
 	}
@@ -321,7 +408,7 @@ func (t *TCP) Send(msg protocol.Message) {
 		// protocol recovers newest-first.
 		select {
 		case <-p.out:
-			t.queueDrop(p.id)
+			t.queueDrop(p)
 		default:
 		}
 		select {
@@ -367,9 +454,9 @@ func (t *TCP) Stats() TCPStats {
 // Outbound
 // ---------------------------------------------------------------------
 
-// writer owns one peer link: it drains the queue, (re)dialing with
-// capped exponential backoff + jitter, and writes frames under a write
-// deadline.
+// writer owns one peer link: it coalesces queued messages into batch
+// frames, (re)dialing with capped exponential backoff + jitter, and
+// writes each frame under a write deadline.
 func (t *TCP) writer(p *peer) {
 	defer t.wg.Done()
 	defer func() {
@@ -382,18 +469,26 @@ func (t *TCP) writer(p *peer) {
 		case <-t.quit:
 			return
 		case msg := <-p.out:
-			t.writeOne(p, msg)
+			t.writeBatch(p, msg)
 		}
 	}
 }
 
-// writeOne makes at most one delivery attempt for msg.
-func (t *TCP) writeOne(p *peer, msg protocol.Message) {
+// writeBatch coalesces msg and any queued (or imminent, within
+// BatchDelay) traffic for p into one frame and makes at most one
+// delivery attempt for it.  A failed dial drops only msg — the queued
+// remainder gets its own attempts, preserving per-message retry
+// accounting through a backoff window.
+func (t *TCP) writeBatch(p *peer, msg protocol.Message) {
 	if p.conn == nil && !t.dial(p) {
 		t.dropPeer(p, "conn")
 		return
 	}
-	p.buf = wire.AppendFrame(p.buf[:0], msg)
+	p.batch.Reset()
+	p.batch.Add(msg)
+	reason := t.fillBatch(p)
+	n := p.batch.Count()
+	p.buf = p.batch.AppendFrame(p.buf[:0])
 	frame := p.buf
 	t.mu.Lock()
 	tap := t.tap
@@ -408,7 +503,10 @@ func (t *TCP) writeOne(p *peer, msg protocol.Message) {
 		p.conn = nil
 		p.setLive(nil)
 		t.connError(p)
-		t.dropPeer(p, "conn")
+		// The whole batch rode one frame; account every message lost.
+		for i := 0; i < n; i++ {
+			t.dropPeer(p, "conn")
+		}
 		return
 	}
 	t.mu.Lock()
@@ -416,6 +514,64 @@ func (t *TCP) writeOne(p *peer, msg protocol.Message) {
 	ps.Sent++
 	t.stats.ByPeer[p.id] = ps
 	t.mu.Unlock()
+	t.observeBatch(n, reason)
+}
+
+// fillBatch drains further queued traffic into p.batch until a flush
+// condition holds, returning the flush reason: "count" (BatchMax
+// reached), "size" (BatchBytes reached), "delay" (lingered BatchDelay
+// without filling up), or "drain" (queue empty, no lingering).  The
+// linger timer is armed once per batch, so coalescing adds at most
+// BatchDelay of latency to the first message regardless of how much
+// traffic trickles in.
+func (t *TCP) fillBatch(p *peer) string {
+	var timer *time.Timer
+	var expired <-chan time.Time
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
+	for {
+		if p.batch.Count() >= t.cfg.BatchMax {
+			return "count"
+		}
+		if p.batch.Size() >= t.cfg.BatchBytes {
+			return "size"
+		}
+		select {
+		case m := <-p.out:
+			p.batch.Add(m)
+			continue
+		default:
+		}
+		if t.cfg.BatchDelay <= 0 {
+			return "drain"
+		}
+		if timer == nil {
+			timer = time.NewTimer(t.cfg.BatchDelay)
+			expired = timer.C
+		}
+		select {
+		case <-t.quit:
+			return "drain"
+		case m := <-p.out:
+			p.batch.Add(m)
+		case <-expired:
+			return "delay"
+		}
+	}
+}
+
+// observeBatch records one flushed batch's size and reason.
+func (t *TCP) observeBatch(n int, reason string) {
+	if t.series.batchSize == nil {
+		return
+	}
+	t.series.batchSize.Observe(float64(n))
+	if c := t.series.flushes[reason]; c != nil {
+		c.Inc()
+	}
 }
 
 // dial attempts to (re)connect, honouring the backoff window.  Returns
@@ -452,7 +608,9 @@ func (t *TCP) dial(p *peer) bool {
 		ps.Reconnects++
 		t.stats.ByPeer[p.id] = ps
 		t.mu.Unlock()
-		t.count("transport.reconnects", metrics.L("peer", string(p.id)))
+		if p.reconnects != nil {
+			p.reconnects.Inc()
+		}
 		t.logf("reconnected to %s (%s)", p.id, p.addr)
 	}
 	p.everUp = true
@@ -494,21 +652,65 @@ func (t *TCP) readLoop(conn net.Conn) {
 	}()
 	r := bufio.NewReader(conn)
 	for {
-		msg, err := wire.ReadMessage(r, t.cfg.MaxFrame)
+		msgs, err := wire.ReadMessages(r, t.cfg.MaxFrame)
 		if err != nil {
 			// A frame that failed its checksum, carried an unknown
 			// version, or decoded to garbage was still consumed whole
 			// (the length prefix framed it), so the stream is intact:
-			// count the reject and keep reading.  Anything else —
-			// EOF, a torn read, an oversize claim — desyncs or ends
-			// the stream, so the connection is dropped.
+			// count the reject and keep reading.  A corrupted batch
+			// frame loses all its messages at once — the same loss the
+			// protocol's retry machinery already absorbs.  Anything
+			// else — EOF, a torn read, an oversize claim — desyncs or
+			// ends the stream, so the connection is dropped.
 			if errors.Is(err, wire.ErrChecksum) || errors.Is(err, wire.ErrVersion) || errors.Is(err, wire.ErrMalformed) {
 				t.decodeError(err)
 				continue
 			}
 			return
 		}
-		t.deliver(msg)
+		// Deliver runs of same-destination messages through the batch
+		// handler when one is registered: one handler call (and one
+		// receiver event) per run instead of per message.
+		for start := 0; start < len(msgs); {
+			end := start + 1
+			for end < len(msgs) && msgs[end].To == msgs[start].To {
+				end++
+			}
+			t.deliverRun(msgs[start:end])
+			start = end
+		}
+	}
+}
+
+// deliverRun dispatches consecutive messages addressed to one site.
+func (t *TCP) deliverRun(run []protocol.Message) {
+	to := run[0].To
+	t.mu.Lock()
+	if t.closed || t.down[to] {
+		t.mu.Unlock()
+		return
+	}
+	bh := t.bhandler[to]
+	h := t.handlers[to]
+	if bh == nil && h == nil {
+		t.stats.Dropped += int64(len(run))
+		t.mu.Unlock()
+		for range run {
+			t.countDrop("unknown")
+		}
+		return
+	}
+	t.stats.Delivered += int64(len(run))
+	t.mu.Unlock()
+	for _, m := range run {
+		t.countKind(t.series.delivered[:], "network.delivered", m.Kind)
+	}
+	if bh != nil {
+		bh(run)
+		return
+	}
+	for _, m := range run {
+		h(m)
 	}
 }
 
@@ -536,12 +738,12 @@ func (t *TCP) deliver(msg protocol.Message) {
 	h := t.handlers[msg.To]
 	if h == nil {
 		t.stats.Dropped++
-		t.count("network.dropped", metrics.L("reason", "unknown"))
+		t.countDrop("unknown")
 		t.mu.Unlock()
 		return
 	}
 	t.stats.Delivered++
-	t.count("network.delivered", metrics.L("type", msg.Kind.String()))
+	t.countKind(t.series.delivered[:], "network.delivered", msg.Kind)
 	t.mu.Unlock()
 	h(msg)
 }
@@ -550,10 +752,34 @@ func (t *TCP) deliver(msg protocol.Message) {
 // Accounting
 // ---------------------------------------------------------------------
 
-// count increments a registry counter if a registry is attached.
+// count increments a registry counter if a registry is attached (cold
+// paths only; hot paths go through the cached tcpSeries handles).
 func (t *TCP) count(name string, labels ...metrics.Label) {
 	if t.cfg.Metrics != nil {
 		t.cfg.Metrics.Counter(name, labels...).Inc()
+	}
+}
+
+// countKind bumps a cached per-message-kind counter, falling back to a
+// registry lookup for kinds outside the cached range.
+func (t *TCP) countKind(arr []*metrics.Counter, name string, k protocol.MsgKind) {
+	if int(k) < len(arr) {
+		if c := arr[k]; c != nil {
+			c.Inc()
+		}
+		return
+	}
+	t.count(name, metrics.L("type", k.String()))
+}
+
+// countDrop bumps the cached network.dropped{reason} counter.
+func (t *TCP) countDrop(reason string) {
+	if c := t.series.dropped[reason]; c != nil {
+		c.Inc()
+		return
+	}
+	if t.series.dropped != nil { // registry attached, uncached reason
+		t.count("network.dropped", metrics.L("reason", reason))
 	}
 }
 
@@ -565,23 +791,24 @@ func (t *TCP) drop(to protocol.SiteID, reason string) {
 		t.stats.ByPeer[to] = p
 	}
 	t.mu.Unlock()
-	t.count("network.dropped", metrics.L("reason", reason))
+	t.countDrop(reason)
 }
 
 func (t *TCP) dropPeer(p *peer, reason string) { t.drop(p.id, reason) }
 
 // queueDrop accounts one frame evicted from a full per-peer queue.
-func (t *TCP) queueDrop(to protocol.SiteID) {
+func (t *TCP) queueDrop(p *peer) {
 	t.mu.Lock()
 	t.stats.Dropped++
 	t.stats.QueueDropped++
-	if p, ok := t.stats.ByPeer[to]; ok || t.peers[to] != nil {
-		p.Dropped++
-		t.stats.ByPeer[to] = p
-	}
+	ps := t.stats.ByPeer[p.id]
+	ps.Dropped++
+	t.stats.ByPeer[p.id] = ps
 	t.mu.Unlock()
-	t.count("transport.queue.dropped", metrics.L("peer", string(to)))
-	t.count("network.dropped", metrics.L("reason", "queue"))
+	if p.queueDropped != nil {
+		p.queueDropped.Inc()
+	}
+	t.countDrop("queue")
 }
 
 // decodeError accounts one inbound frame the wire codec rejected.
@@ -589,7 +816,9 @@ func (t *TCP) decodeError(err error) {
 	t.mu.Lock()
 	t.stats.DecodeErrors++
 	t.mu.Unlock()
-	t.count("transport.decode.errors")
+	if t.series.decodeErr != nil {
+		t.series.decodeErr.Inc()
+	}
 	t.logf("rejected inbound frame: %v", err)
 }
 
@@ -600,7 +829,9 @@ func (t *TCP) connError(p *peer) {
 	ps.ConnErrors++
 	t.stats.ByPeer[p.id] = ps
 	t.mu.Unlock()
-	t.count("transport.conn.errors", metrics.L("peer", string(p.id)))
+	if p.connErrors != nil {
+		p.connErrors.Inc()
+	}
 }
 
 func (t *TCP) logf(format string, args ...any) {

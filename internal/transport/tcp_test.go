@@ -254,6 +254,76 @@ func TestTCPReconnect(t *testing.T) {
 	}
 }
 
+// TestTCPBatchCoalescing bursts traffic at one peer and verifies the
+// writer coalesces it: every message arrives, in order, in fewer frames
+// than messages, with the batch metrics recorded.
+func TestTCPBatchCoalescing(t *testing.T) {
+	reg := metrics.NewRegistry()
+	lnA, _ := net.Listen("tcp", "127.0.0.1:0")
+	lnB, _ := net.Listen("tcp", "127.0.0.1:0")
+	peers := map[protocol.SiteID]string{"A": lnA.Addr().String(), "B": lnB.Addr().String()}
+	a := NewTCPWithListener(TCPConfig{
+		Self: "A", Peers: peers, Seed: 1, Metrics: reg,
+		BatchMax: 16, BatchDelay: 5 * time.Millisecond,
+	}, lnA)
+	defer a.Close()
+	b := NewTCPWithListener(TCPConfig{Self: "B", Peers: peers, Seed: 2}, lnB)
+	defer b.Close()
+	var atB collector
+	b.Register("B", atB.handle)
+
+	const n = 50
+	for i := 0; i < n; i++ {
+		a.Send(protocol.Message{Kind: protocol.MsgReadReq, TID: tid(i), From: "A", To: "B"})
+	}
+	msgs := atB.waitFor(t, n, 10*time.Second)
+	for i, m := range msgs {
+		if m.TID != tid(i) {
+			t.Fatalf("message %d has TID %s, want %s", i, m.TID, tid(i))
+		}
+	}
+	// The first write dials first, so the burst queues behind it and
+	// must coalesce into far fewer frames than messages.
+	if frames := a.Stats().ByPeer["B"].Sent; frames >= n {
+		t.Errorf("sent %d frames for %d messages — no coalescing", frames, n)
+	}
+	h := reg.Histogram("transport.batch.size")
+	if h.Count() == 0 || h.Max() <= 1 {
+		t.Errorf("batch.size histogram: count=%d max=%v, want multi-message batches", h.Count(), h.Max())
+	}
+	var flushes int64
+	for _, reason := range []string{"count", "size", "delay", "drain"} {
+		flushes += reg.Counter("transport.batch.flushes", metrics.L("reason", reason)).Value()
+	}
+	if flushes == 0 {
+		t.Error("no transport.batch.flushes recorded")
+	}
+}
+
+// TestTCPBatchingDisabled: BatchMax=1 restores the classic one frame
+// per message path.
+func TestTCPBatchingDisabled(t *testing.T) {
+	lnA, _ := net.Listen("tcp", "127.0.0.1:0")
+	lnB, _ := net.Listen("tcp", "127.0.0.1:0")
+	peers := map[protocol.SiteID]string{"A": lnA.Addr().String(), "B": lnB.Addr().String()}
+	a := NewTCPWithListener(TCPConfig{Self: "A", Peers: peers, Seed: 1, BatchMax: 1}, lnA)
+	defer a.Close()
+	b := NewTCPWithListener(TCPConfig{Self: "B", Peers: peers, Seed: 2}, lnB)
+	defer b.Close()
+	var atB collector
+	b.Register("B", atB.handle)
+
+	const n = 20
+	for i := 0; i < n; i++ {
+		a.Send(protocol.Message{Kind: protocol.MsgReadReq, TID: tid(i), From: "A", To: "B"})
+		time.Sleep(time.Millisecond)
+	}
+	atB.waitFor(t, n, 10*time.Second)
+	if frames := a.Stats().ByPeer["B"].Sent; frames != n {
+		t.Errorf("sent %d frames for %d messages with batching disabled", frames, n)
+	}
+}
+
 func TestTCPStatsFormatSorted(t *testing.T) {
 	st := TCPStats{
 		Sent: 3, Delivered: 2, Dropped: 1,

@@ -25,6 +25,20 @@ import (
 // fabric.
 type Handler = network.Handler
 
+// BatchHandler receives every message of one decoded frame addressed to
+// the same site in a single call.  Ownership of the slice transfers to
+// the handler: the transport decodes each frame into fresh storage and
+// never touches the messages again.
+type BatchHandler func([]protocol.Message)
+
+// BatchReceiver is implemented by transports that can hand a receiver
+// whole same-destination frames (see TCP.RegisterBatch).  Receivers
+// with their own serialization point use it to pay one scheduling event
+// per frame instead of per message.
+type BatchReceiver interface {
+	RegisterBatch(site protocol.SiteID, h BatchHandler)
+}
+
 // Transport is the message fabric interface the cluster runtime sends
 // through.  Implementations are safe for concurrent use.
 type Transport interface {

@@ -12,6 +12,7 @@ package txn
 
 import (
 	"fmt"
+	"strconv"
 	"sync/atomic"
 
 	"repro/internal/condition"
@@ -97,13 +98,18 @@ type IDGen struct {
 // cluster without coordination).
 func NewIDGen(prefix string) *IDGen { return &IDGen{prefix: prefix} }
 
-// Next returns a fresh identifier.
+// Next returns a fresh identifier.  One buffer, no fmt machinery: ID
+// generation sits on the submit hot path.
 func (g *IDGen) Next() ID {
 	n := g.n.Add(1)
-	if g.prefix == "" {
-		return ID(fmt.Sprintf("T%d", n))
+	buf := make([]byte, 0, len(g.prefix)+21)
+	if g.prefix != "" {
+		buf = append(buf, g.prefix...)
+		buf = append(buf, '.')
 	}
-	return ID(fmt.Sprintf("%s.T%d", g.prefix, n))
+	buf = append(buf, 'T')
+	buf = strconv.AppendUint(buf, n, 10)
+	return ID(buf)
 }
 
 // HistoryEntry pairs a transaction with its (eventual) outcome, for the

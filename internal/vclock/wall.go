@@ -2,6 +2,7 @@ package vclock
 
 import (
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -27,27 +28,44 @@ var (
 	_ Clock = (*Wall)(nil)
 )
 
+// wallShards spreads the timer table over independently-locked shards:
+// every transaction arms and cancels several timers (wait-phase, retry,
+// outcome GC), so a single mutex becomes the contention point under a
+// concurrent load generator.  Power of two, indexed by id&(wallShards-1).
+const wallShards = 16
+
+type wallShard struct {
+	mu     sync.Mutex
+	timers map[TimerID]*time.Timer
+}
+
 // Wall is a Clock over real time.  Unlike Scheduler it is safe for
 // concurrent use: callbacks fire on their own goroutines (time.AfterFunc)
 // and may themselves schedule or cancel.  Callers needing serialization
 // (the cluster's site runtime) provide their own, exactly as they do for
 // concurrent message delivery.
 type Wall struct {
-	epoch time.Time
-
-	mu     sync.Mutex
-	nextID TimerID
-	timers map[TimerID]*time.Timer
-	closed bool
+	epoch  time.Time
+	nextID atomic.Uint64
+	closed atomic.Bool
+	shards [wallShards]wallShard
 }
 
 // NewWall returns a wall clock with its epoch at the moment of the call.
 func NewWall() *Wall {
-	return &Wall{epoch: time.Now(), timers: map[TimerID]*time.Timer{}}
+	w := &Wall{epoch: time.Now()}
+	for i := range w.shards {
+		w.shards[i].timers = map[TimerID]*time.Timer{}
+	}
+	return w
 }
 
 // Now returns the time elapsed since the clock's epoch.
 func (w *Wall) Now() Time { return time.Since(w.epoch) }
+
+func (w *Wall) shard(id TimerID) *wallShard {
+	return &w.shards[uint64(id)&(wallShards-1)]
+}
 
 // After schedules fn to run d from now on its own goroutine.  After Stop,
 // scheduling is a no-op returning 0.
@@ -55,22 +73,28 @@ func (w *Wall) After(d time.Duration, fn func()) TimerID {
 	if d < 0 {
 		d = 0
 	}
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.closed {
+	if w.closed.Load() {
 		return 0
 	}
-	w.nextID++
-	id := w.nextID
-	w.timers[id] = time.AfterFunc(d, func() {
-		w.mu.Lock()
-		_, live := w.timers[id]
-		delete(w.timers, id)
-		w.mu.Unlock()
-		if live {
+	id := TimerID(w.nextID.Add(1))
+	sh := w.shard(id)
+	sh.mu.Lock()
+	sh.timers[id] = time.AfterFunc(d, func() {
+		sh.mu.Lock()
+		_, live := sh.timers[id]
+		delete(sh.timers, id)
+		sh.mu.Unlock()
+		if live && !w.closed.Load() {
 			fn()
 		}
 	})
+	sh.mu.Unlock()
+	// A Stop that raced the arm above may have swept its shard before the
+	// insert landed; honour it.
+	if w.closed.Load() {
+		w.Cancel(id)
+		return 0
+	}
 	return id
 }
 
@@ -82,32 +106,44 @@ func (w *Wall) At(t Time, fn func()) TimerID {
 // Cancel stops a pending timer.  A timer that already started running
 // (or finished) is not cancellable; returns false.
 func (w *Wall) Cancel(id TimerID) bool {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	tm, ok := w.timers[id]
+	if id == 0 {
+		return false
+	}
+	sh := w.shard(id)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	tm, ok := sh.timers[id]
 	if !ok {
 		return false
 	}
-	delete(w.timers, id)
+	delete(sh.timers, id)
 	tm.Stop()
 	return true
 }
 
 // Pending returns the number of timers not yet fired or cancelled.
 func (w *Wall) Pending() int {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return len(w.timers)
+	n := 0
+	for i := range w.shards {
+		sh := &w.shards[i]
+		sh.mu.Lock()
+		n += len(sh.timers)
+		sh.mu.Unlock()
+	}
+	return n
 }
 
 // Stop cancels every pending timer and refuses new ones.  Callbacks
 // already started keep running; Stop does not wait for them.
 func (w *Wall) Stop() {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	w.closed = true
-	for id, tm := range w.timers {
-		tm.Stop()
-		delete(w.timers, id)
+	w.closed.Store(true)
+	for i := range w.shards {
+		sh := &w.shards[i]
+		sh.mu.Lock()
+		for id, tm := range sh.timers {
+			tm.Stop()
+			delete(sh.timers, id)
+		}
+		sh.mu.Unlock()
 	}
 }

@@ -1,0 +1,240 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"repro/internal/protocol"
+)
+
+// Batch frame: the transport's coalescing path packs N protocol messages
+// into ONE checksummed frame — one length prefix, one CRC32, one write
+// syscall, one read on the far side — instead of N single-message frames.
+//
+// The outer frame layout is identical to the single-message form (4-byte
+// payload length + 4-byte CRC32 + payload); the two are distinguished by
+// the payload's leading version byte:
+//
+//	payload[0] == Version      → one message (AppendMessage layout)
+//	payload[0] == BatchVersion → a batch:
+//
+//	1 byte   BatchVersion
+//	uvarint  message count n (≥ 1)
+//	n ×      uvarint payload length + version-1 message payload
+//
+// Each inner payload carries its own version byte, so a batch is exactly
+// the concatenation of n length-prefixed single-message payloads — the
+// encoder and decoder reuse the version-1 codec per element, and the
+// canonical-encoding property (equal messages ⇒ identical bytes) lifts
+// to batches element-wise.
+//
+// Decoding is as defensive as the single-message path: counts and
+// lengths are bounded by the remaining input before sizing any
+// allocation, an empty batch is malformed (the encoder never produces
+// one), and trailing bytes after the last element are an error.
+
+// BatchVersion is the payload version byte marking a batch frame.
+const BatchVersion = 2
+
+// MaxBatch caps the number of messages one batch frame may carry; a
+// frame announcing more is malformed.  Writers flush well below this.
+const MaxBatch = 4096
+
+// AppendBatch appends the batch payload encoding of msgs to dst.
+// Panics if msgs is empty — callers batch only actual traffic.
+func AppendBatch(dst []byte, msgs []protocol.Message) []byte {
+	if len(msgs) == 0 {
+		panic("wire: empty batch")
+	}
+	dst = append(dst, BatchVersion)
+	dst = binary.AppendUvarint(dst, uint64(len(msgs)))
+	for _, m := range msgs {
+		// Reserve a maximal uvarint length slot, encode the message after
+		// it, then backfill; re-encoding to measure would double the work.
+		lenAt := len(dst)
+		dst = append(dst, 0, 0, 0, 0, 0) // 5 bytes hold any uint32 uvarint
+		start := len(dst)
+		dst = AppendMessage(dst, m)
+		size := len(dst) - start
+		var lenBuf [5]byte
+		w := binary.PutUvarint(lenBuf[:], uint64(size))
+		copy(dst[lenAt:], lenBuf[:w])
+		if w < 5 {
+			dst = append(dst[:lenAt+w], dst[start:]...)
+		}
+	}
+	return dst
+}
+
+// EncodeBatch returns the batch payload encoding of msgs.
+func EncodeBatch(msgs []protocol.Message) []byte { return AppendBatch(nil, msgs) }
+
+// AppendBatchFrame appends the length-prefixed, checksummed frame
+// carrying msgs as one batch.
+func AppendBatchFrame(dst []byte, msgs []protocol.Message) []byte {
+	start := len(dst)
+	dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0) // header placeholder
+	dst = AppendBatch(dst, msgs)
+	payload := dst[start+frameHeader:]
+	binary.BigEndian.PutUint32(dst[start:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(dst[start+4:], crc32.ChecksumIEEE(payload))
+	return dst
+}
+
+// EncodeBatchFrame returns the complete batch frame for msgs.
+func EncodeBatchFrame(msgs []protocol.Message) []byte { return AppendBatchFrame(nil, msgs) }
+
+// DecodeBatch decodes a complete batch payload (leading BatchVersion
+// byte included).  Trailing bytes after the last element are an error.
+func DecodeBatch(buf []byte) ([]protocol.Message, error) {
+	if len(buf) == 0 {
+		return nil, fmt.Errorf("%w: empty payload", ErrTruncated)
+	}
+	if buf[0] != BatchVersion {
+		return nil, fmt.Errorf("%w: %d", ErrVersion, buf[0])
+	}
+	off := 1
+	n, w := binary.Uvarint(buf[off:])
+	if w <= 0 {
+		return nil, fmt.Errorf("%w: batch count", ErrTruncated)
+	}
+	off += w
+	if n == 0 {
+		return nil, fmt.Errorf("%w: empty batch", ErrMalformed)
+	}
+	if n > MaxBatch || n > uint64(len(buf)-off) {
+		// Every element needs at least one byte; a bigger count is lying
+		// and must not size the allocation.
+		return nil, fmt.Errorf("%w: batch count %d", ErrMalformed, n)
+	}
+	msgs := make([]protocol.Message, 0, n)
+	for i := uint64(0); i < n; i++ {
+		size, w := binary.Uvarint(buf[off:])
+		if w <= 0 {
+			return nil, fmt.Errorf("%w: batch element %d length", ErrTruncated, i)
+		}
+		off += w
+		if size > uint64(len(buf)-off) {
+			return nil, fmt.Errorf("%w: batch element %d", ErrTruncated, i)
+		}
+		m, err := DecodeMessage(buf[off : off+int(size)])
+		if err != nil {
+			return nil, fmt.Errorf("batch element %d: %w", i, err)
+		}
+		off += int(size)
+		msgs = append(msgs, m)
+	}
+	if off != len(buf) {
+		return nil, fmt.Errorf("%w: %d trailing bytes after batch", ErrMalformed, len(buf)-off)
+	}
+	return msgs, nil
+}
+
+// DecodePayload decodes a verified frame payload of either kind: a
+// single-message payload yields a one-element slice, a batch payload all
+// its elements in order.
+func DecodePayload(buf []byte) ([]protocol.Message, error) {
+	if len(buf) == 0 {
+		return nil, fmt.Errorf("%w: empty payload", ErrTruncated)
+	}
+	switch buf[0] {
+	case Version:
+		m, err := DecodeMessage(buf)
+		if err != nil {
+			return nil, err
+		}
+		return []protocol.Message{m}, nil
+	case BatchVersion:
+		return DecodeBatch(buf)
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrVersion, buf[0])
+	}
+}
+
+// BatchBuilder assembles one outgoing frame from messages added
+// incrementally, encoding each exactly once.  A builder holding one
+// message emits the classic single-message frame; two or more emit a
+// batch frame — so intermittent coalescing produces the cheapest frame
+// either way and old readers keep working on light traffic.  The zero
+// value is ready to use; Reset recycles the internal buffers.  Not safe
+// for concurrent use: each transport writer owns one.
+type BatchBuilder struct {
+	single  []byte // first message's payload, for the one-message form
+	body    []byte // length-prefixed payloads, for the batch form
+	scratch []byte
+	count   int
+	size    int // sum of encoded message payload sizes
+}
+
+// Add encodes m into the pending frame.  Panics past MaxBatch — callers
+// flush well below it.
+func (b *BatchBuilder) Add(m protocol.Message) {
+	if b.count >= MaxBatch {
+		panic("wire: batch overflow")
+	}
+	b.scratch = AppendMessage(b.scratch[:0], m)
+	if b.count == 0 {
+		b.single = append(b.single[:0], b.scratch...)
+	}
+	b.body = binary.AppendUvarint(b.body, uint64(len(b.scratch)))
+	b.body = append(b.body, b.scratch...)
+	b.count++
+	b.size += len(b.scratch)
+}
+
+// Count reports the number of messages added since the last Reset.
+func (b *BatchBuilder) Count() int { return b.count }
+
+// Size reports the total encoded message bytes pending (excluding frame
+// and batch overhead) — the quantity size-based flushing bounds.
+func (b *BatchBuilder) Size() int { return b.size }
+
+// AppendFrame appends the assembled frame to dst.  Panics when empty.
+func (b *BatchBuilder) AppendFrame(dst []byte) []byte {
+	switch {
+	case b.count == 0:
+		panic("wire: empty batch frame")
+	case b.count == 1:
+		return appendRawFrame(dst, b.single)
+	default:
+		start := len(dst)
+		dst = append(dst, 0, 0, 0, 0, 0, 0, 0, 0) // header placeholder
+		dst = append(dst, BatchVersion)
+		dst = binary.AppendUvarint(dst, uint64(b.count))
+		dst = append(dst, b.body...)
+		payload := dst[start+frameHeader:]
+		binary.BigEndian.PutUint32(dst[start:], uint32(len(payload)))
+		binary.BigEndian.PutUint32(dst[start+4:], crc32.ChecksumIEEE(payload))
+		return dst
+	}
+}
+
+// Reset clears the builder for the next frame, keeping its buffers.
+func (b *BatchBuilder) Reset() {
+	b.count, b.size = 0, 0
+	b.body = b.body[:0]
+}
+
+// appendRawFrame appends the checksummed frame around an already-encoded
+// payload.
+func appendRawFrame(dst, payload []byte) []byte {
+	var hdr [frameHeader]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	binary.BigEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	dst = append(dst, hdr[:]...)
+	return append(dst, payload...)
+}
+
+// ReadMessages reads one frame from r and returns the message(s) it
+// carries — one for a single-message frame, all of them in send order
+// for a batch frame.  maxFrame caps the payload length (≤ 0 means
+// MaxFrame).  io.EOF is returned unwrapped on a clean end of stream.
+func ReadMessages(r io.Reader, maxFrame int) ([]protocol.Message, error) {
+	payload, err := readFrame(r, maxFrame)
+	if err != nil {
+		return nil, err
+	}
+	return DecodePayload(payload)
+}

@@ -1,0 +1,305 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/polyvalue"
+	"repro/internal/protocol"
+	"repro/internal/value"
+)
+
+func TestBatchRoundTrip(t *testing.T) {
+	msgs := goldenMessages()
+	frame := EncodeBatchFrame(msgs)
+	payload, err := readFrame(bytes.NewReader(frame), 0)
+	if err != nil {
+		t.Fatalf("readFrame: %v", err)
+	}
+	got, err := DecodeBatch(payload)
+	if err != nil {
+		t.Fatalf("DecodeBatch: %v", err)
+	}
+	if len(got) != len(msgs) {
+		t.Fatalf("decoded %d messages, want %d", len(got), len(msgs))
+	}
+	for i := range msgs {
+		if !messagesEqual(msgs[i], got[i]) {
+			t.Errorf("msg %d: round trip mismatch\n in: %+v\nout: %+v", i, msgs[i], got[i])
+		}
+	}
+	// Canonical: re-encoding the decoded batch is byte-identical.
+	if again := EncodeBatchFrame(got); !bytes.Equal(frame, again) {
+		t.Error("re-encoded batch frame not canonical")
+	}
+}
+
+func TestBatchSingleElement(t *testing.T) {
+	m := goldenMessages()[3] // prepare with values: the biggest one
+	got, err := DecodeBatch(EncodeBatch([]protocol.Message{m}))
+	if err != nil {
+		t.Fatalf("DecodeBatch: %v", err)
+	}
+	if len(got) != 1 || !messagesEqual(m, got[0]) {
+		t.Fatalf("one-element batch mismatch: %+v", got)
+	}
+}
+
+// TestReadMessagesMixedStream interleaves single-message and batch
+// frames on one stream, as a TCP connection with intermittent
+// coalescing produces.
+func TestReadMessagesMixedStream(t *testing.T) {
+	msgs := goldenMessages()
+	var stream []byte
+	stream = AppendFrame(stream, msgs[1])
+	stream = AppendBatchFrame(stream, msgs[2:5])
+	stream = AppendFrame(stream, msgs[5])
+	stream = AppendBatchFrame(stream, msgs[6:8])
+
+	r := bytes.NewReader(stream)
+	var got []protocol.Message
+	for {
+		batch, err := ReadMessages(r, 0)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatalf("ReadMessages: %v", err)
+		}
+		got = append(got, batch...)
+	}
+	want := msgs[1:8]
+	if len(got) != len(want) {
+		t.Fatalf("read %d messages, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !messagesEqual(want[i], got[i]) {
+			t.Errorf("msg %d mismatch", i)
+		}
+	}
+}
+
+// TestDecodePayloadDispatch routes each payload kind to the right
+// decoder and rejects unknown versions.
+func TestDecodePayloadDispatch(t *testing.T) {
+	m := goldenMessages()[1]
+	single, err := DecodePayload(EncodeMessage(m))
+	if err != nil || len(single) != 1 || !messagesEqual(m, single[0]) {
+		t.Fatalf("single dispatch: got %v, err %v", single, err)
+	}
+	batch, err := DecodePayload(EncodeBatch([]protocol.Message{m, m}))
+	if err != nil || len(batch) != 2 {
+		t.Fatalf("batch dispatch: got %v, err %v", batch, err)
+	}
+	if _, err := DecodePayload([]byte{99, 0, 0}); !errors.Is(err, ErrVersion) {
+		t.Errorf("unknown version: got %v, want ErrVersion", err)
+	}
+	if _, err := DecodePayload(nil); !errors.Is(err, ErrTruncated) {
+		t.Errorf("empty payload: got %v, want ErrTruncated", err)
+	}
+}
+
+func TestBatchDecodeErrors(t *testing.T) {
+	m := goldenMessages()[1]
+	good := EncodeBatch([]protocol.Message{m, m})
+	cases := []struct {
+		name string
+		buf  []byte
+		want error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"wrong version", EncodeMessage(m), ErrVersion},
+		{"zero count", []byte{BatchVersion, 0}, ErrMalformed},
+		{"lying count", []byte{BatchVersion, 200, 1}, ErrMalformed},
+		{"huge count", append([]byte{BatchVersion}, bytes.Repeat([]byte{0xff}, 9)...), ErrTruncated},
+		{"truncated element", good[:len(good)-3], ErrTruncated},
+		{"trailing bytes", append(append([]byte{}, good...), 0), ErrMalformed},
+	}
+	for _, tc := range cases {
+		if _, err := DecodeBatch(tc.buf); !errors.Is(err, tc.want) {
+			t.Errorf("%s: got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+	// A corrupt inner element surfaces the element's error.
+	bad := append([]byte{}, good...)
+	bad[len(bad)-1] ^= 0xff
+	if _, err := DecodeBatch(bad); err == nil {
+		t.Error("corrupt inner element decoded cleanly")
+	}
+}
+
+// TestBatchBuilder: the incremental builder emits exactly the frames the
+// one-shot encoders produce — the single-message frame for one message,
+// the batch frame for more — and survives Reset/reuse.
+func TestBatchBuilder(t *testing.T) {
+	msgs := goldenMessages()
+	var b BatchBuilder
+
+	b.Add(msgs[1])
+	if got, want := b.AppendFrame(nil), EncodeFrame(msgs[1]); !bytes.Equal(got, want) {
+		t.Error("one-message builder frame differs from EncodeFrame")
+	}
+	if b.Count() != 1 || b.Size() != len(EncodeMessage(msgs[1])) {
+		t.Errorf("Count=%d Size=%d after one Add", b.Count(), b.Size())
+	}
+
+	b.Reset()
+	for _, m := range msgs {
+		b.Add(m)
+	}
+	if got, want := b.AppendFrame(nil), EncodeBatchFrame(msgs); !bytes.Equal(got, want) {
+		t.Error("multi-message builder frame differs from EncodeBatchFrame")
+	}
+
+	// Reset recycles cleanly: a fresh single frame again.
+	b.Reset()
+	if b.Count() != 0 || b.Size() != 0 {
+		t.Fatalf("Reset left Count=%d Size=%d", b.Count(), b.Size())
+	}
+	b.Add(msgs[2])
+	if got, want := b.AppendFrame(nil), EncodeFrame(msgs[2]); !bytes.Equal(got, want) {
+		t.Error("builder frame after Reset differs from EncodeFrame")
+	}
+}
+
+// TestPropBatchRoundTrip: any batch of generated messages round-trips
+// element-wise and re-encodes canonically.
+func TestPropBatchRoundTrip(t *testing.T) {
+	prop := func(ms []randMessage) bool {
+		if len(ms) == 0 {
+			return true
+		}
+		msgs := make([]protocol.Message, len(ms))
+		for i, rm := range ms {
+			msgs[i] = rm.M
+		}
+		frame := EncodeBatchFrame(msgs)
+		payload, err := readFrame(bytes.NewReader(frame), 0)
+		if err != nil {
+			return false
+		}
+		got, err := DecodeBatch(payload)
+		if err != nil || len(got) != len(msgs) {
+			return false
+		}
+		for i := range msgs {
+			if !messagesEqual(msgs[i], got[i]) {
+				return false
+			}
+		}
+		return bytes.Equal(frame, EncodeBatchFrame(got))
+	}
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(prop, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FuzzBatchDecode throws arbitrary payloads at the batch/dispatch
+// decoder.  It must never panic, and anything it accepts must re-encode
+// to a canonical fixed point.
+func FuzzBatchDecode(f *testing.F) {
+	msgs := goldenMessages()
+	f.Add(EncodeBatch(msgs))
+	f.Add(EncodeBatch(msgs[1:2]))
+	f.Add(EncodeMessage(msgs[1]))
+	f.Add([]byte{BatchVersion})
+	f.Add([]byte{BatchVersion, 1, 0})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := DecodePayload(data)
+		if err != nil {
+			return
+		}
+		if len(got) == 0 {
+			t.Fatal("accepted payload decoded to zero messages")
+		}
+		for _, m := range got {
+			for item, p := range m.Values {
+				if !p.WellFormed() {
+					t.Fatalf("accepted ill-formed polyvalue for %q: %s", item, p)
+				}
+			}
+		}
+		// Convergence: the canonical batch re-encoding of whatever was
+		// accepted decodes back to the same messages and is a fixed point.
+		enc := EncodeBatch(got)
+		again, err := DecodeBatch(enc)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoding failed: %v", err)
+		}
+		if len(again) != len(got) {
+			t.Fatalf("re-encoding changed the batch size")
+		}
+		for i := range got {
+			if !messagesEqual(got[i], again[i]) {
+				t.Fatalf("re-encoding changed message %d", i)
+			}
+		}
+		if !bytes.Equal(enc, EncodeBatch(again)) {
+			t.Fatal("canonical form is not a fixed point")
+		}
+	})
+}
+
+// benchBatch builds a realistic 32-message commit-traffic batch:
+// prepares with polyvalued values, readies, completes and acks.
+func benchBatch() []protocol.Message {
+	poly := polyvalue.Uncertain("T7",
+		polyvalue.Simple(value.Int(150)), polyvalue.Simple(value.Int(100)))
+	out := make([]protocol.Message, 0, 32)
+	for i := 0; i < 8; i++ {
+		out = append(out,
+			protocol.Message{Kind: protocol.MsgPrepare, TID: "t42", From: "A", To: "B",
+				Items: []string{"acct0", "acct1"}, Coordinator: "A",
+				Program: "acct0 = acct0 - 10 if acct0 >= 10; acct1 = acct1 + 10 if acct0 >= 10",
+				Values: map[string]polyvalue.Poly{
+					"acct0": polyvalue.Simple(value.Int(1000)),
+					"acct1": poly,
+				}},
+			protocol.Message{Kind: protocol.MsgReady, TID: "t42", From: "B", To: "A"},
+			protocol.Message{Kind: protocol.MsgComplete, TID: "t42", From: "A", To: "B", Committed: true},
+			protocol.Message{Kind: protocol.MsgOutcomeAck, TID: "t42", From: "B", To: "A"},
+		)
+	}
+	return out
+}
+
+func BenchmarkWireBatch(b *testing.B) {
+	msgs := benchBatch()
+	b.Run("encode", func(b *testing.B) {
+		b.ReportAllocs()
+		var buf []byte
+		for i := 0; i < b.N; i++ {
+			buf = AppendBatchFrame(buf[:0], msgs)
+		}
+		b.SetBytes(int64(len(buf)))
+	})
+	b.Run("decode", func(b *testing.B) {
+		frame := EncodeBatchFrame(msgs)
+		payload := frame[frameHeader:]
+		b.ReportAllocs()
+		b.SetBytes(int64(len(frame)))
+		for i := 0; i < b.N; i++ {
+			if _, err := DecodeBatch(payload); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// The single-frame baseline the batch path replaces: N frames, N CRCs.
+	b.Run("encode-singles", func(b *testing.B) {
+		b.ReportAllocs()
+		var buf []byte
+		for i := 0; i < b.N; i++ {
+			buf = buf[:0]
+			for _, m := range msgs {
+				buf = AppendFrame(buf, m)
+			}
+		}
+		b.SetBytes(int64(len(buf)))
+	})
+}

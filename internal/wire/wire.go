@@ -226,29 +226,40 @@ func WriteMessage(w io.Writer, m protocol.Message) error {
 // (≤ 0 means MaxFrame).  io.EOF is returned unwrapped when the stream
 // ends cleanly at a frame boundary; mid-frame EOF is ErrTruncated.
 func ReadMessage(r io.Reader, maxFrame int) (protocol.Message, error) {
+	payload, err := readFrame(r, maxFrame)
+	if err != nil {
+		return protocol.Message{}, err
+	}
+	return DecodeMessage(payload)
+}
+
+// readFrame reads one checksummed frame off r and returns its verified
+// payload.  io.EOF is returned unwrapped when the stream ends cleanly at
+// a frame boundary.
+func readFrame(r io.Reader, maxFrame int) ([]byte, error) {
 	if maxFrame <= 0 {
 		maxFrame = MaxFrame
 	}
 	var hdr [frameHeader]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		if err == io.EOF {
-			return protocol.Message{}, io.EOF
+			return nil, io.EOF
 		}
-		return protocol.Message{}, fmt.Errorf("%w: frame header: %v", ErrTruncated, err)
+		return nil, fmt.Errorf("%w: frame header: %v", ErrTruncated, err)
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > uint32(maxFrame) {
-		return protocol.Message{}, fmt.Errorf("%w: %d bytes (limit %d)", ErrOversize, n, maxFrame)
+		return nil, fmt.Errorf("%w: %d bytes (limit %d)", ErrOversize, n, maxFrame)
 	}
 	payload := make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return protocol.Message{}, fmt.Errorf("%w: frame payload: %v", ErrTruncated, err)
+		return nil, fmt.Errorf("%w: frame payload: %v", ErrTruncated, err)
 	}
 	if sum := crc32.ChecksumIEEE(payload); sum != binary.BigEndian.Uint32(hdr[4:]) {
-		return protocol.Message{}, fmt.Errorf("%w: got %08x want %08x",
+		return nil, fmt.Errorf("%w: got %08x want %08x",
 			ErrChecksum, sum, binary.BigEndian.Uint32(hdr[4:]))
 	}
-	return DecodeMessage(payload)
+	return payload, nil
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# bench_smoke.sh — short, seeded polybench runs gating CI against gross
+# throughput regressions.  Two settings mirror the benchmark trajectory:
+# an in-process 3-site TCP cluster and a real 3-process TCP cluster,
+# both on the bank workload with a fixed seed.  The second run compares
+# against the checked-in bench_baseline.json and fails the job if
+# commit throughput fell more than 30% below any same-named setting.
+#
+# The baseline numbers are deliberately conservative (far below what the
+# benchmark machines in EXPERIMENTS.md sustain): shared CI runners are
+# slow and noisy, and this gate exists to catch order-of-magnitude
+# regressions (an accidentally serialized hot path, a checkpoint storm),
+# not single-digit drift.  Retune the trajectory locally with
+# `cmd/polybench` at the settings recorded in EXPERIMENTS.md.
+#
+# Usage: scripts/bench_smoke.sh [out.json]   (or: make bench-smoke)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$ROOT"
+
+OUT="${1:-BENCH_smoke_$(git rev-parse --short HEAD 2>/dev/null || echo dev).json}"
+BIN="$(mktemp -d "${TMPDIR:-/tmp}/polybench.XXXXXX")/polybench"
+trap 'rm -rf "$(dirname "$BIN")"' EXIT
+
+go build -o "$BIN" ./cmd/polybench
+
+rm -f "$OUT"
+"$BIN" -mode inproc -sites 3 -workload bank -txns 2000 -workers 64 \
+    -items 1024 -seed 1 -out "$OUT" -compare bench_baseline.json
+"$BIN" -mode procs -sites 3 -workload bank -txns 1000 -workers 32 \
+    -items 1024 -seed 1 -out "$OUT" -compare bench_baseline.json
+
+echo "bench-smoke OK: $OUT"

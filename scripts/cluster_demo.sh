@@ -22,7 +22,17 @@ cleanup() {
 trap cleanup EXIT
 
 say()  { printf '\033[1m== %s\033[0m\n' "$*"; }
-fail() { printf 'FAIL: %s\n' "$*" >&2; for f in "$WORK"/*.log; do echo "--- $f"; cat "$f"; done >&2; exit 1; }
+fail() {
+    printf 'FAIL: %s\n' "$*" >&2
+    for f in "$WORK"/*.log; do echo "--- $f"; cat "$f"; done >&2
+    # DEMO_LOG_DIR: CI sets this so node logs survive the mktemp cleanup
+    # and can be uploaded as a build artifact.
+    if [[ -n "${DEMO_LOG_DIR:-}" ]]; then
+        mkdir -p "$DEMO_LOG_DIR"
+        cp "$WORK"/*.log "$DEMO_LOG_DIR"/ 2>/dev/null || true
+    fi
+    exit 1
+}
 
 say "building polynode"
 (cd "$ROOT" && go build -o "$BIN" ./cmd/polynode)
