@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-smoke tables fuzz-smoke cluster-demo chaos chaos-smoke chaos-demo
+.PHONY: check vet build test race bench bench-smoke tables fuzz-smoke cluster-demo chaos chaos-smoke chaos-demo overload overload-smoke
 
 check: vet build race ## everything CI runs
 
@@ -45,6 +45,17 @@ chaos:
 # Short seeded torture for CI: same assertions, smaller schedule.
 chaos-smoke:
 	$(GO) test -race -count=1 -short -run TestChaosTortureSeeded ./internal/harness
+
+# Full overload torture: offered load above the admission cap through a
+# 60s+ partition with tight polyvalue budgets and transaction deadlines,
+# asserting bounded polyvalue population, conservation, shed submissions,
+# detector suspects, and a return to polyvalue mode after the heal.
+overload:
+	$(GO) test -race -count=1 -v -run TestOverloadTortureSeeded ./internal/harness
+
+# Short overload torture for CI: same assertions, ~3s partition.
+overload-smoke:
+	$(GO) test -race -count=1 -short -v -run TestOverloadTortureSeeded ./internal/harness
 
 # Boot a real 3-process cluster on loopback TCP, transfer between
 # accounts, kill the coordinator mid-commit, watch polyvalues install,

@@ -8,6 +8,16 @@
 //	polybench -mode procs  -sites 3 -txns 500 -out BENCH_head.json
 //	polybench -batch=false ...            # disable transport coalescing
 //	polybench -compare bench_baseline.json ...   # CI regression gate
+//	polybench -workload overload -admission 4    # admission-gated run
+//
+// The overload workload is the bank mix pushed through admission-gated
+// sites: workers outnumber the per-site in-flight credit cap, so a
+// fraction of submission attempts is shed with ErrOverload.  Workers
+// retry a shed transaction after a short backoff (the shed response is
+// immediate, so the client, not the site, pays for the overload), and
+// the run reports shed events and the attempt-level shed rate alongside
+// the usual latency percentiles; the conservation audit still holds
+// because a shed attempt never starts.
 //
 // Every run appends one named "setting" to a machine-readable BENCH
 // JSON file (schema documented in DESIGN.md §9); -compare then fails
@@ -21,6 +31,7 @@ package main
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net"
@@ -65,6 +76,8 @@ type options struct {
 	regress  float64
 	waitTxn  time.Duration
 	settle   time.Duration
+	admit    int
+	deadline time.Duration
 	childArg bool
 	siteArg  string
 	verbose  bool
@@ -79,7 +92,7 @@ func main() {
 	flag.IntVar(&opt.txns, "txns", 2000, "total transactions to run")
 	flag.IntVar(&opt.workers, "workers", 16, "concurrent closed-loop clients")
 	flag.Int64Var(&opt.seed, "seed", 1, "workload seed (same seed, same programs)")
-	flag.StringVar(&opt.kind, "workload", "bank", "workload kind: bank, reservations, inventory")
+	flag.StringVar(&opt.kind, "workload", "bank", "workload kind: bank, reservations, inventory, overload (bank + admission gate)")
 	flag.IntVar(&opt.items, "items", 64, "distinct items (accounts/flights/SKUs)")
 	flag.BoolVar(&opt.batch, "batch", true, "transport message coalescing (false: one frame per message)")
 	flag.IntVar(&opt.batchMax, "batch-max", 0, "messages per frame cap when batching (0: transport default)")
@@ -90,6 +103,8 @@ func main() {
 	flag.Float64Var(&opt.regress, "regress", 0.30, "allowed fractional throughput drop vs baseline before failing")
 	flag.DurationVar(&opt.waitTxn, "txn-timeout", 15*time.Second, "per-transaction client wait bound")
 	flag.DurationVar(&opt.settle, "settle", 15*time.Second, "post-run bound for polyvalues to drain before the audit")
+	flag.IntVar(&opt.admit, "admission", 0, "per-site in-flight transaction cap; over it submissions shed (0: unlimited, overload workload defaults to 4)")
+	flag.DurationVar(&opt.deadline, "txn-deadline", 0, "end-to-end transaction deadline enforced by the cluster (0: none)")
 	flag.BoolVar(&opt.childArg, "child", false, "internal: run as one site of a procs-mode cluster")
 	flag.StringVar(&opt.siteArg, "site", "", "internal: site ID for -child")
 	flag.BoolVar(&opt.verbose, "v", false, "log progress to stderr")
@@ -122,6 +137,9 @@ func run(opt options) error {
 	}
 	if _, err := workloadConfig(opt); err != nil {
 		return err
+	}
+	if opt.kind == "overload" && opt.admit == 0 {
+		opt.admit = 4
 	}
 	if opt.label == "" {
 		b := "batched"
@@ -175,7 +193,7 @@ func run(opt options) error {
 func workloadConfig(opt options) (workload.Config, error) {
 	cfg := workload.Config{Items: opt.items, Seed: opt.seed}
 	switch opt.kind {
-	case "bank":
+	case "bank", "overload": // overload = bank mix through admission-gated sites
 		cfg.Kind = workload.Bank
 	case "reservations":
 		cfg.Kind = workload.Reservations
@@ -236,6 +254,7 @@ type runResult struct {
 	committed int
 	aborted   int
 	timeouts  int
+	shed      int // submission attempts rejected by admission control
 	flushes   int64
 	batchN    int64   // messages observed by the batch-size histogram
 	batchSum  float64 // sum of batch sizes (mean = batchSum/flush count)
@@ -269,6 +288,9 @@ type setting struct {
 	Committed       int        `json:"committed"`
 	Aborted         int        `json:"aborted"`
 	Timeouts        int        `json:"timeouts"`
+	AdmissionLimit  int        `json:"admission_limit,omitempty"`
+	Shed            int        `json:"shed,omitempty"`
+	ShedRate        float64    `json:"shed_rate,omitempty"`
 	LatencyMS       latencyMS  `json:"latency_ms"`
 	Batch           batchStats `json:"batch"`
 }
@@ -279,6 +301,10 @@ func (r *runResult) setting(opt options) setting {
 		Txns: opt.txns, Seed: opt.seed, Workload: opt.kind, Items: opt.items,
 		Batching: opt.batch, DurationSeconds: r.duration.Seconds(),
 		Committed: r.committed, Aborted: r.aborted, Timeouts: r.timeouts,
+		AdmissionLimit: opt.admit, Shed: r.shed,
+	}
+	if attempts := r.shed + opt.txns; attempts > 0 {
+		s.ShedRate = float64(r.shed) / float64(attempts)
 	}
 	if r.duration > 0 {
 		s.ThroughputTPS = float64(r.committed) / r.duration.Seconds()
@@ -310,6 +336,9 @@ func (r *runResult) setting(opt options) setting {
 func printSetting(w *os.File, s setting) {
 	fmt.Fprintf(w, "%s: %d txns in %.2fs — %.0f commits/s (%d committed, %d aborted, %d timeouts)\n",
 		s.Name, s.Txns, s.DurationSeconds, s.ThroughputTPS, s.Committed, s.Aborted, s.Timeouts)
+	if s.AdmissionLimit > 0 {
+		fmt.Fprintf(w, "  admission=%d shed=%d shed_rate=%.1f%%\n", s.AdmissionLimit, s.Shed, s.ShedRate*100)
+	}
 	fmt.Fprintf(w, "  latency ms: p50=%.2f p90=%.2f p99=%.2f mean=%.2f\n",
 		s.LatencyMS.P50, s.LatencyMS.P90, s.LatencyMS.P99, s.LatencyMS.Mean)
 	fmt.Fprintf(w, "  batching=%v flushes=%d mean_batch=%.2f msgs/frame\n",
@@ -345,7 +374,10 @@ func runInproc(opt options) (*runResult, error) {
 	nodes := make([]*cluster.Cluster, opt.sites)
 	for i, id := range names {
 		fab := transport.NewTCPWithListener(tcpConfig(id, peers, reg, opt), lns[i])
-		node, err := cluster.NewNode(cluster.Config{Sites: names, Metrics: reg}, id, fab)
+		node, err := cluster.NewNode(cluster.Config{
+			Sites: names, Metrics: reg,
+			AdmissionLimit: opt.admit, TxnDeadline: opt.deadline,
+		}, id, fab)
 		if err != nil {
 			return nil, err
 		}
@@ -384,6 +416,7 @@ func runInproc(opt options) (*runResult, error) {
 	lat := make([]time.Duration, opt.txns)
 	status := make([]cluster.Status, opt.txns)
 	waited := make([]bool, opt.txns)
+	var shedN atomic.Int64
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	if opt.profile != "" {
@@ -409,7 +442,19 @@ func runInproc(opt options) (*runResult, error) {
 				}
 				node := nodes[i%opt.sites]
 				t0 := time.Now()
-				h, err := node.SubmitProgram(node.Self(), parsed[i])
+				var h *cluster.Handle
+				var err error
+				for {
+					h, err = node.SubmitProgram(node.Self(), parsed[i])
+					if !errors.Is(err, cluster.ErrOverload) {
+						break
+					}
+					// Shed: admission control pushed the wait onto the
+					// client.  Back off and retry; the backoff stays
+					// inside the client-observed latency.
+					shedN.Add(1)
+					time.Sleep(500 * time.Microsecond)
+				}
 				if err != nil {
 					status[i], waited[i] = cluster.StatusAborted, true
 					lat[i] = time.Since(t0)
@@ -424,6 +469,7 @@ func runInproc(opt options) (*runResult, error) {
 	wg.Wait()
 	res.duration = time.Since(start)
 
+	res.shed = int(shedN.Load())
 	for i := range status {
 		switch {
 		case !waited[i]:
@@ -501,7 +547,7 @@ func auditInproc(opt options, nodes []*cluster.Cluster, init map[string]polyvalu
 		if !ok {
 			return fmt.Errorf("item %s still uncertain after settle: %v", item, owner.Read(item))
 		}
-		if opt.kind == "bank" {
+		if opt.kind == "bank" || opt.kind == "overload" {
 			n, _ := value.AsInt(v)
 			total += n
 			w, _ := v0.IsCertain()
@@ -509,7 +555,7 @@ func auditInproc(opt options, nodes []*cluster.Cluster, init map[string]polyvalu
 			want += n0
 		}
 	}
-	if opt.kind == "bank" && total != want {
+	if (opt.kind == "bank" || opt.kind == "overload") && total != want {
 		return fmt.Errorf("conservation violated: total=%d want=%d", total, want)
 	}
 	return nil
@@ -593,6 +639,8 @@ func runProcs(opt options) (*runResult, error) {
 			"-gogc", strconv.Itoa(opt.gogc),
 			"-batch-max", strconv.Itoa(opt.batchMax),
 			"-batch-delay", opt.batchLng.String(),
+			"-admission", strconv.Itoa(opt.admit),
+			"-txn-deadline", opt.deadline.String(),
 		)
 		stdin, err := cmd.StdinPipe()
 		if err != nil {
@@ -740,18 +788,19 @@ func runProcs(opt options) (*runResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		var fl, bn int64
+		var fl, bn, shd int64
 		var bsum float64
-		if _, err := fmt.Sscanf(reply, "STATSOK %d %d %g", &fl, &bn, &bsum); err != nil {
+		if _, err := fmt.Sscanf(reply, "STATSOK %d %d %g %d", &fl, &bn, &bsum, &shd); err != nil {
 			return nil, fmt.Errorf("child %s: bad STATS reply %q", c.id, reply)
 		}
 		res.flushes += fl
 		res.batchN += bn
 		res.batchSum += bsum
+		res.shed += int(shd)
 	}
 	if polys > 0 {
 		res.auditErr = fmt.Errorf("%d items still uncertain after settle", polys)
-	} else if opt.kind == "bank" && total != want {
+	} else if (opt.kind == "bank" || opt.kind == "overload") && total != want {
 		res.auditErr = fmt.Errorf("conservation violated: total=%d want=%d", total, want)
 	}
 	return res, nil
@@ -798,7 +847,10 @@ func runChild(opt options) error {
 	names := siteNames(opt.sites)
 	reg := metrics.NewRegistry()
 	fab := transport.NewTCPWithListener(tcpConfig(self, peers, reg, opt), ln)
-	node, err := cluster.NewNode(cluster.Config{Sites: names, Metrics: reg}, self, fab)
+	node, err := cluster.NewNode(cluster.Config{
+		Sites: names, Metrics: reg,
+		AdmissionLimit: opt.admit, TxnDeadline: opt.deadline,
+	}, self, fab)
 	if err != nil {
 		return err
 	}
@@ -817,6 +869,7 @@ func runChild(opt options) error {
 	}
 	emit("READY")
 
+	var shedN atomic.Int64
 	var wg sync.WaitGroup
 	for in.Scan() {
 		line := in.Text()
@@ -832,7 +885,16 @@ func runChild(opt options) error {
 			go func() {
 				defer wg.Done()
 				t0 := time.Now()
-				h, err := node.Submit(self, prog)
+				var h *cluster.Handle
+				var err error
+				for {
+					h, err = node.Submit(self, prog)
+					if !errors.Is(err, cluster.ErrOverload) {
+						break
+					}
+					shedN.Add(1)
+					time.Sleep(500 * time.Microsecond)
+				}
 				if err != nil {
 					emit("RESULT %s aborted %d", idStr, time.Since(t0).Nanoseconds())
 					return
@@ -873,7 +935,7 @@ func runChild(opt options) error {
 			emit("SUMOK %d %d %d", total, want, polys)
 		case "STATS":
 			fl, bn, bsum := batchCounters(reg)
-			emit("STATSOK %d %d %g", fl, bn, bsum)
+			emit("STATSOK %d %d %g %d", fl, bn, bsum, shedN.Load())
 		case "EXIT":
 			return nil
 		}

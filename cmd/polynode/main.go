@@ -34,6 +34,11 @@
 //
 // Every node's transport is wrapped in the fault injector; with no
 // -faults plan and no FAULT commands it is a transparent pass-through.
+// The overload-protection plane is opt-in per flag: -admission caps
+// in-flight transactions, -txn-deadline bounds each transaction end to
+// end, -poly-budget/-dep-budget cap polyvalue and dependency-table
+// growth (degrading to blocking 2PC at the cap), and -heartbeat starts
+// the peer failure detector with its circuit breaker.
 package main
 
 import (
@@ -52,6 +57,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/fault"
+	"repro/internal/guard"
 	"repro/internal/metrics"
 	"repro/internal/polyvalue"
 	"repro/internal/protocol"
@@ -69,6 +75,11 @@ func main() {
 		stats    = flag.Bool("stats", false, "print transport and cluster stats on shutdown")
 		waitT    = flag.Duration("wait-timeout", 250*time.Millisecond, "participant wait-phase timeout before installing polyvalues")
 		retryT   = flag.Duration("retry-interval", 250*time.Millisecond, "outcome-request retry pacing for in-doubt sites")
+		admit    = flag.Int("admission", 0, "max in-flight coordinated transactions; over it submissions shed with an overload error (0: unlimited)")
+		txnDl    = flag.Duration("txn-deadline", 0, "end-to-end transaction deadline; expired work aborts (0: none)")
+		polyBdg  = flag.Int("poly-budget", 0, "max local polyvalue population before in-doubt work degrades to blocking 2PC (0: unlimited)")
+		depBdg   = flag.Int("dep-budget", 0, "max dependency-table size before the same degradation (0: unlimited)")
+		hbeat    = flag.Duration("heartbeat", 0, "peer heartbeat interval for the failure detector + circuit breaker (0: disabled)")
 		place    = flag.String("place", "", "comma-separated item=site placement pins (every process must pass the same value); unlisted items hash across sites")
 		faults   = flag.String("faults", "", "initial fault plan, ';'-separated injector commands (e.g. 'drop to=B p=0.1; delay p=0.2 min=5ms max=40ms')")
 		faultSd  = flag.Int64("fault-seed", 1, "PRNG seed for the fault injector (same seed, same fault decisions)")
@@ -131,14 +142,33 @@ func main() {
 	if err != nil {
 		fatal("%v", err)
 	}
+	// With -heartbeat the failure detector sits on top of the fault
+	// plane: heartbeats cross the injector like any other traffic, so a
+	// partition makes peers suspect and trips the circuit breaker.
+	var fabric transport.Transport = inj
+	if *hbeat > 0 {
+		fabric = guard.NewDetector(inj, guard.DetectorConfig{
+			Self:     self,
+			Peers:    sites,
+			Interval: *hbeat,
+			Metrics:  reg,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "polynode[%s] detector: %s\n", self, fmt.Sprintf(format, args...))
+			},
+		})
+	}
 	node, err := cluster.NewNode(cluster.Config{
-		Sites:         sites,
-		WaitTimeout:   *waitT,
-		RetryInterval: *retryT,
-		Metrics:       reg,
-		Placement:     placement,
-		DataDir:       *dataDir,
-	}, self, inj)
+		Sites:          sites,
+		WaitTimeout:    *waitT,
+		RetryInterval:  *retryT,
+		AdmissionLimit: *admit,
+		TxnDeadline:    *txnDl,
+		MaxPolyBudget:  *polyBdg,
+		MaxDepBudget:   *depBdg,
+		Metrics:        reg,
+		Placement:      placement,
+		DataDir:        *dataDir,
+	}, self, fabric)
 	if err != nil {
 		fatal("%v", err)
 	}
@@ -148,6 +178,9 @@ func main() {
 		fatal("control listen %s: %v", *control, err)
 	}
 	srv := &server{self: self, node: node, fab: fab, inj: inj}
+	if det, ok := fabric.(*guard.Detector); ok {
+		srv.det = det
+	}
 	go srv.serve(ctl)
 	fmt.Printf("polynode[%s] transport=%s control=%s peers=%d\n",
 		self, fab.Addr(), ctl.Addr(), len(peers)-1)
@@ -240,6 +273,7 @@ type server struct {
 	node *cluster.Cluster
 	fab  *transport.TCP
 	inj  *fault.Injector
+	det  *guard.Detector // nil unless -heartbeat was given
 }
 
 func (s *server) serve(ln net.Listener) {
@@ -393,6 +427,15 @@ func (s *server) execute(line string) []string {
 		out := []string{
 			fmt.Sprintf("| committed=%d aborted=%d in_doubt=%d poly_installs=%d poly_reductions=%d refused=%d",
 				st.Committed, st.Aborted, st.InDoubt, st.PolyInstalls, st.PolyReductions, st.Refused),
+		}
+		if s.det != nil {
+			suspects := s.det.Suspects()
+			sort.Slice(suspects, func(i, j int) bool { return suspects[i] < suspects[j] })
+			parts := make([]string, len(suspects))
+			for i, id := range suspects {
+				parts[i] = string(id)
+			}
+			out = append(out, fmt.Sprintf("| detector suspects=%d [%s]", len(suspects), strings.Join(parts, " ")))
 		}
 		for _, l := range strings.Split(strings.TrimRight(s.fab.Stats().Format(), "\n"), "\n") {
 			out = append(out, "| "+l)

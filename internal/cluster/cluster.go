@@ -79,6 +79,9 @@ type Cluster struct {
 	phaseSettle     *metrics.Histogram
 	decisionResends *metrics.Counter
 	outcomeRetries  *metrics.Counter
+	deadlineCoord   *metrics.Counter
+	deadlinePart    *metrics.Counter
+	degradedTxns    *metrics.Counter
 	// installAt timestamps live polyvalued items for the lifetime
 	// histogram; only touched from serialized site events.
 	installAt map[lifeKey]vclock.Time
@@ -234,9 +237,18 @@ func (c *Cluster) SubmitProgram(coord protocol.SiteID, p expr.Program) (*Handle,
 	if !ok {
 		return nil, fmt.Errorf("cluster: unknown site %q", coord)
 	}
+	// Admission control: a site over its in-flight cap sheds the
+	// submission up front — nothing enqueued, nothing to clean up — and
+	// the caller gets a typed error it can back off on.
+	if !site.admission.TryAcquire() {
+		return nil, ErrOverload
+	}
 	t := txn.T{ID: c.ids.Next(), Program: p}
 	c.submitted.Inc()
-	h := &Handle{TID: t.ID, submitted: c.clk.Now(), done: make(chan struct{})}
+	h := &Handle{
+		TID: t.ID, submitted: c.clk.Now(), done: make(chan struct{}),
+		release: site.admission.Release,
+	}
 	c.dispatch(site, func() { site.beginTxn(t, h) })
 	return h, nil
 }
@@ -255,6 +267,23 @@ func (c *Cluster) dispatch(site *Site, fn func()) {
 	c.clk.At(c.clk.Now(), func() { site.do(fn) })
 }
 
+// dispatchShed is dispatch for sheddable work (queries): on a wall
+// clock, a full site inbox sheds with ErrOverload instead of blocking
+// the caller behind a backlog of protocol traffic.  The simulated
+// runtime never sheds — its scheduler serializes everything anyway, and
+// determinism must not depend on queue depth.
+func (c *Cluster) dispatchShed(site *Site, fn func()) error {
+	if c.wall != nil {
+		if !site.tryDo(fn) {
+			site.inboxShed.Inc()
+			return ErrOverload
+		}
+		return nil
+	}
+	c.clk.At(c.clk.Now(), func() { site.do(fn) })
+	return nil
+}
+
 // Query starts a read-only query (an expression over items) with the
 // given site as coordinator.  The result may be a polyvalue; per §3.4
 // the caller chooses whether to present the uncertainty or wait.
@@ -269,7 +298,9 @@ func (c *Cluster) Query(coord protocol.SiteID, exprSrc string) (*QueryHandle, er
 	}
 	qh := newQueryHandle()
 	qid := c.qids.Next()
-	c.dispatch(site, func() { site.beginQuery(qid, node, qh, 0) })
+	if err := c.dispatchShed(site, func() { site.beginQuery(qid, node, qh, 0) }); err != nil {
+		return nil, err
+	}
 	return qh, nil
 }
 
@@ -293,7 +324,9 @@ func (c *Cluster) QueryCertain(coord protocol.SiteID, exprSrc string, wait vcloc
 	qh := newQueryHandle()
 	qid := c.qids.Next()
 	deadline := c.clk.Now() + wait
-	c.dispatch(site, func() { site.beginQuery(qid, node, qh, deadline) })
+	if err := c.dispatchShed(site, func() { site.beginQuery(qid, node, qh, deadline) }); err != nil {
+		return nil, err
+	}
 	return qh, nil
 }
 

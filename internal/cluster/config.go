@@ -95,6 +95,29 @@ type Config struct {
 	// Policy selects wait-phase timeout behaviour.  Default
 	// PolicyPolyvalue.
 	Policy Policy
+	// AdmissionLimit caps in-flight coordinated transactions per site;
+	// over the cap, SubmitProgram sheds with ErrOverload (counted as
+	// site.admission.shed) instead of queueing without bound.  0 or
+	// negative means unlimited.
+	AdmissionLimit int
+	// TxnDeadline is the end-to-end time budget attached to every
+	// submitted transaction.  The coordinator aborts expired work; the
+	// remaining budget rides read-req and prepare messages, and a
+	// participant whose deadline expires in the wait phase resolves per
+	// Policy (polyvalues, blocking, or arbitrary) without waiting out the
+	// full WaitTimeout.  0 or negative disables deadlines.
+	TxnDeadline time.Duration
+	// MaxPolyBudget caps the per-site polyvalue population.  At the cap
+	// an in-doubt participant degrades to classic blocking 2PC — locks
+	// held, nothing installed — until reductions free budget (the paper
+	// presents polyvalues as an optional overlay on two-phase commit, so
+	// plain 2PC is the principled fallback).  0 or negative means
+	// unlimited.
+	MaxPolyBudget int
+	// MaxDepBudget caps the per-site §3.3 dependency-table size, with
+	// the same degradation as MaxPolyBudget.  0 or negative means
+	// unlimited.
+	MaxDepBudget int
 	// Tracer receives protocol events; nil means no tracing.
 	Tracer trace.Tracer
 	// Metrics, when set, is the registry all cluster/network/protocol/

@@ -19,5 +19,15 @@ var errReadTimeout = errors.New("cluster: read timeout")
 // handle still carries the uncertain answer.
 var ErrStillUncertain = errors.New("cluster: answer still uncertain at deadline")
 
+// ErrOverload reports work shed by the overload-protection plane: a
+// submission over the site's admission cap, or (node mode) a query
+// arriving at a full site inbox.  Nothing was started — the caller may
+// back off and retry.
+var ErrOverload = errors.New("cluster: overloaded, request shed")
+
+// reasonDeadline is the abort reason for transactions whose end-to-end
+// deadline expired.
+const reasonDeadline = "deadline exceeded"
+
 // nilValue is the default content of never-written items.
 func nilValue() value.V { return value.Nil{} }

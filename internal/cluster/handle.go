@@ -52,6 +52,10 @@ type Handle struct {
 	// handles created before this field existed (tests constructing
 	// Handle directly) — decide tolerates that.
 	done chan struct{}
+	// release returns the coordinator site's admission credit; invoked
+	// exactly once, by decide or — for handles a coordinator crash left
+	// pending forever — by releaseAdmission.  Nil when no gate applies.
+	release func()
 }
 
 // Wait blocks until the transaction decides, or until timeout elapses
@@ -111,6 +115,24 @@ func (h *Handle) decide(st Status, reason string, at vclock.Time) {
 	h.decided = at
 	if h.done != nil {
 		close(h.done)
+	}
+	if r := h.release; r != nil {
+		h.release = nil
+		r()
+	}
+}
+
+// releaseAdmission returns the admission credit without deciding the
+// handle — the coordinator-crash path, where the handle legitimately
+// stays pending but the credit must not leak.  Idempotent, and a no-op
+// once decide has run.
+func (h *Handle) releaseAdmission() {
+	h.mu.Lock()
+	r := h.release
+	h.release = nil
+	h.mu.Unlock()
+	if r != nil {
+		r()
 	}
 }
 

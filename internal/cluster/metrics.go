@@ -23,6 +23,16 @@ import (
 //	                                   retransmissions to unacked sites
 //	txn.outcome.retries              — participant outcome-inquiry
 //	                                   retries (backoff-paced)
+//	txn.deadline.exceeded{role=}     — end-to-end deadline expiries seen
+//	                                   by coordinators / participants
+//	txn.degraded.blocking            — in-doubt transactions that held
+//	                                   their locks (blocking 2PC) because
+//	                                   the polyvalue budget was exhausted
+//	site.admission.shed{site}        — submissions shed over the cap
+//	site.admission.inflight{site}    — credits currently held
+//	site.budget.mode{site}           — 0 polyvalue, 1 blocking (degraded)
+//	site.budget.degradations{site} / site.budget.restores{site}
+//	site.inbox.depth{site} / site.inbox.hwm{site} / site.inbox.shed{site}
 //
 // The network and storage layers add network.* and storage.wal.* series
 // to the same registry; the protocol state machines add protocol.* event
@@ -57,6 +67,9 @@ func (c *Cluster) initMetrics(reg *metrics.Registry) {
 	c.phaseSettle = reg.Histogram("protocol.phase.seconds", metrics.L("phase", "settle"))
 	c.decisionResends = reg.Counter("txn.decision.resends")
 	c.outcomeRetries = reg.Counter("txn.outcome.retries")
+	c.deadlineCoord = reg.Counter("txn.deadline.exceeded", metrics.L("role", "coordinator"))
+	c.deadlinePart = reg.Counter("txn.deadline.exceeded", metrics.L("role", "participant"))
+	c.degradedTxns = reg.Counter("txn.degraded.blocking")
 	c.installAt = map[lifeKey]vclock.Time{}
 }
 

@@ -1,0 +1,310 @@
+package cluster
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/network"
+	"repro/internal/protocol"
+	"repro/internal/transport"
+)
+
+// newOverloadCluster builds the usual 3-site a*/b*/c* cluster with the
+// overload knobs under test.
+func newOverloadCluster(t *testing.T, mutate func(*Config)) *Cluster {
+	t.Helper()
+	cfg := Config{
+		Sites:         []protocol.SiteID{"A", "B", "C"},
+		Net:           network.Config{Latency: 10 * time.Millisecond},
+		WaitTimeout:   100 * time.Millisecond,
+		ReadyTimeout:  500 * time.Millisecond,
+		RetryInterval: 100 * time.Millisecond,
+		Placement: func(item string) protocol.SiteID {
+			switch item[0] {
+			case 'a':
+				return "A"
+			case 'b':
+				return "B"
+			default:
+				return "C"
+			}
+		},
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func counterValue(c *Cluster, name string, labels ...metrics.Label) int64 {
+	return c.Metrics().Counter(name, labels...).Value()
+}
+
+func gaugeValue(c *Cluster, name string, labels ...metrics.Label) int64 {
+	return c.Metrics().Gauge(name, labels...).Value()
+}
+
+// TestAdmissionShedsOverCap: submissions beyond the in-flight cap shed
+// with ErrOverload, and deciding the admitted work returns the credit.
+func TestAdmissionShedsOverCap(t *testing.T) {
+	c := newOverloadCluster(t, func(cfg *Config) { cfg.AdmissionLimit = 1 })
+	loadInt(t, c, "a1", 0)
+	loadInt(t, c, "b1", 0)
+
+	h1, err := c.Submit("A", "b1 = a1 + 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := c.Submit("A", "b1 = a1 + 1"); !errors.Is(err, ErrOverload) {
+			t.Fatalf("submit %d over cap: err = %v, want ErrOverload", i, err)
+		}
+	}
+	if got := counterValue(c, "site.admission.shed", metrics.L("site", "A")); got != 2 {
+		t.Errorf("shed counter = %d, want 2", got)
+	}
+	if got := gaugeValue(c, "site.admission.inflight", metrics.L("site", "A")); got != 1 {
+		t.Errorf("inflight gauge = %d, want 1", got)
+	}
+
+	c.RunFor(2 * time.Second)
+	if h1.Status() != StatusCommitted {
+		t.Fatalf("admitted txn: %v (%s)", h1.Status(), h1.Reason())
+	}
+	if got := gaugeValue(c, "site.admission.inflight", metrics.L("site", "A")); got != 0 {
+		t.Errorf("inflight after decide = %d, want 0", got)
+	}
+	// Credit returned: the gate admits again.
+	h2, err := c.Submit("A", "b1 = a1 + 2")
+	if err != nil {
+		t.Fatalf("submit after release: %v", err)
+	}
+	c.RunFor(2 * time.Second)
+	if h2.Status() != StatusCommitted {
+		t.Fatalf("post-release txn: %v (%s)", h2.Status(), h2.Reason())
+	}
+}
+
+// TestAdmissionCreditReleasedOnCrash: a coordinator crash leaves the
+// handle pending forever, but must return the admission credit.
+func TestAdmissionCreditReleasedOnCrash(t *testing.T) {
+	c := newOverloadCluster(t, func(cfg *Config) { cfg.AdmissionLimit = 1 })
+	loadInt(t, c, "b1", 0)
+
+	c.ArmCrashBeforeDecision("A")
+	h, err := c.Submit("A", "b1 = b1 + 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(2 * time.Second)
+	if h.Status() != StatusPending {
+		t.Fatalf("crashed coordinator's handle: %v", h.Status())
+	}
+	if got := gaugeValue(c, "site.admission.inflight", metrics.L("site", "A")); got != 0 {
+		t.Errorf("inflight after crash = %d, want 0 (credit leaked)", got)
+	}
+	c.Restart("A")
+	if _, err := c.Submit("A", "b1 = b1 + 2"); err != nil {
+		t.Fatalf("submit after crash released credit: %v", err)
+	}
+}
+
+// TestDeadlineExpiresInSim: a partition outlasting the transaction
+// deadline aborts the transaction with the deadline reason, before the
+// (longer) read timeout would have.
+func TestDeadlineExpiresInSim(t *testing.T) {
+	c := newOverloadCluster(t, func(cfg *Config) { cfg.TxnDeadline = 100 * time.Millisecond })
+	loadInt(t, c, "b1", 7)
+	c.Partition("A", "B")
+
+	h, err := c.Submit("A", "b1 = b1 + 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(2 * time.Second)
+	if h.Status() != StatusAborted || h.Reason() != reasonDeadline {
+		t.Fatalf("status = %v (%q), want aborted (%q)", h.Status(), h.Reason(), reasonDeadline)
+	}
+	if got := counterValue(c, "txn.deadline.exceeded", metrics.L("role", "coordinator")); got != 1 {
+		t.Errorf("coordinator deadline counter = %d, want 1", got)
+	}
+	c.HealAll()
+	c.RunFor(2 * time.Second)
+	if got := readInt(t, c, "b1"); got != 7 {
+		t.Errorf("b1 = %d after deadline abort, want 7", got)
+	}
+	if problems := c.CheckInvariants(); len(problems) > 0 {
+		t.Errorf("invariants: %v", problems)
+	}
+}
+
+// TestDeadlineParticipantWaitClamped: a deadline tighter than the wait
+// timeout resolves an in-doubt participant as soon as the budget runs
+// out — it does not camp on its locks for the full WaitTimeout.
+func TestDeadlineParticipantWaitClamped(t *testing.T) {
+	c := newOverloadCluster(t, func(cfg *Config) {
+		cfg.TxnDeadline = 100 * time.Millisecond
+		cfg.WaitTimeout = 10 * time.Second // deadline must pre-empt this
+	})
+	loadInt(t, c, "b1", 7)
+	c.ArmCrashBeforeDecision("A")
+
+	h, err := c.Submit("A", "b1 = b1 + 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Far less than WaitTimeout: only the deadline can resolve B here.
+	c.RunFor(500 * time.Millisecond)
+	if h.Status() != StatusPending {
+		t.Fatalf("handle = %v, want pending (coordinator crashed)", h.Status())
+	}
+	if got := counterValue(c, "txn.deadline.exceeded", metrics.L("role", "participant")); got != 1 {
+		t.Errorf("participant deadline counter = %d, want 1", got)
+	}
+	if n := c.Store("B").PolyCount(); n != 1 {
+		t.Errorf("B polyvalues = %d, want 1 (installed at deadline)", n)
+	}
+	c.Restart("A")
+	c.RunFor(3 * time.Second)
+	if got := readInt(t, c, "b1"); got != 7 {
+		t.Errorf("b1 = %d after presumed abort, want 7", got)
+	}
+	if problems := c.CheckInvariants(); len(problems) > 0 {
+		t.Errorf("invariants: %v", problems)
+	}
+}
+
+// TestDeadlineWallClock: the deadline timer also fires on the real
+// clock (node runtime).  A single node whose peer address answers
+// nothing sees its cross-site transaction abort at the deadline, well
+// before the generous read timeout.
+func TestDeadlineWallClock(t *testing.T) {
+	lnA, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reserve an address for B, then close it: a peer that never answers.
+	lnB, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrB := lnB.Addr().String()
+	lnB.Close()
+
+	fab := transport.NewTCPWithListener(transport.TCPConfig{
+		Self:       "A",
+		Peers:      map[protocol.SiteID]string{"A": lnA.Addr().String(), "B": addrB},
+		BackoffMin: 5 * time.Millisecond,
+		BackoffMax: 50 * time.Millisecond,
+	}, lnA)
+	node, err := NewNode(Config{
+		Sites:        []protocol.SiteID{"A", "B"},
+		TxnDeadline:  150 * time.Millisecond,
+		ReadyTimeout: 10 * time.Second,
+		WaitTimeout:  10 * time.Second,
+		Placement: func(item string) protocol.SiteID {
+			if item[0] == 'b' {
+				return "B"
+			}
+			return "A"
+		},
+	}, "A", fab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer node.Close()
+
+	h, err := node.Submit("A", "a1 = b1 + 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, decided := h.Wait(5 * time.Second)
+	if !decided || st != StatusAborted || h.Reason() != reasonDeadline {
+		t.Fatalf("status = %v decided=%v (%q), want aborted (%q)",
+			st, decided, h.Reason(), reasonDeadline)
+	}
+}
+
+// TestBudgetDegradeRestoreConservation: at the polyvalue cap an
+// in-doubt participant degrades to blocking 2PC; repair reduces the
+// population, restores poly mode, and conserves every value.
+func TestBudgetDegradeRestoreConservation(t *testing.T) {
+	c := newOverloadCluster(t, func(cfg *Config) { cfg.MaxPolyBudget = 1 })
+	loadInt(t, c, "b1", 10)
+	loadInt(t, c, "b2", 20)
+	loadInt(t, c, "b3", 30)
+	siteB := metrics.L("site", "B")
+
+	// Round 1: coordinator A crashes before deciding; B's wait timeout
+	// installs a polyvalue for b1 — population hits the cap of 1.
+	c.ArmCrashBeforeDecision("A")
+	if _, err := c.Submit("A", "b1 = b1 + 1"); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(time.Second)
+	if n := c.Store("B").PolyCount(); n != 1 {
+		t.Fatalf("B polyvalues after round 1 = %d, want 1", n)
+	}
+
+	// Round 2: a second coordinator (C) crashes the same way.  B is at
+	// its budget now, so it must block on b2 instead of installing.
+	c.ArmCrashBeforeDecision("C")
+	if _, err := c.Submit("C", "b2 = b2 + 1"); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(time.Second)
+	if n := c.Store("B").PolyCount(); n != 1 {
+		t.Errorf("B polyvalues after round 2 = %d, want 1 (bounded by budget)", n)
+	}
+	if got := gaugeValue(c, "site.budget.mode", siteB); got != 1 {
+		t.Errorf("budget mode = %d, want 1 (degraded)", got)
+	}
+	if got := counterValue(c, "txn.degraded.blocking"); got != 1 {
+		t.Errorf("degraded txns = %d, want 1", got)
+	}
+
+	// Repair: both coordinators recover and answer presumed abort; the
+	// polyvalue reduces, the blocked participant aborts and releases,
+	// and the budget gate reopens.
+	c.Restart("A")
+	c.Restart("C")
+	c.RunFor(5 * time.Second)
+	if n := c.Store("B").PolyCount(); n != 0 {
+		t.Errorf("B polyvalues after repair = %d, want 0", n)
+	}
+	if got := gaugeValue(c, "site.budget.mode", siteB); got != 0 {
+		t.Errorf("budget mode after repair = %d, want 0 (poly mode restored)", got)
+	}
+	for item, want := range map[string]int64{"b1": 10, "b2": 20, "b3": 30} {
+		if got := readInt(t, c, item); got != want {
+			t.Errorf("%s = %d, want %d (conservation)", item, got, want)
+		}
+	}
+	if problems := c.CheckInvariants(); len(problems) > 0 {
+		t.Errorf("invariants: %v", problems)
+	}
+
+	// Poly mode genuinely resumed: the next in-doubt transaction
+	// installs a polyvalue again instead of blocking.
+	c.ArmCrashBeforeDecision("A")
+	if _, err := c.Submit("A", "b3 = b3 + 1"); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(time.Second)
+	if n := c.Store("B").PolyCount(); n != 1 {
+		t.Errorf("B polyvalues after round 3 = %d, want 1 (poly mode back)", n)
+	}
+	c.Restart("A")
+	c.RunFor(3 * time.Second)
+	if problems := c.CheckInvariants(); len(problems) > 0 {
+		t.Errorf("final invariants: %v", problems)
+	}
+}

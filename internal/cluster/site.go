@@ -4,8 +4,11 @@ import (
 	"hash/fnv"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/expr"
+	"repro/internal/guard"
+	"repro/internal/metrics"
 	"repro/internal/polytxn"
 	"repro/internal/polyvalue"
 	"repro/internal/protocol"
@@ -69,6 +72,21 @@ type Site struct {
 	// decidedAt timestamps coordinator decisions still awaiting their
 	// last outcome ack, for the settle-phase histogram.
 	decidedAt map[txn.ID]vclock.Time
+
+	// admission gates in-flight coordinated transactions (overload
+	// protection); credits are taken in SubmitProgram and returned when
+	// the handle decides or the site crashes with the handle pending.
+	admission *guard.Admission
+	// budget caps the local polyvalue population and dependency-table
+	// size; while exhausted, in-doubt participants degrade to blocking
+	// 2PC instead of installing more polyvalues.
+	budget *guard.Budget
+	// inboxDepth/inboxHWM/inboxShed observe the event queue; hwm is the
+	// loop-goroutine-local high-water mark behind the gauge.
+	inboxDepth *metrics.Gauge
+	inboxHWM   *metrics.Gauge
+	inboxShed  *metrics.Counter
+	hwm        int
 }
 
 // siteEvent is one queued closure for the site goroutine; done, when
@@ -104,7 +122,11 @@ type partCtx struct {
 	previous map[string]polyvalue.Poly
 	// blocked marks a blocking-policy participant sitting on its locks
 	// past the wait timeout.
-	blocked   bool
+	blocked bool
+	// deadline is the transaction's local expiry instant, re-anchored
+	// from the remaining budget the prepare message carried; zero when
+	// no deadline is set.
+	deadline  vclock.Time
 	waitTimer vclock.TimerID
 	lockTimer vclock.TimerID
 	// readyAt timestamps the ready message for the wait-phase histogram.
@@ -141,6 +163,11 @@ type coordCtx struct {
 	machine    *protocol.Coordinator
 	readyTimer vclock.TimerID
 	prepared   bool
+	// deadline is the end-to-end expiry instant (TxnDeadline after
+	// submission); the coordinator aborts the transaction when
+	// deadlineTimer fires with it still undecided.  Zero when disabled.
+	deadline      vclock.Time
+	deadlineTimer vclock.TimerID
 	// startAt/prepareAt bound the read and prepare phases for the
 	// per-phase latency histograms.
 	startAt   vclock.Time
@@ -163,6 +190,12 @@ func newSite(c *Cluster, id protocol.SiteID, store *storage.Store) *Site {
 		acks:        map[txn.ID]map[protocol.SiteID]bool{},
 		decidedAt:   map[txn.ID]vclock.Time{},
 	}
+	l := metrics.L("site", string(id))
+	s.admission = guard.NewAdmission(c.cfg.AdmissionLimit, c.reg, string(id))
+	s.budget = guard.NewBudget(c.cfg.MaxPolyBudget, c.cfg.MaxDepBudget, c.reg, string(id))
+	s.inboxDepth = c.reg.Gauge("site.inbox.depth", l)
+	s.inboxHWM = c.reg.Gauge("site.inbox.hwm", l)
+	s.inboxShed = c.reg.Counter("site.inbox.shed", l)
 	go s.loop()
 	return s
 }
@@ -181,10 +214,17 @@ func (s *Site) loop() {
 		case <-s.quit:
 			return
 		case ev := <-s.inbox:
+			// Queue depth as observed at dequeue (this event included);
+			// the high-water mark is what overload post-mortems read.
+			if n := len(s.inbox) + 1; n > s.hwm {
+				s.hwm = n
+				s.inboxHWM.Set(int64(n))
+			}
 			ev.fn()
 			if ev.done != nil {
 				close(ev.done)
 			}
+			s.inboxDepth.Set(int64(len(s.inbox)))
 		}
 	}
 }
@@ -213,6 +253,23 @@ func (s *Site) post(fn func()) {
 	select {
 	case s.inbox <- siteEvent{fn: fn}:
 	case <-s.quit:
+	}
+}
+
+// tryDo queues fn like post but sheds instead of blocking when the
+// inbox is full: the overload path for non-protocol work (queries) in
+// the wall-clock runtime, where a stalled caller would otherwise sit
+// behind protocol traffic.  Returns false when the event was shed; a
+// closed site reports true (the work is silently dropped, matching
+// do/post semantics).
+func (s *Site) tryDo(fn func()) bool {
+	select {
+	case s.inbox <- siteEvent{fn: fn}:
+		return true
+	case <-s.quit:
+		return true
+	default:
+		return false
 	}
 }
 
@@ -338,6 +395,9 @@ func (s *Site) beginTxn(t txn.T, h *Handle) {
 		values:   map[string]polyvalue.Poly{},
 		startAt:  s.c.clk.Now(),
 	}
+	if d := s.c.cfg.TxnDeadline; d > 0 {
+		ctx.deadline = ctx.startAt + vclock.Time(d)
+	}
 	// Participants: every site holding an accessed item.
 	siteItems := map[protocol.SiteID][]string{}
 	for _, item := range t.Items() {
@@ -356,6 +416,9 @@ func (s *Site) beginTxn(t txn.T, h *Handle) {
 		return
 	}
 	s.coords[t.ID] = ctx
+	if ctx.deadline > 0 {
+		ctx.deadlineTimer = s.after(s.c.cfg.TxnDeadline, func() { s.onTxnDeadline(t.ID) })
+	}
 
 	// Read phase: request the read-set values, with locks.
 	readOwner := map[protocol.SiteID][]string{}
@@ -375,6 +438,7 @@ func (s *Site) beginTxn(t txn.T, h *Handle) {
 		s.send(protocol.Message{
 			Kind: protocol.MsgReadReq, TID: t.ID, To: site,
 			Items: items, Lock: true, Coordinator: s.id,
+			Deadline: s.remainingDeadline(ctx),
 		})
 	}
 	ctx.readTimer = s.after(s.c.cfg.ReadyTimeout, func() { s.onReadTimeout(ctx.tid) })
@@ -529,6 +593,33 @@ func (s *Site) finishQuery(ctx *coordCtx) {
 	ctx.qh.complete(p, err)
 }
 
+// remainingDeadline is the time budget left on a coordinated
+// transaction, for stamping outgoing protocol messages: zero when no
+// deadline is set (and when already expired — the deadline timer owns
+// that case; messages never carry a non-positive budget).
+func (s *Site) remainingDeadline(ctx *coordCtx) time.Duration {
+	if ctx.deadline <= 0 {
+		return 0
+	}
+	rem := ctx.deadline - s.c.clk.Now()
+	if rem <= 0 {
+		return 0
+	}
+	return time.Duration(rem)
+}
+
+// onTxnDeadline aborts a coordinated transaction whose end-to-end time
+// budget ran out before a decision was reached.
+func (s *Site) onTxnDeadline(tid txn.ID) {
+	ctx, ok := s.coords[tid]
+	if !ok || ctx.isQuery {
+		return
+	}
+	s.c.deadlineCoord.Inc()
+	s.c.trace("%s deadline exceeded on %s: aborting", s.id, tid)
+	s.decide(ctx, false, reasonDeadline)
+}
+
 // onReadTimeout aborts a transaction (or fails a query) whose read phase
 // stalled — some site holding needed data is unreachable, so per the
 // paper the transaction is simply not performed.
@@ -550,6 +641,13 @@ func (s *Site) sendPrepares(ctx *coordCtx) {
 	// Failpoint: reads collected, no prepare sent — participants hold
 	// read locks they must abandon via the lock timeout.
 	if s.maybeCrash(CrashBeforePrepare, ctx.tid) {
+		return
+	}
+	if ctx.deadline > 0 && s.c.clk.Now() >= ctx.deadline {
+		// The budget ran out during the read phase; don't start a commit
+		// round that is already doomed.
+		s.c.deadlineCoord.Inc()
+		s.decide(ctx, false, reasonDeadline)
 		return
 	}
 	ctx.prepared = true
@@ -593,6 +691,7 @@ func (s *Site) sendPrepares(ctx *coordCtx) {
 			Kind: protocol.MsgPrepare, TID: ctx.tid, To: site,
 			Items: items, Values: vals,
 			Program: ctx.t.Program.String(), Coordinator: s.id,
+			Deadline: s.remainingDeadline(ctx),
 		})
 	}
 	ctx.readyTimer = s.after(s.c.cfg.ReadyTimeout, func() { s.onReadyTimeout(ctx.tid) })
@@ -719,6 +818,7 @@ func (s *Site) decide(ctx *coordCtx, committed bool, reason string) {
 	s.armDecisionResend(ctx.tid, committed, 1)
 	s.c.clk.Cancel(ctx.readTimer)
 	s.c.clk.Cancel(ctx.readyTimer)
+	s.c.clk.Cancel(ctx.deadlineTimer)
 	delete(s.coords, ctx.tid)
 }
 
@@ -740,8 +840,14 @@ func (s *Site) onReadReq(msg protocol.Message) {
 		ctx.locked = mergeItems(ctx.locked, msg.Items)
 		// If the prepare never arrives (coordinator failed before
 		// prepare), release unilaterally: without our ready the
-		// transaction cannot commit.
-		ctx.lockTimer = s.after(s.c.cfg.LockTimeout, func() { s.onLockTimeout(msg.TID) })
+		// transaction cannot commit.  A transaction deadline tighter than
+		// the lock timeout bounds the hold the same way — past it the
+		// coordinator has aborted, so the prepare is never coming.
+		lt := vclock.Time(s.c.cfg.LockTimeout)
+		if msg.Deadline > 0 && vclock.Time(msg.Deadline) < lt {
+			lt = vclock.Time(msg.Deadline)
+		}
+		ctx.lockTimer = s.after(lt, func() { s.onLockTimeout(msg.TID) })
 	}
 	values := map[string]polyvalue.Poly{}
 	for _, item := range msg.Items {
@@ -779,6 +885,11 @@ func (s *Site) onPrepare(msg protocol.Message) {
 	s.c.clk.Cancel(ctx.lockTimer)
 	if ctx.machine.State() != protocol.StateIdle {
 		return // duplicate prepare
+	}
+	if msg.Deadline > 0 {
+		// Re-anchor the remaining budget against the local clock (wall
+		// clocks of separate processes share no epoch).
+		ctx.deadline = s.c.clk.Now() + vclock.Time(msg.Deadline)
 	}
 	if _, err := ctx.machine.Transition(protocol.EvPrepare); err != nil {
 		return
@@ -871,7 +982,19 @@ func (s *Site) onPrepare(msg protocol.Message) {
 		return
 	}
 	ctx.readyAt = s.c.clk.Now()
-	ctx.waitTimer = s.after(s.c.cfg.WaitTimeout, func() { s.onWaitTimeout(msg.TID) })
+	// A deadline expiring mid-wait resolves the participant early (per
+	// policy) instead of camping on locks for the full wait timeout: the
+	// coordinator has already aborted by then.
+	wt := vclock.Time(s.c.cfg.WaitTimeout)
+	if ctx.deadline > 0 {
+		if rem := ctx.deadline - ctx.readyAt; rem < wt {
+			if rem < 0 {
+				rem = 0
+			}
+			wt = rem
+		}
+	}
+	ctx.waitTimer = s.after(wt, func() { s.onWaitTimeout(msg.TID) })
 }
 
 // onWaitTimeout fires when neither complete nor abort arrived promptly:
@@ -887,6 +1010,10 @@ func (s *Site) onWaitTimeout(tid txn.ID) {
 	// Zero readyAt so a later outcome delivery (blocking resume, arbitrary
 	// self-decision) does not observe this wait a second time.
 	ctx.readyAt = 0
+	if ctx.deadline > 0 && s.c.clk.Now() >= ctx.deadline {
+		s.c.deadlinePart.Inc()
+		s.c.trace("%s deadline expired in wait phase of %s", s.id, tid)
+	}
 	if s.c.cfg.Policy == PolicyBlocking {
 		// Baseline: hold everything until the outcome is known.
 		ctx.blocked = true
@@ -902,6 +1029,23 @@ func (s *Site) onWaitTimeout(tid txn.ID) {
 		s.c.trace("%s ARBITRARY decision for %s: commit=%v", s.id, tid, guess)
 		s.onOutcomeMsg(tid, guess)
 		return
+	}
+	if s.budget.Enabled() {
+		s.updateBudget()
+		if s.budget.Degraded() || s.budget.OverPolyWith(s.store.PolyCount()+len(ctx.writes)) {
+			// Graceful degradation: the polyvalue/dependency budget is
+			// exhausted (or this install would push past it), so fall back
+			// to classic blocking 2PC for this transaction — hold the
+			// locks, install nothing, and wait for the outcome.  Memory
+			// stays bounded at the cost of availability on exactly the
+			// items this transaction touches.
+			ctx.blocked = true
+			s.c.degradedTxns.Inc()
+			s.c.trace("%s DEGRADED to blocking on %s (budget exhausted, holding %d locks)",
+				s.id, tid, len(ctx.locked))
+			s.armOutcomeRetry(tid, ctx.coordinator)
+			return
+		}
 	}
 	if _, err := ctx.machine.Transition(protocol.EvTimeout); err != nil {
 		return
@@ -941,6 +1085,24 @@ func (s *Site) installPolyvalues(tid txn.ID, writes, previous map[string]polyval
 		}
 	}
 	s.reduceKnownDeps()
+	s.updateBudget()
+}
+
+// updateBudget re-evaluates the degradation mode against the live
+// polyvalue population and dependency-table size, tracing transitions.
+// Cheap (two counters and a comparison), so it runs after every install
+// and reduction sweep.
+func (s *Site) updateBudget() {
+	if !s.budget.Enabled() {
+		return
+	}
+	poly, deps := s.store.PolyCount(), s.store.DepCount()
+	switch s.budget.Update(poly, deps) {
+	case 1:
+		s.c.trace("%s budget exhausted (poly=%d deps=%d): degrading to blocking 2PC", s.id, poly, deps)
+	case -1:
+		s.c.trace("%s budget freed (poly=%d deps=%d): restoring polyvalue mode", s.id, poly, deps)
+	}
 }
 
 // reduceKnownDeps reduces any dependency whose outcome this site already
@@ -1315,6 +1477,9 @@ func (s *Site) reduceDependents(tid txn.ID, committed bool) {
 			})
 		}
 	}
+	// Reductions free budget: a degraded site returns to polyvalue mode
+	// here once the population and dependency table shrink below cap.
+	s.updateBudget()
 }
 
 // ---------------------------------------------------------------------
@@ -1332,8 +1497,15 @@ func (s *Site) crash() {
 	for _, ctx := range s.coords {
 		s.c.clk.Cancel(ctx.readTimer)
 		s.c.clk.Cancel(ctx.readyTimer)
+		s.c.clk.Cancel(ctx.deadlineTimer)
 		if ctx.isQuery {
 			ctx.qh.complete(polyvalue.Poly{}, errSiteDown)
+		} else {
+			// The handle stays pending forever (the client's view of a
+			// crashed coordinator), but its admission credit must not: a
+			// site that kept crashing would otherwise leak its way to a
+			// permanently closed gate.
+			ctx.handle.releaseAdmission()
 		}
 	}
 	for _, rs := range s.retry {
@@ -1397,21 +1569,21 @@ func (s *Site) recoverDurableState() {
 			continue
 		}
 		if s.c.cfg.Policy == PolicyBlocking {
-			ctx := s.part(prep.TID, coord)
-			// Walk the machine into the wait state it died in.
-			_, _ = ctx.machine.Transition(protocol.EvPrepare)
-			_, _ = ctx.machine.Transition(protocol.EvComputed)
-			ctx.blocked = true
-			ctx.writes = prep.Writes
-			ctx.previous = prep.Previous
-			for item := range prep.Writes {
-				s.locks[item] = prep.TID
-				s.lockedBy[prep.TID] = append(s.lockedBy[prep.TID], item)
-				ctx.locked = append(ctx.locked, item)
-			}
-			s.c.inDoubt.Inc()
-			s.armOutcomeRetry(prep.TID, coord)
+			s.recoverBlocking(prep, coord)
 			continue
+		}
+		if s.budget.Enabled() {
+			// The budget gate applies during recovery too: a site that
+			// degraded before the crash (or finds its recovered store at
+			// the cap) re-locks in-doubt work instead of installing more
+			// polyvalues.
+			s.updateBudget()
+			if s.budget.Degraded() || s.budget.OverPolyWith(s.store.PolyCount()+len(prep.Writes)) {
+				s.c.degradedTxns.Inc()
+				s.c.trace("%s DEGRADED recovery of %s: re-locking instead of installing", s.id, prep.TID)
+				s.recoverBlocking(prep, coord)
+				continue
+			}
 		}
 		s.c.inDoubt.Inc()
 		_ = s.store.SetAwait(prep.TID, prep.Coordinator)
@@ -1437,6 +1609,28 @@ func (s *Site) recoverDurableState() {
 		}
 		s.armOutcomeRetry(tid, protocol.SiteID(coord))
 	}
+	s.updateBudget()
+}
+
+// recoverBlocking settles one recovered in-doubt transaction the
+// blocking-2PC way: re-lock its write items and wait for the outcome.
+// Used by the blocking policy always, and by the polyvalue policy when
+// the budget is exhausted.
+func (s *Site) recoverBlocking(prep storage.Prepared, coord protocol.SiteID) {
+	ctx := s.part(prep.TID, coord)
+	// Walk the machine into the wait state it died in.
+	_, _ = ctx.machine.Transition(protocol.EvPrepare)
+	_, _ = ctx.machine.Transition(protocol.EvComputed)
+	ctx.blocked = true
+	ctx.writes = prep.Writes
+	ctx.previous = prep.Previous
+	for item := range prep.Writes {
+		s.locks[item] = prep.TID
+		s.lockedBy[prep.TID] = append(s.lockedBy[prep.TID], item)
+		ctx.locked = append(ctx.locked, item)
+	}
+	s.c.inDoubt.Inc()
+	s.armOutcomeRetry(prep.TID, coord)
 }
 
 // ---------------------------------------------------------------------

@@ -1,0 +1,293 @@
+package guard
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/protocol"
+	"repro/internal/transport"
+	"repro/internal/vclock"
+)
+
+// DetectorConfig parameterizes a peer failure detector.
+type DetectorConfig struct {
+	// Self is the site this process hosts (never probed or suspected).
+	Self protocol.SiteID
+	// Peers is the full cluster membership; Self is skipped.
+	Peers []protocol.SiteID
+	// Interval paces heartbeats (default 100ms).
+	Interval time.Duration
+	// SuspectAfter is how many silent intervals mark a peer suspected
+	// (default 3: a peer is suspect once nothing — heartbeat or protocol
+	// traffic — arrived for SuspectAfter·Interval).
+	SuspectAfter int
+	// Clock drives the heartbeat timer.  nil means a private wall clock
+	// (stopped on Close); the simulated runtime passes its scheduler so
+	// detector events interleave deterministically.
+	Clock vclock.Clock
+	// Metrics, when set, receives transport.peer.state{peer} (0 alive,
+	// 1 suspect), transport.peer.suspects / transport.peer.recoveries
+	// transition counters, transport.breaker.fastfail{peer}, and
+	// network.dropped{reason="suspect"}.
+	Metrics *metrics.Registry
+	// Logf, when set, receives suspect/alive transitions.
+	Logf func(format string, args ...any)
+}
+
+func (c *DetectorConfig) fillDefaults() {
+	if c.Interval <= 0 {
+		c.Interval = 100 * time.Millisecond
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 3
+	}
+}
+
+// peerState is the detector's view of one peer.
+type peerState struct {
+	lastSeen vclock.Time
+	suspect  bool
+
+	state    *metrics.Gauge   // transport.peer.state{peer}
+	fastfail *metrics.Counter // transport.breaker.fastfail{peer}
+}
+
+// Detector wraps a Transport with transport-level failure detection: it
+// heartbeats every peer each Interval, treats any inbound traffic as
+// proof of life, and suspects a peer after SuspectAfter silent
+// intervals.  A circuit breaker fast-fails sends to suspected peers —
+// the message is dropped immediately (lost-datagram semantics the
+// protocol's retry machinery already absorbs) instead of growing a
+// send queue toward a dead site — and reopens the moment the peer is
+// heard from again.  Heartbeats always pass the breaker: they are the
+// probe that detects recovery.
+type Detector struct {
+	inner transport.Transport
+	cfg   DetectorConfig
+	clk   vclock.Clock
+	// ownWall is set when the detector created its own clock; Close
+	// stops it.
+	ownWall *vclock.Wall
+
+	mu     sync.Mutex
+	peers  map[protocol.SiteID]*peerState
+	timer  vclock.TimerID
+	closed bool
+
+	suspects   *metrics.Counter // transport.peer.suspects
+	recoveries *metrics.Counter // transport.peer.recoveries
+	heartbeats *metrics.Counter // transport.heartbeats.sent
+	dropped    *metrics.Counter // network.dropped{reason="suspect"}
+}
+
+// NewDetector wraps inner with a failure detector and starts the
+// heartbeat loop.  All peers start alive with a full grace period.
+func NewDetector(inner transport.Transport, cfg DetectorConfig) *Detector {
+	cfg.fillDefaults()
+	d := &Detector{inner: inner, cfg: cfg, clk: cfg.Clock, peers: map[protocol.SiteID]*peerState{}}
+	if d.clk == nil {
+		d.ownWall = vclock.NewWall()
+		d.clk = d.ownWall
+	}
+	if reg := cfg.Metrics; reg != nil {
+		d.suspects = reg.Counter("transport.peer.suspects")
+		d.recoveries = reg.Counter("transport.peer.recoveries")
+		d.heartbeats = reg.Counter("transport.heartbeats.sent")
+		d.dropped = reg.Counter("network.dropped", metrics.L("reason", "suspect"))
+	}
+	now := d.clk.Now()
+	for _, id := range cfg.Peers {
+		if id == cfg.Self {
+			continue
+		}
+		ps := &peerState{lastSeen: now}
+		if reg := cfg.Metrics; reg != nil {
+			l := metrics.L("peer", string(id))
+			ps.state = reg.Gauge("transport.peer.state", l)
+			ps.fastfail = reg.Counter("transport.breaker.fastfail", l)
+		}
+		d.peers[id] = ps
+	}
+	d.mu.Lock()
+	d.timer = d.clk.After(d.cfg.Interval, d.tick)
+	d.mu.Unlock()
+	return d
+}
+
+// tick runs once per interval: sweep for newly-silent peers, then
+// heartbeat everyone (suspected peers included — that probe is what
+// detects their recovery).
+func (d *Detector) tick() {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return
+	}
+	now := d.clk.Now()
+	deadline := vclock.Time(d.cfg.SuspectAfter) * d.cfg.Interval
+	var newlySuspect []protocol.SiteID
+	targets := make([]protocol.SiteID, 0, len(d.peers))
+	for id, ps := range d.peers {
+		targets = append(targets, id)
+		if !ps.suspect && now-ps.lastSeen >= deadline {
+			ps.suspect = true
+			if ps.state != nil {
+				ps.state.Set(1)
+			}
+			newlySuspect = append(newlySuspect, id)
+		}
+	}
+	d.timer = d.clk.After(d.cfg.Interval, d.tick)
+	d.mu.Unlock()
+	for _, id := range newlySuspect {
+		if d.suspects != nil {
+			d.suspects.Inc()
+		}
+		d.logf("suspect %s (silent %v)", id, deadline)
+	}
+	for _, id := range targets {
+		d.inner.Send(protocol.Message{Kind: protocol.MsgHeartbeat, From: d.cfg.Self, To: id})
+		if d.heartbeats != nil {
+			d.heartbeats.Inc()
+		}
+	}
+}
+
+// markAlive records proof of life from a peer, reopening the breaker if
+// it was suspected.
+func (d *Detector) markAlive(id protocol.SiteID) {
+	if id == d.cfg.Self || id == "" {
+		return
+	}
+	d.mu.Lock()
+	ps, ok := d.peers[id]
+	if !ok {
+		d.mu.Unlock()
+		return
+	}
+	ps.lastSeen = d.clk.Now()
+	recovered := ps.suspect
+	ps.suspect = false
+	if recovered && ps.state != nil {
+		ps.state.Set(0)
+	}
+	d.mu.Unlock()
+	if recovered {
+		if d.recoveries != nil {
+			d.recoveries.Inc()
+		}
+		d.logf("peer %s alive again", id)
+	}
+}
+
+// Suspected reports whether a peer is currently suspected.
+func (d *Detector) Suspected(id protocol.SiteID) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ps, ok := d.peers[id]
+	return ok && ps.suspect
+}
+
+// Suspects returns the currently-suspected peers.
+func (d *Detector) Suspects() []protocol.SiteID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	var out []protocol.SiteID
+	for id, ps := range d.peers {
+		if ps.suspect {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Send applies the circuit breaker: non-heartbeat traffic to a
+// suspected peer is dropped (and counted) without touching the inner
+// transport's queues.
+func (d *Detector) Send(msg protocol.Message) {
+	if msg.Kind != protocol.MsgHeartbeat && msg.To != d.cfg.Self {
+		d.mu.Lock()
+		ps, ok := d.peers[msg.To]
+		suspect := ok && ps.suspect
+		d.mu.Unlock()
+		if suspect {
+			if ps.fastfail != nil {
+				ps.fastfail.Inc()
+			}
+			if d.dropped != nil {
+				d.dropped.Inc()
+			}
+			return
+		}
+	}
+	d.inner.Send(msg)
+}
+
+// Register installs h behind the detector's inbound filter: every
+// delivered message is proof the sender lives, and heartbeats are
+// consumed here rather than reaching the site.
+func (d *Detector) Register(site protocol.SiteID, h transport.Handler) {
+	d.inner.Register(site, func(msg protocol.Message) {
+		d.markAlive(msg.From)
+		if msg.Kind == protocol.MsgHeartbeat {
+			return
+		}
+		h(msg)
+	})
+}
+
+// RegisterBatch forwards whole-frame delivery when the inner transport
+// supports it, filtering heartbeats out of the batch in place.  A no-op
+// otherwise (the plain Register path still delivers).
+func (d *Detector) RegisterBatch(site protocol.SiteID, h transport.BatchHandler) {
+	br, ok := d.inner.(transport.BatchReceiver)
+	if !ok {
+		return
+	}
+	br.RegisterBatch(site, func(msgs []protocol.Message) {
+		kept := msgs[:0]
+		for _, m := range msgs {
+			d.markAlive(m.From)
+			if m.Kind == protocol.MsgHeartbeat {
+				continue
+			}
+			kept = append(kept, m)
+		}
+		if len(kept) > 0 {
+			h(kept)
+		}
+	})
+}
+
+// SetDown passes through to the inner transport.
+func (d *Detector) SetDown(site protocol.SiteID, down bool) { d.inner.SetDown(site, down) }
+
+// IsDown passes through to the inner transport.
+func (d *Detector) IsDown(site protocol.SiteID) bool { return d.inner.IsDown(site) }
+
+// Close stops the heartbeat loop (and the private clock, when one was
+// created) and closes the inner transport.
+func (d *Detector) Close() error {
+	d.mu.Lock()
+	if d.closed {
+		d.mu.Unlock()
+		return nil
+	}
+	d.closed = true
+	d.clk.Cancel(d.timer)
+	d.mu.Unlock()
+	if d.ownWall != nil {
+		d.ownWall.Stop()
+	}
+	return d.inner.Close()
+}
+
+func (d *Detector) logf(format string, args ...any) {
+	if d.cfg.Logf != nil {
+		d.cfg.Logf(format, args...)
+	}
+}
+
+var _ transport.Transport = (*Detector)(nil)
+var _ transport.BatchReceiver = (*Detector)(nil)

@@ -1,0 +1,180 @@
+package guard
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/protocol"
+	"repro/internal/transport"
+	"repro/internal/vclock"
+)
+
+// fakeTransport records sends and lets tests inject inbound deliveries.
+type fakeTransport struct {
+	mu       sync.Mutex
+	sent     []protocol.Message
+	handlers map[protocol.SiteID]transport.Handler
+}
+
+func newFakeTransport() *fakeTransport {
+	return &fakeTransport{handlers: map[protocol.SiteID]transport.Handler{}}
+}
+
+func (f *fakeTransport) Send(msg protocol.Message) {
+	f.mu.Lock()
+	f.sent = append(f.sent, msg)
+	f.mu.Unlock()
+}
+
+func (f *fakeTransport) Register(site protocol.SiteID, h transport.Handler) {
+	f.mu.Lock()
+	f.handlers[site] = h
+	f.mu.Unlock()
+}
+
+func (f *fakeTransport) SetDown(protocol.SiteID, bool) {}
+func (f *fakeTransport) IsDown(protocol.SiteID) bool   { return false }
+func (f *fakeTransport) Close() error                  { return nil }
+
+func (f *fakeTransport) deliver(to protocol.SiteID, msg protocol.Message) {
+	f.mu.Lock()
+	h := f.handlers[to]
+	f.mu.Unlock()
+	if h != nil {
+		h(msg)
+	}
+}
+
+func (f *fakeTransport) sentTo(to protocol.SiteID, kind protocol.MsgKind) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	n := 0
+	for _, m := range f.sent {
+		if m.To == to && m.Kind == kind {
+			n++
+		}
+	}
+	return n
+}
+
+// newSimDetector builds a detector over a fake transport driven by a
+// deterministic discrete-event clock.
+func newSimDetector(t *testing.T, reg *metrics.Registry) (*Detector, *fakeTransport, *vclock.Scheduler) {
+	t.Helper()
+	ft := newFakeTransport()
+	clk := vclock.NewScheduler()
+	d := NewDetector(ft, DetectorConfig{
+		Self:         "A",
+		Peers:        []protocol.SiteID{"A", "B", "C"},
+		Interval:     100 * time.Millisecond,
+		SuspectAfter: 3,
+		Clock:        clk,
+		Metrics:      reg,
+	})
+	return d, ft, clk
+}
+
+func TestDetectorSuspectsSilentPeer(t *testing.T) {
+	reg := metrics.NewRegistry()
+	d, ft, clk := newSimDetector(t, reg)
+	received := 0
+	d.Register("A", func(protocol.Message) { received++ })
+
+	// B keeps talking, C stays silent.
+	heard := clk.After(50*time.Millisecond, func() {})
+	_ = heard
+	for i := 0; i < 5; i++ {
+		clk.RunUntil(vclock.Time(i+1) * 100 * time.Millisecond)
+		ft.deliver("A", protocol.Message{Kind: protocol.MsgReadReq, From: "B", To: "A"})
+	}
+	if d.Suspected("B") {
+		t.Fatal("talking peer must stay alive")
+	}
+	if !d.Suspected("C") {
+		t.Fatal("silent peer must be suspected after 3 intervals")
+	}
+	if reg.Gauge("transport.peer.state", metrics.L("peer", "C")).Value() != 1 {
+		t.Fatal("suspect gauge not raised for C")
+	}
+	if received == 0 {
+		t.Fatal("protocol traffic must reach the wrapped handler")
+	}
+
+	// The breaker fast-fails protocol traffic to C but lets heartbeats
+	// through.
+	before := ft.sentTo("C", protocol.MsgComplete)
+	d.Send(protocol.Message{Kind: protocol.MsgComplete, From: "A", To: "C"})
+	if ft.sentTo("C", protocol.MsgComplete) != before {
+		t.Fatal("send to suspected peer must fast-fail")
+	}
+	if reg.Counter("transport.breaker.fastfail", metrics.L("peer", "C")).Value() != 1 {
+		t.Fatal("fastfail not counted")
+	}
+	if ft.sentTo("C", protocol.MsgHeartbeat) == 0 {
+		t.Fatal("heartbeats must still flow to a suspected peer")
+	}
+
+	// C comes back: one inbound message reopens the breaker.
+	ft.deliver("A", protocol.Message{Kind: protocol.MsgHeartbeat, From: "C", To: "A"})
+	if d.Suspected("C") {
+		t.Fatal("inbound traffic must clear suspicion")
+	}
+	d.Send(protocol.Message{Kind: protocol.MsgComplete, From: "A", To: "C"})
+	if ft.sentTo("C", protocol.MsgComplete) != before+1 {
+		t.Fatal("send after recovery must pass")
+	}
+	if reg.Counter("transport.peer.recoveries").Value() != 1 {
+		t.Fatal("recovery not counted")
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+func TestDetectorConsumesHeartbeats(t *testing.T) {
+	d, ft, _ := newSimDetector(t, nil)
+	var got []protocol.Message
+	d.Register("A", func(m protocol.Message) { got = append(got, m) })
+	ft.deliver("A", protocol.Message{Kind: protocol.MsgHeartbeat, From: "B", To: "A"})
+	ft.deliver("A", protocol.Message{Kind: protocol.MsgReady, From: "B", To: "A"})
+	if len(got) != 1 || got[0].Kind != protocol.MsgReady {
+		t.Fatalf("handler saw %v, want only the ready", got)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+func TestDetectorWallClockLifecycle(t *testing.T) {
+	// Smoke the default (private wall clock) construction path: ticks
+	// fire on real time and Close tears everything down.
+	ft := newFakeTransport()
+	d := NewDetector(ft, DetectorConfig{
+		Self:         "A",
+		Peers:        []protocol.SiteID{"A", "B"},
+		Interval:     5 * time.Millisecond,
+		SuspectAfter: 2,
+	})
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if ft.sentTo("B", protocol.MsgHeartbeat) > 0 && d.Suspected("B") {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if ft.sentTo("B", protocol.MsgHeartbeat) == 0 {
+		t.Fatal("no heartbeats sent on the wall clock")
+	}
+	if !d.Suspected("B") {
+		t.Fatal("never-heard peer must become suspect on the wall clock")
+	}
+	if err := d.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	// Closing twice is fine.
+	if err := d.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}

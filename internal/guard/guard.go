@@ -1,0 +1,169 @@
+// Package guard is the overload-protection plane: the pieces that keep a
+// site's resource usage bounded when the paper's steady-state assumptions
+// (§4: failures are rare, partitions are short) stop holding.
+//
+//   - Admission is a per-site credit gate on in-flight coordinated
+//     transactions: over the cap, submissions are shed immediately
+//     instead of queueing without bound.
+//   - Budget caps the local polyvalue population and §3.3
+//     dependency-table size; at the cap, in-doubt participants degrade
+//     to classic blocking 2PC (hold locks, install nothing) — the paper
+//     presents polyvalues as an optional overlay on two-phase commit,
+//     which makes plain 2PC the principled fallback.  Reduction on
+//     repair frees budget and restores polyvalue mode.
+//   - Detector (detector.go) is a transport-level heartbeat failure
+//     detector with a circuit breaker that fast-fails sends to
+//     suspected peers, bounding retry queue growth toward dead sites.
+package guard
+
+import (
+	"sync"
+
+	"repro/internal/metrics"
+)
+
+// Admission is a credit gate on concurrently in-flight work.  Each
+// admitted unit holds one credit from acquire until release; at the
+// limit, TryAcquire fails (and counts the shed) instead of blocking.
+// Safe for concurrent use.
+type Admission struct {
+	mu       sync.Mutex
+	limit    int
+	inflight int
+
+	shed     *metrics.Counter // site.admission.shed{site}
+	inflGage *metrics.Gauge   // site.admission.inflight{site}
+}
+
+// NewAdmission builds a gate admitting at most limit units (limit <= 0
+// means unlimited — TryAcquire always succeeds and nothing is counted).
+// reg may be nil.
+func NewAdmission(limit int, reg *metrics.Registry, site string) *Admission {
+	a := &Admission{limit: limit}
+	if reg != nil {
+		l := metrics.L("site", site)
+		a.shed = reg.Counter("site.admission.shed", l)
+		a.inflGage = reg.Gauge("site.admission.inflight", l)
+	}
+	return a
+}
+
+// Limit returns the configured cap (<= 0 when unlimited).
+func (a *Admission) Limit() int { return a.limit }
+
+// TryAcquire takes one credit, or reports (and counts) a shed when none
+// remain.
+func (a *Admission) TryAcquire() bool {
+	if a.limit <= 0 {
+		return true
+	}
+	a.mu.Lock()
+	if a.inflight >= a.limit {
+		a.mu.Unlock()
+		if a.shed != nil {
+			a.shed.Inc()
+		}
+		return false
+	}
+	a.inflight++
+	n := a.inflight
+	a.mu.Unlock()
+	if a.inflGage != nil {
+		a.inflGage.Set(int64(n))
+	}
+	return true
+}
+
+// Release returns one credit.  Calling without a matching acquire is a
+// programming error; the gate clamps at zero rather than going negative.
+func (a *Admission) Release() {
+	if a.limit <= 0 {
+		return
+	}
+	a.mu.Lock()
+	if a.inflight > 0 {
+		a.inflight--
+	}
+	n := a.inflight
+	a.mu.Unlock()
+	if a.inflGage != nil {
+		a.inflGage.Set(int64(n))
+	}
+}
+
+// Inflight returns the credits currently held.
+func (a *Admission) Inflight() int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.inflight
+}
+
+// Budget tracks one site's polyvalue/dependency caps and the degraded
+// (blocking-2PC) mode they gate.  Not safe for concurrent use: the
+// owning site goroutine is the only mutator, as with the rest of a
+// site's protocol state.  The mode gauge gives observers a race-free
+// view.
+type Budget struct {
+	maxPoly, maxDeps int
+	degraded         bool
+
+	mode         *metrics.Gauge   // site.budget.mode{site}: 0 poly, 1 blocking
+	degradations *metrics.Counter // site.budget.degradations{site}
+	restores     *metrics.Counter // site.budget.restores{site}
+}
+
+// NewBudget builds a budget with the given caps; a cap <= 0 is
+// unlimited.  When both are unlimited the budget is inert (Enabled
+// false, never degrades).  reg may be nil.
+func NewBudget(maxPoly, maxDeps int, reg *metrics.Registry, site string) *Budget {
+	b := &Budget{maxPoly: maxPoly, maxDeps: maxDeps}
+	if reg != nil {
+		l := metrics.L("site", site)
+		b.mode = reg.Gauge("site.budget.mode", l)
+		b.degradations = reg.Counter("site.budget.degradations", l)
+		b.restores = reg.Counter("site.budget.restores", l)
+	}
+	return b
+}
+
+// Enabled reports whether any cap is configured.
+func (b *Budget) Enabled() bool { return b.maxPoly > 0 || b.maxDeps > 0 }
+
+// Degraded reports whether the site is currently in blocking-2PC mode.
+func (b *Budget) Degraded() bool { return b.degraded }
+
+// OverPolyWith reports whether a polyvalue population of n would exceed
+// the cap — the headroom check for multi-item installs, which keeps the
+// population at or below the cap even when one transaction installs
+// several polyvalues at once.
+func (b *Budget) OverPolyWith(n int) bool { return b.maxPoly > 0 && n > b.maxPoly }
+
+// Update re-evaluates the mode against current resource counts and
+// returns the transition: +1 entered degraded mode, -1 restored
+// polyvalue mode, 0 no change.  The site enters degraded mode when
+// either count reaches its cap and leaves it only when both drop back
+// below — at the cap the next in-doubt transaction would exceed it.
+func (b *Budget) Update(polyCount, depCount int) int {
+	if !b.Enabled() {
+		return 0
+	}
+	over := (b.maxPoly > 0 && polyCount >= b.maxPoly) ||
+		(b.maxDeps > 0 && depCount >= b.maxDeps)
+	switch {
+	case over && !b.degraded:
+		b.degraded = true
+		if b.mode != nil {
+			b.mode.Set(1)
+			b.degradations.Inc()
+		}
+		return 1
+	case !over && b.degraded:
+		b.degraded = false
+		if b.mode != nil {
+			b.mode.Set(0)
+			b.restores.Inc()
+		}
+		return -1
+	}
+	return 0
+}

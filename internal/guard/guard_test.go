@@ -1,0 +1,95 @@
+package guard
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+func TestAdmissionCreditGate(t *testing.T) {
+	reg := metrics.NewRegistry()
+	a := NewAdmission(2, reg, "A")
+	if !a.TryAcquire() || !a.TryAcquire() {
+		t.Fatal("under-limit acquires must succeed")
+	}
+	if a.TryAcquire() {
+		t.Fatal("acquire over the limit must shed")
+	}
+	if got := reg.Counter("site.admission.shed", metrics.L("site", "A")).Value(); got != 1 {
+		t.Fatalf("shed counter = %d, want 1", got)
+	}
+	a.Release()
+	if !a.TryAcquire() {
+		t.Fatal("released credit must be reusable")
+	}
+	if n := a.Inflight(); n != 2 {
+		t.Fatalf("inflight = %d, want 2", n)
+	}
+}
+
+func TestAdmissionUnlimited(t *testing.T) {
+	a := NewAdmission(0, nil, "A")
+	for i := 0; i < 1000; i++ {
+		if !a.TryAcquire() {
+			t.Fatal("unlimited gate must never shed")
+		}
+	}
+	if a.Inflight() != 0 {
+		t.Fatal("unlimited gate must not track inflight")
+	}
+}
+
+func TestAdmissionReleaseClampsAtZero(t *testing.T) {
+	a := NewAdmission(1, nil, "A")
+	a.Release() // unmatched
+	if a.Inflight() != 0 {
+		t.Fatal("inflight went negative")
+	}
+	if !a.TryAcquire() {
+		t.Fatal("gate wedged by unmatched release")
+	}
+}
+
+func TestBudgetDegradeAndRestore(t *testing.T) {
+	reg := metrics.NewRegistry()
+	b := NewBudget(4, 8, reg, "A")
+	if !b.Enabled() || b.Degraded() {
+		t.Fatal("fresh budget must be enabled and in poly mode")
+	}
+	if d := b.Update(3, 0); d != 0 || b.Degraded() {
+		t.Fatal("under-cap update must not degrade")
+	}
+	if d := b.Update(4, 0); d != 1 || !b.Degraded() {
+		t.Fatal("reaching the poly cap must degrade")
+	}
+	if d := b.Update(4, 0); d != 0 {
+		t.Fatal("repeated over-cap update must not re-transition")
+	}
+	if d := b.Update(3, 0); d != -1 || b.Degraded() {
+		t.Fatal("dropping below the cap must restore poly mode")
+	}
+	// Dependency cap degrades independently.
+	if d := b.Update(0, 8); d != 1 || !b.Degraded() {
+		t.Fatal("reaching the dep cap must degrade")
+	}
+	mode := reg.Gauge("site.budget.mode", metrics.L("site", "A"))
+	if mode.Value() != 1 {
+		t.Fatalf("mode gauge = %v, want 1", mode.Value())
+	}
+	if got := reg.Counter("site.budget.degradations", metrics.L("site", "A")).Value(); got != 2 {
+		t.Fatalf("degradations = %d, want 2", got)
+	}
+	if got := reg.Counter("site.budget.restores", metrics.L("site", "A")).Value(); got != 1 {
+		t.Fatalf("restores = %d, want 1", got)
+	}
+}
+
+func TestBudgetDisabled(t *testing.T) {
+	b := NewBudget(0, 0, nil, "A")
+	if b.Enabled() {
+		t.Fatal("capless budget must be disabled")
+	}
+	if d := b.Update(1<<20, 1<<20); d != 0 || b.Degraded() {
+		t.Fatal("disabled budget must never degrade")
+	}
+}

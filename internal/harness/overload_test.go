@@ -1,0 +1,43 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+// TestOverloadTortureSeeded drives offered load above the admission cap
+// through a sustained A—B partition with tight polyvalue budgets and
+// end-to-end deadlines, over real TCP sockets and WAL files.  It is the
+// acceptance run for the overload-protection plane: the polyvalue
+// population must stay at or below budget on every sample, money must be
+// conserved, and every site must return to polyvalue mode after the
+// heal.  Short mode (CI smoke) shrinks the partition; the full run keeps
+// it over a minute (`make overload`).
+func TestOverloadTortureSeeded(t *testing.T) {
+	cfg := OverloadConfig{
+		Seed:      20260806,
+		Partition: 61 * time.Second,
+		Settle:    45 * time.Second,
+		Logf:      t.Logf,
+	}
+	if testing.Short() {
+		cfg.Partition = 3 * time.Second
+		cfg.Settle = 30 * time.Second
+	}
+	report, err := RunOverload(cfg)
+	if err != nil {
+		t.Fatalf("overload run failed to execute: %v", err)
+	}
+	t.Logf("%s", report)
+	t.Logf("  degradations=%d restores=%d recoveries=%d settle=%s",
+		report.Degradations, report.Restores, report.Recoveries, report.SettleTime)
+	for _, v := range report.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if report.Committed == 0 {
+		t.Error("no transaction committed — the schedule exercised nothing")
+	}
+	if report.Shed == 0 {
+		t.Error("no submission shed — offered load never hit the admission cap")
+	}
+}

@@ -10,6 +10,7 @@ package protocol
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/polyvalue"
 	"repro/internal/txn"
@@ -53,6 +54,11 @@ const (
 	// the transaction outcome should be quickly deleted when no longer
 	// needed").
 	MsgOutcomeAck
+	// MsgHeartbeat is a transport-level liveness probe: the failure
+	// detector sends one per interval to every peer and treats any
+	// inbound traffic as proof of life.  Carries no transaction state;
+	// sites ignore it (the detector consumes it below the cluster).
+	MsgHeartbeat
 )
 
 // String names the message kind.
@@ -78,6 +84,8 @@ func (k MsgKind) String() string {
 		return "outcome-info"
 	case MsgOutcomeAck:
 		return "outcome-ack"
+	case MsgHeartbeat:
+		return "heartbeat"
 	default:
 		return fmt.Sprintf("msg(%d)", uint8(k))
 	}
@@ -113,6 +121,13 @@ type Message struct {
 	ReadOnly bool
 	// MsgOutcomeInfo: the outcome.
 	Committed bool
+	// MsgReadReq and MsgPrepare: the transaction's remaining time budget
+	// as of the send, zero when no deadline is set.  Remaining time
+	// rather than an absolute instant, because wall clocks of separate
+	// processes share no epoch; the receiver re-anchors it against its
+	// own clock.  Expired work is aborted (coordinator) or resolved per
+	// policy (participant) instead of camping on locks.
+	Deadline time.Duration
 }
 
 // String renders a compact trace line for the message.

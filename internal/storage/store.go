@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/metrics"
 	"repro/internal/polyvalue"
@@ -64,6 +65,10 @@ type Store struct {
 	checkpoints *metrics.Counter
 	// volatile suppresses WAL logging entirely (see SetVolatile).
 	volatile bool
+	// polyCount tracks the number of items currently holding uncertain
+	// values, maintained on every Put so budget checks need no item
+	// sweep.  Atomic: readers (PolyCount) don't take any store lock.
+	polyCount atomic.Int64
 }
 
 // shard picks the lock stripe for an item (FNV-1a).
@@ -149,8 +154,22 @@ func (s *Store) apply(r Record, replaying bool) error {
 	case RecPut:
 		sh := s.shard(r.Item)
 		sh.mu.Lock()
+		prev, had := sh.m[r.Item]
 		sh.m[r.Item] = r.Poly
 		sh.mu.Unlock()
+		wasPoly := false
+		if had {
+			_, certain := prev.IsCertain()
+			wasPoly = !certain
+		}
+		_, certain := r.Poly.IsCertain()
+		if isPoly := !certain; isPoly != wasPoly {
+			if isPoly {
+				s.polyCount.Add(1)
+			} else {
+				s.polyCount.Add(-1)
+			}
+		}
 	case RecPrepared:
 		s.prepared[r.TID] = Prepared{
 			TID: r.TID, Coordinator: r.Coordinator,
@@ -267,6 +286,18 @@ func (s *Store) PolyItems() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// PolyCount returns the number of items currently holding uncertain
+// values — PolyItems' length without the O(items) sweep, for budget
+// checks on the protocol hot path.
+func (s *Store) PolyCount() int { return int(s.polyCount.Load()) }
+
+// DepCount returns the number of live §3.3 dependency-table entries.
+func (s *Store) DepCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.deps)
 }
 
 // MarkPrepared records an in-doubt transaction's computed and previous

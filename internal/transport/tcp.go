@@ -114,11 +114,13 @@ type TCPStats struct {
 	Sent, Delivered, Dropped int64
 	Reconnects, ConnErrors   int64
 	// QueueDropped counts frames evicted from a full per-peer queue
-	// (oldest-first); DecodeErrors counts inbound frames rejected by
-	// the wire codec (CRC mismatch, bad version, malformed payload)
-	// without killing the connection.
-	QueueDropped, DecodeErrors int64
-	ByPeer                     map[protocol.SiteID]PeerStats
+	// (oldest-first, within the frame's own priority class);
+	// CritDropped is the subset evicted from the critical
+	// (decision/outcome) queue.  DecodeErrors counts inbound frames
+	// rejected by the wire codec (CRC mismatch, bad version, malformed
+	// payload) without killing the connection.
+	QueueDropped, CritDropped, DecodeErrors int64
+	ByPeer                                  map[protocol.SiteID]PeerStats
 }
 
 // Format renders the counters as stable text, iterating the per-peer
@@ -147,6 +149,12 @@ type peer struct {
 	id   protocol.SiteID
 	addr string
 	out  chan protocol.Message
+	// crit is the priority queue for decision and outcome-propagation
+	// traffic (complete/abort/outcome-req/info/ack).  Those messages end
+	// uncertainty windows, so bulk traffic must never evict them; each
+	// class evicts only its own oldest when full, and the writer drains
+	// crit first.
+	crit chan protocol.Message
 
 	conn     net.Conn
 	buf      []byte
@@ -280,6 +288,7 @@ func newTCPWithListener(cfg TCPConfig, ln net.Listener) *TCP {
 		p := &peer{
 			id: id, addr: addr,
 			out:     make(chan protocol.Message, cfg.QueueDepth),
+			crit:    make(chan protocol.Message, cfg.QueueDepth),
 			rng:     rand.New(rand.NewSource(cfg.Seed ^ int64(h.Sum64()))),
 			backoff: cfg.BackoffMin,
 		}
@@ -399,24 +408,41 @@ func (t *TCP) Send(msg protocol.Message) {
 		t.drop(msg.To, "unknown")
 		return
 	}
+	q := p.out
+	if critical(msg.Kind) {
+		q = p.crit
+	}
 	select {
-	case p.out <- msg:
+	case q <- msg:
 	default:
-		// Full queue: evict the OLDEST frame to make room.  While a
-		// peer is partitioned the queue holds the most recent window
-		// of traffic instead of a stale prefix, and the retry-driven
-		// protocol recovers newest-first.
+		// Full queue: evict the OLDEST frame of the SAME class to make
+		// room.  While a peer is partitioned each queue holds the most
+		// recent window of its own traffic instead of a stale prefix
+		// (the retry-driven protocol recovers newest-first), and bulk
+		// floods can never push out a decision or outcome message.
 		select {
-		case <-p.out:
-			t.queueDrop(p)
+		case <-q:
+			t.queueDrop(p, q == p.crit)
 		default:
 		}
 		select {
-		case p.out <- msg:
+		case q <- msg:
 		default:
 			t.drop(msg.To, "backpressure")
 		}
 	}
+}
+
+// critical classifies the messages that end uncertainty windows —
+// coordinator decisions and §3.3 outcome propagation.  They ride the
+// peer's priority queue: sent first, never evicted by bulk traffic.
+func critical(k protocol.MsgKind) bool {
+	switch k {
+	case protocol.MsgComplete, protocol.MsgAbort,
+		protocol.MsgOutcomeReq, protocol.MsgOutcomeInfo, protocol.MsgOutcomeAck:
+		return true
+	}
+	return false
 }
 
 // Close shuts down: the listener stops, writers drain out, connections
@@ -465,9 +491,20 @@ func (t *TCP) writer(p *peer) {
 		}
 	}()
 	for {
+		// Strict priority: drain crit before even looking at bulk.
 		select {
 		case <-t.quit:
 			return
+		case msg := <-p.crit:
+			t.writeBatch(p, msg)
+			continue
+		default:
+		}
+		select {
+		case <-t.quit:
+			return
+		case msg := <-p.crit:
+			t.writeBatch(p, msg)
 		case msg := <-p.out:
 			t.writeBatch(p, msg)
 		}
@@ -540,6 +577,12 @@ func (t *TCP) fillBatch(p *peer) string {
 			return "size"
 		}
 		select {
+		case m := <-p.crit:
+			p.batch.Add(m)
+			continue
+		default:
+		}
+		select {
 		case m := <-p.out:
 			p.batch.Add(m)
 			continue
@@ -555,6 +598,8 @@ func (t *TCP) fillBatch(p *peer) string {
 		select {
 		case <-t.quit:
 			return "drain"
+		case m := <-p.crit:
+			p.batch.Add(m)
 		case m := <-p.out:
 			p.batch.Add(m)
 		case <-expired:
@@ -797,10 +842,13 @@ func (t *TCP) drop(to protocol.SiteID, reason string) {
 func (t *TCP) dropPeer(p *peer, reason string) { t.drop(p.id, reason) }
 
 // queueDrop accounts one frame evicted from a full per-peer queue.
-func (t *TCP) queueDrop(p *peer) {
+func (t *TCP) queueDrop(p *peer, crit bool) {
 	t.mu.Lock()
 	t.stats.Dropped++
 	t.stats.QueueDropped++
+	if crit {
+		t.stats.CritDropped++
+	}
 	ps := t.stats.ByPeer[p.id]
 	ps.Dropped++
 	t.stats.ByPeer[p.id] = ps

@@ -24,6 +24,15 @@
 //	           str   item
 //	           poly  polyvalue.AppendBinary encoding
 //
+// Version 3 (version 2 names batch frames; see batch.go) appends one
+// field after Reason:
+//
+//	uvarint  deadline (remaining transaction time budget, nanoseconds)
+//
+// A message with no deadline encodes as version 1, so deadline-free
+// traffic is byte-identical to what older peers emit and accept; the
+// decoder accepts both versions.
+//
 // Values entries are written in sorted item order, so encoding is
 // canonical: equal messages produce identical bytes, and re-encoding a
 // decoded message reproduces the source frame exactly.
@@ -42,14 +51,20 @@ import (
 	"hash/crc32"
 	"io"
 	"sort"
+	"time"
 
 	"repro/internal/polyvalue"
 	"repro/internal/protocol"
 	"repro/internal/txn"
 )
 
-// Version is the current payload format version.
+// Version is the baseline single-message payload version.
 const Version = 1
+
+// DeadlineVersion is the single-message payload version carrying a
+// transaction deadline.  (2 is BatchVersion — the dispatch byte is
+// shared across all payload kinds.)
+const DeadlineVersion = 3
 
 // MaxFrame is the default cap on payload size, applied by ReadMessage
 // and DecodeFrame.  A peer announcing a larger frame is faulty or
@@ -83,9 +98,14 @@ const (
 	flagCommitted = 1 << 2
 )
 
-// AppendMessage appends m's version-1 payload encoding to dst.
+// AppendMessage appends m's payload encoding to dst: version 1, or
+// version 3 when the message carries a deadline.
 func AppendMessage(dst []byte, m protocol.Message) []byte {
-	dst = append(dst, Version, byte(m.Kind))
+	ver := byte(Version)
+	if m.Deadline > 0 {
+		ver = DeadlineVersion
+	}
+	dst = append(dst, ver, byte(m.Kind))
 	dst = appendString(dst, string(m.TID))
 	dst = appendString(dst, string(m.From))
 	dst = appendString(dst, string(m.To))
@@ -107,6 +127,9 @@ func AppendMessage(dst []byte, m protocol.Message) []byte {
 	dst = appendString(dst, m.Program)
 	dst = appendString(dst, string(m.Coordinator))
 	dst = appendString(dst, m.Reason)
+	if ver == DeadlineVersion {
+		dst = binary.AppendUvarint(dst, uint64(m.Deadline))
+	}
 	dst = binary.AppendUvarint(dst, uint64(len(m.Values)))
 	for _, item := range sortedKeys(m.Values) {
 		dst = appendString(dst, item)
@@ -138,7 +161,7 @@ func DecodeMessage(buf []byte) (protocol.Message, error) {
 func decodeMessage(buf []byte) (protocol.Message, int, error) {
 	d := decoder{buf: buf}
 	ver := d.byte("version")
-	if d.err == nil && ver != Version {
+	if d.err == nil && ver != Version && ver != DeadlineVersion {
 		return protocol.Message{}, 0, fmt.Errorf("%w: %d", ErrVersion, ver)
 	}
 	var m protocol.Message
@@ -159,6 +182,14 @@ func decodeMessage(buf []byte) (protocol.Message, int, error) {
 	m.Program = d.str("program")
 	m.Coordinator = protocol.SiteID(d.str("coordinator"))
 	m.Reason = d.str("reason")
+	if ver == DeadlineVersion {
+		m.Deadline = time.Duration(d.uvarint("deadline"))
+		if d.err == nil && m.Deadline <= 0 {
+			// Canonical: a zero (or overflowed-negative) deadline must
+			// use the version-1 form, so re-encoding reproduces frames.
+			return protocol.Message{}, 0, fmt.Errorf("%w: non-positive deadline", ErrMalformed)
+		}
+	}
 	if n := d.count("value count"); n > 0 {
 		m.Values = make(map[string]polyvalue.Poly, n)
 		for i := 0; i < n && d.err == nil; i++ {
@@ -311,6 +342,20 @@ func (d *decoder) count(what string) int {
 		return 0
 	}
 	return int(n)
+}
+
+// uvarint reads a bare uvarint field (no trailing data implied).
+func (d *decoder) uvarint(what string) uint64 {
+	if d.err != nil {
+		return 0
+	}
+	n, w := binary.Uvarint(d.buf[d.off:])
+	if w <= 0 {
+		d.fail(what, ErrTruncated)
+		return 0
+	}
+	d.off += w
+	return n
 }
 
 func (d *decoder) str(what string) string {
