@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-smoke tables fuzz-smoke cluster-demo chaos chaos-smoke chaos-demo overload overload-smoke
+.PHONY: check vet build test race bench bench-smoke tables fuzz-smoke cluster-demo chaos chaos-smoke chaos-demo overload overload-smoke telemetry-smoke
 
 check: vet build race ## everything CI runs
 
@@ -56,6 +56,13 @@ overload:
 # Short overload torture for CI: same assertions, ~3s partition.
 overload-smoke:
 	$(GO) test -race -count=1 -short -v -run TestOverloadTortureSeeded ./internal/harness
+
+# Boot a 3-process cluster with -spans and -telemetry, commit a
+# transfer, and check /metrics, /healthz, /trace and the control-port
+# SPANS dump agree — ending with polytrace reconstructing a complete
+# causal timeline for the committed transaction.
+telemetry-smoke:
+	scripts/telemetry_smoke.sh
 
 # Boot a real 3-process cluster on loopback TCP, transfer between
 # accounts, kill the coordinator mid-commit, watch polyvalues install,

@@ -52,6 +52,8 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/polyvalue"
 	"repro/internal/protocol"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/value"
 	"repro/internal/workload"
@@ -83,6 +85,8 @@ type options struct {
 	verbose  bool
 	profile  string
 	gogc     int
+	telAddr  string
+	spansN   int
 }
 
 func main() {
@@ -109,6 +113,8 @@ func main() {
 	flag.StringVar(&opt.siteArg, "site", "", "internal: site ID for -child")
 	flag.BoolVar(&opt.verbose, "v", false, "log progress to stderr")
 	flag.StringVar(&opt.profile, "cpuprofile", "", "write a CPU profile of the load phase (inproc mode)")
+	flag.StringVar(&opt.telAddr, "telemetry", "", "serve /metrics, /healthz, /trace and pprof on this address during the run (inproc mode)")
+	flag.IntVar(&opt.spansN, "spans", 0, "per-run structured span retention; enables span tracing on every site so the overhead shows up in the numbers (0: disabled)")
 	flag.IntVar(&opt.gogc, "gogc", 400, "GC target percentage for every process (0: leave the runtime default); throughput runs are allocation-heavy and the default 100 spends a fifth of CPU in mark assists")
 	flag.Parse()
 	if opt.gogc > 0 {
@@ -147,6 +153,11 @@ func run(opt options) error {
 			b = "unbatched"
 		}
 		opt.label = fmt.Sprintf("%s-%s-%dsite-%s", opt.kind, opt.mode, opt.sites, b)
+		if opt.spansN > 0 {
+			// Traced runs get their own setting so the tracing-off
+			// baseline is never compared against tracing-on numbers.
+			opt.label += "-traced"
+		}
 	}
 
 	var (
@@ -371,11 +382,18 @@ func runInproc(opt options) (*runResult, error) {
 		peers[id] = ln.Addr().String()
 	}
 	reg := metrics.NewRegistry()
+	// One shared span log across all inproc sites: the cluster stamps
+	// each span with its site, and the shared ID counter keeps span IDs
+	// unique, so /trace sees whole-transaction timelines directly.
+	var spans *trace.SpanLog
+	if opt.spansN > 0 {
+		spans = trace.NewSpanLogFor("inproc", opt.spansN)
+	}
 	nodes := make([]*cluster.Cluster, opt.sites)
 	for i, id := range names {
 		fab := transport.NewTCPWithListener(tcpConfig(id, peers, reg, opt), lns[i])
 		node, err := cluster.NewNode(cluster.Config{
-			Sites: names, Metrics: reg,
+			Sites: names, Metrics: reg, Spans: spans,
 			AdmissionLimit: opt.admit, TxnDeadline: opt.deadline,
 		}, id, fab)
 		if err != nil {
@@ -388,6 +406,14 @@ func runInproc(opt options) (*runResult, error) {
 			n.Close()
 		}
 	}()
+	if opt.telAddr != "" {
+		tel, err := telemetry.Serve(opt.telAddr, telemetry.Config{Registry: reg, Spans: spans})
+		if err != nil {
+			return nil, err
+		}
+		defer tel.Close()
+		fmt.Fprintf(os.Stderr, "polybench: telemetry at http://%s\n", tel.Addr)
+	}
 
 	progs, init, err := programs(opt)
 	if err != nil {
@@ -641,6 +667,7 @@ func runProcs(opt options) (*runResult, error) {
 			"-batch-delay", opt.batchLng.String(),
 			"-admission", strconv.Itoa(opt.admit),
 			"-txn-deadline", opt.deadline.String(),
+			"-spans", strconv.Itoa(opt.spansN),
 		)
 		stdin, err := cmd.StdinPipe()
 		if err != nil {
@@ -846,9 +873,13 @@ func runChild(opt options) error {
 	}
 	names := siteNames(opt.sites)
 	reg := metrics.NewRegistry()
+	var spans *trace.SpanLog
+	if opt.spansN > 0 {
+		spans = trace.NewSpanLogFor(string(self), opt.spansN)
+	}
 	fab := transport.NewTCPWithListener(tcpConfig(self, peers, reg, opt), ln)
 	node, err := cluster.NewNode(cluster.Config{
-		Sites: names, Metrics: reg,
+		Sites: names, Metrics: reg, Spans: spans,
 		AdmissionLimit: opt.admit, TxnDeadline: opt.deadline,
 	}, self, fab)
 	if err != nil {

@@ -23,6 +23,8 @@
 //	FAULT <cmd>          drive the fault-injection plane: drop/dup/delay/
 //	                     corrupt/reset rules, partitions, heal, seed,
 //	                     status, clear (see internal/fault plan grammar)
+//	SPANS                dump the structured span log as one JSON line
+//	                     (pipe site dumps into polytrace; needs -spans)
 //	STATS                cluster + transport counters
 //
 // Responses end with a line starting "OK" or "ERR"; intermediate lines
@@ -39,10 +41,16 @@
 // end, -poly-budget/-dep-budget cap polyvalue and dependency-table
 // growth (degrading to blocking 2PC at the cap), and -heartbeat starts
 // the peer failure detector with its circuit breaker.
+//
+// Observability is opt-in the same way: -telemetry serves /metrics
+// (OpenMetrics), /healthz, /trace and pprof over HTTP, -spans retains
+// structured per-transaction spans (queried via /trace or dumped with
+// SPANS for polytrace), and -trace-ring retains protocol trace lines.
 package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"hash/fnv"
@@ -61,6 +69,8 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/polyvalue"
 	"repro/internal/protocol"
+	"repro/internal/telemetry"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/value"
 )
@@ -83,6 +93,9 @@ func main() {
 		place    = flag.String("place", "", "comma-separated item=site placement pins (every process must pass the same value); unlisted items hash across sites")
 		faults   = flag.String("faults", "", "initial fault plan, ';'-separated injector commands (e.g. 'drop to=B p=0.1; delay p=0.2 min=5ms max=40ms')")
 		faultSd  = flag.Int64("fault-seed", 1, "PRNG seed for the fault injector (same seed, same fault decisions)")
+		telAddr  = flag.String("telemetry", "", "serve /metrics, /healthz, /trace and pprof on this address (e.g. :9090; empty: disabled)")
+		spansCap = flag.Int("spans", 0, "retain this many structured transaction spans (enables span tracing and the /trace endpoints; 0: disabled)")
+		ringCap  = flag.Int("trace-ring", 0, "retain this many protocol trace lines in memory (0: disabled)")
 		callAddr = flag.String("call", "", "client mode: send the remaining arguments as one command to this control address")
 	)
 	flag.Parse()
@@ -111,6 +124,18 @@ func main() {
 	sort.Slice(sites, func(i, j int) bool { return sites[i] < sites[j] })
 
 	reg := metrics.NewRegistry()
+	// Observability instruments are pay-for-use: a nil span log or ring
+	// keeps every tracing branch in the hot path disabled.
+	var spans *trace.SpanLog
+	if *spansCap > 0 {
+		spans = trace.NewSpanLogFor(*site, *spansCap)
+		spans.Instrument(reg)
+	}
+	var ring *trace.Ring
+	if *ringCap > 0 {
+		ring = trace.NewRing(*ringCap)
+		ring.Instrument(reg)
+	}
 	fab, err := transport.NewTCP(transport.TCPConfig{
 		Self:    self,
 		Peers:   peers,
@@ -157,7 +182,7 @@ func main() {
 			},
 		})
 	}
-	node, err := cluster.NewNode(cluster.Config{
+	cfg := cluster.Config{
 		Sites:          sites,
 		WaitTimeout:    *waitT,
 		RetryInterval:  *retryT,
@@ -168,7 +193,12 @@ func main() {
 		Metrics:        reg,
 		Placement:      placement,
 		DataDir:        *dataDir,
-	}, self, fabric)
+		Spans:          spans,
+	}
+	if ring != nil {
+		cfg.Tracer = ring
+	}
+	node, err := cluster.NewNode(cfg, self, fabric)
 	if err != nil {
 		fatal("%v", err)
 	}
@@ -177,11 +207,24 @@ func main() {
 	if err != nil {
 		fatal("control listen %s: %v", *control, err)
 	}
-	srv := &server{self: self, node: node, fab: fab, inj: inj}
+	srv := &server{self: self, node: node, fab: fab, inj: inj, spans: spans, ring: ring}
 	if det, ok := fabric.(*guard.Detector); ok {
 		srv.det = det
 	}
 	go srv.serve(ctl)
+	var tel *telemetry.Server
+	if *telAddr != "" {
+		tel, err = telemetry.Serve(*telAddr, telemetry.Config{
+			Registry: reg,
+			Spans:    spans,
+			Ring:     ring,
+			Health:   srv.health,
+		})
+		if err != nil {
+			fatal("%v", err)
+		}
+		fmt.Printf("polynode[%s] telemetry=http://%s\n", self, tel.Addr)
+	}
 	fmt.Printf("polynode[%s] transport=%s control=%s peers=%d\n",
 		self, fab.Addr(), ctl.Addr(), len(peers)-1)
 
@@ -189,6 +232,9 @@ func main() {
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	ctl.Close()
+	if tel != nil {
+		tel.Close()
+	}
 	node.Close() // closes fab and the WAL
 	if *stats {
 		st := node.Stats()
@@ -269,11 +315,48 @@ func parsePlacement(s string, peers map[protocol.SiteID]string) (func(string) pr
 // ---------------------------------------------------------------------
 
 type server struct {
-	self protocol.SiteID
-	node *cluster.Cluster
-	fab  *transport.TCP
-	inj  *fault.Injector
-	det  *guard.Detector // nil unless -heartbeat was given
+	self  protocol.SiteID
+	node  *cluster.Cluster
+	fab   *transport.TCP
+	inj   *fault.Injector
+	det   *guard.Detector // nil unless -heartbeat was given
+	spans *trace.SpanLog  // nil unless -spans was given
+	ring  *trace.Ring     // nil unless -trace-ring was given
+}
+
+// health feeds the /healthz app section; it also refreshes the trace
+// occupancy gauges so every scrape sees current levels.
+func (s *server) health() any {
+	s.refreshTraceGauges()
+	st := s.node.Stats()
+	doc := map[string]any{
+		"site":      string(s.self),
+		"committed": st.Committed,
+		"aborted":   st.Aborted,
+		"in_doubt":  st.InDoubt,
+	}
+	if s.det != nil {
+		suspects := s.det.Suspects()
+		sort.Slice(suspects, func(i, j int) bool { return suspects[i] < suspects[j] })
+		names := make([]string, len(suspects))
+		for i, id := range suspects {
+			names[i] = string(id)
+		}
+		doc["suspects"] = names
+	}
+	return doc
+}
+
+// refreshTraceGauges re-publishes the span-log and ring occupancy
+// gauges; both Instrument calls are idempotent level refreshes.
+func (s *server) refreshTraceGauges() {
+	reg := s.node.Metrics()
+	if s.spans != nil {
+		s.spans.Instrument(reg)
+	}
+	if s.ring != nil {
+		s.ring.Instrument(reg)
+	}
 }
 
 func (s *server) serve(ln net.Listener) {
@@ -422,11 +505,31 @@ func (s *server) execute(line string) []string {
 			out = append(out, "| "+l)
 		}
 		return append(out, "OK")
+	case "SPANS":
+		if s.spans == nil {
+			return []string{"ERR span tracing disabled (start with -spans N)"}
+		}
+		raw, err := json.Marshal(s.spans.Spans())
+		if err != nil {
+			return []string{"ERR " + err.Error()}
+		}
+		return []string{"| " + string(raw), "OK"}
 	case "STATS":
+		s.refreshTraceGauges()
 		st := s.node.Stats()
 		out := []string{
 			fmt.Sprintf("| committed=%d aborted=%d in_doubt=%d poly_installs=%d poly_reductions=%d refused=%d",
 				st.Committed, st.Aborted, st.InDoubt, st.PolyInstalls, st.PolyReductions, st.Refused),
+		}
+		if s.spans != nil || s.ring != nil {
+			line := "| trace:"
+			if s.spans != nil {
+				line += fmt.Sprintf(" spans=%d span_dropped=%d", s.spans.Len(), s.spans.Dropped())
+			}
+			if s.ring != nil {
+				line += fmt.Sprintf(" ring=%d ring_dropped=%d", len(s.ring.Entries()), s.ring.Dropped())
+			}
+			out = append(out, line)
 		}
 		if s.det != nil {
 			suspects := s.det.Suspects()
@@ -474,7 +577,8 @@ func runClient(addr, command string) int {
 	conn.SetDeadline(time.Now().Add(30 * time.Second))
 	fmt.Fprintln(conn, command)
 	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 0, 64<<10), 64<<10)
+	// Span dumps (SPANS) come back as one long JSON line; allow 8 MiB.
+	sc.Buffer(make([]byte, 0, 64<<10), 8<<20)
 	for sc.Scan() {
 		line := sc.Text()
 		fmt.Println(line)

@@ -1,0 +1,116 @@
+// Command polytrace merges per-site span dumps into causal
+// per-transaction timelines.  Each input file is a JSON array of spans
+// (the format internal/trace.SpanLog marshals to, dumped by the chaos/
+// overload harnesses and by polynode's STATS plumbing); polytrace
+// groups them by transaction, nests children under the coordinator's
+// root span, and flags every incomplete tree — a missing root, a
+// dangling parent, or a participant site that contributed no spans is
+// exactly the signature of a lost or unaccounted protocol step.
+//
+//	polytrace a.json b.json c.json            # all transactions, text
+//	polytrace -txn T3 site-*.json             # one transaction
+//	polytrace -json site-*.json > merged.json # machine-readable output
+//	polytrace -incomplete site-*.json         # only the broken trees
+//
+// Exit status: 0 when every printed timeline is complete, 1 on any
+// incomplete tree (or when -txn finds nothing), 2 on usage/read errors.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("polytrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		txn        = fs.String("txn", "", "only the timeline of this transaction ID")
+		asJSON     = fs.Bool("json", false, "emit merged timelines as JSON instead of text")
+		incomplete = fs.Bool("incomplete", false, "print only incomplete timelines")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: polytrace [flags] span-dump.json...\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() == 0 {
+		fs.Usage()
+		return 2
+	}
+
+	var logs [][]trace.Span
+	for _, path := range fs.Args() {
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(stderr, "polytrace: %v\n", err)
+			return 2
+		}
+		var spans []trace.Span
+		if err := json.Unmarshal(raw, &spans); err != nil {
+			fmt.Fprintf(stderr, "polytrace: %s: %v\n", path, err)
+			return 2
+		}
+		logs = append(logs, spans)
+	}
+
+	timelines := trace.BuildTimelines(trace.Merge(logs...))
+	if *txn != "" {
+		var match []trace.Timeline
+		for _, tl := range timelines {
+			if tl.TID == *txn {
+				match = append(match, tl)
+			}
+		}
+		if len(match) == 0 {
+			fmt.Fprintf(stderr, "polytrace: no spans for transaction %s\n", *txn)
+			return 1
+		}
+		timelines = match
+	}
+	if *incomplete {
+		var broken []trace.Timeline
+		for _, tl := range timelines {
+			if !tl.Complete {
+				broken = append(broken, tl)
+			}
+		}
+		timelines = broken
+	}
+
+	bad := 0
+	for _, tl := range timelines {
+		if !tl.Complete {
+			bad++
+		}
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(timelines); err != nil {
+			fmt.Fprintf(stderr, "polytrace: %v\n", err)
+			return 2
+		}
+	} else {
+		if len(timelines) > 0 {
+			fmt.Fprintln(stdout, trace.RenderTimelines(timelines))
+		}
+		fmt.Fprintf(stdout, "%d transactions, %d incomplete\n", len(timelines), bad)
+	}
+	if bad > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,124 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// writeDump writes one site's span dump file.
+func writeDump(t *testing.T, dir, name string, spans []trace.Span) string {
+	t.Helper()
+	raw, err := json.Marshal(spans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// threeSiteDumps builds per-site dumps for one complete committed
+// transaction (t1) and one incomplete one (t2, root missing).
+func threeSiteDumps(t *testing.T, dir string) []string {
+	t.Helper()
+	a := []trace.Span{
+		{ID: 1, Kind: trace.RootKind, TID: "t1", Site: "A", Start: 0, End: 100,
+			Attrs: map[string]string{"status": "committed", "participants": "A,B"}},
+		{ID: 2, Parent: 1, Kind: "phase.read", TID: "t1", Site: "A", Start: 0, End: 40},
+		{ID: 5, Parent: 1, Kind: "part.compute", TID: "t1", Site: "A", Start: 41, End: 50},
+	}
+	b := []trace.Span{
+		{ID: 3, Parent: 1, Kind: "part.compute", TID: "t1", Site: "B", Start: 45, End: 60},
+		{ID: 4, Parent: 99, Kind: "part.wait", TID: "t2", Site: "B", Start: 70, End: 90},
+	}
+	return []string{
+		writeDump(t, dir, "site-A.json", a),
+		writeDump(t, dir, "site-B.json", b),
+	}
+}
+
+func runCmd(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code := run(args, &out, &errb)
+	return code, out.String(), errb.String()
+}
+
+func TestMergeRendersTimelines(t *testing.T) {
+	files := threeSiteDumps(t, t.TempDir())
+	code, out, _ := runCmd(t, files...)
+	if code != 1 {
+		t.Errorf("exit = %d, want 1 (t2 is incomplete)", code)
+	}
+	for _, want := range []string{"txn t1 [committed]", "part.compute", "45ns → 60ns",
+		"txn t2", "INCOMPLETE", "2 transactions, 1 incomplete"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in output:\n%s", want, out)
+		}
+	}
+}
+
+func TestTxnFilter(t *testing.T) {
+	files := threeSiteDumps(t, t.TempDir())
+	code, out, _ := runCmd(t, append([]string{"-txn", "t1"}, files...)...)
+	if code != 0 {
+		t.Errorf("exit = %d, want 0 (t1 is complete)", code)
+	}
+	if strings.Contains(out, "t2") {
+		t.Errorf("filtered transaction leaked:\n%s", out)
+	}
+	code, _, errb := runCmd(t, append([]string{"-txn", "missing"}, files...)...)
+	if code != 1 || !strings.Contains(errb, "no spans") {
+		t.Errorf("missing txn: exit=%d stderr=%q", code, errb)
+	}
+}
+
+func TestJSONOutput(t *testing.T) {
+	files := threeSiteDumps(t, t.TempDir())
+	_, out, _ := runCmd(t, append([]string{"-json"}, files...)...)
+	var tls []trace.Timeline
+	if err := json.Unmarshal([]byte(out), &tls); err != nil {
+		t.Fatalf("output not JSON: %v\n%s", err, out)
+	}
+	if len(tls) != 2 || !tls[0].Complete || tls[1].Complete {
+		t.Errorf("timelines = %+v", tls)
+	}
+	if len(tls[1].MissingParents) != 1 || tls[1].MissingParents[0] != 99 {
+		t.Errorf("missing parents = %v", tls[1].MissingParents)
+	}
+}
+
+func TestIncompleteFilter(t *testing.T) {
+	files := threeSiteDumps(t, t.TempDir())
+	code, out, _ := runCmd(t, append([]string{"-incomplete"}, files...)...)
+	if code != 1 {
+		t.Errorf("exit = %d", code)
+	}
+	if strings.Contains(out, "txn t1") || !strings.Contains(out, "txn t2") {
+		t.Errorf("incomplete filter wrong:\n%s", out)
+	}
+}
+
+func TestUsageAndReadErrors(t *testing.T) {
+	if code, _, _ := runCmd(t); code != 2 {
+		t.Errorf("no args: exit = %d", code)
+	}
+	if code, _, errb := runCmd(t, "/nonexistent/dump.json"); code != 2 || errb == "" {
+		t.Errorf("missing file: exit = %d, stderr %q", code, errb)
+	}
+	bad := writeDump(t, t.TempDir(), "bad.json", nil)
+	if err := os.WriteFile(bad, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if code, _, _ := runCmd(t, bad); code != 2 {
+		t.Errorf("bad json: exit = %d", code)
+	}
+}

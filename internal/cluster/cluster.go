@@ -85,6 +85,10 @@ type Cluster struct {
 	// installAt timestamps live polyvalued items for the lifetime
 	// histogram; only touched from serialized site events.
 	installAt map[lifeKey]vclock.Time
+	// residency caches the per-site poly.residency.seconds histograms,
+	// filled lazily as sites reduce; only touched from serialized site
+	// events.
+	residency map[protocol.SiteID]*metrics.Histogram
 }
 
 // New builds a cluster; sites start up immediately.

@@ -120,6 +120,15 @@ type Config struct {
 	MaxDepBudget int
 	// Tracer receives protocol events; nil means no tracing.
 	Tracer trace.Tracer
+	// Spans, when set, receives structured per-transaction spans from
+	// every site of this cluster: coordinator phases, participant
+	// compute/wait/blocked intervals, polyvalue installs and reductions,
+	// lock hold windows, and budget transitions.  Nil (the default)
+	// disables span tracing entirely — no span is recorded and no trace
+	// context is stamped on the wire, so the canonical payload encoding
+	// is unchanged.  Harnesses keep the log outside the cluster so spans
+	// survive crash/restart cycles.
+	Spans *trace.SpanLog
 	// Metrics, when set, is the registry all cluster/network/protocol/
 	// storage series are registered against — share one registry across
 	// clusters to aggregate, or leave nil for a private registry

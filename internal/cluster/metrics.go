@@ -33,6 +33,17 @@ import (
 //	site.budget.mode{site}           — 0 polyvalue, 1 blocking (degraded)
 //	site.budget.degradations{site} / site.budget.restores{site}
 //	site.inbox.depth{site} / site.inbox.hwm{site} / site.inbox.shed{site}
+//	item.blocked.seconds{site,cause}  — the blocking accountant: how long
+//	                                   each locked item was unreadable and
+//	                                   why (lock | indoubt | degraded);
+//	                                   its _sum is the blocked-item-seconds
+//	                                   quantity the paper's availability
+//	                                   claim is about (see spans.go)
+//	poly.residency.seconds{site}     — per-site install→reduction interval
+//	                                   (the site-sliced poly.lifetime)
+//
+// When span tracing is enabled (Config.Spans), trace.spans.dropped and
+// trace.spans.retained describe the span log's occupancy.
 //
 // The network and storage layers add network.* and storage.wal.* series
 // to the same registry; the protocol state machines add protocol.* event
@@ -71,6 +82,7 @@ func (c *Cluster) initMetrics(reg *metrics.Registry) {
 	c.deadlinePart = reg.Counter("txn.deadline.exceeded", metrics.L("role", "participant"))
 	c.degradedTxns = reg.Counter("txn.degraded.blocking")
 	c.installAt = map[lifeKey]vclock.Time{}
+	c.residency = map[protocol.SiteID]*metrics.Histogram{}
 }
 
 // Metrics exposes the cluster's registry for snapshots, diffs and text
@@ -94,12 +106,25 @@ func (c *Cluster) trackPut(site protocol.SiteID, item string, before, after poly
 		c.population.Add(-1)
 		if t, ok := c.installAt[key]; ok {
 			c.lifetime.Observe((now - t).Seconds())
+			c.residencyHist(site).Observe((now - t).Seconds())
 			delete(c.installAt, key)
 		}
 		return
 	}
 	c.population.Add(1)
 	c.installAt[key] = now
+}
+
+// residencyHist returns (registering on first use) the per-site
+// polyvalue residency histogram: the same install→reduction interval as
+// poly.lifetime.seconds, broken out by the site holding the item.
+func (c *Cluster) residencyHist(site protocol.SiteID) *metrics.Histogram {
+	h, ok := c.residency[site]
+	if !ok {
+		h = c.reg.Histogram("poly.residency.seconds", metrics.L("site", string(site)))
+		c.residency[site] = h
+	}
+	return h
 }
 
 // seedLifecycle accounts for polyvalues already present in a recovered

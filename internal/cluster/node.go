@@ -3,6 +3,8 @@ package cluster
 import (
 	"fmt"
 	"path/filepath"
+	"strconv"
+	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/protocol"
@@ -23,8 +25,9 @@ import (
 //
 //   - time is real: WaitTimeout, RetryInterval etc. elapse on the wall,
 //     and Handle.Wait / QueryHandle.Wait replace RunUntil for clients;
-//   - transaction IDs are prefixed with the site name, keeping them
-//     unique across coordinating processes;
+//   - transaction IDs are prefixed with the site name (plus a boot
+//     epoch when a DataDir makes restarts possible), keeping them
+//     unique across coordinating processes and incarnations;
 //   - the cluster owns fab and the wall clock: Close shuts both down.
 //
 // RunUntil/RunFor/Step and Partition/Heal are simulation-only and panic
@@ -46,6 +49,17 @@ func NewNode(cfg Config, self protocol.SiteID, fab transport.Transport) (*Cluste
 		return nil, fmt.Errorf("cluster: self %q not in site list %v", self, cfg.Sites)
 	}
 	cfg.fillDefaults()
+	// Transaction IDs must never recur across incarnations of the same
+	// site: the WAL outlives the process, so a reborn in-memory counter
+	// would mint IDs that collide with an earlier life's durable outcome
+	// and dependency records — a participant inquiring about the new
+	// transaction could be answered with the old one's fate.  Durable
+	// nodes therefore salt the prefix with a boot epoch; volatile nodes
+	// lose every record with the process, so their plain prefix stands.
+	prefix := string(self) + ".t"
+	if cfg.DataDir != "" {
+		prefix += strconv.FormatInt(time.Now().UnixNano(), 36)
+	}
 	wall := vclock.NewWall()
 	c := &Cluster{
 		cfg:     cfg,
@@ -55,7 +69,7 @@ func NewNode(cfg Config, self protocol.SiteID, fab transport.Transport) (*Cluste
 		fab:     fab,
 		sites:   map[protocol.SiteID]*Site{},
 		order:   append([]protocol.SiteID{}, cfg.Sites...),
-		ids:     txn.NewIDGen(string(self) + ".t"),
+		ids:     txn.NewIDGen(prefix),
 		qids:    txn.NewIDGen(string(self) + ".q"),
 	}
 	reg := cfg.Metrics

@@ -13,6 +13,7 @@ import (
 	"repro/internal/polyvalue"
 	"repro/internal/protocol"
 	"repro/internal/storage"
+	"repro/internal/trace"
 	"repro/internal/txn"
 	"repro/internal/vclock"
 )
@@ -87,6 +88,18 @@ type Site struct {
 	inboxHWM   *metrics.Gauge
 	inboxShed  *metrics.Counter
 	hwm        int
+
+	// lockAt timestamps each held lock's acquisition for the blocking
+	// accountant (see spans.go); blockedLock/Indoubt/Degraded are the
+	// cached item.blocked.seconds{site,cause} histograms it feeds.
+	lockAt          map[string]vclock.Time
+	blockedLock     *metrics.Histogram
+	blockedIndoubt  *metrics.Histogram
+	blockedDegraded *metrics.Histogram
+	// spanOf remembers the root span of decided transactions this site
+	// coordinated, for the settle span recorded when the last outcome
+	// ack arrives (the coordinator context is gone by then).
+	spanOf map[txn.ID]trace.SpanID
 }
 
 // siteEvent is one queued closure for the site goroutine; done, when
@@ -131,6 +144,15 @@ type partCtx struct {
 	lockTimer vclock.TimerID
 	// readyAt timestamps the ready message for the wait-phase histogram.
 	readyAt vclock.Time
+	// spanParent is the coordinator's root span ID, learned from the
+	// trace context on read-req/prepare messages; zero when tracing is
+	// off.
+	spanParent trace.SpanID
+	// blockedAt/blockCause describe the in-doubt camp of a blocked
+	// participant: when it began and which accountant cause (indoubt or
+	// degraded) its lock holds accrue to.
+	blockedAt  vclock.Time
+	blockCause string
 }
 
 // coordCtx is a coordinator's volatile state for one transaction or
@@ -172,6 +194,9 @@ type coordCtx struct {
 	// per-phase latency histograms.
 	startAt   vclock.Time
 	prepareAt vclock.Time
+	// span is the transaction's root span ID (zero when tracing is off);
+	// it rides outgoing read-req/prepare messages as the trace context.
+	span trace.SpanID
 }
 
 func newSite(c *Cluster, id protocol.SiteID, store *storage.Store) *Site {
@@ -189,6 +214,8 @@ func newSite(c *Cluster, id protocol.SiteID, store *storage.Store) *Site {
 		notifyRetry: map[txn.ID]vclock.TimerID{},
 		acks:        map[txn.ID]map[protocol.SiteID]bool{},
 		decidedAt:   map[txn.ID]vclock.Time{},
+		lockAt:      map[string]vclock.Time{},
+		spanOf:      map[txn.ID]trace.SpanID{},
 	}
 	l := metrics.L("site", string(id))
 	s.admission = guard.NewAdmission(c.cfg.AdmissionLimit, c.reg, string(id))
@@ -196,6 +223,9 @@ func newSite(c *Cluster, id protocol.SiteID, store *storage.Store) *Site {
 	s.inboxDepth = c.reg.Gauge("site.inbox.depth", l)
 	s.inboxHWM = c.reg.Gauge("site.inbox.hwm", l)
 	s.inboxShed = c.reg.Counter("site.inbox.shed", l)
+	s.blockedLock = c.reg.Histogram("item.blocked.seconds", l, metrics.L("cause", causeLock))
+	s.blockedIndoubt = c.reg.Histogram("item.blocked.seconds", l, metrics.L("cause", causeInDoubt))
+	s.blockedDegraded = c.reg.Histogram("item.blocked.seconds", l, metrics.L("cause", causeDegraded))
 	go s.loop()
 	return s
 }
@@ -398,6 +428,9 @@ func (s *Site) beginTxn(t txn.T, h *Handle) {
 	if d := s.c.cfg.TxnDeadline; d > 0 {
 		ctx.deadline = ctx.startAt + vclock.Time(d)
 	}
+	if s.spansOn() {
+		ctx.span = s.c.cfg.Spans.NextID()
+	}
 	// Participants: every site holding an accessed item.
 	siteItems := map[protocol.SiteID][]string{}
 	for _, item := range t.Items() {
@@ -439,6 +472,7 @@ func (s *Site) beginTxn(t txn.T, h *Handle) {
 			Kind: protocol.MsgReadReq, TID: t.ID, To: site,
 			Items: items, Lock: true, Coordinator: s.id,
 			Deadline: s.remainingDeadline(ctx),
+			TraceCtx: s.traceCtx(ctx),
 		})
 	}
 	ctx.readTimer = s.after(s.c.cfg.ReadyTimeout, func() { s.onReadTimeout(ctx.tid) })
@@ -453,7 +487,9 @@ func (s *Site) onePhaseCommit(ctx *coordCtx, h *Handle) {
 	if !s.lockAll(ctx.tid, items) {
 		s.c.refused.Inc()
 		s.c.aborted.Inc()
-		h.decide(StatusAborted, "refused: lock conflict at "+string(s.id), s.c.clk.Now())
+		reason := "refused: lock conflict at " + string(s.id)
+		h.decide(StatusAborted, reason, s.c.clk.Now())
+		s.recordTxnRoot(ctx, StatusAborted, reason, true)
 		return
 	}
 	defer s.releaseLocks(ctx.tid)
@@ -462,6 +498,7 @@ func (s *Site) onePhaseCommit(ctx *coordCtx, h *Handle) {
 	if err != nil {
 		s.c.aborted.Inc()
 		h.decide(StatusAborted, "compute: "+err.Error(), s.c.clk.Now())
+		s.recordTxnRoot(ctx, StatusAborted, "compute: "+err.Error(), true)
 		return
 	}
 	writeItems := make([]string, 0, len(res.Writes))
@@ -474,6 +511,7 @@ func (s *Site) onePhaseCommit(ctx *coordCtx, h *Handle) {
 		if err := s.put(item, p); err != nil {
 			s.c.aborted.Inc()
 			h.decide(StatusAborted, "wal: "+err.Error(), s.c.clk.Now())
+			s.recordTxnRoot(ctx, StatusAborted, "wal: "+err.Error(), true)
 			return
 		}
 		if _, certain := p.IsCertain(); !certain {
@@ -488,6 +526,7 @@ func (s *Site) onePhaseCommit(ctx *coordCtx, h *Handle) {
 	s.reduceKnownDeps()
 	s.c.committed.Inc()
 	h.decide(StatusCommitted, "", s.c.clk.Now())
+	s.recordTxnRoot(ctx, StatusCommitted, "", true)
 	if lat, ok := h.Latency(); ok {
 		s.c.latency.Observe(lat.Seconds())
 	}
@@ -653,6 +692,10 @@ func (s *Site) sendPrepares(ctx *coordCtx) {
 	ctx.prepared = true
 	ctx.prepareAt = s.c.clk.Now()
 	s.c.phaseRead.Observe((ctx.prepareAt - ctx.startAt).Seconds())
+	if s.spansOn() {
+		s.recordSpan(trace.Span{Kind: spanPhaseRead, TID: string(ctx.tid),
+			Parent: ctx.span, Start: ctx.startAt, End: ctx.prepareAt})
+	}
 	ctx.machine = protocol.NewCoordinator(ctx.tid, ctx.participants)
 	ctx.machine.Instrument(s.c.reg)
 
@@ -692,6 +735,7 @@ func (s *Site) sendPrepares(ctx *coordCtx) {
 			Items: items, Values: vals,
 			Program: ctx.t.Program.String(), Coordinator: s.id,
 			Deadline: s.remainingDeadline(ctx),
+			TraceCtx: s.traceCtx(ctx),
 		})
 	}
 	ctx.readyTimer = s.after(s.c.cfg.ReadyTimeout, func() { s.onReadyTimeout(ctx.tid) })
@@ -781,6 +825,10 @@ func (s *Site) decide(ctx *coordCtx, committed bool, reason string) {
 	now := s.c.clk.Now()
 	if ctx.prepared {
 		s.c.phasePrepare.Observe((now - ctx.prepareAt).Seconds())
+		if s.spansOn() {
+			s.recordSpan(trace.Span{Kind: spanPhasePrepare, TID: string(ctx.tid),
+				Parent: ctx.span, Start: ctx.prepareAt, End: now})
+		}
 	}
 	// Pipelining: the decision is durable, so the client's fate is
 	// sealed — resolve the handle BEFORE fanning the outcome out to
@@ -796,6 +844,7 @@ func (s *Site) decide(ctx *coordCtx, committed bool, reason string) {
 		s.c.aborted.Inc()
 	}
 	ctx.handle.decide(st, reason, now)
+	s.recordTxnRoot(ctx, st, reason, false)
 	if committed {
 		if lat, ok := ctx.handle.Latency(); ok {
 			s.c.latency.Observe(lat.Seconds())
@@ -808,6 +857,9 @@ func (s *Site) decide(ctx *coordCtx, committed bool, reason string) {
 		}
 		s.acks[ctx.tid] = waiting
 		s.decidedAt[ctx.tid] = now
+		if s.spansOn() {
+			s.spanOf[ctx.tid] = ctx.span
+		}
 	}
 	for _, site := range targets {
 		s.send(protocol.Message{Kind: kind, TID: ctx.tid, To: site, Committed: committed})
@@ -838,6 +890,9 @@ func (s *Site) onReadReq(msg protocol.Message) {
 		}
 		ctx := s.part(msg.TID, msg.Coordinator)
 		ctx.locked = mergeItems(ctx.locked, msg.Items)
+		if msg.TraceCtx != 0 {
+			ctx.spanParent = trace.SpanID(msg.TraceCtx)
+		}
 		// If the prepare never arrives (coordinator failed before
 		// prepare), release unilaterally: without our ready the
 		// transaction cannot commit.  A transaction deadline tighter than
@@ -886,6 +941,26 @@ func (s *Site) onPrepare(msg protocol.Message) {
 	if ctx.machine.State() != protocol.StateIdle {
 		return // duplicate prepare
 	}
+	if msg.TraceCtx != 0 {
+		ctx.spanParent = trace.SpanID(msg.TraceCtx)
+	}
+	arriveAt := s.c.clk.Now()
+	// computeSpan records this participant's compute-phase span.  It must
+	// run after the ready is sent but before the after-ready crash point:
+	// a committed transaction then always carries the span of every
+	// participant whose ready it counted, which is the completeness
+	// invariant cmd/polytrace audits.
+	computeSpan := func(vote string, attrs ...string) {
+		if !s.spansOn() {
+			return
+		}
+		a := map[string]string{"vote": vote}
+		for i := 0; i+1 < len(attrs); i += 2 {
+			a[attrs[i]] = attrs[i+1]
+		}
+		s.recordSpan(trace.Span{Kind: spanPartCompute, TID: string(msg.TID),
+			Parent: ctx.spanParent, Start: arriveAt, End: s.c.clk.Now(), Attrs: a})
+	}
 	if msg.Deadline > 0 {
 		// Re-anchor the remaining budget against the local clock (wall
 		// clocks of separate processes share no epoch).
@@ -903,6 +978,7 @@ func (s *Site) onPrepare(msg protocol.Message) {
 		s.send(protocol.Message{
 			Kind: protocol.MsgReady, TID: msg.TID, To: msg.From, ReadOnly: true,
 		})
+		computeSpan("ready", "readonly", "true")
 		return
 	}
 	refuse := func(reason string) {
@@ -912,6 +988,7 @@ func (s *Site) onPrepare(msg protocol.Message) {
 		s.send(protocol.Message{
 			Kind: protocol.MsgRefuse, TID: msg.TID, To: msg.From, Reason: reason,
 		})
+		computeSpan("refuse", "reason", reason)
 	}
 	// Lock the local write items not already read-locked by this txn.
 	var needed []string
@@ -977,6 +1054,7 @@ func (s *Site) onPrepare(msg protocol.Message) {
 		return
 	}
 	s.send(protocol.Message{Kind: protocol.MsgReady, TID: msg.TID, To: msg.From})
+	computeSpan("ready", "items", joinItems(msg.Items))
 	// Failpoint: ready sent, wait phase entered — and immediately died.
 	if s.maybeCrash(CrashAfterReady, msg.TID) {
 		return
@@ -1005,18 +1083,38 @@ func (s *Site) onWaitTimeout(tid txn.ID) {
 	if !ok || ctx.machine.State() != protocol.StateWait {
 		return
 	}
+	now := s.c.clk.Now()
 	s.c.inDoubt.Inc()
-	s.c.phaseWait.Observe((s.c.clk.Now() - ctx.readyAt).Seconds())
+	s.c.phaseWait.Observe((now - ctx.readyAt).Seconds())
+	waitStart := ctx.readyAt
 	// Zero readyAt so a later outcome delivery (blocking resume, arbitrary
 	// self-decision) does not observe this wait a second time.
 	ctx.readyAt = 0
-	if ctx.deadline > 0 && s.c.clk.Now() >= ctx.deadline {
+	waitSpan := func(resolution string) {
+		if !s.spansOn() {
+			return
+		}
+		s.recordSpan(trace.Span{Kind: spanPartWait, TID: string(tid),
+			Parent: ctx.spanParent, Start: waitStart, End: now,
+			Attrs: map[string]string{"resolution": resolution}})
+	}
+	if ctx.deadline > 0 && now >= ctx.deadline {
 		s.c.deadlinePart.Inc()
 		s.c.trace("%s deadline expired in wait phase of %s", s.id, tid)
+	}
+	// enterBlocked switches the accountant from cause=lock to the given
+	// blocking cause: the ordinary hold so far is flushed, and a fresh
+	// interval opens attributed to the in-doubt camp.
+	enterBlocked := func(cause string) {
+		s.flushBlocked(ctx.locked, causeLock, true)
+		ctx.blockedAt = now
+		ctx.blockCause = cause
 	}
 	if s.c.cfg.Policy == PolicyBlocking {
 		// Baseline: hold everything until the outcome is known.
 		ctx.blocked = true
+		enterBlocked(causeInDoubt)
+		waitSpan("blocked")
 		s.c.trace("%s BLOCKED on %s (holding %d locks)", s.id, tid, len(ctx.locked))
 		s.armOutcomeRetry(tid, ctx.coordinator)
 		return
@@ -1026,6 +1124,7 @@ func (s *Site) onWaitTimeout(tid txn.ID) {
 		// site guesses independently, so sites can disagree — the
 		// atomicity violation the A3 ablation measures.
 		guess := arbitraryChoice(s.id, tid)
+		waitSpan("arbitrary")
 		s.c.trace("%s ARBITRARY decision for %s: commit=%v", s.id, tid, guess)
 		s.onOutcomeMsg(tid, guess)
 		return
@@ -1041,6 +1140,8 @@ func (s *Site) onWaitTimeout(tid txn.ID) {
 			// items this transaction touches.
 			ctx.blocked = true
 			s.c.degradedTxns.Inc()
+			enterBlocked(causeDegraded)
+			waitSpan("blocked-degraded")
 			s.c.trace("%s DEGRADED to blocking on %s (budget exhausted, holding %d locks)",
 				s.id, tid, len(ctx.locked))
 			s.armOutcomeRetry(tid, ctx.coordinator)
@@ -1050,11 +1151,20 @@ func (s *Site) onWaitTimeout(tid txn.ID) {
 	if _, err := ctx.machine.Transition(protocol.EvTimeout); err != nil {
 		return
 	}
+	waitSpan("polyvalue")
 	s.c.trace("%s wait timeout on %s: installing polyvalues", s.id, tid)
 	// Durably swap the prepared entry for an await entry: a crash from
 	// here on must still know to ask ctx.coordinator for the outcome.
 	_ = s.store.SetAwait(tid, string(ctx.coordinator))
 	s.installPolyvalues(tid, ctx.writes, ctx.previous)
+	if s.spansOn() && len(ctx.writes) > 0 {
+		items := make([]string, 0, len(ctx.writes))
+		for item := range ctx.writes {
+			items = append(items, item)
+		}
+		s.pointSpan(spanPolyInstall, tid, ctx.spanParent,
+			map[string]string{"items": joinItems(items)})
+	}
 	_ = s.store.ClearPrepared(tid)
 	s.releaseLocks(tid)
 	delete(s.parts, tid)
@@ -1100,8 +1210,10 @@ func (s *Site) updateBudget() {
 	switch s.budget.Update(poly, deps) {
 	case 1:
 		s.c.trace("%s budget exhausted (poly=%d deps=%d): degrading to blocking 2PC", s.id, poly, deps)
+		s.pointSpan(spanDegrade, "", 0, budgetAttrs(poly, deps))
 	case -1:
 		s.c.trace("%s budget freed (poly=%d deps=%d): restoring polyvalue mode", s.id, poly, deps)
+		s.pointSpan(spanRestore, "", 0, budgetAttrs(poly, deps))
 	}
 }
 
@@ -1135,6 +1247,15 @@ func (s *Site) onOutcomeMsg(tid txn.ID, committed bool) {
 	}
 	if ctx.readyAt > 0 {
 		s.c.phaseWait.Observe((s.c.clk.Now() - ctx.readyAt).Seconds())
+		if s.spansOn() {
+			resolution := "abort"
+			if committed {
+				resolution = "commit"
+			}
+			s.recordSpan(trace.Span{Kind: spanPartWait, TID: string(tid),
+				Parent: ctx.spanParent, Start: ctx.readyAt, End: s.c.clk.Now(),
+				Attrs: map[string]string{"resolution": resolution}})
+		}
 	}
 	if act == protocol.ActInstall {
 		items := make([]string, 0, len(ctx.writes))
@@ -1213,6 +1334,11 @@ func (s *Site) onOutcomeAck(msg protocol.Message) {
 	tid := msg.TID
 	if t, ok := s.decidedAt[tid]; ok {
 		s.c.phaseSettle.Observe((s.c.clk.Now() - t).Seconds())
+		if root, traced := s.spanOf[tid]; traced {
+			s.recordSpan(trace.Span{Kind: spanPhaseSettle, TID: string(tid),
+				Parent: root, Start: t, End: s.c.clk.Now()})
+			delete(s.spanOf, tid)
+		}
 		delete(s.decidedAt, tid)
 	}
 	s.after(s.c.cfg.OutcomeTTL, func() {
@@ -1381,6 +1507,15 @@ func (s *Site) resolveOutcome(tid txn.ID, committed bool) {
 	// A blocking-policy participant wakes up here.
 	if ctx, ok := s.parts[tid]; ok && ctx.blocked {
 		ctx.blocked = false
+		if s.spansOn() && ctx.blockedAt > 0 {
+			outcome := "abort"
+			if committed {
+				outcome = "commit"
+			}
+			s.recordSpan(trace.Span{Kind: spanPartBlocked, TID: string(tid),
+				Parent: ctx.spanParent, Start: ctx.blockedAt, End: s.c.clk.Now(),
+				Attrs: map[string]string{"cause": ctx.blockCause, "outcome": outcome}})
+		}
 		s.onOutcomeMsg(tid, committed)
 		return
 	}
@@ -1425,6 +1560,7 @@ func (s *Site) reduceDependents(tid txn.ID, committed bool) {
 		}
 	}
 	items, sites := s.store.Deps(tid)
+	var reducedItems []string
 	for _, item := range items {
 		p := s.store.Get(item)
 		if !p.Mentions(tid) {
@@ -1437,6 +1573,15 @@ func (s *Site) reduceDependents(tid txn.ID, committed bool) {
 		}
 		s.c.polyReductions.Inc()
 		s.c.trace("%s poly-reduce %s item=%s", s.id, tid, item)
+		reducedItems = append(reducedItems, item)
+	}
+	if s.spansOn() && len(reducedItems) > 0 {
+		outcome := "abort"
+		if committed {
+			outcome = "commit"
+		}
+		s.pointSpan(spanPolyReduce, tid, 0,
+			map[string]string{"items": joinItems(reducedItems), "outcome": outcome})
 	}
 	for _, site := range sites {
 		s.send(protocol.Message{
@@ -1490,9 +1635,33 @@ func (s *Site) reduceDependents(tid txn.ID, committed bool) {
 func (s *Site) crash() {
 	s.down = true
 	s.c.fab.SetDown(s.id, true)
-	for _, ctx := range s.parts {
+	for tid, ctx := range s.parts {
 		s.c.clk.Cancel(ctx.waitTimer)
 		s.c.clk.Cancel(ctx.lockTimer)
+		// Close the blocking accountant's open intervals under the cause
+		// each participant was holding for; the locks themselves are
+		// volatile and die with the site.
+		cause := causeLock
+		if ctx.blockCause != "" {
+			cause = ctx.blockCause
+		}
+		var owned []string
+		for _, item := range s.lockedBy[tid] {
+			if s.locks[item] == tid {
+				owned = append(owned, item)
+			}
+		}
+		s.flushBlocked(owned, cause, false)
+	}
+	// Anything still stamped (e.g. a mid-flight one-phase hold) closes as
+	// an ordinary lock interval.
+	if len(s.lockAt) > 0 {
+		rest := make([]string, 0, len(s.lockAt))
+		for item := range s.lockAt {
+			rest = append(rest, item)
+		}
+		sort.Strings(rest)
+		s.flushBlocked(rest, causeLock, false)
 	}
 	for _, ctx := range s.coords {
 		s.c.clk.Cancel(ctx.readTimer)
@@ -1526,6 +1695,8 @@ func (s *Site) crash() {
 	s.notifyRetry = map[txn.ID]vclock.TimerID{}
 	s.acks = map[txn.ID]map[protocol.SiteID]bool{}
 	s.decidedAt = map[txn.ID]vclock.Time{}
+	s.lockAt = map[string]vclock.Time{}
+	s.spanOf = map[txn.ID]trace.SpanID{}
 	s.c.trace("%s crashed", s.id)
 }
 
@@ -1569,7 +1740,7 @@ func (s *Site) recoverDurableState() {
 			continue
 		}
 		if s.c.cfg.Policy == PolicyBlocking {
-			s.recoverBlocking(prep, coord)
+			s.recoverBlocking(prep, coord, causeInDoubt)
 			continue
 		}
 		if s.budget.Enabled() {
@@ -1581,13 +1752,21 @@ func (s *Site) recoverDurableState() {
 			if s.budget.Degraded() || s.budget.OverPolyWith(s.store.PolyCount()+len(prep.Writes)) {
 				s.c.degradedTxns.Inc()
 				s.c.trace("%s DEGRADED recovery of %s: re-locking instead of installing", s.id, prep.TID)
-				s.recoverBlocking(prep, coord)
+				s.recoverBlocking(prep, coord, causeDegraded)
 				continue
 			}
 		}
 		s.c.inDoubt.Inc()
 		_ = s.store.SetAwait(prep.TID, prep.Coordinator)
 		s.installPolyvalues(prep.TID, prep.Writes, prep.Previous)
+		if s.spansOn() && len(prep.Writes) > 0 {
+			items := make([]string, 0, len(prep.Writes))
+			for item := range prep.Writes {
+				items = append(items, item)
+			}
+			s.pointSpan(spanRecover, prep.TID, 0,
+				map[string]string{"mode": "polyvalue", "items": joinItems(items)})
+		}
 		_ = s.store.ClearPrepared(prep.TID)
 		s.armOutcomeRetry(prep.TID, coord)
 	}
@@ -1614,9 +1793,10 @@ func (s *Site) recoverDurableState() {
 
 // recoverBlocking settles one recovered in-doubt transaction the
 // blocking-2PC way: re-lock its write items and wait for the outcome.
-// Used by the blocking policy always, and by the polyvalue policy when
-// the budget is exhausted.
-func (s *Site) recoverBlocking(prep storage.Prepared, coord protocol.SiteID) {
+// Used by the blocking policy always (cause=indoubt), and by the
+// polyvalue policy when the budget is exhausted (cause=degraded); the
+// cause attributes the re-locked items' blocked time.
+func (s *Site) recoverBlocking(prep storage.Prepared, coord protocol.SiteID, cause string) {
 	ctx := s.part(prep.TID, coord)
 	// Walk the machine into the wait state it died in.
 	_, _ = ctx.machine.Transition(protocol.EvPrepare)
@@ -1624,10 +1804,22 @@ func (s *Site) recoverBlocking(prep storage.Prepared, coord protocol.SiteID) {
 	ctx.blocked = true
 	ctx.writes = prep.Writes
 	ctx.previous = prep.Previous
+	items := make([]string, 0, len(prep.Writes))
 	for item := range prep.Writes {
+		items = append(items, item)
+	}
+	sort.Strings(items)
+	for _, item := range items {
 		s.locks[item] = prep.TID
 		s.lockedBy[prep.TID] = append(s.lockedBy[prep.TID], item)
 		ctx.locked = append(ctx.locked, item)
+	}
+	s.stampLocks(items)
+	ctx.blockedAt = s.c.clk.Now()
+	ctx.blockCause = cause
+	if s.spansOn() && len(items) > 0 {
+		s.pointSpan(spanRecover, prep.TID, 0,
+			map[string]string{"mode": "blocking", "cause": cause, "items": joinItems(items)})
 	}
 	s.c.inDoubt.Inc()
 	s.armOutcomeRetry(prep.TID, coord)
@@ -1676,16 +1868,46 @@ func (s *Site) lockAll(tid txn.ID, items []string) bool {
 	}
 	if len(items) > 0 {
 		s.lockedBy[tid] = append(s.lockedBy[tid], items...)
+		s.stampLocks(items)
 	}
 	return true
 }
 
-// releaseLocks frees every lock held by tid.
+// releaseLocks frees every lock held by tid, closing the blocking
+// accountant's intervals (attributed to the participant's blocking
+// cause when it camped in doubt, plain cause=lock otherwise) and
+// recording the transaction's lock-hold span.
 func (s *Site) releaseLocks(tid txn.ID) {
-	for _, item := range s.lockedBy[tid] {
+	held := s.lockedBy[tid]
+	owned := held[:0:0]
+	for _, item := range held {
 		if s.locks[item] == tid {
-			delete(s.locks, item)
+			owned = append(owned, item)
 		}
+	}
+	cause := causeLock
+	var parent trace.SpanID
+	if ctx, ok := s.parts[tid]; ok {
+		if ctx.blockCause != "" {
+			cause = ctx.blockCause
+		}
+		parent = ctx.spanParent
+	}
+	if s.spansOn() && len(owned) > 0 {
+		now := s.c.clk.Now()
+		start := now
+		for _, item := range owned {
+			if at, ok := s.lockAt[item]; ok && at < start {
+				start = at
+			}
+		}
+		s.recordSpan(trace.Span{Kind: spanLocks, TID: string(tid),
+			Parent: parent, Start: start, End: now,
+			Attrs: map[string]string{"items": joinItems(owned)}})
+	}
+	s.flushBlocked(owned, cause, false)
+	for _, item := range owned {
+		delete(s.locks, item)
 	}
 	delete(s.lockedBy, tid)
 }

@@ -1,0 +1,225 @@
+package cluster
+
+// Structured span recording (the observability plane's causal view) and
+// the per-item blocking accountant (its quantitative view).
+//
+// Span recording is pay-for-what-you-use: every hook checks Config.Spans
+// for nil first, and the trace context rides protocol messages only when
+// a span log is installed, so an untraced cluster emits byte-identical
+// wire traffic and touches no extra state.
+//
+// The blocking accountant measures the paper's availability claim
+// directly: for every locked item it accumulates how long the item was
+// unreadable and why —
+//
+//	cause=lock      ordinary protocol lock holds (read→prepare→decision)
+//	cause=indoubt   a blocking-policy participant camping on its locks
+//	                past the wait timeout
+//	cause=degraded  a budget-exhausted polyvalue participant doing the
+//	                same
+//
+// item.blocked.seconds{site,cause}'s _sum is the blocked-item-seconds
+// quantity ROADMAP item 4 compares across policies.  Timestamps come
+// from the cluster's vclock, so simulated runs account deterministically.
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/protocol"
+	"repro/internal/trace"
+	"repro/internal/txn"
+)
+
+// Span kinds recorded by the cluster runtime.
+const (
+	spanPhaseRead    = "phase.read"    // coordinator: submit → all reads collected
+	spanPhasePrepare = "phase.prepare" // coordinator: prepares out → decision
+	spanPhaseSettle  = "phase.settle"  // coordinator: decision → last outcome ack
+	spanPartCompute  = "part.compute"  // participant: prepare arrival → vote
+	spanPartWait     = "part.wait"     // participant: ready → outcome or timeout
+	spanPartBlocked  = "part.blocked"  // participant: camping on locks in doubt
+	spanPolyInstall  = "poly.install"  // participant: polyvalues installed
+	spanPolyReduce   = "poly.reduce"   // any site: dependent polyvalues reduced
+	spanLocks        = "locks"         // any site: first lock acquire → release
+	spanRecover      = "recover"       // restarted site settling durable state
+	spanDegrade      = "budget.degrade"
+	spanRestore      = "budget.restore"
+)
+
+// spansOn reports whether structured span tracing is enabled.
+func (s *Site) spansOn() bool { return s.c.cfg.Spans != nil }
+
+// recordSpan stamps the site name and records sp.  No-op when tracing is
+// off.
+func (s *Site) recordSpan(sp trace.Span) trace.SpanID {
+	if s.c.cfg.Spans == nil {
+		return 0
+	}
+	sp.Site = string(s.id)
+	return s.c.cfg.Spans.Record(sp)
+}
+
+// pointSpan records an instantaneous event at the current clock reading.
+func (s *Site) pointSpan(kind string, tid txn.ID, parent trace.SpanID, attrs map[string]string) {
+	if s.c.cfg.Spans == nil {
+		return
+	}
+	now := s.c.clk.Now()
+	s.recordSpan(trace.Span{Kind: kind, TID: string(tid), Parent: parent, Start: now, End: now, Attrs: attrs})
+}
+
+// recordTxnRoot records the coordinator's root span for a decided
+// transaction.  Its participants attribute is the completeness
+// contract: cmd/polytrace and the harness audits flag any listed site
+// that contributed no spans.
+func (s *Site) recordTxnRoot(ctx *coordCtx, st Status, reason string, onePhase bool) {
+	if s.c.cfg.Spans == nil || ctx.span == 0 {
+		return
+	}
+	attrs := map[string]string{
+		"status":       st.String(),
+		"participants": joinSites(ctx.participants),
+	}
+	if reason != "" {
+		attrs["reason"] = reason
+	}
+	if onePhase {
+		attrs["onephase"] = "true"
+	}
+	s.recordSpan(trace.Span{
+		ID: ctx.span, Kind: trace.RootKind, TID: string(ctx.tid),
+		Start: ctx.startAt, End: s.c.clk.Now(), Attrs: attrs,
+	})
+}
+
+// traceCtx returns the trace context to stamp on an outgoing protocol
+// message: the root span ID when tracing is on, zero (field absent on
+// the wire) otherwise.
+func (s *Site) traceCtx(ctx *coordCtx) uint64 {
+	if s.c.cfg.Spans == nil {
+		return 0
+	}
+	return uint64(ctx.span)
+}
+
+func joinSites(sites []protocol.SiteID) string {
+	out := make([]string, len(sites))
+	for i, site := range sites {
+		out[i] = string(site)
+	}
+	return strings.Join(out, ",")
+}
+
+// budgetAttrs describes the guard state behind a degrade/restore span.
+func budgetAttrs(poly, deps int) map[string]string {
+	return map[string]string{"poly": strconv.Itoa(poly), "deps": strconv.Itoa(deps)}
+}
+
+func joinItems(items []string) string {
+	sorted := append([]string(nil), items...)
+	sort.Strings(sorted)
+	return strings.Join(sorted, ",")
+}
+
+// ---------------------------------------------------------------------
+// Blocking accountant
+// ---------------------------------------------------------------------
+
+// stampLocks starts the blocked clock for newly-acquired items.
+func (s *Site) stampLocks(items []string) {
+	now := s.c.clk.Now()
+	for _, item := range items {
+		s.lockAt[item] = now
+	}
+}
+
+// blockedHist returns the cached histogram for a cause.
+func (s *Site) blockedHist(cause string) *metrics.Histogram {
+	switch cause {
+	case causeInDoubt:
+		return s.blockedIndoubt
+	case causeDegraded:
+		return s.blockedDegraded
+	default:
+		return s.blockedLock
+	}
+}
+
+// flushBlocked closes the current accounting interval of each item under
+// the given cause and — when restamp is set — immediately opens a new
+// one, so a participant entering its in-doubt camp converts "ordinary
+// lock hold so far" into a fresh interval attributed to the blocking
+// cause.
+func (s *Site) flushBlocked(items []string, cause string, restamp bool) {
+	if len(items) == 0 {
+		return
+	}
+	now := s.c.clk.Now()
+	h := s.blockedHist(cause)
+	for _, item := range items {
+		at, ok := s.lockAt[item]
+		if !ok {
+			continue
+		}
+		h.Observe((now - at).Seconds())
+		if restamp {
+			s.lockAt[item] = now
+		} else {
+			delete(s.lockAt, item)
+		}
+	}
+}
+
+// Blocking causes (the item.blocked.seconds cause label values).
+const (
+	causeLock     = "lock"
+	causeInDoubt  = "indoubt"
+	causeDegraded = "degraded"
+)
+
+// SyncBlockedAccounting folds every still-open lock interval on every
+// site into the item.blocked.seconds histograms up to the current clock
+// reading, restamping so later flushes continue from now.  Intervals
+// normally close at lock release; a participant still camping in doubt
+// when a run ends would otherwise contribute nothing, so harnesses call
+// this before reading the accountant.  The histogram _sum stays exact
+// across any number of syncs (each observes only the un-accounted
+// remainder); the _count inflates by one observation per open item per
+// call.
+func (c *Cluster) SyncBlockedAccounting() {
+	for _, id := range c.order {
+		s := c.sites[id]
+		if s == nil {
+			continue // node mode: remote sites are other processes
+		}
+		s.do(s.syncBlocked)
+	}
+}
+
+// syncBlocked is SyncBlockedAccounting's per-site half; runs on the
+// site goroutine.
+func (s *Site) syncBlocked() {
+	if len(s.lockAt) == 0 {
+		return
+	}
+	byCause := map[string][]string{}
+	for tid, items := range s.lockedBy {
+		cause := causeLock
+		if ctx, ok := s.parts[tid]; ok && ctx.blockCause != "" {
+			cause = ctx.blockCause
+		}
+		for _, item := range items {
+			if s.locks[item] == tid {
+				byCause[cause] = append(byCause[cause], item)
+			}
+		}
+	}
+	for _, cause := range []string{causeLock, causeInDoubt, causeDegraded} {
+		items := byCause[cause]
+		sort.Strings(items)
+		s.flushBlocked(items, cause, true)
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"repro/internal/polyvalue"
 	"repro/internal/protocol"
 	"repro/internal/storage"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/value"
 )
@@ -56,6 +57,31 @@ type ChaosConfig struct {
 	// DataDir holds the per-site WAL files; empty means a fresh temp
 	// directory (removed on success, kept on failure for inspection).
 	DataDir string
+	// SpanCap is the per-site structured-span retention.  0 means the
+	// default (65536, far above what a chaos run emits); negative
+	// disables span tracing and the trace-completeness audit.  Span logs
+	// are harness-owned, so spans survive kill/restart cycles and the
+	// run can audit that every committed transaction left a complete
+	// causal timeline.
+	SpanCap int
+	// CrashPoint, when set, is armed on every kill-cycle victim instead
+	// of the default "random crash point half the time" — e.g.
+	// cluster.CrashAfterDecisionLog to torture the decided-but-
+	// unannounced window specifically.
+	CrashPoint cluster.CrashPoint
+	// MaxPolyBudget is passed through to every site; 1 effectively
+	// forces the blocking-2PC degradation the paper's comparison needs.
+	MaxPolyBudget int
+	// Strand, with CrashPoint set, submits one extra guarded transfer
+	// through each kill victim right after arming it: a transfer between
+	// two items co-located on a single OTHER site, so the decision fires
+	// the crash point and strands that participant in doubt holding both
+	// writes.  Random weather rarely leaves a participant in the
+	// prepared-but-unresolved window; this makes every kill cycle do it,
+	// which the blocked-item-seconds comparisons need.  Requires enough
+	// Items for a non-victim site to own two (Items >= 2*Sites covers
+	// every victim choice).
+	Strand bool
 	// Logf receives progress lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -74,11 +100,19 @@ type ChaosReport struct {
 	SettleTime time.Duration
 	// Violations lists every failed end-state assertion: conservation,
 	// residual polyvalues, invariant breaks, WAL non-idempotence,
-	// goroutine leaks.  Empty = the run passed.
+	// goroutine leaks, lost spans, incomplete timelines.  Empty = the
+	// run passed.
 	Violations []string
 	// Totals is a per-metric roll-up across sites (faults injected,
 	// frames corrupted/rejected, queue drops, resends, inquiries).
 	Totals map[string]int64
+	// Spans is the total number of structured spans collected.
+	Spans int
+	// BlockedItemSeconds sums item.blocked.seconds across sites, by
+	// cause (lock, indoubt, degraded) — the paper's availability claim
+	// in one number: polyvalue runs should show (near-)zero indoubt
+	// blocking where budget-degraded runs pile it up.
+	BlockedItemSeconds map[string]float64
 }
 
 func (r *ChaosReport) String() string {
@@ -104,6 +138,11 @@ type chaosRun struct {
 	peers  map[protocol.SiteID]string
 	nodes  map[protocol.SiteID]*chaosNode
 	report *ChaosReport
+	// regs and spanLogs persist across kill/restart cycles — a restarted
+	// site keeps accumulating into the same series and span log, so the
+	// end-of-run audits see the whole history, not the last incarnation.
+	regs     map[protocol.SiteID]*metrics.Registry
+	spanLogs map[protocol.SiteID]*trace.SpanLog
 }
 
 func (c *chaosRun) logf(format string, args ...any) {
@@ -118,6 +157,37 @@ func (c *chaosRun) placement(item string) protocol.SiteID {
 }
 
 func chaosItem(i int) string { return "it" + strconv.Itoa(i) }
+
+// strandTransfer submits a guarded transfer between two items owned by
+// a single site other than victim, coordinated by victim itself.  With
+// a crash point armed at the victim, the decision kills the coordinator
+// and leaves that co-located participant in doubt holding both writes —
+// the deterministic stranding ChaosConfig.Strand promises.  Returns a
+// nil handle when no other site owns two items.
+func (c *chaosRun) strandTransfer(victim protocol.SiteID) (*cluster.Handle, protocol.SiteID, string) {
+	byOwner := map[protocol.SiteID][]string{}
+	for i := 0; i < c.cfg.Items; i++ {
+		item := chaosItem(i)
+		owner := c.placement(item)
+		byOwner[owner] = append(byOwner[owner], item)
+	}
+	for _, w := range c.sites {
+		items := byOwner[w]
+		if w == victim || len(items) < 2 {
+			continue
+		}
+		src, dst := items[0], items[1]
+		amt := 1 + c.rng.Intn(5)
+		txt := fmt.Sprintf("%s = %s - %d if %s >= %d; %s = %s + %d if %s >= %d",
+			src, src, amt, src, amt, dst, dst, amt, src, amt)
+		h, err := c.nodes[victim].node.Submit(victim, txt)
+		if err != nil {
+			return nil, "", ""
+		}
+		return h, w, txt
+	}
+	return nil, "", ""
+}
 
 // start boots (or re-boots) one site over ln; when ln is nil the site's
 // known address is rebound, retrying while the dead process's socket
@@ -137,8 +207,13 @@ func (c *chaosRun) start(id protocol.SiteID, ln net.Listener) error {
 		}
 	}
 	// One registry spans transport, injector, and cluster so the report
-	// can roll the whole fault plane up per site.
-	reg := metrics.NewRegistry()
+	// can roll the whole fault plane up per site; it persists across
+	// restarts of the same site.
+	reg := c.regs[id]
+	if reg == nil {
+		reg = metrics.NewRegistry()
+		c.regs[id] = reg
+	}
 	tcp := transport.NewTCPWithListener(transport.TCPConfig{
 		Self:       id,
 		Peers:      c.peers,
@@ -161,6 +236,8 @@ func (c *chaosRun) start(id protocol.SiteID, ln net.Listener) error {
 		Placement:     c.placement,
 		Metrics:       reg,
 		DataDir:       c.cfg.DataDir,
+		MaxPolyBudget: c.cfg.MaxPolyBudget,
+		Spans:         c.spanLogs[id],
 	}, id, inj)
 	if err != nil {
 		inj.Close()
@@ -236,6 +313,9 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 	if cfg.Settle <= 0 {
 		cfg.Settle = 45 * time.Second
 	}
+	if cfg.SpanCap == 0 {
+		cfg.SpanCap = 1 << 16
+	}
 	ownDir := false
 	if cfg.DataDir == "" {
 		dir, err := os.MkdirTemp("", "chaos-*")
@@ -248,14 +328,22 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 
 	baseline := runtime.NumGoroutine()
 	c := &chaosRun{
-		cfg:    cfg,
-		rng:    rand.New(rand.NewSource(cfg.Seed)),
-		peers:  map[protocol.SiteID]string{},
-		nodes:  map[protocol.SiteID]*chaosNode{},
-		report: &ChaosReport{Seed: cfg.Seed, Sites: cfg.Sites, Txns: cfg.Txns, Totals: map[string]int64{}},
+		cfg:   cfg,
+		rng:   rand.New(rand.NewSource(cfg.Seed)),
+		peers: map[protocol.SiteID]string{},
+		nodes: map[protocol.SiteID]*chaosNode{},
+		report: &ChaosReport{Seed: cfg.Seed, Sites: cfg.Sites, Txns: cfg.Txns,
+			Totals: map[string]int64{}, BlockedItemSeconds: map[string]float64{}},
+		regs:     map[protocol.SiteID]*metrics.Registry{},
+		spanLogs: map[protocol.SiteID]*trace.SpanLog{},
 	}
 	for i := 0; i < cfg.Sites; i++ {
 		c.sites = append(c.sites, protocol.SiteID(string(rune('A'+i))))
+	}
+	if cfg.SpanCap > 0 {
+		for _, id := range c.sites {
+			c.spanLogs[id] = trace.NewSpanLogFor(string(id), cfg.SpanCap)
+		}
 	}
 
 	lns := map[protocol.SiteID]net.Listener{}
@@ -327,7 +415,17 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 		if killAt[i] {
 			victim := c.sites[c.rng.Intn(len(c.sites))]
 			if n := c.nodes[victim]; n != nil {
-				if c.rng.Intn(2) == 0 {
+				switch {
+				case c.cfg.CrashPoint != "":
+					_ = n.node.ArmCrash(victim, c.cfg.CrashPoint)
+					c.logf("chaos[%d]: %s: armed crash point %s", i, victim, c.cfg.CrashPoint)
+					if c.cfg.Strand {
+						if h, site, txt := c.strandTransfer(victim); h != nil {
+							handles = append(handles, pendingTxn{h: h, coord: victim})
+							c.logf("chaos[%d]: %s: strand transfer against %s: %s", i, victim, site, txt)
+						}
+					}
+				case c.rng.Intn(2) == 0:
 					pts := cluster.CrashPoints()
 					pt := pts[c.rng.Intn(len(pts))]
 					_ = n.node.ArmCrash(victim, pt)
@@ -395,6 +493,13 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 	if len(lastIssues) > 0 {
 		c.report.Violations = append(c.report.Violations, lastIssues...)
 	}
+	// Fold still-open lock-hold intervals into the blocking accountant
+	// before any item.blocked.seconds histogram is read.
+	for _, n := range c.nodes {
+		if n != nil {
+			n.node.SyncBlockedAccounting()
+		}
+	}
 
 	// ----- audits ---------------------------------------------------------
 	var total int64
@@ -419,10 +524,12 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 		c.report.Violations = append(c.report.Violations,
 			fmt.Sprintf("conservation broken: total %d, want %d", total, wantTotal))
 	}
+	var committedTIDs []string
 	for _, pt := range handles {
 		switch pt.h.Status() {
 		case cluster.StatusCommitted:
 			c.report.Committed++
+			committedTIDs = append(committedTIDs, string(pt.h.TID))
 		case cluster.StatusAborted:
 			c.report.Aborted++
 		default:
@@ -451,6 +558,12 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 			}
 		}
 	}
+	for _, id := range c.sites {
+		collectBlockedSeconds(c.report.BlockedItemSeconds, c.regs[id])
+	}
+	var spanViolations []string
+	c.report.Spans, spanViolations = auditTraceCompleteness(c.spanLogs, c.sites, committedTIDs, cfg.SpanCap)
+	c.report.Violations = append(c.report.Violations, spanViolations...)
 
 	// ----- teardown audits ------------------------------------------------
 	for id, n := range c.nodes {
@@ -498,6 +611,9 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 
 	sort.Strings(c.report.Violations)
 	c.logf("chaos: %s", c.report)
+	if len(c.report.Violations) > 0 {
+		dumpTraceArtifacts(cfg.DataDir, c.spanLogs, c.sites, c.logf)
+	}
 	if ownDir && len(c.report.Violations) == 0 {
 		os.RemoveAll(cfg.DataDir)
 	}

@@ -17,6 +17,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/polyvalue"
 	"repro/internal/protocol"
+	"repro/internal/trace"
 	"repro/internal/transport"
 	"repro/internal/value"
 )
@@ -51,6 +52,11 @@ type OverloadConfig struct {
 	Cooldown time.Duration
 	// Settle bounds the final quiescence wait.  Default 45s.
 	Settle time.Duration
+	// SpanCap is the per-site structured-span retention.  0 means the
+	// default (262144 — a full-length run at offered load emits on the
+	// order of 200k spans per site); negative disables span tracing and
+	// the trace-completeness audit.
+	SpanCap int
 	// Logf receives progress lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -78,6 +84,12 @@ type OverloadReport struct {
 	Suspects, Recoveries int64
 	SettleTime           time.Duration
 	Violations           []string
+	// Spans is the total number of structured spans collected.
+	Spans int
+	// BlockedItemSeconds sums item.blocked.seconds across sites, by
+	// cause (lock, indoubt, degraded).  The degraded bucket is where the
+	// budget's blocking-2PC fallback pays the paper's availability cost.
+	BlockedItemSeconds map[string]float64
 }
 
 func (r *OverloadReport) String() string {
@@ -135,12 +147,21 @@ func RunOverload(cfg OverloadConfig) (*OverloadReport, error) {
 	if cfg.Settle <= 0 {
 		cfg.Settle = 45 * time.Second
 	}
+	if cfg.SpanCap == 0 {
+		cfg.SpanCap = 1 << 18
+	}
 	logf := cfg.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	report := &OverloadReport{Seed: cfg.Seed}
+	report := &OverloadReport{Seed: cfg.Seed, BlockedItemSeconds: map[string]float64{}}
 	sites := []protocol.SiteID{"A", "B", "C"}
+	spanLogs := map[protocol.SiteID]*trace.SpanLog{}
+	if cfg.SpanCap > 0 {
+		for _, id := range sites {
+			spanLogs[id] = trace.NewSpanLogFor(string(id), cfg.SpanCap)
+		}
+	}
 	placement := func(item string) protocol.SiteID {
 		n := int(item[len(item)-1] - '0')
 		return sites[n%len(sites)]
@@ -205,6 +226,7 @@ func RunOverload(cfg OverloadConfig) (*OverloadReport, error) {
 			Placement:      placement,
 			Metrics:        reg,
 			DataDir:        dir,
+			Spans:          spanLogs[id],
 		}, id, det)
 		if err != nil {
 			det.Close()
@@ -319,6 +341,11 @@ func RunOverload(cfg OverloadConfig) (*OverloadReport, error) {
 	close(samplerQuit)
 	<-samplerDone
 	report.MaxPolyPopulation = int(maxPoly.Load())
+	// Fold still-open lock-hold intervals into the blocking accountant
+	// before any item.blocked.seconds histogram is read.
+	for _, n := range nodes {
+		n.node.SyncBlockedAccounting()
+	}
 
 	// ----- audits ---------------------------------------------------------
 	// Bounded memory: no sample ever exceeded the configured budget.
@@ -349,10 +376,12 @@ func RunOverload(cfg OverloadConfig) (*OverloadReport, error) {
 		report.Violations = append(report.Violations,
 			fmt.Sprintf("conservation broken: total %d, want %d", total, wantTotal))
 	}
+	var committedTIDs []string
 	for _, pt := range handles {
 		switch pt.h.Status() {
 		case cluster.StatusCommitted:
 			report.Committed++
+			committedTIDs = append(committedTIDs, string(pt.h.TID))
 		case cluster.StatusAborted:
 			report.Aborted++
 		default:
@@ -387,6 +416,12 @@ func RunOverload(cfg OverloadConfig) (*OverloadReport, error) {
 		report.Violations = append(report.Violations,
 			"no transaction ever hit its deadline: the partition should doom cross-cut work")
 	}
+	for _, id := range sites {
+		collectBlockedSeconds(report.BlockedItemSeconds, nodes[id].reg)
+	}
+	var spanViolations []string
+	report.Spans, spanViolations = auditTraceCompleteness(spanLogs, sites, committedTIDs, cfg.SpanCap)
+	report.Violations = append(report.Violations, spanViolations...)
 
 	// ----- teardown audit -------------------------------------------------
 	for id, n := range nodes {
@@ -404,7 +439,10 @@ func RunOverload(cfg OverloadConfig) (*OverloadReport, error) {
 
 	sort.Strings(report.Violations)
 	logf("overload: %s", report)
-	if len(report.Violations) == 0 {
+	if len(report.Violations) > 0 {
+		dumpTraceArtifacts(dir, spanLogs, sites, logf)
+		logf("overload: data dir kept at %s", dir)
+	} else {
 		os.RemoveAll(dir)
 	}
 	return report, nil

@@ -1,0 +1,103 @@
+package harness
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/metrics"
+	"repro/internal/protocol"
+	"repro/internal/trace"
+)
+
+// auditTraceCompleteness asserts the tracing contract over harness-owned
+// span logs: no span was evicted, and every committed transaction's
+// merged timeline is complete — root present, no dangling parents,
+// every participant the root names contributed at least one span.  It
+// returns the merged span count and the violations found.
+func auditTraceCompleteness(spanLogs map[protocol.SiteID]*trace.SpanLog,
+	sites []protocol.SiteID, committed []string, spanCap int) (int, []string) {
+	if len(spanLogs) == 0 {
+		return 0, nil
+	}
+	var violations []string
+	var logs [][]trace.Span
+	for _, id := range sites {
+		sl := spanLogs[id]
+		if d := sl.Dropped(); d > 0 {
+			violations = append(violations,
+				fmt.Sprintf("site %s: %d spans dropped (SpanCap %d too small for this run)", id, d, spanCap))
+		}
+		logs = append(logs, sl.Spans())
+	}
+	merged := trace.Merge(logs...)
+	byTID := map[string]trace.Timeline{}
+	for _, tl := range trace.BuildTimelines(merged) {
+		byTID[tl.TID] = tl
+	}
+	for _, tid := range committed {
+		tl, ok := byTID[tid]
+		if !ok {
+			violations = append(violations,
+				fmt.Sprintf("txn %s committed but left no spans", tid))
+			continue
+		}
+		if !tl.Complete {
+			violations = append(violations,
+				fmt.Sprintf("txn %s committed with an incomplete timeline (missing sites %v, dangling parents %v)",
+					tid, tl.MissingSites, tl.MissingParents))
+		}
+	}
+	return len(merged), violations
+}
+
+// collectBlockedSeconds folds every site's item.blocked.seconds sums
+// into the per-cause roll-up the reports expose.  Callers must run
+// Cluster.SyncBlockedAccounting first so still-open intervals count.
+func collectBlockedSeconds(into map[string]float64, regs ...*metrics.Registry) {
+	for _, reg := range regs {
+		for _, pt := range reg.Snapshot().Points {
+			if pt.Name != "item.blocked.seconds" {
+				continue
+			}
+			cause := "unknown"
+			for _, l := range pt.Labels {
+				if l.Key == "cause" {
+					cause = l.Value
+				}
+			}
+			into[cause] += pt.Sum
+		}
+	}
+}
+
+// dumpTraceArtifacts writes per-site span dumps (polytrace's input
+// format) and the rendered merged timelines into dir, which a failed
+// run leaves on disk for inspection.
+func dumpTraceArtifacts(dir string, spanLogs map[protocol.SiteID]*trace.SpanLog,
+	sites []protocol.SiteID, logf func(format string, args ...any)) {
+	if len(spanLogs) == 0 {
+		return
+	}
+	var logs [][]trace.Span
+	for _, id := range sites {
+		spans := spanLogs[id].Spans()
+		logs = append(logs, spans)
+		raw, err := json.Marshal(spans)
+		if err != nil {
+			continue
+		}
+		path := filepath.Join(dir, "span-"+string(id)+".json")
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			logf("harness: write %s: %v", path, err)
+		}
+	}
+	tls := trace.BuildTimelines(trace.Merge(logs...))
+	path := filepath.Join(dir, "timelines.txt")
+	if err := os.WriteFile(path, []byte(trace.RenderTimelines(tls)+"\n"), 0o644); err != nil {
+		logf("harness: write %s: %v", path, err)
+	}
+	logf("harness: trace artifacts in %s (inspect with: polytrace %s)",
+		dir, filepath.Join(dir, "span-*.json"))
+}

@@ -1,0 +1,118 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+)
+
+// TestChaosTraceCompleteAfterDecisionLogKills is the ISSUE's headline
+// acceptance run for the tracing plane: a seeded chaos schedule where
+// EVERY kill victim is armed to die at the nastiest possible moment —
+// immediately after the decision hits the WAL, before any participant
+// hears about it — and the run still must reconstruct a complete causal
+// timeline (root span, no dangling parents, every participant site
+// represented) for every transaction that committed.  The completeness
+// audit runs inside RunChaos; this test pins the crash point and checks
+// the audit actually had material to chew on.
+func TestChaosTraceCompleteAfterDecisionLogKills(t *testing.T) {
+	cfg := ChaosConfig{
+		Seed:       20260807,
+		Sites:      3,
+		Txns:       30,
+		KillCycles: 3,
+		Settle:     60 * time.Second,
+		CrashPoint: cluster.CrashAfterDecisionLog,
+		Logf:       t.Logf,
+	}
+	if testing.Short() {
+		cfg.Txns = 10
+		cfg.KillCycles = 2
+		cfg.Settle = 45 * time.Second
+	}
+	report, err := RunChaos(cfg)
+	if err != nil {
+		t.Fatalf("chaos run failed to execute: %v", err)
+	}
+	t.Logf("%s", report)
+	t.Logf("  spans collected = %d", report.Spans)
+	for _, v := range report.Violations {
+		t.Errorf("violation: %s", v)
+	}
+	if report.Committed == 0 {
+		t.Error("no transaction committed — the completeness audit had nothing to check")
+	}
+	if report.Kills < cfg.KillCycles {
+		t.Errorf("kill cycles = %d, want %d", report.Kills, cfg.KillCycles)
+	}
+	if report.Spans == 0 {
+		t.Error("no spans collected — tracing was not enabled")
+	}
+}
+
+// TestChaosBlockedSecondsPolyVsBlocking measures the paper's
+// availability claim with the blocking accountant over the real-socket
+// harness: the same seeded schedule run twice, once with polyvalues
+// enabled (default budget) and once with MaxPolyBudget=1 so a site's
+// second concurrent stranding degrades into blocking 2PC.  Every kill
+// victim is armed at after-decision-log, so each kill cycle strands its
+// in-flight participants in doubt.  The polyvalue run must accumulate
+// less in-doubt + degraded blocked-item-time — items stay readable
+// because participants install polyvalues and release their locks
+// instead of camping on them.  The logged numbers feed EXPERIMENTS.md
+// (the exact-clock version of this comparison is
+// cluster.TestBlockedAccountantBudgetForced).
+func TestChaosBlockedSecondsPolyVsBlocking(t *testing.T) {
+	base := ChaosConfig{
+		Seed:       20260807,
+		Sites:      3,
+		Items:      8, // every site owns >= 2, so any victim has a strand target
+		Txns:       40,
+		KillCycles: 4,
+		Settle:     60 * time.Second,
+		CrashPoint: cluster.CrashAfterDecisionLog,
+		Strand:     true,
+	}
+	if testing.Short() {
+		base.Txns = 16
+		base.KillCycles = 2
+		base.Settle = 45 * time.Second
+	}
+
+	run := func(name string, budget int) *ChaosReport {
+		cfg := base
+		cfg.MaxPolyBudget = budget
+		cfg.Logf = func(format string, args ...any) {
+			t.Logf(name+": "+format, args...)
+		}
+		report, err := RunChaos(cfg)
+		if err != nil {
+			t.Fatalf("%s run failed to execute: %v", name, err)
+		}
+		t.Logf("%s: %s", name, report)
+		t.Logf("%s: blocked item-seconds: lock=%.3f indoubt=%.3f degraded=%.3f",
+			name, report.BlockedItemSeconds["lock"],
+			report.BlockedItemSeconds["indoubt"],
+			report.BlockedItemSeconds["degraded"])
+		for _, v := range report.Violations {
+			t.Errorf("%s violation: %s", name, v)
+		}
+		return report
+	}
+
+	poly := run("poly", 0)
+	blocking := run("blocking", 1)
+
+	unavail := func(r *ChaosReport) float64 {
+		return r.BlockedItemSeconds["indoubt"] + r.BlockedItemSeconds["degraded"]
+	}
+	pu, bu := unavail(poly), unavail(blocking)
+	t.Logf("availability cost: poly=%.3f blocked item-seconds, blocking-2PC=%.3f", pu, bu)
+	if bu == 0 {
+		t.Error("budget-forced run accumulated no in-doubt/degraded blocking — the schedule never stranded a participant")
+	}
+	if pu >= bu {
+		t.Errorf("polyvalues did not reduce blocked-item time: poly=%.3fs >= blocking=%.3fs", pu, bu)
+	}
+}

@@ -128,6 +128,12 @@ type Message struct {
 	// own clock.  Expired work is aborted (coordinator) or resolved per
 	// policy (participant) instead of camping on locks.
 	Deadline time.Duration
+	// MsgReadReq and MsgPrepare: the coordinator's root span ID for this
+	// transaction, so participant-side spans parent into the same causal
+	// tree.  Zero when span tracing is off — the common case — and then
+	// absent from the wire encoding entirely (see internal/wire payload
+	// version 4), so tracing costs nothing when unused.
+	TraceCtx uint64
 }
 
 // String renders a compact trace line for the message.

@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/metrics"
+)
+
+// RenderOpenMetrics renders a metrics snapshot as OpenMetrics text.
+// Dotted internal names become underscore names (txn.latency.seconds →
+// txn_latency_seconds); counters gain the _total sample suffix;
+// histograms render as summaries (quantile series plus _count/_sum).
+// Families are emitted in sorted name order and series within a family
+// in sorted label order — the snapshot is already deterministic, so two
+// renderings of identical state are byte-identical.
+func RenderOpenMetrics(snap metrics.Snapshot) string {
+	// Group points into families by translated name, keeping the
+	// snapshot's deterministic within-family order.
+	byName := map[string][]metrics.Point{}
+	names := []string{}
+	for _, p := range snap.Points {
+		name := sanitizeName(p.Name)
+		if _, ok := byName[name]; !ok {
+			names = append(names, name)
+		}
+		byName[name] = append(byName[name], p)
+	}
+	sort.Strings(names)
+
+	var b strings.Builder
+	for _, name := range names {
+		family := byName[name]
+		switch family[0].Kind {
+		case metrics.KindCounter:
+			b.WriteString("# TYPE " + name + " counter\n")
+			for _, p := range family {
+				sample(&b, name+"_total", labelPairs(p.Labels), strconv.FormatInt(p.Value, 10))
+			}
+		case metrics.KindGauge:
+			b.WriteString("# TYPE " + name + " gauge\n")
+			for _, p := range family {
+				sample(&b, name, labelPairs(p.Labels), strconv.FormatInt(p.Value, 10))
+			}
+		case metrics.KindHistogram:
+			b.WriteString("# TYPE " + name + " summary\n")
+			for _, p := range family {
+				base := labelPairs(p.Labels)
+				for _, q := range []struct {
+					q string
+					v float64
+				}{{"0.5", p.P50}, {"0.9", p.P90}, {"0.99", p.P99}} {
+					sample(&b, name, append(append([]string{}, base...), `quantile="`+q.q+`"`), formatFloat(q.v))
+				}
+				sample(&b, name+"_count", base, strconv.FormatInt(p.Count, 10))
+				sample(&b, name+"_sum", base, formatFloat(p.Sum))
+			}
+		}
+	}
+	b.WriteString("# EOF\n")
+	return b.String()
+}
+
+// sample writes one OpenMetrics sample line.
+func sample(b *strings.Builder, name string, labels []string, value string) {
+	b.WriteString(name)
+	if len(labels) > 0 {
+		b.WriteByte('{')
+		b.WriteString(strings.Join(labels, ","))
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(value)
+	b.WriteByte('\n')
+}
+
+// labelPairs renders sorted key="value" pairs (labels arrive sorted
+// from the snapshot; sorted again here so hand-built points render
+// deterministically too).
+func labelPairs(labels []metrics.Label) []string {
+	out := make([]string, len(labels))
+	for i, l := range labels {
+		out[i] = sanitizeName(l.Key) + `="` + escapeValue(l.Value) + `"`
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sanitizeName maps internal dotted names onto the OpenMetrics name
+// charset [a-zA-Z0-9_:], replacing anything else with '_'.
+func sanitizeName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9' && i > 0:
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// escapeValue escapes a label value per the OpenMetrics text format.
+func escapeValue(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// formatFloat renders a float deterministically and compactly.
+func formatFloat(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }

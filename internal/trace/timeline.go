@@ -1,0 +1,199 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/vclock"
+)
+
+// RootKind is the span kind the coordinator records once per
+// transaction; its Attrs carry the final status and the participant
+// list the completeness check audits against.
+const RootKind = "txn"
+
+// Timeline is one transaction's merged, causally-ordered span set — the
+// cross-site view no single site can produce.  Completeness is judged
+// structurally: every parent reference must resolve, a root span must
+// exist, and every site the root names as a participant must have
+// contributed at least one span.
+type Timeline struct {
+	TID   string `json:"tid"`
+	Spans []Span `json:"spans"`
+	// Status echoes the root span's "status" attribute ("" without one).
+	Status string `json:"status,omitempty"`
+	// MissingParents lists parent IDs referenced by spans in this group
+	// that no span in the group carries.
+	MissingParents []SpanID `json:"missing_parents,omitempty"`
+	// MissingSites lists participants named by the root span that
+	// contributed no spans.
+	MissingSites []string `json:"missing_sites,omitempty"`
+	// Complete is true when the span tree has a root, no dangling parent
+	// references, and every named participant reported in.
+	Complete bool `json:"complete"`
+}
+
+// Merge combines span dumps from several sites into one slice ordered
+// by (Start, Site, ID) — a deterministic global timeline, assuming the
+// logs share a time base (one simulated scheduler, or wall clocks).
+func Merge(logs ...[]Span) []Span {
+	var n int
+	for _, l := range logs {
+		n += len(l)
+	}
+	out := make([]Span, 0, n)
+	for _, l := range logs {
+		out = append(out, l...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		if out[i].Site != out[j].Site {
+			return out[i].Site < out[j].Site
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// BuildTimelines groups merged spans by transaction and audits each
+// group's causal structure.  Spans with no TID (site-level events like
+// budget transitions) are skipped.  Timelines come back sorted by the
+// transaction's earliest span, ties by TID.
+func BuildTimelines(spans []Span) []Timeline {
+	merged := Merge(spans)
+	byTID := map[string][]Span{}
+	var order []string
+	for _, s := range merged {
+		if s.TID == "" {
+			continue
+		}
+		if _, ok := byTID[s.TID]; !ok {
+			order = append(order, s.TID)
+		}
+		byTID[s.TID] = append(byTID[s.TID], s)
+	}
+	out := make([]Timeline, 0, len(order))
+	for _, tid := range order {
+		out = append(out, buildTimeline(tid, byTID[tid]))
+	}
+	return out
+}
+
+func buildTimeline(tid string, spans []Span) Timeline {
+	tl := Timeline{TID: tid, Spans: spans}
+	ids := make(map[SpanID]bool, len(spans))
+	sites := map[string]bool{}
+	var root *Span
+	for i := range spans {
+		ids[spans[i].ID] = true
+		sites[spans[i].Site] = true
+		if spans[i].Kind == RootKind && root == nil {
+			root = &spans[i]
+		}
+	}
+	missing := map[SpanID]bool{}
+	for _, s := range spans {
+		if s.Parent != 0 && !ids[s.Parent] {
+			missing[s.Parent] = true
+		}
+	}
+	for id := range missing {
+		tl.MissingParents = append(tl.MissingParents, id)
+	}
+	sort.Slice(tl.MissingParents, func(i, j int) bool { return tl.MissingParents[i] < tl.MissingParents[j] })
+	if root != nil {
+		tl.Status = root.Attrs["status"]
+		if ps := root.Attrs["participants"]; ps != "" {
+			for _, site := range strings.Split(ps, ",") {
+				if site != "" && !sites[site] {
+					tl.MissingSites = append(tl.MissingSites, site)
+				}
+			}
+		}
+	}
+	sort.Strings(tl.MissingSites)
+	tl.Complete = root != nil && len(tl.MissingParents) == 0 && len(tl.MissingSites) == 0
+	return tl
+}
+
+// Render writes the timeline as indented text: one line per span,
+// children nested under their parents, orphans flagged.
+func (tl Timeline) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "txn %s", tl.TID)
+	if tl.Status != "" {
+		fmt.Fprintf(&b, " [%s]", tl.Status)
+	}
+	if !tl.Complete {
+		b.WriteString(" INCOMPLETE")
+		if len(tl.MissingParents) > 0 {
+			fmt.Fprintf(&b, " (dangling parents: %d)", len(tl.MissingParents))
+		}
+		if len(tl.MissingSites) > 0 {
+			fmt.Fprintf(&b, " (silent sites: %s)", strings.Join(tl.MissingSites, ","))
+		}
+	}
+	b.WriteByte('\n')
+
+	children := map[SpanID][]Span{}
+	present := make(map[SpanID]bool, len(tl.Spans))
+	for _, s := range tl.Spans {
+		present[s.ID] = true
+	}
+	var roots []Span
+	for _, s := range tl.Spans {
+		if s.Parent != 0 && present[s.Parent] {
+			children[s.Parent] = append(children[s.Parent], s)
+		} else {
+			roots = append(roots, s)
+		}
+	}
+	var walk func(s Span, depth int)
+	walk = func(s Span, depth int) {
+		b.WriteString(strings.Repeat("  ", depth+1))
+		fmt.Fprintf(&b, "%-14s %-4s %v", s.Kind, s.Site, s.Start)
+		if s.End != s.Start {
+			fmt.Fprintf(&b, " → %v (%v)", s.End, dur(s))
+		}
+		if s.Parent != 0 && !present[s.Parent] {
+			fmt.Fprintf(&b, " [dangling parent %d]", s.Parent)
+		}
+		if len(s.Attrs) > 0 {
+			keys := make([]string, 0, len(s.Attrs))
+			for k := range s.Attrs {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			for _, k := range keys {
+				fmt.Fprintf(&b, " %s=%s", k, s.Attrs[k])
+			}
+		}
+		b.WriteByte('\n')
+		for _, c := range children[s.ID] {
+			walk(c, depth+1)
+		}
+	}
+	for _, r := range roots {
+		walk(r, 0)
+	}
+	return b.String()
+}
+
+func dur(s Span) vclock.Time {
+	if s.End < s.Start {
+		return 0
+	}
+	return s.End - s.Start
+}
+
+// RenderTimelines renders every timeline, separated by blank lines.
+func RenderTimelines(tls []Timeline) string {
+	parts := make([]string, len(tls))
+	for i, tl := range tls {
+		parts[i] = tl.Render()
+	}
+	return strings.Join(parts, "\n")
+}

@@ -1,0 +1,109 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMergeOrdersByStart(t *testing.T) {
+	a := []Span{{ID: 2, Site: "A", Kind: "txn", TID: "t", Start: 10, End: 20}}
+	b := []Span{{ID: 1, Site: "B", Kind: "part.compute", TID: "t", Start: 5, End: 8}}
+	got := Merge(a, b)
+	if len(got) != 2 || got[0].ID != 1 || got[1].ID != 2 {
+		t.Fatalf("Merge order wrong: %+v", got)
+	}
+}
+
+func TestBuildTimelinesComplete(t *testing.T) {
+	spans := []Span{
+		{ID: 1, TID: "t1", Site: "A", Kind: RootKind, Start: 0, End: 30,
+			Attrs: map[string]string{"status": "committed", "participants": "A,B"}},
+		{ID: 2, Parent: 1, TID: "t1", Site: "A", Kind: "phase.read", Start: 0, End: 10},
+		{ID: 3, Parent: 1, TID: "t1", Site: "B", Kind: "part.compute", Start: 12, End: 18},
+		{ID: 9, TID: "", Site: "A", Kind: "budget.degrade", Start: 4, End: 4}, // site-level, skipped
+	}
+	tls := BuildTimelines(spans)
+	if len(tls) != 1 {
+		t.Fatalf("got %d timelines, want 1", len(tls))
+	}
+	tl := tls[0]
+	if !tl.Complete {
+		t.Fatalf("timeline incomplete: %+v", tl)
+	}
+	if tl.Status != "committed" {
+		t.Fatalf("Status = %q", tl.Status)
+	}
+	if len(tl.Spans) != 3 {
+		t.Fatalf("timeline holds %d spans, want 3", len(tl.Spans))
+	}
+}
+
+func TestBuildTimelinesDanglingParent(t *testing.T) {
+	spans := []Span{
+		{ID: 1, TID: "t1", Site: "A", Kind: RootKind, Attrs: map[string]string{"participants": "A"}},
+		{ID: 2, Parent: 77, TID: "t1", Site: "A", Kind: "phase.read"},
+	}
+	tl := BuildTimelines(spans)[0]
+	if tl.Complete {
+		t.Fatal("timeline with dangling parent marked complete")
+	}
+	if len(tl.MissingParents) != 1 || tl.MissingParents[0] != 77 {
+		t.Fatalf("MissingParents = %v", tl.MissingParents)
+	}
+}
+
+func TestBuildTimelinesSilentSite(t *testing.T) {
+	spans := []Span{
+		{ID: 1, TID: "t1", Site: "A", Kind: RootKind,
+			Attrs: map[string]string{"participants": "A,B,C"}},
+		{ID: 2, Parent: 1, TID: "t1", Site: "B", Kind: "part.compute"},
+	}
+	tl := BuildTimelines(spans)[0]
+	if tl.Complete {
+		t.Fatal("timeline with silent participant marked complete")
+	}
+	if len(tl.MissingSites) != 1 || tl.MissingSites[0] != "C" {
+		t.Fatalf("MissingSites = %v", tl.MissingSites)
+	}
+}
+
+func TestBuildTimelinesNoRoot(t *testing.T) {
+	spans := []Span{{ID: 2, TID: "t1", Site: "B", Kind: "part.compute"}}
+	tl := BuildTimelines(spans)[0]
+	if tl.Complete {
+		t.Fatal("rootless timeline marked complete")
+	}
+}
+
+func TestRenderNesting(t *testing.T) {
+	spans := []Span{
+		{ID: 1, TID: "t1", Site: "A", Kind: RootKind, Start: 0, End: 30,
+			Attrs: map[string]string{"status": "committed", "participants": "A,B"}},
+		{ID: 2, Parent: 1, TID: "t1", Site: "B", Kind: "part.compute", Start: 5, End: 9},
+	}
+	out := BuildTimelines(spans)[0].Render()
+	if !strings.Contains(out, "txn t1 [committed]") {
+		t.Fatalf("missing header: %q", out)
+	}
+	if !strings.Contains(out, "part.compute") {
+		t.Fatalf("missing child span: %q", out)
+	}
+	if strings.Contains(out, "INCOMPLETE") {
+		t.Fatalf("complete timeline rendered INCOMPLETE: %q", out)
+	}
+	// Child is indented one level deeper than the root span line.
+	var rootIndent, childIndent int
+	for _, line := range strings.Split(out, "\n") {
+		trimmed := strings.TrimLeft(line, " ")
+		indent := len(line) - len(trimmed)
+		if strings.HasPrefix(trimmed, RootKind+" ") {
+			rootIndent = indent
+		}
+		if strings.HasPrefix(trimmed, "part.compute") {
+			childIndent = indent
+		}
+	}
+	if childIndent <= rootIndent {
+		t.Fatalf("child not nested (root %d, child %d):\n%s", rootIndent, childIndent, out)
+	}
+}

@@ -1,0 +1,137 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/protocol"
+)
+
+// TestVersionSelection pins the pay-for-what-you-use rule: the version
+// byte is decided by which optional fields the message carries, so
+// untraced, deadline-free traffic is byte-identical to version 1.
+func TestVersionSelection(t *testing.T) {
+	base := protocol.Message{Kind: protocol.MsgPrepare, TID: "t", From: "A", To: "B"}
+	cases := []struct {
+		name     string
+		deadline time.Duration
+		ctx      uint64
+		want     byte
+	}{
+		{"plain", 0, 0, Version},
+		{"deadline", time.Second, 0, DeadlineVersion},
+		{"trace", 0, 7, TraceVersion},
+		{"deadline+trace", time.Second, 7, TraceVersion},
+	}
+	for _, c := range cases {
+		m := base
+		m.Deadline, m.TraceCtx = c.deadline, c.ctx
+		payload := EncodeMessage(m)
+		if payload[0] != c.want {
+			t.Errorf("%s: version byte %d, want %d", c.name, payload[0], c.want)
+		}
+		got, err := DecodeMessage(payload)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", c.name, err)
+		}
+		if got.Deadline != c.deadline || got.TraceCtx != c.ctx {
+			t.Errorf("%s: round trip got deadline=%v ctx=%d", c.name, got.Deadline, got.TraceCtx)
+		}
+		if again := EncodeMessage(got); !bytes.Equal(payload, again) {
+			t.Errorf("%s: re-encode not canonical", c.name)
+		}
+	}
+}
+
+// appendV4Prefix hand-builds a version-4 payload through the deadline
+// field, leaving the trace context and value count to the caller.
+func appendV4Prefix(deadline uint64) []byte {
+	p := []byte{TraceVersion, byte(protocol.MsgPrepare)}
+	p = appendString(p, "t") // tid
+	p = appendString(p, "A") // from
+	p = appendString(p, "B") // to
+	p = append(p, 0)         // flags
+	p = append(p, 0)         // item count
+	p = appendString(p, "")  // program
+	p = appendString(p, "")  // coordinator
+	p = appendString(p, "")  // reason
+	p = binary.AppendUvarint(p, deadline)
+	return p
+}
+
+func TestTraceVersionMalformed(t *testing.T) {
+	t.Run("zero-trace-ctx", func(t *testing.T) {
+		// A v4 payload whose trace context is zero is non-canonical (the
+		// encoder would have picked v1/v3) and must be rejected.
+		p := appendV4Prefix(0)
+		p = binary.AppendUvarint(p, 0) // trace ctx = 0
+		p = binary.AppendUvarint(p, 0) // value count
+		if _, err := DecodeMessage(p); !errors.Is(err, ErrMalformed) {
+			t.Errorf("got %v, want ErrMalformed", err)
+		}
+	})
+	t.Run("negative-deadline", func(t *testing.T) {
+		// 2^63 wraps to a negative time.Duration; v4 allows zero but not
+		// negative.
+		p := appendV4Prefix(1 << 63)
+		p = binary.AppendUvarint(p, 7)
+		p = binary.AppendUvarint(p, 0)
+		if _, err := DecodeMessage(p); !errors.Is(err, ErrMalformed) {
+			t.Errorf("got %v, want ErrMalformed", err)
+		}
+	})
+	t.Run("truncated-before-ctx", func(t *testing.T) {
+		p := appendV4Prefix(0)
+		if _, err := DecodeMessage(p); !errors.Is(err, ErrTruncated) {
+			t.Errorf("got %v, want ErrTruncated", err)
+		}
+	})
+	t.Run("zero-deadline-ok", func(t *testing.T) {
+		// Unlike v3, a zero deadline is legal in v4: the trace context
+		// alone forces this version.
+		p := appendV4Prefix(0)
+		p = binary.AppendUvarint(p, 7)
+		p = binary.AppendUvarint(p, 0)
+		m, err := DecodeMessage(p)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if m.TraceCtx != 7 || m.Deadline != 0 {
+			t.Errorf("got ctx=%d deadline=%v", m.TraceCtx, m.Deadline)
+		}
+	})
+}
+
+func TestDecodePayloadTraceVersion(t *testing.T) {
+	m := protocol.Message{Kind: protocol.MsgReadReq, TID: "t", From: "A", To: "B",
+		Items: []string{"x"}, Lock: true, TraceCtx: 42}
+	got, err := DecodePayload(EncodeMessage(m))
+	if err != nil {
+		t.Fatalf("DecodePayload: %v", err)
+	}
+	if len(got) != 1 || got[0].TraceCtx != 42 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestBatchCarriesTraceCtx(t *testing.T) {
+	msgs := []protocol.Message{
+		{Kind: protocol.MsgReadReq, TID: "a", From: "A", To: "B", TraceCtx: 9},
+		{Kind: protocol.MsgReady, TID: "a", From: "B", To: "A"},
+		{Kind: protocol.MsgPrepare, TID: "b", From: "A", To: "B",
+			Deadline: time.Second, TraceCtx: 10},
+	}
+	got, err := DecodeBatch(EncodeBatch(msgs))
+	if err != nil {
+		t.Fatalf("DecodeBatch: %v", err)
+	}
+	for i := range msgs {
+		if got[i].TraceCtx != msgs[i].TraceCtx || got[i].Deadline != msgs[i].Deadline {
+			t.Errorf("element %d: ctx=%d deadline=%v, want ctx=%d deadline=%v",
+				i, got[i].TraceCtx, got[i].Deadline, msgs[i].TraceCtx, msgs[i].Deadline)
+		}
+	}
+}

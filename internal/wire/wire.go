@@ -33,6 +33,18 @@
 // traffic is byte-identical to what older peers emit and accept; the
 // decoder accepts both versions.
 //
+// Version 4 carries a trace context and appends two fields after
+// Reason:
+//
+//	uvarint  deadline (may be zero in this version)
+//	uvarint  trace context (root span ID; must be nonzero)
+//
+// A message encodes as version 4 only when TraceCtx is nonzero — i.e.
+// only when span tracing is enabled — following the deadline precedent:
+// untraced traffic stays byte-identical to versions 1/3, and a version-4
+// payload with a zero trace context is malformed so every message still
+// has exactly one canonical encoding.
+//
 // Values entries are written in sorted item order, so encoding is
 // canonical: equal messages produce identical bytes, and re-encoding a
 // decoded message reproduces the source frame exactly.
@@ -66,6 +78,12 @@ const Version = 1
 // shared across all payload kinds.)
 const DeadlineVersion = 3
 
+// TraceVersion is the single-message payload version carrying a trace
+// context (plus the deadline field, which may be zero here).  Emitted
+// only when span tracing stamps a message, so tracing-off traffic never
+// changes shape.
+const TraceVersion = 4
+
 // MaxFrame is the default cap on payload size, applied by ReadMessage
 // and DecodeFrame.  A peer announcing a larger frame is faulty or
 // hostile; reading it would be an unbounded allocation.
@@ -98,12 +116,16 @@ const (
 	flagCommitted = 1 << 2
 )
 
-// AppendMessage appends m's payload encoding to dst: version 1, or
-// version 3 when the message carries a deadline.
+// AppendMessage appends m's payload encoding to dst: version 1, version
+// 3 when the message carries a deadline, or version 4 when it carries a
+// trace context.
 func AppendMessage(dst []byte, m protocol.Message) []byte {
 	ver := byte(Version)
 	if m.Deadline > 0 {
 		ver = DeadlineVersion
+	}
+	if m.TraceCtx != 0 {
+		ver = TraceVersion
 	}
 	dst = append(dst, ver, byte(m.Kind))
 	dst = appendString(dst, string(m.TID))
@@ -127,8 +149,11 @@ func AppendMessage(dst []byte, m protocol.Message) []byte {
 	dst = appendString(dst, m.Program)
 	dst = appendString(dst, string(m.Coordinator))
 	dst = appendString(dst, m.Reason)
-	if ver == DeadlineVersion {
+	if ver == DeadlineVersion || ver == TraceVersion {
 		dst = binary.AppendUvarint(dst, uint64(m.Deadline))
+	}
+	if ver == TraceVersion {
+		dst = binary.AppendUvarint(dst, m.TraceCtx)
 	}
 	dst = binary.AppendUvarint(dst, uint64(len(m.Values)))
 	for _, item := range sortedKeys(m.Values) {
@@ -161,7 +186,7 @@ func DecodeMessage(buf []byte) (protocol.Message, error) {
 func decodeMessage(buf []byte) (protocol.Message, int, error) {
 	d := decoder{buf: buf}
 	ver := d.byte("version")
-	if d.err == nil && ver != Version && ver != DeadlineVersion {
+	if d.err == nil && ver != Version && ver != DeadlineVersion && ver != TraceVersion {
 		return protocol.Message{}, 0, fmt.Errorf("%w: %d", ErrVersion, ver)
 	}
 	var m protocol.Message
@@ -182,12 +207,27 @@ func decodeMessage(buf []byte) (protocol.Message, int, error) {
 	m.Program = d.str("program")
 	m.Coordinator = protocol.SiteID(d.str("coordinator"))
 	m.Reason = d.str("reason")
-	if ver == DeadlineVersion {
+	if ver == DeadlineVersion || ver == TraceVersion {
 		m.Deadline = time.Duration(d.uvarint("deadline"))
-		if d.err == nil && m.Deadline <= 0 {
-			// Canonical: a zero (or overflowed-negative) deadline must
-			// use the version-1 form, so re-encoding reproduces frames.
-			return protocol.Message{}, 0, fmt.Errorf("%w: non-positive deadline", ErrMalformed)
+		if d.err == nil {
+			if ver == DeadlineVersion && m.Deadline <= 0 {
+				// Canonical: a zero (or overflowed-negative) deadline must
+				// use the version-1 form, so re-encoding reproduces frames.
+				return protocol.Message{}, 0, fmt.Errorf("%w: non-positive deadline", ErrMalformed)
+			}
+			if ver == TraceVersion && m.Deadline < 0 {
+				// Version 4 allows a zero deadline (the trace context alone
+				// forces this version) but never an overflowed-negative one.
+				return protocol.Message{}, 0, fmt.Errorf("%w: negative deadline", ErrMalformed)
+			}
+		}
+	}
+	if ver == TraceVersion {
+		m.TraceCtx = d.uvarint("trace context")
+		if d.err == nil && m.TraceCtx == 0 {
+			// Canonical: an untraced message must use version 1 or 3, so
+			// re-encoding a decoded message reproduces the source frame.
+			return protocol.Message{}, 0, fmt.Errorf("%w: zero trace context", ErrMalformed)
 		}
 	}
 	if n := d.count("value count"); n > 0 {

@@ -48,6 +48,18 @@ func goldenMessages() []protocol.Message {
 		{Kind: protocol.MsgOutcomeReq, TID: "t3", From: "C", To: "A"},
 		{Kind: protocol.MsgOutcomeInfo, TID: "t3", From: "A", To: "C", Committed: true},
 		{Kind: protocol.MsgOutcomeAck, TID: "t3", From: "C", To: "A"},
+		// Version 3: deadline-carrying traffic.
+		{Kind: protocol.MsgReadReq, TID: "t4", From: "A", To: "B",
+			Items: []string{"acct0"}, Lock: true, Coordinator: "A",
+			Deadline: 250 * 1e6},
+		// Version 4: trace-context-carrying traffic, with and without a
+		// deadline riding along.
+		{Kind: protocol.MsgPrepare, TID: "t5", From: "A", To: "C",
+			Items: []string{"acct2"}, Program: "acct2 = acct2 + 1",
+			Coordinator: "A", Deadline: 500 * 1e6, TraceCtx: 0x7e57_0001},
+		{Kind: protocol.MsgReadReq, TID: "t5", From: "A", To: "B",
+			Items: []string{"acct1"}, Lock: true, Coordinator: "A",
+			TraceCtx: 1},
 	}
 }
 
@@ -56,7 +68,8 @@ func goldenMessages() []protocol.Message {
 func messagesEqual(a, b protocol.Message) bool {
 	if a.Kind != b.Kind || a.TID != b.TID || a.From != b.From || a.To != b.To ||
 		a.Lock != b.Lock || a.ReadOnly != b.ReadOnly || a.Committed != b.Committed ||
-		a.Program != b.Program || a.Coordinator != b.Coordinator || a.Reason != b.Reason {
+		a.Program != b.Program || a.Coordinator != b.Coordinator || a.Reason != b.Reason ||
+		a.Deadline != b.Deadline || a.TraceCtx != b.TraceCtx {
 		return false
 	}
 	if len(a.Items) != len(b.Items) {
