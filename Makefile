@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-smoke tables fuzz-smoke cluster-demo chaos chaos-smoke chaos-demo overload overload-smoke telemetry-smoke
+.PHONY: check vet build test race bench bench-smoke tables fuzz-smoke cluster-demo chaos chaos-smoke chaos-demo overload overload-smoke telemetry-smoke consensus consensus-smoke
 
 check: vet build race ## everything CI runs
 
@@ -31,6 +31,7 @@ tables:
 # target; go test only accepts a single fuzz target at a time).
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzMessageDecode -fuzztime=10s ./internal/wire
+	$(GO) test -run=^$$ -fuzz=FuzzPaxosDecode -fuzztime=10s ./internal/wire
 	$(GO) test -run=^$$ -fuzz=FuzzPolyDecode -fuzztime=10s ./internal/wire
 	$(GO) test -run=^$$ -fuzz=FuzzBatchDecode -fuzztime=10s ./internal/wire
 	$(GO) test -run=^$$ -fuzz=FuzzRecover -fuzztime=10s ./internal/storage
@@ -56,6 +57,22 @@ overload:
 # Short overload torture for CI: same assertions, ~3s partition.
 overload-smoke:
 	$(GO) test -race -count=1 -short -v -run TestOverloadTortureSeeded ./internal/harness
+
+# Full Paxos Commit decision-plane torture: the unit-level consensus and
+# cluster paxos suites, then the chaos harness on a 5-site TCP cluster
+# with the paxos plane, killing F=2 acceptors plus the armed victim each
+# cycle and asserting durable consistent decisions, conservation, and
+# acceptor-state GC.
+consensus:
+	$(GO) test -race -count=1 ./internal/consensus
+	$(GO) test -race -count=1 -run TestPaxos ./internal/cluster
+	$(GO) test -race -count=1 -v -run TestConsensusChaosSeeded ./internal/harness
+
+# Short decision-plane torture for CI: same assertions, one kill cycle.
+consensus-smoke:
+	$(GO) test -race -count=1 ./internal/consensus
+	$(GO) test -race -count=1 -run TestPaxos ./internal/cluster
+	$(GO) test -race -count=1 -short -v -run TestConsensusChaosSeeded ./internal/harness
 
 # Boot a 3-process cluster with -spans and -telemetry, commit a
 # transfer, and check /metrics, /healthz, /trace and the control-port

@@ -80,6 +80,7 @@ type options struct {
 	settle   time.Duration
 	admit    int
 	deadline time.Duration
+	plane    string
 	childArg bool
 	siteArg  string
 	verbose  bool
@@ -109,6 +110,7 @@ func main() {
 	flag.DurationVar(&opt.settle, "settle", 15*time.Second, "post-run bound for polyvalues to drain before the audit")
 	flag.IntVar(&opt.admit, "admission", 0, "per-site in-flight transaction cap; over it submissions shed (0: unlimited, overload workload defaults to 4)")
 	flag.DurationVar(&opt.deadline, "txn-deadline", 0, "end-to-end transaction deadline enforced by the cluster (0: none)")
+	flag.StringVar(&opt.plane, "decision-plane", "wal", "commit decision plane: wal (coordinator log + polyvalues), paxos (replicated Paxos Commit), blocking2pc (coordinator log + blocking participants)")
 	flag.BoolVar(&opt.childArg, "child", false, "internal: run as one site of a procs-mode cluster")
 	flag.StringVar(&opt.siteArg, "site", "", "internal: site ID for -child")
 	flag.BoolVar(&opt.verbose, "v", false, "log progress to stderr")
@@ -141,6 +143,9 @@ func run(opt options) error {
 	if opt.workers < 1 {
 		opt.workers = 1
 	}
+	if _, _, err := planeConfig(opt); err != nil {
+		return err
+	}
 	if _, err := workloadConfig(opt); err != nil {
 		return err
 	}
@@ -153,6 +158,11 @@ func run(opt options) error {
 			b = "unbatched"
 		}
 		opt.label = fmt.Sprintf("%s-%s-%dsite-%s", opt.kind, opt.mode, opt.sites, b)
+		if opt.plane != "wal" {
+			// Each decision plane is its own setting; never compare a
+			// paxos or blocking run against the wal baseline.
+			opt.label += "-" + opt.plane
+		}
 		if opt.spansN > 0 {
 			// Traced runs get their own setting so the tracing-off
 			// baseline is never compared against tracing-on numbers.
@@ -214,6 +224,31 @@ func workloadConfig(opt options) (workload.Config, error) {
 		return cfg, fmt.Errorf("unknown -workload %q", opt.kind)
 	}
 	return cfg, nil
+}
+
+// planeConfig maps -decision-plane onto cluster knobs: the decision
+// plane proper plus the participant wait policy (blocking2pc is the
+// classic baseline — the wal plane with participants that hold their
+// locks through coordinator outages instead of installing polyvalues).
+// planeName canonicalizes the flag for labels and the BENCH schema.
+func planeName(opt options) string {
+	if opt.plane == "" {
+		return "wal"
+	}
+	return opt.plane
+}
+
+func planeConfig(opt options) (cluster.DecisionPlane, cluster.Policy, error) {
+	switch opt.plane {
+	case "", "wal":
+		return cluster.PlaneWAL, cluster.PolicyPolyvalue, nil
+	case "paxos":
+		return cluster.PlanePaxos, cluster.PolicyPolyvalue, nil
+	case "blocking2pc":
+		return cluster.PlaneWAL, cluster.PolicyBlocking, nil
+	default:
+		return "", 0, fmt.Errorf("unknown -decision-plane %q (want wal, paxos, or blocking2pc)", opt.plane)
+	}
 }
 
 // programs pre-generates every transaction source: the Generator is not
@@ -294,6 +329,7 @@ type setting struct {
 	Workload        string     `json:"workload"`
 	Items           int        `json:"items"`
 	Batching        bool       `json:"batching"`
+	DecisionPlane   string     `json:"decision_plane"`
 	DurationSeconds float64    `json:"duration_seconds"`
 	ThroughputTPS   float64    `json:"throughput_tps"`
 	Committed       int        `json:"committed"`
@@ -310,8 +346,9 @@ func (r *runResult) setting(opt options) setting {
 	s := setting{
 		Name: opt.label, Mode: opt.mode, Sites: opt.sites, Workers: opt.workers,
 		Txns: opt.txns, Seed: opt.seed, Workload: opt.kind, Items: opt.items,
-		Batching: opt.batch, DurationSeconds: r.duration.Seconds(),
-		Committed: r.committed, Aborted: r.aborted, Timeouts: r.timeouts,
+		Batching: opt.batch, DecisionPlane: planeName(opt),
+		DurationSeconds: r.duration.Seconds(),
+		Committed:       r.committed, Aborted: r.aborted, Timeouts: r.timeouts,
 		AdmissionLimit: opt.admit, Shed: r.shed,
 	}
 	if attempts := r.shed + opt.txns; attempts > 0 {
@@ -392,9 +429,14 @@ func runInproc(opt options) (*runResult, error) {
 	nodes := make([]*cluster.Cluster, opt.sites)
 	for i, id := range names {
 		fab := transport.NewTCPWithListener(tcpConfig(id, peers, reg, opt), lns[i])
+		plane, policy, err := planeConfig(opt)
+		if err != nil {
+			return nil, err
+		}
 		node, err := cluster.NewNode(cluster.Config{
 			Sites: names, Metrics: reg, Spans: spans,
 			AdmissionLimit: opt.admit, TxnDeadline: opt.deadline,
+			DecisionPlane: plane, Policy: policy,
 		}, id, fab)
 		if err != nil {
 			return nil, err
@@ -667,6 +709,7 @@ func runProcs(opt options) (*runResult, error) {
 			"-batch-delay", opt.batchLng.String(),
 			"-admission", strconv.Itoa(opt.admit),
 			"-txn-deadline", opt.deadline.String(),
+			"-decision-plane", planeName(opt),
 			"-spans", strconv.Itoa(opt.spansN),
 		)
 		stdin, err := cmd.StdinPipe()
@@ -878,9 +921,14 @@ func runChild(opt options) error {
 		spans = trace.NewSpanLogFor(string(self), opt.spansN)
 	}
 	fab := transport.NewTCPWithListener(tcpConfig(self, peers, reg, opt), ln)
+	plane, policy, err := planeConfig(opt)
+	if err != nil {
+		return err
+	}
 	node, err := cluster.NewNode(cluster.Config{
 		Sites: names, Metrics: reg, Spans: spans,
 		AdmissionLimit: opt.admit, TxnDeadline: opt.deadline,
+		DecisionPlane: plane, Policy: policy,
 	}, self, fab)
 	if err != nil {
 		return err

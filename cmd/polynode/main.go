@@ -90,6 +90,7 @@ func main() {
 		polyBdg  = flag.Int("poly-budget", 0, "max local polyvalue population before in-doubt work degrades to blocking 2PC (0: unlimited)")
 		depBdg   = flag.Int("dep-budget", 0, "max dependency-table size before the same degradation (0: unlimited)")
 		hbeat    = flag.Duration("heartbeat", 0, "peer heartbeat interval for the failure detector + circuit breaker (0: disabled)")
+		planeArg = flag.String("decision-plane", "wal", "commit decision plane: wal (coordinator WAL only), paxos (Paxos Commit over 2F+1 acceptors), or blocking2pc (wal plane, polyvalues off); every process must pass the same value")
 		place    = flag.String("place", "", "comma-separated item=site placement pins (every process must pass the same value); unlisted items hash across sites")
 		faults   = flag.String("faults", "", "initial fault plan, ';'-separated injector commands (e.g. 'drop to=B p=0.1; delay p=0.2 min=5ms max=40ms')")
 		faultSd  = flag.Int64("fault-seed", 1, "PRNG seed for the fault injector (same seed, same fault decisions)")
@@ -182,8 +183,23 @@ func main() {
 			},
 		})
 	}
+	var plane cluster.DecisionPlane
+	policy := cluster.PolicyPolyvalue
+	switch *planeArg {
+	case "", "wal":
+		plane = cluster.PlaneWAL
+	case "paxos":
+		plane = cluster.PlanePaxos
+	case "blocking2pc":
+		plane = cluster.PlaneWAL
+		policy = cluster.PolicyBlocking
+	default:
+		fatal("unknown -decision-plane %q (want wal, paxos, or blocking2pc)", *planeArg)
+	}
 	cfg := cluster.Config{
 		Sites:          sites,
+		DecisionPlane:  plane,
+		Policy:         policy,
 		WaitTimeout:    *waitT,
 		RetryInterval:  *retryT,
 		AdmissionLimit: *admit,

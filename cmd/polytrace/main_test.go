@@ -122,3 +122,28 @@ func TestUsageAndReadErrors(t *testing.T) {
 		t.Errorf("bad json: exit = %d", code)
 	}
 }
+
+// TestPaxosQuorumAudit: a committed paxos-plane transaction whose dumps
+// show fewer distinct accept sites than the declared quorum is flagged
+// incomplete with the quorum note; a full quorum renders clean.
+func TestPaxosQuorumAudit(t *testing.T) {
+	dir := t.TempDir()
+	base := []trace.Span{
+		{ID: 1, Kind: trace.RootKind, TID: "p1", Site: "A", Start: 0, End: 100,
+			Attrs: map[string]string{"status": "committed", "participants": "A",
+				"plane": "paxos", "quorum": "2"}},
+		{ID: 2, Parent: 1, Kind: "paxos.accept", TID: "p1", Site: "A", Start: 10, End: 10},
+	}
+	thin := writeDump(t, dir, "thin-A.json", base)
+	code, out, _ := runCmd(t, thin)
+	if code != 1 || !strings.Contains(out, "accept quorum not visible") {
+		t.Errorf("thin quorum: exit=%d out:\n%s", code, out)
+	}
+	full := writeDump(t, dir, "full-B.json", []trace.Span{
+		{ID: 3, Parent: 1, Kind: "paxos.accept", TID: "p1", Site: "B", Start: 12, End: 12},
+	})
+	code, out, _ = runCmd(t, thin, full)
+	if code != 0 || strings.Contains(out, "INCOMPLETE") {
+		t.Errorf("full quorum: exit=%d out:\n%s", code, out)
+	}
+}

@@ -82,6 +82,11 @@ type Cluster struct {
 	deadlineCoord   *metrics.Counter
 	deadlinePart    *metrics.Counter
 	degradedTxns    *metrics.Counter
+	paxosVotes      *metrics.Counter
+	paxosAccepts    *metrics.Counter
+	paxosRejects    *metrics.Counter
+	paxosTakeovers  *metrics.Counter
+	paxosDecisions  *metrics.Counter
 	// installAt timestamps live polyvalued items for the lifetime
 	// histogram; only touched from serialized site events.
 	installAt map[lifeKey]vclock.Time
@@ -102,6 +107,9 @@ func New(cfg Config) (*Cluster, error) {
 			return nil, fmt.Errorf("cluster: duplicate site %q", s)
 		}
 		seen[s] = true
+	}
+	if err := validDecisionPlane(cfg.DecisionPlane); err != nil {
+		return nil, err
 	}
 	cfg.fillDefaults()
 	c := &Cluster{

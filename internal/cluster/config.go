@@ -13,6 +13,7 @@
 package cluster
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/metrics"
@@ -53,6 +54,23 @@ func (p Policy) String() string {
 		return "polyvalue"
 	}
 }
+
+// DecisionPlane selects where the commit/abort decision lives.
+type DecisionPlane string
+
+const (
+	// PlaneWAL is the classic plane (and the default): the decision is
+	// a single record in the coordinator's WAL, and a dead coordinator
+	// leaves in-doubt participants waiting (polyvalues keep the data
+	// available meanwhile).
+	PlaneWAL DecisionPlane = "wal"
+	// PlanePaxos replicates the decision with Paxos Commit (Gray &
+	// Lamport): one Paxos instance per participant-vote across 2F+1
+	// acceptor sites.  Any site can drive an in-doubt transaction to a
+	// durable decision after up to F acceptor failures plus the
+	// coordinator — presumed abort is replaced by consensus takeover.
+	PlanePaxos DecisionPlane = "paxos"
+)
 
 // Config parameterizes a cluster.
 type Config struct {
@@ -95,6 +113,16 @@ type Config struct {
 	// Policy selects wait-phase timeout behaviour.  Default
 	// PolicyPolyvalue.
 	Policy Policy
+	// DecisionPlane selects where the commit/abort decision lives:
+	// PlaneWAL (default) logs it on the coordinator only; PlanePaxos
+	// replicates it across an acceptor group with Paxos Commit, making
+	// the decision reachable after coordinator loss.
+	DecisionPlane DecisionPlane
+	// PaxosAcceptors sizes the PlanePaxos acceptor group (2F+1; even
+	// values are rounded down to the next odd).  The group is the
+	// sorted-membership prefix, so every site derives the same set.  0
+	// means min(5, len(Sites)) rounded down to odd.
+	PaxosAcceptors int
 	// AdmissionLimit caps in-flight coordinated transactions per site;
 	// over the cap, SubmitProgram sheds with ErrOverload (counted as
 	// site.admission.shed) instead of queueing without bound.  0 or
@@ -188,4 +216,15 @@ func (c *Config) fillDefaults() {
 	if c.Tracer == nil {
 		c.Tracer = trace.Nop{}
 	}
+	if c.DecisionPlane == "" {
+		c.DecisionPlane = PlaneWAL
+	}
+}
+
+func validDecisionPlane(p DecisionPlane) error {
+	switch p {
+	case "", PlaneWAL, PlanePaxos:
+		return nil
+	}
+	return fmt.Errorf("cluster: unknown decision plane %q (have %q, %q)", p, PlaneWAL, PlanePaxos)
 }

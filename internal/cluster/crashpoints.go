@@ -41,6 +41,14 @@ const (
 	// sent: participants time out into polyvalues and must extract the
 	// outcome from the restarted coordinator's log.
 	CrashAfterDecisionLog CrashPoint = "after-decision-log"
+	// CrashBeforePaxosAccept fires on a PlanePaxos acceptor when a
+	// 2a/vote arrives, before anything is durably accepted: the vote is
+	// lost at this acceptor (survivable at up to F of them).
+	CrashBeforePaxosAccept CrashPoint = "before-paxos-accept"
+	// CrashAfterPaxosAccept fires on a PlanePaxos acceptor right after
+	// its durable accept, before the 2b reply leaves: the leader must
+	// reach quorum elsewhere or a takeover re-reads this state.
+	CrashAfterPaxosAccept CrashPoint = "after-paxos-accept"
 	// CrashMidWALAppend tears the site's next durable log write in half
 	// (storage.FileLog.TearNext) and crashes: recovery must replay the
 	// intact prefix and discard the torn record.  On sites without a
@@ -53,6 +61,7 @@ func CrashPoints() []CrashPoint {
 	pts := []CrashPoint{
 		CrashBeforePrepare, CrashBeforeReady, CrashAfterReady,
 		CrashBeforeDecision, CrashAfterDecisionLog, CrashMidWALAppend,
+		CrashBeforePaxosAccept, CrashAfterPaxosAccept,
 	}
 	sort.Slice(pts, func(i, j int) bool { return pts[i] < pts[j] })
 	return pts
@@ -61,7 +70,8 @@ func CrashPoints() []CrashPoint {
 func validCrashPoint(p CrashPoint) bool {
 	switch p {
 	case CrashBeforePrepare, CrashBeforeReady, CrashAfterReady,
-		CrashBeforeDecision, CrashAfterDecisionLog, CrashMidWALAppend:
+		CrashBeforeDecision, CrashAfterDecisionLog, CrashMidWALAppend,
+		CrashBeforePaxosAccept, CrashAfterPaxosAccept:
 		return true
 	}
 	return false

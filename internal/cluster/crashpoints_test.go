@@ -33,8 +33,8 @@ func TestArmCrashValidation(t *testing.T) {
 		t.Errorf("valid arm rejected: %v", err)
 	}
 	pts := CrashPoints()
-	if len(pts) != 6 {
-		t.Errorf("CrashPoints() = %v, want 6 points", pts)
+	if len(pts) != 8 {
+		t.Errorf("CrashPoints() = %v, want 8 points", pts)
 	}
 	for _, p := range pts {
 		if !validCrashPoint(p) {

@@ -78,6 +78,19 @@ func (c *Cluster) CheckInvariants() []string {
 						fmt.Sprintf("site %s: %d prepared entries at quiescence", id, n))
 				}
 			}
+			// 6: paxos plane — every registered decision has settled and
+			// its acceptor state was garbage-collected.
+			if c.cfg.DecisionPlane == PlanePaxos {
+				for _, tid := range st.PaxosTxns() {
+					if _, known := st.Outcome(tid); known {
+						violations = append(violations,
+							fmt.Sprintf("site %s: paxos acceptor state for %s outlived its known outcome", id, tid))
+					} else {
+						violations = append(violations,
+							fmt.Sprintf("site %s: undecided paxos state for %s at quiescence", id, tid))
+					}
+				}
+			}
 		})
 	}
 	return violations

@@ -28,6 +28,13 @@ import (
 //	txn.degraded.blocking            — in-doubt transactions that held
 //	                                   their locks (blocking 2PC) because
 //	                                   the polyvalue budget was exhausted
+//	paxos.votes / paxos.accepts /    — PlanePaxos decision plane:
+//	paxos.rejects / paxos.takeovers /  ballot-0 votes cast, durable
+//	paxos.decisions                    acceptor accepts, promise/accept
+//	                                   nacks, takeover rounds started,
+//	                                   and decisions reached by takeover
+//	                                   leaders (fast-path decisions land
+//	                                   in txn.committed/aborted directly)
 //	site.admission.shed{site}        — submissions shed over the cap
 //	site.admission.inflight{site}    — credits currently held
 //	site.budget.mode{site}           — 0 polyvalue, 1 blocking (degraded)
@@ -81,6 +88,11 @@ func (c *Cluster) initMetrics(reg *metrics.Registry) {
 	c.deadlineCoord = reg.Counter("txn.deadline.exceeded", metrics.L("role", "coordinator"))
 	c.deadlinePart = reg.Counter("txn.deadline.exceeded", metrics.L("role", "participant"))
 	c.degradedTxns = reg.Counter("txn.degraded.blocking")
+	c.paxosVotes = reg.Counter("paxos.votes")
+	c.paxosAccepts = reg.Counter("paxos.accepts")
+	c.paxosRejects = reg.Counter("paxos.rejects")
+	c.paxosTakeovers = reg.Counter("paxos.takeovers")
+	c.paxosDecisions = reg.Counter("paxos.decisions")
 	c.installAt = map[lifeKey]vclock.Time{}
 	c.residency = map[protocol.SiteID]*metrics.Histogram{}
 }

@@ -48,6 +48,9 @@ func NewNode(cfg Config, self protocol.SiteID, fab transport.Transport) (*Cluste
 	if !found {
 		return nil, fmt.Errorf("cluster: self %q not in site list %v", self, cfg.Sites)
 	}
+	if err := validDecisionPlane(cfg.DecisionPlane); err != nil {
+		return nil, err
+	}
 	cfg.fillDefaults()
 	// Transaction IDs must never recur across incarnations of the same
 	// site: the WAL outlives the process, so a reborn in-memory counter

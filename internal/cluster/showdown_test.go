@@ -1,0 +1,232 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/network"
+	"repro/internal/protocol"
+	"repro/internal/trace"
+)
+
+// showdownResult is one decision plane's measurements from the seeded
+// coordinator-outage schedule: the three-plane head-to-head table
+// EXPERIMENTS.md records.
+type showdownResult struct {
+	// availAfter is how long after the crash a fresh transfer touching a
+	// stranded item first commits (probe resubmitted every 250ms).
+	availAfter time.Duration
+	// decisionAfter is when the stranded transfer's outcome was applied
+	// at a participant (poly.reduce or part.blocked span end).
+	decisionAfter time.Duration
+	// residualPolys counts poly items at the end of the 30s outage.
+	residualPolys int
+	// indoubt/degraded are blocked item-seconds over the outage.
+	indoubt, degraded float64
+	// committed is the stranded transfer's final outcome.
+	committed bool
+}
+
+// runShowdown runs the showdown schedule under one plane/policy pair: a
+// 5-site cluster, a distributed transfer whose coordinator is killed at
+// the decision instant (every participant ready and in doubt), a 30s
+// coordinator outage probed for item availability, then recovery.
+func runShowdown(t *testing.T, plane DecisionPlane, policy Policy) showdownResult {
+	t.Helper()
+	spans := trace.NewSpanLog(8192)
+	c, err := New(Config{
+		Sites:         []protocol.SiteID{"A", "B", "C", "D", "E"},
+		Net:           network.Config{Latency: 10 * time.Millisecond, Seed: 7},
+		DecisionPlane: plane,
+		Policy:        policy,
+		Spans:         spans,
+		Placement: func(item string) protocol.SiteID {
+			switch item[0] {
+			case 'a':
+				return "A"
+			case 'b':
+				return "B"
+			case 'c':
+				return "C"
+			case 'd':
+				return "D"
+			default:
+				return "E"
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	loadInt(t, c, "bsrc", 100)
+	loadInt(t, c, "cdst", 0)
+	loadInt(t, c, "ddst", 0)
+
+	if err := c.ArmCrash("A", CrashBeforeDecision); err != nil {
+		t.Fatal(err)
+	}
+	h, err := c.Submit("A", "bsrc = bsrc - 40; cdst = cdst + 40")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const outage = 30 * time.Second
+	const step = 250 * time.Millisecond
+	res := showdownResult{availAfter: -1}
+	var probe *Handle
+	for elapsed := time.Duration(0); elapsed < outage; elapsed += step {
+		c.RunFor(step)
+		if res.availAfter >= 0 {
+			continue
+		}
+		if probe != nil && probe.Status() == StatusCommitted {
+			res.availAfter = elapsed
+			continue
+		}
+		if probe == nil || probe.Status() == StatusAborted {
+			// The probe conflicts with the stranded transfer's source
+			// item; refused attempts are resubmitted until one commits.
+			probe, err = c.Submit("D", "bsrc = bsrc - 1; ddst = ddst + 1")
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if h.Status() != StatusPending {
+		t.Fatalf("stranded handle = %v, want pending (client never hears)", h.Status())
+	}
+	res.residualPolys = len(c.PolyItems())
+	c.SyncBlockedAccounting()
+	reg := c.Metrics()
+	for _, site := range []string{"A", "B", "C", "D", "E"} {
+		l := metrics.L("site", site)
+		res.indoubt += reg.Histogram("item.blocked.seconds", l, metrics.L("cause", causeInDoubt)).Sum()
+		res.degraded += reg.Histogram("item.blocked.seconds", l, metrics.L("cause", causeDegraded)).Sum()
+	}
+
+	c.Restart("A")
+	for elapsed := outage; elapsed < outage+30*time.Second; elapsed += step {
+		c.RunFor(step)
+		if res.availAfter >= 0 {
+			continue
+		}
+		if probe != nil && probe.Status() == StatusCommitted {
+			res.availAfter = elapsed
+			continue
+		}
+		if probe == nil || probe.Status() == StatusAborted {
+			probe, err = c.Submit("D", "bsrc = bsrc - 1; ddst = ddst + 1")
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	c.RunFor(10 * time.Second)
+
+	// The decision instant: when a participant applied the outcome —
+	// polyvalue reduction under the polyvalue policy, unblocking under
+	// the blocking policy.
+	for _, sp := range spans.ByTID(string(h.TID)) {
+		if sp.Kind != spanPolyReduce && sp.Kind != spanPartBlocked {
+			continue
+		}
+		at := time.Duration(sp.End)
+		if res.decisionAfter == 0 || at < res.decisionAfter {
+			res.decisionAfter = at
+		}
+	}
+	res.committed = readInt(t, c, "cdst") == 40
+
+	// End-state sanity under every plane: conservation, no residual
+	// polyvalues, clean invariants, and the probe eventually committed.
+	total := readInt(t, c, "bsrc") + readInt(t, c, "cdst") + readInt(t, c, "ddst")
+	if total != 100 {
+		t.Errorf("conservation violated: total = %d", total)
+	}
+	if polys := c.PolyItems(); len(polys) != 0 {
+		t.Errorf("residual polyvalues after recovery: %v", polys)
+	}
+	if v := c.CheckInvariants(); len(v) != 0 {
+		t.Errorf("invariant violations: %v", v)
+	}
+	if res.availAfter < 0 {
+		t.Error("probe transfer never committed")
+	}
+	return res
+}
+
+// TestDecisionPlaneShowdownSim is the three-plane head-to-head on the
+// simulated fabric (deterministic; the numbers EXPERIMENTS.md quotes):
+// polyvalue continuation over the wal plane, Paxos Commit, and classic
+// blocking 2PC, all facing the same coordinator kill at the decision
+// instant.  The planes must separate exactly as the papers predict:
+//
+//   - wal+polyvalues: items become available at the wait timeout
+//     (availability restored in ~1s) but the *decision* waits for the
+//     coordinator's restart, and the presumed abort then discards the
+//     transfer — residual polyvalues ride out the whole outage.
+//   - paxos: the takeover reveals the quorum of ballot-0 Prepared votes
+//     and COMMITS in seconds, coordinator still dead — availability AND
+//     certainty, no residual polyvalues, and the transfer survives.
+//   - blocking 2PC: the stranded participants camp on the items for the
+//     entire outage (blocked item-seconds ≈ outage), and the transfer
+//     still dies by presumed abort at recovery.
+func TestDecisionPlaneShowdownSim(t *testing.T) {
+	wal := runShowdown(t, PlaneWAL, PolicyPolyvalue)
+	paxos := runShowdown(t, PlanePaxos, PolicyPolyvalue)
+	blocking := runShowdown(t, PlaneWAL, PolicyBlocking)
+
+	row := func(name string, r showdownResult) {
+		outcome := "aborted"
+		if r.committed {
+			outcome = "committed"
+		}
+		t.Logf("%-12s avail=%v decision=%v residual_polys=%d indoubt=%.3fs degraded=%.3fs outcome=%s",
+			name, r.availAfter, r.decisionAfter, r.residualPolys, r.indoubt, r.degraded, outcome)
+	}
+	row("wal+poly", wal)
+	row("paxos", paxos)
+	row("blocking2pc", blocking)
+
+	// Availability: both polyvalue planes restore it quickly; blocking
+	// 2PC holds the items for the whole 30s outage.
+	if wal.availAfter > 5*time.Second || paxos.availAfter > 5*time.Second {
+		t.Errorf("polyvalue planes should restore availability in seconds: wal=%v paxos=%v",
+			wal.availAfter, paxos.availAfter)
+	}
+	if blocking.availAfter < 25*time.Second {
+		t.Errorf("blocking plane restored availability at %v, want after the outage", blocking.availAfter)
+	}
+	// Certainty: only paxos decides during the outage — and it commits.
+	if paxos.decisionAfter > 10*time.Second {
+		t.Errorf("paxos decision at %v, want within seconds of the crash", paxos.decisionAfter)
+	}
+	if !paxos.committed {
+		t.Error("paxos plane aborted a fully-prepared transfer")
+	}
+	if wal.decisionAfter < 25*time.Second || wal.committed {
+		t.Errorf("wal plane: decision=%v committed=%v, want presumed abort after restart",
+			wal.decisionAfter, wal.committed)
+	}
+	if blocking.decisionAfter < 25*time.Second || blocking.committed {
+		t.Errorf("blocking plane: decision=%v committed=%v, want presumed abort after restart",
+			blocking.decisionAfter, blocking.committed)
+	}
+	// Residual uncertainty at the end of the outage.
+	if paxos.residualPolys != 0 {
+		t.Errorf("paxos left %d residual polyvalues mid-outage", paxos.residualPolys)
+	}
+	if wal.residualPolys == 0 {
+		t.Error("wal plane should carry residual polyvalues through the outage")
+	}
+	// Blocked item-seconds: only the blocking plane pays.
+	if wal.indoubt+wal.degraded != 0 || paxos.indoubt+paxos.degraded != 0 {
+		t.Errorf("polyvalue planes accrued blocking: wal=%.3f paxos=%.3f",
+			wal.indoubt+wal.degraded, paxos.indoubt+paxos.degraded)
+	}
+	if blocking.indoubt < 20 {
+		t.Errorf("blocking plane indoubt = %.3fs, want >= 20s of camping", blocking.indoubt)
+	}
+}

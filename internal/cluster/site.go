@@ -59,6 +59,13 @@ type Site struct {
 	coords map[txn.ID]*coordCtx
 	// retry holds outcome-request retry state for in-doubt transactions.
 	retry map[txn.ID]retryState
+	// plead holds per-transaction Paxos leader state (coordinator fast
+	// path or takeover) when the cluster runs the paxos decision plane.
+	plead map[txn.ID]*paxosLead
+	// pwatch holds acceptor-side watchdog timers: a site with durable
+	// undecided paxos instance state eventually drives the decision
+	// itself if no announce reaches it.
+	pwatch map[txn.ID]vclock.TimerID
 	// ackRetry holds coordinator-side decision-retransmission timers:
 	// until every participant acknowledges a decided outcome, the
 	// complete/abort is resent with capped exponential backoff.
@@ -190,6 +197,9 @@ type coordCtx struct {
 	// deadlineTimer fires with it still undecided.  Zero when disabled.
 	deadline      vclock.Time
 	deadlineTimer vclock.TimerID
+	// paxosPending marks a coordinator decision already handed to the
+	// paxos plane (waiting for consensus before finalizing).
+	paxosPending bool
 	// startAt/prepareAt bound the read and prepare phases for the
 	// per-phase latency histograms.
 	startAt   vclock.Time
@@ -210,6 +220,8 @@ func newSite(c *Cluster, id protocol.SiteID, store *storage.Store) *Site {
 		parts:       map[txn.ID]*partCtx{},
 		coords:      map[txn.ID]*coordCtx{},
 		retry:       map[txn.ID]retryState{},
+		plead:       map[txn.ID]*paxosLead{},
+		pwatch:      map[txn.ID]vclock.TimerID{},
 		ackRetry:    map[txn.ID]vclock.TimerID{},
 		notifyRetry: map[txn.ID]vclock.TimerID{},
 		acks:        map[txn.ID]map[protocol.SiteID]bool{},
@@ -396,6 +408,20 @@ func (s *Site) handle(msg protocol.Message) {
 		}
 	case protocol.MsgOutcomeAck:
 		s.onOutcomeAck(msg)
+	case protocol.MsgPaxosBegin:
+		s.onPaxosBegin(msg)
+	case protocol.MsgPaxosPrepare:
+		s.onPaxosPrepare(msg)
+	case protocol.MsgPaxosPromise:
+		s.onPaxosPromise(msg)
+	case protocol.MsgPaxosAccept:
+		s.onPaxosAccept(msg)
+	case protocol.MsgPaxosAccepted:
+		s.onPaxosAccepted(msg)
+	case protocol.MsgPaxosReject:
+		s.onPaxosReject(msg)
+	case protocol.MsgPaxosDecision:
+		s.onPaxosDecision(msg)
 	}
 	if cb := s.c.cfg.CheckpointBytes; cb > 0 && s.store.WALSize() > max(cb, 2*s.walFloor) {
 		if n, err := s.store.Checkpoint(); err != nil {
@@ -698,6 +724,13 @@ func (s *Site) sendPrepares(ctx *coordCtx) {
 	}
 	ctx.machine = protocol.NewCoordinator(ctx.tid, ctx.participants)
 	ctx.machine.Instrument(s.c.reg)
+	if s.paxosPlane() {
+		// Open the replicated decision before any prepare goes out, so
+		// the registrar reaches the acceptors ahead of the participants'
+		// ballot-0 votes (a vote arriving first is dropped and must be
+		// repaired by takeover).
+		s.paxosBegin(ctx)
+	}
 
 	// §3.3 bookkeeping: forwarding a polyvalue to a participant makes
 	// that participant a site "to which polyvalues dependent on T have
@@ -784,8 +817,21 @@ func (s *Site) onReadyTimeout(tid txn.ID) {
 	}
 }
 
-// decide fixes and durably records the outcome, then broadcasts it.
+// decide routes a coordinator decision to the configured decision
+// plane: the wal plane (and any decision taken before prepares went
+// out, when no vote was ever solicited) finalizes directly; the paxos
+// plane must first get the decision chosen by the acceptor group.
 func (s *Site) decide(ctx *coordCtx, committed bool, reason string) {
+	if s.paxosPlane() && ctx.prepared {
+		s.paxosDecide(ctx, committed, reason)
+		return
+	}
+	s.finalizeDecision(ctx, committed, reason)
+}
+
+// finalizeDecision fixes and durably records the outcome, then
+// broadcasts it.
+func (s *Site) finalizeDecision(ctx *coordCtx, committed bool, reason string) {
 	// Failpoint: the paper's critical moment — every participant is in
 	// the wait phase and the decision never leaves this site.
 	if committed && s.maybeCrash(CrashBeforeDecision, ctx.tid) {
@@ -868,6 +914,16 @@ func (s *Site) decide(ctx *coordCtx, committed bool, reason string) {
 	// own inquiry loop fires: retransmit to unacked participants with
 	// capped exponential backoff.
 	s.armDecisionResend(ctx.tid, committed, 1)
+	if s.paxosPlane() && ctx.prepared {
+		// Teach the acceptor group the outcome so inquiries resolve
+		// there and instance state can be garbage-collected, and retire
+		// any leader still running for this transaction.
+		if pl, ok := s.plead[ctx.tid]; ok {
+			s.c.clk.Cancel(pl.timer)
+			delete(s.plead, ctx.tid)
+		}
+		s.paxosAnnounce(ctx.tid, committed)
+	}
 	s.c.clk.Cancel(ctx.readTimer)
 	s.c.clk.Cancel(ctx.readyTimer)
 	s.c.clk.Cancel(ctx.deadlineTimer)
@@ -978,6 +1034,9 @@ func (s *Site) onPrepare(msg protocol.Message) {
 		s.send(protocol.Message{
 			Kind: protocol.MsgReady, TID: msg.TID, To: msg.From, ReadOnly: true,
 		})
+		// A read-only participant still owns a Paxos instance (it is in
+		// the registrar): commit stays unchoosable until it votes.
+		s.paxosVote(msg, protocol.VotePrepared)
 		computeSpan("ready", "readonly", "true")
 		return
 	}
@@ -988,6 +1047,11 @@ func (s *Site) onPrepare(msg protocol.Message) {
 		s.send(protocol.Message{
 			Kind: protocol.MsgRefuse, TID: msg.TID, To: msg.From, Reason: reason,
 		})
+		// The Aborted vote makes the refusal permanent at the acceptors:
+		// no takeover can ever drive this transaction to commit, which
+		// is what lets the coordinator announce a refuse-abort without
+		// waiting for consensus.
+		s.paxosVote(msg, protocol.VoteAborted)
 		computeSpan("refuse", "reason", reason)
 	}
 	// Lock the local write items not already read-locked by this txn.
@@ -1054,6 +1118,10 @@ func (s *Site) onPrepare(msg protocol.Message) {
 		return
 	}
 	s.send(protocol.Message{Kind: protocol.MsgReady, TID: msg.TID, To: msg.From})
+	// The ballot-0 Prepared vote travels with the ready (before the
+	// after-ready failpoint: a participant that died right after its
+	// ready still has its vote replicated, so consensus can commit).
+	s.paxosVote(msg, protocol.VotePrepared)
 	computeSpan("ready", "items", joinItems(msg.Items))
 	// Failpoint: ready sent, wait phase entered — and immediately died.
 	if s.maybeCrash(CrashAfterReady, msg.TID) {
@@ -1390,6 +1458,14 @@ func (s *Site) armOutcomeRetryN(tid txn.ID, coordinator protocol.SiteID, attempt
 		s.resolveOutcome(tid, committed)
 		return
 	}
+	if s.paxosPlane() {
+		// The decision is replicated: presumed abort is unsound (a
+		// takeover may still drive the transaction to COMMIT after the
+		// coordinator dies), so in-doubt sites inquire of the acceptor
+		// group and eventually take the decision over themselves.
+		s.paxosInquire(tid, coordinator, attempt)
+		return
+	}
 	if coordinator == "" || coordinator == s.id {
 		// We are the coordinator.  With no live context and no durable
 		// decision, the transaction cannot have committed (decisions are
@@ -1486,6 +1562,25 @@ func (s *Site) onOutcomeReq(msg protocol.Message) {
 	if _, live := s.coords[msg.TID]; live {
 		return // still deciding; the requester will retry
 	}
+	if s.paxosPlane() {
+		// Never presume abort: the authority is the acceptor group.  An
+		// acceptor holding undecided instance state answers by driving
+		// the decision to consensus itself (the eventual outcome reaches
+		// the requester through its inquiry loop or its own takeover).
+		if _, leading := s.plead[msg.TID]; leading {
+			return
+		}
+		if e, ok := s.store.PaxosState(msg.TID); ok {
+			seed := siteIDs(e.Participants)
+			if len(seed) == 0 {
+				seed = []protocol.SiteID{msg.From}
+			}
+			pl := &paxosLead{seed: seed}
+			s.plead[msg.TID] = pl
+			s.paxosTakeover(msg.TID, pl)
+		}
+		return
+	}
 	if err := s.store.SetOutcome(msg.TID, false); err != nil {
 		s.c.trace("%s presumed-abort log error for %s: %v", s.id, msg.TID, err)
 		return
@@ -1503,6 +1598,17 @@ func (s *Site) resolveOutcome(tid txn.ID, committed bool) {
 		return
 	}
 	_ = s.store.SetOutcome(tid, committed)
+	if s.paxosPlane() {
+		// A decided transaction's acceptor state is dead weight however
+		// the outcome arrived (announce, complete/abort, inquiry).
+		if _, ok := s.store.PaxosState(tid); ok {
+			_ = s.store.ClearPaxos(tid)
+		}
+		if pl, ok := s.plead[tid]; ok {
+			s.c.clk.Cancel(pl.timer)
+			delete(s.plead, tid)
+		}
+	}
 
 	// A blocking-policy participant wakes up here.
 	if ctx, ok := s.parts[tid]; ok && ctx.blocked {
@@ -1680,6 +1786,12 @@ func (s *Site) crash() {
 	for _, rs := range s.retry {
 		s.c.clk.Cancel(rs.timer)
 	}
+	for _, pl := range s.plead {
+		s.c.clk.Cancel(pl.timer)
+	}
+	for _, id := range s.pwatch {
+		s.c.clk.Cancel(id)
+	}
 	for _, id := range s.ackRetry {
 		s.c.clk.Cancel(id)
 	}
@@ -1691,6 +1803,8 @@ func (s *Site) crash() {
 	s.parts = map[txn.ID]*partCtx{}
 	s.coords = map[txn.ID]*coordCtx{}
 	s.retry = map[txn.ID]retryState{}
+	s.plead = map[txn.ID]*paxosLead{}
+	s.pwatch = map[txn.ID]vclock.TimerID{}
 	s.ackRetry = map[txn.ID]vclock.TimerID{}
 	s.notifyRetry = map[txn.ID]vclock.TimerID{}
 	s.acks = map[txn.ID]map[protocol.SiteID]bool{}
@@ -1787,6 +1901,9 @@ func (s *Site) recoverDurableState() {
 			continue
 		}
 		s.armOutcomeRetry(tid, protocol.SiteID(coord))
+	}
+	if s.paxosPlane() {
+		s.paxosRecover()
 	}
 	s.updateBudget()
 }

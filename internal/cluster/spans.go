@@ -47,6 +47,10 @@ const (
 	spanRecover      = "recover"       // restarted site settling durable state
 	spanDegrade      = "budget.degrade"
 	spanRestore      = "budget.restore"
+	// PlanePaxos decision-plane events.
+	spanPaxosVote     = "paxos.vote"     // participant: ballot-0 vote cast
+	spanPaxosAccept   = "paxos.accept"   // acceptor: durable accept logged
+	spanPaxosTakeover = "paxos.takeover" // leader: takeover round started
 )
 
 // spansOn reports whether structured span tracing is enabled.
@@ -88,6 +92,13 @@ func (s *Site) recordTxnRoot(ctx *coordCtx, st Status, reason string, onePhase b
 	}
 	if onePhase {
 		attrs["onephase"] = "true"
+	}
+	if s.paxosPlane() && ctx.prepared {
+		// The quorum attribute is the completeness contract for the
+		// paxos plane: auditors require at least this many distinct
+		// sites to have contributed paxos.accept spans.
+		attrs["plane"] = string(PlanePaxos)
+		attrs["quorum"] = strconv.Itoa(s.paxosQuorum())
 	}
 	s.recordSpan(trace.Span{
 		ID: ctx.span, Kind: trace.RootKind, TID: string(ctx.tid),

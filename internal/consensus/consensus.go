@@ -1,0 +1,356 @@
+// Package consensus implements the leader side of Paxos Commit (Gray &
+// Lamport, "Consensus on Transaction Commit"): one Paxos instance per
+// participant-vote, replicated across 2F+1 acceptor sites, with the
+// transaction committed iff every instance chooses Prepared.
+//
+// Like the protocol package's coordinator/participant, the Leader is a
+// pure state machine: it consumes acceptor replies and emits the
+// messages to send, with no transport, storage, or clock of its own.
+// The cluster runtime owns retransmission timers, ballot escalation,
+// and the acceptor side (which is a thin shim over the storage layer's
+// durable promise/accept records).
+//
+// Ballot discipline:
+//
+//   - Ballot 0 is the coordinator's fast path.  Only participant i ever
+//     proposes a ballot-0 value for instance i (its own vote, sent
+//     straight to the acceptors with its ready/refuse), so ballot 0
+//     needs no phase 1.
+//   - Takeover ballots are partitioned by site index so two would-be
+//     leaders never collide: site s (0-based index in the membership
+//     list of size n) uses ballots s+1+a·n for attempts a = 1, 2, …
+//
+// Safety facts the cluster integration relies on (and the tests pin):
+//
+//   - A chosen Aborted in any instance makes commit unchoosable forever
+//     (commit requires every instance prepared), so the leader may
+//     announce abort the moment one instance chooses Aborted.
+//   - Commit is announceable only when the full participant set is
+//     known (from the registrar) and every instance chose Prepared.
+//   - A takeover leader proposes the revealed value at the highest
+//     ballot for each instance, and Aborted for free instances; it
+//     never invents a Prepared vote.
+package consensus
+
+import (
+	"sort"
+
+	"repro/internal/protocol"
+	"repro/internal/txn"
+)
+
+// Quorum is the majority size for n acceptors: any two quorums
+// intersect, which is all Paxos needs.
+func Quorum(n int) int { return n/2 + 1 }
+
+// Acceptors picks the decision plane's acceptor group from the cluster
+// membership: the sorted prefix of size min(want, len(sites)), trimmed
+// to an odd 2F+1 so F failures leave a majority.  want ≤ 0 selects the
+// default group size of 5 (F = 2).  Every site computes the same group
+// from the same membership, so no message needs to carry it.
+func Acceptors(sites []protocol.SiteID, want int) []protocol.SiteID {
+	sorted := append([]protocol.SiteID{}, sites...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if want <= 0 {
+		want = 5
+	}
+	if want > len(sorted) {
+		want = len(sorted)
+	}
+	if want%2 == 0 {
+		want--
+	}
+	if want < 1 {
+		want = 1
+	}
+	return sorted[:want]
+}
+
+// BallotAbove returns the smallest ballot in site siteIdx's series
+// (siteIdx+1+a·n, a ≥ 1) strictly above floor.  Escalating leaders pass
+// the highest ballot they have seen (their own or a conflicting promise
+// from a reject) as the floor.
+func BallotAbove(floor uint32, siteIdx, n int) uint32 {
+	b := uint32(n + siteIdx + 1)
+	for b <= floor {
+		b += uint32(n)
+	}
+	return b
+}
+
+// Leader drives one transaction's decision to consensus.  Exactly one
+// of two modes:
+//
+//   - ballot 0 (NewBallot0): the coordinator collects the 2b replies
+//     the acceptors send it for the participants' direct votes;
+//   - takeover (NewTakeover): any site runs phase 1 to reveal what
+//     ballot 0 may have achieved, then proposes at its own ballot.
+type Leader struct {
+	tid       txn.ID
+	self      protocol.SiteID
+	acceptors []protocol.SiteID
+	ballot    uint32
+
+	// participants is the known instance set; registrar marks it
+	// authoritative (from the coordinator or a revealed MsgPaxosBegin).
+	// Without the registrar bit the set is only a lower bound and commit
+	// cannot be decided.
+	participants map[protocol.SiteID]bool
+	registrar    bool
+	// coordinator is the transaction's coordinator as revealed by
+	// promises ("" until learned); takeover proposals carry it so late
+	// acceptors can register it.
+	coordinator protocol.SiteID
+
+	// Phase 1 (takeover mode only).
+	promised map[protocol.SiteID]bool
+	revealed map[protocol.SiteID]protocol.PaxosInst
+	phase2   bool
+	proposal []protocol.PaxosInst
+
+	// Phase 2: per-instance acceptor tallies and the accepted votes.
+	accepts map[protocol.SiteID]map[protocol.SiteID]bool
+	votes   map[protocol.SiteID]protocol.Vote
+	chosen  map[protocol.SiteID]protocol.Vote
+
+	decided   bool
+	committed bool
+	// superseded is the highest conflicting promise reported by a
+	// reject; once non-zero this leader is dead and the caller must
+	// escalate above it.
+	superseded uint32
+}
+
+func newLeader(tid txn.ID, self protocol.SiteID, acceptors []protocol.SiteID, ballot uint32) *Leader {
+	return &Leader{
+		tid: tid, self: self,
+		acceptors:    append([]protocol.SiteID{}, acceptors...),
+		ballot:       ballot,
+		participants: map[protocol.SiteID]bool{},
+		promised:     map[protocol.SiteID]bool{},
+		revealed:     map[protocol.SiteID]protocol.PaxosInst{},
+		accepts:      map[protocol.SiteID]map[protocol.SiteID]bool{},
+		votes:        map[protocol.SiteID]protocol.Vote{},
+		chosen:       map[protocol.SiteID]protocol.Vote{},
+	}
+}
+
+// NewBallot0 builds the coordinator's fast-path collector: phase 2 is
+// already running (the participants' votes are the 2a messages), so the
+// leader only tallies MsgPaxosAccepted replies.  It emits no messages
+// of its own — liveness comes from the caller's escalation to a
+// takeover ballot if the tallies stall.
+func NewBallot0(tid txn.ID, self protocol.SiteID, acceptors, participants []protocol.SiteID) *Leader {
+	l := newLeader(tid, self, acceptors, 0)
+	for _, p := range participants {
+		l.participants[p] = true
+	}
+	l.registrar = true
+	l.phase2 = true
+	return l
+}
+
+// NewTakeover builds a higher-ballot leader and returns the phase-1a
+// messages to send.  seed lists instances the caller knows must exist
+// (its own, as an in-doubt participant; the full set, as a recovered
+// coordinator) — phase 1 may reveal more.
+func NewTakeover(tid txn.ID, self protocol.SiteID, acceptors []protocol.SiteID, ballot uint32, seed []protocol.SiteID) (*Leader, []protocol.Message) {
+	l := newLeader(tid, self, acceptors, ballot)
+	for _, p := range seed {
+		l.participants[p] = true
+	}
+	msgs := make([]protocol.Message, 0, len(acceptors))
+	for _, a := range l.acceptors {
+		msgs = append(msgs, protocol.Message{
+			Kind: protocol.MsgPaxosPrepare, TID: tid, To: a, Ballot: ballot,
+		})
+	}
+	return l, msgs
+}
+
+// Ballot returns the leader's ballot.
+func (l *Leader) Ballot() uint32 { return l.ballot }
+
+// Quorum returns the acceptor majority size.
+func (l *Leader) Quorum() int { return Quorum(len(l.acceptors)) }
+
+// Coordinator returns the transaction's coordinator as far as this
+// leader knows ("" when never revealed).
+func (l *Leader) Coordinator() protocol.SiteID { return l.coordinator }
+
+// Superseded returns the highest conflicting promise seen (0 if none):
+// the floor the next escalation ballot must clear.
+func (l *Leader) Superseded() uint32 { return l.superseded }
+
+// Decided reports the consensus outcome once reached.
+func (l *Leader) Decided() (committed, ok bool) { return l.committed, l.decided }
+
+// Participants returns the known instance set, sorted.
+func (l *Leader) Participants() []protocol.SiteID {
+	out := make([]protocol.SiteID, 0, len(l.participants))
+	for p := range l.participants {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// OnPromise consumes a phase-1b reply.  When a quorum of promises is in,
+// it enters phase 2 and returns the 2a messages to send; nil otherwise.
+func (l *Leader) OnPromise(from protocol.SiteID, msg protocol.Message) []protocol.Message {
+	if l.decided || l.superseded != 0 || msg.Ballot != l.ballot || l.ballot == 0 {
+		return nil
+	}
+	for _, p := range msg.Participants {
+		l.participants[p] = true
+	}
+	if len(msg.Participants) > 0 {
+		l.registrar = true
+	}
+	if msg.Coordinator != "" {
+		l.coordinator = msg.Coordinator
+	}
+	for _, in := range msg.PaxosState {
+		if in.Vote == protocol.VoteNone {
+			continue
+		}
+		if cur, ok := l.revealed[in.Instance]; !ok || in.Ballot > cur.Ballot {
+			l.revealed[in.Instance] = in
+		}
+		l.participants[in.Instance] = true
+	}
+	l.promised[from] = true
+	if l.phase2 || len(l.promised) < l.Quorum() {
+		return nil
+	}
+	return l.propose()
+}
+
+// propose enters phase 2: for every known instance, the revealed value
+// at the highest ballot wins; free instances get Aborted.  Never invents
+// a Prepared vote — that right belongs to the participant alone, at
+// ballot 0.
+func (l *Leader) propose() []protocol.Message {
+	l.phase2 = true
+	insts := l.Participants()
+	l.proposal = make([]protocol.PaxosInst, 0, len(insts))
+	for _, inst := range insts {
+		vote := protocol.VoteAborted
+		if r, ok := l.revealed[inst]; ok {
+			vote = r.Vote
+		}
+		l.proposal = append(l.proposal, protocol.PaxosInst{Instance: inst, Ballot: l.ballot, Vote: vote})
+	}
+	msgs := make([]protocol.Message, 0, len(l.acceptors))
+	for _, a := range l.acceptors {
+		msgs = append(msgs, l.acceptMsg(a))
+	}
+	return msgs
+}
+
+func (l *Leader) acceptMsg(to protocol.SiteID) protocol.Message {
+	m := protocol.Message{
+		Kind: protocol.MsgPaxosAccept, TID: l.tid, To: to,
+		Ballot:     l.ballot,
+		PaxosState: l.proposal,
+		// The 2b reply comes back to this leader.
+		Coordinator: l.self,
+	}
+	if l.registrar {
+		// Piggyback the registrar so acceptors that missed the
+		// coordinator's MsgPaxosBegin still learn the instance set.
+		m.Participants = l.Participants()
+	}
+	return m
+}
+
+// OnAccepted consumes a phase-2b reply and tallies choices.  Returns
+// true when this reply completed the decision.
+func (l *Leader) OnAccepted(from protocol.SiteID, msg protocol.Message) bool {
+	if l.decided || l.superseded != 0 || msg.Ballot != l.ballot || !l.phase2 {
+		return false
+	}
+	for _, in := range msg.PaxosState {
+		if in.Ballot != l.ballot || in.Vote == protocol.VoteNone {
+			continue
+		}
+		set, ok := l.accepts[in.Instance]
+		if !ok {
+			set = map[protocol.SiteID]bool{}
+			l.accepts[in.Instance] = set
+		}
+		set[from] = true
+		l.votes[in.Instance] = in.Vote
+		l.participants[in.Instance] = true
+		if len(set) >= l.Quorum() {
+			l.chosen[in.Instance] = l.votes[in.Instance]
+		}
+	}
+	return l.evaluate()
+}
+
+// evaluate derives the decision from the chosen values: one chosen
+// Aborted decides abort immediately; commit needs the registrar's full
+// instance set, each instance chosen Prepared.
+func (l *Leader) evaluate() bool {
+	if l.decided {
+		return false
+	}
+	for _, v := range l.chosen {
+		if v == protocol.VoteAborted {
+			l.decided, l.committed = true, false
+			return true
+		}
+	}
+	if !l.registrar || len(l.participants) == 0 {
+		return false
+	}
+	for p := range l.participants {
+		if l.chosen[p] != protocol.VotePrepared {
+			return false
+		}
+	}
+	l.decided, l.committed = true, true
+	return true
+}
+
+// OnReject notes a conflicting promise: this leader's ballot lost and
+// the caller must escalate with a ballot above Superseded().
+func (l *Leader) OnReject(promised uint32) {
+	if promised > l.superseded {
+		l.superseded = promised
+	}
+}
+
+// Resend re-emits the current phase's messages to the acceptors still
+// missing: phase-1a prepares to acceptors that have not promised, or
+// phase-2a accepts to acceptors with incomplete tallies.  The ballot-0
+// collector returns nil — its 2a messages were the participants' votes,
+// which only escalation can replace.
+func (l *Leader) Resend() []protocol.Message {
+	if l.decided || l.superseded != 0 || l.ballot == 0 {
+		return nil
+	}
+	var msgs []protocol.Message
+	for _, a := range l.acceptors {
+		if !l.phase2 {
+			if !l.promised[a] {
+				msgs = append(msgs, protocol.Message{
+					Kind: protocol.MsgPaxosPrepare, TID: l.tid, To: a, Ballot: l.ballot,
+				})
+			}
+			continue
+		}
+		complete := true
+		for _, in := range l.proposal {
+			if !l.accepts[in.Instance][a] {
+				complete = false
+				break
+			}
+		}
+		if !complete {
+			msgs = append(msgs, l.acceptMsg(a))
+		}
+	}
+	return msgs
+}

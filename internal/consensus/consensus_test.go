@@ -1,0 +1,268 @@
+package consensus
+
+import (
+	"testing"
+
+	"repro/internal/protocol"
+)
+
+var (
+	acc5  = []protocol.SiteID{"A", "B", "C", "D", "E"}
+	parts = []protocol.SiteID{"B", "D"}
+)
+
+func accepted(from protocol.SiteID, ballot uint32, insts ...protocol.PaxosInst) protocol.Message {
+	return protocol.Message{Kind: protocol.MsgPaxosAccepted, From: from, Ballot: ballot, PaxosState: insts}
+}
+
+func inst(site protocol.SiteID, ballot uint32, v protocol.Vote) protocol.PaxosInst {
+	return protocol.PaxosInst{Instance: site, Ballot: ballot, Vote: v}
+}
+
+func TestQuorumAndAcceptors(t *testing.T) {
+	for n, q := range map[int]int{1: 1, 2: 2, 3: 2, 4: 3, 5: 3, 7: 4} {
+		if got := Quorum(n); got != q {
+			t.Errorf("Quorum(%d) = %d, want %d", n, got, q)
+		}
+	}
+	// Default group: largest odd prefix ≤ 5 of the sorted membership.
+	if got := Acceptors([]protocol.SiteID{"C", "A", "B"}, 0); len(got) != 3 || got[0] != "A" {
+		t.Errorf("Acceptors 3 sites = %v", got)
+	}
+	if got := Acceptors([]protocol.SiteID{"F", "E", "D", "C", "B", "A"}, 0); len(got) != 5 || got[4] != "E" {
+		t.Errorf("Acceptors 6 sites = %v", got)
+	}
+	// Even requests round down to 2F+1.
+	if got := Acceptors(acc5, 4); len(got) != 3 {
+		t.Errorf("Acceptors want=4 = %v", got)
+	}
+}
+
+func TestBallotAbove(t *testing.T) {
+	// Site series are disjoint: site 0 of 5 uses 6, 11, 16, …; site 2
+	// uses 8, 13, 18, …
+	if b := BallotAbove(0, 0, 5); b != 6 {
+		t.Errorf("first ballot of site 0 = %d", b)
+	}
+	if b := BallotAbove(6, 0, 5); b != 11 {
+		t.Errorf("second ballot of site 0 = %d", b)
+	}
+	if b := BallotAbove(9, 2, 5); b != 13 {
+		t.Errorf("site 2 above 9 = %d", b)
+	}
+	seen := map[uint32]bool{}
+	for site := 0; site < 5; site++ {
+		b := uint32(0)
+		for i := 0; i < 4; i++ {
+			b = BallotAbove(b, site, 5)
+			if seen[b] {
+				t.Fatalf("ballot %d issued twice", b)
+			}
+			seen[b] = true
+		}
+	}
+}
+
+// TestBallot0Commit: the fast path — every participant's Prepared vote
+// reaches a quorum of acceptors and the collector decides commit.
+func TestBallot0Commit(t *testing.T) {
+	l := NewBallot0("t1", "A", acc5, parts)
+	for _, a := range []protocol.SiteID{"A", "B"} {
+		if l.OnAccepted(a, accepted(a, 0, inst("B", 0, protocol.VotePrepared), inst("D", 0, protocol.VotePrepared))) {
+			t.Fatal("decided before quorum")
+		}
+	}
+	if !l.OnAccepted("C", accepted("C", 0, inst("B", 0, protocol.VotePrepared), inst("D", 0, protocol.VotePrepared))) {
+		t.Fatal("third acceptor should complete the quorum")
+	}
+	committed, ok := l.Decided()
+	if !ok || !committed {
+		t.Fatalf("Decided() = %v, %v; want commit", committed, ok)
+	}
+}
+
+// TestBallot0Abort: one instance choosing Aborted decides abort, even
+// with the other instance unresolved.
+func TestBallot0Abort(t *testing.T) {
+	l := NewBallot0("t1", "A", acc5, parts)
+	for _, a := range []protocol.SiteID{"A", "B"} {
+		l.OnAccepted(a, accepted(a, 0, inst("D", 0, protocol.VoteAborted)))
+	}
+	if !l.OnAccepted("C", accepted("C", 0, inst("D", 0, protocol.VoteAborted))) {
+		t.Fatal("quorum of aborted accepts should decide")
+	}
+	if committed, ok := l.Decided(); !ok || committed {
+		t.Fatalf("Decided() = %v, %v; want abort", committed, ok)
+	}
+}
+
+// TestBallot0NoCommitWithoutAllInstances: a quorum for one instance is
+// not a decision while the other instance is free.
+func TestBallot0NoCommitWithoutAllInstances(t *testing.T) {
+	l := NewBallot0("t1", "A", acc5, parts)
+	for _, a := range acc5 {
+		l.OnAccepted(a, accepted(a, 0, inst("B", 0, protocol.VotePrepared)))
+	}
+	if _, ok := l.Decided(); ok {
+		t.Fatal("decided with instance D still free")
+	}
+}
+
+// TestTakeoverRevealsPrepared: a takeover leader must re-propose
+// revealed Prepared votes and end in commit when ballot 0 had silently
+// succeeded.
+func TestTakeoverRevealsPrepared(t *testing.T) {
+	l, msgs := NewTakeover("t1", "B", acc5, 7, []protocol.SiteID{"B"})
+	if len(msgs) != 5 || msgs[0].Kind != protocol.MsgPaxosPrepare || msgs[0].Ballot != 7 {
+		t.Fatalf("phase 1a messages: %v", msgs)
+	}
+	promise := func(from protocol.SiteID) protocol.Message {
+		return protocol.Message{
+			Kind: protocol.MsgPaxosPromise, From: from, Ballot: 7,
+			Coordinator: "A", Participants: parts,
+			PaxosState: []protocol.PaxosInst{
+				inst("B", 0, protocol.VotePrepared), inst("D", 0, protocol.VotePrepared),
+			},
+		}
+	}
+	if out := l.OnPromise("A", promise("A")); out != nil {
+		t.Fatal("proposed before promise quorum")
+	}
+	out := l.OnPromise("B", promise("B"))
+	if out != nil {
+		t.Fatal("proposed at 2 of 5 promises")
+	}
+	out = l.OnPromise("C", promise("C"))
+	if len(out) != 5 || out[0].Kind != protocol.MsgPaxosAccept {
+		t.Fatalf("phase 2a after quorum: %v", out)
+	}
+	for _, in := range out[0].PaxosState {
+		if in.Vote != protocol.VotePrepared || in.Ballot != 7 {
+			t.Fatalf("proposal must carry revealed Prepared at ballot 7: %+v", in)
+		}
+	}
+	if l.Coordinator() != "A" {
+		t.Errorf("coordinator not learned: %q", l.Coordinator())
+	}
+	for i, a := range acc5 {
+		done := l.OnAccepted(a, accepted(a, 7, inst("B", 7, protocol.VotePrepared), inst("D", 7, protocol.VotePrepared)))
+		if done != (i == 2) {
+			t.Fatalf("acceptor %d: done=%v", i, done)
+		}
+		if i == 2 {
+			break
+		}
+	}
+	if committed, ok := l.Decided(); !ok || !committed {
+		t.Fatal("takeover over a prepared ballot 0 must commit")
+	}
+}
+
+// TestTakeoverAbortsFreeInstances: nothing revealed → the leader
+// proposes Aborted for its seed instance and decides abort.
+func TestTakeoverAbortsFreeInstances(t *testing.T) {
+	l, _ := NewTakeover("t1", "B", acc5, 7, []protocol.SiteID{"B"})
+	empty := func(from protocol.SiteID) protocol.Message {
+		return protocol.Message{Kind: protocol.MsgPaxosPromise, From: from, Ballot: 7}
+	}
+	l.OnPromise("A", empty("A"))
+	l.OnPromise("B", empty("B"))
+	out := l.OnPromise("C", empty("C"))
+	if len(out) != 5 {
+		t.Fatalf("phase 2a: %v", out)
+	}
+	if len(out[0].PaxosState) != 1 || out[0].PaxosState[0].Vote != protocol.VoteAborted {
+		t.Fatalf("free instance must be proposed Aborted: %+v", out[0].PaxosState)
+	}
+	if len(out[0].Participants) != 0 {
+		t.Fatalf("no registrar revealed, none may be asserted: %v", out[0].Participants)
+	}
+	for i, a := range acc5[:3] {
+		done := l.OnAccepted(a, accepted(a, 7, inst("B", 7, protocol.VoteAborted)))
+		if done != (i == 2) {
+			t.Fatalf("acceptor %d: done=%v", i, done)
+		}
+	}
+	if committed, ok := l.Decided(); !ok || committed {
+		t.Fatal("free-instance takeover must abort")
+	}
+}
+
+// TestTakeoverMixedRevealKeepsHighestBallot: per-instance, the value at
+// the highest revealed ballot wins.
+func TestTakeoverMixedRevealKeepsHighestBallot(t *testing.T) {
+	l, _ := NewTakeover("t1", "D", acc5, 9, []protocol.SiteID{"D"})
+	l.OnPromise("A", protocol.Message{
+		Kind: protocol.MsgPaxosPromise, From: "A", Ballot: 9, Participants: parts, Coordinator: "A",
+		PaxosState: []protocol.PaxosInst{inst("B", 0, protocol.VotePrepared)},
+	})
+	l.OnPromise("B", protocol.Message{
+		Kind: protocol.MsgPaxosPromise, From: "B", Ballot: 9,
+		PaxosState: []protocol.PaxosInst{inst("B", 7, protocol.VoteAborted)},
+	})
+	out := l.OnPromise("C", protocol.Message{Kind: protocol.MsgPaxosPromise, From: "C", Ballot: 9})
+	votes := map[protocol.SiteID]protocol.Vote{}
+	for _, in := range out[0].PaxosState {
+		votes[in.Instance] = in.Vote
+	}
+	if votes["B"] != protocol.VoteAborted {
+		t.Errorf("instance B: ballot-7 Aborted must shadow ballot-0 Prepared, got %v", votes["B"])
+	}
+	if votes["D"] != protocol.VoteAborted {
+		t.Errorf("instance D never voted; must be proposed Aborted, got %v", votes["D"])
+	}
+}
+
+// TestRejectSupersedes: a reject kills the leader; stale replies are
+// ignored and the caller learns the escalation floor.
+func TestRejectSupersedes(t *testing.T) {
+	l, _ := NewTakeover("t1", "B", acc5, 7, []protocol.SiteID{"B"})
+	l.OnReject(12)
+	if l.Superseded() != 12 {
+		t.Fatalf("superseded = %d", l.Superseded())
+	}
+	if out := l.OnPromise("A", protocol.Message{Kind: protocol.MsgPaxosPromise, From: "A", Ballot: 7}); out != nil {
+		t.Fatal("superseded leader still proposing")
+	}
+	if b := BallotAbove(l.Superseded(), 1, 5); b != 17 {
+		t.Errorf("escalation ballot = %d, want 17", b)
+	}
+}
+
+// TestStaleBallotIgnored: replies for other ballots never count.
+func TestStaleBallotIgnored(t *testing.T) {
+	l := NewBallot0("t1", "A", acc5, parts)
+	for _, a := range acc5 {
+		l.OnAccepted(a, accepted(a, 3, inst("B", 3, protocol.VotePrepared), inst("D", 3, protocol.VotePrepared)))
+	}
+	if _, ok := l.Decided(); ok {
+		t.Fatal("decided from mismatched-ballot replies")
+	}
+}
+
+// TestResend re-emits only what is missing, per phase.
+func TestResend(t *testing.T) {
+	l, _ := NewTakeover("t1", "B", acc5, 7, []protocol.SiteID{"B"})
+	l.OnPromise("A", protocol.Message{Kind: protocol.MsgPaxosPromise, From: "A", Ballot: 7})
+	re := l.Resend()
+	if len(re) != 4 {
+		t.Fatalf("phase-1 resend to 4 unpromised acceptors, got %d", len(re))
+	}
+	l.OnPromise("B", protocol.Message{Kind: protocol.MsgPaxosPromise, From: "B", Ballot: 7})
+	l.OnPromise("C", protocol.Message{Kind: protocol.MsgPaxosPromise, From: "C", Ballot: 7})
+	l.OnAccepted("A", accepted("A", 7, inst("B", 7, protocol.VoteAborted)))
+	re = l.Resend()
+	if len(re) != 4 {
+		t.Fatalf("phase-2 resend to 4 unaccepted acceptors, got %d", len(re))
+	}
+	for _, m := range re {
+		if m.Kind != protocol.MsgPaxosAccept || m.To == "A" {
+			t.Fatalf("bad resend %v", m)
+		}
+	}
+	// Ballot-0 collectors cannot resend the participants' votes.
+	b0 := NewBallot0("t1", "A", acc5, parts)
+	if re := b0.Resend(); re != nil {
+		t.Fatalf("ballot-0 resend = %v", re)
+	}
+}

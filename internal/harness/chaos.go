@@ -69,9 +69,23 @@ type ChaosConfig struct {
 	// cluster.CrashAfterDecisionLog to torture the decided-but-
 	// unannounced window specifically.
 	CrashPoint cluster.CrashPoint
+	// Policy selects the participant wait-phase behaviour for every
+	// site (cluster.PolicyPolyvalue default; cluster.PolicyBlocking is
+	// the classic 2PC baseline that camps on its locks in doubt).
+	Policy cluster.Policy
 	// MaxPolyBudget is passed through to every site; 1 effectively
 	// forces the blocking-2PC degradation the paper's comparison needs.
 	MaxPolyBudget int
+	// DecisionPlane selects the commit decision plane for every node
+	// (cluster.PlaneWAL default, cluster.PlanePaxos for the replicated
+	// Paxos Commit plane).
+	DecisionPlane cluster.DecisionPlane
+	// ExtraKills widens each kill cycle: besides the armed victim, this
+	// many additional distinct sites are hard-killed at the same moment
+	// and restarted together.  With the paxos plane and 5 sites,
+	// ExtraKills=2 is the F-failures-plus-coordinator scenario the 2F+1
+	// acceptor group must survive.  Clamped to Sites-1 total kills.
+	ExtraKills int
 	// Strand, with CrashPoint set, submits one extra guarded transfer
 	// through each kill victim right after arming it: a transfer between
 	// two items co-located on a single OTHER site, so the decision fires
@@ -236,7 +250,9 @@ func (c *chaosRun) start(id protocol.SiteID, ln net.Listener) error {
 		Placement:     c.placement,
 		Metrics:       reg,
 		DataDir:       c.cfg.DataDir,
+		Policy:        c.cfg.Policy,
 		MaxPolyBudget: c.cfg.MaxPolyBudget,
+		DecisionPlane: c.cfg.DecisionPlane,
 		Spans:         c.spanLogs[id],
 	}, id, inj)
 	if err != nil {
@@ -431,15 +447,35 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 					_ = n.node.ArmCrash(victim, pt)
 					c.logf("chaos[%d]: %s: armed crash point %s", i, victim, pt)
 				}
-				time.Sleep(time.Duration(50+c.rng.Intn(150)) * time.Millisecond)
-				c.logf("chaos[%d]: KILL %s", i, victim)
-				c.kill(victim)
-				c.report.Kills++
-				time.Sleep(time.Duration(100+c.rng.Intn(200)) * time.Millisecond)
-				if err := c.start(victim, nil); err != nil {
-					return nil, err
+				// ExtraKills widens the blast radius: additional distinct
+				// live sites die at the same moment as the armed victim
+				// (F acceptors + the coordinator, in the paxos scenario).
+				victims := []protocol.SiteID{victim}
+				for tries := 0; len(victims) < 1+c.cfg.ExtraKills && len(victims) < len(c.sites) && tries < 64; tries++ {
+					cand := c.sites[c.rng.Intn(len(c.sites))]
+					dup := c.nodes[cand] == nil
+					for _, v := range victims {
+						if v == cand {
+							dup = true
+						}
+					}
+					if !dup {
+						victims = append(victims, cand)
+					}
 				}
-				c.logf("chaos[%d]: RESTART %s", i, victim)
+				time.Sleep(time.Duration(50+c.rng.Intn(150)) * time.Millisecond)
+				for _, v := range victims {
+					c.logf("chaos[%d]: KILL %s", i, v)
+					c.kill(v)
+					c.report.Kills++
+				}
+				time.Sleep(time.Duration(100+c.rng.Intn(200)) * time.Millisecond)
+				for _, v := range victims {
+					if err := c.start(v, nil); err != nil {
+						return nil, err
+					}
+					c.logf("chaos[%d]: RESTART %s", i, v)
+				}
 			}
 		}
 		// One guarded transfer between two random accounts via a random
@@ -551,6 +587,7 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 			case strings.HasPrefix(pt.Name, "transport.fault."),
 				strings.HasPrefix(pt.Name, "transport.decode."),
 				strings.HasPrefix(pt.Name, "transport.queue."),
+				strings.HasPrefix(pt.Name, "paxos."),
 				pt.Name == "network.dropped",
 				pt.Name == "txn.decision.resends",
 				pt.Name == "txn.outcome.retries":

@@ -44,9 +44,12 @@ func auditTraceCompleteness(spanLogs map[protocol.SiteID]*trace.SpanLog,
 			continue
 		}
 		if !tl.Complete {
+			detail := fmt.Sprintf("missing sites %v, dangling parents %v", tl.MissingSites, tl.MissingParents)
+			if tl.MissingQuorum {
+				detail += ", accept quorum not visible"
+			}
 			violations = append(violations,
-				fmt.Sprintf("txn %s committed with an incomplete timeline (missing sites %v, dangling parents %v)",
-					tid, tl.MissingSites, tl.MissingParents))
+				fmt.Sprintf("txn %s committed with an incomplete timeline (%s)", tid, detail))
 		}
 	}
 	return len(merged), violations

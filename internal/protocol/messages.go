@@ -59,7 +59,52 @@ const (
 	// inbound traffic as proof of life.  Carries no transaction state;
 	// sites ignore it (the detector consumes it below the cluster).
 	MsgHeartbeat
+
+	// The MsgPaxos* kinds implement the Paxos Commit decision plane
+	// (Gray & Lamport, "Consensus on Transaction Commit"): one Paxos
+	// instance per participant-vote, replicated across 2F+1 acceptor
+	// sites so the commit/abort decision survives F failures.  All of
+	// them use wire payload version 5 (Ballot / Participants /
+	// PaxosState fields below).
+
+	// MsgPaxosBegin is the registrar record: the coordinator tells every
+	// acceptor the transaction's participant set (the instance set of
+	// the decision) and its own identity, so a takeover leader can learn
+	// both from any quorum.
+	MsgPaxosBegin
+	// MsgPaxosPrepare is Paxos phase 1a for every instance of one
+	// transaction at once: a would-be leader asks acceptors to promise
+	// Ballot and report what they have accepted.
+	MsgPaxosPrepare
+	// MsgPaxosPromise is phase 1b: the acceptor's promise for Ballot,
+	// carrying its accepted (ballot, vote) per instance in PaxosState
+	// and the participant set it learned from MsgPaxosBegin.
+	MsgPaxosPromise
+	// MsgPaxosAccept is phase 2a: a proposal to accept the PaxosState
+	// entries at Ballot.  At ballot 0 it is the participant's own vote
+	// sent straight to the acceptors (the fast path); at higher ballots
+	// it comes from a takeover leader.  Coordinator names the leader the
+	// acceptor's 2b reply must go to.
+	MsgPaxosAccept
+	// MsgPaxosAccepted is phase 2b: the acceptor durably accepted the
+	// PaxosState entries at Ballot.
+	MsgPaxosAccepted
+	// MsgPaxosReject is the nack for phases 1a/2a: the acceptor has
+	// promised a higher ballot (carried in Ballot) and the sender must
+	// retry above it.
+	MsgPaxosReject
+	// MsgPaxosDecision is the learn message: the leader that saw a
+	// choice quorum tells acceptors the final outcome (Committed), so
+	// they can persist it, answer outcome inquiries, and garbage-collect
+	// instance state.
+	MsgPaxosDecision
 )
+
+// Paxos reports whether k is one of the Paxos Commit decision-plane
+// kinds (wire payload version 5).
+func (k MsgKind) Paxos() bool {
+	return k >= MsgPaxosBegin && k <= MsgPaxosDecision
+}
 
 // String names the message kind.
 func (k MsgKind) String() string {
@@ -86,6 +131,20 @@ func (k MsgKind) String() string {
 		return "outcome-ack"
 	case MsgHeartbeat:
 		return "heartbeat"
+	case MsgPaxosBegin:
+		return "paxos-begin"
+	case MsgPaxosPrepare:
+		return "paxos-prepare"
+	case MsgPaxosPromise:
+		return "paxos-promise"
+	case MsgPaxosAccept:
+		return "paxos-accept"
+	case MsgPaxosAccepted:
+		return "paxos-accepted"
+	case MsgPaxosReject:
+		return "paxos-reject"
+	case MsgPaxosDecision:
+		return "paxos-decision"
 	default:
 		return fmt.Sprintf("msg(%d)", uint8(k))
 	}
@@ -134,6 +193,61 @@ type Message struct {
 	// absent from the wire encoding entirely (see internal/wire payload
 	// version 4), so tracing costs nothing when unused.
 	TraceCtx uint64
+
+	// MsgPaxos* only (wire payload version 5; zero elsewhere):
+
+	// Ballot is the Paxos ballot the message speaks for: the proposal
+	// ballot on prepare/accept, the promised ballot on promise/accepted,
+	// and the conflicting higher promise on reject.  Ballot 0 is the
+	// coordinator's fast path.
+	Ballot uint32
+	// Participants is the registrar payload: the transaction's
+	// participant set (== the decision's Paxos instance set), carried on
+	// MsgPaxosBegin and echoed back on MsgPaxosPromise.
+	Participants []SiteID
+	// PaxosState carries per-instance entries: proposals on
+	// MsgPaxosAccept, durably accepted state on MsgPaxosAccepted and
+	// MsgPaxosPromise.
+	PaxosState []PaxosInst
+}
+
+// Vote is a ballot value in one Paxos Commit instance: the participant's
+// verdict on its share of the transaction.
+type Vote uint8
+
+const (
+	// VoteNone marks a free instance (no value accepted yet).
+	VoteNone Vote = iota
+	// VotePrepared is the participant's "ready" vote.
+	VotePrepared
+	// VoteAborted is the participant's refusal, or a takeover leader's
+	// proposal for an instance whose participant never voted.
+	VoteAborted
+)
+
+// String names the vote.
+func (v Vote) String() string {
+	switch v {
+	case VoteNone:
+		return "none"
+	case VotePrepared:
+		return "prepared"
+	case VoteAborted:
+		return "aborted"
+	default:
+		return fmt.Sprintf("vote(%d)", uint8(v))
+	}
+}
+
+// PaxosInst is one Paxos-instance entry on a paxos message: the state of
+// (or a proposal for) the instance deciding Instance's vote.
+type PaxosInst struct {
+	// Instance names the participant whose vote this instance decides.
+	Instance SiteID
+	// Ballot is the ballot the vote was (or is to be) accepted at.
+	Ballot uint32
+	// Vote is the instance's value.
+	Vote Vote
 }
 
 // String renders a compact trace line for the message.

@@ -1,0 +1,146 @@
+package storage
+
+import (
+	"testing"
+
+	"repro/internal/txn"
+)
+
+// TestPaxosStateRoundTrip: acceptor state survives recovery — the
+// decision-plane durability the 2F+1 replication argument rests on.
+func TestPaxosStateRoundTrip(t *testing.T) {
+	s := NewStore()
+	if err := s.SetPaxosMeta("t1", "A", []string{"A", "B", "C"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.PaxosPromise("t1", 5); err != nil {
+		t.Fatal(err)
+	}
+	if ok, _, err := s.PaxosAccept("t1", "B", 5, 1); err != nil || !ok {
+		t.Fatalf("accept: ok=%v err=%v", ok, err)
+	}
+	if ok, _, err := s.PaxosAccept("t1", "C", 5, 2); err != nil || !ok {
+		t.Fatalf("accept: ok=%v err=%v", ok, err)
+	}
+
+	r, err := Recover(s.WALBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, ok := r.PaxosState("t1")
+	if !ok {
+		t.Fatal("paxos state lost in recovery")
+	}
+	if e.Coordinator != "A" || len(e.Participants) != 3 || e.Promised != 5 {
+		t.Fatalf("recovered entry %+v", e)
+	}
+	if a := e.Accepted["B"]; a.Ballot != 5 || a.Vote != 1 {
+		t.Fatalf("instance B: %+v", a)
+	}
+	if a := e.Accepted["C"]; a.Ballot != 5 || a.Vote != 2 {
+		t.Fatalf("instance C: %+v", a)
+	}
+}
+
+// TestPaxosPromiseMonotonic: a promise never regresses, and accepts
+// below the promise are refused with the conflicting ballot.
+func TestPaxosPromiseMonotonic(t *testing.T) {
+	s := NewStore()
+	if b, err := s.PaxosPromise("t1", 7); err != nil || b != 7 {
+		t.Fatalf("promise: %d %v", b, err)
+	}
+	if b, err := s.PaxosPromise("t1", 3); err != nil || b != 7 {
+		t.Fatalf("lower promise must keep 7: %d %v", b, err)
+	}
+	ok, conflict, err := s.PaxosAccept("t1", "B", 3, 1)
+	if err != nil || ok || conflict != 7 {
+		t.Fatalf("accept below promise: ok=%v conflict=%d err=%v", ok, conflict, err)
+	}
+	// At or above the promise, accepts land and raise the promise.
+	if ok, _, err := s.PaxosAccept("t1", "B", 9, 1); err != nil || !ok {
+		t.Fatalf("accept at 9: ok=%v err=%v", ok, err)
+	}
+	if e, _ := s.PaxosState("t1"); e.Promised != 9 {
+		t.Fatalf("promise after accept: %d", e.Promised)
+	}
+}
+
+// TestPaxosMetaFirstWriteWins: re-registering a transaction is a no-op,
+// so duplicated MsgPaxosBegin deliveries append nothing.
+func TestPaxosMetaFirstWriteWins(t *testing.T) {
+	s := NewStore()
+	if err := s.SetPaxosMeta("t1", "A", []string{"A", "B"}); err != nil {
+		t.Fatal(err)
+	}
+	before := s.WALSize()
+	if err := s.SetPaxosMeta("t1", "Z", []string{"Z"}); err != nil {
+		t.Fatal(err)
+	}
+	if s.WALSize() != before {
+		t.Error("duplicate meta appended to the WAL")
+	}
+	if e, _ := s.PaxosState("t1"); e.Coordinator != "A" {
+		t.Errorf("coordinator overwritten: %s", e.Coordinator)
+	}
+}
+
+// TestPaxosCheckpoint: undecided acceptor state survives compaction;
+// state for transactions with a durable outcome is dropped.
+func TestPaxosCheckpoint(t *testing.T) {
+	s := NewStore()
+	for _, tid := range []string{"t1", "t2"} {
+		if err := s.SetPaxosMeta(txn.ID(tid), "A", []string{"A", "B", "C"}); err != nil {
+			t.Fatal(err)
+		}
+		if ok, _, err := s.PaxosAccept(txn.ID(tid), "B", 0, 1); err != nil || !ok {
+			t.Fatal(err)
+		}
+	}
+	if err := s.SetOutcome("t2", true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Recover(s.WALBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.PaxosState("t1"); !ok {
+		t.Error("undecided t1 state lost in checkpoint")
+	}
+	if _, ok := r.PaxosState("t2"); ok {
+		t.Error("decided t2 state survived checkpoint")
+	}
+	if _, known := r.Outcome("t2"); !known {
+		t.Error("t2 outcome lost")
+	}
+}
+
+// TestPaxosClear drops state explicitly and is idempotent.
+func TestPaxosClear(t *testing.T) {
+	s := NewStore()
+	if ok, _, err := s.PaxosAccept("t1", "B", 0, 1); err != nil || !ok {
+		t.Fatal(err)
+	}
+	if err := s.ClearPaxos("t1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.PaxosState("t1"); ok {
+		t.Error("state survived clear")
+	}
+	before := s.WALSize()
+	if err := s.ClearPaxos("t1"); err != nil {
+		t.Fatal(err)
+	}
+	if s.WALSize() != before {
+		t.Error("second clear appended to the WAL")
+	}
+	r, err := Recover(s.WALBytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := r.PaxosState("t1"); ok {
+		t.Error("cleared state reappeared after recovery")
+	}
+}

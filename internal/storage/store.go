@@ -32,6 +32,44 @@ type DepEntry struct {
 	Sites map[string]bool
 }
 
+// PaxosAccepted is one instance's durably accepted (ballot, vote) pair
+// at an acceptor.
+type PaxosAccepted struct {
+	Ballot uint32
+	// Vote uses protocol.Vote numbering (1 prepared, 2 aborted); storage
+	// stays protocol-agnostic and treats it as opaque.
+	Vote uint8
+}
+
+// PaxosEntry is one transaction's acceptor-side Paxos Commit state: the
+// registrar information (coordinator + participant set) plus the
+// promised ballot and per-instance accepted values.  It is exactly what
+// must survive an acceptor restart for the decision to survive F of
+// 2F+1 acceptor failures.
+type PaxosEntry struct {
+	Coordinator  string
+	Participants []string
+	// Promised is the highest ballot promised for this transaction; it
+	// covers every instance, present and future.
+	Promised uint32
+	// Accepted maps instance (participant site) → accepted state.
+	Accepted map[string]PaxosAccepted
+}
+
+// clone returns a deep copy safe to hand out under no lock.
+func (e *PaxosEntry) clone() PaxosEntry {
+	out := PaxosEntry{
+		Coordinator:  e.Coordinator,
+		Participants: append([]string(nil), e.Participants...),
+		Promised:     e.Promised,
+		Accepted:     make(map[string]PaxosAccepted, len(e.Accepted)),
+	}
+	for k, v := range e.Accepted {
+		out.Accepted[k] = v
+	}
+	return out
+}
+
 // itemShards fixes the item map's shard count.  Sixteen is plenty: the
 // goal is that point reads on independent items don't serialize behind
 // the store-wide mutex WAL appends hold.
@@ -61,6 +99,7 @@ type Store struct {
 	outcomes map[txn.ID]bool // tid → committed
 	deps     map[txn.ID]*DepEntry
 	awaits   map[txn.ID]string // tid → coordinator to ask for the outcome
+	paxos    map[txn.ID]*PaxosEntry
 	// checkpoints, when set via Instrument, counts WAL compactions.
 	checkpoints *metrics.Counter
 	// volatile suppresses WAL logging entirely (see SetVolatile).
@@ -102,6 +141,7 @@ func NewStoreWithWAL(w *WAL) *Store {
 		outcomes: map[txn.ID]bool{},
 		deps:     map[txn.ID]*DepEntry{},
 		awaits:   map[txn.ID]string{},
+		paxos:    map[txn.ID]*PaxosEntry{},
 	}
 	for i := range s.items {
 		s.items[i].m = map[string]polyvalue.Poly{}
@@ -196,10 +236,40 @@ func (s *Store) apply(r Record, replaying bool) error {
 		s.awaits[r.TID] = r.Coordinator
 	case RecAwaitDone:
 		delete(s.awaits, r.TID)
+	case RecPaxosMeta:
+		e := s.paxosEntry(r.TID)
+		if e.Coordinator == "" && len(e.Participants) == 0 {
+			e.Coordinator = r.Coordinator
+			e.Participants = append([]string(nil), r.Sites...)
+		}
+	case RecPaxosPromise:
+		e := s.paxosEntry(r.TID)
+		if r.Ballot > e.Promised {
+			e.Promised = r.Ballot
+		}
+	case RecPaxosAccept:
+		e := s.paxosEntry(r.TID)
+		if r.Ballot > e.Promised {
+			e.Promised = r.Ballot
+		}
+		if prev, ok := e.Accepted[r.Site]; !ok || r.Ballot >= prev.Ballot {
+			e.Accepted[r.Site] = PaxosAccepted{Ballot: r.Ballot, Vote: r.Vote}
+		}
+	case RecPaxosClear:
+		delete(s.paxos, r.TID)
 	default:
 		return fmt.Errorf("storage: unknown record kind %d", r.Kind)
 	}
 	return nil
+}
+
+func (s *Store) paxosEntry(tid txn.ID) *PaxosEntry {
+	e, ok := s.paxos[tid]
+	if !ok {
+		e = &PaxosEntry{Accepted: map[string]PaxosAccepted{}}
+		s.paxos[tid] = e
+	}
+	return e
 }
 
 func (s *Store) dep(tid txn.ID) *DepEntry {
@@ -485,6 +555,82 @@ func (s *Store) Awaits() map[txn.ID]string {
 	return out
 }
 
+// SetPaxosMeta durably records the registrar information for one
+// transaction's decision at this acceptor.  First write wins;
+// re-recording identical information is skipped entirely.
+func (s *Store) SetPaxosMeta(tid txn.ID, coordinator string, participants []string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.paxos[tid]; ok && (e.Coordinator != "" || len(e.Participants) > 0) {
+		return nil
+	}
+	return s.apply(Record{Kind: RecPaxosMeta, TID: tid, Coordinator: coordinator, Sites: participants}, false)
+}
+
+// PaxosPromise durably raises the promised ballot for tid.  Returns the
+// resulting promised ballot; a ballot at or below the current promise
+// changes nothing (and appends nothing).
+func (s *Store) PaxosPromise(tid txn.ID, ballot uint32) (uint32, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.paxos[tid]; ok && ballot <= e.Promised {
+		return e.Promised, nil
+	}
+	if err := s.apply(Record{Kind: RecPaxosPromise, TID: tid, Ballot: ballot}, false); err != nil {
+		return 0, err
+	}
+	return ballot, nil
+}
+
+// PaxosAccept durably accepts vote at ballot for one instance of tid,
+// provided ballot is at least the promised ballot.  Returns false (and
+// the conflicting promise) when the promise forbids it.
+func (s *Store) PaxosAccept(tid txn.ID, instance string, ballot uint32, vote uint8) (bool, uint32, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.paxos[tid]; ok && ballot < e.Promised {
+		return false, e.Promised, nil
+	}
+	if err := s.apply(Record{Kind: RecPaxosAccept, TID: tid, Site: instance, Ballot: ballot, Vote: vote}, false); err != nil {
+		return false, 0, err
+	}
+	return true, ballot, nil
+}
+
+// PaxosState returns a copy of tid's acceptor state.
+func (s *Store) PaxosState(tid txn.ID) (PaxosEntry, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	e, ok := s.paxos[tid]
+	if !ok {
+		return PaxosEntry{}, false
+	}
+	return e.clone(), true
+}
+
+// PaxosTxns returns every transaction with live acceptor state, sorted.
+func (s *Store) PaxosTxns() []txn.ID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]txn.ID, 0, len(s.paxos))
+	for tid := range s.paxos {
+		out = append(out, tid)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// ClearPaxos drops tid's acceptor state (the decision was learned and is
+// durably recorded as an outcome).  A no-op when absent.
+func (s *Store) ClearPaxos(tid txn.ID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.paxos[tid]; !ok {
+		return nil
+	}
+	return s.apply(Record{Kind: RecPaxosClear, TID: tid}, false)
+}
+
 // Checkpoint compacts the WAL: the log is rewritten as the minimal record
 // sequence reproducing the current state.  Returns the new log size.
 func (s *Store) Checkpoint() (int, error) {
@@ -567,6 +713,41 @@ func (s *Store) Checkpoint() (int, error) {
 	for _, tid := range atids {
 		if err := fresh.Append(Record{Kind: RecAwait, TID: tid, Coordinator: s.awaits[tid]}); err != nil {
 			return 0, err
+		}
+	}
+	ptids := make([]txn.ID, 0, len(s.paxos))
+	for tid := range s.paxos {
+		// Acceptor state for a transaction whose outcome is durably
+		// recorded here is dead weight: the outcome record alone answers
+		// every future inquiry.  Compaction drops it.
+		if _, decided := s.outcomes[tid]; decided {
+			continue
+		}
+		ptids = append(ptids, tid)
+	}
+	sort.Slice(ptids, func(i, j int) bool { return ptids[i] < ptids[j] })
+	for _, tid := range ptids {
+		e := s.paxos[tid]
+		if e.Coordinator != "" || len(e.Participants) > 0 {
+			if err := fresh.Append(Record{Kind: RecPaxosMeta, TID: tid, Coordinator: e.Coordinator, Sites: e.Participants}); err != nil {
+				return 0, err
+			}
+		}
+		if e.Promised > 0 {
+			if err := fresh.Append(Record{Kind: RecPaxosPromise, TID: tid, Ballot: e.Promised}); err != nil {
+				return 0, err
+			}
+		}
+		insts := make([]string, 0, len(e.Accepted))
+		for inst := range e.Accepted {
+			insts = append(insts, inst)
+		}
+		sort.Strings(insts)
+		for _, inst := range insts {
+			a := e.Accepted[inst]
+			if err := fresh.Append(Record{Kind: RecPaxosAccept, TID: tid, Site: inst, Ballot: a.Ballot, Vote: a.Vote}); err != nil {
+				return 0, err
+			}
 		}
 	}
 	s.wal.Reset()

@@ -63,6 +63,22 @@ const (
 	// site acknowledged the outcome notification; when the last site is
 	// removed the whole entry is deleted.
 	RecDepSiteDone
+	// RecPaxosMeta records the registrar information an acceptor learned
+	// for one transaction's Paxos Commit decision: the coordinator and
+	// the participant set (the decision's instance set).  First write
+	// wins; duplicates are ignored.
+	RecPaxosMeta
+	// RecPaxosPromise records an acceptor's phase-1 promise for a
+	// transaction: no ballot below Ballot will be accepted for any of
+	// its instances.  Monotonic; a lower ballot is a no-op.
+	RecPaxosPromise
+	// RecPaxosAccept records an acceptor's phase-2 acceptance of a vote
+	// at a ballot for one instance (the participant named in Site).
+	// Survives acceptor restarts — the whole point of the plane.
+	RecPaxosAccept
+	// RecPaxosClear drops a transaction's acceptor state once its
+	// decision is learned and durably recorded as an outcome.
+	RecPaxosClear
 )
 
 // Record is one WAL entry.  Fields beyond Kind are populated per kind.
@@ -86,7 +102,15 @@ type Record struct {
 	Committed bool
 
 	// RecDepSite: the site that received a dependent polyvalue.
+	// RecPaxosAccept: the instance (participant) the vote is for.
 	Site string
+
+	// RecPaxosMeta: the participant set.
+	Sites []string
+	// RecPaxosPromise, RecPaxosAccept: the ballot.
+	Ballot uint32
+	// RecPaxosAccept: the accepted vote (protocol.Vote numbering).
+	Vote uint8
 }
 
 // appendPolyMap encodes a map of item → polyvalue deterministically
@@ -176,6 +200,23 @@ func (r Record) encodePayload() []byte {
 	case RecDepSite, RecDepSiteDone:
 		buf = appendString(buf, string(r.TID))
 		buf = appendString(buf, r.Site)
+	case RecPaxosMeta:
+		buf = appendString(buf, string(r.TID))
+		buf = appendString(buf, r.Coordinator)
+		buf = binary.AppendUvarint(buf, uint64(len(r.Sites)))
+		for _, s := range r.Sites {
+			buf = appendString(buf, s)
+		}
+	case RecPaxosPromise:
+		buf = appendString(buf, string(r.TID))
+		buf = binary.AppendUvarint(buf, uint64(r.Ballot))
+	case RecPaxosAccept:
+		buf = appendString(buf, string(r.TID))
+		buf = appendString(buf, r.Site)
+		buf = binary.AppendUvarint(buf, uint64(r.Ballot))
+		buf = append(buf, r.Vote)
+	case RecPaxosClear:
+		buf = appendString(buf, string(r.TID))
 	}
 	return buf
 }
@@ -271,6 +312,66 @@ func decodePayload(buf []byte) (Record, error) {
 			return Record{}, err
 		}
 		r.TID, r.Site = txn.ID(tid), site
+	case RecPaxosMeta:
+		tid, err := readStr()
+		if err != nil {
+			return Record{}, err
+		}
+		coord, err := readStr()
+		if err != nil {
+			return Record{}, err
+		}
+		r.TID, r.Coordinator = txn.ID(tid), coord
+		n, w := binary.Uvarint(body[off:])
+		if w <= 0 || n > uint64(len(body)-off) {
+			return Record{}, fmt.Errorf("storage: truncated participant count")
+		}
+		off += w
+		r.Sites = make([]string, 0, n)
+		for i := uint64(0); i < n; i++ {
+			s, err := readStr()
+			if err != nil {
+				return Record{}, err
+			}
+			r.Sites = append(r.Sites, s)
+		}
+	case RecPaxosPromise:
+		tid, err := readStr()
+		if err != nil {
+			return Record{}, err
+		}
+		r.TID = txn.ID(tid)
+		b, w := binary.Uvarint(body[off:])
+		if w <= 0 || b > 0xffffffff {
+			return Record{}, fmt.Errorf("storage: bad promise ballot")
+		}
+		r.Ballot = uint32(b)
+	case RecPaxosAccept:
+		tid, err := readStr()
+		if err != nil {
+			return Record{}, err
+		}
+		site, err := readStr()
+		if err != nil {
+			return Record{}, err
+		}
+		r.TID, r.Site = txn.ID(tid), site
+		b, w := binary.Uvarint(body[off:])
+		if w <= 0 || b > 0xffffffff {
+			return Record{}, fmt.Errorf("storage: bad accept ballot")
+		}
+		off += w
+		r.Ballot = uint32(b)
+		if off >= len(body) {
+			return Record{}, fmt.Errorf("storage: truncated accept vote")
+		}
+		r.Vote = body[off]
+	case RecPaxosClear:
+		tid, err := readStr()
+		if err != nil {
+			return Record{}, err
+		}
+		r.TID = txn.ID(tid)
 	default:
 		return Record{}, fmt.Errorf("storage: unknown record kind %d", r.Kind)
 	}

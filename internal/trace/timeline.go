@@ -3,6 +3,7 @@ package trace
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"repro/internal/vclock"
@@ -29,8 +30,14 @@ type Timeline struct {
 	// MissingSites lists participants named by the root span that
 	// contributed no spans.
 	MissingSites []string `json:"missing_sites,omitempty"`
+	// MissingQuorum is set when the root declares a replicated decision
+	// plane (attrs plane=paxos, quorum=N) for a committed transaction
+	// but fewer than N distinct sites contributed paxos.accept spans —
+	// the commit's durable accept quorum is not visible in the trace.
+	MissingQuorum bool `json:"missing_quorum,omitempty"`
 	// Complete is true when the span tree has a root, no dangling parent
-	// references, and every named participant reported in.
+	// references, every named participant reported in, and any declared
+	// decision quorum is visible.
 	Complete bool `json:"complete"`
 }
 
@@ -115,7 +122,18 @@ func buildTimeline(tid string, spans []Span) Timeline {
 		}
 	}
 	sort.Strings(tl.MissingSites)
-	tl.Complete = root != nil && len(tl.MissingParents) == 0 && len(tl.MissingSites) == 0
+	if root != nil && root.Attrs["plane"] == "paxos" && tl.Status == "committed" {
+		if want, err := strconv.Atoi(root.Attrs["quorum"]); err == nil && want > 0 {
+			acceptSites := map[string]bool{}
+			for _, s := range spans {
+				if s.Kind == "paxos.accept" {
+					acceptSites[s.Site] = true
+				}
+			}
+			tl.MissingQuorum = len(acceptSites) < want
+		}
+	}
+	tl.Complete = root != nil && len(tl.MissingParents) == 0 && len(tl.MissingSites) == 0 && !tl.MissingQuorum
 	return tl
 }
 
@@ -134,6 +152,9 @@ func (tl Timeline) Render() string {
 		}
 		if len(tl.MissingSites) > 0 {
 			fmt.Fprintf(&b, " (silent sites: %s)", strings.Join(tl.MissingSites, ","))
+		}
+		if tl.MissingQuorum {
+			b.WriteString(" (accept quorum not visible)")
 		}
 	}
 	b.WriteByte('\n')

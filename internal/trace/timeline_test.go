@@ -107,3 +107,42 @@ func TestRenderNesting(t *testing.T) {
 		t.Fatalf("child not nested (root %d, child %d):\n%s", rootIndent, childIndent, out)
 	}
 }
+
+func TestBuildTimelinesPaxosQuorum(t *testing.T) {
+	base := []Span{
+		{ID: 1, TID: "t1", Site: "A", Kind: RootKind, Start: 0, End: 30,
+			Attrs: map[string]string{
+				"status": "committed", "participants": "A,B",
+				"plane": "paxos", "quorum": "3",
+			}},
+		{ID: 2, Parent: 1, TID: "t1", Site: "A", Kind: "part.compute"},
+		{ID: 3, Parent: 1, TID: "t1", Site: "B", Kind: "part.compute"},
+		{ID: 4, Parent: 1, TID: "t1", Site: "A", Kind: "paxos.accept"},
+		{ID: 5, Parent: 1, TID: "t1", Site: "B", Kind: "paxos.accept"},
+	}
+	// Only two distinct sites logged durable accepts: the declared
+	// quorum of 3 is not visible, so the timeline is incomplete.
+	tl := BuildTimelines(base)[0]
+	if !tl.MissingQuorum || tl.Complete {
+		t.Fatalf("sub-quorum trace judged complete: %+v", tl)
+	}
+	if !strings.Contains(tl.Render(), "accept quorum not visible") {
+		t.Fatalf("Render() missing quorum note:\n%s", tl.Render())
+	}
+	// A third accept site completes it (duplicates on one site do not).
+	full := append(base, Span{ID: 6, Parent: 1, TID: "t1", Site: "C", Kind: "paxos.accept"})
+	tl = BuildTimelines(full)[0]
+	if tl.MissingQuorum || !tl.Complete {
+		t.Fatalf("quorate trace judged incomplete: %+v", tl)
+	}
+	// Aborted transactions need no quorum (a single Aborted choice or a
+	// pre-prepare abort is announceable without one).
+	ab := []Span{{ID: 1, TID: "t2", Site: "A", Kind: RootKind,
+		Attrs: map[string]string{"status": "aborted", "participants": "A",
+			"plane": "paxos", "quorum": "3"}},
+		{ID: 2, Parent: 1, TID: "t2", Site: "A", Kind: "part.compute"}}
+	tl = BuildTimelines(ab)[0]
+	if tl.MissingQuorum || !tl.Complete {
+		t.Fatalf("aborted paxos trace judged incomplete: %+v", tl)
+	}
+}

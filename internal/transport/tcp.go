@@ -434,15 +434,17 @@ func (t *TCP) Send(msg protocol.Message) {
 }
 
 // critical classifies the messages that end uncertainty windows —
-// coordinator decisions and §3.3 outcome propagation.  They ride the
-// peer's priority queue: sent first, never evicted by bulk traffic.
+// coordinator decisions, §3.3 outcome propagation, and the Paxos
+// decision plane (every consensus message shortens an in-doubt window).
+// They ride the peer's priority queue: sent first, never evicted by
+// bulk traffic.
 func critical(k protocol.MsgKind) bool {
 	switch k {
 	case protocol.MsgComplete, protocol.MsgAbort,
 		protocol.MsgOutcomeReq, protocol.MsgOutcomeInfo, protocol.MsgOutcomeAck:
 		return true
 	}
-	return false
+	return k.Paxos()
 }
 
 // Close shuts down: the listener stops, writers drain out, connections

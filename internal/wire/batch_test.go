@@ -103,6 +103,21 @@ func TestDecodePayloadDispatch(t *testing.T) {
 	}
 }
 
+// TestDecodePayloadPaxosVersion: an unbatched version-5 frame must
+// dispatch to the single-message decoder — paxos traffic below the
+// coalescing threshold rides exactly this path.
+func TestDecodePayloadPaxosVersion(t *testing.T) {
+	m := protocol.Message{
+		Kind: protocol.MsgPaxosAccept, TID: "t", From: "B", To: "D",
+		Ballot: 7, Coordinator: "A",
+		PaxosState: []protocol.PaxosInst{{Instance: "B", Ballot: 7, Vote: protocol.VotePrepared}},
+	}
+	got, err := DecodePayload(EncodeMessage(m))
+	if err != nil || len(got) != 1 || !messagesEqual(m, got[0]) {
+		t.Fatalf("paxos single dispatch: got %v, err %v", got, err)
+	}
+}
+
 func TestBatchDecodeErrors(t *testing.T) {
 	m := goldenMessages()[1]
 	good := EncodeBatch([]protocol.Message{m, m})

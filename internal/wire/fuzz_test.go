@@ -51,6 +51,42 @@ func FuzzMessageDecode(f *testing.F) {
 	})
 }
 
+// FuzzPaxosDecode focuses the payload decoder on version-5 (Paxos
+// Commit) encodings: seeds are the paxos golden messages, and any
+// accepted payload must satisfy the kind⇔version canonicality rule —
+// paxos kinds re-encode to version 5, everything else to versions 1–4.
+func FuzzPaxosDecode(f *testing.F) {
+	for _, m := range goldenMessages() {
+		if m.Kind.Paxos() {
+			f.Add(EncodeMessage(m))
+		}
+	}
+	f.Add([]byte{PaxosVersion})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeMessage(data)
+		if err != nil {
+			return
+		}
+		enc := EncodeMessage(m)
+		if m.Kind.Paxos() != (enc[0] == PaxosVersion) {
+			t.Fatalf("kind %s re-encoded as version %d", m.Kind, enc[0])
+		}
+		if !m.Kind.Paxos() && (m.Ballot != 0 || len(m.Participants) > 0 || len(m.PaxosState) > 0) {
+			t.Fatalf("non-paxos kind %s decoded with paxos fields", m.Kind)
+		}
+		m2, err := DecodeMessage(enc)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoding failed: %v", err)
+		}
+		if !messagesEqual(m, m2) {
+			t.Fatalf("re-encoding changed the message")
+		}
+		if !bytes.Equal(enc, EncodeMessage(m2)) {
+			t.Fatalf("canonical form is not a fixed point")
+		}
+	})
+}
+
 // FuzzPolyDecode fuzzes the polyvalue segment of the wire format — the
 // same canonical form messages embed in their Values maps.  Accepted
 // polyvalues must be well-formed and canonical.

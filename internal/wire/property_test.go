@@ -26,6 +26,9 @@ var kinds = []protocol.MsgKind{
 	protocol.MsgReady, protocol.MsgRefuse, protocol.MsgComplete,
 	protocol.MsgAbort, protocol.MsgOutcomeReq, protocol.MsgOutcomeInfo,
 	protocol.MsgOutcomeAck,
+	protocol.MsgPaxosBegin, protocol.MsgPaxosPrepare, protocol.MsgPaxosPromise,
+	protocol.MsgPaxosAccept, protocol.MsgPaxosAccepted, protocol.MsgPaxosReject,
+	protocol.MsgPaxosDecision,
 }
 
 func randString(r *rand.Rand, max int) string {
@@ -92,6 +95,28 @@ func (randMessage) Generate(r *rand.Rand, _ int) reflect.Value {
 		m.Values = make(map[string]polyvalue.Poly, n)
 		for i := 0; i < n; i++ {
 			m.Values[fmt.Sprintf("%s%d", randString(r, 6), i)] = randPoly(r)
+		}
+	}
+	// The paxos fields ride only on the paxos kinds (version 5); the
+	// encoder keys the version to the kind, so setting them elsewhere
+	// would produce a message with no valid encoding.
+	if m.Kind.Paxos() {
+		m.Ballot = uint32(r.Intn(1 << 20))
+		if n := r.Intn(4); n > 0 {
+			m.Participants = make([]protocol.SiteID, n)
+			for i := range m.Participants {
+				m.Participants[i] = protocol.SiteID(randString(r, 6))
+			}
+		}
+		if n := r.Intn(4); n > 0 {
+			m.PaxosState = make([]protocol.PaxosInst, n)
+			for i := range m.PaxosState {
+				m.PaxosState[i] = protocol.PaxosInst{
+					Instance: protocol.SiteID(randString(r, 6)),
+					Ballot:   uint32(r.Intn(1 << 16)),
+					Vote:     protocol.Vote(r.Intn(3)),
+				}
+			}
 		}
 	}
 	return reflect.ValueOf(randMessage{M: m})

@@ -45,6 +45,22 @@
 // payload with a zero trace context is malformed so every message still
 // has exactly one canonical encoding.
 //
+// Version 5 carries the Paxos Commit decision-plane fields and appends,
+// after Reason:
+//
+//	uvarint  deadline (may be zero in this version)
+//	uvarint  trace context (may be zero in this version)
+//	uvarint  ballot
+//	uvarint  participant count; per participant: str site
+//	uvarint  instance count; per instance:
+//	           str      instance site
+//	           uvarint  accepted ballot
+//	           1 byte   vote (0 none, 1 prepared, 2 aborted)
+//
+// Version 5 is keyed to the message kind, not to field presence: every
+// MsgPaxos* message encodes as version 5 and only MsgPaxos* messages
+// may, so each message still has exactly one canonical encoding.
+//
 // Values entries are written in sorted item order, so encoding is
 // canonical: equal messages produce identical bytes, and re-encoding a
 // decoded message reproduces the source frame exactly.
@@ -83,6 +99,12 @@ const DeadlineVersion = 3
 // only when span tracing stamps a message, so tracing-off traffic never
 // changes shape.
 const TraceVersion = 4
+
+// PaxosVersion is the single-message payload version carrying the Paxos
+// Commit fields (ballot, participant set, per-instance state).  Used by
+// exactly the MsgPaxos* kinds — the kind, not field presence, selects
+// this version.
+const PaxosVersion = 5
 
 // MaxFrame is the default cap on payload size, applied by ReadMessage
 // and DecodeFrame.  A peer announcing a larger frame is faulty or
@@ -127,6 +149,9 @@ func AppendMessage(dst []byte, m protocol.Message) []byte {
 	if m.TraceCtx != 0 {
 		ver = TraceVersion
 	}
+	if m.Kind.Paxos() {
+		ver = PaxosVersion
+	}
 	dst = append(dst, ver, byte(m.Kind))
 	dst = appendString(dst, string(m.TID))
 	dst = appendString(dst, string(m.From))
@@ -149,11 +174,24 @@ func AppendMessage(dst []byte, m protocol.Message) []byte {
 	dst = appendString(dst, m.Program)
 	dst = appendString(dst, string(m.Coordinator))
 	dst = appendString(dst, m.Reason)
-	if ver == DeadlineVersion || ver == TraceVersion {
+	if ver != Version {
 		dst = binary.AppendUvarint(dst, uint64(m.Deadline))
 	}
-	if ver == TraceVersion {
+	if ver == TraceVersion || ver == PaxosVersion {
 		dst = binary.AppendUvarint(dst, m.TraceCtx)
+	}
+	if ver == PaxosVersion {
+		dst = binary.AppendUvarint(dst, uint64(m.Ballot))
+		dst = binary.AppendUvarint(dst, uint64(len(m.Participants)))
+		for _, site := range m.Participants {
+			dst = appendString(dst, string(site))
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(m.PaxosState)))
+		for _, inst := range m.PaxosState {
+			dst = appendString(dst, string(inst.Instance))
+			dst = binary.AppendUvarint(dst, uint64(inst.Ballot))
+			dst = append(dst, byte(inst.Vote))
+		}
 	}
 	dst = binary.AppendUvarint(dst, uint64(len(m.Values)))
 	for _, item := range sortedKeys(m.Values) {
@@ -186,11 +224,16 @@ func DecodeMessage(buf []byte) (protocol.Message, error) {
 func decodeMessage(buf []byte) (protocol.Message, int, error) {
 	d := decoder{buf: buf}
 	ver := d.byte("version")
-	if d.err == nil && ver != Version && ver != DeadlineVersion && ver != TraceVersion {
+	if d.err == nil && ver != Version && ver != DeadlineVersion && ver != TraceVersion && ver != PaxosVersion {
 		return protocol.Message{}, 0, fmt.Errorf("%w: %d", ErrVersion, ver)
 	}
 	var m protocol.Message
 	m.Kind = protocol.MsgKind(d.byte("kind"))
+	if d.err == nil && m.Kind.Paxos() != (ver == PaxosVersion) {
+		// Canonical: the paxos kinds use version 5 and nothing else does,
+		// so every message has exactly one valid encoding.
+		return protocol.Message{}, 0, fmt.Errorf("%w: kind %s in version %d", ErrMalformed, m.Kind, ver)
+	}
 	m.TID = txn.ID(d.str("tid"))
 	m.From = protocol.SiteID(d.str("from"))
 	m.To = protocol.SiteID(d.str("to"))
@@ -207,7 +250,7 @@ func decodeMessage(buf []byte) (protocol.Message, int, error) {
 	m.Program = d.str("program")
 	m.Coordinator = protocol.SiteID(d.str("coordinator"))
 	m.Reason = d.str("reason")
-	if ver == DeadlineVersion || ver == TraceVersion {
+	if ver != Version {
 		m.Deadline = time.Duration(d.uvarint("deadline"))
 		if d.err == nil {
 			if ver == DeadlineVersion && m.Deadline <= 0 {
@@ -215,19 +258,50 @@ func decodeMessage(buf []byte) (protocol.Message, int, error) {
 				// use the version-1 form, so re-encoding reproduces frames.
 				return protocol.Message{}, 0, fmt.Errorf("%w: non-positive deadline", ErrMalformed)
 			}
-			if ver == TraceVersion && m.Deadline < 0 {
-				// Version 4 allows a zero deadline (the trace context alone
-				// forces this version) but never an overflowed-negative one.
+			if ver != DeadlineVersion && m.Deadline < 0 {
+				// Versions 4 and 5 allow a zero deadline (the trace context
+				// or the kind alone forces the version) but never an
+				// overflowed-negative one.
 				return protocol.Message{}, 0, fmt.Errorf("%w: negative deadline", ErrMalformed)
 			}
 		}
 	}
-	if ver == TraceVersion {
+	if ver == TraceVersion || ver == PaxosVersion {
 		m.TraceCtx = d.uvarint("trace context")
-		if d.err == nil && m.TraceCtx == 0 {
+		if d.err == nil && ver == TraceVersion && m.TraceCtx == 0 {
 			// Canonical: an untraced message must use version 1 or 3, so
 			// re-encoding a decoded message reproduces the source frame.
 			return protocol.Message{}, 0, fmt.Errorf("%w: zero trace context", ErrMalformed)
+		}
+	}
+	if ver == PaxosVersion {
+		ballot := d.uvarint("ballot")
+		if d.err == nil && ballot > 0xffffffff {
+			return protocol.Message{}, 0, fmt.Errorf("%w: ballot overflow", ErrMalformed)
+		}
+		m.Ballot = uint32(ballot)
+		if n := d.count("participant count"); n > 0 {
+			m.Participants = make([]protocol.SiteID, 0, n)
+			for i := 0; i < n && d.err == nil; i++ {
+				m.Participants = append(m.Participants, protocol.SiteID(d.str("participant")))
+			}
+		}
+		if n := d.count("instance count"); n > 0 {
+			m.PaxosState = make([]protocol.PaxosInst, 0, n)
+			for i := 0; i < n && d.err == nil; i++ {
+				var inst protocol.PaxosInst
+				inst.Instance = protocol.SiteID(d.str("instance"))
+				b := d.uvarint("instance ballot")
+				if d.err == nil && b > 0xffffffff {
+					return protocol.Message{}, 0, fmt.Errorf("%w: instance ballot overflow", ErrMalformed)
+				}
+				inst.Ballot = uint32(b)
+				inst.Vote = protocol.Vote(d.byte("vote"))
+				if d.err == nil && inst.Vote > protocol.VoteAborted {
+					return protocol.Message{}, 0, fmt.Errorf("%w: vote %d", ErrMalformed, inst.Vote)
+				}
+				m.PaxosState = append(m.PaxosState, inst)
+			}
 		}
 	}
 	if n := d.count("value count"); n > 0 {

@@ -60,6 +60,33 @@ func goldenMessages() []protocol.Message {
 		{Kind: protocol.MsgReadReq, TID: "t5", From: "A", To: "B",
 			Items: []string{"acct1"}, Lock: true, Coordinator: "A",
 			TraceCtx: 1},
+		// Version 5: the Paxos Commit decision plane, every kind.
+		{Kind: protocol.MsgPaxosBegin, TID: "t6", From: "A", To: "D",
+			Coordinator: "A", Participants: []protocol.SiteID{"A", "B", "C"}},
+		{Kind: protocol.MsgPaxosPrepare, TID: "t6", From: "B", To: "D",
+			Ballot: 7},
+		{Kind: protocol.MsgPaxosPromise, TID: "t6", From: "D", To: "B",
+			Ballot:       7,
+			Participants: []protocol.SiteID{"A", "B", "C"},
+			PaxosState: []protocol.PaxosInst{
+				{Instance: "B", Ballot: 0, Vote: protocol.VotePrepared},
+				{Instance: "C", Ballot: 4, Vote: protocol.VoteAborted},
+			}},
+		{Kind: protocol.MsgPaxosAccept, TID: "t6", From: "B", To: "D",
+			Ballot: 0, Coordinator: "A",
+			PaxosState: []protocol.PaxosInst{
+				{Instance: "B", Ballot: 0, Vote: protocol.VotePrepared},
+			},
+			TraceCtx: 0x7e57_0002},
+		{Kind: protocol.MsgPaxosAccepted, TID: "t6", From: "D", To: "A",
+			Ballot: 0,
+			PaxosState: []protocol.PaxosInst{
+				{Instance: "B", Ballot: 0, Vote: protocol.VotePrepared},
+			}},
+		{Kind: protocol.MsgPaxosReject, TID: "t6", From: "D", To: "B",
+			Ballot: 12},
+		{Kind: protocol.MsgPaxosDecision, TID: "t6", From: "A", To: "D",
+			Committed: true, Reason: "all prepared"},
 	}
 }
 
@@ -69,7 +96,7 @@ func messagesEqual(a, b protocol.Message) bool {
 	if a.Kind != b.Kind || a.TID != b.TID || a.From != b.From || a.To != b.To ||
 		a.Lock != b.Lock || a.ReadOnly != b.ReadOnly || a.Committed != b.Committed ||
 		a.Program != b.Program || a.Coordinator != b.Coordinator || a.Reason != b.Reason ||
-		a.Deadline != b.Deadline || a.TraceCtx != b.TraceCtx {
+		a.Deadline != b.Deadline || a.TraceCtx != b.TraceCtx || a.Ballot != b.Ballot {
 		return false
 	}
 	if len(a.Items) != len(b.Items) {
@@ -77,6 +104,22 @@ func messagesEqual(a, b protocol.Message) bool {
 	}
 	for i := range a.Items {
 		if a.Items[i] != b.Items[i] {
+			return false
+		}
+	}
+	if len(a.Participants) != len(b.Participants) {
+		return false
+	}
+	for i := range a.Participants {
+		if a.Participants[i] != b.Participants[i] {
+			return false
+		}
+	}
+	if len(a.PaxosState) != len(b.PaxosState) {
+		return false
+	}
+	for i := range a.PaxosState {
+		if a.PaxosState[i] != b.PaxosState[i] {
 			return false
 		}
 	}
@@ -209,6 +252,41 @@ func TestDecodeErrors(t *testing.T) {
 		payload = append(payload, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x10)
 		if _, err := DecodeMessage(payload); !errors.Is(err, ErrMalformed) {
 			t.Errorf("got %v, want ErrMalformed", err)
+		}
+	})
+
+	t.Run("paxos-kind-wrong-version", func(t *testing.T) {
+		// A paxos kind must use version 5 and nothing else may: flipping
+		// the version byte either way is malformed, not just non-canonical.
+		paxos := EncodeMessage(protocol.Message{
+			Kind: protocol.MsgPaxosReject, TID: "t", From: "D", To: "B", Ballot: 3})
+		if paxos[0] != PaxosVersion {
+			t.Fatalf("paxos message encoded as version %d", paxos[0])
+		}
+		demoted := append([]byte{}, paxos...)
+		demoted[0] = Version
+		if _, err := DecodeMessage(demoted); !errors.Is(err, ErrMalformed) {
+			t.Errorf("paxos kind in v1: got %v, want ErrMalformed", err)
+		}
+		plain := EncodeMessage(goldenMessages()[1])
+		promoted := append([]byte{}, plain...)
+		promoted[0] = PaxosVersion
+		if _, err := DecodeMessage(promoted); !errors.Is(err, ErrMalformed) {
+			t.Errorf("plain kind in v5: got %v, want ErrMalformed", err)
+		}
+	})
+
+	t.Run("paxos-bad-vote", func(t *testing.T) {
+		m := protocol.Message{Kind: protocol.MsgPaxosAccepted, TID: "t",
+			From: "D", To: "A",
+			PaxosState: []protocol.PaxosInst{{Instance: "B", Vote: protocol.VotePrepared}}}
+		payload := EncodeMessage(m)
+		// The vote byte is the last byte of the payload's paxos section,
+		// followed only by the empty value count.
+		bad := append([]byte{}, payload...)
+		bad[len(bad)-2] = 9
+		if _, err := DecodeMessage(bad); !errors.Is(err, ErrMalformed) {
+			t.Errorf("vote 9: got %v, want ErrMalformed", err)
 		}
 	})
 
