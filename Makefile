@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-smoke tables fuzz-smoke cluster-demo chaos chaos-smoke chaos-demo overload overload-smoke telemetry-smoke consensus consensus-smoke
+.PHONY: check vet build test race bench bench-smoke tables fuzz-smoke cluster-demo chaos chaos-smoke chaos-demo overload overload-smoke telemetry-smoke consensus consensus-smoke georep georep-smoke
 
 check: vet build race ## everything CI runs
 
@@ -32,6 +32,7 @@ tables:
 fuzz-smoke:
 	$(GO) test -run=^$$ -fuzz=FuzzMessageDecode -fuzztime=10s ./internal/wire
 	$(GO) test -run=^$$ -fuzz=FuzzPaxosDecode -fuzztime=10s ./internal/wire
+	$(GO) test -run=^$$ -fuzz=FuzzAntiEntropyDecode -fuzztime=10s ./internal/wire
 	$(GO) test -run=^$$ -fuzz=FuzzPolyDecode -fuzztime=10s ./internal/wire
 	$(GO) test -run=^$$ -fuzz=FuzzBatchDecode -fuzztime=10s ./internal/wire
 	$(GO) test -run=^$$ -fuzz=FuzzRecover -fuzztime=10s ./internal/storage
@@ -73,6 +74,19 @@ consensus-smoke:
 	$(GO) test -race -count=1 ./internal/consensus
 	$(GO) test -race -count=1 -run TestPaxos ./internal/cluster
 	$(GO) test -race -count=1 -short -v -run TestConsensusChaosSeeded ./internal/harness
+
+# Full geo-replication torture: a 5-site cluster with k=3 replicas and a
+# 2/2 write/read quorum rides out a long partition — quorum writes keep
+# committing on the majority side while write-all blocks — then heals and
+# lets anti-entropy gossip alone (the coordinator stays dead) reduce every
+# stranded polyvalue and converge every replica, with conservation
+# asserted throughout.
+georep:
+	$(GO) test -race -count=1 -v -run TestGeoRep ./internal/harness
+
+# Short seeded geo-replication run for CI: same assertions, one partition.
+georep-smoke:
+	$(GO) test -race -count=1 -short -v -run TestGeoRepSeeded ./internal/harness
 
 # Boot a 3-process cluster with -spans and -telemetry, commit a
 # transfer, and check /metrics, /healthz, /trace and the control-port

@@ -52,6 +52,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/polyvalue"
 	"repro/internal/protocol"
+	"repro/internal/replica"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -81,6 +82,9 @@ type options struct {
 	admit    int
 	deadline time.Duration
 	plane    string
+	replicas int
+	wquorum  int
+	rquorum  int
 	childArg bool
 	siteArg  string
 	verbose  bool
@@ -111,6 +115,9 @@ func main() {
 	flag.IntVar(&opt.admit, "admission", 0, "per-site in-flight transaction cap; over it submissions shed (0: unlimited, overload workload defaults to 4)")
 	flag.DurationVar(&opt.deadline, "txn-deadline", 0, "end-to-end transaction deadline enforced by the cluster (0: none)")
 	flag.StringVar(&opt.plane, "decision-plane", "wal", "commit decision plane: wal (coordinator log + polyvalues), paxos (replicated Paxos Commit), blocking2pc (coordinator log + blocking participants)")
+	flag.IntVar(&opt.replicas, "replicas", 0, "store every item on this many sites under write-quorum/read-quorum replication (0: unreplicated; inproc mode only)")
+	flag.IntVar(&opt.wquorum, "write-quorum", 0, "replicas a commit must write (default majority of -replicas)")
+	flag.IntVar(&opt.rquorum, "read-quorum", 0, "replicas a read must reach (default replicas+1-write-quorum)")
 	flag.BoolVar(&opt.childArg, "child", false, "internal: run as one site of a procs-mode cluster")
 	flag.StringVar(&opt.siteArg, "site", "", "internal: site ID for -child")
 	flag.BoolVar(&opt.verbose, "v", false, "log progress to stderr")
@@ -152,6 +159,17 @@ func run(opt options) error {
 	if opt.kind == "overload" && opt.admit == 0 {
 		opt.admit = 4
 	}
+	if opt.replicas > 0 {
+		if opt.mode != "inproc" {
+			return fmt.Errorf("-replicas requires -mode inproc (the procs-mode audit protocol is per-site)")
+		}
+		if opt.wquorum == 0 {
+			opt.wquorum = opt.replicas/2 + 1
+		}
+		if opt.rquorum == 0 {
+			opt.rquorum = opt.replicas + 1 - opt.wquorum
+		}
+	}
 	if opt.label == "" {
 		b := "batched"
 		if !opt.batch {
@@ -167,6 +185,11 @@ func run(opt options) error {
 			// Traced runs get their own setting so the tracing-off
 			// baseline is never compared against tracing-on numbers.
 			opt.label += "-traced"
+		}
+		if opt.replicas > 0 {
+			// Replicated runs do K× the write work per commit; never
+			// compare them against the unreplicated baseline.
+			opt.label += fmt.Sprintf("-k%dw%dr%d", opt.replicas, opt.wquorum, opt.rquorum)
 		}
 	}
 
@@ -319,27 +342,38 @@ type batchStats struct {
 	MeanSize float64 `json:"mean_size"`
 }
 
+// replicationSetting records the quorum geometry of a replicated run
+// (absent for unreplicated settings).
+type replicationSetting struct {
+	Replicas    int `json:"replicas"`
+	WriteQuorum int `json:"write_quorum"`
+	ReadQuorum  int `json:"read_quorum"`
+}
+
 type setting struct {
-	Name            string     `json:"name"`
-	Mode            string     `json:"mode"`
-	Sites           int        `json:"sites"`
-	Workers         int        `json:"workers"`
-	Txns            int        `json:"txns"`
-	Seed            int64      `json:"seed"`
-	Workload        string     `json:"workload"`
-	Items           int        `json:"items"`
-	Batching        bool       `json:"batching"`
-	DecisionPlane   string     `json:"decision_plane"`
-	DurationSeconds float64    `json:"duration_seconds"`
-	ThroughputTPS   float64    `json:"throughput_tps"`
-	Committed       int        `json:"committed"`
-	Aborted         int        `json:"aborted"`
-	Timeouts        int        `json:"timeouts"`
-	AdmissionLimit  int        `json:"admission_limit,omitempty"`
-	Shed            int        `json:"shed,omitempty"`
-	ShedRate        float64    `json:"shed_rate,omitempty"`
-	LatencyMS       latencyMS  `json:"latency_ms"`
-	Batch           batchStats `json:"batch"`
+	Name            string  `json:"name"`
+	Mode            string  `json:"mode"`
+	Sites           int     `json:"sites"`
+	Workers         int     `json:"workers"`
+	Txns            int     `json:"txns"`
+	Seed            int64   `json:"seed"`
+	Workload        string  `json:"workload"`
+	Items           int     `json:"items"`
+	Batching        bool    `json:"batching"`
+	DecisionPlane   string  `json:"decision_plane"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	ThroughputTPS   float64 `json:"throughput_tps"`
+	Committed       int     `json:"committed"`
+	Aborted         int     `json:"aborted"`
+	Timeouts        int     `json:"timeouts"`
+	AdmissionLimit  int     `json:"admission_limit,omitempty"`
+	Shed            int     `json:"shed,omitempty"`
+	ShedRate        float64 `json:"shed_rate,omitempty"`
+
+	Replication *replicationSetting `json:"replication,omitempty"`
+
+	LatencyMS latencyMS  `json:"latency_ms"`
+	Batch     batchStats `json:"batch"`
 }
 
 func (r *runResult) setting(opt options) setting {
@@ -350,6 +384,11 @@ func (r *runResult) setting(opt options) setting {
 		DurationSeconds: r.duration.Seconds(),
 		Committed:       r.committed, Aborted: r.aborted, Timeouts: r.timeouts,
 		AdmissionLimit: opt.admit, Shed: r.shed,
+	}
+	if opt.replicas > 0 {
+		s.Replication = &replicationSetting{
+			Replicas: opt.replicas, WriteQuorum: opt.wquorum, ReadQuorum: opt.rquorum,
+		}
 	}
 	if attempts := r.shed + opt.txns; attempts > 0 {
 		s.ShedRate = float64(r.shed) / float64(attempts)
@@ -386,6 +425,10 @@ func printSetting(w *os.File, s setting) {
 		s.Name, s.Txns, s.DurationSeconds, s.ThroughputTPS, s.Committed, s.Aborted, s.Timeouts)
 	if s.AdmissionLimit > 0 {
 		fmt.Fprintf(w, "  admission=%d shed=%d shed_rate=%.1f%%\n", s.AdmissionLimit, s.Shed, s.ShedRate*100)
+	}
+	if s.Replication != nil {
+		fmt.Fprintf(w, "  replication: k=%d write-quorum=%d read-quorum=%d\n",
+			s.Replication.Replicas, s.Replication.WriteQuorum, s.Replication.ReadQuorum)
 	}
 	fmt.Fprintf(w, "  latency ms: p50=%.2f p90=%.2f p99=%.2f mean=%.2f\n",
 		s.LatencyMS.P50, s.LatencyMS.P90, s.LatencyMS.P99, s.LatencyMS.Mean)
@@ -433,11 +476,17 @@ func runInproc(opt options) (*runResult, error) {
 		if err != nil {
 			return nil, err
 		}
-		node, err := cluster.NewNode(cluster.Config{
+		ncfg := cluster.Config{
 			Sites: names, Metrics: reg, Spans: spans,
 			AdmissionLimit: opt.admit, TxnDeadline: opt.deadline,
 			DecisionPlane: plane, Policy: policy,
-		}, id, fab)
+		}
+		if opt.replicas > 0 {
+			ncfg.Replication = &cluster.ReplicationConfig{
+				K: opt.replicas, W: opt.wquorum, R: opt.rquorum,
+			}
+		}
+		node, err := cluster.NewNode(ncfg, id, fab)
 		if err != nil {
 			return nil, err
 		}
@@ -472,7 +521,12 @@ func runInproc(opt options) (*runResult, error) {
 	}
 	for _, node := range nodes {
 		for item, v := range init {
-			if node.Local(item) {
+			if opt.replicas > 0 {
+				// Each node loads the replicas it hosts (version 1).
+				if err := node.LoadReplicated(item, v); err != nil {
+					return nil, err
+				}
+			} else if node.Local(item) {
 				if err := node.Load(item, v); err != nil {
 					return nil, err
 				}
@@ -598,22 +652,19 @@ func nodeQuiet(n *cluster.Cluster) bool {
 
 // auditInproc checks the invariant the workload promises: every item is
 // certain at quiescence, and for the bank workload money is conserved.
+// Replicated runs audit the freshest replica by version — a committed
+// write reaches only W of the K copies synchronously, and gossip may
+// still be converging the rest when the settle window closes.
 func auditInproc(opt options, nodes []*cluster.Cluster, init map[string]polyvalue.Poly) error {
 	var total, want int64
 	for item, v0 := range init {
-		var owner *cluster.Cluster
-		for _, n := range nodes {
-			if n.Local(item) {
-				owner = n
-				break
-			}
+		p, err := readFreshest(opt, nodes, item)
+		if err != nil {
+			return err
 		}
-		if owner == nil {
-			return fmt.Errorf("item %s has no owning node", item)
-		}
-		v, ok := owner.Read(item).IsCertain()
+		v, ok := p.IsCertain()
 		if !ok {
-			return fmt.Errorf("item %s still uncertain after settle: %v", item, owner.Read(item))
+			return fmt.Errorf("item %s still uncertain after settle: %v", item, p)
 		}
 		if opt.kind == "bank" || opt.kind == "overload" {
 			n, _ := value.AsInt(v)
@@ -627,6 +678,39 @@ func auditInproc(opt options, nodes []*cluster.Cluster, init map[string]polyvalu
 		return fmt.Errorf("conservation violated: total=%d want=%d", total, want)
 	}
 	return nil
+}
+
+// readFreshest returns an item's value for the audit: the owning node's
+// copy, or under replication the max-version replica across the nodes
+// hosting one.
+func readFreshest(opt options, nodes []*cluster.Cluster, item string) (polyvalue.Poly, error) {
+	if opt.replicas == 0 {
+		for _, n := range nodes {
+			if n.Local(item) {
+				return n.Read(item), nil
+			}
+		}
+		return polyvalue.Poly{}, fmt.Errorf("item %s has no owning node", item)
+	}
+	var best polyvalue.Poly
+	var bestVer uint64
+	found := false
+	for i := 0; i < opt.replicas; i++ {
+		phys := replica.Name(item, i)
+		for _, n := range nodes {
+			if !n.Local(phys) {
+				continue
+			}
+			ver := n.Store(n.Self()).Version(phys)
+			if !found || ver > bestVer {
+				best, bestVer, found = n.Read(phys), ver, true
+			}
+		}
+	}
+	if !found {
+		return polyvalue.Poly{}, fmt.Errorf("item %s has no hosted replica", item)
+	}
+	return best, nil
 }
 
 // ---------------------------------------------------------------------

@@ -42,6 +42,15 @@
 // growth (degrading to blocking 2PC at the cap), and -heartbeat starts
 // the peer failure detector with its circuit breaker.
 //
+// Quorum replication is opt-in the same way: -replicas K spreads every
+// logical item across K physical replicas (hash-placed like any other
+// item) with -write-quorum/-read-quorum controlling W and R (W+R > K
+// enforced; defaults: majority W, R = K+1-W).  All processes must pass
+// identical replication flags.  LOAD then installs the replicas the
+// receiving process hosts — send the same LOAD to every node — and the
+// anti-entropy gossip plane keeps replicas converging across failures;
+// when -heartbeat is set, gossip peer selection skips suspected peers.
+//
 // Observability is opt-in the same way: -telemetry serves /metrics
 // (OpenMetrics), /healthz, /trace and pprof over HTTP, -spans retains
 // structured per-transaction spans (queried via /trace or dumped with
@@ -90,6 +99,9 @@ func main() {
 		polyBdg  = flag.Int("poly-budget", 0, "max local polyvalue population before in-doubt work degrades to blocking 2PC (0: unlimited)")
 		depBdg   = flag.Int("dep-budget", 0, "max dependency-table size before the same degradation (0: unlimited)")
 		hbeat    = flag.Duration("heartbeat", 0, "peer heartbeat interval for the failure detector + circuit breaker (0: disabled)")
+		replicas = flag.Int("replicas", 0, "replicate each logical item across this many sites with quorum commit (0: no replication; every process must pass the same value)")
+		wquorum  = flag.Int("write-quorum", 0, "replicas that must install a write (default: majority of -replicas; every process must pass the same value)")
+		rquorum  = flag.Int("read-quorum", 0, "replicas that must answer a read (default: replicas+1-W; every process must pass the same value)")
 		planeArg = flag.String("decision-plane", "wal", "commit decision plane: wal (coordinator WAL only), paxos (Paxos Commit over 2F+1 acceptors), or blocking2pc (wal plane, polyvalues off); every process must pass the same value")
 		place    = flag.String("place", "", "comma-separated item=site placement pins (every process must pass the same value); unlisted items hash across sites")
 		faults   = flag.String("faults", "", "initial fault plan, ';'-separated injector commands (e.g. 'drop to=B p=0.1; delay p=0.2 min=5ms max=40ms')")
@@ -172,8 +184,9 @@ func main() {
 	// plane: heartbeats cross the injector like any other traffic, so a
 	// partition makes peers suspect and trips the circuit breaker.
 	var fabric transport.Transport = inj
+	var det *guard.Detector
 	if *hbeat > 0 {
-		fabric = guard.NewDetector(inj, guard.DetectorConfig{
+		det = guard.NewDetector(inj, guard.DetectorConfig{
 			Self:     self,
 			Peers:    sites,
 			Interval: *hbeat,
@@ -182,6 +195,7 @@ func main() {
 				fmt.Fprintf(os.Stderr, "polynode[%s] detector: %s\n", self, fmt.Sprintf(format, args...))
 			},
 		})
+		fabric = det
 	}
 	var plane cluster.DecisionPlane
 	policy := cluster.PolicyPolyvalue
@@ -213,6 +227,23 @@ func main() {
 	}
 	if ring != nil {
 		cfg.Tracer = ring
+	}
+	if *replicas > 0 {
+		w := *wquorum
+		if w == 0 {
+			w = *replicas/2 + 1
+		}
+		r := *rquorum
+		if r == 0 {
+			r = *replicas + 1 - w
+		}
+		cfg.Replication = &cluster.ReplicationConfig{K: *replicas, W: w, R: r}
+	}
+	if det != nil {
+		// Detector-informed gossip: anti-entropy rounds skip peers the
+		// failure detector currently suspects, spending each round on a
+		// peer likely to answer.
+		cfg.Suspected = det.Suspected
 	}
 	node, err := cluster.NewNode(cfg, self, fabric)
 	if err != nil {
@@ -437,7 +468,9 @@ func (s *server) execute(line string) []string {
 		if err != nil {
 			return []string{"ERR bad int: " + err.Error()}
 		}
-		if err := s.node.Load(item, polyvalue.Simple(value.Int(n))); err != nil {
+		// With -replicas this loads the replicas this process hosts (send
+		// the same LOAD to every node); without, it is owner-only.
+		if err := s.node.LoadReplicated(item, polyvalue.Simple(value.Int(n))); err != nil {
 			return []string{"ERR " + err.Error()}
 		}
 		return []string{"OK loaded"}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/network"
 	"repro/internal/polyvalue"
 	"repro/internal/protocol"
+	"repro/internal/replica"
 	"repro/internal/storage"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -61,32 +62,35 @@ type Cluster struct {
 	// reg is the metrics registry every layer reports into; the named
 	// fields below cache the hot-path instruments (see metrics.go for the
 	// series catalogue).
-	reg             *metrics.Registry
-	submitted       *metrics.Counter
-	committed       *metrics.Counter
-	aborted         *metrics.Counter
-	inDoubt         *metrics.Counter
-	polyInstalls    *metrics.Counter
-	polyReductions  *metrics.Counter
-	polyForks       *metrics.Counter
-	refused         *metrics.Counter
-	latency         *metrics.Histogram
-	population      *metrics.Gauge
-	lifetime        *metrics.Histogram
-	phaseRead       *metrics.Histogram
-	phasePrepare    *metrics.Histogram
-	phaseWait       *metrics.Histogram
-	phaseSettle     *metrics.Histogram
-	decisionResends *metrics.Counter
-	outcomeRetries  *metrics.Counter
-	deadlineCoord   *metrics.Counter
-	deadlinePart    *metrics.Counter
-	degradedTxns    *metrics.Counter
-	paxosVotes      *metrics.Counter
-	paxosAccepts    *metrics.Counter
-	paxosRejects    *metrics.Counter
-	paxosTakeovers  *metrics.Counter
-	paxosDecisions  *metrics.Counter
+	reg               *metrics.Registry
+	submitted         *metrics.Counter
+	committed         *metrics.Counter
+	aborted           *metrics.Counter
+	inDoubt           *metrics.Counter
+	polyInstalls      *metrics.Counter
+	polyReductions    *metrics.Counter
+	polyForks         *metrics.Counter
+	refused           *metrics.Counter
+	latency           *metrics.Histogram
+	population        *metrics.Gauge
+	lifetime          *metrics.Histogram
+	phaseRead         *metrics.Histogram
+	phasePrepare      *metrics.Histogram
+	phaseWait         *metrics.Histogram
+	phaseSettle       *metrics.Histogram
+	decisionResends   *metrics.Counter
+	outcomeRetries    *metrics.Counter
+	deadlineCoord     *metrics.Counter
+	deadlinePart      *metrics.Counter
+	degradedTxns      *metrics.Counter
+	paxosVotes        *metrics.Counter
+	paxosAccepts      *metrics.Counter
+	paxosRejects      *metrics.Counter
+	paxosTakeovers    *metrics.Counter
+	paxosDecisions    *metrics.Counter
+	aeRounds          *metrics.Counter
+	aeOutcomesLearned *metrics.Counter
+	aeItemsCopied     *metrics.Counter
 	// installAt timestamps live polyvalued items for the lifetime
 	// histogram; only touched from serialized site events.
 	installAt map[lifeKey]vclock.Time
@@ -110,6 +114,12 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	if err := validDecisionPlane(cfg.DecisionPlane); err != nil {
 		return nil, err
+	}
+	if err := validReplication(&cfg); err != nil {
+		return nil, err
+	}
+	if cfg.Replication != nil && cfg.Placement == nil {
+		cfg.Placement = replica.Placement(append([]protocol.SiteID{}, cfg.Sites...))
 	}
 	cfg.fillDefaults()
 	c := &Cluster{
@@ -352,6 +362,37 @@ func (c *Cluster) Load(item string, p polyvalue.Poly) error {
 	var err error
 	site.do(func() { err = site.put(item, p) })
 	return err
+}
+
+// LoadReplicated installs p at every locally-run replica of a logical
+// item at version 1 (bootstrap only, like Load).  Without replication
+// it is plain Load.  In node mode, replicas placed at remote sites are
+// skipped — each node loads the replicas it hosts.
+func (c *Cluster) LoadReplicated(logical string, p polyvalue.Poly) error {
+	rep := c.cfg.Replication
+	if rep == nil {
+		return c.Load(logical, p)
+	}
+	if err := replica.CheckName(logical); err != nil {
+		return err
+	}
+	for i := 0; i < rep.K; i++ {
+		phys := replica.Name(logical, i)
+		site := c.sites[c.Placement(phys)]
+		if site == nil {
+			continue // node mode: this replica lives at a remote site
+		}
+		var err error
+		site.do(func() {
+			if err = site.put(phys, p); err == nil {
+				_, _ = site.store.SetVersion(phys, 1)
+			}
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Read returns the current value of an item straight from its owning

@@ -72,6 +72,44 @@ const (
 	PlanePaxos DecisionPlane = "paxos"
 )
 
+// ReplicationConfig turns on k-way quorum replication.  Transactions
+// and queries are written against LOGICAL item names; the coordinator
+// probes all K physical replicas (<logical>_r<i>) with read locks,
+// proceeds once any W (writes) / R (reads) respond, picks the freshest
+// value by version, and stamps every replica write with a new version.
+// W+R > K guarantees every read quorum overlaps every write quorum, so
+// the freshest committed value is always seen.  Replicas missed by a
+// commit converge later through the anti-entropy gossip plane.
+type ReplicationConfig struct {
+	// K is the number of replicas per logical item (1 ≤ K ≤ len(Sites)).
+	K int
+	// W is the write quorum: a transaction commits onto the first W
+	// replicas whose sites answered the read probe.
+	W int
+	// R is the read quorum: how many replica responses a read needs
+	// before the freshest version is trusted.
+	R int
+}
+
+// AntiEntropyConfig tunes the gossip plane that runs alongside quorum
+// replication: each site periodically exchanges compact digests of
+// known transaction outcomes and hosted replica versions with a random
+// peer, pulling missing outcomes (reducing stranded polyvalues) and
+// fresher replica values with no coordinator involvement.
+type AntiEntropyConfig struct {
+	// Interval paces gossip rounds per site (default 1s, simulated).
+	Interval time.Duration
+	// Fanout is how many peers each round contacts (default 1).
+	Fanout int
+	// MaxOutcomes caps the transaction outcomes per digest (default 64;
+	// the window rotates across rounds so every outcome is eventually
+	// offered).
+	MaxOutcomes int
+	// MaxItems caps the logical-item versions per digest (default 128,
+	// same rotation).
+	MaxItems int
+}
+
 // Config parameterizes a cluster.
 type Config struct {
 	// Sites lists the site identifiers; at least one.
@@ -189,6 +227,20 @@ type Config struct {
 	// transactions, which convert to polyvalues exactly as a site restart
 	// would.  Close flushes and closes the logs.
 	DataDir string
+	// Replication, when set, turns on quorum replication over logical
+	// item names (see ReplicationConfig).  Nil (the default) keeps the
+	// classic single-copy protocol.  When set and Placement is nil, the
+	// replica-aware placement (each logical item's replicas on distinct
+	// sites) is installed automatically.
+	Replication *ReplicationConfig
+	// AntiEntropy tunes the gossip plane; only active with Replication.
+	// Nil means defaults.
+	AntiEntropy *AntiEntropyConfig
+	// Suspected, when set, steers anti-entropy peer selection away from
+	// sites the failure detector currently suspects — gossip rounds are
+	// not wasted on peers whose messages a breaker would drop anyway.
+	// Must be safe for concurrent use.
+	Suspected func(protocol.SiteID) bool
 }
 
 func (c *Config) fillDefaults() {
@@ -219,6 +271,26 @@ func (c *Config) fillDefaults() {
 	if c.DecisionPlane == "" {
 		c.DecisionPlane = PlaneWAL
 	}
+	if c.Replication != nil {
+		// Copy before defaulting so the caller's struct is not mutated.
+		ae := AntiEntropyConfig{}
+		if c.AntiEntropy != nil {
+			ae = *c.AntiEntropy
+		}
+		if ae.Interval <= 0 {
+			ae.Interval = time.Second
+		}
+		if ae.Fanout <= 0 {
+			ae.Fanout = 1
+		}
+		if ae.MaxOutcomes <= 0 {
+			ae.MaxOutcomes = 64
+		}
+		if ae.MaxItems <= 0 {
+			ae.MaxItems = 128
+		}
+		c.AntiEntropy = &ae
+	}
 }
 
 func validDecisionPlane(p DecisionPlane) error {
@@ -227,4 +299,27 @@ func validDecisionPlane(p DecisionPlane) error {
 		return nil
 	}
 	return fmt.Errorf("cluster: unknown decision plane %q (have %q, %q)", p, PlaneWAL, PlanePaxos)
+}
+
+func validReplication(cfg *Config) error {
+	r := cfg.Replication
+	if r == nil {
+		return nil
+	}
+	if r.K < 1 {
+		return fmt.Errorf("cluster: replication needs K ≥ 1, got %d", r.K)
+	}
+	if r.K > len(cfg.Sites) {
+		return fmt.Errorf("cluster: replication K=%d exceeds the %d configured sites", r.K, len(cfg.Sites))
+	}
+	if r.W < 1 || r.W > r.K {
+		return fmt.Errorf("cluster: write quorum W=%d outside [1, K=%d]", r.W, r.K)
+	}
+	if r.R < 1 || r.R > r.K {
+		return fmt.Errorf("cluster: read quorum R=%d outside [1, K=%d]", r.R, r.K)
+	}
+	if r.W+r.R <= r.K {
+		return fmt.Errorf("cluster: quorums must overlap: W+R=%d must exceed K=%d", r.W+r.R, r.K)
+	}
+	return nil
 }

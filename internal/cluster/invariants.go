@@ -2,6 +2,11 @@ package cluster
 
 import (
 	"fmt"
+	"sort"
+
+	"repro/internal/polyvalue"
+	"repro/internal/protocol"
+	"repro/internal/replica"
 )
 
 // CheckInvariants validates the cluster's global well-formedness and
@@ -25,6 +30,12 @@ import (
 //  4. no locks are held (quiescence);
 //  5. under the polyvalue policy, no prepared entries remain
 //     (quiescence: every in-doubt window was converted or settled).
+//
+// Under quorum replication one cross-site check is added:
+//
+//  7. replica convergence — every live replica of a logical item holds
+//     the same certain value at the same version (anti-entropy has
+//     drained; a W-of-K commit left no permanently stale copy).
 func (c *Cluster) CheckInvariants() []string {
 	var violations []string
 	for _, id := range c.order {
@@ -92,6 +103,55 @@ func (c *Cluster) CheckInvariants() []string {
 				}
 			}
 		})
+	}
+	// 7: replica convergence (quorum replication only).  Runs outside
+	// the per-site loop — it compares replicas ACROSS sites — reading
+	// the thread-safe stores directly and the transport's crash view
+	// (down sites legitimately hold stale replicas until they rejoin
+	// and gossip catches them up).
+	if c.cfg.Replication != nil {
+		type rep struct {
+			site protocol.SiteID
+			item string
+			p    polyvalue.Poly
+			ver  uint64
+		}
+		byLogical := map[string][]rep{}
+		for _, id := range c.order {
+			site := c.sites[id]
+			if site == nil || c.fab.IsDown(id) {
+				continue
+			}
+			for _, item := range site.store.Items() {
+				logical, _, ok := replica.Logical(item)
+				if !ok {
+					continue
+				}
+				byLogical[logical] = append(byLogical[logical],
+					rep{site: id, item: item, p: site.store.Get(item), ver: site.store.Version(item)})
+			}
+		}
+		logicals := make([]string, 0, len(byLogical))
+		for logical := range byLogical {
+			logicals = append(logicals, logical)
+		}
+		sort.Strings(logicals)
+		for _, logical := range logicals {
+			reps := byLogical[logical]
+			ref := reps[0]
+			for _, r := range reps {
+				if _, certain := r.p.IsCertain(); !certain {
+					violations = append(violations,
+						fmt.Sprintf("site %s: replica %s still uncertain at quiescence: %s", r.site, r.item, r.p))
+					continue
+				}
+				if !r.p.Equal(ref.p) || r.ver != ref.ver {
+					violations = append(violations,
+						fmt.Sprintf("replica divergence on %q: %s@%s=%s v%d vs %s@%s=%s v%d",
+							logical, r.item, r.site, r.p, r.ver, ref.item, ref.site, ref.p, ref.ver))
+				}
+			}
+		}
 	}
 	return violations
 }

@@ -35,6 +35,13 @@ import (
 //	                                   and decisions reached by takeover
 //	                                   leaders (fast-path decisions land
 //	                                   in txn.committed/aborted directly)
+//	antientropy.rounds /             — quorum-replication gossip plane:
+//	antientropy.outcomes.learned /     rounds initiated, transaction
+//	antientropy.items.copied           outcomes first learned via gossip
+//	                                   (each one a potential polyvalue
+//	                                   reduction with no coordinator
+//	                                   involved), and stale replica
+//	                                   values converged by value copy
 //	site.admission.shed{site}        — submissions shed over the cap
 //	site.admission.inflight{site}    — credits currently held
 //	site.budget.mode{site}           — 0 polyvalue, 1 blocking (degraded)
@@ -93,6 +100,9 @@ func (c *Cluster) initMetrics(reg *metrics.Registry) {
 	c.paxosRejects = reg.Counter("paxos.rejects")
 	c.paxosTakeovers = reg.Counter("paxos.takeovers")
 	c.paxosDecisions = reg.Counter("paxos.decisions")
+	c.aeRounds = reg.Counter("antientropy.rounds")
+	c.aeOutcomesLearned = reg.Counter("antientropy.outcomes.learned")
+	c.aeItemsCopied = reg.Counter("antientropy.items.copied")
 	c.installAt = map[lifeKey]vclock.Time{}
 	c.residency = map[protocol.SiteID]*metrics.Histogram{}
 }

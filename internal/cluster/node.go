@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/protocol"
+	"repro/internal/replica"
 	"repro/internal/storage"
 	"repro/internal/transport"
 	"repro/internal/txn"
@@ -50,6 +51,12 @@ func NewNode(cfg Config, self protocol.SiteID, fab transport.Transport) (*Cluste
 	}
 	if err := validDecisionPlane(cfg.DecisionPlane); err != nil {
 		return nil, err
+	}
+	if err := validReplication(&cfg); err != nil {
+		return nil, err
+	}
+	if cfg.Replication != nil && cfg.Placement == nil {
+		cfg.Placement = replica.Placement(append([]protocol.SiteID{}, cfg.Sites...))
 	}
 	cfg.fillDefaults()
 	// Transaction IDs must never recur across incarnations of the same

@@ -1,0 +1,359 @@
+package cluster
+
+import (
+	"sort"
+
+	"repro/internal/expr"
+	"repro/internal/polyvalue"
+	"repro/internal/protocol"
+	"repro/internal/replica"
+	"repro/internal/trace"
+	"repro/internal/txn"
+	"repro/internal/vclock"
+)
+
+// Quorum replication (cfg.Replication set): transactions and queries
+// are written against LOGICAL item names and the coordinator speaks to
+// each item's K physical replicas (<logical>_r<i>, placed on distinct
+// sites by replica.Placement).
+//
+// Read phase: probe all K replicas of every accessed logical with read
+// locks.  A logical is satisfied once R (read-only) or max(R, W)
+// (written) distinct replicas answered; unreachable sites are simply
+// never waited for — this is what keeps the majority side of a
+// partition serving while write-all would stall.  Each reply carries
+// the replica's EFFECTIVE version (max of committed and pending), so
+// the winner pick below always sees the newest value a read quorum can
+// prove, and two concurrent transactions can never mint the same
+// version number.
+//
+// Prepare phase: per logical, the winner is the reply with the highest
+// effective version (ties broken toward the lowest replica index); the
+// write set is the first W responding replica indices, stamped with
+// version winner+1.  The program is rewritten onto those physical
+// names (replica.RewritePlan) and prepared only at the responding
+// sites — respondents hosting no write replica vote ready-read-only
+// and leave early, probed sites that never answered self-release via
+// the lock timeout.  Replicas outside the write quorum go stale and
+// are converged later by the anti-entropy plane (antientropy.go).
+type quorumCtx struct {
+	// replies[logical][replicaIndex] is the collected probe response.
+	replies map[string]map[int]replicaReply
+	// needed[logical] is how many distinct replica responses the
+	// logical requires before the quorum is satisfied.
+	needed map[string]int
+	// written marks logicals in the transaction's write set.
+	written map[string]bool
+	// responded records the sites whose read replies arrived; the
+	// participant set is narrowed to exactly these at prepare time.
+	responded map[protocol.SiteID]bool
+}
+
+// replicaReply is one replica's answer to the read probe.
+type replicaReply struct {
+	val polyvalue.Poly
+	ver uint64
+}
+
+// satisfied reports whether every tracked logical reached its quorum.
+func (q *quorumCtx) satisfied() bool {
+	for logical, need := range q.needed {
+		if len(q.replies[logical]) < need {
+			return false
+		}
+	}
+	return true
+}
+
+// winner returns the freshest reply for a logical: highest effective
+// version, ties broken toward the lowest replica index (so every
+// coordinator picks the same winner from the same replies).
+func (q *quorumCtx) winner(logical string) (val polyvalue.Poly, idx int, ver uint64) {
+	first := true
+	for i, r := range q.replies[logical] {
+		if first || r.ver > ver || (r.ver == ver && i < idx) {
+			val, idx, ver = r.val, i, r.ver
+			first = false
+		}
+	}
+	return val, idx, ver
+}
+
+// sortedLogicals returns the tracked logical names in sorted order.
+func (q *quorumCtx) sortedLogicals() []string {
+	out := make([]string, 0, len(q.needed))
+	for logical := range q.needed {
+		out = append(out, logical)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// beginQuorumTxn is beginTxn for quorum replication: validate the
+// logical names, then probe all K replicas of every accessed item.
+func (s *Site) beginQuorumTxn(t txn.T, h *Handle) {
+	rep := s.c.cfg.Replication
+	ctx := &coordCtx{
+		tid: t.ID, t: t, handle: h,
+		readWait: map[protocol.SiteID]bool{},
+		values:   map[string]polyvalue.Poly{},
+		startAt:  s.c.clk.Now(),
+	}
+	if d := s.c.cfg.TxnDeadline; d > 0 {
+		ctx.deadline = ctx.startAt + vclock.Time(d)
+	}
+	if s.spansOn() {
+		ctx.span = s.c.cfg.Spans.NextID()
+	}
+	for _, logical := range t.Items() {
+		if err := replica.CheckName(logical); err != nil {
+			s.c.aborted.Inc()
+			h.decide(StatusAborted, "replica: "+err.Error(), s.c.clk.Now())
+			s.recordTxnRoot(ctx, StatusAborted, "replica: "+err.Error(), true)
+			return
+		}
+	}
+	q := &quorumCtx{
+		replies:   map[string]map[int]replicaReply{},
+		needed:    map[string]int{},
+		written:   map[string]bool{},
+		responded: map[protocol.SiteID]bool{},
+	}
+	ctx.quorum = q
+	for _, logical := range t.WriteSet() {
+		q.written[logical] = true
+	}
+	probe := map[protocol.SiteID][]string{}
+	for _, logical := range t.Items() {
+		need := rep.R
+		if q.written[logical] && rep.W > need {
+			need = rep.W
+		}
+		q.needed[logical] = need
+		q.replies[logical] = map[int]replicaReply{}
+		for i := 0; i < rep.K; i++ {
+			phys := replica.Name(logical, i)
+			owner := s.c.Placement(phys)
+			probe[owner] = append(probe[owner], phys)
+		}
+	}
+	// All probed sites are participants until prepare narrows the set:
+	// a read-phase abort then fans to every site that might hold locks.
+	ctx.participants = sortedSites(probe)
+	s.coords[t.ID] = ctx
+	if ctx.deadline > 0 {
+		ctx.deadlineTimer = s.after(s.c.cfg.TxnDeadline, func() { s.onTxnDeadline(t.ID) })
+	}
+	for _, site := range ctx.participants {
+		items := probe[site]
+		sort.Strings(items)
+		ctx.readWait[site] = true
+		s.send(protocol.Message{
+			Kind: protocol.MsgReadReq, TID: t.ID, To: site,
+			Items: items, Lock: true, Coordinator: s.id,
+			Deadline: s.remainingDeadline(ctx),
+			TraceCtx: s.traceCtx(ctx),
+		})
+	}
+	ctx.readTimer = s.after(s.c.cfg.ReadyTimeout, func() { s.onReadTimeout(ctx.tid) })
+}
+
+// beginQuorumQuery scatters a read-only query to all K replicas of
+// every referenced logical and evaluates against the R-quorum winners.
+// No locks: a query needs R reachable replicas per item, nothing more —
+// reads keep working on the majority side of a partition.
+func (s *Site) beginQuorumQuery(qid txn.ID, node expr.Node, qh *QueryHandle, certainBy vclock.Time) {
+	rep := s.c.cfg.Replication
+	ctx := &coordCtx{
+		tid: qid, isQuery: true, qh: qh, qnode: node, qCertainBy: certainBy,
+		readWait: map[protocol.SiteID]bool{},
+		values:   map[string]polyvalue.Poly{},
+	}
+	q := &quorumCtx{
+		replies:   map[string]map[int]replicaReply{},
+		needed:    map[string]int{},
+		written:   map[string]bool{},
+		responded: map[protocol.SiteID]bool{},
+	}
+	ctx.quorum = q
+	set := map[string]bool{}
+	exprVars(node, set)
+	probe := map[protocol.SiteID][]string{}
+	for logical := range set {
+		if err := replica.CheckName(logical); err != nil {
+			qh.complete(polyvalue.Poly{}, err)
+			return
+		}
+		q.needed[logical] = rep.R
+		q.replies[logical] = map[int]replicaReply{}
+		for i := 0; i < rep.K; i++ {
+			phys := replica.Name(logical, i)
+			probe[s.c.Placement(phys)] = append(probe[s.c.Placement(phys)], phys)
+		}
+	}
+	s.coords[qid] = ctx
+	if len(probe) == 0 {
+		s.finishQuery(ctx)
+		return
+	}
+	for _, site := range sortedSites(probe) {
+		items := probe[site]
+		sort.Strings(items)
+		ctx.readWait[site] = true
+		s.send(protocol.Message{
+			Kind: protocol.MsgReadReq, TID: qid, To: site,
+			Items: items, Lock: false, Coordinator: s.id,
+		})
+	}
+	ctx.readTimer = s.after(s.c.cfg.ReadyTimeout, func() { s.onReadTimeout(qid) })
+}
+
+// onQuorumReadRep folds one probe response in and fires the next phase
+// once every logical reached its quorum.  Late replies after that are
+// dropped by onReadRep's ctx.prepared guard (transactions) or the
+// deleted context (queries).
+func (s *Site) onQuorumReadRep(ctx *coordCtx, msg protocol.Message) {
+	delete(ctx.readWait, msg.From)
+	q := ctx.quorum
+	q.responded[msg.From] = true
+	for phys, p := range msg.Values {
+		logical, i, ok := replica.Logical(phys)
+		if !ok {
+			continue
+		}
+		if _, tracked := q.needed[logical]; !tracked {
+			continue
+		}
+		q.replies[logical][i] = replicaReply{val: p, ver: msg.Versions[phys]}
+	}
+	if !q.satisfied() {
+		return
+	}
+	s.c.clk.Cancel(ctx.readTimer)
+	if ctx.isQuery {
+		// Evaluate against the freshest value each read quorum saw,
+		// keyed back to the logical names the expression references.
+		for _, logical := range q.sortedLogicals() {
+			val, _, _ := q.winner(logical)
+			ctx.values[logical] = val
+		}
+		s.finishQuery(ctx)
+		return
+	}
+	s.sendQuorumPrepares(ctx)
+}
+
+// sendQuorumPrepares rewrites the logical program onto the winning
+// physical replicas and distributes it to the responding sites.
+func (s *Site) sendQuorumPrepares(ctx *coordCtx) {
+	if s.maybeCrash(CrashBeforePrepare, ctx.tid) {
+		return
+	}
+	if ctx.deadline > 0 && s.c.clk.Now() >= ctx.deadline {
+		s.c.deadlineCoord.Inc()
+		s.decide(ctx, false, reasonDeadline)
+		return
+	}
+	q := ctx.quorum
+	rep := s.c.cfg.Replication
+	ctx.prepared = true
+	ctx.prepareAt = s.c.clk.Now()
+	s.c.phaseRead.Observe((ctx.prepareAt - ctx.startAt).Seconds())
+	if s.spansOn() {
+		s.recordSpan(trace.Span{Kind: spanPhaseRead, TID: string(ctx.tid),
+			Parent: ctx.span, Start: ctx.startAt, End: ctx.prepareAt})
+	}
+
+	// Winner pick, write-set selection and version mint, per logical.
+	plan := replica.Plan{Reads: map[string]int{}, Writes: map[string][]int{}}
+	newVer := map[string]uint64{}
+	physVals := map[string]polyvalue.Poly{}
+	for _, logical := range q.sortedLogicals() {
+		val, idx, ver := q.winner(logical)
+		plan.Reads[logical] = idx
+		physVals[replica.Name(logical, idx)] = val
+		if !q.written[logical] {
+			continue
+		}
+		idxs := make([]int, 0, len(q.replies[logical]))
+		for i := range q.replies[logical] {
+			idxs = append(idxs, i)
+		}
+		sort.Ints(idxs)
+		plan.Writes[logical] = idxs[:rep.W]
+		newVer[logical] = ver + 1
+	}
+	rewritten, err := replica.RewritePlan(ctx.t.Program, plan)
+	if err != nil {
+		s.decide(ctx, false, "replica rewrite: "+err.Error())
+		return
+	}
+	ctx.values = physVals
+
+	// Only respondents participate in the commit round; probed sites
+	// that never answered hold no vote — this is the line that lets
+	// W-of-K commit ride out a partition.  Tell them to drop their read
+	// locks now rather than wait out the lock timeout: a reachable site
+	// whose reply simply lost the quorum race would otherwise refuse
+	// every overlapping transaction for the full timeout.  (If the site
+	// is the unreachable one, the release is lost with everything else
+	// and the lock timeout still reclaims its locks.)
+	for site := range ctx.readWait {
+		s.send(protocol.Message{Kind: protocol.MsgReadRelease, TID: ctx.tid, To: site})
+	}
+	resp := make([]protocol.SiteID, 0, len(q.responded))
+	for site := range q.responded {
+		resp = append(resp, site)
+	}
+	sort.Slice(resp, func(i, j int) bool { return resp[i] < resp[j] })
+	ctx.participants = resp
+	ctx.machine = protocol.NewCoordinator(ctx.tid, ctx.participants)
+	ctx.machine.Instrument(s.c.reg)
+	if s.paxosPlane() {
+		s.paxosBegin(ctx)
+	}
+
+	depTIDs := map[txn.ID]bool{}
+	for _, p := range physVals {
+		for _, dep := range p.DependsOn() {
+			depTIDs[dep] = true
+		}
+	}
+	writeOwner := map[protocol.SiteID][]string{}
+	for logical, idxs := range plan.Writes {
+		for _, i := range idxs {
+			phys := replica.Name(logical, i)
+			owner := s.c.Placement(phys)
+			writeOwner[owner] = append(writeOwner[owner], phys)
+		}
+	}
+	ctx.readOnly = map[protocol.SiteID]bool{}
+	for _, site := range ctx.participants {
+		items := writeOwner[site]
+		sort.Strings(items)
+		roOpt := len(items) == 0 && !s.c.cfg.DisableReadOnlyOpt
+		var vals map[string]polyvalue.Poly
+		var vers map[string]uint64
+		if !roOpt {
+			vals = copyValues(physVals)
+			for dep := range depTIDs {
+				if site != s.id {
+					_ = s.store.AddDepSite(dep, string(site))
+				}
+			}
+			vers = make(map[string]uint64, len(items))
+			for _, phys := range items {
+				logical, _, _ := replica.Logical(phys)
+				vers[phys] = newVer[logical]
+			}
+		}
+		s.send(protocol.Message{
+			Kind: protocol.MsgPrepare, TID: ctx.tid, To: site,
+			Items: items, Values: vals, Versions: vers,
+			Program: rewritten.String(), Coordinator: s.id,
+			Deadline: s.remainingDeadline(ctx),
+			TraceCtx: s.traceCtx(ctx),
+		})
+	}
+	ctx.readyTimer = s.after(s.c.cfg.ReadyTimeout, func() { s.onReadyTimeout(ctx.tid) })
+}

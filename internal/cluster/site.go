@@ -96,6 +96,13 @@ type Site struct {
 	inboxShed  *metrics.Counter
 	hwm        int
 
+	// aeTimer is the anti-entropy gossip loop's pending timer (quorum
+	// replication only); cancelled by crash, re-armed by restart.
+	// aeRound counts rounds initiated, seeding the deterministic peer
+	// pick and digest-window rotation.
+	aeTimer vclock.TimerID
+	aeRound int
+
 	// lockAt timestamps each held lock's acquisition for the blocking
 	// accountant (see spans.go); blockedLock/Indoubt/Degraded are the
 	// cached item.blocked.seconds{site,cause} histograms it feeds.
@@ -183,6 +190,10 @@ type coordCtx struct {
 	values    map[string]polyvalue.Poly
 	readTimer vclock.TimerID
 
+	// quorum holds the replica bookkeeping when the cluster runs quorum
+	// replication (see quorum.go); nil on the classic single-copy path.
+	quorum *quorumCtx
+
 	// participants are the sites involved (every site holding an
 	// accessed item); machine collects their readies.
 	participants []protocol.SiteID
@@ -239,6 +250,11 @@ func newSite(c *Cluster, id protocol.SiteID, store *storage.Store) *Site {
 	s.blockedIndoubt = c.reg.Histogram("item.blocked.seconds", l, metrics.L("cause", causeInDoubt))
 	s.blockedDegraded = c.reg.Histogram("item.blocked.seconds", l, metrics.L("cause", causeDegraded))
 	go s.loop()
+	if c.cfg.Replication != nil && len(c.cfg.Sites) > 1 {
+		// Serialize the timer-ID write onto the site goroutine, like
+		// every later re-arm.
+		s.do(func() { s.armGossip() })
+	}
 	return s
 }
 
@@ -422,6 +438,14 @@ func (s *Site) handle(msg protocol.Message) {
 		s.onPaxosReject(msg)
 	case protocol.MsgPaxosDecision:
 		s.onPaxosDecision(msg)
+	case protocol.MsgAntiEntropyDigest:
+		s.onAEDigest(msg)
+	case protocol.MsgAntiEntropyReply:
+		s.onAEReply(msg)
+	case protocol.MsgAntiEntropyUpdate:
+		s.onAEUpdate(msg)
+	case protocol.MsgReadRelease:
+		s.onReadRelease(msg)
 	}
 	if cb := s.c.cfg.CheckpointBytes; cb > 0 && s.store.WALSize() > max(cb, 2*s.walFloor) {
 		if n, err := s.store.Checkpoint(); err != nil {
@@ -443,6 +467,10 @@ func (s *Site) beginTxn(t txn.T, h *Handle) {
 	if s.down {
 		h.decide(StatusAborted, "coordinator down", s.c.clk.Now())
 		s.c.aborted.Inc()
+		return
+	}
+	if s.c.cfg.Replication != nil {
+		s.beginQuorumTxn(t, h)
 		return
 	}
 	ctx := &coordCtx{
@@ -567,6 +595,10 @@ func (s *Site) beginQuery(qid txn.ID, node expr.Node, qh *QueryHandle, certainBy
 		qh.complete(polyvalue.Poly{}, errSiteDown)
 		return
 	}
+	if s.c.cfg.Replication != nil {
+		s.beginQuorumQuery(qid, node, qh, certainBy)
+		return
+	}
 	ctx := &coordCtx{
 		tid: qid, isQuery: true, qh: qh, qnode: node, qCertainBy: certainBy,
 		readWait: map[protocol.SiteID]bool{},
@@ -604,6 +636,10 @@ func (s *Site) onReadRep(msg protocol.Message) {
 		return // late or duplicate
 	}
 	if !ctx.readWait[msg.From] {
+		return
+	}
+	if ctx.quorum != nil {
+		s.onQuorumReadRep(ctx, msg)
 		return
 	}
 	delete(ctx.readWait, msg.From)
@@ -961,9 +997,20 @@ func (s *Site) onReadReq(msg protocol.Message) {
 		ctx.lockTimer = s.after(lt, func() { s.onLockTimeout(msg.TID) })
 	}
 	values := map[string]polyvalue.Poly{}
+	// Under quorum replication every read reply reports each replica's
+	// effective version — max(committed, pending) — so the coordinator's
+	// freshest-value pick and next-version mint never race a concurrent
+	// prepare into the same version number.
+	var vers map[string]uint64
+	if s.c.cfg.Replication != nil {
+		vers = make(map[string]uint64, len(msg.Items))
+	}
 	for _, item := range msg.Items {
 		p := s.store.Get(item)
 		values[item] = p
+		if vers != nil {
+			vers[item] = s.store.EffectiveVersion(item)
+		}
 		if msg.Lock {
 			// §3.3: sending a polyvalue makes the recipient a site that
 			// must learn the outcomes it depends on.
@@ -976,6 +1023,7 @@ func (s *Site) onReadReq(msg protocol.Message) {
 	}
 	s.send(protocol.Message{
 		Kind: protocol.MsgReadRep, TID: msg.TID, To: msg.From, Values: values,
+		Versions: vers,
 	})
 }
 
@@ -988,6 +1036,22 @@ func (s *Site) onLockTimeout(tid txn.ID) {
 	s.c.trace("%s abandon read locks of %s (no prepare)", s.id, tid)
 	s.releaseLocks(tid)
 	delete(s.parts, tid)
+}
+
+// onReadRelease drops a probed transaction's idle read locks: the
+// coordinator assembled its quorum without this site, so waiting out
+// the lock timeout would only refuse unrelated transactions.  Any
+// state other than idle (prepared, or no record at all — the probe may
+// have been lost) makes this a no-op; it never records an outcome.
+func (s *Site) onReadRelease(msg protocol.Message) {
+	ctx, ok := s.parts[msg.TID]
+	if !ok || ctx.machine.State() != protocol.StateIdle {
+		return
+	}
+	s.c.trace("%s release read locks of %s (not in quorum)", s.id, msg.TID)
+	s.c.clk.Cancel(ctx.lockTimer)
+	s.releaseLocks(msg.TID)
+	delete(s.parts, msg.TID)
 }
 
 // onPrepare runs the compute phase for the local share of the write set.
@@ -1107,6 +1171,12 @@ func (s *Site) onPrepare(msg protocol.Message) {
 		if err != nil {
 			refuse("wal: " + err.Error())
 			return
+		}
+		// Quorum replication: durably remember the versions this prepare
+		// would assign, so concurrent read probes see them as pending
+		// (and a recovered site still settles them at outcome time).
+		if len(msg.Versions) > 0 {
+			_ = s.store.SetVerPending(msg.TID, msg.Versions)
 		}
 	}
 	// Failpoint: prepared record durable, ready unsent — the
@@ -1352,6 +1422,7 @@ func (s *Site) onOutcomeMsg(tid txn.ID, committed bool) {
 	}
 	_ = s.store.ClearPrepared(tid)
 	_ = s.store.SetOutcome(tid, committed)
+	_ = s.store.SettleVersions(tid, committed)
 	s.c.clk.Cancel(ctx.waitTimer)
 	s.releaseLocks(tid)
 	delete(s.parts, tid)
@@ -1598,6 +1669,7 @@ func (s *Site) resolveOutcome(tid txn.ID, committed bool) {
 		return
 	}
 	_ = s.store.SetOutcome(tid, committed)
+	_ = s.store.SettleVersions(tid, committed)
 	if s.paxosPlane() {
 		// A decided transaction's acceptor state is dead weight however
 		// the outcome arrived (announce, complete/abort, inquiry).
@@ -1798,6 +1870,7 @@ func (s *Site) crash() {
 	for _, id := range s.notifyRetry {
 		s.c.clk.Cancel(id)
 	}
+	s.c.clk.Cancel(s.aeTimer)
 	s.locks = map[string]txn.ID{}
 	s.lockedBy = map[txn.ID][]string{}
 	s.parts = map[txn.ID]*partCtx{}
@@ -1825,6 +1898,9 @@ func (s *Site) restart() {
 	s.down = false
 	s.c.fab.SetDown(s.id, false)
 	s.recoverDurableState()
+	if s.c.cfg.Replication != nil && len(s.c.cfg.Sites) > 1 {
+		s.armGossip()
+	}
 }
 
 // recoverDurableState settles whatever the durable store says was in

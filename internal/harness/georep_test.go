@@ -1,0 +1,123 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+// TestGeoRepSeeded is the headline geo-replication experiment in test
+// form: both arms over the same seed and partition.  The quorum arm
+// must keep committing and serving reads on the majority side, strand a
+// minority replica, and let gossip alone (coordinator crashed) reduce
+// and converge it; the write-all arm must lose every write that touches
+// a minority replica for the duration.
+func TestGeoRepSeeded(t *testing.T) {
+	cfg := GeoRepConfig{
+		Seed:      42,
+		Items:     8,
+		Txns:      10,
+		Partition: 10 * time.Second,
+		Logf:      t.Logf,
+	}
+	if testing.Short() {
+		cfg.Txns = 6
+		cfg.Partition = 5 * time.Second
+	}
+
+	quorum := cfg
+	quorum.K, quorum.W, quorum.R = 3, 2, 2
+	qr, err := RunGeoRep(quorum)
+	if err != nil {
+		t.Fatalf("quorum arm: %v", err)
+	}
+	t.Logf("quorum arm: %s", qr)
+	if len(qr.Violations) > 0 {
+		t.Errorf("quorum arm violations: %v", qr.Violations)
+	}
+	if qr.CommittedDuring == 0 {
+		t.Error("quorum arm committed nothing during the partition")
+	}
+	if qr.ReadsServed == 0 {
+		t.Error("quorum arm served no reads during the partition")
+	}
+	if qr.Stranded == 0 {
+		t.Error("stranding choreography left no polyvalue on the minority side")
+	}
+	if qr.GossipOutcomes == 0 {
+		t.Error("no outcome was learned via gossip")
+	}
+	if qr.GossipCopies == 0 {
+		t.Error("no stale replica was converged via gossip")
+	}
+
+	writeAll := cfg
+	writeAll.K, writeAll.W, writeAll.R = 3, 3, 1
+	wr, err := RunGeoRep(writeAll)
+	if err != nil {
+		t.Fatalf("write-all arm: %v", err)
+	}
+	t.Logf("write-all arm: %s", wr)
+	if len(wr.Violations) > 0 {
+		t.Errorf("write-all arm violations: %v", wr.Violations)
+	}
+	// The availability gap: under the same partition and schedule the
+	// quorum arm commits strictly more, and write-all pays for every
+	// transfer that touched a minority replica with an abort.
+	if qr.CommittedDuring <= wr.CommittedDuring {
+		t.Errorf("no availability win: quorum committed %d, write-all %d",
+			qr.CommittedDuring, wr.CommittedDuring)
+	}
+	if wr.AbortedDuring == 0 {
+		t.Error("write-all arm aborted nothing during the partition; comparison is vacuous")
+	}
+	t.Logf("blocked-item-seconds: quorum=%v write-all=%v",
+		qr.BlockedItemSeconds, wr.BlockedItemSeconds)
+}
+
+// TestGeoRepSeedSweep runs the quorum arm across several seeds: every
+// one must pass its internal audits (conservation, convergence,
+// invariants) regardless of schedule.
+func TestGeoRepSeedSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("seed sweep skipped in -short")
+	}
+	for _, seed := range []int64{1, 7, 99, 1234} {
+		qr, err := RunGeoRep(GeoRepConfig{Seed: seed, Partition: 8 * time.Second})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(qr.Violations) > 0 {
+			t.Errorf("seed %d: %v", seed, qr.Violations)
+		}
+		t.Logf("seed %d: %s", seed, qr)
+	}
+}
+
+// TestGeoRepReadWriteTradeoff pins the W/R dial: W=K maximizes read
+// availability (R=1 — any single reachable replica answers) at the
+// cost of write availability.  During the partition the write-all arm
+// must answer at least as many majority-side reads as the quorum arm.
+func TestGeoRepReadWriteTradeoff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tradeoff sweep skipped in -short")
+	}
+	base := GeoRepConfig{Seed: 5, Partition: 6 * time.Second}
+	quorum := base
+	quorum.K, quorum.W, quorum.R = 3, 2, 2
+	qr, err := RunGeoRep(quorum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeAll := base
+	writeAll.K, writeAll.W, writeAll.R = 3, 3, 1
+	wr, err := RunGeoRep(writeAll)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wr.ReadsServed < qr.ReadsServed {
+		t.Errorf("R=1 arm served %d reads, R=2 arm %d — tradeoff inverted",
+			wr.ReadsServed, qr.ReadsServed)
+	}
+	t.Logf("reads served during partition: R=1 %d/%d, R=2 %d/%d",
+		wr.ReadsServed, wr.ReadsDuring, qr.ReadsServed, qr.ReadsDuring)
+}

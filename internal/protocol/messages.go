@@ -98,12 +98,50 @@ const (
 	// they can persist it, answer outcome inquiries, and garbage-collect
 	// instance state.
 	MsgPaxosDecision
+
+	// The MsgAntiEntropy* kinds implement the epidemic outcome/version
+	// gossip plane (Bayou-style anti-entropy): sites periodically
+	// exchange compact digests of known transaction outcomes and local
+	// replica versions with a random peer, so dependency-table knowledge
+	// and fresh replica values cross partitions without coordinator
+	// involvement.  All of them use wire payload version 6 (the Versions
+	// / Outcomes fields below).
+
+	// MsgAntiEntropyDigest opens one gossip round: the initiator's
+	// recent transaction outcomes (Outcomes) and the effective versions
+	// of the replicas it hosts, keyed by LOGICAL item name (Versions —
+	// replicas have different physical names on each site, so gossip
+	// speaks the logical namespace).
+	MsgAntiEntropyDigest
+	// MsgAntiEntropyReply answers a digest: outcomes the initiator was
+	// missing (Outcomes), fresher replica values the responder holds
+	// (Versions + Values, logical names), and the logical items the
+	// responder wants newer values for (Items).
+	MsgAntiEntropyReply
+	// MsgAntiEntropyUpdate closes the round: the initiator ships the
+	// newer values the responder asked for (Versions + Values, logical
+	// names).
+	MsgAntiEntropyUpdate
+
+	// MsgReadRelease tells a probed site the coordinator assembled its
+	// quorum without it: drop the transaction's read locks if they are
+	// still idle (never prepared), otherwise ignore.  Unlike MsgAbort it
+	// never records an outcome, so it is safe to send to sites whose
+	// probe may have been lost — a stale or misdelivered release is a
+	// no-op.
+	MsgReadRelease
 )
 
 // Paxos reports whether k is one of the Paxos Commit decision-plane
 // kinds (wire payload version 5).
 func (k MsgKind) Paxos() bool {
 	return k >= MsgPaxosBegin && k <= MsgPaxosDecision
+}
+
+// AntiEntropy reports whether k is one of the gossip-plane kinds (wire
+// payload version 6).
+func (k MsgKind) AntiEntropy() bool {
+	return k >= MsgAntiEntropyDigest && k <= MsgAntiEntropyUpdate
 }
 
 // String names the message kind.
@@ -145,6 +183,14 @@ func (k MsgKind) String() string {
 		return "paxos-reject"
 	case MsgPaxosDecision:
 		return "paxos-decision"
+	case MsgAntiEntropyDigest:
+		return "anti-entropy-digest"
+	case MsgAntiEntropyReply:
+		return "anti-entropy-reply"
+	case MsgAntiEntropyUpdate:
+		return "anti-entropy-update"
+	case MsgReadRelease:
+		return "read-release"
 	default:
 		return fmt.Sprintf("msg(%d)", uint8(k))
 	}
@@ -209,6 +255,26 @@ type Message struct {
 	// MsgPaxosAccept, durably accepted state on MsgPaxosAccepted and
 	// MsgPaxosPromise.
 	PaxosState []PaxosInst
+
+	// Quorum replication / anti-entropy (wire payload version 6; zero
+	// elsewhere):
+
+	// Versions carries item versions.  On MsgReadRep it maps each
+	// requested physical replica item to the replying site's effective
+	// version (max of committed and pending); on MsgPrepare it maps each
+	// written physical item to the version the transaction will install
+	// on commit; on the MsgAntiEntropy* kinds it maps LOGICAL item names
+	// to replica versions.
+	Versions map[string]uint64
+	// Outcomes carries gossip'd transaction outcomes on the
+	// MsgAntiEntropy* kinds, sorted by transaction ID.
+	Outcomes []OutcomeRec
+}
+
+// OutcomeRec is one gossip'd transaction outcome.
+type OutcomeRec struct {
+	TID       txn.ID
+	Committed bool
 }
 
 // Vote is a ballot value in one Paxos Commit instance: the participant's

@@ -2,25 +2,35 @@
 // item that is replicated at several sites can be viewed as a set of
 // individual items, one for each site."
 //
-// A logical item x replicated k ways becomes physical items x@0 … x@k-1,
-// placed on distinct sites.  A transaction on logical items is rewritten
-// to a write-all / read-one transaction on physical items: every write
-// updates all k replicas atomically (they are just k items in one
-// transaction, so the polyvalue machinery applies unchanged), and every
-// read targets one chosen replica.  Clients fail over by re-submitting
-// with a different read replica when a site is down; writes require all
-// replica sites (write-all), which is the classic availability trade —
-// reads survive any k-1 site failures, writes none.  Polyvalues and
-// replication compose: an interrupted write-all leaves polyvalues on
-// every replica, and each reduces independently when the outcome
-// arrives.
+// A logical item x replicated k ways becomes physical items x_r0 …
+// x_r{k-1}, placed on distinct sites.  Two rewrite strategies exist:
+//
+//   - Rewrite: the classic write-all / read-one form.  Every write
+//     updates all k replicas atomically (they are just k items in one
+//     transaction, so the polyvalue machinery applies unchanged) and
+//     every read targets one chosen replica.  Reads survive any k-1
+//     site failures; writes survive none.
+//
+//   - RewritePlan: the quorum form used by the cluster runtime when
+//     Config.Replication is set.  The coordinator probes all k replicas,
+//     picks the newest replica (by version) for each read and any W
+//     responsive replicas for each write, and rewrites against that
+//     plan — so writes survive k−W site failures and reads survive k−R,
+//     with W+R > k guaranteeing every read quorum overlaps every write
+//     quorum.  Replicas left out of a write quorum are caught up by the
+//     cluster's anti-entropy plane, not by the transaction.
+//
+// Polyvalues and replication compose: an interrupted write leaves
+// polyvalues on the written replicas, and each reduces independently
+// when the outcome arrives — by coordinator contact or by gossip.
 package replica
 
 import (
 	"fmt"
-	"hash/fnv"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/expr"
 	"repro/internal/protocol"
@@ -50,16 +60,43 @@ func Logical(physical string) (logical string, i int, ok bool) {
 	return physical[:idx], n, true
 }
 
+// CheckName rejects logical item names the replica layer would misparse:
+// a user item named "audit_r3" is indistinguishable from replica 3 of
+// "audit", so Name/Logical would not round-trip and placement, version
+// digests and anti-entropy value copies would all attribute it to the
+// wrong logical item.  Every rewrite entry point calls this on every
+// logical name it touches.
+func CheckName(logical string) error {
+	if l, i, ok := Logical(logical); ok {
+		return fmt.Errorf("replica: logical item %q collides with the replica namespace (parses as replica %d of %q); rename it or drop the %s<digits> suffix", logical, i, l, Marker)
+	}
+	return nil
+}
+
+// checkProgramNames validates every logical name a program mentions.
+func checkProgramNames(p expr.Program) error {
+	for _, item := range p.Items() {
+		if err := CheckName(item); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // Rewrite compiles a logical-item program into a physical write-all /
 // read-one program: every read references replica readFrom, every
 // written item is assigned at all k replicas.  Statement guards are
-// rewritten like other reads.
+// rewritten like other reads.  Logical names that collide with the
+// replica namespace (see CheckName) are rejected.
 func Rewrite(p expr.Program, k, readFrom int) (expr.Program, error) {
 	if k < 1 {
 		return expr.Program{}, fmt.Errorf("replica: k must be ≥ 1, got %d", k)
 	}
 	if readFrom < 0 || readFrom >= k {
 		return expr.Program{}, fmt.Errorf("replica: readFrom %d out of range [0,%d)", readFrom, k)
+	}
+	if err := checkProgramNames(p); err != nil {
+		return expr.Program{}, err
 	}
 	var sb strings.Builder
 	for si, stmt := range p.Stmts {
@@ -81,6 +118,59 @@ func Rewrite(p expr.Program, k, readFrom int) (expr.Program, error) {
 	return expr.Parse(sb.String())
 }
 
+// Plan assigns chosen replicas per logical item for a quorum rewrite:
+// each read is served by one replica (the newest by version, chosen by
+// the coordinator's probe) and each write lands on any W responsive
+// replicas.
+type Plan struct {
+	// Reads maps each logical item read by the program to the replica
+	// index serving the read.
+	Reads map[string]int
+	// Writes maps each logical item written by the program to the
+	// replica indices receiving the write, in ascending order.
+	Writes map[string][]int
+}
+
+// RewritePlan compiles a logical-item program against an explicit
+// replica plan: reads reference the plan's chosen read replica and each
+// written item is assigned at exactly the plan's write replicas.  Every
+// logical item the program mentions must be covered by the plan.
+func RewritePlan(p expr.Program, plan Plan) (expr.Program, error) {
+	if err := checkProgramNames(p); err != nil {
+		return expr.Program{}, err
+	}
+	for _, r := range p.ReadSet() {
+		if _, ok := plan.Reads[r]; !ok {
+			return expr.Program{}, fmt.Errorf("replica: plan has no read replica for %q", r)
+		}
+	}
+	for _, w := range p.WriteSet() {
+		if len(plan.Writes[w]) == 0 {
+			return expr.Program{}, fmt.Errorf("replica: plan has no write replicas for %q", w)
+		}
+	}
+	var sb strings.Builder
+	first := true
+	for _, stmt := range p.Stmts {
+		rhs := rewritePlanNode(stmt.Expr, plan.Reads)
+		var guard string
+		if stmt.Guard != nil {
+			guard = " if " + rewritePlanNode(stmt.Guard, plan.Reads)
+		}
+		for _, i := range plan.Writes[stmt.Target] {
+			if !first {
+				sb.WriteString("; ")
+			}
+			first = false
+			sb.WriteString(Name(stmt.Target, i))
+			sb.WriteString(" = ")
+			sb.WriteString(rhs)
+			sb.WriteString(guard)
+		}
+	}
+	return expr.Parse(sb.String())
+}
+
 // RewriteExpr compiles a logical read-only expression to read from the
 // given replica.
 func RewriteExpr(src string, readFrom int) (string, error) {
@@ -88,7 +178,32 @@ func RewriteExpr(src string, readFrom int) (string, error) {
 	if err != nil {
 		return "", err
 	}
+	if err := checkNodeNames(node); err != nil {
+		return "", err
+	}
 	return rewriteNode(node, readFrom), nil
+}
+
+// checkNodeNames validates every item reference in an expression tree.
+func checkNodeNames(n expr.Node) error {
+	switch x := n.(type) {
+	case expr.Ref:
+		return CheckName(x.Name)
+	case expr.Unary:
+		return checkNodeNames(x.X)
+	case expr.Binary:
+		if err := checkNodeNames(x.L); err != nil {
+			return err
+		}
+		return checkNodeNames(x.R)
+	case expr.Call:
+		for _, a := range x.Args {
+			if err := checkNodeNames(a); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
 }
 
 // rewriteNode renders a node with every item reference redirected to the
@@ -114,17 +229,92 @@ func rewriteNode(n expr.Node, readFrom int) string {
 	}
 }
 
+// rewritePlanNode renders a node with each item reference redirected to
+// its plan-chosen read replica.
+func rewritePlanNode(n expr.Node, reads map[string]int) string {
+	switch x := n.(type) {
+	case expr.Lit:
+		return x.String()
+	case expr.Ref:
+		return Name(x.Name, reads[x.Name])
+	case expr.Unary:
+		return x.Op + "(" + rewritePlanNode(x.X, reads) + ")"
+	case expr.Binary:
+		return "(" + rewritePlanNode(x.L, reads) + " " + x.Op + " " + rewritePlanNode(x.R, reads) + ")"
+	case expr.Call:
+		args := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			args[i] = rewritePlanNode(a, reads)
+		}
+		return x.Fn + "(" + strings.Join(args, ", ") + ")"
+	default:
+		return n.String()
+	}
+}
+
+// fnv32a hashes a string with FNV-1a without allocating a hasher — the
+// placement hot path calls this once per logical name.
+func fnv32a(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
+
 // Placement returns an item→site mapping that puts each logical item's
 // replicas on distinct sites (replica i on sites[(h+i) mod n]) and
 // hashes non-replica items normally.  Use it as cluster.Config.Placement.
+//
+// The logical-name hash is computed once and memoized (placement sits on
+// the per-message hot path: every read probe, prepare fan-out and
+// anti-entropy value copy resolves owners through it).  The cache grows
+// with the live item universe and is safe for concurrent use.
 func Placement(sites []protocol.SiteID) func(string) protocol.SiteID {
+	var cache sync.Map // logical name → uint32 hash
+	n := len(sites)
 	return func(item string) protocol.SiteID {
 		logical, i, ok := Logical(item)
 		if !ok {
 			logical, i = item, 0
 		}
-		h := fnv.New32a()
-		h.Write([]byte(logical))
-		return sites[(int(h.Sum32())+i)%len(sites)]
+		var h uint32
+		if v, ok := cache.Load(logical); ok {
+			h = v.(uint32)
+		} else {
+			h = fnv32a(logical)
+			cache.Store(logical, h)
+		}
+		return sites[(int(h)+i)%n]
 	}
+}
+
+// Sites returns the distinct owner sites of a logical item's k replicas
+// under the given placement, in replica-index order.
+func Sites(place func(string) protocol.SiteID, logical string, k int) []protocol.SiteID {
+	out := make([]protocol.SiteID, 0, k)
+	for i := 0; i < k; i++ {
+		out = append(out, place(Name(logical, i)))
+	}
+	return out
+}
+
+// SortedLogicals extracts the sorted set of logical names from a list of
+// items that may mix replica and plain names.
+func SortedLogicals(items []string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, it := range items {
+		l, _, ok := Logical(it)
+		if !ok {
+			l = it
+		}
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	sort.Strings(out)
+	return out
 }

@@ -1,0 +1,175 @@
+package replica_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/expr"
+	"repro/internal/network"
+	"repro/internal/polyvalue"
+	"repro/internal/protocol"
+	"repro/internal/replica"
+	"repro/internal/value"
+)
+
+// TestReplicatedReadsSurviveSiteFailure: end-to-end — a 3-way replicated
+// item keeps answering reads after its primary's site crashes, by
+// failing over to another replica.  Writes (write-all) are unavailable
+// until repair, the classic trade.
+func TestReplicatedReadsSurviveSiteFailure(t *testing.T) {
+	sites := []protocol.SiteID{"s0", "s1", "s2", "s3"}
+	c, err := cluster.New(cluster.Config{
+		Sites:     sites,
+		Net:       network.Config{Latency: 10 * time.Millisecond},
+		Placement: replica.Placement(sites),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	const k = 3
+	for i := 0; i < k; i++ {
+		if err := c.Load(replica.Name("bal", i), polyvalue.Simple(value.Int(100))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A replicated write commits on all replicas.
+	prog, err := replica.Rewrite(expr.MustParse("bal = bal - 10"), k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, _ := c.Submit("s0", prog.String())
+	c.RunFor(time.Second)
+	if h.Status() != cluster.StatusCommitted {
+		t.Fatalf("replicated write: %v (%s)", h.Status(), h.Reason())
+	}
+	for i := 0; i < k; i++ {
+		if v, ok := c.Read(replica.Name("bal", i)).IsCertain(); !ok || !v.Equal(value.Int(90)) {
+			t.Fatalf("replica %d = %v", i, c.Read(replica.Name("bal", i)))
+		}
+	}
+
+	// Crash replica 0's site.  Reads fail over.
+	primary := replica.Placement(sites)(replica.Name("bal", 0))
+	c.Crash(primary)
+	var coordinator protocol.SiteID
+	for _, s := range sites {
+		if s != primary {
+			coordinator = s
+			break
+		}
+	}
+	// Read from replica 0: unavailable (its site is down).
+	q0src, _ := replica.RewriteExpr("bal", 0)
+	q0, _ := c.Query(coordinator, q0src)
+	c.RunFor(2 * time.Second)
+	if _, qerr, done := q0.Result(); !done || qerr == nil {
+		t.Fatal("read of dead replica should fail")
+	}
+	// Fail over to a replica on a live site.
+	failover := -1
+	for i := 1; i < k; i++ {
+		if !c.IsDown(replica.Placement(sites)(replica.Name("bal", i))) {
+			failover = i
+			break
+		}
+	}
+	if failover == -1 {
+		t.Fatal("no live replica")
+	}
+	qsrc, _ := replica.RewriteExpr("bal", failover)
+	q, _ := c.Query(coordinator, qsrc)
+	c.RunFor(2 * time.Second)
+	p, qerr, done := q.Result()
+	if !done || qerr != nil {
+		t.Fatalf("failover read: done=%v err=%v", done, qerr)
+	}
+	if v, ok := p.IsCertain(); !ok || !v.Equal(value.Int(90)) {
+		t.Errorf("failover read = %v", p)
+	}
+
+	// Write-all is unavailable while a replica site is down.
+	wh, _ := c.Submit(coordinator, prog.String())
+	c.RunFor(2 * time.Second)
+	if wh.Status() != cluster.StatusAborted {
+		t.Errorf("write-all with dead replica: %v", wh.Status())
+	}
+
+	// Repair; writes flow again and replicas reconverge.
+	c.Restart(primary)
+	c.RunFor(5 * time.Second)
+	wh2, _ := c.Submit(coordinator, prog.String())
+	c.RunFor(2 * time.Second)
+	if wh2.Status() != cluster.StatusCommitted {
+		t.Fatalf("post-repair write: %v (%s)", wh2.Status(), wh2.Reason())
+	}
+	for i := 0; i < k; i++ {
+		if v, ok := c.Read(replica.Name("bal", i)).IsCertain(); !ok || !v.Equal(value.Int(80)) {
+			t.Errorf("replica %d = %v", i, c.Read(replica.Name("bal", i)))
+		}
+	}
+}
+
+// TestReplicationComposesWithPolyvalues: an interrupted write-all leaves
+// polyvalues on every replica; repair reduces them all consistently.
+func TestReplicationComposesWithPolyvalues(t *testing.T) {
+	sites := []protocol.SiteID{"s0", "s1", "s2", "s3"}
+	c, err := cluster.New(cluster.Config{
+		Sites:     sites,
+		Net:       network.Config{Latency: 10 * time.Millisecond},
+		Placement: replica.Placement(sites),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	const k = 2
+	for i := 0; i < k; i++ {
+		if err := c.Load(replica.Name("bal", i), polyvalue.Simple(value.Int(100))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	prog, err := replica.Rewrite(expr.MustParse("bal = bal - 10"), k, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pick a coordinator that is NOT a replica site, and crash it at the
+	// critical moment.
+	place := replica.Placement(sites)
+	replicaSites := map[protocol.SiteID]bool{}
+	for i := 0; i < k; i++ {
+		replicaSites[place(replica.Name("bal", i))] = true
+	}
+	var coord protocol.SiteID
+	for _, s := range sites {
+		if !replicaSites[s] {
+			coord = s
+			break
+		}
+	}
+	if coord == "" {
+		t.Skip("no non-replica site available under this placement")
+	}
+	c.ArmCrashBeforeDecision(coord)
+	if _, err := c.Submit(coord, prog.String()); err != nil {
+		t.Fatal(err)
+	}
+	c.RunFor(2 * time.Second)
+	// Every replica is now polyvalued — the replicated item is "in
+	// doubt" coherently.
+	for i := 0; i < k; i++ {
+		if _, certain := c.Read(replica.Name("bal", i)).IsCertain(); certain {
+			t.Fatalf("replica %d not in doubt", i)
+		}
+	}
+	c.Restart(coord)
+	c.RunFor(10 * time.Second)
+	for i := 0; i < k; i++ {
+		v, ok := c.Read(replica.Name("bal", i)).IsCertain()
+		if !ok || !v.Equal(value.Int(100)) {
+			t.Errorf("replica %d after repair = %v", i, c.Read(replica.Name("bal", i)))
+		}
+	}
+}

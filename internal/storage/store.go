@@ -100,6 +100,12 @@ type Store struct {
 	deps     map[txn.ID]*DepEntry
 	awaits   map[txn.ID]string // tid → coordinator to ask for the outcome
 	paxos    map[txn.ID]*PaxosEntry
+	// versions holds committed replica versions (quorum replication);
+	// pendVers holds the versions each prepared transaction will install
+	// if it commits.  Effective version = max over both, so two
+	// concurrent transactions can never mint the same version.
+	versions map[string]uint64
+	pendVers map[txn.ID]map[string]uint64
 	// checkpoints, when set via Instrument, counts WAL compactions.
 	checkpoints *metrics.Counter
 	// volatile suppresses WAL logging entirely (see SetVolatile).
@@ -142,6 +148,8 @@ func NewStoreWithWAL(w *WAL) *Store {
 		deps:     map[txn.ID]*DepEntry{},
 		awaits:   map[txn.ID]string{},
 		paxos:    map[txn.ID]*PaxosEntry{},
+		versions: map[string]uint64{},
+		pendVers: map[txn.ID]map[string]uint64{},
 	}
 	for i := range s.items {
 		s.items[i].m = map[string]polyvalue.Poly{}
@@ -257,6 +265,18 @@ func (s *Store) apply(r Record, replaying bool) error {
 		}
 	case RecPaxosClear:
 		delete(s.paxos, r.TID)
+	case RecVersion:
+		if r.Ver > s.versions[r.Item] {
+			s.versions[r.Item] = r.Ver
+		}
+	case RecVerPending:
+		m := make(map[string]uint64, len(r.Vers))
+		for k, v := range r.Vers {
+			m[k] = v
+		}
+		s.pendVers[r.TID] = m
+	case RecVerDone:
+		delete(s.pendVers, r.TID)
 	default:
 		return fmt.Errorf("storage: unknown record kind %d", r.Kind)
 	}
@@ -631,6 +651,107 @@ func (s *Store) ClearPaxos(tid txn.ID) error {
 	return s.apply(Record{Kind: RecPaxosClear, TID: tid}, false)
 }
 
+// SetVerPending durably records the versions tid will install for its
+// written items if it commits.  Pending versions count toward
+// EffectiveVersion immediately, so a concurrent transaction reading a
+// quorum can never mint the same version number.
+func (s *Store) SetVerPending(tid txn.ID, vers map[string]uint64) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(vers) == 0 {
+		return nil
+	}
+	return s.apply(Record{Kind: RecVerPending, TID: tid, Vers: vers}, false)
+}
+
+// SettleVersions resolves tid's pending versions: on commit each becomes
+// the item's committed version, on abort they are simply dropped (commit
+// is the only event that bumps a replica version — bumping on abort
+// would let a stale replica win a quorum-read tie-break).  A no-op when
+// tid has no pending entry.
+func (s *Store) SettleVersions(tid txn.ID, committed bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	pend, ok := s.pendVers[tid]
+	if !ok {
+		return nil
+	}
+	if committed {
+		items := make([]string, 0, len(pend))
+		for it := range pend {
+			items = append(items, it)
+		}
+		sort.Strings(items)
+		for _, it := range items {
+			if err := s.apply(Record{Kind: RecVersion, Item: it, Ver: pend[it]}, false); err != nil {
+				return err
+			}
+		}
+	}
+	return s.apply(Record{Kind: RecVerDone, TID: tid}, false)
+}
+
+// Version returns an item's committed replica version (zero when never
+// written under replication).
+func (s *Store) Version(item string) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.versions[item]
+}
+
+// EffectiveVersion returns the maximum of the item's committed version
+// and any version a prepared transaction would install — the version a
+// quorum read must see so concurrent writers allocate distinct numbers.
+func (s *Store) EffectiveVersion(item string) uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	v := s.versions[item]
+	for _, pend := range s.pendVers {
+		if pv, ok := pend[item]; ok && pv > v {
+			v = pv
+		}
+	}
+	return v
+}
+
+// SetVersion installs a committed version learned through anti-entropy,
+// provided it is newer than the current committed version.  Reports
+// whether it applied.
+func (s *Store) SetVersion(item string, ver uint64) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ver <= s.versions[item] {
+		return false, nil
+	}
+	if err := s.apply(Record{Kind: RecVersion, Item: item, Ver: ver}, false); err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// VersionsSnapshot returns a copy of the committed version table.
+func (s *Store) VersionsSnapshot() map[string]uint64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[string]uint64, len(s.versions))
+	for k, v := range s.versions {
+		out[k] = v
+	}
+	return out
+}
+
+// OutcomesSnapshot returns a copy of the known-outcome table — the
+// digest anti-entropy gossips.
+func (s *Store) OutcomesSnapshot() map[txn.ID]bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make(map[txn.ID]bool, len(s.outcomes))
+	for tid, c := range s.outcomes {
+		out[tid] = c
+	}
+	return out
+}
+
 // Checkpoint compacts the WAL: the log is rewritten as the minimal record
 // sequence reproducing the current state.  Returns the new log size.
 func (s *Store) Checkpoint() (int, error) {
@@ -748,6 +869,26 @@ func (s *Store) Checkpoint() (int, error) {
 			if err := fresh.Append(Record{Kind: RecPaxosAccept, TID: tid, Site: inst, Ballot: a.Ballot, Vote: a.Vote}); err != nil {
 				return 0, err
 			}
+		}
+	}
+	vitems := make([]string, 0, len(s.versions))
+	for it := range s.versions {
+		vitems = append(vitems, it)
+	}
+	sort.Strings(vitems)
+	for _, it := range vitems {
+		if err := fresh.Append(Record{Kind: RecVersion, Item: it, Ver: s.versions[it]}); err != nil {
+			return 0, err
+		}
+	}
+	vtids := make([]txn.ID, 0, len(s.pendVers))
+	for tid := range s.pendVers {
+		vtids = append(vtids, tid)
+	}
+	sort.Slice(vtids, func(i, j int) bool { return vtids[i] < vtids[j] })
+	for _, tid := range vtids {
+		if err := fresh.Append(Record{Kind: RecVerPending, TID: tid, Vers: s.pendVers[tid]}); err != nil {
+			return 0, err
 		}
 	}
 	s.wal.Reset()

@@ -79,6 +79,19 @@ const (
 	// RecPaxosClear drops a transaction's acceptor state once its
 	// decision is learned and durably recorded as an outcome.
 	RecPaxosClear
+	// RecVersion sets an item's committed replica version (quorum
+	// replication).  Monotonic: a version at or below the current one is
+	// ignored on apply, so replay is idempotent.
+	RecVersion
+	// RecVerPending records the versions a prepared transaction will
+	// install for its written items if it commits.  The pending table
+	// makes version assignment crash-safe: a restarted site still reports
+	// effective versions that cover its in-doubt transactions.
+	RecVerPending
+	// RecVerDone clears a transaction's pending-version entry once its
+	// outcome settles (the committed versions, if any, are logged as
+	// RecVersion records first).
+	RecVerDone
 )
 
 // Record is one WAL entry.  Fields beyond Kind are populated per kind.
@@ -111,6 +124,11 @@ type Record struct {
 	Ballot uint32
 	// RecPaxosAccept: the accepted vote (protocol.Vote numbering).
 	Vote uint8
+
+	// RecVersion: the item's new committed version.
+	Ver uint64
+	// RecVerPending: item → version the transaction installs on commit.
+	Vers map[string]uint64
 }
 
 // appendPolyMap encodes a map of item → polyvalue deterministically
@@ -150,6 +168,47 @@ func decodePolyMap(buf []byte) (map[string]polyvalue.Poly, int, error) {
 		}
 		off += pn
 		m[k] = p
+	}
+	return m, off, nil
+}
+
+// appendVerMap encodes a map of item → version deterministically
+// (sorted keys).
+func appendVerMap(dst []byte, m map[string]uint64) []byte {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	dst = binary.AppendUvarint(dst, uint64(len(keys)))
+	for _, k := range keys {
+		dst = appendString(dst, k)
+		dst = binary.AppendUvarint(dst, m[k])
+	}
+	return dst
+}
+
+func decodeVerMap(buf []byte) (map[string]uint64, int, error) {
+	n, off := binary.Uvarint(buf)
+	if off <= 0 {
+		return nil, 0, fmt.Errorf("storage: truncated map size")
+	}
+	if n > uint64(len(buf)) {
+		return nil, 0, fmt.Errorf("storage: map size %d exceeds input", n)
+	}
+	m := make(map[string]uint64, n)
+	for i := uint64(0); i < n; i++ {
+		k, kn, err := decodeString(buf[off:])
+		if err != nil {
+			return nil, 0, err
+		}
+		off += kn
+		v, vn := binary.Uvarint(buf[off:])
+		if vn <= 0 {
+			return nil, 0, fmt.Errorf("storage: truncated version")
+		}
+		off += vn
+		m[k] = v
 	}
 	return m, off, nil
 }
@@ -216,6 +275,14 @@ func (r Record) encodePayload() []byte {
 		buf = binary.AppendUvarint(buf, uint64(r.Ballot))
 		buf = append(buf, r.Vote)
 	case RecPaxosClear:
+		buf = appendString(buf, string(r.TID))
+	case RecVersion:
+		buf = appendString(buf, r.Item)
+		buf = binary.AppendUvarint(buf, r.Ver)
+	case RecVerPending:
+		buf = appendString(buf, string(r.TID))
+		buf = appendVerMap(buf, r.Vers)
+	case RecVerDone:
 		buf = appendString(buf, string(r.TID))
 	}
 	return buf
@@ -366,12 +433,34 @@ func decodePayload(buf []byte) (Record, error) {
 			return Record{}, fmt.Errorf("storage: truncated accept vote")
 		}
 		r.Vote = body[off]
-	case RecPaxosClear:
+	case RecPaxosClear, RecVerDone:
 		tid, err := readStr()
 		if err != nil {
 			return Record{}, err
 		}
 		r.TID = txn.ID(tid)
+	case RecVersion:
+		item, err := readStr()
+		if err != nil {
+			return Record{}, err
+		}
+		r.Item = item
+		v, w := binary.Uvarint(body[off:])
+		if w <= 0 {
+			return Record{}, fmt.Errorf("storage: truncated version")
+		}
+		r.Ver = v
+	case RecVerPending:
+		tid, err := readStr()
+		if err != nil {
+			return Record{}, err
+		}
+		r.TID = txn.ID(tid)
+		m, _, err := decodeVerMap(body[off:])
+		if err != nil {
+			return Record{}, err
+		}
+		r.Vers = m
 	default:
 		return Record{}, fmt.Errorf("storage: unknown record kind %d", r.Kind)
 	}

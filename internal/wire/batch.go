@@ -140,7 +140,7 @@ func DecodePayload(buf []byte) ([]protocol.Message, error) {
 		return nil, fmt.Errorf("%w: empty payload", ErrTruncated)
 	}
 	switch buf[0] {
-	case Version, DeadlineVersion, TraceVersion, PaxosVersion:
+	case Version, DeadlineVersion, TraceVersion, PaxosVersion, AntiEntropyVersion:
 		m, err := DecodeMessage(buf)
 		if err != nil {
 			return nil, err

@@ -118,6 +118,23 @@ func TestDecodePayloadPaxosVersion(t *testing.T) {
 	}
 }
 
+// TestDecodePayloadAntiEntropyVersion: an unbatched version-6 frame —
+// a gossip message, or any quorum read reply carrying replica versions
+// — must dispatch to the single-message decoder.  Regression: the
+// dispatch once rejected version 6, silently severing every quorum
+// probe reply and gossip round sent over TCP.
+func TestDecodePayloadAntiEntropyVersion(t *testing.T) {
+	m := protocol.Message{
+		Kind: protocol.MsgReadRep, TID: "t", From: "B", To: "A",
+		Values:   map[string]polyvalue.Poly{"acct1_r0": polyvalue.Simple(value.Int(100))},
+		Versions: map[string]uint64{"acct1_r0": 3},
+	}
+	got, err := DecodePayload(EncodeMessage(m))
+	if err != nil || len(got) != 1 || !messagesEqual(m, got[0]) {
+		t.Fatalf("anti-entropy single dispatch: got %v, err %v", got, err)
+	}
+}
+
 func TestBatchDecodeErrors(t *testing.T) {
 	m := goldenMessages()[1]
 	good := EncodeBatch([]protocol.Message{m, m})

@@ -87,6 +87,47 @@ func FuzzPaxosDecode(f *testing.F) {
 	})
 }
 
+// FuzzAntiEntropyDecode focuses the payload decoder on version-6
+// (gossip) encodings: seeds are the anti-entropy golden messages, and
+// any accepted payload must satisfy the canonicality rules — gossip
+// kinds re-encode to version 6, a version-6 non-gossip kind must carry
+// at least one gossip field, and paxos kinds never carry them.
+func FuzzAntiEntropyDecode(f *testing.F) {
+	for _, m := range goldenMessages() {
+		if m.Kind.AntiEntropy() || len(m.Versions) > 0 || len(m.Outcomes) > 0 {
+			f.Add(EncodeMessage(m))
+		}
+	}
+	f.Add([]byte{AntiEntropyVersion})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeMessage(data)
+		if err != nil {
+			return
+		}
+		enc := EncodeMessage(m)
+		hasGossip := len(m.Versions) > 0 || len(m.Outcomes) > 0
+		if m.Kind.AntiEntropy() && enc[0] != AntiEntropyVersion {
+			t.Fatalf("gossip kind %s re-encoded as version %d", m.Kind, enc[0])
+		}
+		if m.Kind.Paxos() && hasGossip {
+			t.Fatalf("paxos kind %s decoded with gossip fields", m.Kind)
+		}
+		if !m.Kind.AntiEntropy() && !m.Kind.Paxos() && hasGossip != (enc[0] == AntiEntropyVersion) {
+			t.Fatalf("kind %s gossip=%v re-encoded as version %d", m.Kind, hasGossip, enc[0])
+		}
+		m2, err := DecodeMessage(enc)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoding failed: %v", err)
+		}
+		if !messagesEqual(m, m2) {
+			t.Fatalf("re-encoding changed the message")
+		}
+		if !bytes.Equal(enc, EncodeMessage(m2)) {
+			t.Fatalf("canonical form is not a fixed point")
+		}
+	})
+}
+
 // FuzzPolyDecode fuzzes the polyvalue segment of the wire format — the
 // same canonical form messages embed in their Values maps.  Accepted
 // polyvalues must be well-formed and canonical.

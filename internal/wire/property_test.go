@@ -29,6 +29,8 @@ var kinds = []protocol.MsgKind{
 	protocol.MsgPaxosBegin, protocol.MsgPaxosPrepare, protocol.MsgPaxosPromise,
 	protocol.MsgPaxosAccept, protocol.MsgPaxosAccepted, protocol.MsgPaxosReject,
 	protocol.MsgPaxosDecision,
+	protocol.MsgAntiEntropyDigest, protocol.MsgAntiEntropyReply,
+	protocol.MsgAntiEntropyUpdate, protocol.MsgReadRelease,
 }
 
 func randString(r *rand.Rand, max int) string {
@@ -115,6 +117,27 @@ func (randMessage) Generate(r *rand.Rand, _ int) reflect.Value {
 					Instance: protocol.SiteID(randString(r, 6)),
 					Ballot:   uint32(r.Intn(1 << 16)),
 					Vote:     protocol.Vote(r.Intn(3)),
+				}
+			}
+		}
+	}
+	// The gossip fields ride on the anti-entropy kinds (always version 6)
+	// and optionally on others — any non-paxos message carrying them is
+	// promoted to version 6 by the encoder.  Paxos kinds stay version 5,
+	// so the fields must be zero there.
+	if !m.Kind.Paxos() && (m.Kind.AntiEntropy() || r.Intn(3) == 0) {
+		if n := r.Intn(4); n > 0 {
+			m.Versions = make(map[string]uint64, n)
+			for i := 0; i < n; i++ {
+				m.Versions[fmt.Sprintf("%s%d", randString(r, 6), i)] = uint64(r.Intn(1 << 16))
+			}
+		}
+		if n := r.Intn(4); n > 0 {
+			m.Outcomes = make([]protocol.OutcomeRec, n)
+			for i := range m.Outcomes {
+				m.Outcomes[i] = protocol.OutcomeRec{
+					TID:       txn.ID(randString(r, 10)),
+					Committed: r.Intn(2) == 0,
 				}
 			}
 		}

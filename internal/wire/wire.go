@@ -61,6 +61,26 @@
 // MsgPaxos* message encodes as version 5 and only MsgPaxos* messages
 // may, so each message still has exactly one canonical encoding.
 //
+// Version 6 carries the quorum-replication / anti-entropy fields and
+// appends, after Reason:
+//
+//	uvarint  deadline (may be zero in this version)
+//	uvarint  trace context (may be zero in this version)
+//	uvarint  outcome count; per outcome:
+//	           str      transaction ID
+//	           1 byte   committed (0 or 1)
+//	uvarint  version count; per entry, sorted by item name:
+//	           str      item
+//	           uvarint  version
+//
+// Version 6 is keyed to the kind OR to field presence: every
+// MsgAntiEntropy* message encodes as version 6, and a non-gossip message
+// (read-rep and prepare carry replica versions under quorum replication)
+// encodes as version 6 exactly when it has at least one outcome or
+// version entry.  A version-6 payload that is neither a gossip kind nor
+// carries either field is malformed, so each message still has exactly
+// one canonical encoding.  The MsgPaxos* kinds never use version 6.
+//
 // Values entries are written in sorted item order, so encoding is
 // canonical: equal messages produce identical bytes, and re-encoding a
 // decoded message reproduces the source frame exactly.
@@ -105,6 +125,13 @@ const TraceVersion = 4
 // exactly the MsgPaxos* kinds — the kind, not field presence, selects
 // this version.
 const PaxosVersion = 5
+
+// AntiEntropyVersion is the single-message payload version carrying the
+// quorum-replication / gossip fields (transaction outcomes, item
+// versions).  Used by every MsgAntiEntropy* kind, and by any other
+// non-paxos kind whose message carries outcomes or versions — read
+// replies and prepares do, under quorum replication.
+const AntiEntropyVersion = 6
 
 // MaxFrame is the default cap on payload size, applied by ReadMessage
 // and DecodeFrame.  A peer announcing a larger frame is faulty or
@@ -151,6 +178,11 @@ func AppendMessage(dst []byte, m protocol.Message) []byte {
 	}
 	if m.Kind.Paxos() {
 		ver = PaxosVersion
+	} else if m.Kind.AntiEntropy() || len(m.Versions) > 0 || len(m.Outcomes) > 0 {
+		// The paxos kinds never carry gossip fields (the encoder keys
+		// version 5 to the kind); everything else promotes to version 6
+		// when outcomes or versions are present.
+		ver = AntiEntropyVersion
 	}
 	dst = append(dst, ver, byte(m.Kind))
 	dst = appendString(dst, string(m.TID))
@@ -177,8 +209,24 @@ func AppendMessage(dst []byte, m protocol.Message) []byte {
 	if ver != Version {
 		dst = binary.AppendUvarint(dst, uint64(m.Deadline))
 	}
-	if ver == TraceVersion || ver == PaxosVersion {
+	if ver == TraceVersion || ver == PaxosVersion || ver == AntiEntropyVersion {
 		dst = binary.AppendUvarint(dst, m.TraceCtx)
+	}
+	if ver == AntiEntropyVersion {
+		dst = binary.AppendUvarint(dst, uint64(len(m.Outcomes)))
+		for _, o := range m.Outcomes {
+			dst = appendString(dst, string(o.TID))
+			if o.Committed {
+				dst = append(dst, 1)
+			} else {
+				dst = append(dst, 0)
+			}
+		}
+		dst = binary.AppendUvarint(dst, uint64(len(m.Versions)))
+		for _, item := range sortedVersionKeys(m.Versions) {
+			dst = appendString(dst, item)
+			dst = binary.AppendUvarint(dst, m.Versions[item])
+		}
 	}
 	if ver == PaxosVersion {
 		dst = binary.AppendUvarint(dst, uint64(m.Ballot))
@@ -224,7 +272,7 @@ func DecodeMessage(buf []byte) (protocol.Message, error) {
 func decodeMessage(buf []byte) (protocol.Message, int, error) {
 	d := decoder{buf: buf}
 	ver := d.byte("version")
-	if d.err == nil && ver != Version && ver != DeadlineVersion && ver != TraceVersion && ver != PaxosVersion {
+	if d.err == nil && ver != Version && ver != DeadlineVersion && ver != TraceVersion && ver != PaxosVersion && ver != AntiEntropyVersion {
 		return protocol.Message{}, 0, fmt.Errorf("%w: %d", ErrVersion, ver)
 	}
 	var m protocol.Message
@@ -232,6 +280,11 @@ func decodeMessage(buf []byte) (protocol.Message, int, error) {
 	if d.err == nil && m.Kind.Paxos() != (ver == PaxosVersion) {
 		// Canonical: the paxos kinds use version 5 and nothing else does,
 		// so every message has exactly one valid encoding.
+		return protocol.Message{}, 0, fmt.Errorf("%w: kind %s in version %d", ErrMalformed, m.Kind, ver)
+	}
+	if d.err == nil && m.Kind.AntiEntropy() && ver != AntiEntropyVersion {
+		// Canonical: the gossip kinds always use version 6 (their fields
+		// may legitimately be empty, so the kind forces the version).
 		return protocol.Message{}, 0, fmt.Errorf("%w: kind %s in version %d", ErrMalformed, m.Kind, ver)
 	}
 	m.TID = txn.ID(d.str("tid"))
@@ -266,12 +319,42 @@ func decodeMessage(buf []byte) (protocol.Message, int, error) {
 			}
 		}
 	}
-	if ver == TraceVersion || ver == PaxosVersion {
+	if ver == TraceVersion || ver == PaxosVersion || ver == AntiEntropyVersion {
 		m.TraceCtx = d.uvarint("trace context")
 		if d.err == nil && ver == TraceVersion && m.TraceCtx == 0 {
 			// Canonical: an untraced message must use version 1 or 3, so
 			// re-encoding a decoded message reproduces the source frame.
 			return protocol.Message{}, 0, fmt.Errorf("%w: zero trace context", ErrMalformed)
+		}
+	}
+	if ver == AntiEntropyVersion {
+		if n := d.count("outcome count"); n > 0 {
+			m.Outcomes = make([]protocol.OutcomeRec, 0, n)
+			for i := 0; i < n && d.err == nil; i++ {
+				var o protocol.OutcomeRec
+				o.TID = txn.ID(d.str("outcome tid"))
+				b := d.byte("outcome committed")
+				if d.err == nil && b > 1 {
+					return protocol.Message{}, 0, fmt.Errorf("%w: outcome byte %d", ErrMalformed, b)
+				}
+				o.Committed = b == 1
+				m.Outcomes = append(m.Outcomes, o)
+			}
+		}
+		if n := d.count("version count"); n > 0 {
+			m.Versions = make(map[string]uint64, n)
+			for i := 0; i < n && d.err == nil; i++ {
+				item := d.str("version item")
+				v := d.uvarint("version")
+				if d.err == nil {
+					m.Versions[item] = v
+				}
+			}
+		}
+		if d.err == nil && !m.Kind.AntiEntropy() && len(m.Outcomes) == 0 && len(m.Versions) == 0 {
+			// Canonical: a non-gossip message with neither field must use
+			// a lower version, so every message has one valid encoding.
+			return protocol.Message{}, 0, fmt.Errorf("%w: kind %s in version %d with no gossip fields", ErrMalformed, m.Kind, ver)
 		}
 	}
 	if ver == PaxosVersion {
@@ -510,6 +593,15 @@ func appendString(dst []byte, s string) []byte {
 }
 
 func sortedKeys(m map[string]polyvalue.Poly) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sortedVersionKeys(m map[string]uint64) []string {
 	keys := make([]string, 0, len(m))
 	for k := range m {
 		keys = append(keys, k)

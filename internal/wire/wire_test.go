@@ -87,6 +87,38 @@ func goldenMessages() []protocol.Message {
 			Ballot: 12},
 		{Kind: protocol.MsgPaxosDecision, TID: "t6", From: "A", To: "D",
 			Committed: true, Reason: "all prepared"},
+		// Version 6: the anti-entropy gossip plane, every kind — including
+		// an empty digest (the kind alone forces the version).
+		{Kind: protocol.MsgAntiEntropyDigest, From: "A", To: "B"},
+		{Kind: protocol.MsgAntiEntropyDigest, From: "A", To: "B",
+			Outcomes: []protocol.OutcomeRec{
+				{TID: "t1", Committed: true},
+				{TID: "t2", Committed: false},
+			},
+			Versions: map[string]uint64{"bal": 3, "seats": 12}},
+		{Kind: protocol.MsgAntiEntropyReply, From: "B", To: "A",
+			Outcomes: []protocol.OutcomeRec{{TID: "t9", Committed: true}},
+			Items:    []string{"bal"},
+			Versions: map[string]uint64{"seats": 13},
+			Values: map[string]polyvalue.Poly{
+				"seats": polyvalue.Simple(value.Int(42)),
+			}},
+		{Kind: protocol.MsgAntiEntropyUpdate, From: "A", To: "B",
+			Versions: map[string]uint64{"bal": 4},
+			Values: map[string]polyvalue.Poly{
+				"bal": polyvalue.Simple(value.Int(60)),
+			}},
+		// Version 6 on non-gossip kinds: quorum replication stamps replica
+		// versions on read replies and prepares.
+		{Kind: protocol.MsgReadRep, TID: "t7", From: "B", To: "A",
+			Values: map[string]polyvalue.Poly{
+				"bal_r1": polyvalue.Simple(value.Int(100)),
+			},
+			Versions: map[string]uint64{"bal_r1": 7}},
+		{Kind: protocol.MsgPrepare, TID: "t8", From: "A", To: "C",
+			Items: []string{"bal_r2"}, Program: "bal_r2 = 50",
+			Coordinator: "A", Deadline: 250 * 1e6, TraceCtx: 0x7e57_0003,
+			Versions: map[string]uint64{"bal_r2": 8}},
 	}
 }
 
@@ -129,6 +161,22 @@ func messagesEqual(a, b protocol.Message) bool {
 	for k, v := range a.Values {
 		w, ok := b.Values[k]
 		if !ok || !v.Equal(w) {
+			return false
+		}
+	}
+	if len(a.Outcomes) != len(b.Outcomes) {
+		return false
+	}
+	for i := range a.Outcomes {
+		if a.Outcomes[i] != b.Outcomes[i] {
+			return false
+		}
+	}
+	if len(a.Versions) != len(b.Versions) {
+		return false
+	}
+	for k, v := range a.Versions {
+		if w, ok := b.Versions[k]; !ok || v != w {
 			return false
 		}
 	}
@@ -273,6 +321,55 @@ func TestDecodeErrors(t *testing.T) {
 		promoted[0] = PaxosVersion
 		if _, err := DecodeMessage(promoted); !errors.Is(err, ErrMalformed) {
 			t.Errorf("plain kind in v5: got %v, want ErrMalformed", err)
+		}
+	})
+
+	t.Run("ae-kind-wrong-version", func(t *testing.T) {
+		// A gossip kind must use version 6; and a version-6 payload for a
+		// plain kind must carry at least one outcome or version entry.
+		ae := EncodeMessage(protocol.Message{
+			Kind: protocol.MsgAntiEntropyDigest, From: "A", To: "B"})
+		if ae[0] != AntiEntropyVersion {
+			t.Fatalf("gossip message encoded as version %d", ae[0])
+		}
+		demoted := append([]byte{}, ae...)
+		demoted[0] = Version
+		if _, err := DecodeMessage(demoted); !errors.Is(err, ErrMalformed) {
+			t.Errorf("gossip kind in v1: got %v, want ErrMalformed", err)
+		}
+		demoted[0] = PaxosVersion
+		if _, err := DecodeMessage(demoted); !errors.Is(err, ErrMalformed) {
+			t.Errorf("gossip kind in v5: got %v, want ErrMalformed", err)
+		}
+		// A non-gossip v6 payload with no gossip fields: build a read-req
+		// with the v6 layout (deadline 0, tracectx 0, no outcomes, no
+		// versions) by hand.
+		empty := []byte{AntiEntropyVersion, byte(protocol.MsgReadReq)}
+		empty = appendString(empty, "t")
+		empty = appendString(empty, "A")
+		empty = appendString(empty, "B")
+		empty = append(empty, 0) // flags
+		empty = append(empty, 0) // items
+		empty = appendString(empty, "")
+		empty = appendString(empty, "")
+		empty = appendString(empty, "")
+		empty = append(empty, 0, 0, 0, 0) // deadline, tracectx, outcomes, versions
+		empty = append(empty, 0)          // values
+		if _, err := DecodeMessage(empty); !errors.Is(err, ErrMalformed) {
+			t.Errorf("fieldless plain kind in v6: got %v, want ErrMalformed", err)
+		}
+	})
+
+	t.Run("ae-bad-outcome-byte", func(t *testing.T) {
+		m := protocol.Message{Kind: protocol.MsgAntiEntropyDigest, From: "A", To: "B",
+			Outcomes: []protocol.OutcomeRec{{TID: "t", Committed: true}}}
+		payload := EncodeMessage(m)
+		// The committed byte sits right before the version count and the
+		// empty value count.
+		bad := append([]byte{}, payload...)
+		bad[len(bad)-3] = 7
+		if _, err := DecodeMessage(bad); !errors.Is(err, ErrMalformed) {
+			t.Errorf("outcome byte 7: got %v, want ErrMalformed", err)
 		}
 	})
 
