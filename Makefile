@@ -1,8 +1,21 @@
 GO ?= go
 
-.PHONY: check vet build test race bench bench-smoke tables fuzz-smoke cluster-demo chaos chaos-smoke chaos-demo overload overload-smoke telemetry-smoke consensus consensus-smoke georep georep-smoke
+.PHONY: check lint vet build test race bench bench-smoke bench-scaling tables fuzz-smoke cluster-demo chaos chaos-smoke chaos-demo overload overload-smoke telemetry-smoke consensus consensus-smoke georep georep-smoke
 
-check: vet build race ## everything CI runs
+check: lint vet build race ## everything CI runs
+
+# gofmt must be clean; staticcheck runs when the binary is installed
+# (CI installs it, offline dev machines may not have it).
+lint:
+	@unformatted="$$(gofmt -l .)"; \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed on:"; echo "$$unformatted"; exit 1; \
+	fi
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping"; \
+	fi
 
 vet:
 	$(GO) vet ./...
@@ -23,6 +36,12 @@ bench:
 # the checked-in baseline — the same job CI runs.
 bench-smoke:
 	scripts/bench_smoke.sh
+
+# Lane scaling matrix (ISSUE 9): seeded durable bank runs across
+# GOMAXPROCS 1/4/16 with lanes off vs 16, merged into one BENCH JSON and
+# gated on lanes@16 beating lanes-off by at least 2x at the same width.
+bench-scaling:
+	scripts/bench_scaling.sh
 
 tables:
 	$(GO) run ./cmd/polytables

@@ -1,0 +1,93 @@
+// Command benchgate compares two named settings inside a polybench BENCH
+// file and fails unless the candidate's committed-transaction throughput
+// beats the baseline's by at least the required ratio.  It exists so CI
+// can gate on a scaling result without depending on jq or shell float
+// arithmetic:
+//
+//	benchgate -file BENCH_abc123.json \
+//	    -baseline bank-procs-3site-durable-gmp16 \
+//	    -candidate bank-procs-3site-durable-gmp16-lanes16 \
+//	    -min-ratio 2.0
+//
+// Exit status 0 when candidate_tps >= baseline_tps * min-ratio, 1
+// otherwise (including missing settings or an unreadable file).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+)
+
+// benchSetting mirrors the fields of polybench's per-setting record that
+// the gate needs; unknown fields are ignored.
+type benchSetting struct {
+	Name          string  `json:"name"`
+	ThroughputTPS float64 `json:"throughput_tps"`
+	Committed     int     `json:"committed"`
+	Lanes         int     `json:"lanes"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+}
+
+type benchFile struct {
+	Schema   int            `json:"schema"`
+	Rev      string         `json:"rev"`
+	Settings []benchSetting `json:"settings"`
+}
+
+func main() {
+	var (
+		file      = flag.String("file", "", "BENCH JSON file written by polybench -bench-out")
+		baseline  = flag.String("baseline", "", "setting name of the baseline run")
+		candidate = flag.String("candidate", "", "setting name of the candidate run")
+		minRatio  = flag.Float64("min-ratio", 1.0, "required candidate/baseline throughput ratio")
+	)
+	flag.Parse()
+	if *file == "" || *baseline == "" || *candidate == "" {
+		fmt.Fprintln(os.Stderr, "benchgate: -file, -baseline and -candidate are required")
+		os.Exit(2)
+	}
+	if err := run(*file, *baseline, *candidate, *minRatio); err != nil {
+		fmt.Fprintln(os.Stderr, "benchgate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(path, baseline, candidate string, minRatio float64) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var f benchFile
+	if err := json.Unmarshal(raw, &f); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	find := func(name string) (benchSetting, error) {
+		for _, s := range f.Settings {
+			if s.Name == name {
+				return s, nil
+			}
+		}
+		return benchSetting{}, fmt.Errorf("%s: no setting %q (have %d settings)", path, name, len(f.Settings))
+	}
+	b, err := find(baseline)
+	if err != nil {
+		return err
+	}
+	c, err := find(candidate)
+	if err != nil {
+		return err
+	}
+	if b.ThroughputTPS <= 0 {
+		return fmt.Errorf("baseline %q has non-positive throughput %.2f tps", b.Name, b.ThroughputTPS)
+	}
+	ratio := c.ThroughputTPS / b.ThroughputTPS
+	fmt.Printf("benchgate: %s %.0f tps (lanes=%d gomaxprocs=%d) vs %s %.0f tps (lanes=%d gomaxprocs=%d): ratio %.2fx, need %.2fx\n",
+		c.Name, c.ThroughputTPS, c.Lanes, c.GOMAXPROCS,
+		b.Name, b.ThroughputTPS, b.Lanes, b.GOMAXPROCS, ratio, minRatio)
+	if ratio < minRatio {
+		return fmt.Errorf("scaling gate failed: %.2fx < required %.2fx", ratio, minRatio)
+	}
+	return nil
+}

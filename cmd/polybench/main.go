@@ -9,6 +9,10 @@
 //	polybench -batch=false ...            # disable transport coalescing
 //	polybench -compare bench_baseline.json ...   # CI regression gate
 //	polybench -workload overload -admission 4    # admission-gated run
+//	polybench -durable -lanes 16 -group-commit-window 1ms ...
+//	                  # synchronous WAL durability on temp dirs, with
+//	                  # key-sharded execution lanes + group commit
+//	                  # (scripts/bench_scaling.sh runs the gated matrix)
 //
 // The overload workload is the bank mix pushed through admission-gated
 // sites: workers outnumber the per-site in-flight credit cap, so a
@@ -92,6 +96,9 @@ type options struct {
 	gogc     int
 	telAddr  string
 	spansN   int
+	lanes    int
+	durable  bool
+	gcWindow time.Duration
 }
 
 func main() {
@@ -125,6 +132,9 @@ func main() {
 	flag.StringVar(&opt.telAddr, "telemetry", "", "serve /metrics, /healthz, /trace and pprof on this address during the run (inproc mode)")
 	flag.IntVar(&opt.spansN, "spans", 0, "per-run structured span retention; enables span tracing on every site so the overhead shows up in the numbers (0: disabled)")
 	flag.IntVar(&opt.gogc, "gogc", 400, "GC target percentage for every process (0: leave the runtime default); throughput runs are allocation-heavy and the default 100 spends a fifth of CPU in mark assists")
+	flag.IntVar(&opt.lanes, "lanes", 0, "key-sharded execution lanes per site (0/1: classic single event loop)")
+	flag.BoolVar(&opt.durable, "durable", false, "run every node on a temp WAL dir with synchronous durability: each site event fsyncs (lanes off) or group-commits (lanes on) before its outputs leave the site")
+	flag.DurationVar(&opt.gcWindow, "group-commit-window", 0, "group-commit accumulation window with -durable (0: flush as soon as the flusher is free)")
 	flag.Parse()
 	if opt.gogc > 0 {
 		debug.SetGCPercent(opt.gogc)
@@ -190,6 +200,14 @@ func run(opt options) error {
 			// Replicated runs do K× the write work per commit; never
 			// compare them against the unreplicated baseline.
 			opt.label += fmt.Sprintf("-k%dw%dr%d", opt.replicas, opt.wquorum, opt.rquorum)
+		}
+		if opt.durable {
+			// Durable runs pay an fsync bound the in-memory baseline
+			// doesn't; they are their own settings.
+			opt.label += "-durable"
+		}
+		if opt.lanes > 1 {
+			opt.label += fmt.Sprintf("-lanes%d", opt.lanes)
 		}
 	}
 
@@ -370,6 +388,15 @@ type setting struct {
 	Shed            int     `json:"shed,omitempty"`
 	ShedRate        float64 `json:"shed_rate,omitempty"`
 
+	// Lane / durability geometry (ISSUE 9): lanes-off durable runs pay a
+	// serialized fsync per WAL-writing event, lanes-on runs share one
+	// group-commit fsync per flush batch.  GOMAXPROCS records the
+	// scheduler width the run actually had, for the scaling curve.
+	Lanes               int     `json:"lanes,omitempty"`
+	Durable             bool    `json:"durable,omitempty"`
+	GroupCommitWindowMS float64 `json:"group_commit_window_ms,omitempty"`
+	GOMAXPROCS          int     `json:"gomaxprocs,omitempty"`
+
 	Replication *replicationSetting `json:"replication,omitempty"`
 
 	LatencyMS latencyMS  `json:"latency_ms"`
@@ -384,6 +411,9 @@ func (r *runResult) setting(opt options) setting {
 		DurationSeconds: r.duration.Seconds(),
 		Committed:       r.committed, Aborted: r.aborted, Timeouts: r.timeouts,
 		AdmissionLimit: opt.admit, Shed: r.shed,
+		Lanes: opt.lanes, Durable: opt.durable,
+		GroupCommitWindowMS: float64(opt.gcWindow) / float64(time.Millisecond),
+		GOMAXPROCS:          runtime.GOMAXPROCS(0),
 	}
 	if opt.replicas > 0 {
 		s.Replication = &replicationSetting{
@@ -429,6 +459,10 @@ func printSetting(w *os.File, s setting) {
 	if s.Replication != nil {
 		fmt.Fprintf(w, "  replication: k=%d write-quorum=%d read-quorum=%d\n",
 			s.Replication.Replicas, s.Replication.WriteQuorum, s.Replication.ReadQuorum)
+	}
+	if s.Durable || s.Lanes > 1 {
+		fmt.Fprintf(w, "  lanes=%d durable=%v group_commit_window_ms=%g gomaxprocs=%d\n",
+			s.Lanes, s.Durable, s.GroupCommitWindowMS, s.GOMAXPROCS)
 	}
 	fmt.Fprintf(w, "  latency ms: p50=%.2f p90=%.2f p99=%.2f mean=%.2f\n",
 		s.LatencyMS.P50, s.LatencyMS.P90, s.LatencyMS.P99, s.LatencyMS.Mean)
@@ -480,6 +514,17 @@ func runInproc(opt options) (*runResult, error) {
 			Sites: names, Metrics: reg, Spans: spans,
 			AdmissionLimit: opt.admit, TxnDeadline: opt.deadline,
 			DecisionPlane: plane, Policy: policy,
+			Lanes: opt.lanes,
+		}
+		if opt.durable {
+			dir, err := os.MkdirTemp("", "polybench-wal-")
+			if err != nil {
+				return nil, err
+			}
+			defer os.RemoveAll(dir)
+			ncfg.DataDir = dir
+			ncfg.SyncWAL = true
+			ncfg.GroupCommitWindow = opt.gcWindow
 		}
 		if opt.replicas > 0 {
 			ncfg.Replication = &cluster.ReplicationConfig{
@@ -795,6 +840,9 @@ func runProcs(opt options) (*runResult, error) {
 			"-txn-deadline", opt.deadline.String(),
 			"-decision-plane", planeName(opt),
 			"-spans", strconv.Itoa(opt.spansN),
+			"-lanes", strconv.Itoa(opt.lanes),
+			"-durable="+strconv.FormatBool(opt.durable),
+			"-group-commit-window", opt.gcWindow.String(),
 		)
 		stdin, err := cmd.StdinPipe()
 		if err != nil {
@@ -1009,11 +1057,23 @@ func runChild(opt options) error {
 	if err != nil {
 		return err
 	}
-	node, err := cluster.NewNode(cluster.Config{
+	ccfg := cluster.Config{
 		Sites: names, Metrics: reg, Spans: spans,
 		AdmissionLimit: opt.admit, TxnDeadline: opt.deadline,
 		DecisionPlane: plane, Policy: policy,
-	}, self, fab)
+		Lanes: opt.lanes,
+	}
+	if opt.durable {
+		dir, err := os.MkdirTemp("", "polybench-wal-"+string(self)+"-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		ccfg.DataDir = dir
+		ccfg.SyncWAL = true
+		ccfg.GroupCommitWindow = opt.gcWindow
+	}
+	node, err := cluster.NewNode(ccfg, self, fab)
 	if err != nil {
 		return err
 	}

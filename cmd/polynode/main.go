@@ -110,6 +110,9 @@ func main() {
 		spansCap = flag.Int("spans", 0, "retain this many structured transaction spans (enables span tracing and the /trace endpoints; 0: disabled)")
 		ringCap  = flag.Int("trace-ring", 0, "retain this many protocol trace lines in memory (0: disabled)")
 		callAddr = flag.String("call", "", "client mode: send the remaining arguments as one command to this control address")
+		lanes    = flag.Int("lanes", 0, "key-sharded execution lanes for this site (0/1: classic single event loop)")
+		fsync    = flag.Bool("fsync", false, "with -data: make every site event durable before its outputs leave the site (per-event fsync with lanes off, group commit with lanes on)")
+		gcWindow = flag.Duration("group-commit-window", 0, "group-commit accumulation window with -fsync (0: flush as soon as the flusher is free)")
 	)
 	flag.Parse()
 
@@ -211,19 +214,22 @@ func main() {
 		fatal("unknown -decision-plane %q (want wal, paxos, or blocking2pc)", *planeArg)
 	}
 	cfg := cluster.Config{
-		Sites:          sites,
-		DecisionPlane:  plane,
-		Policy:         policy,
-		WaitTimeout:    *waitT,
-		RetryInterval:  *retryT,
-		AdmissionLimit: *admit,
-		TxnDeadline:    *txnDl,
-		MaxPolyBudget:  *polyBdg,
-		MaxDepBudget:   *depBdg,
-		Metrics:        reg,
-		Placement:      placement,
-		DataDir:        *dataDir,
-		Spans:          spans,
+		Sites:             sites,
+		DecisionPlane:     plane,
+		Policy:            policy,
+		WaitTimeout:       *waitT,
+		RetryInterval:     *retryT,
+		AdmissionLimit:    *admit,
+		TxnDeadline:       *txnDl,
+		MaxPolyBudget:     *polyBdg,
+		MaxDepBudget:      *depBdg,
+		Metrics:           reg,
+		Placement:         placement,
+		DataDir:           *dataDir,
+		Spans:             spans,
+		Lanes:             *lanes,
+		SyncWAL:           *fsync,
+		GroupCommitWindow: *gcWindow,
 	}
 	if ring != nil {
 		cfg.Tracer = ring

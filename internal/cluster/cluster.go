@@ -56,6 +56,7 @@ type Cluster struct {
 	sites map[protocol.SiteID]*Site
 	order []protocol.SiteID
 	logs  []*storage.FileLog
+	glogs []*storage.GroupLog
 	ids   *txn.IDGen
 	qids  *txn.IDGen
 
@@ -162,7 +163,7 @@ func New(cfg Config) (*Cluster, error) {
 			c.seedLifecycle(id, store.PolyItems())
 		}
 		store.Instrument(reg, string(id))
-		s := newSite(c, id, store)
+		s := newSite(c, id, store, nil)
 		if len(c.logs) > 0 && cfg.DataDir != "" {
 			s.flog = c.logs[len(c.logs)-1]
 		}
@@ -199,6 +200,13 @@ func (c *Cluster) Close() {
 			c.trace("close transport: %v", err)
 		}
 	}
+	// Drain group-commit stages before closing the files under them.
+	for _, g := range c.glogs {
+		if err := g.Close(); err != nil {
+			c.trace("close group log: %v", err)
+		}
+	}
+	c.glogs = nil
 	for _, log := range c.logs {
 		if err := log.Close(); err != nil {
 			c.trace("close %s: %v", log.Path(), err)
@@ -271,7 +279,7 @@ func (c *Cluster) SubmitProgram(coord protocol.SiteID, p expr.Program) (*Handle,
 		TID: t.ID, submitted: c.clk.Now(), done: make(chan struct{}),
 		release: site.admission.Release,
 	}
-	c.dispatch(site, func() { site.beginTxn(t, h) })
+	c.dispatch(site, t.ID, func() { site.beginTxn(t, h) })
 	return h, nil
 }
 
@@ -281,9 +289,9 @@ func (c *Cluster) SubmitProgram(coord protocol.SiteID, p expr.Program) (*Handle,
 // mailbox is already the serialization point and a zero-delay timer per
 // submit would be pure overhead (lock + map churn + an extra goroutine
 // on the submit hot path).
-func (c *Cluster) dispatch(site *Site, fn func()) {
+func (c *Cluster) dispatch(site *Site, tid txn.ID, fn func()) {
 	if c.wall != nil {
-		site.do(fn)
+		site.doLane(site.laneFor(tid), fn)
 		return
 	}
 	c.clk.At(c.clk.Now(), func() { site.do(fn) })
@@ -294,9 +302,9 @@ func (c *Cluster) dispatch(site *Site, fn func()) {
 // the caller behind a backlog of protocol traffic.  The simulated
 // runtime never sheds — its scheduler serializes everything anyway, and
 // determinism must not depend on queue depth.
-func (c *Cluster) dispatchShed(site *Site, fn func()) error {
+func (c *Cluster) dispatchShed(site *Site, tid txn.ID, fn func()) error {
 	if c.wall != nil {
-		if !site.tryDo(fn) {
+		if !site.tryDoLane(site.laneFor(tid), fn) {
 			site.inboxShed.Inc()
 			return ErrOverload
 		}
@@ -320,7 +328,7 @@ func (c *Cluster) Query(coord protocol.SiteID, exprSrc string) (*QueryHandle, er
 	}
 	qh := newQueryHandle()
 	qid := c.qids.Next()
-	if err := c.dispatchShed(site, func() { site.beginQuery(qid, node, qh, 0) }); err != nil {
+	if err := c.dispatchShed(site, qid, func() { site.beginQuery(qid, node, qh, 0) }); err != nil {
 		return nil, err
 	}
 	return qh, nil
@@ -346,7 +354,7 @@ func (c *Cluster) QueryCertain(coord protocol.SiteID, exprSrc string, wait vcloc
 	qh := newQueryHandle()
 	qid := c.qids.Next()
 	deadline := c.clk.Now() + wait
-	if err := c.dispatchShed(site, func() { site.beginQuery(qid, node, qh, deadline) }); err != nil {
+	if err := c.dispatchShed(site, qid, func() { site.beginQuery(qid, node, qh, deadline) }); err != nil {
 		return nil, err
 	}
 	return qh, nil

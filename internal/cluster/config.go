@@ -241,6 +241,26 @@ type Config struct {
 	// not wasted on peers whose messages a breaker would drop anyway.
 	// Must be safe for concurrent use.
 	Suspected func(protocol.SiteID) bool
+	// Lanes > 1 splits each site's event execution across that many
+	// key-sharded lanes (goroutines), routed by transaction ID.  Lanes
+	// are a wall-clock-mode (NewNode) optimization only: protocol state
+	// stays under a single per-site mutex, so lanes overlap only the
+	// blocking group-commit fsync waits, never protocol logic.
+	// Simulated clusters (New) ignore Lanes entirely and remain
+	// single-threaded and seed-reproducible.
+	Lanes int
+	// SyncWAL, with DataDir set, makes every site event durable before
+	// its outputs (protocol sends, client decisions) leave the site:
+	// WAL frames route through a group-commit stage and each event
+	// waits for its records to be fsynced before externalizing.  With
+	// Lanes <= 1 the fsync is paid inline per event (serialized); with
+	// Lanes > 1 concurrent events share one fsync per flush batch.
+	SyncWAL bool
+	// GroupCommitWindow adds a fixed accumulation delay before each
+	// group-commit flush (larger batches, higher latency).  Zero — the
+	// default — flushes as soon as the flusher is free, which still
+	// groups every frame that arrived during the previous fsync.
+	GroupCommitWindow time.Duration
 }
 
 func (c *Config) fillDefaults() {

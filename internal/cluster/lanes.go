@@ -1,0 +1,197 @@
+package cluster
+
+import (
+	"hash/fnv"
+
+	"repro/internal/polyvalue"
+	"repro/internal/txn"
+)
+
+// Lane engine (wall-clock mode only).
+//
+// A classic site is ONE goroutine draining ONE inbox: every event —
+// message handling, client submits, timers — is serialized, so a
+// blocking fsync inside any event stalls the whole site.  With
+// Config.Lanes > 1 a wall-clock site adds N lane goroutines, each
+// draining its own queue; events are routed to a lane by transaction ID
+// (the original inbox remains as the "global lane" for TID-less work:
+// timers, anti-entropy gossip, control operations).
+//
+// Lanes do NOT parallelize protocol logic.  Every event, on every lane,
+// runs under the site's single stateMu, so the lock table, dependency
+// table, and every other protocol map see exactly the serialized
+// execution the paper's site model assumes — the per-TID routing only
+// fixes WHICH queue an event waits in, and per-source FIFO order is
+// preserved because all of one transaction's messages land on one lane.
+// What lanes overlap is everything an event does OUTSIDE the mutex:
+// the durable group-commit wait.  Under Config.SyncWAL, an event's
+// outputs (protocol sends, client decisions, query completions) are
+// staged in a per-event outbox and released only after the event's WAL
+// records are fsynced — output commit.  With one lane that fsync is
+// paid inline, serialized; with N lanes, N events park in
+// GroupLog.WaitSynced concurrently and one fsync retires all of them.
+//
+// Simulated clusters (New) never create lanes and never create a group
+// log, so they keep the exact legacy path: one goroutine, no mutex, no
+// outbox, seed-reproducible.
+
+// outbox stages one event's externally visible outputs until its WAL
+// records are durable.  Ops run in staging order, outside stateMu.
+type outbox struct {
+	ops []func()
+}
+
+func (ob *outbox) add(op func()) { ob.ops = append(ob.ops, op) }
+
+// laneFor maps a transaction ID to a lane index, or -1 (the global
+// inbox) when lanes are off or the event has no transaction identity.
+func (s *Site) laneFor(tid txn.ID) int {
+	if s.laneQs == nil || tid == "" {
+		return -1
+	}
+	h := fnv.New32a()
+	h.Write([]byte(tid))
+	return int(h.Sum32() % uint32(len(s.laneQs)))
+}
+
+// queueFor picks the event queue for a lane index from laneFor.
+func (s *Site) queueFor(lane int) chan siteEvent {
+	if lane < 0 || s.laneQs == nil {
+		return s.inbox
+	}
+	return s.laneQs[lane]
+}
+
+// postLane is post() onto a specific lane queue.
+func (s *Site) postLane(lane int, fn func()) {
+	select {
+	case s.queueFor(lane) <- siteEvent{fn: fn}:
+	case <-s.quit:
+	}
+}
+
+// doLane is do() onto a specific lane queue.
+func (s *Site) doLane(lane int, fn func()) {
+	done := make(chan struct{})
+	select {
+	case s.queueFor(lane) <- siteEvent{fn: fn, done: done}:
+		select {
+		case <-done:
+		case <-s.quit:
+		}
+	case <-s.quit:
+	}
+}
+
+// tryDoLane is tryDo() onto a specific lane queue.
+func (s *Site) tryDoLane(lane int, fn func()) bool {
+	select {
+	case s.queueFor(lane) <- siteEvent{fn: fn}:
+		return true
+	case <-s.quit:
+		return true
+	default:
+		return false
+	}
+}
+
+// laneLoop drains one lane queue; exec provides the serialization.
+func (s *Site) laneLoop(q chan siteEvent) {
+	for {
+		select {
+		case <-s.quit:
+			return
+		case ev := <-q:
+			s.exec(ev)
+		}
+	}
+}
+
+// exec runs one event.  Legacy mode (no lanes, no durable sync) is the
+// seed path, byte-for-byte: run the closure, ack.  Otherwise the event
+// runs under stateMu with an outbox, then (durable mode) waits for its
+// WAL records before releasing its outputs.
+func (s *Site) exec(ev siteEvent) {
+	if s.laneQs == nil && s.glog == nil {
+		ev.fn()
+		if ev.done != nil {
+			close(ev.done)
+		}
+		return
+	}
+	var ob outbox
+	s.stateMu.Lock()
+	var before uint64
+	if s.glog != nil {
+		before = s.glog.Seq()
+	}
+	s.outbox = &ob
+	ev.fn()
+	s.outbox = nil
+	var target uint64
+	if s.glog != nil {
+		// Conservative output commit: an event that wrote WAL frames
+		// waits for them; an event that wrote nothing but has outputs
+		// still waits for ALL currently unsynced frames, because its
+		// outputs may externalize state some earlier unsynced event
+		// installed (e.g. relaying an outcome another event just
+		// logged).  Pure-internal events (no frames, no outputs) skip
+		// the wait entirely.
+		if after := s.glog.Seq(); after > before || len(ob.ops) > 0 {
+			target = after
+		}
+	}
+	s.stateMu.Unlock()
+	if target > 0 {
+		// A flush error is sticky in the GroupLog; durability is gone
+		// for the rest of this incarnation either way, so the outputs
+		// are released regardless (matching the legacy path, which
+		// traces WAL errors and proceeds).
+		if s.laneQs == nil {
+			_ = s.glog.Flush()
+		} else {
+			_ = s.glog.WaitSynced(target)
+		}
+	}
+	for _, op := range ob.ops {
+		op()
+	}
+	if ev.done != nil {
+		close(ev.done)
+	}
+}
+
+// decideHandle resolves a client transaction handle.  In outbox mode
+// the resolution is staged and delivered after the event's records are
+// durable — the client must not observe a commit the site could still
+// forget.  The committed-latency observation rides along because the
+// handle only learns its latency once the decide lands.
+func (s *Site) decideHandle(h *Handle, st Status, reason string) {
+	now := s.c.clk.Now()
+	if ob := s.outbox; ob != nil {
+		ob.add(func() {
+			h.decide(st, reason, now)
+			if st == StatusCommitted {
+				if lat, ok := h.Latency(); ok {
+					s.c.latency.Observe(lat.Seconds())
+				}
+			}
+		})
+		return
+	}
+	h.decide(st, reason, now)
+	if st == StatusCommitted {
+		if lat, ok := h.Latency(); ok {
+			s.c.latency.Observe(lat.Seconds())
+		}
+	}
+}
+
+// completeQuery resolves a query handle, staged like decideHandle.
+func (s *Site) completeQuery(qh *QueryHandle, p polyvalue.Poly, err error) {
+	if ob := s.outbox; ob != nil {
+		ob.add(func() { qh.complete(p, err) })
+		return
+	}
+	qh.complete(p, err)
+}

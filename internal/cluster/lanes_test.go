@@ -1,0 +1,261 @@
+package cluster
+
+import (
+	"fmt"
+	"net"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/polyvalue"
+	"repro/internal/protocol"
+	"repro/internal/transport"
+	"repro/internal/value"
+)
+
+// laneSites is the 3-node cluster the lane stress runs over.
+var laneSites = []protocol.SiteID{"A", "B", "C"}
+
+// lanePlacement spreads the stress accounts ("la<N>") round-robin.
+func lanePlacement(item string) protocol.SiteID {
+	if n, err := strconv.Atoi(strings.TrimPrefix(item, "la")); err == nil {
+		return laneSites[n%len(laneSites)]
+	}
+	return "A"
+}
+
+// laneHarness is a nodeHarness variant booting every site with execution
+// lanes and synchronous group-commit durability enabled.
+type laneHarness struct {
+	t     *testing.T
+	dir   string
+	peers map[protocol.SiteID]string
+	mu    sync.Mutex
+	nodes map[protocol.SiteID]*Cluster
+}
+
+func newLaneHarness(t *testing.T) *laneHarness {
+	t.Helper()
+	h := &laneHarness{
+		t:     t,
+		dir:   t.TempDir(),
+		peers: map[protocol.SiteID]string{},
+		nodes: map[protocol.SiteID]*Cluster{},
+	}
+	lns := map[protocol.SiteID]net.Listener{}
+	for _, id := range laneSites {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatalf("listen: %v", err)
+		}
+		lns[id] = ln
+		h.peers[id] = ln.Addr().String()
+	}
+	for _, id := range laneSites {
+		h.start(id, lns[id])
+	}
+	t.Cleanup(func() {
+		for _, n := range h.nodes {
+			if n != nil {
+				n.Close()
+			}
+		}
+	})
+	return h
+}
+
+func (h *laneHarness) start(id protocol.SiteID, ln net.Listener) {
+	h.t.Helper()
+	if ln == nil {
+		var err error
+		for i := 0; i < 50; i++ {
+			ln, err = net.Listen("tcp", h.peers[id])
+			if err == nil {
+				break
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		if err != nil {
+			h.t.Fatalf("rebind %s: %v", h.peers[id], err)
+		}
+	}
+	fab := transport.NewTCPWithListener(transport.TCPConfig{
+		Self:       id,
+		Peers:      h.peers,
+		BackoffMin: 5 * time.Millisecond,
+		BackoffMax: 100 * time.Millisecond,
+		Seed:       int64(len(id)),
+	}, ln)
+	node, err := NewNode(Config{
+		Sites:             laneSites,
+		WaitTimeout:       100 * time.Millisecond,
+		ReadyTimeout:      500 * time.Millisecond,
+		RetryInterval:     100 * time.Millisecond,
+		Placement:         lanePlacement,
+		DataDir:           h.dir,
+		Lanes:             8,
+		SyncWAL:           true,
+		GroupCommitWindow: 0,
+	}, id, fab)
+	if err != nil {
+		h.t.Fatalf("NewNode(%s): %v", id, err)
+	}
+	h.mu.Lock()
+	h.nodes[id] = node
+	h.mu.Unlock()
+}
+
+func (h *laneHarness) node(id protocol.SiteID) *Cluster {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.nodes[id]
+}
+
+func (h *laneHarness) restart(id protocol.SiteID) {
+	h.t.Helper()
+	h.node(id).Close()
+	h.start(id, nil)
+}
+
+func laneTransfer(from, to string, amount int) string {
+	return fmt.Sprintf("%s = %s - %d if %s >= %d; %s = %s + %d if %s >= %d",
+		from, from, amount, from, amount, to, to, amount, from, amount)
+}
+
+// TestLaneStress hammers a lanes-enabled durable cluster from concurrent
+// workers — some on worker-private (disjoint) account pairs that land in
+// different lanes, some on a shared hot set that collides across lanes —
+// with a crash point armed and a kill/restart cycle in the middle.  Run
+// under -race this is the tentpole's data-race audit; the final
+// conservation check is the correctness audit.  (The seeded simulated
+// harnesses stay single-threaded by design; this test is wall-clock on
+// purpose.)
+func TestLaneStress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("lane stress needs real fsyncs and wall-clock settling")
+	}
+	h := newLaneHarness(t)
+
+	// la0..la3 are the shared hot set; la4..la9 are three disjoint
+	// private pairs.  100 each: the conserved total is 1000.
+	const accounts = 10
+	const initial = 100
+	for i := 0; i < accounts; i++ {
+		item := fmt.Sprintf("la%d", i)
+		if err := h.node(lanePlacement(item)).Load(item, polyvalue.Simple(value.Int(initial))); err != nil {
+			t.Fatalf("load %s: %v", item, err)
+		}
+	}
+
+	type job struct {
+		coord    protocol.SiteID
+		from, to string
+	}
+	var workers [][]job
+	// Three overlap workers: random-ish walks over the shared hot set,
+	// coordinated from different sites.
+	for w := 0; w < 3; w++ {
+		var js []job
+		for i := 0; i < 12; i++ {
+			from := fmt.Sprintf("la%d", (w+i)%4)
+			to := fmt.Sprintf("la%d", (w+i+1)%4)
+			js = append(js, job{coord: laneSites[w%3], from: from, to: to})
+		}
+		workers = append(workers, js)
+	}
+	// Three disjoint workers: each owns its private pair outright.
+	for w := 0; w < 3; w++ {
+		a, b := fmt.Sprintf("la%d", 4+2*w), fmt.Sprintf("la%d", 5+2*w)
+		var js []job
+		for i := 0; i < 12; i++ {
+			from, to := a, b
+			if i%2 == 1 {
+				from, to = b, a
+			}
+			js = append(js, job{coord: laneSites[w%3], from: from, to: to})
+		}
+		workers = append(workers, js)
+	}
+
+	runPhase := func(phase string) {
+		var wg sync.WaitGroup
+		for w, js := range workers {
+			wg.Add(1)
+			go func(w int, js []job) {
+				defer wg.Done()
+				for _, j := range js {
+					n := h.node(j.coord)
+					hd, err := n.Submit(j.coord, laneTransfer(j.from, j.to, 5))
+					if err != nil {
+						// Refused (admission, site down after the armed
+						// crash): no money moved.
+						continue
+					}
+					hd.Wait(10 * time.Second)
+				}
+			}(w, js)
+		}
+		wg.Wait()
+		t.Logf("%s phase drained", phase)
+	}
+
+	runPhase("warm")
+
+	// Arm the decided-but-unannounced crash window on B, push one more
+	// phase through it (B dies at its next commit decision, stranding
+	// its participants in doubt), then bring B back from its WAL.
+	if err := h.node("B").ArmCrash("B", CrashAfterDecisionLog); err != nil {
+		t.Fatalf("arm crash: %v", err)
+	}
+	runPhase("crash")
+	h.restart("B")
+	runPhase("recovered")
+
+	// Conservation audit: every account must settle certain and the
+	// total must still be exactly accounts*initial — committed transfers
+	// move money, aborted ones move none, nothing may be lost or minted
+	// across lanes, group commits, the crash, or recovery.
+	deadline := time.Now().Add(45 * time.Second)
+	for {
+		total := int64(0)
+		settled := true
+		for i := 0; i < accounts; i++ {
+			item := fmt.Sprintf("la%d", i)
+			v, ok := h.node(lanePlacement(item)).Read(item).IsCertain()
+			if !ok {
+				settled = false
+				break
+			}
+			iv, ok := v.(value.Int)
+			if !ok {
+				t.Fatalf("%s settled non-int %v", item, v)
+			}
+			total += int64(iv)
+		}
+		if settled {
+			if total != accounts*initial {
+				t.Fatalf("conservation violated: total %d, want %d", total, accounts*initial)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("accounts never all settled certain")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	// The tentpole's reason to exist: with lanes on, group commit must
+	// actually have grouped — strictly fewer fsync batches than frames.
+	for _, id := range laneSites {
+		n := h.node(id)
+		for _, g := range n.glogs {
+			frames, syncs := g.SyncBatches()
+			if frames > 0 && syncs > frames {
+				t.Fatalf("site %s: %d syncs for %d frames", id, syncs, frames)
+			}
+			t.Logf("site %s: %d WAL frames in %d fsync batches", id, frames, syncs)
+		}
+	}
+}

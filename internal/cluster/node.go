@@ -105,7 +105,18 @@ func NewNode(cfg Config, self protocol.SiteID, fab transport.Transport) (*Cluste
 		c.seedLifecycle(self, store.PolyItems())
 	}
 	store.Instrument(reg, string(self))
-	s := newSite(c, self, store)
+	var glog *storage.GroupLog
+	if cfg.SyncWAL && cfg.DataDir != "" {
+		// Durable mode: WAL frames route through the group-commit stage
+		// and each site event waits for its records before its outputs
+		// leave the site (see lanes.go).  With lanes off the wait is an
+		// inline per-event fsync; with lanes on, one fsync retires every
+		// event parked in WaitSynced.
+		glog = storage.NewGroupLog(c.logs[0], cfg.GroupCommitWindow)
+		store.SetWALSink(glog)
+		c.glogs = append(c.glogs, glog)
+	}
+	s := newSite(c, self, store, glog)
 	if len(c.logs) > 0 {
 		s.flog = c.logs[0]
 	}

@@ -108,7 +108,7 @@ func (s *Site) beginQuorumTxn(t txn.T, h *Handle) {
 	for _, logical := range t.Items() {
 		if err := replica.CheckName(logical); err != nil {
 			s.c.aborted.Inc()
-			h.decide(StatusAborted, "replica: "+err.Error(), s.c.clk.Now())
+			s.decideHandle(h, StatusAborted, "replica: "+err.Error())
 			s.recordTxnRoot(ctx, StatusAborted, "replica: "+err.Error(), true)
 			return
 		}
@@ -181,7 +181,7 @@ func (s *Site) beginQuorumQuery(qid txn.ID, node expr.Node, qh *QueryHandle, cer
 	probe := map[protocol.SiteID][]string{}
 	for logical := range set {
 		if err := replica.CheckName(logical); err != nil {
-			qh.complete(polyvalue.Poly{}, err)
+			s.completeQuery(qh, polyvalue.Poly{}, err)
 			return
 		}
 		q.needed[logical] = rep.R

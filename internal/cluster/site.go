@@ -30,6 +30,18 @@ type Site struct {
 	quit  chan struct{}
 	once  sync.Once
 
+	// Lane engine (see lanes.go).  laneQs is nil when lanes are off —
+	// the seed single-goroutine path.  When set (wall-clock mode,
+	// Config.Lanes > 1), events route to laneQs[laneFor(tid)] and every
+	// event on every lane runs under stateMu; outbox stages the running
+	// event's outputs for post-durability release.  glog is the
+	// group-commit WAL stage (Config.SyncWAL with a DataDir); it also
+	// activates outbox mode with lanes off, paying the fsync inline.
+	laneQs  []chan siteEvent
+	stateMu sync.Mutex
+	outbox  *outbox
+	glog    *storage.GroupLog
+
 	down bool
 	// armed holds the one-shot crash points set by Cluster.ArmCrash
 	// (see crashpoints.go).  Injection state, not protocol state: it
@@ -220,9 +232,9 @@ type coordCtx struct {
 	span trace.SpanID
 }
 
-func newSite(c *Cluster, id protocol.SiteID, store *storage.Store) *Site {
+func newSite(c *Cluster, id protocol.SiteID, store *storage.Store, glog *storage.GroupLog) *Site {
 	s := &Site{
-		id: id, c: c, store: store,
+		id: id, c: c, store: store, glog: glog,
 		inbox:       make(chan siteEvent, siteInboxDepth),
 		quit:        make(chan struct{}),
 		armed:       map[CrashPoint]bool{},
@@ -249,6 +261,13 @@ func newSite(c *Cluster, id protocol.SiteID, store *storage.Store) *Site {
 	s.blockedLock = c.reg.Histogram("item.blocked.seconds", l, metrics.L("cause", causeLock))
 	s.blockedIndoubt = c.reg.Histogram("item.blocked.seconds", l, metrics.L("cause", causeInDoubt))
 	s.blockedDegraded = c.reg.Histogram("item.blocked.seconds", l, metrics.L("cause", causeDegraded))
+	if c.wall != nil && c.cfg.Lanes > 1 {
+		s.laneQs = make([]chan siteEvent, c.cfg.Lanes)
+		for i := range s.laneQs {
+			s.laneQs[i] = make(chan siteEvent, siteInboxDepth)
+			go s.laneLoop(s.laneQs[i])
+		}
+	}
 	go s.loop()
 	if c.cfg.Replication != nil && len(c.cfg.Sites) > 1 {
 		// Serialize the timer-ID write onto the site goroutine, like
@@ -278,10 +297,7 @@ func (s *Site) loop() {
 				s.hwm = n
 				s.inboxHWM.Set(int64(n))
 			}
-			ev.fn()
-			if ev.done != nil {
-				close(ev.done)
-			}
+			s.exec(ev)
 			s.inboxDepth.Set(int64(len(s.inbox)))
 		}
 	}
@@ -345,6 +361,30 @@ func (s *Site) close() { s.once.Do(func() { close(s.quit) }) }
 // path).  The transport hands over ownership of the slice, so it can
 // cross the goroutine boundary without a copy.
 func (s *Site) onMessageBatch(msgs []protocol.Message) {
+	if s.laneQs != nil {
+		// Lane fan-out: split the frame into per-lane runs, preserving
+		// arrival order within each lane (all of one transaction's
+		// messages share a lane, so per-TID FIFO survives).  Each run
+		// is one event on its lane.
+		for start := 0; start < len(msgs); {
+			lane := s.laneFor(msgs[start].TID)
+			end := start + 1
+			for end < len(msgs) && s.laneFor(msgs[end].TID) == lane {
+				end++
+			}
+			run := msgs[start:end]
+			s.postLane(lane, func() {
+				if s.down {
+					return
+				}
+				for _, msg := range run {
+					s.handle(msg)
+				}
+			})
+			start = end
+		}
+		return
+	}
 	s.post(func() {
 		if s.down {
 			return
@@ -363,17 +403,25 @@ func (s *Site) onMessage(msg protocol.Message) {
 		s.handle(msg)
 	}
 	if s.c.wall != nil {
-		s.post(fn)
+		s.postLane(s.laneFor(msg.TID), fn)
 		return
 	}
 	s.do(fn)
 }
 
-// send traces and transmits a message from this site.
+// send traces and transmits a message from this site.  In outbox mode
+// (lanes or durable sync active) the transmission is staged and leaves
+// the site only after the running event's WAL records are durable; the
+// trace line is still emitted at staging time, under stateMu, so the
+// trace ring needs no extra synchronization.
 func (s *Site) send(msg protocol.Message) {
 	msg.From = s.id
 	if s.c.tracing {
 		s.c.trace("%s send %s", s.id, msg)
+	}
+	if ob := s.outbox; ob != nil {
+		ob.add(func() { s.c.fab.Send(msg) })
+		return
 	}
 	s.c.fab.Send(msg)
 }
@@ -465,7 +513,7 @@ func (s *Site) handle(msg protocol.Message) {
 // goroutine).
 func (s *Site) beginTxn(t txn.T, h *Handle) {
 	if s.down {
-		h.decide(StatusAborted, "coordinator down", s.c.clk.Now())
+		s.decideHandle(h, StatusAborted, "coordinator down")
 		s.c.aborted.Inc()
 		return
 	}
@@ -542,7 +590,7 @@ func (s *Site) onePhaseCommit(ctx *coordCtx, h *Handle) {
 		s.c.refused.Inc()
 		s.c.aborted.Inc()
 		reason := "refused: lock conflict at " + string(s.id)
-		h.decide(StatusAborted, reason, s.c.clk.Now())
+		s.decideHandle(h, StatusAborted, reason)
 		s.recordTxnRoot(ctx, StatusAborted, reason, true)
 		return
 	}
@@ -551,7 +599,7 @@ func (s *Site) onePhaseCommit(ctx *coordCtx, h *Handle) {
 	res, err := ex.Execute(ctx.t, s.store.Get)
 	if err != nil {
 		s.c.aborted.Inc()
-		h.decide(StatusAborted, "compute: "+err.Error(), s.c.clk.Now())
+		s.decideHandle(h, StatusAborted, "compute: "+err.Error())
 		s.recordTxnRoot(ctx, StatusAborted, "compute: "+err.Error(), true)
 		return
 	}
@@ -564,7 +612,7 @@ func (s *Site) onePhaseCommit(ctx *coordCtx, h *Handle) {
 		p := res.Writes[item]
 		if err := s.put(item, p); err != nil {
 			s.c.aborted.Inc()
-			h.decide(StatusAborted, "wal: "+err.Error(), s.c.clk.Now())
+			s.decideHandle(h, StatusAborted, "wal: "+err.Error())
 			s.recordTxnRoot(ctx, StatusAborted, "wal: "+err.Error(), true)
 			return
 		}
@@ -579,11 +627,8 @@ func (s *Site) onePhaseCommit(ctx *coordCtx, h *Handle) {
 	}
 	s.reduceKnownDeps()
 	s.c.committed.Inc()
-	h.decide(StatusCommitted, "", s.c.clk.Now())
+	s.decideHandle(h, StatusCommitted, "")
 	s.recordTxnRoot(ctx, StatusCommitted, "", true)
-	if lat, ok := h.Latency(); ok {
-		s.c.latency.Observe(lat.Seconds())
-	}
 	s.c.trace("%s one-phase commit of %s", s.id, ctx.tid)
 }
 
@@ -592,7 +637,7 @@ func (s *Site) onePhaseCommit(ctx *coordCtx, h *Handle) {
 // they resolve or the deadline passes.
 func (s *Site) beginQuery(qid txn.ID, node expr.Node, qh *QueryHandle, certainBy vclock.Time) {
 	if s.down {
-		qh.complete(polyvalue.Poly{}, errSiteDown)
+		s.completeQuery(qh, polyvalue.Poly{}, errSiteDown)
 		return
 	}
 	if s.c.cfg.Replication != nil {
@@ -673,7 +718,7 @@ func (s *Site) finishQuery(ctx *coordCtx) {
 	if err == nil && ctx.qCertainBy > 0 {
 		if _, certain := p.IsCertain(); !certain {
 			if s.c.clk.Now() >= ctx.qCertainBy {
-				ctx.qh.complete(p, ErrStillUncertain)
+				s.completeQuery(ctx.qh, p, ErrStillUncertain)
 				return
 			}
 			qid, node, qh, deadline := ctx.tid, ctx.qnode, ctx.qh, ctx.qCertainBy
@@ -682,7 +727,7 @@ func (s *Site) finishQuery(ctx *coordCtx) {
 					if s.down {
 						// Withheld queries must not hang on a crashed
 						// coordinator.
-						qh.complete(polyvalue.Poly{}, errSiteDown)
+						s.completeQuery(qh, polyvalue.Poly{}, errSiteDown)
 						return
 					}
 					s.beginQuery(qid, node, qh, deadline)
@@ -691,7 +736,7 @@ func (s *Site) finishQuery(ctx *coordCtx) {
 			return
 		}
 	}
-	ctx.qh.complete(p, err)
+	s.completeQuery(ctx.qh, p, err)
 }
 
 // remainingDeadline is the time budget left on a coordinated
@@ -730,7 +775,7 @@ func (s *Site) onReadTimeout(tid txn.ID) {
 		return
 	}
 	if ctx.isQuery {
-		ctx.qh.complete(polyvalue.Poly{}, errReadTimeout)
+		s.completeQuery(ctx.qh, polyvalue.Poly{}, errReadTimeout)
 		delete(s.coords, tid)
 		return
 	}
@@ -925,13 +970,8 @@ func (s *Site) finalizeDecision(ctx *coordCtx, committed bool, reason string) {
 	} else {
 		s.c.aborted.Inc()
 	}
-	ctx.handle.decide(st, reason, now)
+	s.decideHandle(ctx.handle, st, reason)
 	s.recordTxnRoot(ctx, st, reason, false)
-	if committed {
-		if lat, ok := ctx.handle.Latency(); ok {
-			s.c.latency.Observe(lat.Seconds())
-		}
-	}
 	if s.c.cfg.OutcomeTTL >= 0 && len(targets) > 0 {
 		waiting := make(map[protocol.SiteID]bool, len(targets))
 		for _, site := range targets {
@@ -1846,7 +1886,7 @@ func (s *Site) crash() {
 		s.c.clk.Cancel(ctx.readyTimer)
 		s.c.clk.Cancel(ctx.deadlineTimer)
 		if ctx.isQuery {
-			ctx.qh.complete(polyvalue.Poly{}, errSiteDown)
+			s.completeQuery(ctx.qh, polyvalue.Poly{}, errSiteDown)
 		} else {
 			// The handle stays pending forever (the client's view of a
 			// crashed coordinator), but its admission credit must not: a

@@ -86,6 +86,12 @@ type ChaosConfig struct {
 	// ExtraKills=2 is the F-failures-plus-coordinator scenario the 2F+1
 	// acceptor group must survive.  Clamped to Sites-1 total kills.
 	ExtraKills int
+	// Lanes is the per-site key-sharded execution lane count passed to
+	// every node (see cluster.Config.Lanes).  0 defaults from the
+	// POLY_LANES environment variable, so nightly torture jobs can turn
+	// lanes on without threading a flag through every make target; 1
+	// forces the classic single event loop.
+	Lanes int
 	// Strand, with CrashPoint set, submits one extra guarded transfer
 	// through each kill victim right after arming it: a transfer between
 	// two items co-located on a single OTHER site, so the decision fires
@@ -254,6 +260,7 @@ func (c *chaosRun) start(id protocol.SiteID, ln net.Listener) error {
 		MaxPolyBudget: c.cfg.MaxPolyBudget,
 		DecisionPlane: c.cfg.DecisionPlane,
 		Spans:         c.spanLogs[id],
+		Lanes:         c.cfg.Lanes,
 	}, id, inj)
 	if err != nil {
 		inj.Close()
@@ -261,6 +268,18 @@ func (c *chaosRun) start(id protocol.SiteID, ln net.Listener) error {
 	}
 	c.nodes[id] = &chaosNode{node: node, inj: inj}
 	return nil
+}
+
+// envLanes reads the POLY_LANES environment variable — the nightly
+// torture jobs' switch for running every wall-clock harness with
+// key-sharded execution lanes without new flags on every make target.
+// Unset, empty or unparsable means 0 (classic single event loop).
+func envLanes() int {
+	n, err := strconv.Atoi(os.Getenv("POLY_LANES"))
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
 }
 
 func sum(id protocol.SiteID) int {
@@ -331,6 +350,9 @@ func RunChaos(cfg ChaosConfig) (*ChaosReport, error) {
 	}
 	if cfg.SpanCap == 0 {
 		cfg.SpanCap = 1 << 16
+	}
+	if cfg.Lanes == 0 {
+		cfg.Lanes = envLanes()
 	}
 	ownDir := false
 	if cfg.DataDir == "" {

@@ -1,0 +1,35 @@
+package harness
+
+import (
+	"testing"
+)
+
+// TestGeoRepLanesInertInSim is the door that keeps the lane engine out
+// of the simulated runtime: a seeded georep run must produce a
+// byte-identical report whether Lanes is 0 or 8, because lanes are a
+// wall-clock-only optimization and the sim cluster stays on its
+// single-threaded deterministic event loop regardless.
+func TestGeoRepLanesInertInSim(t *testing.T) {
+	for _, seed := range []int64{1, 42} {
+		base, err := RunGeoRep(GeoRepConfig{Seed: seed})
+		if err != nil {
+			t.Fatalf("seed %d lanes=0: %v", seed, err)
+		}
+		laned, err := RunGeoRep(GeoRepConfig{Seed: seed, Lanes: 8})
+		if err != nil {
+			t.Fatalf("seed %d lanes=8: %v", seed, err)
+		}
+		if got, want := laned.String(), base.String(); got != want {
+			t.Errorf("seed %d: lanes changed the simulated run\nlanes=8: %s\nlanes=0: %s", seed, got, want)
+		}
+		if len(base.Violations) > 0 {
+			t.Errorf("seed %d: baseline run failed: %v", seed, base.Violations)
+		}
+		for cause, secs := range base.BlockedItemSeconds {
+			if laned.BlockedItemSeconds[cause] != secs {
+				t.Errorf("seed %d: blocked-item-seconds[%s] diverged: %g vs %g",
+					seed, cause, laned.BlockedItemSeconds[cause], secs)
+			}
+		}
+	}
+}

@@ -57,6 +57,10 @@ type OverloadConfig struct {
 	// order of 200k spans per site); negative disables span tracing and
 	// the trace-completeness audit.
 	SpanCap int
+	// Lanes is the per-site key-sharded execution lane count (see
+	// cluster.Config.Lanes).  0 defaults from POLY_LANES; 1 forces the
+	// classic single event loop.
+	Lanes int
 	// Logf receives progress lines; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -150,6 +154,9 @@ func RunOverload(cfg OverloadConfig) (*OverloadReport, error) {
 	if cfg.SpanCap == 0 {
 		cfg.SpanCap = 1 << 18
 	}
+	if cfg.Lanes == 0 {
+		cfg.Lanes = envLanes()
+	}
 	logf := cfg.Logf
 	if logf == nil {
 		logf = func(string, ...any) {}
@@ -227,6 +234,7 @@ func RunOverload(cfg OverloadConfig) (*OverloadReport, error) {
 			Metrics:        reg,
 			DataDir:        dir,
 			Spans:          spanLogs[id],
+			Lanes:          cfg.Lanes,
 		}, id, det)
 		if err != nil {
 			det.Close()
