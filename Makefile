@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check lint vet build test race bench bench-smoke bench-scaling tables fuzz-smoke cluster-demo chaos chaos-smoke chaos-demo overload overload-smoke telemetry-smoke consensus consensus-smoke georep georep-smoke
+.PHONY: check lint vet build test race bench bench-smoke bench-scaling tables fuzz-smoke cluster-demo chaos chaos-smoke chaos-demo diskchaos diskchaos-smoke frontier overload overload-smoke telemetry-smoke consensus consensus-smoke georep georep-smoke
 
 check: lint vet build race ## everything CI runs
 
@@ -66,6 +66,24 @@ chaos:
 # Short seeded torture for CI: same assertions, smaller schedule.
 chaos-smoke:
 	$(GO) test -race -count=1 -short -run TestChaosTortureSeeded ./internal/harness
+
+# Full storage-fault torture: fsync failures, torn writes, ENOSPC,
+# slow-disk windows and recovery-read bit-flips injected under every
+# site's WAL, woven with kill-9 cycles, asserting the fsyncgate
+# discipline (durability panics, rebuild-only revival), conservation,
+# and a clean crash-recovery frontier sweep over every final WAL.
+diskchaos:
+	$(GO) test -race -count=1 -v -run TestDiskChaos ./internal/harness
+
+# Short seeded disk torture for CI: same assertions, smaller schedule.
+diskchaos-smoke:
+	$(GO) test -race -count=1 -short -run TestDiskChaosTortureSeeded ./internal/harness
+
+# Deterministic ALICE-style crash-recovery frontier sweep: recover a
+# recorded WAL from every frame boundary and torn tail, asserting clean
+# recovery, fixpoint idempotence, and exact torn-tail equivalence.
+frontier:
+	$(GO) test -race -count=1 -v -run 'TestCrashRecoveryFrontier|TestFrontierSweep' ./internal/storage
 
 # Full overload torture: offered load above the admission cap through a
 # 60s+ partition with tight polyvalue budgets and transaction deadlines,

@@ -57,6 +57,7 @@ import (
 	"repro/internal/polyvalue"
 	"repro/internal/protocol"
 	"repro/internal/replica"
+	"repro/internal/storage"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -99,6 +100,8 @@ type options struct {
 	lanes    int
 	durable  bool
 	gcWindow time.Duration
+	diskFlts string
+	diskSd   int64
 }
 
 func main() {
@@ -135,6 +138,8 @@ func main() {
 	flag.IntVar(&opt.lanes, "lanes", 0, "key-sharded execution lanes per site (0/1: classic single event loop)")
 	flag.BoolVar(&opt.durable, "durable", false, "run every node on a temp WAL dir with synchronous durability: each site event fsyncs (lanes off) or group-commits (lanes on) before its outputs leave the site")
 	flag.DurationVar(&opt.gcWindow, "group-commit-window", 0, "group-commit accumulation window with -durable (0: flush as soon as the flusher is free)")
+	flag.StringVar(&opt.diskFlts, "disk-faults", "", "disk-fault plan applied to every site's WAL filesystem (storage plan grammar, e.g. 'slow p=0.1 min=1ms max=5ms'); needs -durable")
+	flag.Int64Var(&opt.diskSd, "disk-fault-seed", 1, "base PRNG seed for the per-site disk-fault injectors")
 	flag.Parse()
 	if opt.gogc > 0 {
 		debug.SetGCPercent(opt.gogc)
@@ -168,6 +173,16 @@ func run(opt options) error {
 	}
 	if opt.kind == "overload" && opt.admit == 0 {
 		opt.admit = 4
+	}
+	if opt.diskFlts != "" {
+		if !opt.durable {
+			return fmt.Errorf("-disk-faults requires -durable (there is no WAL filesystem to inject against)")
+		}
+		// Validate the plan up front on a throwaway injector so a typo
+		// fails before any node boots.
+		if err := storage.NewFaultFS(nil, storage.FaultFSConfig{}).ApplyPlan(opt.diskFlts); err != nil {
+			return fmt.Errorf("-disk-faults: %w", err)
+		}
 	}
 	if opt.replicas > 0 {
 		if opt.mode != "inproc" {
@@ -208,6 +223,11 @@ func run(opt options) error {
 		}
 		if opt.lanes > 1 {
 			opt.label += fmt.Sprintf("-lanes%d", opt.lanes)
+		}
+		if opt.diskFlts != "" {
+			// Disk-faulted runs measure degraded-mode throughput; never
+			// compare them against a healthy-disk baseline.
+			opt.label += "-diskfaulty"
 		}
 	}
 
@@ -396,6 +416,10 @@ type setting struct {
 	Durable             bool    `json:"durable,omitempty"`
 	GroupCommitWindowMS float64 `json:"group_commit_window_ms,omitempty"`
 	GOMAXPROCS          int     `json:"gomaxprocs,omitempty"`
+	// DiskFaults records the -disk-faults plan the run's WAL filesystem
+	// was injected with (ISSUE 10), so degraded-disk settings are
+	// self-describing in the BENCH file.
+	DiskFaults string `json:"disk_faults,omitempty"`
 
 	Replication *replicationSetting `json:"replication,omitempty"`
 
@@ -414,6 +438,7 @@ func (r *runResult) setting(opt options) setting {
 		Lanes: opt.lanes, Durable: opt.durable,
 		GroupCommitWindowMS: float64(opt.gcWindow) / float64(time.Millisecond),
 		GOMAXPROCS:          runtime.GOMAXPROCS(0),
+		DiskFaults:          opt.diskFlts,
 	}
 	if opt.replicas > 0 {
 		s.Replication = &replicationSetting{
@@ -464,6 +489,9 @@ func printSetting(w *os.File, s setting) {
 		fmt.Fprintf(w, "  lanes=%d durable=%v group_commit_window_ms=%g gomaxprocs=%d\n",
 			s.Lanes, s.Durable, s.GroupCommitWindowMS, s.GOMAXPROCS)
 	}
+	if s.DiskFaults != "" {
+		fmt.Fprintf(w, "  disk_faults=%q\n", s.DiskFaults)
+	}
 	fmt.Fprintf(w, "  latency ms: p50=%.2f p90=%.2f p99=%.2f mean=%.2f\n",
 		s.LatencyMS.P50, s.LatencyMS.P90, s.LatencyMS.P99, s.LatencyMS.Mean)
 	fmt.Fprintf(w, "  batching=%v flushes=%d mean_batch=%.2f msgs/frame\n",
@@ -477,6 +505,25 @@ func batchCounters(reg *metrics.Registry) (flushes, n int64, sum float64) {
 	}
 	h := reg.Histogram("transport.batch.size")
 	return flushes, int64(h.Count()), h.Sum()
+}
+
+// diskFaultFS builds one site's WAL-filesystem fault injector from the
+// -disk-faults plan (nil when no plan was given).  Each site gets its
+// own seeded rng so procs- and inproc-mode runs with the same flags
+// make the same per-site fault decisions.
+func diskFaultFS(opt options, id protocol.SiteID, reg *metrics.Registry) (*storage.FaultFS, error) {
+	if opt.diskFlts == "" {
+		return nil, nil
+	}
+	seed := opt.diskSd
+	for _, r := range string(id) {
+		seed = seed*31 + int64(r)
+	}
+	fs := storage.NewFaultFS(storage.OSFS, storage.FaultFSConfig{Seed: seed, Metrics: reg})
+	if err := fs.ApplyPlan(opt.diskFlts); err != nil {
+		return nil, fmt.Errorf("-disk-faults: %w", err)
+	}
+	return fs, nil
 }
 
 // ---------------------------------------------------------------------
@@ -525,6 +572,11 @@ func runInproc(opt options) (*runResult, error) {
 			ncfg.DataDir = dir
 			ncfg.SyncWAL = true
 			ncfg.GroupCommitWindow = opt.gcWindow
+			if fs, err := diskFaultFS(opt, id, reg); err != nil {
+				return nil, err
+			} else if fs != nil {
+				ncfg.DiskFS = fs
+			}
 		}
 		if opt.replicas > 0 {
 			ncfg.Replication = &cluster.ReplicationConfig{
@@ -681,6 +733,21 @@ func runInproc(opt options) (*runResult, error) {
 		}
 		res.auditErr = fmt.Errorf("%w (cluster never quiesced within -settle %v: %s)",
 			res.auditErr, opt.settle, strings.Join(states, " "))
+	}
+	// A failed fsync under a -disk-faults plan durability-panics the
+	// site, and polybench has no rebuilder (that is RunDiskChaos's
+	// job) — name the dead sites instead of a bare audit failure.
+	if res.auditErr != nil && opt.diskFlts != "" {
+		var lost []string
+		for _, n := range nodes {
+			if n.DurabilityLost(n.Self()) {
+				lost = append(lost, string(n.Self()))
+			}
+		}
+		if len(lost) > 0 {
+			res.auditErr = fmt.Errorf("%w; site(s) %s took durability panics under -disk-faults and stay down until rebuilt — benchmark gray failures (slow/readflip) here, use `make diskchaos` for fsync/ENOSPC torture",
+				res.auditErr, strings.Join(lost, " "))
+		}
 	}
 	res.flushes, res.batchN, res.batchSum = batchCounters(reg)
 	return res, nil
@@ -843,6 +910,8 @@ func runProcs(opt options) (*runResult, error) {
 			"-lanes", strconv.Itoa(opt.lanes),
 			"-durable="+strconv.FormatBool(opt.durable),
 			"-group-commit-window", opt.gcWindow.String(),
+			"-disk-faults", opt.diskFlts,
+			"-disk-fault-seed", strconv.FormatInt(opt.diskSd, 10),
 		)
 		stdin, err := cmd.StdinPipe()
 		if err != nil {
@@ -1072,6 +1141,11 @@ func runChild(opt options) error {
 		ccfg.DataDir = dir
 		ccfg.SyncWAL = true
 		ccfg.GroupCommitWindow = opt.gcWindow
+		if fs, err := diskFaultFS(opt, self, reg); err != nil {
+			return err
+		} else if fs != nil {
+			ccfg.DiskFS = fs
+		}
 	}
 	node, err := cluster.NewNode(ccfg, self, fab)
 	if err != nil {

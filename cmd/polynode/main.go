@@ -23,6 +23,10 @@
 //	FAULT <cmd>          drive the fault-injection plane: drop/dup/delay/
 //	                     corrupt/reset rules, partitions, heal, seed,
 //	                     status, clear (see internal/fault plan grammar)
+//	DISKFAULT <cmd>      drive the disk-fault plane under the WAL:
+//	                     fsync/torn/enospc/readflip/slow rules, seed,
+//	                     status, clear (see internal/storage plan
+//	                     grammar; needs -data)
 //	SPANS                dump the structured span log as one JSON line
 //	                     (pipe site dumps into polytrace; needs -spans)
 //	STATS                cluster + transport counters
@@ -78,6 +82,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/polyvalue"
 	"repro/internal/protocol"
+	"repro/internal/storage"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/transport"
@@ -113,6 +118,8 @@ func main() {
 		lanes    = flag.Int("lanes", 0, "key-sharded execution lanes for this site (0/1: classic single event loop)")
 		fsync    = flag.Bool("fsync", false, "with -data: make every site event durable before its outputs leave the site (per-event fsync with lanes off, group commit with lanes on)")
 		gcWindow = flag.Duration("group-commit-window", 0, "group-commit accumulation window with -fsync (0: flush as soon as the flusher is free)")
+		diskFlts = flag.String("disk-faults", "", "initial disk-fault plan for the WAL filesystem, ';'-separated storage commands (e.g. 'fsync p=0.01 once; slow p=0.2 min=1ms max=10ms'); needs -data")
+		diskSd   = flag.Int64("disk-fault-seed", 1, "PRNG seed for the disk-fault injector (same seed, same fault decisions)")
 	)
 	flag.Parse()
 
@@ -213,6 +220,26 @@ func main() {
 	default:
 		fatal("unknown -decision-plane %q (want wal, paxos, or blocking2pc)", *planeArg)
 	}
+	// The disk-fault plane sits under the WAL the same way the fault
+	// injector sits under the wire: with no rules it forwards untouched.
+	// It only exists with -data (there is no disk path without a WAL).
+	var disk *storage.FaultFS
+	if *dataDir != "" {
+		disk = storage.NewFaultFS(storage.OSFS, storage.FaultFSConfig{
+			Seed:    *diskSd,
+			Metrics: reg,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "polynode[%s] %s\n", self, fmt.Sprintf(format, args...))
+			},
+		})
+		if *diskFlts != "" {
+			if err := disk.ApplyPlan(*diskFlts); err != nil {
+				fatal("-disk-faults: %v", err)
+			}
+		}
+	} else if *diskFlts != "" {
+		fatal("-disk-faults needs -data (there is no WAL to inject against)")
+	}
 	cfg := cluster.Config{
 		Sites:             sites,
 		DecisionPlane:     plane,
@@ -230,6 +257,9 @@ func main() {
 		Lanes:             *lanes,
 		SyncWAL:           *fsync,
 		GroupCommitWindow: *gcWindow,
+	}
+	if disk != nil {
+		cfg.DiskFS = disk
 	}
 	if ring != nil {
 		cfg.Tracer = ring
@@ -260,7 +290,7 @@ func main() {
 	if err != nil {
 		fatal("control listen %s: %v", *control, err)
 	}
-	srv := &server{self: self, node: node, fab: fab, inj: inj, spans: spans, ring: ring}
+	srv := &server{self: self, node: node, fab: fab, inj: inj, disk: disk, spans: spans, ring: ring}
 	if det, ok := fabric.(*guard.Detector); ok {
 		srv.det = det
 	}
@@ -372,9 +402,10 @@ type server struct {
 	node  *cluster.Cluster
 	fab   *transport.TCP
 	inj   *fault.Injector
-	det   *guard.Detector // nil unless -heartbeat was given
-	spans *trace.SpanLog  // nil unless -spans was given
-	ring  *trace.Ring     // nil unless -trace-ring was given
+	disk  *storage.FaultFS // nil unless -data was given
+	det   *guard.Detector  // nil unless -heartbeat was given
+	spans *trace.SpanLog   // nil unless -spans was given
+	ring  *trace.Ring      // nil unless -trace-ring was given
 }
 
 // health feeds the /healthz app section; it also refreshes the trace
@@ -552,6 +583,22 @@ func (s *server) execute(line string) []string {
 			return []string{"ERR usage: FAULT <cmd> (drop|dup|delay|corrupt|reset|partition|heal|seed|status|clear)"}
 		}
 		msg, err := s.inj.Apply(rest)
+		if err != nil {
+			return []string{"ERR " + err.Error()}
+		}
+		var out []string
+		for _, l := range strings.Split(strings.TrimRight(msg, "\n"), "\n") {
+			out = append(out, "| "+l)
+		}
+		return append(out, "OK")
+	case "DISKFAULT":
+		if s.disk == nil {
+			return []string{"ERR disk-fault plane disabled (start with -data)"}
+		}
+		if rest == "" {
+			return []string{"ERR usage: DISKFAULT <cmd> (fsync|torn|enospc|readflip|slow|seed|status|clear)"}
+		}
+		msg, err := s.disk.Apply(rest)
 		if err != nil {
 			return []string{"ERR " + err.Error()}
 		}

@@ -153,9 +153,13 @@ func New(cfg Config) (*Cluster, error) {
 		if cfg.DataDir != "" {
 			var log *storage.FileLog
 			var err error
-			store, log, err = storage.OpenFileStore(filepath.Join(cfg.DataDir, string(id)+".wal"))
+			var stats storage.RecoverStats
+			store, log, stats, err = storage.OpenFileStoreFS(cfg.DiskFS, filepath.Join(cfg.DataDir, string(id)+".wal"))
 			if err != nil {
 				return nil, fmt.Errorf("cluster: site %s: %w", id, err)
+			}
+			if stats.CorruptReads > 0 {
+				reg.Counter("storage.corrupt.reads", metrics.L("site", string(id))).Add(int64(stats.CorruptReads))
 			}
 			c.logs = append(c.logs, log)
 			// Polyvalues recovered from a previous process join the
@@ -433,6 +437,20 @@ func (c *Cluster) Restart(id protocol.SiteID) {
 
 // IsDown reports whether the site is crashed.
 func (c *Cluster) IsDown(id protocol.SiteID) bool { return c.fab.IsDown(id) }
+
+// DurabilityLost reports whether the site's current incarnation took a
+// durability panic (failed WAL write/fsync).  Such a site refuses
+// Restart — only rebuilding the node, which re-reads the on-disk log,
+// recovers it.
+func (c *Cluster) DurabilityLost(id protocol.SiteID) bool {
+	site := c.sites[id]
+	if site == nil {
+		return false
+	}
+	var lost bool
+	site.do(func() { lost = site.durLost })
+	return lost
+}
 
 // Partition severs the link between two sites (simulation only).
 func (c *Cluster) Partition(a, b protocol.SiteID) { c.requireSim("Partition"); c.net.Partition(a, b) }

@@ -19,6 +19,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/network"
 	"repro/internal/protocol"
+	"repro/internal/storage"
 	"repro/internal/trace"
 	"repro/internal/transport"
 )
@@ -261,6 +262,12 @@ type Config struct {
 	// default — flushes as soon as the flusher is free, which still
 	// groups every frame that arrived during the previous fsync.
 	GroupCommitWindow time.Duration
+	// DiskFS, with DataDir set, is the filesystem the site's WAL lives
+	// on.  Nil means the real filesystem (storage.OSFS); tests and
+	// torture harnesses pass a *storage.FaultFS to inject fsync
+	// failures, torn writes, ENOSPC, read corruption and slow-disk
+	// delays underneath the durability path.
+	DiskFS storage.FS
 }
 
 func (c *Config) fillDefaults() {

@@ -129,10 +129,19 @@ func (s *Site) walWrite(tid txn.ID, write func() error) (crashed bool, err error
 	}
 	if err != nil && storage.IsTornWrite(err) {
 		// A tear armed directly on the FileLog (node-mode kill -9
-		// emulation) without the crash point: treat as the crash it
-		// models.
+		// emulation) or injected by a FaultFS torn rule, without the
+		// crash point: treat as the crash it models.  The torn fragment
+		// self-repairs (truncate on next write / recovery), so this is
+		// an ordinary crash, not a durability panic.
 		s.c.trace("%s torn WAL write for %s: %v", s.id, tid, err)
 		s.crash()
+		return true, err
+	}
+	if err != nil {
+		// fsyncgate: any other failure to log (failed fsync, ENOSPC,
+		// sticky earlier error) means the disk may hold less than memory
+		// believes.  The site must die before acking anything durable.
+		s.durabilityPanic(tid, err)
 		return true, err
 	}
 	return false, err

@@ -37,11 +37,17 @@ import (
 
 // outbox stages one event's externally visible outputs until its WAL
 // records are durable.  Ops run in staging order, outside stateMu.
+// Drops are the fsyncgate alternative: when the durability wait fails,
+// the outputs are discarded and the drops run instead — releasing
+// client admission credits and failing query handles for a site that
+// just crashed itself, without acking anything the disk may not hold.
 type outbox struct {
-	ops []func()
+	ops   []func()
+	drops []func()
 }
 
-func (ob *outbox) add(op func()) { ob.ops = append(ob.ops, op) }
+func (ob *outbox) add(op func())     { ob.ops = append(ob.ops, op) }
+func (ob *outbox) addDrop(op func()) { ob.drops = append(ob.drops, op) }
 
 // laneFor maps a transaction ID to a lane index, or -1 (the global
 // inbox) when lanes are off or the event has no transaction identity.
@@ -143,14 +149,30 @@ func (s *Site) exec(ev siteEvent) {
 	}
 	s.stateMu.Unlock()
 	if target > 0 {
-		// A flush error is sticky in the GroupLog; durability is gone
-		// for the rest of this incarnation either way, so the outputs
-		// are released regardless (matching the legacy path, which
-		// traces WAL errors and proceeds).
+		var err error
 		if s.laneQs == nil {
-			_ = s.glog.Flush()
+			err = s.glog.Flush()
 		} else {
-			_ = s.glog.WaitSynced(target)
+			err = s.glog.WaitSynced(target)
+		}
+		if err != nil {
+			// fsyncgate: the WAL frames this event depends on never
+			// reached the disk (the flush error is sticky in the
+			// GroupLog, so durability is gone for the rest of this
+			// incarnation).  The site must NOT release the staged
+			// outputs — no Prepared, no Committed, no client decision —
+			// because each would ack state the disk may have dropped.
+			// Crash the site instead and run only the drop actions.
+			s.stateMu.Lock()
+			s.durabilityPanic("", err)
+			s.stateMu.Unlock()
+			for _, op := range ob.drops {
+				op()
+			}
+			if ev.done != nil {
+				close(ev.done)
+			}
+			return
 		}
 	}
 	for _, op := range ob.ops {
@@ -177,6 +199,10 @@ func (s *Site) decideHandle(h *Handle, st Status, reason string) {
 				}
 			}
 		})
+		// On a failed durability wait the decision is withheld (the
+		// handle stays pending, like any crashed coordinator's), but
+		// its admission credit must come home.
+		ob.addDrop(h.releaseAdmission)
 		return
 	}
 	h.decide(st, reason, now)
@@ -191,6 +217,9 @@ func (s *Site) decideHandle(h *Handle, st Status, reason string) {
 func (s *Site) completeQuery(qh *QueryHandle, p polyvalue.Poly, err error) {
 	if ob := s.outbox; ob != nil {
 		ob.add(func() { qh.complete(p, err) })
+		// Queries carry no durability promise; on a failed wait they
+		// fail fast instead of hanging on a dead site.
+		ob.addDrop(func() { qh.complete(polyvalue.Poly{}, errSiteDown) })
 		return
 	}
 	qh.complete(p, err)

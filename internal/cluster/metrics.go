@@ -47,6 +47,21 @@ import (
 //	site.budget.mode{site}           — 0 polyvalue, 1 blocking (degraded)
 //	site.budget.degradations{site} / site.budget.restores{site}
 //	site.inbox.depth{site} / site.inbox.hwm{site} / site.inbox.shed{site}
+//	site.durability.panics{site}     — fsyncgate self-crashes: times a
+//	                                   site killed its incarnation after
+//	                                   a failed WAL write/fsync rather
+//	                                   than ack durability it may not
+//	                                   have (restart then refuses until
+//	                                   the node is rebuilt from disk)
+//	storage.corrupt.reads{site}      — recovery read passes whose bytes
+//	                                   were damaged in the read path and
+//	                                   healed on re-read (CRC-detected
+//	                                   latent corruption, quarantined
+//	                                   when persistent)
+//	storage.fault.injected{kind}     — disk faults injected by a
+//	                                   configured storage.FaultFS
+//	                                   (fsync | torn | enospc |
+//	                                   readflip | slow)
 //	item.blocked.seconds{site,cause}  — the blocking accountant: how long
 //	                                   each locked item was unreadable and
 //	                                   why (lock | indoubt | degraded);

@@ -97,9 +97,13 @@ func NewNode(cfg Config, self protocol.SiteID, fab transport.Transport) (*Cluste
 	if cfg.DataDir != "" {
 		var log *storage.FileLog
 		var err error
-		store, log, err = storage.OpenFileStore(filepath.Join(cfg.DataDir, string(self)+".wal"))
+		var stats storage.RecoverStats
+		store, log, stats, err = storage.OpenFileStoreFS(cfg.DiskFS, filepath.Join(cfg.DataDir, string(self)+".wal"))
 		if err != nil {
 			return nil, fmt.Errorf("cluster: site %s: %w", self, err)
+		}
+		if stats.CorruptReads > 0 {
+			reg.Counter("storage.corrupt.reads", metrics.L("site", string(self))).Add(int64(stats.CorruptReads))
 		}
 		c.logs = append(c.logs, log)
 		c.seedLifecycle(self, store.PolyItems())

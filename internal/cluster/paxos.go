@@ -312,14 +312,11 @@ func (s *Site) onPaxosBegin(msg protocol.Message) {
 	if _, known := s.store.Outcome(msg.TID); known {
 		return // decided already; registrar is dead weight
 	}
-	crashed, err := s.walWrite(msg.TID, func() error {
+	// A log failure is a durability panic inside walWrite.
+	crashed, _ := s.walWrite(msg.TID, func() error {
 		return s.store.SetPaxosMeta(msg.TID, string(msg.Coordinator), siteStrings(msg.Participants))
 	})
 	if crashed {
-		return
-	}
-	if err != nil {
-		s.c.trace("%s paxos meta log error for %s: %v", s.id, msg.TID, err)
 		return
 	}
 	s.armPaxosWatch(msg.TID)
@@ -335,16 +332,12 @@ func (s *Site) onPaxosPrepare(msg protocol.Message) {
 		return
 	}
 	var got uint32
-	crashed, err := s.walWrite(msg.TID, func() error {
+	crashed, _ := s.walWrite(msg.TID, func() error {
 		var err error
 		got, err = s.store.PaxosPromise(msg.TID, msg.Ballot)
 		return err
 	})
 	if crashed {
-		return
-	}
-	if err != nil {
-		s.c.trace("%s paxos promise log error for %s: %v", s.id, msg.TID, err)
 		return
 	}
 	if got > msg.Ballot {
@@ -395,7 +388,7 @@ func (s *Site) onPaxosAccept(msg protocol.Message) {
 	}
 	accepted := true
 	var conflict uint32
-	crashed, err := s.walWrite(msg.TID, func() error {
+	crashed, _ := s.walWrite(msg.TID, func() error {
 		for _, in := range msg.PaxosState {
 			ok, c, err := s.store.PaxosAccept(msg.TID, string(in.Instance), msg.Ballot, uint8(in.Vote))
 			if err != nil {
@@ -409,10 +402,6 @@ func (s *Site) onPaxosAccept(msg protocol.Message) {
 		return nil
 	})
 	if crashed {
-		return
-	}
-	if err != nil {
-		s.c.trace("%s paxos accept log error for %s: %v", s.id, msg.TID, err)
 		return
 	}
 	if !accepted {
@@ -493,14 +482,11 @@ func (s *Site) paxosDecided(tid txn.ID, pl *paxosLead) {
 		s.paxosFinalizeCoord(ctx, pl, committed)
 		return
 	}
-	crashed, err := s.walWrite(tid, func() error {
+	crashed, _ := s.walWrite(tid, func() error {
 		return s.store.SetOutcome(tid, committed)
 	})
 	if crashed {
 		return
-	}
-	if err != nil {
-		s.c.trace("%s paxos outcome log error for %s: %v", s.id, tid, err)
 	}
 	s.c.trace("%s paxos takeover decided %s: commit=%v", s.id, tid, committed)
 	s.paxosAnnounce(tid, committed)

@@ -43,6 +43,13 @@ type Site struct {
 	glog    *storage.GroupLog
 
 	down bool
+	// durLost marks an incarnation whose durable log failed a write or
+	// fsync (the fsyncgate discipline): the page cache can no longer be
+	// trusted, the in-memory store may run ahead of the disk, and the
+	// only safe recovery is a full process-style rebuild that re-reads
+	// the on-disk bytes.  Set by durabilityPanic; survives crash();
+	// restart() refuses while it is set.
+	durLost bool
 	// armed holds the one-shot crash points set by Cluster.ArmCrash
 	// (see crashpoints.go).  Injection state, not protocol state: it
 	// survives crash() so a point armed while down fires after restart.
@@ -106,7 +113,11 @@ type Site struct {
 	inboxDepth *metrics.Gauge
 	inboxHWM   *metrics.Gauge
 	inboxShed  *metrics.Counter
-	hwm        int
+	// durPanics counts durability panics (site.durability.panics): times
+	// this site crashed itself rather than ack work its disk may have
+	// dropped.
+	durPanics *metrics.Counter
+	hwm       int
 
 	// aeTimer is the anti-entropy gossip loop's pending timer (quorum
 	// replication only); cancelled by crash, re-armed by restart.
@@ -258,6 +269,7 @@ func newSite(c *Cluster, id protocol.SiteID, store *storage.Store, glog *storage
 	s.inboxDepth = c.reg.Gauge("site.inbox.depth", l)
 	s.inboxHWM = c.reg.Gauge("site.inbox.hwm", l)
 	s.inboxShed = c.reg.Counter("site.inbox.shed", l)
+	s.durPanics = c.reg.Counter("site.durability.panics", l)
 	s.blockedLock = c.reg.Histogram("item.blocked.seconds", l, metrics.L("cause", causeLock))
 	s.blockedIndoubt = c.reg.Histogram("item.blocked.seconds", l, metrics.L("cause", causeInDoubt))
 	s.blockedDegraded = c.reg.Histogram("item.blocked.seconds", l, metrics.L("cause", causeDegraded))
@@ -920,14 +932,13 @@ func (s *Site) finalizeDecision(ctx *coordCtx, committed bool, reason string) {
 	}
 	// Durable decision before any complete/abort leaves the site: a
 	// crash after this point must answer outcome requests consistently.
-	crashed, err := s.walWrite(ctx.tid, func() error {
+	// A log failure here is a durability panic inside walWrite: the site
+	// is gone before any complete/abort could leave it.
+	crashed, _ := s.walWrite(ctx.tid, func() error {
 		return s.store.SetOutcome(ctx.tid, committed)
 	})
 	if crashed {
 		return
-	}
-	if err != nil {
-		s.c.trace("%s outcome log error for %s: %v", s.id, ctx.tid, err)
 	}
 	// Failpoint: decision durable, nothing announced — participants
 	// must pull the outcome from this site's recovered log.
@@ -1199,17 +1210,17 @@ func (s *Site) onPrepare(msg protocol.Message) {
 	// Durably remember the in-doubt window before declaring ready, so a
 	// crash in the wait phase recovers into polyvalues, not amnesia.
 	if len(ctx.writes) > 0 {
-		crashed, err := s.walWrite(msg.TID, func() error {
+		// A log failure is a durability panic inside walWrite: the site
+		// dies without sending ready, which the coordinator treats like
+		// any other participant crash — it never sees an ack for state
+		// the disk doesn't hold.
+		crashed, _ := s.walWrite(msg.TID, func() error {
 			return s.store.MarkPrepared(storage.Prepared{
 				TID: msg.TID, Coordinator: string(msg.Coordinator),
 				Writes: ctx.writes, Previous: ctx.previous,
 			})
 		})
 		if crashed {
-			return
-		}
-		if err != nil {
-			refuse("wal: " + err.Error())
 			return
 		}
 		// Quorum replication: durably remember the versions this prepare
@@ -1927,12 +1938,43 @@ func (s *Site) crash() {
 	s.c.trace("%s crashed", s.id)
 }
 
+// durabilityPanic is the fsyncgate discipline's teeth: a write or fsync
+// against the site's WAL failed, so the page cache may have silently
+// dropped records the protocol was about to ack as durable.  The only
+// safe move is to crash this incarnation immediately — before any
+// Prepared/Committed leaves the site — and mark it unrestartable until
+// the node is rebuilt from the on-disk bytes (which hold a prefix of
+// what memory believed).  tid may be zero-valued when the failure is
+// not tied to one transaction (e.g. a group-commit flush).
+func (s *Site) durabilityPanic(tid txn.ID, err error) {
+	if s.durLost {
+		return
+	}
+	s.durLost = true
+	s.durPanics.Inc()
+	if tid != "" {
+		s.c.trace("%s DURABILITY PANIC for %s: %v", s.id, tid, err)
+	} else {
+		s.c.trace("%s DURABILITY PANIC: %v", s.id, err)
+	}
+	if !s.down {
+		s.crash()
+	}
+}
+
 // restart recovers from the durable store.  Under the polyvalue policy,
 // prepared-but-unresolved transactions become polyvalues immediately so
 // the site is fully available; under the blocking policy their items are
 // re-locked until the outcome is learned.
 func (s *Site) restart() {
 	if !s.down {
+		return
+	}
+	if s.durLost {
+		// The in-memory store may have run ahead of the disk when the
+		// log died; restarting it would resurrect unsynced state.  Only
+		// a node rebuild (re-reading the on-disk bytes) recovers.
+		s.c.trace("%s restart refused: durability lost, rebuild required", s.id)
 		return
 	}
 	s.down = false

@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"testing"
+	"time"
+)
+
+// TestDiskChaosTortureSeeded is the storage-fault torture run: fsync
+// failures, torn writes, ENOSPC, slow-disk windows and recovery-read
+// bit-flips woven into a transfer schedule with kill-9 cycles, ending
+// in full quiescence with conservation, zero unreduced polyvalues, and
+// a clean crash-recovery frontier sweep over every site's final WAL.
+// Short mode (CI smoke) shrinks the schedule; `make diskchaos` runs the
+// full one.
+func TestDiskChaosTortureSeeded(t *testing.T) {
+	cfg := DiskChaosConfig{
+		Seed:       20260808,
+		Sites:      3,
+		Txns:       40,
+		KillCycles: 3,
+		Settle:     60 * time.Second,
+		Logf:       t.Logf,
+	}
+	if testing.Short() {
+		cfg.Txns = 12
+		cfg.KillCycles = 1
+		cfg.Settle = 45 * time.Second
+	}
+	report, err := RunDiskChaos(cfg)
+	if err != nil {
+		t.Fatalf("diskchaos run failed to execute: %v", err)
+	}
+	t.Logf("%s", report)
+	if len(report.Violations) > 0 {
+		for _, v := range report.Violations {
+			t.Errorf("violation: %s", v)
+		}
+	}
+	if report.Kills < cfg.KillCycles {
+		t.Errorf("kill cycles = %d, want %d", report.Kills, cfg.KillCycles)
+	}
+	if report.Committed == 0 {
+		t.Error("no transaction committed — the schedule exercised nothing")
+	}
+	if report.DiskFaultCmds == 0 {
+		t.Error("no disk weather applied — the schedule exercised no faults")
+	}
+	if report.DiskFaultsInjected == 0 {
+		t.Error("no disk fault fired — weather rules never hit an operation")
+	}
+	if report.DurabilityPanics == 0 {
+		t.Error("no durability panic — no injected fsync/ENOSPC failure reached a WAL write")
+	}
+	if report.FrontierFrames == 0 {
+		t.Error("frontier sweep saw zero frames — WALs were empty")
+	}
+}
+
+// TestDiskChaosFrontierCoversTornTails: the full run's frontier sweep
+// must actually exercise torn-tail variants, not just boundaries.
+func TestDiskChaosFrontierCoversTornTails(t *testing.T) {
+	if testing.Short() {
+		t.Skip("covered by the main disk torture run in smoke mode")
+	}
+	report, err := RunDiskChaos(DiskChaosConfig{Seed: 11, Txns: 10, KillCycles: 1, Settle: 45 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Violations) > 0 {
+		for _, v := range report.Violations {
+			t.Errorf("violation: %s", v)
+		}
+	}
+	if report.FrontierTorn == 0 {
+		t.Error("frontier sweep recovered zero torn-tail variants")
+	}
+}

@@ -1,0 +1,131 @@
+package storage
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Apply parses and executes one disk-fault command, returning a
+// one-line human-readable result.  The same grammar serves the polynode
+// control port's DISKFAULT verb and the -disk-faults startup flag:
+//
+//	fsync|torn|enospc|readflip [path=<substr|*>] p=<prob> [once|sticky]
+//	slow [path=<substr|*>] p=<prob> min=<dur> max=<dur> [once|sticky]
+//	clear
+//	seed n=<int>
+//	status
+//
+// An omitted path= matches every file; p=0 removes the matching rule.
+// `once` disarms the rule after its first hit; `sticky` makes the rule
+// fire on every operation after its first hit (a persistent medium
+// failure).  Durations use Go syntax (150ms, 2s).
+func (f *FaultFS) Apply(cmd string) (string, error) {
+	fields := strings.Fields(cmd)
+	if len(fields) == 0 {
+		return "", fmt.Errorf("diskfault: empty command")
+	}
+	verb := strings.ToLower(fields[0])
+	kv, flags, err := parseDiskArgs(fields[1:])
+	if err != nil {
+		return "", err
+	}
+	switch verb {
+	case DiskFsync, DiskTorn, DiskENOSPC, DiskReadFlip, DiskSlow:
+		r := DiskRule{
+			Kind:   verb,
+			Path:   kv["path"],
+			Once:   flags["once"],
+			Sticky: flags["sticky"],
+		}
+		if r.Path == "*" {
+			r.Path = ""
+		}
+		if _, ok := kv["p"]; !ok {
+			return "", fmt.Errorf("diskfault: %s needs p=<prob>", verb)
+		}
+		if r.P, err = strconv.ParseFloat(kv["p"], 64); err != nil {
+			return "", fmt.Errorf("diskfault: bad p=%q: %v", kv["p"], err)
+		}
+		if r.P < 0 || r.P > 1 {
+			return "", fmt.Errorf("diskfault: p=%g out of [0,1]", r.P)
+		}
+		if verb == DiskSlow {
+			if r.MinDelay, err = parseDiskDur(kv, "min"); err != nil {
+				return "", err
+			}
+			if r.MaxDelay, err = parseDiskDur(kv, "max"); err != nil {
+				return "", err
+			}
+			if r.MaxDelay < r.MinDelay {
+				return "", fmt.Errorf("diskfault: slow max=%s < min=%s", r.MaxDelay, r.MinDelay)
+			}
+		}
+		f.SetRule(r)
+		if r.P == 0 {
+			return fmt.Sprintf("cleared %s path=%s", r.Kind, orStar(r.Path)), nil
+		}
+		return "set " + r.String(), nil
+
+	case "clear":
+		f.Clear()
+		return "cleared all disk faults", nil
+
+	case "seed":
+		n, err := strconv.ParseInt(kv["n"], 10, 64)
+		if err != nil {
+			return "", fmt.Errorf("diskfault: seed needs n=<int>: %v", err)
+		}
+		f.Reseed(n)
+		return fmt.Sprintf("reseeded to %d", n), nil
+
+	case "status":
+		return strings.TrimRight(f.Status(), "\n"), nil
+	}
+	return "", fmt.Errorf("diskfault: unknown command %q", verb)
+}
+
+// ApplyPlan executes a whole plan: commands separated by ';' or
+// newlines, blank entries and #-comments ignored.  The first error
+// aborts and is returned with the offending command.
+func (f *FaultFS) ApplyPlan(plan string) error {
+	for _, line := range strings.FieldsFunc(plan, func(r rune) bool { return r == ';' || r == '\n' }) {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if _, err := f.Apply(line); err != nil {
+			return fmt.Errorf("%w (in %q)", err, line)
+		}
+	}
+	return nil
+}
+
+func parseDiskArgs(fields []string) (kv map[string]string, flags map[string]bool, err error) {
+	kv = map[string]string{}
+	flags = map[string]bool{}
+	for _, f := range fields {
+		if k, v, ok := strings.Cut(f, "="); ok {
+			if k == "" || v == "" {
+				return nil, nil, fmt.Errorf("diskfault: malformed argument %q", f)
+			}
+			kv[strings.ToLower(k)] = v
+		} else {
+			flags[strings.ToLower(f)] = true
+		}
+	}
+	return kv, flags, nil
+}
+
+func parseDiskDur(kv map[string]string, key string) (time.Duration, error) {
+	v, ok := kv[key]
+	if !ok {
+		return 0, fmt.Errorf("diskfault: missing %s=<dur>", key)
+	}
+	d, err := time.ParseDuration(v)
+	if err != nil || d < 0 {
+		return 0, fmt.Errorf("diskfault: bad %s=%q", key, v)
+	}
+	return d, nil
+}

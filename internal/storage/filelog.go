@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sync"
 	"sync/atomic"
 )
 
@@ -21,11 +22,20 @@ func IsTornWrite(err error) bool { return errors.Is(err, ErrTornWrite) }
 // to the file and synced on request; recovery reads the whole file and
 // tolerates a torn tail, so a crash at any byte boundary is safe.
 //
+// Errors are sticky (the fsyncgate discipline): once a write or sync
+// fails, the kernel may already have dropped the dirty pages this log
+// believes are en route to disk, so every later Write/Sync fails with
+// the first error until the log is reopened from the on-disk bytes.
+// Torn writes are the one exception — they model a crash the caller is
+// about to take anyway, and the torn fragment is repaired in place by
+// the next write, so they do not poison the incarnation by themselves.
+//
 // The cluster runtime keeps its stores in memory (the simulated sites
 // crash by dropping volatile state, not the process), but cmd tools and
 // library users embedding a real site persist through this type.
 type FileLog struct {
-	f    *os.File
+	fs   FS
+	f    File
 	path string
 	// tear, when set, makes the next Write persist only the first half
 	// of its input and fail — crash-point injection for mid-append
@@ -36,15 +46,44 @@ type FileLog struct {
 	// fragment first, exactly as crash recovery would, so the file never
 	// accumulates garbage mid-stream.
 	tornAt int64
+
+	mu  sync.Mutex
+	err error // first write/sync failure; everything after it fails too
 }
 
-// OpenFileLog opens (creating if needed) the log file for appending.
+// OpenFileLog opens (creating if needed) the log file for appending on
+// the real filesystem.
 func OpenFileLog(path string) (*FileLog, error) {
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	return OpenFileLogFS(OSFS, path)
+}
+
+// OpenFileLogFS opens (creating if needed) the log file for appending
+// through fsys.
+func OpenFileLogFS(fsys FS, path string) (*FileLog, error) {
+	if fsys == nil {
+		fsys = OSFS
+	}
+	f, err := fsys.OpenAppend(path)
 	if err != nil {
 		return nil, fmt.Errorf("storage: open log: %w", err)
 	}
-	return &FileLog{f: f, path: path, tornAt: -1}, nil
+	return &FileLog{fs: fsys, f: f, path: path, tornAt: -1}, nil
+}
+
+// Err returns the sticky failure, or nil while the log is healthy.
+func (l *FileLog) Err() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.err
+}
+
+// setErr records the first failure; later calls keep the original.
+func (l *FileLog) setErr(err error) {
+	l.mu.Lock()
+	if l.err == nil {
+		l.err = err
+	}
+	l.mu.Unlock()
 }
 
 // Write implements io.Writer for use as a WAL sink.  An armed tear
@@ -52,21 +91,38 @@ func OpenFileLog(path string) (*FileLog, error) {
 // A later Write after a tear truncates the torn fragment first (the
 // same repair crash recovery performs), keeping the file parseable.
 func (l *FileLog) Write(p []byte) (int, error) {
+	if err := l.Err(); err != nil {
+		return 0, err
+	}
 	if l.tear.CompareAndSwap(true, false) {
 		if st, err := l.f.Stat(); err == nil {
 			l.tornAt = st.Size()
 		}
-		n, _ := l.f.Write(p[:len(p)/2])
-		l.f.Sync()
+		n, werr := l.f.Write(p[:len(p)/2])
+		serr := l.f.Sync()
+		if werr != nil || serr != nil {
+			// The tear is the injected crash; a real write or sync
+			// failure underneath it is a second, independent fault that
+			// must poison the incarnation, not vanish into the tear.
+			err := fmt.Errorf("%w (write: %v, sync: %v)", ErrTornWrite, werr, serr)
+			l.setErr(err)
+			return n, err
+		}
 		return n, ErrTornWrite
 	}
 	if l.tornAt >= 0 {
 		if err := l.f.Truncate(l.tornAt); err != nil {
-			return 0, fmt.Errorf("storage: truncate torn tail: %w", err)
+			err = fmt.Errorf("storage: truncate torn tail: %w", err)
+			l.setErr(err)
+			return 0, err
 		}
 		l.tornAt = -1
 	}
-	return l.f.Write(p)
+	n, err := l.f.Write(p)
+	if err != nil && !IsTornWrite(err) {
+		l.setErr(err)
+	}
+	return n, err
 }
 
 // TearNext arms a one-shot torn write: the next Write persists only
@@ -75,8 +131,18 @@ func (l *FileLog) Write(p []byte) (int, error) {
 // intact prefix and drop the fragment.
 func (l *FileLog) TearNext() { l.tear.Store(true) }
 
-// Sync flushes to stable storage.
-func (l *FileLog) Sync() error { return l.f.Sync() }
+// Sync flushes to stable storage.  A failure is sticky: the page cache
+// can no longer be trusted to hold what the log thinks it wrote.
+func (l *FileLog) Sync() error {
+	if err := l.Err(); err != nil {
+		return err
+	}
+	if err := l.f.Sync(); err != nil {
+		l.setErr(err)
+		return err
+	}
+	return nil
+}
 
 // Close syncs and closes the file.
 func (l *FileLog) Close() error {
@@ -90,105 +156,196 @@ func (l *FileLog) Close() error {
 // Path returns the log file's path.
 func (l *FileLog) Path() string { return l.path }
 
-// OpenFileStore recovers a store from the log file at path (an empty or
-// absent file yields an empty store) and arranges for all further
-// mutations to append to it.  The returned FileLog must be closed by the
-// caller when the store is retired.
+// RecoverStats reports what OpenFileStoreFS had to do to produce a
+// usable store from the on-disk image.
+type RecoverStats struct {
+	// CorruptReads counts read passes whose bytes were damaged in the
+	// read path (a re-read disagreed and recovered more) — latent
+	// sector / page-cache corruption the CRC framing caught.
+	CorruptReads int
+	// TornBytes is the size of the torn tail dropped from the log (a
+	// crash mid-append), 0 when the image was clean.
+	TornBytes int
+	// Quarantined is the path the damaged image was preserved at when
+	// mid-stream corruption was confirmed on the medium, "" otherwise.
+	Quarantined string
+}
+
+// corruptReadRetries bounds the confirming re-reads a suspicious
+// recovery pass triggers before the damage is believed.
+const corruptReadRetries = 3
+
+// recoverPass is one read+replay attempt over the on-disk image.
+type recoverPass struct {
+	data  []byte
+	store *Store
+	err   error // nil, or wraps ErrCorruptRecord (store = good prefix)
+}
+
+// goodBytes is how much of the image the pass replayed cleanly.
+func (p recoverPass) goodBytes() int { return len(p.store.WALBytes()) }
+
+// clean reports a full, uncorrupted replay of the whole image.
+func (p recoverPass) clean() bool { return p.err == nil && p.goodBytes() == len(p.data) }
+
+// OpenFileStore recovers a store from the log file at path on the real
+// filesystem (an empty or absent file yields an empty store) and
+// arranges for all further mutations to append to it.  The returned
+// FileLog must be closed by the caller when the store is retired.
 func OpenFileStore(path string) (*Store, *FileLog, error) {
-	data, err := os.ReadFile(path)
-	if err != nil && !os.IsNotExist(err) {
-		return nil, nil, fmt.Errorf("storage: read log: %w", err)
+	s, l, _, err := OpenFileStoreFS(OSFS, path)
+	return s, l, err
+}
+
+// OpenFileStoreFS is OpenFileStore through an FS seam, reporting what
+// recovery had to repair.  A suspicious first read (mid-stream CRC
+// failure or a dropped tail) is confirmed against fresh re-reads before
+// it is trusted: transient read-path corruption vanishes on re-read and
+// must never truncate live state, while damage every read agrees on is
+// really on the medium.  Confirmed mid-stream corruption quarantines
+// the image at path+".corrupt" and fails loudly instead of silently
+// replaying a truncated history; a confirmed torn tail (the normal
+// crash-mid-append case) is dropped as before.
+func OpenFileStoreFS(fsys FS, path string) (*Store, *FileLog, RecoverStats, error) {
+	if fsys == nil {
+		fsys = OSFS
 	}
-	recovered, err := Recover(data)
+	var stats RecoverStats
+	read := func() (recoverPass, error) {
+		data, err := fsys.ReadFile(path)
+		if err != nil && !os.IsNotExist(err) {
+			return recoverPass{}, fmt.Errorf("storage: read log: %w", err)
+		}
+		st, rerr := Recover(data)
+		if rerr != nil && !errors.Is(rerr, ErrCorruptRecord) {
+			return recoverPass{}, rerr
+		}
+		return recoverPass{data: data, store: st, err: rerr}, nil
+	}
+	best, err := read()
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, stats, err
 	}
+	if !best.clean() {
+		// The image lost bytes or failed a CRC.  Re-read before
+		// believing it: if a fresh pass recovers strictly more, the
+		// earlier bytes were damaged in flight, not on disk.
+		for attempt := 0; attempt < corruptReadRetries; attempt++ {
+			next, err := read()
+			if err != nil {
+				return nil, nil, stats, err
+			}
+			switch {
+			case next.goodBytes() > best.goodBytes() ||
+				(next.err == nil && best.err != nil && next.goodBytes() == best.goodBytes()):
+				// The re-read is strictly healthier: the best pass so
+				// far was a corrupt read.
+				stats.CorruptReads++
+				best = next
+				if best.clean() {
+					attempt = corruptReadRetries // confirmed healthy; done
+				}
+			case next.goodBytes() < best.goodBytes() ||
+				(next.err != nil && best.err == nil):
+				// This re-read itself came back damaged; keep best and
+				// try again.
+				stats.CorruptReads++
+			default:
+				// Two independent reads agree: the damage (or the torn
+				// tail) is really in the file.
+				attempt = corruptReadRetries
+			}
+		}
+	}
+	if best.err != nil {
+		// Confirmed mid-stream corruption: records were lost from the
+		// middle of the history, so the "recovered" prefix is not this
+		// site's state.  Preserve the evidence and refuse.
+		qpath := path + ".corrupt"
+		if qerr := atomicRewriteFS(fsys, qpath, best.data); qerr == nil {
+			stats.Quarantined = qpath
+		}
+		return nil, nil, stats, fmt.Errorf("storage: log %s corrupt mid-stream (quarantined at %s): %w", path, stats.Quarantined, best.err)
+	}
+	recovered := best.store
 	// A torn tail (crash mid-append) replays silently as the intact
 	// prefix; truncate the fragment so appends resume on a clean
 	// boundary instead of burying garbage mid-stream.
-	if wb := recovered.WALBytes(); len(wb) < len(data) {
-		if bytes.HasPrefix(data, wb) {
-			if err := os.Truncate(path, int64(len(wb))); err != nil {
-				return nil, nil, fmt.Errorf("storage: truncate torn tail: %w", err)
+	if wb := recovered.WALBytes(); len(wb) < len(best.data) {
+		stats.TornBytes = len(best.data) - len(wb)
+		if bytes.HasPrefix(best.data, wb) {
+			if err := fsys.Truncate(path, int64(len(wb))); err != nil {
+				return nil, nil, stats, fmt.Errorf("storage: truncate torn tail: %w", err)
 			}
-		} else if err := atomicRewrite(path, wb); err != nil {
-			return nil, nil, err
+		} else if err := atomicRewriteFS(fsys, path, wb); err != nil {
+			return nil, nil, stats, err
 		}
 	}
-	log, err := OpenFileLog(path)
+	log, err := OpenFileLogFS(fsys, path)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, stats, err
 	}
 	recovered.mu.Lock()
 	recovered.wal.sink = log
 	recovered.mu.Unlock()
-	return recovered, log, nil
+	return recovered, log, stats, nil
 }
 
-// atomicRewrite replaces the file at path with content via write-temp +
-// rename, the crash-safe way to drop a corrupt or torn suffix whose
-// prefix re-encoding diverged from the on-disk bytes.
-func atomicRewrite(path string, content []byte) error {
-	tmp, err := os.CreateTemp(filepath.Dir(path), ".wal-repair-*")
+// atomicRewriteFS replaces the file at path with content via write-temp
+// + fsync + rename + parent-dir fsync, the crash-safe way to drop a
+// corrupt or torn suffix whose prefix re-encoding diverged from the
+// on-disk bytes.  Without the final directory sync a power cut can lose
+// the rename itself and resurrect the old file.
+func atomicRewriteFS(fsys FS, path string, content []byte) error {
+	dir := filepath.Dir(path)
+	tmp, err := fsys.CreateTemp(dir, ".wal-repair-*")
 	if err != nil {
 		return fmt.Errorf("storage: repair temp: %w", err)
 	}
 	tmpName := tmp.Name()
 	if _, err := tmp.Write(content); err != nil {
 		tmp.Close()
-		os.Remove(tmpName)
+		fsys.Remove(tmpName)
 		return fmt.Errorf("storage: repair write: %w", err)
 	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
-		os.Remove(tmpName)
+		fsys.Remove(tmpName)
 		return fmt.Errorf("storage: repair sync: %w", err)
 	}
 	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
+		fsys.Remove(tmpName)
 		return fmt.Errorf("storage: repair close: %w", err)
 	}
-	if err := os.Rename(tmpName, path); err != nil {
-		os.Remove(tmpName)
+	if err := fsys.Rename(tmpName, path); err != nil {
+		fsys.Remove(tmpName)
 		return fmt.Errorf("storage: repair rename: %w", err)
+	}
+	if err := fsys.SyncDir(dir); err != nil {
+		return fmt.Errorf("storage: repair dir sync: %w", err)
 	}
 	return nil
 }
 
 // CheckpointFile compacts the store's WAL and atomically replaces the
-// log file with the compacted contents (write temp + rename), re-pointing
-// the store's sink at the new file.  Returns the new log size.
+// log file with the compacted contents (write temp + fsync + rename +
+// parent-dir fsync), re-pointing the store's sink at the new file.
+// Returns the new log size.
 func CheckpointFile(s *Store, log *FileLog) (int, *FileLog, error) {
 	n, err := s.Checkpoint()
 	if err != nil {
 		return 0, log, err
 	}
-	dir := filepath.Dir(log.path)
-	tmp, err := os.CreateTemp(dir, ".wal-checkpoint-*")
-	if err != nil {
-		return 0, log, fmt.Errorf("storage: checkpoint temp: %w", err)
+	fsys := log.fs
+	if fsys == nil {
+		fsys = OSFS
 	}
-	tmpName := tmp.Name()
-	cleanup := func() { tmp.Close(); os.Remove(tmpName) }
-	if _, err := tmp.Write(s.WALBytes()); err != nil {
-		cleanup()
-		return 0, log, fmt.Errorf("storage: checkpoint write: %w", err)
-	}
-	if err := tmp.Sync(); err != nil {
-		cleanup()
-		return 0, log, fmt.Errorf("storage: checkpoint sync: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmpName)
-		return 0, log, fmt.Errorf("storage: checkpoint close: %w", err)
-	}
-	if err := os.Rename(tmpName, log.path); err != nil {
-		os.Remove(tmpName)
-		return 0, log, fmt.Errorf("storage: checkpoint rename: %w", err)
+	if err := atomicRewriteFS(fsys, log.path, s.WALBytes()); err != nil {
+		return 0, log, fmt.Errorf("storage: checkpoint: %w", err)
 	}
 	path := log.path
 	log.Close()
-	fresh, err := OpenFileLog(path)
+	fresh, err := OpenFileLogFS(fsys, path)
 	if err != nil {
 		return 0, nil, err
 	}

@@ -1,0 +1,73 @@
+package storage
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestGroupLogStickyFsyncFailure pins the fsyncgate contract: after one
+// injected fsync failure, every parked waiter fails, every later append
+// fails, and Flush never again reports clean — the group log is dead
+// for the rest of the incarnation, and recovery must come from disk.
+func TestGroupLogStickyFsyncFailure(t *testing.T) {
+	ffs := NewFaultFS(OSFS, FaultFSConfig{Seed: 11})
+	f, err := OpenFileLogFS(ffs, filepath.Join(t.TempDir(), "group.wal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	// A long window keeps the background flusher out of the way: the
+	// test drives flushes explicitly through WaitSynced/Flush.
+	g := NewGroupLog(f, time.Hour)
+	defer g.Close()
+
+	// Park several waiters on frames that will never sync.
+	const waiters = 4
+	var seqs []uint64
+	for i := 0; i < waiters; i++ {
+		if _, err := g.Write([]byte("frame")); err != nil {
+			t.Fatalf("write %d: %v", i, err)
+		}
+		seqs = append(seqs, g.Seq())
+	}
+	errs := make(chan error, waiters)
+	var wg sync.WaitGroup
+	for _, seq := range seqs {
+		wg.Add(1)
+		go func(seq uint64) {
+			defer wg.Done()
+			errs <- g.WaitSynced(seq)
+		}(seq)
+	}
+	// Let the waiters park, then fail the one flush they all depend on.
+	time.Sleep(10 * time.Millisecond)
+	ffs.SetRule(DiskRule{Kind: DiskFsync, P: 1, Once: true})
+	if err := g.Flush(); !IsInjected(err) {
+		t.Fatalf("Flush should fail with the injected fault, got %v", err)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err == nil {
+			t.Fatal("a parked waiter was released clean across a failed fsync")
+		}
+		if !IsInjected(err) {
+			t.Fatalf("waiter error should carry the injected fault: %v", err)
+		}
+	}
+
+	// The rule was one-shot, but the failure is sticky: later appends
+	// and flushes must keep failing even though the disk is healthy
+	// again.
+	if _, err := g.Write([]byte("after")); err == nil {
+		t.Fatal("append after failed fsync must fail")
+	}
+	if err := g.Flush(); err == nil {
+		t.Fatal("Flush reported clean after a failed fsync")
+	}
+	if err := g.WaitSynced(g.Seq()); err == nil {
+		t.Fatal("WaitSynced reported clean after a failed fsync")
+	}
+}
